@@ -1,0 +1,85 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each bench in this directory regenerates one figure of the paper's
+evaluation (§V): it runs the relevant scenario(s) through the real stack,
+prints the figure's rows/series, archives them under
+``benchmarks/results/``, and attaches the headline numbers to
+``benchmark.extra_info`` so they appear in pytest-benchmark's JSON.
+
+Scale: benches default to shape-faithful laptop-size workloads; set
+``REPRO_FULL_SCALE=1`` to run the paper's 512+-core scales.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.apps.scenarios import (
+    CoupledScenario,
+    concurrent_scenario,
+    full_scale_enabled,
+    sequential_scenario,
+)
+
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_RESULTS_DIR", Path(__file__).parent / "results")
+)
+
+#: the distribution-pattern pairs swept on the X axis of Figs 8-9
+DIST_PATTERNS: list[tuple[str, str]] = [
+    ("blocked", "blocked"),
+    ("cyclic", "cyclic"),
+    ("block_cyclic", "block_cyclic"),
+    ("blocked", "cyclic"),
+    ("blocked", "block_cyclic"),
+    ("cyclic", "block_cyclic"),
+]
+
+
+def pattern_label(pair: tuple[str, str]) -> str:
+    short = {"blocked": "B", "cyclic": "C", "block_cyclic": "BC"}
+    return f"{short[pair[0]]}/{short[pair[1]]}"
+
+
+def make_concurrent(
+    producer_dist: str = "blocked", consumer_dist: str = "blocked", **overrides
+) -> CoupledScenario:
+    """Concurrent scenario at bench scale (paper scale when opted in)."""
+    if full_scale_enabled():
+        params = dict(producer_tasks=512, consumer_tasks=64, task_side=128)
+    else:
+        params = dict(producer_tasks=64, consumer_tasks=8, task_side=32)
+    params.update(overrides)
+    return concurrent_scenario(
+        producer_dist=producer_dist, consumer_dist=consumer_dist, **params
+    )
+
+
+def make_sequential(
+    producer_dist: str = "blocked", consumer_dist: str = "blocked", **overrides
+) -> CoupledScenario:
+    """Sequential scenario at bench scale (paper scale when opted in)."""
+    if full_scale_enabled():
+        params = dict(
+            producer_tasks=512, consumer_tasks=(128, 384), task_side=128
+        )
+    else:
+        params = dict(producer_tasks=64, consumer_tasks=(16, 48), task_side=32)
+    params.update(overrides)
+    return sequential_scenario(
+        producer_dist=producer_dist, consumer_dist=consumer_dist, **params
+    )
+
+
+def archive(figure: str, text: str) -> None:
+    """Print the figure table and store it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{figure}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+def scale_note() -> str:
+    return "paper scale (512+ cores)" if full_scale_enabled() else \
+        "bench scale (64-core shape replica; REPRO_FULL_SCALE=1 for paper scale)"

@@ -1,0 +1,71 @@
+"""Ablation — quality of the multilevel partitioner (the METIS substitute).
+
+The server-side mapping is only as good as its partitioner. This bench
+compares the weighted edgecut of the inter-application communication graph
+under (a) the multilevel k-way partitioner, (b) the recursive-bisection
+driver, (c) round-robin grouping, and (d) random grouping, for the Fig 8
+distribution patterns — both real partitioners should cut a small fraction
+of what the baselines do for matching distributions.
+"""
+
+import numpy as np
+
+from common import DIST_PATTERNS, archive, make_concurrent, pattern_label, scale_note
+
+from repro.analysis.report import format_table
+from repro.core.commgraph import Coupling, build_comm_graph
+from repro.partition.bisection import RecursiveBisection
+from repro.partition.multilevel import partition_graph
+
+
+def _edgecuts(pair, seed=0):
+    scenario = make_concurrent(*pair)
+    producer, consumer = scenario.producer, scenario.consumers[0]
+    cg = build_comm_graph([producer, consumer], [Coupling(producer, consumer)])
+    n = cg.ntasks
+    cpn = scenario.cluster.cores_per_node
+    k = -(-n // cpn)
+
+    multilevel = partition_graph(cg.graph, k, capacities=cpn, seed=seed).edgecut
+    bisection = RecursiveBisection(seed=seed).partition(
+        cg.graph, k, capacities=cpn
+    ).edgecut
+    rr = cg.graph.edgecut(np.arange(n) // cpn)
+    rng = np.random.default_rng(seed)
+    random_parts = rng.permutation(np.arange(n) // cpn)
+    random = cg.graph.edgecut(random_parts)
+    total = cg.graph.total_adjwgt
+    return multilevel, bisection, rr, random, total
+
+
+def test_ablation_partitioner(benchmark):
+    rows = []
+    ratios = {}
+    for pair in DIST_PATTERNS[:3]:  # matching-distribution patterns
+        ml, bis, rr, rnd, total = _edgecuts(pair)
+        ratios[pattern_label(pair)] = ml / total
+        rows.append([
+            pattern_label(pair),
+            f"{ml / 2**20:.1f}", f"{bis / 2**20:.1f}",
+            f"{rr / 2**20:.1f}", f"{rnd / 2**20:.1f}",
+            f"{ml / total:.0%}",
+        ])
+
+    benchmark.pedantic(_edgecuts, args=(("blocked", "blocked"),), rounds=1, iterations=1)
+    benchmark.extra_info["cut_fraction_blocked"] = round(ratios["B/B"], 3)
+
+    table = format_table(
+        ["pattern", "multilevel MiB", "bisection MiB", "RR MiB", "random MiB",
+         "ml cut/total"],
+        rows,
+        title=f"Ablation — partitioner edgecut on the comm graph [{scale_note()}]",
+    )
+    archive("ablation_partitioner", table)
+
+    for pair in DIST_PATTERNS[:3]:
+        ml, bis, rr, rnd, _ = _edgecuts(pair)
+        assert ml <= rr and ml <= rnd
+        assert bis <= rr and bis <= rnd
+    # Matching blocked pattern: the partitioner should keep most coupled
+    # bytes inside nodes.
+    assert ratios["B/B"] < 0.5

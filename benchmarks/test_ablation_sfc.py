@@ -1,0 +1,70 @@
+"""Ablation — Hilbert vs Morton linearization for the CoDS DHT.
+
+The paper picks the Hilbert SFC for its locality: contiguous domain regions
+map to few index spans, so queries touch few DHT cores. This bench compares
+span counts and touched-DHT-core counts for task-shaped box queries under
+both curves.
+"""
+
+import numpy as np
+
+from common import archive, scale_note
+
+from repro.analysis.report import format_table
+from repro.domain.box import Box
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.linearize import DomainLinearizer
+from repro.sfc.morton import MortonCurve
+
+ORDER = 6          # 64^3 virtual grid
+NBOXES = 64
+NPARTS = 32        # DHT cores
+
+
+def _query_stats(curve_cls, seed=0):
+    lin = DomainLinearizer((1 << ORDER,) * 3, order=ORDER, curve=curve_cls)
+    intervals = lin.partition_index_space(NPARTS)
+    starts = [lo for lo, _ in intervals]
+    rng = np.random.default_rng(seed)
+    span_counts, owner_counts = [], []
+    for _ in range(NBOXES):
+        side = int(rng.integers(4, 17))
+        lo = rng.integers(0, (1 << ORDER) - side, size=3)
+        box = Box(lo=tuple(int(v) for v in lo),
+                  hi=tuple(int(v) + side for v in lo))
+        spans = lin.spans_for_box(box)
+        span_counts.append(len(spans))
+        owners = set()
+        for s_lo, s_hi in spans:
+            i = int(np.searchsorted(starts, s_lo, side="right")) - 1
+            while i < NPARTS and intervals[i][0] < s_hi:
+                if intervals[i][1] > s_lo:
+                    owners.add(i)
+                i += 1
+        owner_counts.append(len(owners))
+    return float(np.mean(span_counts)), float(np.mean(owner_counts))
+
+
+def test_ablation_sfc(benchmark):
+    h_spans, h_owners = benchmark.pedantic(
+        _query_stats, args=(HilbertCurve,), rounds=1, iterations=1
+    )
+    m_spans, m_owners = _query_stats(MortonCurve)
+
+    rows = [
+        ["hilbert", f"{h_spans:.1f}", f"{h_owners:.2f}"],
+        ["morton", f"{m_spans:.1f}", f"{m_owners:.2f}"],
+    ]
+    table = format_table(
+        ["curve", "mean spans/query", "mean DHT cores/query"],
+        rows,
+        title=f"Ablation — SFC choice for DHT queries "
+        f"({NBOXES} random 3-D boxes on a 64^3 grid, {NPARTS} DHT cores) "
+        f"[{scale_note()}]",
+    )
+    archive("ablation_sfc", table)
+    benchmark.extra_info["hilbert_mean_spans"] = round(h_spans, 2)
+    benchmark.extra_info["morton_mean_spans"] = round(m_spans, 2)
+
+    # Hilbert's locality: fewer spans per query than Morton.
+    assert h_spans <= m_spans

@@ -1,0 +1,110 @@
+"""Ablation — in-situ CoDS vs staging-area data sharing (paper §VI).
+
+The paper positions its direct/in-situ sharing against DataSpaces-style
+staging: "this approach requires coupled data to be shared indirectly
+through the staging area, which would result in two data movements ... and
+cause extra cost". This bench runs the sequential workload through both
+paths and compares moved bytes and the network-crossing fraction.
+"""
+
+from common import archive, make_sequential, scale_note
+
+from repro.analysis.report import format_table, mib
+from repro.apps.scenarios import COUPLED_VAR
+from repro.cods.space import CoDS
+from repro.cods.staging import StagingArea
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.hardware.cluster import Cluster
+from repro.transport.message import TransferKind
+
+
+def _producer_put(scenario, sink, cluster):
+    producer = scenario.producer
+    mapping = RoundRobinMapper().map_bundle([producer], cluster)
+    decomp = producer.decomposition
+    put = sink.put_seq if isinstance(sink, CoDS) else sink.put
+    for rank in range(producer.ntasks):
+        put(
+            mapping.core_of(producer.app_id, rank), COUPLED_VAR,
+            decomp.task_intervals(rank), element_size=producer.element_size,
+        )
+
+
+def _consumers_get(scenario, sink, cluster, mapping_by_app):
+    get = sink.get_seq if isinstance(sink, CoDS) else sink.get
+    for consumer in scenario.consumers:
+        mapping = mapping_by_app[consumer.app_id]
+        for task in consumer.tasks():
+            get(
+                mapping.core_of(consumer.app_id, task.rank), COUPLED_VAR,
+                task.requested_region, app_id=consumer.app_id,
+            )
+
+
+def _run_insitu():
+    scenario = make_sequential()
+    cluster = scenario.cluster
+    space = CoDS(cluster, scenario.domain)
+    _producer_put(scenario, space, cluster)
+    mappings = {
+        c.app_id: m for c, m in zip(
+            scenario.consumers,
+            [ClientSideMapper().map_bundle(
+                [c], cluster, lookup=space.lookup) for c in scenario.consumers],
+        )
+    }
+    _consumers_get(scenario, space, cluster, mappings)
+    return space.dart.metrics
+
+
+def _run_staging():
+    scenario = make_sequential()
+    # Same compute allocation plus dedicated staging nodes (~1/8 extra).
+    extra = max(1, scenario.cluster.num_nodes // 8)
+    cluster = Cluster(
+        scenario.cluster.num_nodes + extra, machine=scenario.cluster.machine
+    )
+    staging_nodes = list(range(scenario.cluster.num_nodes, cluster.num_nodes))
+    area = StagingArea(cluster, scenario.domain, staging_nodes)
+    _producer_put(scenario, area, cluster)
+    mappings = {
+        c.app_id: RoundRobinMapper().map_bundle([c], cluster)
+        for c in scenario.consumers
+    }
+    _consumers_get(scenario, area, cluster, mappings)
+    return area.dart.metrics
+
+
+def test_ablation_staging(benchmark):
+    staging = _run_staging()
+    insitu = benchmark.pedantic(_run_insitu, rounds=1, iterations=1)
+
+    def row(name, m):
+        total = m.bytes(kind=TransferKind.COUPLING)
+        net = m.network_bytes(TransferKind.COUPLING)
+        return [name, mib(total), mib(net), f"{net / total:.0%}"]
+
+    rows = [row("staging area", staging), row("in-situ CoDS", insitu)]
+    table = format_table(
+        ["architecture", "moved MiB", "network MiB", "network fraction"],
+        rows,
+        title=f"Ablation — in-situ vs staging-area sharing [{scale_note()}]\n"
+        "paper §VI: staging doubles the data movements of tight coupling",
+    )
+    archive("ablation_staging", table)
+    benchmark.extra_info["network_ratio"] = round(
+        staging.network_bytes(TransferKind.COUPLING)
+        / max(insitu.network_bytes(TransferKind.COUPLING), 1), 2
+    )
+
+    # Staging adds a whole extra movement of the domain (producer -> staging)
+    # on top of the consumer pulls, and nearly all of it crosses the network.
+    domain_bytes = make_sequential().coupled_bytes
+    assert (
+        staging.bytes(kind=TransferKind.COUPLING)
+        == insitu.bytes(kind=TransferKind.COUPLING) + domain_bytes
+    )
+    assert staging.network_bytes(TransferKind.COUPLING) > 2 * insitu.network_bytes(
+        TransferKind.COUPLING
+    )

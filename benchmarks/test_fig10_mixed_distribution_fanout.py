@@ -1,0 +1,58 @@
+"""Figure 10 — Why mixed distributions defeat data-centric mapping.
+
+The paper's illustration: a region mapped to one process under a blocked
+distribution is scattered over processes 0..34 under a block-cyclic one, so
+a single get() fans out into 1-to-N communication with N far beyond a node's
+core count. We quantify the fan-out: the number of distinct producer tasks
+each consumer task must pull from, per distribution pair.
+"""
+
+from common import DIST_PATTERNS, archive, make_concurrent, pattern_label, scale_note
+
+from repro.core.commgraph import Coupling, build_comm_graph
+
+
+def _fanout(scenario):
+    """(mean, max) producer-partners per consumer task."""
+    producer = scenario.producer
+    consumer = scenario.consumers[0]
+    cg = build_comm_graph(
+        [producer, consumer], [Coupling(producer, consumer)]
+    )
+    degrees = []
+    for rank in range(consumer.ntasks):
+        v = cg.vertex_of[(consumer.app_id, rank)]
+        degrees.append(cg.graph.degree(v))
+    return sum(degrees) / len(degrees), max(degrees)
+
+
+def test_fig10_mixed_distribution_fanout(benchmark):
+    from repro.analysis.report import format_table
+
+    rows = []
+    fanouts = {}
+    for pair in DIST_PATTERNS:
+        scenario = make_concurrent(*pair)
+        mean_n, max_n = _fanout(scenario)
+        fanouts[pattern_label(pair)] = max_n
+        rows.append([pattern_label(pair), f"{mean_n:.1f}", max_n])
+
+    benchmark.pedantic(
+        _fanout, args=(make_concurrent("blocked", "cyclic"),), rounds=1, iterations=1
+    )
+    benchmark.extra_info["max_fanout_mixed"] = fanouts["B/C"]
+
+    cores_per_node = make_concurrent().cluster.cores_per_node
+    table = format_table(
+        ["pattern", "mean sources/task", "max sources/task"],
+        rows,
+        title=f"Fig 10 — consumer-task fan-out [{scale_note()}]\n"
+        f"paper: mixed distributions cause 1-to-N with N >> cores/node "
+        f"(= {cores_per_node})",
+    )
+    archive("fig10", table)
+
+    # Mixed pairs must fan out beyond a node's core count; matching blocked
+    # pairs stay small.
+    assert fanouts["B/C"] > cores_per_node
+    assert fanouts["B/B"] <= cores_per_node

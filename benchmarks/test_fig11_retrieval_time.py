@@ -1,0 +1,46 @@
+"""Figure 11 — Time to retrieve coupled data for CAP2, SAP2 and SAP3 under
+data-centric vs round-robin mapping.
+
+Paper's claims: retrieval time drops sharply under data-centric mapping
+(most pulls come from intra-node shared memory); SAP2/SAP3 take longer than
+CAP2 despite pulling less per task, because the sequential scenario issues
+twice as many simultaneous requests.
+"""
+
+from common import archive, make_concurrent, make_sequential, scale_note
+
+from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
+from repro.analysis.report import format_table, ms
+
+
+def _times(make, mapper):
+    result = run_scenario(make(), mapper, time_transfers=True)
+    names = {a.app_id: a.name for a in result.scenario.apps}
+    return {names[i]: t for i, t in result.retrieval_times.items()}
+
+
+def test_fig11_retrieval_time(benchmark):
+    rr = {**_times(make_concurrent, ROUND_ROBIN), **_times(make_sequential, ROUND_ROBIN)}
+    dc = benchmark.pedantic(
+        lambda: {**_times(make_concurrent, DATA_CENTRIC),
+                 **_times(make_sequential, DATA_CENTRIC)},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for app in ("CAP2", "SAP2", "SAP3"):
+        speedup = rr[app] / dc[app] if dc[app] > 0 else float("inf")
+        rows.append([app, ms(rr[app]), ms(dc[app]), f"{speedup:.1f}x"])
+        benchmark.extra_info[f"speedup_{app}"] = round(speedup, 2)
+
+    table = format_table(
+        ["consumer", "RR ms", "DC ms", "speedup"],
+        rows,
+        title=f"Fig 11 — coupled-data retrieval time [{scale_note()}]\n"
+        "paper: data-centric mapping cuts retrieval time several-fold",
+    )
+    archive("fig11", table)
+
+    # Shape: DC is faster for every consumer.
+    for app in ("CAP2", "SAP2", "SAP3"):
+        assert dc[app] < rr[app]

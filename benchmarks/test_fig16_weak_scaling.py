@@ -1,0 +1,78 @@
+"""Figure 16 — Weak-scaling of coupled-data retrieval time.
+
+The paper scales the concurrent scenario from 512/64 to 8192/1024 cores and
+the sequential one from 512/(128+384) to 8192/(2048+6144), keeping per-task
+data constant, and reports (a) only a small retrieval-time increase (<150 ms,
+from contention on shared links) and (b) a faster increase for SAP2/SAP3
+than CAP2 because the sequential scenario issues twice as many simultaneous
+requests.
+"""
+
+from common import archive, scale_note
+
+from repro.analysis.experiments import DATA_CENTRIC, run_scenario
+from repro.analysis.report import format_table, ms
+from repro.apps.scenarios import (
+    concurrent_scenario,
+    full_scale_enabled,
+    sequential_scenario,
+)
+
+if full_scale_enabled():
+    PRODUCER_SCALES = [512, 1024, 2048, 4096]
+    TASK_SIDE = 128
+else:
+    PRODUCER_SCALES = [32, 64, 128, 256]
+    TASK_SIDE = 16
+
+
+def _concurrent_time(p):
+    scenario = concurrent_scenario(
+        producer_tasks=p, consumer_tasks=max(p // 8, 1), task_side=TASK_SIDE
+    )
+    result = run_scenario(scenario, DATA_CENTRIC, time_transfers=True)
+    return result.retrieval_times[2]
+
+
+def _sequential_times(p):
+    scenario = sequential_scenario(
+        producer_tasks=p, consumer_tasks=(p // 4, 3 * p // 4), task_side=TASK_SIDE
+    )
+    result = run_scenario(scenario, DATA_CENTRIC, time_transfers=True)
+    return result.retrieval_times[2], result.retrieval_times[3]
+
+
+def test_fig16_weak_scaling(benchmark):
+    cap2 = [_concurrent_time(p) for p in PRODUCER_SCALES[:-1]]
+    cap2.append(
+        benchmark.pedantic(
+            _concurrent_time, args=(PRODUCER_SCALES[-1],), rounds=1, iterations=1
+        )
+    )
+    sap = [_sequential_times(p) for p in PRODUCER_SCALES]
+    sap2 = [t[0] for t in sap]
+    sap3 = [t[1] for t in sap]
+
+    rows = [
+        [p, ms(a), ms(b), ms(c)]
+        for p, a, b, c in zip(PRODUCER_SCALES, cap2, sap2, sap3)
+    ]
+    table = format_table(
+        ["producer tasks", "CAP2 ms", "SAP2 ms", "SAP3 ms"],
+        rows,
+        title=f"Fig 16 — weak scaling of retrieval time [{scale_note()}]\n"
+        "paper: small contention-driven increase; SAP2/SAP3 grow faster than CAP2",
+    )
+    archive("fig16", table)
+
+    cap2_growth = cap2[-1] - cap2[0]
+    sap_growth = max(sap2[-1] - sap2[0], sap3[-1] - sap3[0])
+    benchmark.extra_info["cap2_growth_ms"] = round(ms(cap2_growth), 3)
+    benchmark.extra_info["sap_growth_ms"] = round(ms(sap_growth), 3)
+
+    # Shape: times stay the same order of magnitude across a 8x scale-up
+    # (weak scaling holds), and the sequential scenario degrades at least as
+    # much as the concurrent one (its simultaneous request count is doubled).
+    assert cap2[-1] < 10 * cap2[0]
+    assert sap_growth >= cap2_growth * 0.5
+    assert all(t > 0 for t in cap2 + sap2 + sap3)

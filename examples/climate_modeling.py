@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Coupled climate-modeling workflow (paper scenario 2, Figs 3/5).
+
+The atmosphere model runs first and stores boundary fields in CoDS; the
+land and sea-ice models then launch concurrently *on the same nodes* and
+pull their inputs. The client-side data-centric mapping dispatches each
+land/sea-ice task to the node already holding its data.
+
+This example drives the full workflow engine explicitly (rather than the
+experiment driver) to show the user-facing API: DAG with bundles, per-bundle
+mappers, app routines, CoDS operators.
+
+Run:  python examples/climate_modeling.py
+"""
+
+from repro import AppSpec, Bundle, DecompositionDescriptor, WorkflowDAG
+from repro.apps.consumer import ConsumerApp
+from repro.apps.producer import ProducerApp
+from repro.cods.space import CoDS
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.hardware.cluster import Cluster
+from repro.transport.message import TransferKind
+from repro.workflow.engine import WorkflowEngine
+
+DOMAIN = (192, 96, 64)  # lon x lat x levels
+
+
+def build_apps():
+    atmosphere = AppSpec(
+        app_id=1, name="atmosphere",
+        descriptor=DecompositionDescriptor.uniform(DOMAIN, (4, 4, 4)),
+        var="boundary-fields",
+    )
+    land = AppSpec(
+        app_id=2, name="land",
+        descriptor=DecompositionDescriptor.uniform(DOMAIN, (4, 2, 2)),
+        var="boundary-fields",
+    )
+    sea_ice = AppSpec(
+        app_id=3, name="sea-ice",
+        descriptor=DecompositionDescriptor.uniform(DOMAIN, (4, 4, 3)),
+        var="boundary-fields",
+    )
+    return atmosphere, land, sea_ice
+
+
+def run(strategy: str) -> dict:
+    atmosphere, land, sea_ice = build_apps()
+    cluster = Cluster.for_cores(atmosphere.ntasks)  # 64 tasks -> 6 nodes
+    space = CoDS(cluster, DOMAIN)
+
+    # The science defines the order: land and sea-ice run concurrently,
+    # after the atmosphere model has completed (paper §II-A).
+    dag = WorkflowDAG(
+        [atmosphere, land, sea_ice],
+        edges=[(1, 2), (1, 3)],
+        bundles=[Bundle((1,)), Bundle((2, 3))],
+    )
+    engine = WorkflowEngine(dag, cluster)
+    engine.set_routine(1, ProducerApp(
+        spec=atmosphere, space=space, mode="seq", compute_seconds=30.0,
+    ))
+    engine.set_routine(2, ConsumerApp(spec=land, space=space, mode="seq"))
+    engine.set_routine(3, ConsumerApp(spec=sea_ice, space=space, mode="seq"))
+
+    consumer_bundle = engine.bundle_index_of(2)
+    if strategy == "data-centric":
+        # Lookup resolves lazily: the DHT has content only after the
+        # atmosphere app ran.
+        engine.set_bundle_mapper(
+            consumer_bundle, ClientSideMapper(), lookup=lambda: space.lookup
+        )
+    else:
+        engine.set_bundle_mapper(consumer_bundle, RoundRobinMapper())
+
+    runs = engine.run()
+    return {
+        "makespan": engine.makespan,
+        "net": space.dart.metrics.network_bytes(TransferKind.COUPLING),
+        "shm": space.dart.metrics.shm_bytes(TransferKind.COUPLING),
+        "land_start": runs[2].start,
+    }
+
+
+def main() -> None:
+    print(f"climate workflow on domain {DOMAIN}: atmosphere(64) -> "
+          "land(16) + sea-ice(48)\n")
+    for strategy in ("round-robin", "data-centric"):
+        r = run(strategy)
+        print(f"{strategy:>13}: boundary data over network "
+              f"{r['net'] / 2**20:6.1f} MiB, via shared memory "
+              f"{r['shm'] / 2**20:6.1f} MiB "
+              f"(land/sea-ice launched at t={r['land_start']:.0f}s)")
+    print("\nclient-side mapping moved each land/sea-ice task to the node "
+          "where the atmosphere model left its input fields.")
+
+
+if __name__ == "__main__":
+    main()

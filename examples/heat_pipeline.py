@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Real data end-to-end: heat simulation + in-situ monitoring.
+
+Unlike the accounting-only scenarios, this pipeline pushes actual numpy
+field data through every layer: a domain-decomposed Jacobi heat solver
+steps a hot plate, accounts its halo exchanges through HybridDART,
+publishes per-task blocks (with payloads) into CoDS, and a monitoring app
+mapped next to the data assembles subfields and prints the temperature
+statistics it measured — values bit-identical to the solver's state.
+
+Run:  python examples/heat_pipeline.py
+"""
+
+import numpy as np
+
+from repro import AppSpec, Cluster, DecompositionDescriptor
+from repro.analysis.ascii import sparkline
+from repro.apps.heat import HeatMonitor, HeatSolver
+from repro.cods.space import CoDS
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.domain.box import Box
+from repro.transport.message import TransferKind
+
+DOMAIN = (64, 64)
+STEPS_PER_SNAPSHOT = 20
+SNAPSHOTS = 8
+
+
+def main() -> None:
+    cluster = Cluster(3, machine=None)  # 3 x 12-core Jaguar-like nodes
+    solver_spec = AppSpec(
+        1, "heat-solver", DecompositionDescriptor.uniform(DOMAIN, (4, 4)),
+        var="temperature",
+    )
+    monitor_spec = AppSpec(
+        2, "monitor", DecompositionDescriptor.uniform(DOMAIN, (2, 2)),
+        var="temperature",
+    )
+
+    # A hot square in a cold plate with cold boundaries.
+    field = np.zeros(DOMAIN)
+    field[24:40, 24:40] = 100.0
+    solver = HeatSolver(solver_spec, initial=field, boundary=0.0)
+
+    space = CoDS(cluster, DOMAIN)
+    solver_mapping = RoundRobinMapper().map_bundle([solver_spec], cluster)
+
+    peaks, means = [], []
+    for version in range(SNAPSHOTS):
+        solver.step(STEPS_PER_SNAPSHOT, mapping=solver_mapping, dart=space.dart)
+        solver.publish(space, solver_mapping, version=version)
+        peaks.append(solver.peak)
+        means.append(float(solver.field.mean()))
+
+    # Map the monitor next to the published data and scan the last snapshot.
+    free = [c for c in cluster.cores()
+            if c not in solver_mapping.placement.values()]
+    monitor_mapping = ClientSideMapper().map_bundle(
+        [monitor_spec], cluster, lookup=space.lookup, available_cores=free,
+    )
+    monitor = HeatMonitor(monitor_spec, space)
+    stats = monitor.probe(
+        monitor_mapping.core_of(2, 0), Box(lo=(0, 0), hi=DOMAIN),
+        version=SNAPSHOTS - 1,
+    )
+
+    print(f"heat pipeline: {SNAPSHOTS} snapshots x {STEPS_PER_SNAPSHOT} Jacobi steps "
+          f"on a {DOMAIN} plate\n")
+    print(f"peak temperature per snapshot: {sparkline(peaks)}  "
+          f"({peaks[0]:.1f} -> {peaks[-1]:.1f})")
+    print(f"mean temperature per snapshot: {sparkline(means)}  "
+          f"({means[0]:.3f} -> {means[-1]:.3f})")
+    print(f"\nmonitor measured (assembled from CoDS payloads): "
+          f"max={stats['max']:.2f} mean={stats['mean']:.3f}")
+    assert abs(stats["max"] - solver.peak) < 1e-12  # end-to-end integrity
+    m = space.dart.metrics
+    print(f"traffic: coupling {m.bytes(kind=TransferKind.COUPLING) / 2**10:.0f} KiB, "
+          f"halos {m.bytes(kind=TransferKind.INTRA_APP) / 2**10:.0f} KiB "
+          f"({m.network_fraction(TransferKind.COUPLING):.0%} of coupling over network)")
+
+
+if __name__ == "__main__":
+    main()

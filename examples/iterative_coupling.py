@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Iterative coupling: schedule-cache amortization over simulation steps.
+
+Runs 10 coupling iterations of a producer/consumer pair under the in-situ
+(client-side data-centric) placement and shows (a) the per-iteration
+transfer volume staying constant, (b) the DHT control traffic collapsing
+after the first iteration thanks to communication-schedule reuse, and
+(c) version eviction bounding the space's resident memory.
+
+Run:  python examples/iterative_coupling.py
+"""
+
+from repro import AppSpec, Cluster, DecompositionDescriptor
+from repro.analysis.report import format_table
+from repro.apps.iterative import IterativeCoupling
+from repro.cods.space import CoDS
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+
+ITERATIONS = 10
+DOMAIN = (64, 64, 64)
+
+
+def main() -> None:
+    cluster = Cluster(6)  # 6 x 12-core nodes
+    producer = AppSpec(
+        1, "solver", DecompositionDescriptor.uniform(DOMAIN, (4, 4, 4)),
+        var="pressure",
+    )
+    consumer = AppSpec(
+        2, "monitor", DecompositionDescriptor.uniform(DOMAIN, (2, 2, 2)),
+        var="pressure",
+    )
+    space = CoDS(cluster, DOMAIN)
+
+    producer_mapping = RoundRobinMapper().map_bundle([producer], cluster)
+    # Warm-up put so the client-side mapper can see where data will live.
+    for rank in range(producer.ntasks):
+        space.put_seq(
+            producer_mapping.core_of(1, rank), "pressure",
+            producer.decomposition.task_intervals(rank), version=0,
+        )
+    consumer_mapping = ClientSideMapper().map_bundle(
+        [consumer], cluster, lookup=space.lookup,
+        available_cores=[c for c in cluster.cores()
+                         if c not in producer_mapping.placement.values()],
+    )
+    # Reset and rerun the warm-up version through the iterative driver.
+    for rank in range(producer.ntasks):
+        space.evict(producer_mapping.core_of(1, rank), "pressure", 0)
+    space.dart.metrics.clear()
+
+    run = IterativeCoupling(
+        producer=producer, consumer=consumer, space=space,
+        producer_mapping=producer_mapping, consumer_mapping=consumer_mapping,
+        keep_versions=2,
+    )
+    run.run(ITERATIONS)
+
+    rows = [
+        [h.iteration, h.coupled_bytes / 2**20, h.network_bytes / 2**20,
+         h.control_msgs, h.cache_hits]
+        for h in run.history
+    ]
+    print(format_table(
+        ["iter", "coupled MiB", "network MiB", "control msgs", "cache hits"],
+        rows,
+        title=f"{ITERATIONS} coupling iterations, solver(64) -> monitor(8)",
+    ))
+    print(f"\ncontrol messages: {run.warmup_control_msgs} on iteration 0, "
+          f"{run.steady_state_control_msgs} at steady state "
+          "(schedule reuse skips the DHT queries)")
+    print(f"resident coupled data bounded at "
+          f"{run.resident_bytes() / 2**20:.0f} MiB by version eviction")
+
+
+if __name__ == "__main__":
+    main()

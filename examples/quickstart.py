@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: in-situ placement of a concurrently coupled app pair.
+
+Builds a simulation (producer) + analysis (consumer) pair over a shared 3-D
+domain, maps it onto a simulated 12-core-per-node cluster with the
+data-centric (server-side) strategy and the round-robin baseline, runs the
+coupling through CoDS, and prints where the bytes moved.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AppSpec,
+    Coupling,
+    DecompositionDescriptor,
+    InSituFramework,
+)
+from repro.transport.message import TransferKind
+
+
+def run(strategy: str) -> None:
+    # One framework instance per machine allocation: 6 nodes x 12 cores.
+    fw = InSituFramework(num_nodes=6)
+
+    # Step 1+2 of the paper's programming model: declare the coupled apps
+    # and expose their data decompositions. The simulation runs 64 tasks
+    # over a 128^3 domain; the analysis code runs 8 tasks over the same
+    # domain.
+    domain = (128, 128, 128)
+    sim = AppSpec(
+        app_id=1, name="simulation",
+        descriptor=DecompositionDescriptor.uniform(domain, (4, 4, 4)),
+        var="temperature",
+    )
+    viz = AppSpec(
+        app_id=2, name="analysis",
+        descriptor=DecompositionDescriptor.uniform(domain, (2, 2, 2)),
+        var="temperature",
+    )
+
+    # Map the bundle: data-centric placement co-locates each analysis task
+    # with the 8 simulation tasks whose data it consumes.
+    mapping = fw.map_concurrent([sim, viz], [Coupling(sim, viz)], strategy=strategy)
+
+    # Step 3: express the data exchange with the CoDS operators.
+    space = fw.create_space(domain)
+    for rank in range(sim.ntasks):
+        space.put_cont(
+            mapping.core_of(sim.app_id, rank), "temperature",
+            sim.decomposition.task_intervals(rank),
+            element_size=sim.element_size,
+        )
+    for task in viz.tasks():
+        space.get_cont(
+            mapping.core_of(viz.app_id, task.rank), "temperature",
+            task.requested_region, app_id=viz.app_id,
+        )
+
+    net = fw.metrics.network_bytes(TransferKind.COUPLING)
+    shm = fw.metrics.shm_bytes(TransferKind.COUPLING)
+    print(f"{strategy:>13}: network {net / 2**20:6.1f} MiB | "
+          f"shared-memory {shm / 2**20:6.1f} MiB | "
+          f"in-situ fraction {shm / (net + shm):.0%}")
+
+
+def main() -> None:
+    print("Coupled simulation/analysis pair, 64+8 tasks on 6x12 cores\n")
+    run("round-robin")
+    run("data-centric")
+    print("\nThe data-centric mapping turns most coupling traffic into "
+          "intra-node shared-memory transfers - the paper's in-situ effect.")
+
+
+if __name__ == "__main__":
+    main()

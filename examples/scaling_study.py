@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Weak-scaling study of the data sharing substrate (paper §V-C, Fig 16).
+
+Scales the concurrent and sequential workloads up while keeping per-task
+data constant, and fluid-simulates retrieval time on the 3-D-torus network
+model — showing the contention-driven growth the paper reports, and how the
+sequential scenario (twice the simultaneous requests) degrades faster.
+
+Run:  python examples/scaling_study.py [--full]
+"""
+
+import argparse
+
+from repro.analysis.experiments import DATA_CENTRIC, run_scenario
+from repro.analysis.report import format_table, ms, series
+from repro.apps.scenarios import concurrent_scenario, sequential_scenario
+
+
+def measure(producer_tasks: int, task_side: int) -> tuple[float, float, float]:
+    conc = concurrent_scenario(
+        producer_tasks=producer_tasks,
+        consumer_tasks=max(producer_tasks // 8, 1),
+        task_side=task_side,
+    )
+    r_conc = run_scenario(conc, DATA_CENTRIC, time_transfers=True)
+    seq = sequential_scenario(
+        producer_tasks=producer_tasks,
+        consumer_tasks=(producer_tasks // 4, 3 * producer_tasks // 4),
+        task_side=task_side,
+    )
+    r_seq = run_scenario(seq, DATA_CENTRIC, time_transfers=True)
+    return (
+        r_conc.retrieval_times[2],
+        r_seq.retrieval_times[2],
+        r_seq.retrieval_times[3],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run paper-scale points (512..4096 tasks, slow)")
+    args = parser.parse_args()
+
+    scales = [512, 1024, 2048, 4096] if args.full else [32, 64, 128, 256]
+    task_side = 128 if args.full else 16
+
+    rows = []
+    cap2, sap2, sap3 = [], [], []
+    for p in scales:
+        a, b, c = measure(p, task_side)
+        cap2.append(a)
+        sap2.append(b)
+        sap3.append(c)
+        rows.append([p, ms(a), ms(b), ms(c)])
+
+    print(format_table(
+        ["producer tasks", "CAP2 ms", "SAP2 ms", "SAP3 ms"],
+        rows,
+        title="weak scaling of coupled-data retrieval time (data-centric mapping)",
+    ))
+    print()
+    print(series("CAP2", scales, [ms(t) for t in cap2]))
+    print(series("SAP2", scales, [ms(t) for t in sap2]))
+    print(series("SAP3", scales, [ms(t) for t in sap3]))
+    growth_c = cap2[-1] - cap2[0]
+    growth_s = max(sap2[-1] - sap2[0], sap3[-1] - sap3[0])
+    print(f"\nretrieval-time growth over a {scales[-1] // scales[0]}x scale-up: "
+          f"concurrent {ms(growth_c):.2f} ms, sequential {ms(growth_s):.2f} ms "
+          "(paper: both small; sequential grows faster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Thin shim so `python setup.py develop` works offline (no wheel package).
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

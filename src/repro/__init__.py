@@ -1,0 +1,71 @@
+"""repro — in-situ execution of coupled scientific workflows.
+
+A from-scratch Python reproduction of "Enabling In-situ Execution of Coupled
+Scientific Workflow on Multi-core Platform" (Zhang, Docan, Parashar, Klasky,
+Podhorszki, Abbasi — IPDPS 2012): the CoDS shared-space substrate, HybridDART
+transport model, data-centric task mapping, and the DAG/bundle workflow
+engine, evaluated on a simulated Cray XT5-class platform.
+
+Quickstart::
+
+    from repro import InSituFramework, AppSpec, DecompositionDescriptor, Coupling
+
+    fw = InSituFramework(num_nodes=48)
+    cap1 = AppSpec(1, "CAP1", DecompositionDescriptor.uniform((1024,)*3, (8,)*3))
+    cap2 = AppSpec(2, "CAP2", DecompositionDescriptor.uniform((1024,)*3, (4,)*3))
+    mapping = fw.map_concurrent([cap1, cap2], [Coupling(cap1, cap2)])
+"""
+
+from repro._version import __version__
+from repro.cods import CoDS
+from repro.core import (
+    AppSpec,
+    ClientSideMapper,
+    CommGraph,
+    ComputationTask,
+    Coupling,
+    InSituFramework,
+    MappingResult,
+    RoundRobinMapper,
+    ServerSideMapper,
+    TaskMapper,
+    build_comm_graph,
+)
+from repro.domain import (
+    Box,
+    Decomposition,
+    DecompositionDescriptor,
+    DistType,
+    IntervalSet,
+)
+from repro.errors import ReproError
+from repro.hardware import Cluster, MachineSpec, jaguar_xt5
+from repro.workflow import Bundle, WorkflowDAG, WorkflowEngine
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Box",
+    "IntervalSet",
+    "DistType",
+    "Decomposition",
+    "DecompositionDescriptor",
+    "Cluster",
+    "MachineSpec",
+    "jaguar_xt5",
+    "CoDS",
+    "AppSpec",
+    "ComputationTask",
+    "Coupling",
+    "CommGraph",
+    "build_comm_graph",
+    "MappingResult",
+    "TaskMapper",
+    "RoundRobinMapper",
+    "ServerSideMapper",
+    "ClientSideMapper",
+    "InSituFramework",
+    "Bundle",
+    "WorkflowDAG",
+    "WorkflowEngine",
+]

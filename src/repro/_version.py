@@ -1,0 +1,3 @@
+"""Package version (kept separate so pyproject and code stay in sync)."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Experiment drivers and reporting for the evaluation harness."""
+
+from repro.analysis.experiments import (
+    DATA_CENTRIC,
+    ROUND_ROBIN,
+    ScenarioResult,
+    make_mapper,
+    run_scenario,
+)
+from repro.analysis.ascii import bar_chart, grouped_bars, sparkline
+from repro.analysis.report import format_table, mib, ms, reduction, series
+from repro.analysis.sweeps import SweepRecord, SweepResult, run_sweep
+
+__all__ = [
+    "DATA_CENTRIC",
+    "ROUND_ROBIN",
+    "ScenarioResult",
+    "make_mapper",
+    "run_scenario",
+    "format_table",
+    "mib",
+    "ms",
+    "reduction",
+    "series",
+    "bar_chart",
+    "grouped_bars",
+    "sparkline",
+    "SweepRecord",
+    "SweepResult",
+    "run_sweep",
+]

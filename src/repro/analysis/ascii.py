@@ -1,0 +1,80 @@
+"""Terminal charts for benchmark output.
+
+The benches and examples print their figures as tables; these helpers add
+quick visual forms — horizontal bar charts for the volume comparisons
+(Figs 8-9, 12-15) and sparkline series for the scaling curves (Fig 16) —
+so a terminal run reads like the paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "sparkline", "grouped_bars"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    if any(v < 0 for v in values):
+        raise ValueError("bar chart values must be non-negative")
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = _BAR * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{label:>{label_w}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 30,
+    unit: str = "",
+) -> str:
+    """Several series per group (e.g. RR vs DC per distribution pattern)."""
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ValueError(f"series {name!r} length != group count")
+    peak = max((max(v) for v in series.values()), default=0) or 1.0
+    label_w = max(
+        [len(g) for g in groups] + [len(n) for n in series], default=1
+    )
+    lines = []
+    for i, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, vals in series.items():
+            v = vals[i]
+            bar = _BAR * max(1 if v > 0 else 0, round(v / peak * width))
+            lines.append(f"  {name:>{label_w}} | {bar} {v:g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a series (min..max mapped to 8 glyph levels)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if any(math.isnan(v) or math.isinf(v) for v in vals):
+        raise ValueError("sparkline values must be finite")
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = round((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)

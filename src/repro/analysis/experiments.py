@@ -1,0 +1,172 @@
+"""Experiment drivers shared by the benchmarks and integration tests.
+
+:func:`run_scenario` executes one coupled-workflow scenario end-to-end
+through the real stack — workflow engine, task mapper, CoDS, HybridDART —
+and returns the transfer metrics, per-app mappings/schedules, and (when
+requested) fluid-simulated retrieval times. Each evaluation figure is one or
+two calls to this driver with different mappers or scenario parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.consumer import ConsumerApp
+from repro.apps.producer import ProducerApp
+from repro.apps.scenarios import CoupledScenario
+from repro.cods.schedule import CommSchedule
+from repro.cods.space import CoDS
+from repro.core.commgraph import Coupling
+from repro.core.mapping.base import MappingResult, TaskMapper
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.mapping.serverside import ServerSideMapper
+from repro.errors import ReproError
+from repro.hardware.network import NetworkModel
+from repro.sim.fluid import FluidSimulation
+from repro.transport.metrics import TransferMetrics
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+__all__ = ["ScenarioResult", "run_scenario", "make_mapper"]
+
+#: canonical mapper names accepted by the driver
+DATA_CENTRIC = "data-centric"
+ROUND_ROBIN = "round-robin"
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured from one scenario execution."""
+
+    scenario: CoupledScenario
+    mapper_name: str
+    metrics: TransferMetrics
+    mappings: dict[int, MappingResult] = field(default_factory=dict)
+    schedules: dict[int, dict[int, CommSchedule]] = field(default_factory=dict)
+    #: per-consumer-app coupled-data retrieval time (s); filled when timed
+    retrieval_times: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def consumer_ids(self) -> list[int]:
+        return [a.app_id for a in self.scenario.consumers]
+
+
+def make_mapper(
+    name: str, scenario: CoupledScenario, space: CoDS, seed: int = 0
+) -> tuple[TaskMapper, dict]:
+    """Resolve a mapper name to (mapper, launch context) for the scenario's
+    consumer placement."""
+    if name == ROUND_ROBIN:
+        return RoundRobinMapper(), {}
+    if name != DATA_CENTRIC:
+        raise ReproError(f"unknown mapper {name!r}")
+    if scenario.mode == "cont":
+        producer = scenario.producer
+        couplings = [
+            Coupling(producer, c, region=scenario.coupled_region)
+            for c in scenario.consumers
+        ]
+        return ServerSideMapper(seed=seed), {"couplings": couplings}
+    # Sequential: consumers follow the data through the lookup service.
+    return ClientSideMapper(), {
+        "lookup": lambda: space.lookup,
+        "coupled_region": scenario.coupled_region,
+    }
+
+
+def run_scenario(
+    scenario: CoupledScenario,
+    mapper: str = DATA_CENTRIC,
+    stencil_iterations: int = 0,
+    time_transfers: bool = False,
+    seed: int = 0,
+) -> ScenarioResult:
+    """Execute one scenario under the named mapping strategy."""
+    cluster = scenario.cluster
+    space = CoDS(cluster, scenario.domain)
+    mode = scenario.mode
+
+    producer_routine = ProducerApp(
+        spec=scenario.producer, space=space, mode=mode,
+        stencil_iterations=stencil_iterations,
+    )
+    consumer_routines = [
+        ConsumerApp(spec=c, space=space, mode=mode,
+                    stencil_iterations=stencil_iterations,
+                    coupled_region=scenario.coupled_region)
+        for c in scenario.consumers
+    ]
+
+    if mode == "cont":
+        # One bundle: producer and consumers scheduled simultaneously.
+        dag = WorkflowDAG(
+            scenario.apps,
+            bundles=[Bundle(tuple(a.app_id for a in scenario.apps))],
+        )
+    else:
+        # Producer first; consumers form one concurrently launched bundle.
+        dag = WorkflowDAG(
+            scenario.apps,
+            edges=[(scenario.producer.app_id, c.app_id) for c in scenario.consumers],
+            bundles=[
+                Bundle((scenario.producer.app_id,)),
+                Bundle(tuple(c.app_id for c in scenario.consumers)),
+            ],
+        )
+
+    engine = WorkflowEngine(dag, cluster)
+    engine.set_routine(scenario.producer.app_id, producer_routine)
+    for routine in consumer_routines:
+        engine.set_routine(routine.spec.app_id, routine)
+
+    chosen, context = make_mapper(mapper, scenario, space, seed)
+    if mode == "cont":
+        engine.set_bundle_mapper(0, chosen, **context)
+    else:
+        consumer_bundle = engine.bundle_index_of(scenario.consumers[0].app_id)
+        engine.set_bundle_mapper(consumer_bundle, chosen, **context)
+
+    runs = engine.run()
+
+    result = ScenarioResult(
+        scenario=scenario,
+        mapper_name=mapper,
+        metrics=space.dart.metrics,
+    )
+    for app_id, run in runs.items():
+        if run.mapping is not None:
+            result.mappings[app_id] = run.mapping
+    for routine in consumer_routines:
+        result.schedules[routine.spec.app_id] = dict(routine.schedules)
+
+    if time_transfers:
+        result.retrieval_times = _time_retrievals(scenario, result)
+    return result
+
+
+def _time_retrievals(
+    scenario: CoupledScenario, result: ScenarioResult
+) -> dict[int, float]:
+    """Fluid-simulate all consumers' pulls starting simultaneously.
+
+    Matches the paper's measurement: in the sequential scenario "SAP2 and
+    SAP3 request data simultaneously", and in the concurrent scenario all
+    CAP2 tasks pull at once.
+    """
+    network = NetworkModel(scenario.cluster)
+    sim = FluidSimulation(network)
+    group_of = {}
+    for app_id, by_rank in result.schedules.items():
+        for rank, sched in by_rank.items():
+            for i, plan in enumerate(sched.plans):
+                tag = (app_id, rank, i)
+                sim.add_transfer(
+                    plan.src_core, plan.dst_core, plan.nbytes, tag=tag
+                )
+                group_of[tag] = app_id
+    if len(sim) == 0:
+        return {app_id: 0.0 for app_id in result.schedules}
+    timings = sim.run()
+    by_app = FluidSimulation.completion_by_group(timings, group_of)
+    return {app_id: by_app.get(app_id, 0.0) for app_id in result.schedules}

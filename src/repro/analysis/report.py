@@ -1,0 +1,61 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the tables aligned and the units consistent (MiB for data
+volumes, milliseconds for times).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "mib", "ms", "reduction", "series"]
+
+
+def mib(nbytes: float) -> float:
+    """Bytes -> MiB."""
+    return nbytes / (1 << 20)
+
+
+def ms(seconds: float) -> float:
+    """Seconds -> milliseconds."""
+    return seconds * 1e3
+
+
+def reduction(baseline: float, improved: float) -> float:
+    """Fractional reduction of ``improved`` vs ``baseline`` (0..1)."""
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - improved / baseline
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series(label: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One figure series as `label: (x, y) (x, y) ...` for quick eyeballing."""
+    pts = " ".join(f"({x}, {y:.3g})" for x, y in zip(xs, ys))
+    return f"{label}: {pts}"

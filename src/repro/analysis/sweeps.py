@@ -1,0 +1,135 @@
+"""Parameter sweeps over scenario configurations.
+
+The evaluation's figures are sweeps (distribution pairs in Figs 8-9, scale
+in Fig 16). This module packages that pattern for users: declare a grid of
+scenario parameters, run every cell under one or more mappers, and get a
+tidy list of records plus table/series renderings — the same machinery the
+benches use, exposed as a first-class API and the CLI ``sweep`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.analysis.experiments import run_scenario
+from repro.analysis.report import format_table, mib, ms, reduction
+from repro.apps.scenarios import CoupledScenario
+from repro.errors import ReproError
+from repro.transport.message import TransferKind
+
+__all__ = ["SweepRecord", "SweepResult", "run_sweep", "DIST_PATTERNS"]
+
+#: the distribution pairs of Figs 8-9
+DIST_PATTERNS: list[tuple[str, str]] = [
+    ("blocked", "blocked"),
+    ("cyclic", "cyclic"),
+    ("block_cyclic", "block_cyclic"),
+    ("blocked", "cyclic"),
+    ("blocked", "block_cyclic"),
+    ("cyclic", "block_cyclic"),
+]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (configuration, mapper) measurement."""
+
+    label: str
+    mapper: str
+    coupling_network_bytes: int
+    coupling_shm_bytes: int
+    intra_app_network_bytes: int
+    retrieval_seconds: float | None = None
+
+    @property
+    def coupling_total(self) -> int:
+        return self.coupling_network_bytes + self.coupling_shm_bytes
+
+    @property
+    def network_fraction(self) -> float:
+        total = self.coupling_total
+        return self.coupling_network_bytes / total if total else 0.0
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep, with rendering helpers."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def by_label(self, label: str) -> dict[str, SweepRecord]:
+        return {r.mapper: r for r in self.records if r.label == label}
+
+    def labels(self) -> list[str]:
+        seen: list[str] = []
+        for r in self.records:
+            if r.label not in seen:
+                seen.append(r.label)
+        return seen
+
+    def reduction_table(
+        self, baseline: str = "round-robin", improved: str = "data-centric"
+    ) -> str:
+        """Fig 8/9-style table: network coupling bytes + reduction."""
+        rows = []
+        for label in self.labels():
+            per = self.by_label(label)
+            if baseline not in per or improved not in per:
+                raise ReproError(f"label {label!r} missing a mapper run")
+            base = per[baseline].coupling_network_bytes
+            improv = per[improved].coupling_network_bytes
+            rows.append([
+                label, mib(base), mib(improv),
+                f"{reduction(base, improv):.0%}",
+            ])
+        return format_table(
+            ["config", f"{baseline} net MiB", f"{improved} net MiB", "reduction"],
+            rows,
+        )
+
+    def timing_table(self) -> str:
+        rows = []
+        for r in self.records:
+            if r.retrieval_seconds is None:
+                continue
+            rows.append([r.label, r.mapper, ms(r.retrieval_seconds)])
+        return format_table(["config", "mapper", "retrieval ms"], rows)
+
+
+def run_sweep(
+    configurations: Iterable[tuple[str, Callable[[], CoupledScenario]]],
+    mappers: Iterable[str] = ("round-robin", "data-centric"),
+    stencil_iterations: int = 0,
+    time_transfers: bool = False,
+) -> SweepResult:
+    """Run every (configuration, mapper) cell.
+
+    ``configurations`` yields ``(label, scenario_factory)`` pairs; a fresh
+    scenario is built per run so state never leaks between cells.
+    """
+    result = SweepResult()
+    mappers = list(mappers)
+    for label, factory in configurations:
+        for mapper in mappers:
+            res = run_scenario(
+                factory(), mapper,
+                stencil_iterations=stencil_iterations,
+                time_transfers=time_transfers,
+            )
+            m = res.metrics
+            retrieval = (
+                max(res.retrieval_times.values(), default=0.0)
+                if time_transfers else None
+            )
+            result.records.append(
+                SweepRecord(
+                    label=label,
+                    mapper=mapper,
+                    coupling_network_bytes=m.network_bytes(TransferKind.COUPLING),
+                    coupling_shm_bytes=m.shm_bytes(TransferKind.COUPLING),
+                    intra_app_network_bytes=m.network_bytes(TransferKind.INTRA_APP),
+                    retrieval_seconds=retrieval,
+                )
+            )
+    return result

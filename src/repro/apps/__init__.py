@@ -1,0 +1,51 @@
+"""Synthetic workloads: producer/consumer apps, stencil exchange, scenarios."""
+
+from repro.apps.analytics import AnalyticsApp
+from repro.apps.base import CouplingMode, SyntheticApp
+from repro.apps.consumer import ConsumerApp
+from repro.apps.heat import HeatMonitor, HeatSolver
+from repro.apps.iterative import IterationStats, IterativeCoupling
+from repro.apps.mapreduce import MapReduceJob, MapReduceResult
+from repro.apps.producer import ProducerApp
+from repro.apps.scenarios import (
+    COUPLED_VAR,
+    CoupledScenario,
+    concurrent_scenario,
+    full_scale_enabled,
+    interface_scenario,
+    layout_for,
+    paper_concurrent,
+    paper_sequential,
+    sequential_scenario,
+    small_concurrent,
+    small_sequential,
+)
+from repro.apps.stencil import HaloExchange, run_stencil_exchange, stencil_pairs
+
+__all__ = [
+    "SyntheticApp",
+    "CouplingMode",
+    "ProducerApp",
+    "ConsumerApp",
+    "AnalyticsApp",
+    "HeatSolver",
+    "HeatMonitor",
+    "IterativeCoupling",
+    "IterationStats",
+    "MapReduceJob",
+    "MapReduceResult",
+    "HaloExchange",
+    "stencil_pairs",
+    "run_stencil_exchange",
+    "COUPLED_VAR",
+    "CoupledScenario",
+    "layout_for",
+    "concurrent_scenario",
+    "interface_scenario",
+    "sequential_scenario",
+    "paper_concurrent",
+    "paper_sequential",
+    "small_concurrent",
+    "small_sequential",
+    "full_scale_enabled",
+]

@@ -1,0 +1,75 @@
+"""Synthetic coupled applications.
+
+These play the role of the paper's statically linked MPI subroutines: each
+is a routine the workflow engine invokes at launch with an
+:class:`~repro.workflow.engine.AppContext`. Producers publish their share of
+the coupled variable into CoDS (sequential coupling) or expose it for direct
+transfer (concurrent coupling); consumers pull their requested region;
+either side can additionally run stencil iterations to generate
+intra-application traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.stencil import run_stencil_exchange
+from repro.cods.space import CoDS
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.errors import WorkflowError
+from repro.workflow.engine import AppContext
+
+__all__ = ["SyntheticApp", "CouplingMode"]
+
+
+@dataclass
+class SyntheticApp:
+    """Configuration shared by producer/consumer synthetic apps."""
+
+    spec: AppSpec
+    space: CoDS
+    #: stencil iterations run per launch (0 disables intra-app traffic)
+    stencil_iterations: int = 0
+    ghost_width: int = 1
+    #: simulated compute duration returned to the workflow engine
+    compute_seconds: float = 0.0
+    #: region of the domain that is coupled (None = whole domain)
+    coupled_region: Box | None = None
+
+    def __post_init__(self) -> None:
+        if self.stencil_iterations < 0:
+            raise WorkflowError("stencil_iterations must be non-negative")
+        if self.compute_seconds < 0:
+            raise WorkflowError("compute_seconds must be non-negative")
+
+    def _run_stencil(self, ctx: AppContext) -> None:
+        if self.stencil_iterations > 0:
+            run_stencil_exchange(
+                self.spec,
+                ctx.mapping,
+                self.space.dart,
+                ghost_width=self.ghost_width,
+                iterations=self.stencil_iterations,
+            )
+
+    # Subclasses override; the base app only computes + exchanges halos.
+    def __call__(self, ctx: AppContext) -> float:
+        if ctx.app.app_id != self.spec.app_id:
+            raise WorkflowError(
+                f"routine of app {self.spec.app_id} invoked for app "
+                f"{ctx.app.app_id}"
+            )
+        self.body(ctx)
+        self._run_stencil(ctx)
+        return self.compute_seconds
+
+    def body(self, ctx: AppContext) -> None:
+        """The coupling action; overridden by producer/consumer apps."""
+
+
+class CouplingMode:
+    """String constants for the two coupling styles."""
+
+    SEQUENTIAL = "seq"
+    CONCURRENT = "cont"

@@ -1,0 +1,50 @@
+"""Data-consumer synthetic application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import CouplingMode, SyntheticApp
+from repro.cods.schedule import CommSchedule
+from repro.errors import WorkflowError
+from repro.workflow.engine import AppContext
+
+__all__ = ["ConsumerApp"]
+
+
+@dataclass
+class ConsumerApp(SyntheticApp):
+    """Pulls each task's requested region of the coupled variable.
+
+    ``mode == "seq"`` retrieves from the space (``cods_get_seq``);
+    ``mode == "cont"`` pulls directly from the concurrent producer
+    (``cods_get_cont``). The schedules of the last launch are kept for
+    inspection by the experiment drivers.
+    """
+
+    mode: str = CouplingMode.SEQUENTIAL
+    version: int | None = None
+    schedules: dict[int, CommSchedule] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in (CouplingMode.SEQUENTIAL, CouplingMode.CONCURRENT):
+            raise WorkflowError(f"unknown coupling mode {self.mode!r}")
+
+    def body(self, ctx: AppContext) -> None:
+        spec = self.spec
+        self.schedules.clear()
+        for task in spec.tasks(self.coupled_region):
+            if task.requested_cells == 0:
+                continue
+            core = ctx.group.core(task.rank)
+            if self.mode == CouplingMode.SEQUENTIAL:
+                sched, _ = self.space.get_seq(
+                    core, spec.var, task.requested_region,
+                    version=self.version, app_id=spec.app_id,
+                )
+            else:
+                sched, _ = self.space.get_cont(
+                    core, spec.var, task.requested_region, app_id=spec.app_id
+                )
+            self.schedules[task.rank] = sched

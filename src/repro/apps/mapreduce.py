@@ -1,0 +1,169 @@
+"""MapReduce over the shared space — the paper's §VII future work.
+
+"We will also explore supporting other programming models such as
+Partitioned Global Address Space (PGAS) and MapReduce." This module sketches
+that direction concretely: a MapReduce job whose *map* tasks read their
+input in-situ from CoDS (placed next to the data by the client-side
+mapper), whose *shuffle* moves key partitions between mapped cores through
+HybridDART, and whose *reduce* tasks aggregate — with every phase's bytes
+attributed shm/network like the rest of the framework.
+
+The computation itself is real (the map and reduce callables run on actual
+fetched numpy blocks), so word-count-style jobs over simulation output are
+expressible end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.cods.space import CoDS
+from repro.core.mapping.base import MappingResult
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import WorkflowError
+from repro.hardware.cluster import Cluster
+from repro.transport.message import TransferKind
+
+__all__ = ["MapReduceJob", "MapReduceResult"]
+
+#: map function: (task's numpy block) -> list of (key, value)
+MapFn = Callable[[np.ndarray], list[tuple[Hashable, Any]]]
+#: reduce function: (key, list of values) -> final value
+ReduceFn = Callable[[Hashable, list[Any]], Any]
+
+
+@dataclass
+class MapReduceResult:
+    """Job outcome plus the traffic it generated."""
+
+    output: dict[Hashable, Any]
+    map_mapping: MappingResult
+    shuffle_bytes: int
+    shuffle_network_bytes: int
+    input_network_bytes: int
+
+
+@dataclass
+class MapReduceJob:
+    """One MapReduce job over a CoDS variable.
+
+    ``num_mappers`` map tasks each fetch one region of ``var`` (assembled
+    payloads); intermediate pairs shuffle to ``num_reducers`` reduce tasks
+    by ``hash(key) % num_reducers``; reducers fold values with ``reduce_fn``.
+    ``value_bytes`` sizes each shuffled (key, value) pair for the transport
+    accounting.
+    """
+
+    space: CoDS
+    var: str
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    num_mappers: int = 8
+    num_reducers: int = 2
+    value_bytes: int = 16
+    app_id: int = 90
+    data_centric: bool = True
+    _domain: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_mappers <= 0 or self.num_reducers <= 0:
+            raise WorkflowError("mapper/reducer counts must be positive")
+        if self.value_bytes <= 0:
+            raise WorkflowError("value_bytes must be positive")
+        self._domain = self.space.linearizer.extents
+
+    def _mapper_spec(self) -> AppSpec:
+        from repro.hardware.torus import balanced_dims
+
+        layout = balanced_dims(self.num_mappers, len(self._domain))
+        return AppSpec(
+            app_id=self.app_id, name="mr-map",
+            descriptor=DecompositionDescriptor.uniform(self._domain, layout),
+            var=self.var,
+        )
+
+    def run(self, cluster: Cluster) -> MapReduceResult:
+        """Execute the job on ``cluster`` (input must already be in CoDS)."""
+        spec = self._mapper_spec()
+        metrics = self.space.dart.metrics
+        net_before = metrics.network_bytes(TransferKind.COUPLING)
+
+        # -- placement: map tasks go to their input data (in-situ) -----------
+        if self.data_centric:
+            mapping = ClientSideMapper().map_bundle(
+                [spec], cluster, lookup=self.space.lookup
+            )
+        else:
+            from repro.core.mapping.roundrobin import RoundRobinMapper
+
+            mapping = RoundRobinMapper().map_bundle([spec], cluster)
+
+        # -- map phase: fetch real blocks, emit pairs ---------------------------
+        partitions: dict[int, list[tuple[Hashable, Any]]] = {
+            r: [] for r in range(self.num_reducers)
+        }
+        pair_origin: dict[int, list[int]] = {r: [] for r in range(self.num_reducers)}
+        for task in spec.tasks():
+            if task.requested_cells == 0:
+                continue
+            core = mapping.core_of(spec.app_id, task.rank)
+            block, _, _ = self.space.fetch_seq(
+                core, self.var, task.bounding_box, app_id=spec.app_id
+            )
+            for key, value in self.map_fn(block):
+                dest = hash(key) % self.num_reducers
+                partitions[dest].append((key, value))
+                pair_origin[dest].append(core)
+
+        # -- shuffle: pairs move to their reducer's core --------------------------
+        reducer_cores = self._reducer_cores(cluster, mapping)
+        shuffle_bytes = 0
+        for dest, pairs in partitions.items():
+            for (key, value), src_core in zip(pairs, pair_origin[dest]):
+                rec = self.space.dart.transfer(
+                    src_core=src_core,
+                    dst_core=reducer_cores[dest],
+                    nbytes=self.value_bytes,
+                    kind=TransferKind.INTRA_APP,
+                    app_id=self.app_id,
+                    var=f"{self.var}.shuffle",
+                )
+                shuffle_bytes += rec.nbytes
+
+        # -- reduce phase ------------------------------------------------------------
+        output: dict[Hashable, Any] = {}
+        for dest, pairs in partitions.items():
+            by_key: dict[Hashable, list[Any]] = {}
+            for key, value in pairs:
+                by_key.setdefault(key, []).append(value)
+            for key, values in by_key.items():
+                output[key] = self.reduce_fn(key, values)
+
+        shuffle_net = metrics.network_bytes(TransferKind.INTRA_APP,
+                                            app_id=self.app_id)
+        input_net = metrics.network_bytes(TransferKind.COUPLING) - net_before
+        return MapReduceResult(
+            output=output,
+            map_mapping=mapping,
+            shuffle_bytes=shuffle_bytes,
+            shuffle_network_bytes=shuffle_net,
+            input_network_bytes=input_net,
+        )
+
+    def _reducer_cores(
+        self, cluster: Cluster, mapping: MappingResult
+    ) -> list[int]:
+        """Reducers take the first free cores after the mappers."""
+        used = set(mapping.placement.values())
+        free = [c for c in cluster.cores() if c not in used]
+        if len(free) < self.num_reducers:
+            raise WorkflowError(
+                f"need {self.num_reducers} free cores for reducers, "
+                f"have {len(free)}"
+            )
+        return free[: self.num_reducers]

@@ -1,0 +1,46 @@
+"""Data-producer synthetic application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import CouplingMode, SyntheticApp
+from repro.errors import WorkflowError
+from repro.workflow.engine import AppContext
+
+__all__ = ["ProducerApp"]
+
+
+@dataclass
+class ProducerApp(SyntheticApp):
+    """Publishes each task's share of the coupled variable.
+
+    ``mode == "seq"`` stores into the CoDS space (``cods_put_seq``);
+    ``mode == "cont"`` exposes the regions for direct pulls
+    (``cods_put_cont``).
+    """
+
+    mode: str = CouplingMode.SEQUENTIAL
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in (CouplingMode.SEQUENTIAL, CouplingMode.CONCURRENT):
+            raise WorkflowError(f"unknown coupling mode {self.mode!r}")
+
+    def body(self, ctx: AppContext) -> None:
+        spec = self.spec
+        decomp = spec.decomposition
+        for rank in range(spec.ntasks):
+            region = decomp.task_intervals(rank)
+            if all(s for s in region):
+                core = ctx.group.core(rank)
+                if self.mode == CouplingMode.SEQUENTIAL:
+                    self.space.put_seq(
+                        core, spec.var, region,
+                        element_size=spec.element_size, version=self.version,
+                    )
+                else:
+                    self.space.put_cont(
+                        core, spec.var, region, element_size=spec.element_size
+                    )

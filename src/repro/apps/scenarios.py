@@ -1,0 +1,256 @@
+"""The paper's two evaluation workloads, parameterized (paper §V).
+
+* **Concurrent coupling** ("online data processing"): CAP1 and CAP2 run
+  concurrently and share a 3-D domain; at paper scale CAP1/CAP2 use 512/64
+  cores, each CAP1 task owns a 128^3 region, and the full domain (8 GB at
+  8-byte elements) is redistributed from CAP1 to CAP2.
+* **Sequential coupling** ("climate modeling"): SAP1 produces into CoDS,
+  then SAP2 and SAP3 launch on the *same* node set and pull; paper scale is
+  512 -> (128 + 384) cores, 16 GB redistributed in total.
+
+Benches default to scaled-down instances with identical shape (the
+``small_*`` builders); set ``REPRO_FULL_SCALE=1`` to run paper scales.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import MappingError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import MachineSpec, jaguar_xt5
+from repro.hardware.torus import balanced_dims
+
+__all__ = [
+    "CoupledScenario",
+    "interface_scenario",
+    "layout_for",
+    "concurrent_scenario",
+    "sequential_scenario",
+    "paper_concurrent",
+    "paper_sequential",
+    "small_concurrent",
+    "small_sequential",
+    "full_scale_enabled",
+]
+
+#: the shared coupled variable name used by the scenario apps
+COUPLED_VAR = "coupled"
+
+
+def full_scale_enabled() -> bool:
+    """True when the benches should run paper-scale workloads."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0")
+
+
+def layout_for(ntasks: int) -> tuple[int, ...]:
+    """Near-cubic 3-D process layout for a task count (e.g. 512 -> 8x8x8)."""
+    return balanced_dims(ntasks, 3)
+
+
+@dataclass
+class CoupledScenario:
+    """A fully specified coupled-workflow instance."""
+
+    name: str
+    mode: str                      # "cont" (concurrent) or "seq" (sequential)
+    cluster: Cluster
+    domain: tuple[int, ...]
+    producer: AppSpec
+    consumers: list[AppSpec] = field(default_factory=list)
+    #: region over which the apps couple; None couples the full domain
+    #: (Fig 1: the interface region between component models)
+    coupled_region: "Box | None" = None
+
+    @property
+    def apps(self) -> list[AppSpec]:
+        return [self.producer, *self.consumers]
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(a.ntasks for a in self.apps)
+
+    @property
+    def coupled_bytes(self) -> int:
+        """Bytes redistributed per consumer (the coupled region's volume)."""
+        if self.coupled_region is not None:
+            return self.coupled_region.volume * self.producer.element_size
+        cells = 1
+        for s in self.domain:
+            cells *= s
+        return cells * self.producer.element_size
+
+    def describe(self) -> str:
+        lines = [
+            f"scenario {self.name} ({'concurrent' if self.mode == 'cont' else 'sequential'})",
+            f"  domain {self.domain}, element {self.producer.element_size} B",
+            f"  cluster: {self.cluster.num_nodes} nodes x "
+            f"{self.cluster.cores_per_node} cores",
+        ]
+        for app in self.apps:
+            lines.append(
+                f"  {app.name}: {app.ntasks} tasks, layout "
+                f"{app.descriptor.process_layout}, "
+                f"dist {app.descriptor.dists[0].value}"
+            )
+        return "\n".join(lines)
+
+
+def _make_app(
+    app_id: int,
+    name: str,
+    domain: tuple[int, ...],
+    ntasks: int,
+    dist: str,
+    block: int,
+    element_size: int,
+) -> AppSpec:
+    return AppSpec(
+        app_id=app_id,
+        name=name,
+        descriptor=DecompositionDescriptor.uniform(
+            domain, layout_for(ntasks), dist, block
+        ),
+        element_size=element_size,
+        var=COUPLED_VAR,
+    )
+
+
+def concurrent_scenario(
+    producer_tasks: int = 512,
+    consumer_tasks: int = 64,
+    task_side: int = 128,
+    producer_dist: str = "blocked",
+    consumer_dist: str = "blocked",
+    dist_block: int = 4,
+    element_size: int = 8,
+    machine: MachineSpec | None = None,
+    name: str = "online-data-processing",
+) -> CoupledScenario:
+    """Build a CAP1/CAP2-style concurrent coupling scenario.
+
+    The domain is sized so each producer task owns a ``task_side^3`` region
+    under a blocked layout; non-blocked distributions reuse the same domain.
+    ``dist_block`` is the block-cyclic block size when a dist needs one.
+    """
+    machine = machine if machine is not None else jaguar_xt5()
+    playout = layout_for(producer_tasks)
+    domain = tuple(p * task_side for p in playout)
+    cluster = Cluster.for_cores(producer_tasks + consumer_tasks, machine)
+    producer = _make_app(
+        1, "CAP1", domain, producer_tasks, producer_dist, dist_block, element_size
+    )
+    consumer = _make_app(
+        2, "CAP2", domain, consumer_tasks, consumer_dist, dist_block, element_size
+    )
+    return CoupledScenario(
+        name=name, mode="cont", cluster=cluster, domain=domain,
+        producer=producer, consumers=[consumer],
+    )
+
+
+def sequential_scenario(
+    producer_tasks: int = 512,
+    consumer_tasks: tuple[int, int] = (128, 384),
+    task_side: int = 128,
+    producer_dist: str = "blocked",
+    consumer_dist: str = "blocked",
+    dist_block: int = 4,
+    element_size: int = 8,
+    machine: MachineSpec | None = None,
+    name: str = "climate-modeling",
+) -> CoupledScenario:
+    """Build a SAP1 -> (SAP2, SAP3)-style sequential coupling scenario.
+
+    The consumers reuse the producer's node allocation, so their combined
+    task count must not exceed the producer's.
+    """
+    if sum(consumer_tasks) > producer_tasks:
+        raise MappingError(
+            f"consumers need {sum(consumer_tasks)} cores, producer freed "
+            f"only {producer_tasks}"
+        )
+    machine = machine if machine is not None else jaguar_xt5()
+    playout = layout_for(producer_tasks)
+    domain = tuple(p * task_side for p in playout)
+    cluster = Cluster.for_cores(producer_tasks, machine)
+    producer = _make_app(
+        1, "SAP1", domain, producer_tasks, producer_dist, dist_block, element_size
+    )
+    consumers = [
+        _make_app(
+            2 + i, f"SAP{2 + i}", domain, n, consumer_dist, dist_block, element_size
+        )
+        for i, n in enumerate(consumer_tasks)
+    ]
+    return CoupledScenario(
+        name=name, mode="seq", cluster=cluster, domain=domain,
+        producer=producer, consumers=consumers,
+    )
+
+
+# -- paper-scale and bench-scale presets ---------------------------------------------
+
+
+def paper_concurrent(**overrides) -> CoupledScenario:
+    """CAP1/CAP2 at the paper's 512/64-core scale (8 GB coupled)."""
+    return concurrent_scenario(**overrides)
+
+
+def paper_sequential(**overrides) -> CoupledScenario:
+    """SAP1 -> SAP2+SAP3 at the paper's 512/(128+384)-core scale (16 GB)."""
+    return sequential_scenario(**overrides)
+
+
+def small_concurrent(**overrides) -> CoupledScenario:
+    """Shape-faithful laptop-scale concurrent instance: 64/8 tasks."""
+    params = dict(producer_tasks=64, consumer_tasks=8, task_side=32)
+    params.update(overrides)
+    return concurrent_scenario(**params)
+
+
+def small_sequential(**overrides) -> CoupledScenario:
+    """Shape-faithful laptop-scale sequential instance: 64 -> (16 + 48)."""
+    params = dict(producer_tasks=64, consumer_tasks=(16, 48), task_side=32)
+    params.update(overrides)
+    return sequential_scenario(**params)
+
+
+def interface_scenario(
+    producer_tasks: int = 64,
+    consumer_tasks: int = 16,
+    task_side: int = 32,
+    interface_depth: int = 4,
+    element_size: int = 8,
+    machine: MachineSpec | None = None,
+    name: str = "interface-coupling",
+) -> CoupledScenario:
+    """Two models coupled over a boundary slab, not the whole domain.
+
+    Models the paper's Fig 1 climate case: "the coupled data region ... is
+    the interface region between the component models". The interface is the
+    last ``interface_depth`` planes of dimension 0; only producer tasks
+    touching it exchange data with the consumer.
+    """
+    machine = machine if machine is not None else jaguar_xt5()
+    playout = layout_for(producer_tasks)
+    domain = tuple(p * task_side for p in playout)
+    if not 0 < interface_depth <= domain[0]:
+        raise MappingError(
+            f"interface depth {interface_depth} outside domain extent {domain[0]}"
+        )
+    interface = Box(
+        lo=(domain[0] - interface_depth,) + (0,) * (len(domain) - 1),
+        hi=domain,
+    )
+    cluster = Cluster.for_cores(producer_tasks + consumer_tasks, machine)
+    producer = _make_app(1, "MODEL1", domain, producer_tasks, "blocked", 1, element_size)
+    consumer = _make_app(2, "MODEL2", domain, consumer_tasks, "blocked", 1, element_size)
+    return CoupledScenario(
+        name=name, mode="cont", cluster=cluster, domain=domain,
+        producer=producer, consumers=[consumer], coupled_region=interface,
+    )

@@ -1,0 +1,121 @@
+"""Near-neighbour stencil exchange — the intra-application traffic model.
+
+The paper's second experiment "used 2D or 3D stencil-like near-neighbor data
+exchanges to represent the cost of intra-application communication, which is
+common for the targeted class of data parallel scientific applications"
+(§V-B). Each task exchanges ghost layers with its face neighbours in the
+process grid; the volume of one face is the task's owned cells divided by
+its extent along the exchanged dimension, times the ghost width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping.base import MappingResult
+from repro.core.task import AppSpec
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind, TransferRecord
+
+__all__ = ["HaloExchange", "stencil_pairs", "run_stencil_exchange"]
+
+
+@dataclass(frozen=True)
+class HaloExchange:
+    """One directed ghost-layer transfer between neighbouring ranks."""
+
+    src_rank: int
+    dst_rank: int
+    nbytes: int
+
+
+def stencil_pairs(
+    app: AppSpec, ghost_width: int = 1, corners: bool = False
+) -> list[HaloExchange]:
+    """All directed halo exchanges of one iteration of ``app``.
+
+    With ``corners=False`` (default, the paper's 2-D/3-D near-neighbour
+    pattern) neighbours are the ±1 face neighbours in the process grid
+    (non-periodic, matching typical domain codes). With ``corners=True`` the
+    full Moore neighbourhood exchanges (9-point/27-point stencils): each
+    neighbour offset moves the ghost-region volume
+    ``prod(ghost if offset[d] != 0 else shape[d])``.
+
+    Empty tasks (more processes than cells in a dimension) exchange nothing.
+    """
+    import itertools
+
+    decomp = app.decomposition
+    exchanges: list[HaloExchange] = []
+    if corners:
+        offsets = [
+            off for off in itertools.product((-1, 0, 1), repeat=decomp.ndim)
+            if any(off)
+        ]
+    else:
+        offsets = []
+        for d in range(decomp.ndim):
+            for step in (-1, 1):
+                off = [0] * decomp.ndim
+                off[d] = step
+                offsets.append(tuple(off))
+
+    for rank in range(decomp.nprocs):
+        coords = decomp.rank_to_coords(rank)
+        sets = decomp.task_intervals(rank)
+        shape = [s.measure for s in sets]
+        owned = 1
+        for m in shape:
+            owned *= m
+        if owned == 0:
+            continue
+        for off in offsets:
+            nbr = [c + o for c, o in zip(coords, off)]
+            if any(not 0 <= n < p for n, p in zip(nbr, decomp.layout)):
+                continue
+            nbr_rank = decomp.coords_to_rank(nbr)
+            if decomp.task_volume(nbr_rank) == 0:
+                continue
+            cells = 1
+            for d, o in enumerate(off):
+                cells *= min(ghost_width, shape[d]) if o else shape[d]
+            if cells == 0:
+                continue
+            exchanges.append(
+                HaloExchange(
+                    src_rank=rank,
+                    dst_rank=nbr_rank,
+                    nbytes=cells * app.element_size,
+                )
+            )
+    return exchanges
+
+
+def run_stencil_exchange(
+    app: AppSpec,
+    mapping: MappingResult,
+    dart: HybridDART,
+    ghost_width: int = 1,
+    iterations: int = 1,
+    corners: bool = False,
+) -> list[TransferRecord]:
+    """Issue the halo transfers of ``iterations`` stencil steps through DART.
+
+    The transport (shm vs network) of each exchange is decided by where the
+    mapping placed the two ranks — this is what Figs 12–13 measure.
+    """
+    exchanges = stencil_pairs(app, ghost_width, corners=corners)
+    records: list[TransferRecord] = []
+    for _ in range(iterations):
+        for ex in exchanges:
+            records.append(
+                dart.transfer(
+                    src_core=mapping.core_of(app.app_id, ex.src_rank),
+                    dst_core=mapping.core_of(app.app_id, ex.dst_rank),
+                    nbytes=ex.nbytes,
+                    kind=TransferKind.INTRA_APP,
+                    app_id=app.app_id,
+                    var=app.var,
+                )
+            )
+    return records

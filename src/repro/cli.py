@@ -1,0 +1,205 @@
+"""Command-line interface: run the paper's scenarios and print the figures.
+
+Examples::
+
+    repro-insitu concurrent --mapper data-centric
+    repro-insitu sequential --mapper round-robin --stencil 2 --time
+    repro-insitu compare --scenario concurrent --dist blocked
+    repro-insitu dag path/to/workflow.dag
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
+from repro.analysis.report import format_table, mib, ms, reduction
+from repro.apps.scenarios import (
+    paper_concurrent,
+    paper_sequential,
+    small_concurrent,
+    small_sequential,
+)
+from repro.transport.message import TransferKind
+from repro.workflow.parser import build_workflow, parse_dag, write_dag
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-insitu",
+        description="In-situ coupled-workflow framework (IPDPS 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--mapper", choices=[DATA_CENTRIC, ROUND_ROBIN],
+            default=DATA_CENTRIC, help="task-mapping strategy",
+        )
+        p.add_argument(
+            "--scale", choices=["small", "paper"], default="small",
+            help="workload scale (paper = 512+ cores, slower)",
+        )
+        p.add_argument(
+            "--dist", default="blocked",
+            help="data distribution for both apps (blocked/cyclic/block_cyclic)",
+        )
+        p.add_argument(
+            "--stencil", type=int, default=0, metavar="N",
+            help="intra-app stencil iterations to simulate",
+        )
+        p.add_argument(
+            "--time", action="store_true",
+            help="fluid-simulate transfer times (slower)",
+        )
+
+    for name, help_ in (
+        ("concurrent", "run the online-data-processing scenario (CAP1/CAP2)"),
+        ("sequential", "run the climate-modeling scenario (SAP1-3)"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        add_scenario_args(p)
+
+    p = sub.add_parser("compare", help="round-robin vs data-centric side by side")
+    p.add_argument("--scenario", choices=["concurrent", "sequential"],
+                   default="concurrent")
+    add_scenario_args(p)
+
+    p = sub.add_parser(
+        "sweep", help="sweep distribution patterns (Figs 8-9 in one command)"
+    )
+    p.add_argument("--scenario", choices=["concurrent", "sequential"],
+                   default="concurrent")
+    p.add_argument("--scale", choices=["small", "paper"], default="small")
+    p.add_argument("--time", action="store_true",
+                   help="include fluid-simulated retrieval times")
+
+    p = sub.add_parser("dag", help="validate and echo a workflow description file")
+    p.add_argument("path", help="path to a Listing-1 style .dag file")
+    return parser
+
+
+def _build(scenario_name: str, scale: str, dist: str):
+    if scenario_name == "concurrent":
+        if scale == "paper":
+            return paper_concurrent(producer_dist=dist, consumer_dist=dist)
+        return small_concurrent(producer_dist=dist, consumer_dist=dist)
+    if scale == "paper":
+        return paper_sequential(producer_dist=dist, consumer_dist=dist)
+    return small_sequential(producer_dist=dist, consumer_dist=dist)
+
+
+def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
+    scenario = _build(scenario_name, args.scale, args.dist)
+    print(scenario.describe())
+    result = run_scenario(
+        scenario, args.mapper,
+        stencil_iterations=args.stencil, time_transfers=args.time,
+    )
+    m = result.metrics
+    rows = []
+    for kind in (TransferKind.COUPLING, TransferKind.INTRA_APP, TransferKind.CONTROL):
+        rows.append(
+            [kind.value, mib(m.network_bytes(kind)), mib(m.shm_bytes(kind))]
+        )
+    print()
+    print(format_table(
+        ["kind", "network MiB", "shm MiB"], rows,
+        title=f"transfer volumes under {args.mapper} mapping",
+    ))
+    if args.time and result.retrieval_times:
+        print()
+        rows = [
+            [result.scenario.apps[0].name if app_id == 1 else
+             next(a.name for a in result.scenario.apps if a.app_id == app_id),
+             ms(t)]
+            for app_id, t in sorted(result.retrieval_times.items())
+        ]
+        print(format_table(["consumer", "retrieval ms"], rows))
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for mapper in (ROUND_ROBIN, DATA_CENTRIC):
+        scenario = _build(args.scenario, args.scale, args.dist)
+        result = run_scenario(
+            scenario, mapper,
+            stencil_iterations=args.stencil, time_transfers=args.time,
+        )
+        m = result.metrics
+        row = [
+            mapper,
+            mib(m.network_bytes(TransferKind.COUPLING)),
+            mib(m.shm_bytes(TransferKind.COUPLING)),
+        ]
+        if args.time:
+            row.append(ms(max(result.retrieval_times.values(), default=0.0)))
+        rows.append(row)
+    headers = ["mapper", "coupling net MiB", "coupling shm MiB"]
+    if args.time:
+        headers.append("retrieval ms")
+    print(format_table(headers, rows, title=f"{args.scenario} scenario ({args.dist})"))
+    red = reduction(rows[0][1], rows[1][1])
+    print(f"\nnetwork coupled-data reduction: {red:.0%}")
+    return 0
+
+
+def _run_dag(args: argparse.Namespace) -> int:
+    with open(args.path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    dag = build_workflow(parse_dag(text))
+    print(f"valid workflow: {len(dag.apps)} apps, {len(dag.edges)} edges, "
+          f"{len(dag.bundles)} bundles")
+    print(f"bundle schedule: {dag.bundle_schedule()}")
+    print()
+    from repro.workflow.visualize import render_dag
+
+    print(render_dag(dag))
+    print()
+    print(write_dag(dag), end="")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import DIST_PATTERNS, run_sweep
+
+    configs = [
+        (f"{pd}/{cd}", lambda pd=pd, cd=cd: _build(args.scenario, args.scale, pd)
+         if pd == cd else _build_pair(args.scenario, args.scale, pd, cd))
+        for pd, cd in DIST_PATTERNS
+    ]
+    result = run_sweep(configs, time_transfers=args.time)
+    print(f"{args.scenario} scenario, distribution-pattern sweep "
+          f"({args.scale} scale)\n")
+    print(result.reduction_table())
+    if args.time:
+        print()
+        print(result.timing_table())
+    return 0
+
+
+def _build_pair(scenario_name: str, scale: str, pd: str, cd: str):
+    if scenario_name == "concurrent":
+        builder = paper_concurrent if scale == "paper" else small_concurrent
+    else:
+        builder = paper_sequential if scale == "paper" else small_sequential
+    return builder(producer_dist=pd, consumer_dist=cd)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("concurrent", "sequential"):
+        return _run_one(args, args.command)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    return _run_dag(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""CoDS: co-located DataSpaces — DHT, lookup, schedules, shared space."""
+
+from repro.cods.dht import ObjectLocation, SpatialDHT
+from repro.cods.lookup import DataLookupService
+from repro.cods.objects import (
+    DataObject,
+    ObjectStore,
+    RegionProduct,
+    region_bounding_box,
+    region_cells,
+    region_from_box,
+    region_overlap_cells,
+    region_restrict,
+)
+from repro.cods.schedule import (
+    CommSchedule,
+    ScheduleCache,
+    TransferPlan,
+    compute_schedule,
+    producer_schedule,
+)
+from repro.cods.pgas import GlobalArray
+from repro.cods.space import CoDS
+from repro.cods.staging import StagingArea
+
+__all__ = [
+    "DataObject",
+    "ObjectStore",
+    "RegionProduct",
+    "region_from_box",
+    "region_bounding_box",
+    "region_cells",
+    "region_overlap_cells",
+    "region_restrict",
+    "ObjectLocation",
+    "SpatialDHT",
+    "DataLookupService",
+    "TransferPlan",
+    "CommSchedule",
+    "compute_schedule",
+    "producer_schedule",
+    "ScheduleCache",
+    "CoDS",
+    "GlobalArray",
+    "StagingArea",
+]

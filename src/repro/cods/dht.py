@@ -1,0 +1,204 @@
+"""The SFC-indexed distributed hash table of CoDS (paper §IV-A, Fig 6).
+
+The 1-D Hilbert index space is divided into contiguous intervals, one per
+DHT core ("each compute node has one DHT core"); each DHT core keeps a
+*location table* recording, per shared variable, which execution client
+stores data for the regions that fall in its interval.
+
+Registrations and queries route by converting the geometric descriptor to
+index spans (:class:`~repro.sfc.linearize.DomainLinearizer`) and walking the
+interval partition; each touched DHT core costs one control RPC through
+HybridDART, so lookup traffic shows up in the metrics like any other
+communication.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+
+from repro.cods.objects import DataObject, RegionProduct, region_from_box
+from repro.domain.box import Box
+from repro.errors import LookupError_, SpaceError
+from repro.sfc.linearize import DomainLinearizer
+from repro.transport.hybriddart import HybridDART
+
+__all__ = ["ObjectLocation", "SpatialDHT"]
+
+#: distinguishes RPC endpoints when multiple DHTs share one DART
+_DHT_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class ObjectLocation:
+    """A query answer: where (part of) a variable's region is stored."""
+
+    var: str
+    version: int
+    owner_core: int
+    region: RegionProduct
+    element_size: int
+
+
+class SpatialDHT:
+    """Interval-partitioned DHT over the linearized domain."""
+
+    def __init__(
+        self,
+        linearizer: DomainLinearizer,
+        dht_cores: list[int],
+        dart: HybridDART | None = None,
+        span_cube_order: int | None = None,
+    ) -> None:
+        if not dht_cores:
+            raise SpaceError("need at least one DHT core")
+        if len(set(dht_cores)) != len(dht_cores):
+            raise SpaceError("DHT cores must be distinct")
+        self.linearizer = linearizer
+        self.dht_cores = list(dht_cores)
+        self.dart = dart
+        if span_cube_order is None:
+            # Spans here only *route* registrations/queries — exactness comes
+            # from interval-product filtering — so stop the descent a few
+            # levels up: boxes unaligned to the SFC grid otherwise decompose
+            # into per-cell spans (prohibitive at order 10 domains).
+            span_cube_order = max(0, linearizer.order - 4)
+        self.span_cube_order = span_cube_order
+        self.intervals = linearizer.partition_index_space(len(dht_cores))
+        self._starts = [lo for lo, _ in self.intervals]
+        # Location tables: one per DHT core; var -> list of entries.
+        self._tables: list[dict[str, list[ObjectLocation]]] = [
+            {} for _ in dht_cores
+        ]
+        # RPC endpoints on each DHT core: the actual table mutation happens
+        # in register()/query(); the handlers just model the service side of
+        # the control round-trip. Endpoint names carry a per-instance id so
+        # several spaces (DHTs) can share one DART.
+        self._rpc_suffix = f"#{next(_DHT_IDS)}"
+        if self.dart is not None:
+            for core in dht_cores:
+                self.dart.register_handler(
+                    core, "dht_register" + self._rpc_suffix, lambda: None
+                )
+                self.dart.register_handler(
+                    core, "dht_query" + self._rpc_suffix, lambda: None
+                )
+
+    # -- routing -----------------------------------------------------------------
+
+    def _owners_of_spans(self, spans: list[tuple[int, int]]) -> list[int]:
+        """DHT-core indices responsible for the given index spans."""
+        owners: set[int] = set()
+        n = len(self.intervals)
+        for lo, hi in spans:
+            i = bisect.bisect_right(self._starts, lo) - 1
+            while i < n and self.intervals[i][0] < hi:
+                if self.intervals[i][1] > lo:
+                    owners.add(i)
+                i += 1
+        return sorted(owners)
+
+    def responsible_cores(self, box: Box) -> list[int]:
+        """Global core ids of DHT cores responsible for a box."""
+        spans = self.linearizer.spans_for_box(box, self.span_cube_order)
+        return [self.dht_cores[i] for i in self._owners_of_spans(spans)]
+
+    def _rpc(self, src_core: int, dht_index: int, op: str) -> None:
+        """Account one control round-trip to a DHT core (if DART attached)."""
+        if self.dart is not None:
+            self.dart.rpc(src_core, self.dht_cores[dht_index], op + self._rpc_suffix)
+
+    # -- registration ------------------------------------------------------------------
+
+    def register(self, obj: DataObject) -> int:
+        """Insert an object's location; returns the number of DHT cores touched.
+
+        The object's *bounding box* routes the registration (DataSpaces
+        registers bboxes); the exact interval-product region is stored in the
+        location entries so queries can compute precise overlaps.
+        """
+        bbox = obj.bounding_box
+        if bbox.is_empty:
+            return 0
+        spans = self.linearizer.spans_for_box(bbox, self.span_cube_order)
+        owners = self._owners_of_spans(spans)
+        if not owners:
+            raise SpaceError(f"no DHT core covers object {obj.key()}")
+        loc = ObjectLocation(
+            var=obj.var,
+            version=obj.version,
+            owner_core=obj.owner_core,
+            region=obj.region,
+            element_size=obj.element_size,
+        )
+        for i in owners:
+            self._rpc(obj.owner_core, i, "dht_register")
+            self._tables[i].setdefault(obj.var, []).append(loc)
+        return len(owners)
+
+    def unregister(self, var: str, version: int, owner_core: int) -> int:
+        """Remove matching entries from every location table."""
+        removed = 0
+        for table in self._tables:
+            entries = table.get(var)
+            if not entries:
+                continue
+            kept = [
+                e for e in entries
+                if not (e.version == version and e.owner_core == owner_core)
+            ]
+            removed += len(entries) - len(kept)
+            if kept:
+                table[var] = kept
+            else:
+                del table[var]
+        return removed
+
+    # -- queries -----------------------------------------------------------------------
+
+    def query(
+        self,
+        src_core: int,
+        var: str,
+        box: Box,
+        version: int | None = None,
+    ) -> list[ObjectLocation]:
+        """Locations of data for ``var`` overlapping ``box``.
+
+        Routes to the DHT cores whose intervals the box's spans touch (one
+        control RPC each), collects entries, deduplicates (an object can be
+        registered at several DHT cores), and filters by actual geometric
+        overlap with the query box.
+        """
+        spans = self.linearizer.spans_for_box(box, self.span_cube_order)
+        owners = self._owners_of_spans(spans)
+        if not owners:
+            raise LookupError_(f"query box {box} maps to no DHT interval")
+        qregion = region_from_box(box)
+        seen: set[tuple[str, int, int]] = set()
+        out: list[ObjectLocation] = []
+        for i in owners:
+            self._rpc(src_core, i, "dht_query")
+            for loc in self._tables[i].get(var, ()):
+                if version is not None and loc.version != version:
+                    continue
+                key = (loc.var, loc.version, loc.owner_core)
+                if key in seen:
+                    continue
+                seen.add(key)
+                overlap = 1
+                for sq, sr in zip(qregion, loc.region):
+                    overlap *= sq.intersection_measure(sr)
+                    if overlap == 0:
+                        break
+                if overlap > 0:
+                    out.append(loc)
+        out.sort(key=lambda l: (l.version, l.owner_core))
+        return out
+
+    # -- introspection -------------------------------------------------------------------
+
+    def table_sizes(self) -> list[int]:
+        """Number of entries per DHT core (load-balance diagnostics)."""
+        return [sum(len(v) for v in t.values()) for t in self._tables]

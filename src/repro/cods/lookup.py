@@ -1,0 +1,101 @@
+"""The Data Lookup service.
+
+A thin facade over the spatial DHT exposing the two queries the framework
+needs:
+
+* :meth:`DataLookupService.locate` — exact object locations for a region
+  (drives communication-schedule computation), and
+* :meth:`DataLookupService.bytes_by_node` — how many bytes of a requested
+  region each compute node holds, which is exactly the quantity the
+  client-side data-centric mapping maximizes when it re-dispatches a task
+  ("selects only one compute node ... by maximizing the amount of coupled
+  data that can be locally retrieved").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cods.dht import ObjectLocation, SpatialDHT
+from repro.cods.objects import (
+    RegionProduct,
+    region_bounding_box,
+    region_from_box,
+    region_overlap_cells,
+)
+from repro.domain.box import Box
+from repro.hardware.cluster import Cluster
+
+__all__ = ["DataLookupService"]
+
+
+class DataLookupService:
+    """Query interface over the DHT location tables."""
+
+    def __init__(self, dht: SpatialDHT, cluster: Cluster) -> None:
+        self.dht = dht
+        self.cluster = cluster
+
+    def locate(
+        self,
+        src_core: int,
+        var: str,
+        box: Box,
+        version: int | None = None,
+    ) -> list[ObjectLocation]:
+        """Exact locations of stored data overlapping ``box``."""
+        return self.dht.query(src_core, var, box, version)
+
+    def bytes_by_node(
+        self,
+        src_core: int,
+        var: str,
+        box: Box,
+        version: int | None = None,
+    ) -> dict[int, int]:
+        """Bytes of the requested region held by each compute node."""
+        qregion = region_from_box(box)
+        per_node: dict[int, int] = defaultdict(int)
+        for loc in self.locate(src_core, var, box, version):
+            cells = region_overlap_cells(qregion, loc.region)
+            if cells:
+                node = self.cluster.node_of_core(loc.owner_core)
+                per_node[node] += cells * loc.element_size
+        return dict(per_node)
+
+    def bytes_by_node_for_region(
+        self,
+        src_core: int,
+        var: str,
+        region: RegionProduct,
+        version: int | None = None,
+    ) -> dict[int, int]:
+        """Like :meth:`bytes_by_node`, but for an exact interval-product
+        region (needed for cyclic consumer decompositions). The bounding box
+        routes the DHT query; overlaps use the exact region."""
+        bbox = region_bounding_box(region)
+        if bbox.is_empty:
+            return {}
+        per_node: dict[int, int] = defaultdict(int)
+        for loc in self.locate(src_core, var, bbox, version):
+            cells = region_overlap_cells(region, loc.region)
+            if cells:
+                node = self.cluster.node_of_core(loc.owner_core)
+                per_node[node] += cells * loc.element_size
+        return dict(per_node)
+
+    def best_node(
+        self,
+        src_core: int,
+        var: str,
+        box: Box,
+        version: int | None = None,
+    ) -> tuple[int, int] | None:
+        """``(node, local_bytes)`` of the node holding most of the region,
+        or ``None`` when nothing is stored. Ties break to the lowest node id
+        (determinism)."""
+        per_node = self.bytes_by_node(src_core, var, box, version)
+        if not per_node:
+            return None
+        node = min(per_node, key=lambda n: (-per_node[n], n))
+        return node, per_node[node]

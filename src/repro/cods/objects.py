@@ -1,0 +1,199 @@
+"""Data objects stored in the CoDS shared space.
+
+A data object is one task's contribution to a shared variable: a region of
+the global domain (a Cartesian product of per-dimension interval sets, so
+cyclic decompositions stay compact) plus the core that holds the bytes.
+Objects live in per-core :class:`ObjectStore` s — the distributed in-memory
+storage the sequential coupling scenario shares data through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.domain.box import Box
+from repro.domain.intervals import IntervalSet
+from repro.errors import SpaceError
+
+__all__ = [
+    "RegionProduct",
+    "region_from_box",
+    "region_bounding_box",
+    "region_cells",
+    "region_overlap_cells",
+    "region_restrict",
+    "DataObject",
+    "ObjectStore",
+]
+
+#: A region as per-dimension interval sets (Cartesian product semantics).
+RegionProduct = tuple[IntervalSet, ...]
+
+
+def region_from_box(box: Box) -> RegionProduct:
+    """Box -> interval product."""
+    return box.interval_sets()
+
+
+def region_bounding_box(region: RegionProduct) -> Box:
+    """Tightest box around a region (empty box at origin for empty regions)."""
+    if any(not s for s in region):
+        n = len(region)
+        return Box(lo=(0,) * n, hi=(0,) * n)
+    spans = [s.span for s in region]
+    return Box(lo=tuple(lo for lo, _ in spans), hi=tuple(hi for _, hi in spans))
+
+
+def region_cells(region: RegionProduct) -> int:
+    cells = 1
+    for s in region:
+        cells *= s.measure
+        if cells == 0:
+            return 0
+    return cells
+
+
+def region_overlap_cells(a: RegionProduct, b: RegionProduct) -> int:
+    """Cells in the intersection of two interval products."""
+    if len(a) != len(b):
+        raise SpaceError(f"region rank mismatch: {len(a)} vs {len(b)}")
+    cells = 1
+    for sa, sb in zip(a, b):
+        m = sa.intersection_measure(sb)
+        if m == 0:
+            return 0
+        cells *= m
+    return cells
+
+
+def region_restrict(region: RegionProduct, box: Box) -> RegionProduct:
+    """Clip a region to a box, dimension-wise."""
+    if len(region) != box.ndim:
+        raise SpaceError(f"region rank {len(region)} != box rank {box.ndim}")
+    return tuple(
+        s.intersection(IntervalSet.single(*box.side(d)))
+        for d, s in enumerate(region)
+    )
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One stored contribution to a shared variable.
+
+    ``payload`` optionally carries the actual values: an array whose shape is
+    the per-dimension measures of ``region`` (the region's cells packed
+    densely, C order). Most of the framework only needs the descriptor — the
+    evaluation counts bytes — but payload-carrying objects let consumers
+    assemble real field data (see :meth:`repro.cods.space.CoDS.fetch_seq`).
+    """
+
+    var: str
+    version: int
+    region: RegionProduct
+    owner_core: int
+    element_size: int
+    payload: "object | None" = None  # numpy ndarray or None
+
+    def __post_init__(self) -> None:
+        if not self.var:
+            raise SpaceError("variable name must be non-empty")
+        if self.version < 0:
+            raise SpaceError(f"version must be non-negative, got {self.version}")
+        if self.element_size <= 0:
+            raise SpaceError(f"element size must be positive, got {self.element_size}")
+        if not self.region:
+            raise SpaceError("region must have at least one dimension")
+        if self.payload is not None:
+            import numpy as np
+
+            arr = np.asarray(self.payload)
+            expect = tuple(s.measure for s in self.region)
+            if arr.shape != expect:
+                raise SpaceError(
+                    f"payload shape {arr.shape} != region shape {expect}"
+                )
+            if arr.itemsize != self.element_size:
+                raise SpaceError(
+                    f"payload itemsize {arr.itemsize} != element size "
+                    f"{self.element_size}"
+                )
+            object.__setattr__(self, "payload", arr)
+
+    @property
+    def cells(self) -> int:
+        return region_cells(self.region)
+
+    @property
+    def nbytes(self) -> int:
+        return self.cells * self.element_size
+
+    @property
+    def bounding_box(self) -> Box:
+        return region_bounding_box(self.region)
+
+    def overlap_cells_with_box(self, box: Box) -> int:
+        return region_overlap_cells(self.region, region_from_box(box))
+
+    def key(self) -> tuple[str, int, int]:
+        return (self.var, self.version, self.owner_core)
+
+
+class ObjectStore:
+    """In-memory object store of one core.
+
+    Enforces an optional byte capacity (CoDS derives it from the node's
+    memory size divided across its cores).
+    """
+
+    def __init__(self, core: int, capacity_bytes: int | None = None) -> None:
+        self.core = core
+        self.capacity_bytes = capacity_bytes
+        self._objects: dict[tuple[str, int, int], DataObject] = {}
+        self._bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def insert(self, obj: DataObject) -> None:
+        if obj.owner_core != self.core:
+            raise SpaceError(
+                f"object owned by core {obj.owner_core} inserted into store "
+                f"of core {self.core}"
+            )
+        key = obj.key()
+        if key in self._objects:
+            raise SpaceError(f"duplicate object {key} in store of core {self.core}")
+        if (
+            self.capacity_bytes is not None
+            and self._bytes + obj.nbytes > self.capacity_bytes
+        ):
+            raise SpaceError(
+                f"core {self.core} store over capacity: "
+                f"{self._bytes + obj.nbytes} > {self.capacity_bytes} bytes"
+            )
+        self._objects[key] = obj
+        self._bytes += obj.nbytes
+
+    def get(self, var: str, version: int) -> DataObject | None:
+        return self._objects.get((var, version, self.core))
+
+    def evict(self, var: str, version: int) -> DataObject:
+        obj = self._objects.pop((var, version, self.core), None)
+        if obj is None:
+            raise SpaceError(
+                f"no object ({var!r}, v{version}) in store of core {self.core}"
+            )
+        self._bytes -= obj.nbytes
+        return obj
+
+    def objects(self) -> Iterator[DataObject]:
+        return iter(self._objects.values())
+
+    def clear(self) -> None:
+        self._objects.clear()
+        self._bytes = 0

@@ -1,0 +1,144 @@
+"""A PGAS-style global-array view over the shared space (§VII future work).
+
+"We will also explore supporting other programming models such as
+Partitioned Global Address Space (PGAS)." A :class:`GlobalArray` presents
+one CoDS variable as a partitioned global array: it is created with an
+owning decomposition (each task/core owns its partition, as in UPC or
+Global Arrays), and any core can read or write arbitrary rectangular
+sections with numpy-slice syntax. Reads and writes are one-sided — they go
+straight to the owning cores' stores through the usual transfer accounting,
+no owner-side code involved — which is exactly the PGAS promise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cods.space import CoDS
+from repro.core.mapping.base import MappingResult
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.errors import SpaceError
+
+__all__ = ["GlobalArray"]
+
+
+class GlobalArray:
+    """A distributed array owned partition-wise by an application's tasks."""
+
+    def __init__(
+        self,
+        space: CoDS,
+        spec: AppSpec,
+        mapping: MappingResult,
+        dtype: "np.dtype | type" = np.float64,
+        fill: float = 0.0,
+    ) -> None:
+        self.space = space
+        self.spec = spec
+        self.mapping = mapping
+        self.dtype = np.dtype(dtype)
+        self.shape = spec.descriptor.domain_size
+        self._version = 0
+        # Allocate every partition up front (blocked ownership).
+        decomp = spec.decomposition
+        for rank in range(spec.ntasks):
+            box = decomp.task_bounding_box(rank)
+            if box.is_empty:
+                continue
+            block = np.full(box.shape, fill, dtype=self.dtype)
+            space.put_seq(
+                mapping.core_of(spec.app_id, rank), spec.var, box,
+                data=block, version=0,
+            )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def _box_from_key(self, key) -> Box:
+        """Translate a numpy-style slice tuple into a Box."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) != self.ndim:
+            raise SpaceError(
+                f"need {self.ndim} indices/slices, got {len(key)}"
+            )
+        lo, hi = [], []
+        for k, extent in zip(key, self.shape):
+            if isinstance(k, slice):
+                if k.step not in (None, 1):
+                    raise SpaceError("strided slices are not supported")
+                start = 0 if k.start is None else k.start
+                stop = extent if k.stop is None else k.stop
+                if start < 0:
+                    start += extent
+                if stop < 0:
+                    stop += extent
+            else:
+                start = int(k)
+                if start < 0:
+                    start += extent
+                stop = start + 1
+            if not 0 <= start < stop <= extent:
+                raise SpaceError(f"index out of range for extent {extent}")
+            lo.append(start)
+            hi.append(stop)
+        return Box(lo=tuple(lo), hi=tuple(hi))
+
+    # -- one-sided access (from any core) --------------------------------------
+
+    def read(self, core: int, key) -> np.ndarray:
+        """One-sided get of a section, pulled from the owning cores."""
+        box = self._box_from_key(key)
+        values, _, _ = self.space.fetch_seq(
+            core, self.spec.var, box, app_id=self.spec.app_id
+        )
+        return values
+
+    def write(self, core: int, key, values: "np.ndarray | float") -> None:
+        """One-sided put: update the overlapped parts of each owner's block.
+
+        Implemented as read-modify-write on the owning partitions; each
+        owner's store keeps a single versioned object per partition, so the
+        array stays consistent for subsequent reads.
+        """
+        box = self._box_from_key(key)
+        arr = np.broadcast_to(
+            np.asarray(values, dtype=self.dtype), box.shape
+        )
+        decomp = self.spec.decomposition
+        from repro.transport.message import TransferKind
+
+        for rank, _cells in decomp.owner_ranks_of_box(box):
+            owner_core = self.mapping.core_of(self.spec.app_id, rank)
+            pbox = decomp.task_bounding_box(rank)
+            store = self.space.store_of(owner_core)
+            obj = store.get(self.spec.var, self._version)
+            if obj is None or obj.payload is None:
+                raise SpaceError(f"partition of rank {rank} has no payload")
+            inter = box.intersection(pbox)
+            assert inter is not None
+            block = np.asarray(obj.payload)
+            block[
+                tuple(
+                    slice(il - pl, ih - pl)
+                    for il, ih, pl in zip(inter.lo, inter.hi, pbox.lo)
+                )
+            ] = arr[
+                tuple(
+                    slice(il - bl, ih - bl)
+                    for il, ih, bl in zip(inter.lo, inter.hi, box.lo)
+                )
+            ]
+            # Account the one-sided put to the owner.
+            self.space.dart.transfer(
+                src_core=core, dst_core=owner_core,
+                nbytes=inter.volume * self.dtype.itemsize,
+                kind=TransferKind.COUPLING,
+                app_id=self.spec.app_id, var=self.spec.var,
+            )
+
+    def to_numpy(self, core: int) -> np.ndarray:
+        """Materialize the whole array on ``core`` (convenience)."""
+        return self.read(core, tuple(slice(None) for _ in self.shape))

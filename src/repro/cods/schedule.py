@@ -1,0 +1,223 @@
+"""Communication schedules and their reuse cache.
+
+"A communication schedule represents the sequence of data transfers required
+to correctly move data between coupled applications" (paper §IV-A). Given
+the locations answered by the DHT (or a producer decomposition for the
+concurrent path), the consumer computes which owner cores to pull which byte
+volumes from.
+
+"As data coupling patterns are often repeated in iteration-based scientific
+simulations, these schedules can be reused, which improves performance" —
+:class:`ScheduleCache` keys schedules by (variable, region, consumer core)
+and is deliberately version-agnostic so iteration ``t+1`` reuses iteration
+``t``'s schedule, skipping the DHT round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cods.dht import ObjectLocation
+from repro.cods.objects import (
+    RegionProduct,
+    region_from_box,
+    region_overlap_cells,
+)
+from repro.domain.box import Box
+from repro.errors import ScheduleError
+
+__all__ = ["TransferPlan", "CommSchedule", "compute_schedule", "ScheduleCache"]
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """One planned pull: ``nbytes`` from ``src_core`` into ``dst_core``."""
+
+    src_core: int
+    dst_core: int
+    cells: int
+    nbytes: int
+    var: str
+
+    def __post_init__(self) -> None:
+        if self.cells <= 0 or self.nbytes <= 0:
+            raise ScheduleError("transfer plan must move a positive volume")
+
+
+@dataclass(frozen=True)
+class CommSchedule:
+    """All pulls needed to assemble one requested region on one core."""
+
+    var: str
+    dst_core: int
+    region: RegionProduct
+    plans: tuple[TransferPlan, ...] = field(default=())
+
+    @property
+    def region_box(self) -> Box:
+        """Bounding box of the requested region."""
+        from repro.cods.objects import region_bounding_box
+
+        return region_bounding_box(self.region)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.nbytes for p in self.plans)
+
+    @property
+    def total_cells(self) -> int:
+        return sum(p.cells for p in self.plans)
+
+    @property
+    def num_sources(self) -> int:
+        return len({p.src_core for p in self.plans})
+
+    def local_bytes(self, node_of_core) -> int:
+        """Bytes pulled from cores on the consumer's own node."""
+        dst_node = node_of_core(self.dst_core)
+        return sum(
+            p.nbytes for p in self.plans if node_of_core(p.src_core) == dst_node
+        )
+
+
+def _as_region(region: "Box | RegionProduct") -> RegionProduct:
+    return region_from_box(region) if isinstance(region, Box) else tuple(region)
+
+
+def compute_schedule(
+    var: str,
+    dst_core: int,
+    region: "Box | RegionProduct",
+    locations: list[ObjectLocation],
+    require_complete: bool = True,
+) -> CommSchedule:
+    """Build the pull schedule for a requested region from DHT query results.
+
+    The region may be a box or an exact interval product (cyclic consumer
+    decompositions). Overlap volumes are computed dimension-wise; when an
+    owner holds several objects of the variable (multiple versions), only the
+    newest version per owner contributes, matching get-latest semantics.
+
+    With ``require_complete`` (the default), raises
+    :class:`ScheduleError` if the located objects do not cover every cell of
+    the requested region.
+    """
+    qregion = _as_region(region)
+    from repro.cods.objects import region_cells
+
+    wanted = region_cells(qregion)
+    # Newest version per distinct object (an object is identified by its
+    # owner core *and* region — one core may hold several disjoint regions).
+    newest: dict[tuple[int, RegionProduct], ObjectLocation] = {}
+    for loc in locations:
+        key = (loc.owner_core, loc.region)
+        cur = newest.get(key)
+        if cur is None or loc.version > cur.version:
+            newest[key] = loc
+
+    # One pull per owner core, aggregating all its contributing objects.
+    per_owner: dict[int, list[int]] = {}  # owner -> [cells, bytes]
+    covered = 0
+    for loc in newest.values():
+        cells = region_overlap_cells(qregion, loc.region)
+        if cells == 0:
+            continue
+        covered += cells
+        agg = per_owner.setdefault(loc.owner_core, [0, 0])
+        agg[0] += cells
+        agg[1] += cells * loc.element_size
+    plans = [
+        TransferPlan(
+            src_core=owner,
+            dst_core=dst_core,
+            cells=per_owner[owner][0],
+            nbytes=per_owner[owner][1],
+            var=var,
+        )
+        for owner in sorted(per_owner)
+    ]
+    if require_complete and covered != wanted:
+        raise ScheduleError(
+            f"located objects cover {covered} of {wanted} cells of "
+            f"{var!r} (owners may overlap or data is missing)"
+        )
+    return CommSchedule(var=var, dst_core=dst_core, region=qregion, plans=tuple(plans))
+
+
+def producer_schedule(
+    var: str,
+    dst_core: int,
+    region: "Box | RegionProduct",
+    producer_regions: list[tuple[int, RegionProduct]],
+    element_size: int,
+) -> CommSchedule:
+    """Schedule for *concurrent* coupling: sources come from the producer
+    application's decomposition (``(core, region)`` pairs) instead of the
+    DHT — the paper's second location-discovery mechanism (§III-B)."""
+    from repro.cods.objects import region_cells
+
+    qregion = _as_region(region)
+    wanted = region_cells(qregion)
+    plans: list[TransferPlan] = []
+    covered = 0
+    for core, pregion in producer_regions:
+        cells = region_overlap_cells(qregion, pregion)
+        if cells == 0:
+            continue
+        covered += cells
+        plans.append(
+            TransferPlan(
+                src_core=core,
+                dst_core=dst_core,
+                cells=cells,
+                nbytes=cells * element_size,
+                var=var,
+            )
+        )
+    if covered != wanted:
+        raise ScheduleError(
+            f"producer regions cover {covered} of {wanted} cells of {var!r}"
+        )
+    return CommSchedule(var=var, dst_core=dst_core, region=qregion, plans=tuple(plans))
+
+
+class ScheduleCache:
+    """Version-agnostic schedule cache with hit/miss counters."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ScheduleError("cache must allow at least one entry")
+        self.max_entries = max_entries
+        self._cache: dict[tuple[str, int, RegionProduct], CommSchedule] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, var: str, dst_core: int, region: "Box | RegionProduct"
+    ) -> CommSchedule | None:
+        sched = self._cache.get((var, dst_core, _as_region(region)))
+        if sched is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return sched
+
+    def put(self, schedule: CommSchedule) -> None:
+        if len(self._cache) >= self.max_entries:
+            # Simple FIFO eviction: drop the oldest insertion.
+            self._cache.pop(next(iter(self._cache)))
+        key = (schedule.var, schedule.dst_core, schedule.region)
+        self._cache[key] = schedule
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,314 @@
+"""CoDS — the co-located DataSpaces shared-space facade.
+
+Implements the paper's four data-sharing operators (Table I):
+
+=================  ============================================================
+``put_seq``        store coupled data in the distributed in-memory space
+                   (sequential coupling; data outlives the producer app)
+``get_seq``        retrieve a region from the space — DHT lookup, schedule
+                   computation (cached), receiver-driven pulls
+``put_cont``       expose a producer task's region for direct transfer to a
+                   concurrently running consumer
+``get_cont``       pull a region directly from the producer tasks' memory
+                   (no staging through the space)
+=================  ============================================================
+
+All pulls go through HybridDART, which picks shared memory for intra-node
+endpoints and the network otherwise — so the in-situ benefit of a good task
+mapping appears directly in the transfer metrics.
+"""
+
+from __future__ import annotations
+
+from repro.cods.dht import SpatialDHT
+from repro.cods.lookup import DataLookupService
+from repro.cods.objects import (
+    DataObject,
+    ObjectStore,
+    RegionProduct,
+    region_bounding_box,
+    region_from_box,
+)
+from repro.cods.schedule import (
+    CommSchedule,
+    ScheduleCache,
+    compute_schedule,
+    producer_schedule,
+)
+from repro.domain.box import Box
+from repro.errors import SpaceError
+from repro.hardware.cluster import Cluster
+from repro.sfc.linearize import DomainLinearizer
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind, TransferRecord
+
+__all__ = ["CoDS"]
+
+
+class CoDS:
+    """A shared space spanning all cores of a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        domain_extents: tuple[int, ...],
+        dart: HybridDART | None = None,
+        linearizer: DomainLinearizer | None = None,
+        use_schedule_cache: bool = True,
+        enforce_memory: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.dart = dart if dart is not None else HybridDART(cluster)
+        if self.dart.cluster is not cluster:
+            raise SpaceError("DART and CoDS must share the same cluster")
+        self.linearizer = (
+            linearizer
+            if linearizer is not None
+            else DomainLinearizer(domain_extents)
+        )
+        if self.linearizer.extents != tuple(domain_extents):
+            raise SpaceError("linearizer extents do not match domain extents")
+        self.domain = Box.from_extents(domain_extents)
+        # One DHT core per compute node: the node's first core.
+        dht_cores = [cluster.cores_of_node(n)[0] for n in cluster.nodes()]
+        self.dht = SpatialDHT(self.linearizer, dht_cores, self.dart)
+        self.lookup = DataLookupService(self.dht, cluster)
+        self.schedule_cache: ScheduleCache | None = (
+            ScheduleCache() if use_schedule_cache else None
+        )
+        per_core_capacity = (
+            cluster.machine.node.memory_bytes // cluster.cores_per_node
+            if enforce_memory
+            else None
+        )
+        self._stores: dict[int, ObjectStore] = {
+            core: ObjectStore(core, per_core_capacity) for core in cluster.cores()
+        }
+        # var -> [(core, region)], element size; for the concurrent path.
+        self._producers: dict[str, list[tuple[int, RegionProduct]]] = {}
+        self._producer_esize: dict[str, int] = {}
+
+    # -- helpers ----------------------------------------------------------------
+
+    def store_of(self, core: int) -> ObjectStore:
+        try:
+            return self._stores[core]
+        except KeyError:
+            raise SpaceError(f"core {core} is not part of this space") from None
+
+    def _as_region(self, region: "Box | RegionProduct") -> RegionProduct:
+        if isinstance(region, Box):
+            if not self.domain.contains_box(region):
+                raise SpaceError(f"region {region} outside domain {self.domain}")
+            return region_from_box(region)
+        return tuple(region)
+
+    def _check_box(self, box: Box) -> None:
+        if not self.domain.contains_box(box):
+            raise SpaceError(f"requested box {box} outside domain {self.domain}")
+
+    def _execute(
+        self, schedule: CommSchedule, app_id: int
+    ) -> list[TransferRecord]:
+        """Receiver-driven pulls: one transfer per plan entry."""
+        return [
+            self.dart.transfer(
+                src_core=p.src_core,
+                dst_core=p.dst_core,
+                nbytes=p.nbytes,
+                kind=TransferKind.COUPLING,
+                app_id=app_id,
+                var=p.var,
+            )
+            for p in schedule.plans
+        ]
+
+    # -- sequential coupling ---------------------------------------------------------
+
+    def put_seq(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        element_size: int = 8,
+        version: int = 0,
+        data: "object | None" = None,
+    ) -> DataObject:
+        """Store a region of ``var`` in the space (owner = ``core``).
+
+        ``data`` optionally attaches the actual values (an array shaped like
+        the region); consumers can then :meth:`fetch_seq` assembled arrays.
+        When given, its itemsize overrides ``element_size``.
+        """
+        if data is not None:
+            import numpy as np
+
+            data = np.asarray(data)
+            element_size = data.itemsize
+        obj = DataObject(
+            var=var,
+            version=version,
+            region=self._as_region(region),
+            owner_core=core,
+            element_size=element_size,
+            payload=data,
+        )
+        self.store_of(core).insert(obj)
+        self.dht.register(obj)
+        return obj
+
+    def get_seq(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        version: int | None = None,
+        app_id: int = -1,
+    ) -> tuple[CommSchedule, list[TransferRecord]]:
+        """Retrieve a region of ``var`` from the space onto ``core``.
+
+        ``region`` may be a bounding box or an exact interval product (the
+        paper's geometric descriptors). Returns the (possibly cached)
+        communication schedule and the transfer records of the pulls it
+        issued.
+        """
+        from repro.cods.objects import region_cells
+
+        qregion = self._as_region(region)
+        if region_cells(qregion) == 0:
+            # Nothing requested: empty schedule, no lookup, no transfers.
+            return CommSchedule(var=var, dst_core=core, region=qregion), []
+        bbox = region_bounding_box(qregion)
+        self._check_box(bbox)
+        schedule: CommSchedule | None = None
+        if self.schedule_cache is not None:
+            schedule = self.schedule_cache.get(var, core, qregion)
+        if schedule is None:
+            locations = self.lookup.locate(core, var, bbox, version)
+            schedule = compute_schedule(var, core, qregion, locations)
+            if self.schedule_cache is not None:
+                self.schedule_cache.put(schedule)
+        return schedule, self._execute(schedule, app_id)
+
+    def fetch_seq(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        version: int | None = None,
+        app_id: int = -1,
+    ):
+        """Like :meth:`get_seq`, but also assembles and returns the values.
+
+        Every contributing object must carry a payload (stored with
+        ``put_seq(..., data=...)``). Returns ``(array, schedule, records)``
+        where ``array`` has the region's per-dimension measures as its shape.
+
+        Assembly materializes per-dimension index arrays, so this is meant
+        for demo/validation domains (up to ~10^6 cells), not the paper-scale
+        accounting runs — those never touch values.
+        """
+        import numpy as np
+
+        qregion = self._as_region(region)
+        schedule, records = self.get_seq(core, var, qregion, version, app_id)
+
+        qcoords = [s.to_array() for s in qregion]
+        shape = tuple(len(c) for c in qcoords)
+        out: "np.ndarray | None" = None
+        for plan in schedule.plans:
+            store = self.store_of(plan.src_core)
+            # Find this owner's payload objects for the variable.
+            objs = [
+                o for o in store.objects()
+                if o.var == var and (version is None or o.version == version)
+            ]
+            if version is None and objs:
+                newest = max(o.version for o in objs)
+                objs = [o for o in objs if o.version == newest]
+            for obj in objs:
+                if obj.payload is None:
+                    raise SpaceError(
+                        f"object {obj.key()} has no payload; fetch_seq needs "
+                        "data stored with put_seq(..., data=...)"
+                    )
+                inter = [
+                    q.intersection(r) for q, r in zip(qregion, obj.region)
+                ]
+                if any(not s for s in inter):
+                    continue
+                if out is None:
+                    out = np.zeros(shape, dtype=np.asarray(obj.payload).dtype)
+                icoords = [s.to_array() for s in inter]
+                qpos = [
+                    np.searchsorted(qc, ic) for qc, ic in zip(qcoords, icoords)
+                ]
+                ocoords = [s.to_array() for s in obj.region]
+                opos = [
+                    np.searchsorted(oc, ic) for oc, ic in zip(ocoords, icoords)
+                ]
+                out[np.ix_(*qpos)] = np.asarray(obj.payload)[np.ix_(*opos)]
+        if out is None:
+            raise SpaceError(f"no payload data found for {var!r}")
+        return out, schedule, records
+
+    # -- concurrent coupling -----------------------------------------------------------
+
+    def put_cont(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        element_size: int = 8,
+    ) -> None:
+        """Expose a producer task's region of ``var`` for direct transfer."""
+        known = self._producer_esize.setdefault(var, element_size)
+        if known != element_size:
+            raise SpaceError(
+                f"element size mismatch for {var!r}: {element_size} != {known}"
+            )
+        self._producers.setdefault(var, []).append((core, self._as_region(region)))
+
+    def get_cont(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        app_id: int = -1,
+    ) -> tuple[CommSchedule, list[TransferRecord]]:
+        """Pull a region of ``var`` directly from the producer tasks."""
+        qregion = self._as_region(region)
+        self._check_box(region_bounding_box(qregion))
+        sources = self._producers.get(var)
+        if not sources:
+            raise SpaceError(f"no concurrent producer declared for {var!r}")
+        schedule: CommSchedule | None = None
+        if self.schedule_cache is not None:
+            schedule = self.schedule_cache.get(var, core, qregion)
+        if schedule is None:
+            schedule = producer_schedule(
+                var, core, qregion, sources, self._producer_esize[var]
+            )
+            if self.schedule_cache is not None:
+                self.schedule_cache.put(schedule)
+        return schedule, self._execute(schedule, app_id)
+
+    # -- maintenance ----------------------------------------------------------------------
+
+    def evict(self, core: int, var: str, version: int = 0) -> DataObject:
+        """Drop an object from its store and the DHT location tables."""
+        obj = self.store_of(core).evict(var, version)
+        self.dht.unregister(var, version, core)
+        return obj
+
+    def reset_concurrent(self, var: str | None = None) -> None:
+        """Forget concurrent producer declarations (all vars by default)."""
+        if var is None:
+            self._producers.clear()
+            self._producer_esize.clear()
+        else:
+            self._producers.pop(var, None)
+            self._producer_esize.pop(var, None)
+
+    def stored_bytes(self) -> int:
+        return sum(s.used_bytes for s in self._stores.values())

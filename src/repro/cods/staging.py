@@ -1,0 +1,170 @@
+"""Staging-area data sharing — the related-work baseline (paper §VI).
+
+DataSpaces-style staging shares coupled data *indirectly*: producers push
+their regions to a dedicated set of staging nodes, consumers pull from
+there. The paper argues this "would result in two data movements (i.e.,
+data producing application to the space, then space to data consuming
+application) and cause extra cost for tightly coupled scientific workflow".
+
+:class:`StagingArea` implements that architecture over the same substrates
+(SFC-partitioned placement of regions onto staging cores, HybridDART
+transfers), so the in-situ vs staging comparison in
+``benchmarks/test_ablation_staging.py`` is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from repro.cods.objects import (
+    DataObject,
+    RegionProduct,
+    region_bounding_box,
+    region_cells,
+    region_from_box,
+)
+from repro.cods.schedule import CommSchedule, compute_schedule
+from repro.domain.box import Box
+from repro.errors import SpaceError
+from repro.hardware.cluster import Cluster
+from repro.sfc.linearize import DomainLinearizer
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind, TransferRecord
+
+__all__ = ["StagingArea"]
+
+
+class StagingArea:
+    """An in-memory store on dedicated staging nodes.
+
+    ``staging_nodes`` are extra nodes of the cluster reserved for staging
+    (the paper: "a set of additional compute nodes allocated by users when
+    launching the parallel simulations"). The domain's SFC index space is
+    partitioned across the staging cores; each producer region is stored on
+    the staging core owning the region's first index span.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        domain_extents: tuple[int, ...],
+        staging_nodes: list[int],
+        dart: HybridDART | None = None,
+        linearizer: DomainLinearizer | None = None,
+    ) -> None:
+        if not staging_nodes:
+            raise SpaceError("staging area needs at least one node")
+        for node in staging_nodes:
+            if not 0 <= node < cluster.num_nodes:
+                raise SpaceError(f"staging node {node} out of range")
+        self.cluster = cluster
+        self.dart = dart if dart is not None else HybridDART(cluster)
+        self.linearizer = (
+            linearizer if linearizer is not None
+            else DomainLinearizer(domain_extents)
+        )
+        self.domain = Box.from_extents(domain_extents)
+        self.staging_cores: list[int] = [
+            core for node in staging_nodes for core in cluster.cores_of_node(node)
+        ]
+        self.intervals = self.linearizer.partition_index_space(
+            len(self.staging_cores)
+        )
+        # Staged objects per core. Unlike CoDS object stores, many producer
+        # regions of the same (var, version) funnel to one staging core, so
+        # a plain list (not a keyed store) holds them.
+        self._stores: dict[int, list[DataObject]] = {
+            core: [] for core in self.staging_cores
+        }
+        self._span_cube_order = max(0, self.linearizer.order - 4)
+
+    # -- placement -----------------------------------------------------------------
+
+    def _staging_core_for(self, region: RegionProduct) -> int:
+        """Staging core owning the region's first SFC span."""
+        bbox = region_bounding_box(region)
+        spans = self.linearizer.spans_for_box(bbox, self._span_cube_order)
+        if not spans:
+            raise SpaceError("cannot stage an empty region")
+        first = spans[0][0]
+        for i, (lo, hi) in enumerate(self.intervals):
+            if lo <= first < hi:
+                return self.staging_cores[i]
+        raise SpaceError("span outside the staged index space")
+
+    # -- the two-hop data path ------------------------------------------------------
+
+    def put(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        element_size: int = 8,
+        version: int = 0,
+        app_id: int = -1,
+    ) -> tuple[DataObject, TransferRecord]:
+        """First movement: producer core -> staging core."""
+        qregion = (
+            region_from_box(region) if isinstance(region, Box) else tuple(region)
+        )
+        if region_cells(qregion) == 0:
+            raise SpaceError("cannot stage an empty region")
+        target = self._staging_core_for(qregion)
+        obj = DataObject(
+            var=var, version=version, region=qregion,
+            owner_core=target, element_size=element_size,
+        )
+        self._stores[target].append(obj)
+        rec = self.dart.transfer(
+            src_core=core, dst_core=target, nbytes=obj.nbytes,
+            kind=TransferKind.COUPLING, app_id=app_id, var=var,
+        )
+        return obj, rec
+
+    def get(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        version: int | None = None,
+        app_id: int = -1,
+    ) -> tuple[CommSchedule, list[TransferRecord]]:
+        """Second movement: staging cores -> consumer core."""
+        qregion = (
+            region_from_box(region) if isinstance(region, Box) else tuple(region)
+        )
+        locations = []
+        from repro.cods.dht import ObjectLocation
+
+        for store in self._stores.values():
+            for obj in store:
+                if obj.var != var:
+                    continue
+                if version is not None and obj.version != version:
+                    continue
+                locations.append(
+                    ObjectLocation(
+                        var=obj.var, version=obj.version,
+                        owner_core=obj.owner_core, region=obj.region,
+                        element_size=obj.element_size,
+                    )
+                )
+        schedule = compute_schedule(var, core, qregion, locations)
+        records = [
+            self.dart.transfer(
+                src_core=p.src_core, dst_core=p.dst_core, nbytes=p.nbytes,
+                kind=TransferKind.COUPLING, app_id=app_id, var=var,
+            )
+            for p in schedule.plans
+        ]
+        return schedule, records
+
+    # -- introspection --------------------------------------------------------------
+
+    def staged_bytes(self) -> int:
+        return sum(obj.nbytes for objs in self._stores.values() for obj in objs)
+
+    def store_loads(self) -> dict[int, int]:
+        """Bytes held per staging core (balance diagnostics)."""
+        return {
+            core: sum(obj.nbytes for obj in objs)
+            for core, objs in self._stores.items()
+        }

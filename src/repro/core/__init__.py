@@ -1,0 +1,27 @@
+"""The paper's primary contribution: tasks, comm graph, mappers, framework."""
+
+from repro.core.commgraph import CommGraph, Coupling, build_comm_graph
+from repro.core.framework import InSituFramework
+from repro.core.mapping import (
+    ClientSideMapper,
+    MappingResult,
+    RoundRobinMapper,
+    ServerSideMapper,
+    TaskMapper,
+)
+from repro.core.task import AppSpec, ComputationTask, TaskKey
+
+__all__ = [
+    "AppSpec",
+    "ComputationTask",
+    "TaskKey",
+    "Coupling",
+    "CommGraph",
+    "build_comm_graph",
+    "MappingResult",
+    "TaskMapper",
+    "RoundRobinMapper",
+    "ServerSideMapper",
+    "ClientSideMapper",
+    "InSituFramework",
+]

@@ -1,0 +1,127 @@
+"""The top-level facade a downstream user programs against.
+
+Ties together the pieces of Fig 4: one cluster, one HybridDART transport
+(with its metrics), CoDS spaces, the task mappers, and the workflow engine.
+The three-step programming model of §III-B maps to:
+
+1. compose the DAG — :meth:`InSituFramework.workflow_from_description` or a
+   hand-built :class:`~repro.workflow.dag.WorkflowDAG`;
+2. expose decompositions — :class:`~repro.core.task.AppSpec` /
+   :class:`~repro.domain.descriptor.DecompositionDescriptor`;
+3. express data sharing with the CoDS operators —
+   :meth:`InSituFramework.create_space` then ``put_seq``/``get_seq``/
+   ``put_cont``/``get_cont``.
+"""
+
+from __future__ import annotations
+
+from repro.cods.space import CoDS
+from repro.core.commgraph import Coupling
+from repro.core.mapping.base import MappingResult, TaskMapper
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.mapping.serverside import ServerSideMapper
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.errors import ReproError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import MachineSpec
+from repro.transport.hybriddart import HybridDART
+from repro.transport.metrics import TransferMetrics
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.parser import build_workflow, parse_dag
+
+__all__ = ["InSituFramework"]
+
+
+class InSituFramework:
+    """One instance per (simulated) machine allocation."""
+
+    def __init__(
+        self,
+        num_nodes: int | None = None,
+        machine: MachineSpec | None = None,
+        cluster: Cluster | None = None,
+    ) -> None:
+        if cluster is not None:
+            self.cluster = cluster
+        elif num_nodes is not None:
+            self.cluster = Cluster(num_nodes, machine)
+        else:
+            raise ReproError("provide either a cluster or num_nodes")
+        self.metrics = TransferMetrics()
+        self.dart = HybridDART(self.cluster, self.metrics)
+        self._spaces: dict[tuple[int, ...], CoDS] = {}
+
+    # -- spaces ------------------------------------------------------------------
+
+    def create_space(self, domain_extents: tuple[int, ...], **kwargs) -> CoDS:
+        """Create (or return the existing) CoDS for a data domain."""
+        key = tuple(int(s) for s in domain_extents)
+        space = self._spaces.get(key)
+        if space is None:
+            space = CoDS(self.cluster, key, dart=self.dart, **kwargs)
+            self._spaces[key] = space
+        return space
+
+    # -- mapping -----------------------------------------------------------------
+
+    def map_concurrent(
+        self,
+        apps: list[AppSpec],
+        couplings: list[Coupling],
+        strategy: str = "data-centric",
+        seed: int = 0,
+        available_cores: "list[int] | None" = None,
+    ) -> MappingResult:
+        """Place a concurrently coupled bundle (server-side mapping)."""
+        mapper: TaskMapper
+        if strategy == "data-centric":
+            mapper = ServerSideMapper(seed=seed)
+            return mapper.map_bundle(
+                apps, self.cluster, couplings=couplings,
+                available_cores=available_cores,
+            )
+        if strategy == "round-robin":
+            return RoundRobinMapper().map_bundle(
+                apps, self.cluster, available_cores=available_cores
+            )
+        raise ReproError(f"unknown mapping strategy {strategy!r}")
+
+    def map_sequential_consumers(
+        self,
+        apps: list[AppSpec],
+        space: CoDS,
+        coupled_region: Box | None = None,
+        strategy: str = "data-centric",
+        available_cores: "list[int] | None" = None,
+    ) -> MappingResult:
+        """Place consumer apps next to data already stored in ``space``."""
+        if strategy == "data-centric":
+            return ClientSideMapper().map_bundle(
+                apps, self.cluster, lookup=space.lookup,
+                coupled_region=coupled_region, available_cores=available_cores,
+            )
+        if strategy == "round-robin":
+            return RoundRobinMapper().map_bundle(
+                apps, self.cluster, available_cores=available_cores
+            )
+        raise ReproError(f"unknown mapping strategy {strategy!r}")
+
+    # -- workflows ------------------------------------------------------------------
+
+    def workflow_from_description(
+        self, text: str, specs: "dict[int, AppSpec] | None" = None
+    ) -> WorkflowDAG:
+        """Parse a Listing-1 description file into a workflow DAG."""
+        return build_workflow(parse_dag(text), specs)
+
+    def engine(self, dag: WorkflowDAG) -> WorkflowEngine:
+        """Workflow engine bound to this framework's cluster."""
+        return WorkflowEngine(dag, self.cluster)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def transfer_summary(self) -> str:
+        return self.metrics.summary()

@@ -1,0 +1,14 @@
+"""Task mappers: round-robin baseline and the two data-centric strategies."""
+
+from repro.core.mapping.base import MappingResult, TaskMapper
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.mapping.serverside import ServerSideMapper
+
+__all__ = [
+    "MappingResult",
+    "TaskMapper",
+    "RoundRobinMapper",
+    "ServerSideMapper",
+    "ClientSideMapper",
+]

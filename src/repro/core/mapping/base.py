@@ -1,0 +1,106 @@
+"""Task mapping interfaces and the mapping result type."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.task import AppSpec, TaskKey
+from repro.errors import MappingError
+from repro.hardware.cluster import Cluster
+
+__all__ = ["MappingResult", "TaskMapper"]
+
+
+@dataclass
+class MappingResult:
+    """A placement of computation tasks onto processor cores.
+
+    Within one concurrently scheduled set of applications every core runs at
+    most one task (one execution client per core); validation enforces this.
+    """
+
+    cluster: Cluster
+    placement: dict[TaskKey, int] = field(default_factory=dict)
+
+    def assign(self, key: TaskKey, core: int) -> None:
+        if key in self.placement:
+            raise MappingError(f"task {key} already mapped")
+        if not 0 <= core < self.cluster.total_cores:
+            raise MappingError(f"core {core} out of range")
+        self.placement[key] = core
+
+    def core_of(self, app_id: int, rank: int) -> int:
+        try:
+            return self.placement[(app_id, rank)]
+        except KeyError:
+            raise MappingError(f"task ({app_id}, {rank}) is not mapped") from None
+
+    def node_of(self, app_id: int, rank: int) -> int:
+        return self.cluster.node_of_core(self.core_of(app_id, rank))
+
+    def cores_of_app(self, app_id: int) -> dict[int, int]:
+        """rank -> core for one application."""
+        return {
+            rank: core for (a, rank), core in self.placement.items() if a == app_id
+        }
+
+    def validate(self, apps: list[AppSpec]) -> None:
+        """Check the mapping is complete and one-task-per-core."""
+        for app in apps:
+            for rank in range(app.ntasks):
+                if (app.app_id, rank) not in self.placement:
+                    raise MappingError(f"task ({app.app_id}, {rank}) unmapped")
+        keys = [k for k in self.placement if k[0] in {a.app_id for a in apps}]
+        cores = [self.placement[k] for k in keys]
+        if len(set(cores)) != len(cores):
+            raise MappingError("two concurrent tasks mapped to the same core")
+
+    def nodes_used(self) -> set[int]:
+        return {self.cluster.node_of_core(c) for c in self.placement.values()}
+
+    def __len__(self) -> int:
+        return len(self.placement)
+
+
+class TaskMapper(abc.ABC):
+    """Strategy interface: place a bundle's tasks onto a cluster."""
+
+    #: identifier used in reports
+    name: str = "mapper"
+
+    @abc.abstractmethod
+    def map_bundle(
+        self,
+        apps: list[AppSpec],
+        cluster: Cluster,
+        **context: object,
+    ) -> MappingResult:
+        """Place every task of every app in the bundle."""
+
+    @staticmethod
+    def _resolve_available(
+        cluster: Cluster, available_cores: "list[int] | None"
+    ) -> list[int]:
+        """Normalize the schedulable core set (defaults to every core).
+
+        Concurrent bundles launched at the same simulated instant must not
+        collide, so the workflow engine passes the server's idle cores here.
+        """
+        if available_cores is None:
+            return list(cluster.cores())
+        cores = sorted(set(available_cores))
+        for c in cores:
+            if not 0 <= c < cluster.total_cores:
+                raise MappingError(f"available core {c} out of range")
+        return cores
+
+    @staticmethod
+    def _check_capacity(
+        apps: list[AppSpec], cluster: Cluster, available: "list[int] | None" = None
+    ) -> int:
+        total = sum(a.ntasks for a in apps)
+        limit = cluster.total_cores if available is None else len(available)
+        if total > limit:
+            raise MappingError(f"{total} tasks exceed {limit} schedulable cores")
+        return total

@@ -1,0 +1,99 @@
+"""Decentralized client-side data-centric mapping (paper §IV-B).
+
+Used for sequentially coupled applications: the producer already stored its
+data in CoDS, so the best placement for a consumer task is next to its
+input. The algorithm mirrors the paper:
+
+1. The management server distributes tasks to execution clients round-robin
+   (the "initial task distribution").
+2. Each client queries the Data Lookup service for the storage locations of
+   its task's requested region.
+3. The client re-dispatches its task to the compute node from which the
+   largest portion of the coupled data can be retrieved locally.
+
+Node core capacity is finite, so clients whose preferred node has filled up
+fall through to the next-best node by local byte count. Clients are
+processed in descending requested volume, which keeps the mapping
+deterministic and gives the largest pulls first pick.
+"""
+
+from __future__ import annotations
+
+from repro.cods.lookup import DataLookupService
+from repro.core.mapping.base import MappingResult, TaskMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.task import AppSpec, ComputationTask
+from repro.domain.box import Box
+from repro.errors import MappingError
+from repro.hardware.cluster import Cluster
+
+__all__ = ["ClientSideMapper"]
+
+
+class ClientSideMapper(TaskMapper):
+    """Lookup-driven greedy placement of data-consumer applications."""
+
+    name = "data-centric/client"
+
+    def __init__(self, initial_strategy: str = "block") -> None:
+        self._initial = RoundRobinMapper(strategy=initial_strategy)
+
+    def map_bundle(
+        self,
+        apps: list[AppSpec],
+        cluster: Cluster,
+        lookup: "DataLookupService | None" = None,
+        coupled_region: "Box | None" = None,
+        available_cores: "list[int] | None" = None,
+        **context: object,
+    ) -> MappingResult:
+        if lookup is None:
+            raise MappingError(
+                "client-side mapping needs the Data Lookup service"
+            )
+        available = self._resolve_available(cluster, available_cores)
+        self._check_capacity(apps, cluster, available)
+        # Step 1: initial round-robin distribution — this decides which
+        # execution client (core) issues each task's lookup query.
+        initial = self._initial.map_bundle(apps, cluster, available_cores=available)
+
+        tasks: list[ComputationTask] = []
+        for app in apps:
+            tasks.extend(app.tasks(coupled_region))
+        # Largest consumers pick first; ties broken by task key (determinism).
+        tasks.sort(key=lambda t: (-t.requested_bytes, t.key))
+
+        free: dict[int, list[int]] = {node: [] for node in cluster.nodes()}
+        for core in available:
+            free[cluster.node_of_core(core)].append(core)
+        result = MappingResult(cluster=cluster)
+        for task in tasks:
+            query_core = initial.core_of(*task.key)
+            per_node = lookup.bytes_by_node_for_region(
+                query_core, task.var, task.requested_region
+            )
+            core = self._pick_core(per_node, free, query_core, cluster)
+            result.assign(task.key, core)
+        result.validate(apps)
+        return result
+
+    @staticmethod
+    def _pick_core(
+        per_node: dict[int, int],
+        free: dict[int, list[int]],
+        fallback_core: int,
+        cluster: Cluster,
+    ) -> int:
+        """Best node by local bytes with a free core; else keep the initial
+        placement if still free; else any node with room."""
+        for node in sorted(per_node, key=lambda n: (-per_node[n], n)):
+            if free[node]:
+                return free[node].pop(0)
+        fb_node = cluster.node_of_core(fallback_core)
+        if fallback_core in free[fb_node]:
+            free[fb_node].remove(fallback_core)
+            return fallback_core
+        for node in sorted(free, key=lambda n: (-len(free[n]), n)):
+            if free[node]:
+                return free[node].pop(0)
+        raise MappingError("no free core left for task placement")

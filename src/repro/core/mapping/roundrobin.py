@@ -1,0 +1,78 @@
+"""Round-robin task mapping — the paper's baseline.
+
+"We compared our data-centric task mapping strategy with the round-robin
+task mapping that employed by many MPI job launchers." Two launcher
+conventions are provided:
+
+* ``block`` (default, aprun/SMP-style): ranks fill a node's cores before
+  moving to the next node. Apps in a bundle are laid out back-to-back in
+  (app, rank) order.
+* ``cyclic``: consecutive ranks go to consecutive *nodes*, wrapping around.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping.base import MappingResult, TaskMapper
+from repro.core.task import AppSpec
+from repro.errors import MappingError
+from repro.hardware.cluster import Cluster
+
+__all__ = ["RoundRobinMapper"]
+
+
+class RoundRobinMapper(TaskMapper):
+    """Placement oblivious to data location."""
+
+    name = "round-robin"
+
+    def __init__(self, strategy: str = "block") -> None:
+        if strategy not in ("block", "cyclic"):
+            raise MappingError(
+                f"unknown round-robin strategy {strategy!r}; "
+                "expected 'block' or 'cyclic'"
+            )
+        self.strategy = strategy
+
+    def map_bundle(
+        self,
+        apps: list[AppSpec],
+        cluster: Cluster,
+        available_cores: "list[int] | None" = None,
+        **context: object,
+    ) -> MappingResult:
+        available = self._resolve_available(cluster, available_cores)
+        total = self._check_capacity(apps, cluster, available)
+        result = MappingResult(cluster=cluster)
+        if self.strategy == "block":
+            core_order = available[:total]
+        else:
+            core_order = self._cyclic_order(cluster, available, total)
+        i = 0
+        for app in apps:
+            for rank in range(app.ntasks):
+                result.assign((app.app_id, rank), core_order[i])
+                i += 1
+        result.validate(apps)
+        return result
+
+    @staticmethod
+    def _cyclic_order(cluster: Cluster, available: list[int], total: int) -> list[int]:
+        """First free core of node 0, node 1, ..., then second free core, etc."""
+        by_node: dict[int, list[int]] = {}
+        for core in available:
+            by_node.setdefault(cluster.node_of_core(core), []).append(core)
+        order: list[int] = []
+        slot = 0
+        while len(order) < total:
+            advanced = False
+            for node in sorted(by_node):
+                cores = by_node[node]
+                if slot < len(cores):
+                    order.append(cores[slot])
+                    advanced = True
+                    if len(order) == total:
+                        return order
+            if not advanced:
+                break
+            slot += 1
+        return order

@@ -1,0 +1,108 @@
+"""Applications and computation tasks.
+
+An :class:`AppSpec` describes one data-parallel application of the workflow:
+its unique application id, its decomposition descriptor (paper §III-B), and
+the element size of its coupled variable. A :class:`ComputationTask` is one
+unit of the app — "application id, process rank, and its requested data
+region" (paper §IV-B) — the thing the mappers place onto cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.cods.objects import RegionProduct, region_cells, region_restrict
+from repro.domain.box import Box
+from repro.domain.decomposition import Decomposition
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import MappingError
+
+__all__ = ["AppSpec", "ComputationTask", "TaskKey"]
+
+#: Identifies one task across the workflow: (app_id, rank).
+TaskKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One parallel application of the coupled workflow."""
+
+    app_id: int
+    name: str
+    descriptor: DecompositionDescriptor
+    element_size: int = 8
+    #: name of the coupled variable this app produces or consumes
+    var: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.app_id < 0:
+            raise MappingError(f"app_id must be non-negative, got {self.app_id}")
+        if self.element_size <= 0:
+            raise MappingError("element_size must be positive")
+        if not self.name:
+            raise MappingError("application name must be non-empty")
+
+    @property
+    def ntasks(self) -> int:
+        return self.descriptor.ntasks
+
+    @cached_property
+    def decomposition(self) -> Decomposition:
+        return self.descriptor.build()
+
+    def task(self, rank: int, coupled_region: Box | None = None) -> "ComputationTask":
+        """Build the computation task of ``rank``."""
+        decomp = self.decomposition
+        region = decomp.task_intervals(rank)
+        if coupled_region is not None:
+            requested = region_restrict(region, coupled_region)
+        else:
+            requested = region
+        return ComputationTask(
+            app_id=self.app_id,
+            rank=rank,
+            region=region,
+            requested_region=requested,
+            element_size=self.element_size,
+            var=self.var,
+        )
+
+    def tasks(self, coupled_region: Box | None = None) -> list["ComputationTask"]:
+        return [self.task(r, coupled_region) for r in range(self.ntasks)]
+
+
+@dataclass(frozen=True)
+class ComputationTask:
+    """One placeable unit of work."""
+
+    app_id: int
+    rank: int
+    #: the task's share of the global domain (interval product)
+    region: RegionProduct
+    #: the coupled data it needs (region clipped to the coupled area)
+    requested_region: RegionProduct
+    element_size: int = 8
+    var: str = "data"
+
+    @property
+    def key(self) -> TaskKey:
+        return (self.app_id, self.rank)
+
+    @property
+    def owned_cells(self) -> int:
+        return region_cells(self.region)
+
+    @property
+    def requested_cells(self) -> int:
+        return region_cells(self.requested_region)
+
+    @property
+    def requested_bytes(self) -> int:
+        return self.requested_cells * self.element_size
+
+    @property
+    def bounding_box(self) -> Box:
+        from repro.cods.objects import region_bounding_box
+
+        return region_bounding_box(self.requested_region)

@@ -1,0 +1,15 @@
+"""Data-domain substrate: boxes, interval sets, and decompositions."""
+
+from repro.domain.box import Box
+from repro.domain.decomposition import Decomposition, DimDistribution, DistType
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.domain.intervals import IntervalSet
+
+__all__ = [
+    "Box",
+    "IntervalSet",
+    "DistType",
+    "DimDistribution",
+    "Decomposition",
+    "DecompositionDescriptor",
+]

@@ -1,0 +1,236 @@
+"""n-dimensional half-open bounding boxes.
+
+A :class:`Box` is the geometric descriptor used throughout the framework: the
+paper's CoDS operators take "a simple geometric descriptor, for example a
+bounding box (i.e. ``<0,0,0; 10,10,20>``)". We use half-open bounds
+``[lo, hi)`` per dimension, which compose cleanly with interval sets and
+numpy index arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.domain.intervals import IntervalSet
+from repro.errors import DomainError
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """A half-open axis-aligned box: ``lo[d] <= x[d] < hi[d]`` in every dim.
+
+    Boxes are immutable and hashable so they can key caches (e.g. the
+    communication-schedule cache).
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lo = tuple(int(v) for v in self.lo)
+        hi = tuple(int(v) for v in self.hi)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        if len(lo) != len(hi):
+            raise DomainError(f"lo/hi rank mismatch: {len(lo)} vs {len(hi)}")
+        if len(lo) == 0:
+            raise DomainError("box must have at least one dimension")
+        if any(h < l for l, h in zip(lo, hi)):
+            raise DomainError(f"box has hi < lo: lo={lo} hi={hi}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_extents(cls, extents: Sequence[int]) -> "Box":
+        """Box anchored at the origin with the given per-dim sizes."""
+        ext = tuple(int(e) for e in extents)
+        return cls(lo=(0,) * len(ext), hi=ext)
+
+    @classmethod
+    def from_corners(cls, corners: str) -> "Box":
+        """Parse the paper's ``<l0,l1,...; h0,h1,...>`` descriptor syntax.
+
+        The paper's descriptors use *inclusive* upper corners
+        (``<0,0,0; 10,10,20>`` spans 11x11x21 cells); we convert to half-open.
+        """
+        text = corners.strip()
+        if text.startswith("<") and text.endswith(">"):
+            text = text[1:-1]
+        parts = text.split(";")
+        if len(parts) != 2:
+            raise DomainError(f"expected '<lo...; hi...>' descriptor, got {corners!r}")
+        try:
+            lo = tuple(int(v) for v in parts[0].split(",") if v.strip())
+            hi_incl = tuple(int(v) for v in parts[1].split(",") if v.strip())
+        except ValueError as exc:
+            raise DomainError(f"non-integer corner in {corners!r}") from exc
+        return cls(lo=lo, hi=tuple(h + 1 for h in hi_incl))
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        v = 1
+        for l, h in zip(self.lo, self.hi):
+            v *= h - l
+        return v
+
+    @property
+    def is_empty(self) -> bool:
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    def side(self, dim: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` interval along one dimension."""
+        return (self.lo[dim], self.hi[dim])
+
+    def to_corners(self) -> str:
+        """Render in the paper's inclusive ``<lo...; hi...>`` syntax."""
+        lo = ",".join(str(v) for v in self.lo)
+        hi = ",".join(str(v - 1) for v in self.hi)
+        return f"<{lo};{hi}>"
+
+    def __repr__(self) -> str:
+        return f"Box(lo={self.lo}, hi={self.hi})"
+
+    # -- geometry -----------------------------------------------------------
+
+    def _check_rank(self, other: "Box") -> None:
+        if self.ndim != other.ndim:
+            raise DomainError(f"rank mismatch: {self.ndim} vs {other.ndim}")
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        if len(point) != self.ndim:
+            raise DomainError(f"point rank {len(point)} != box rank {self.ndim}")
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains_box(self, other: "Box") -> bool:
+        self._check_rank(other)
+        if other.is_empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        self._check_rank(other)
+        return all(
+            max(sl, ol) < min(sh, oh)
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping box, or ``None`` if the boxes are disjoint."""
+        self._check_rank(other)
+        lo = tuple(max(sl, ol) for sl, ol in zip(self.lo, other.lo))
+        hi = tuple(min(sh, oh) for sh, oh in zip(self.hi, other.hi))
+        if any(h <= l for l, h in zip(lo, hi)):
+            return None
+        return Box(lo=lo, hi=hi)
+
+    def intersection_volume(self, other: "Box") -> int:
+        self._check_rank(other)
+        v = 1
+        for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            length = min(sh, oh) - max(sl, ol)
+            if length <= 0:
+                return 0
+            v *= length
+        return v
+
+    def subtract(self, other: "Box") -> list["Box"]:
+        """``self`` minus ``other`` as a list of disjoint boxes.
+
+        Standard axis-sweep decomposition: peel slabs off each dimension in
+        turn; at most ``2 * ndim`` result boxes.
+        """
+        self._check_rank(other)
+        inter = self.intersection(other)
+        if inter is None:
+            return [] if self.is_empty else [self]
+        out: list[Box] = []
+        lo = list(self.lo)
+        hi = list(self.hi)
+        for d in range(self.ndim):
+            if lo[d] < inter.lo[d]:
+                out.append(Box(lo=tuple(lo[:d] + [lo[d]] + lo[d + 1:]),
+                               hi=tuple(hi[:d] + [inter.lo[d]] + hi[d + 1:])))
+            if inter.hi[d] < hi[d]:
+                out.append(Box(lo=tuple(lo[:d] + [inter.hi[d]] + lo[d + 1:]),
+                               hi=tuple(hi[:d] + [hi[d]] + hi[d + 1:])))
+            lo[d], hi[d] = inter.lo[d], inter.hi[d]
+        return [b for b in out if not b.is_empty]
+
+    def union_bound(self, other: "Box") -> "Box":
+        """Smallest box containing both (not a set union)."""
+        self._check_rank(other)
+        return Box(
+            lo=tuple(min(sl, ol) for sl, ol in zip(self.lo, other.lo)),
+            hi=tuple(max(sh, oh) for sh, oh in zip(self.hi, other.hi)),
+        )
+
+    def translate(self, offset: Sequence[int]) -> "Box":
+        if len(offset) != self.ndim:
+            raise DomainError("offset rank mismatch")
+        return Box(
+            lo=tuple(l + o for l, o in zip(self.lo, offset)),
+            hi=tuple(h + o for h, o in zip(self.hi, offset)),
+        )
+
+    def clip(self, bound: "Box") -> "Box | None":
+        """Alias of :meth:`intersection`, reads better at call sites."""
+        return self.intersection(bound)
+
+    def expand(self, margin: int, bound: "Box | None" = None) -> "Box":
+        """Grow by ``margin`` cells on every side, optionally clipped."""
+        grown = Box(
+            lo=tuple(l - margin for l in self.lo),
+            hi=tuple(h + margin for h in self.hi),
+        )
+        if bound is None:
+            return grown
+        clipped = grown.intersection(bound)
+        if clipped is None:
+            raise DomainError(f"expanded box {grown} does not meet bound {bound}")
+        return clipped
+
+    # -- interval-set interop ------------------------------------------------
+
+    def interval_sets(self) -> tuple[IntervalSet, ...]:
+        """Per-dimension interval sets (each a single interval)."""
+        return tuple(IntervalSet.single(l, h) for l, h in zip(self.lo, self.hi))
+
+    @staticmethod
+    def product_volume(sets: Iterable[IntervalSet]) -> int:
+        """Volume of a Cartesian product of per-dimension interval sets."""
+        v = 1
+        for s in sets:
+            v *= s.measure
+            if v == 0:
+                return 0
+        return v
+
+    def corners_iter(self) -> Iterator[tuple[int, ...]]:
+        """All 2^ndim corner points (hi corners are inclusive cell coords)."""
+        def rec(d: int, acc: list[int]) -> Iterator[tuple[int, ...]]:
+            if d == self.ndim:
+                yield tuple(acc)
+                return
+            for v in (self.lo[d], self.hi[d] - 1):
+                acc.append(v)
+                yield from rec(d + 1, acc)
+                acc.pop()
+        if self.is_empty:
+            return iter(())
+        return rec(0, [])

@@ -1,0 +1,388 @@
+"""Regular multidimensional data decompositions.
+
+The paper (§III-B) supports data-parallel applications over regular
+multidimensional domains whose decomposition is given by a domain size
+``(s1..sn)``, a process layout ``(p1..pn)``, a distribution type and a block
+size. Three distribution types are supported: **blocked**, **cyclic** and
+**block-cyclic** — the same triple the evaluation sweeps in Figs 8–9.
+
+A task's assignment is the Cartesian product of per-dimension
+:class:`~repro.domain.intervals.IntervalSet` s, so overlap volumes between
+tasks of two different decompositions are products of per-dimension
+intersection measures. Nothing ever enumerates cells.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.domain.box import Box
+from repro.domain.intervals import IntervalSet
+from repro.errors import DecompositionError
+
+__all__ = ["DistType", "DimDistribution", "Decomposition"]
+
+
+class DistType(enum.Enum):
+    """Per-dimension data distribution type."""
+
+    BLOCKED = "blocked"
+    CYCLIC = "cyclic"
+    BLOCK_CYCLIC = "block_cyclic"
+
+    @classmethod
+    def parse(cls, value: "DistType | str") -> "DistType":
+        if isinstance(value, DistType):
+            return value
+        key = str(value).strip().lower().replace("-", "_")
+        aliases = {
+            "blocked": cls.BLOCKED,
+            "block": cls.BLOCKED,
+            "cyclic": cls.CYCLIC,
+            "block_cyclic": cls.BLOCK_CYCLIC,
+            "blockcyclic": cls.BLOCK_CYCLIC,
+        }
+        try:
+            return aliases[key]
+        except KeyError:
+            raise DecompositionError(
+                f"unknown distribution type {value!r}; "
+                f"expected one of {sorted(set(aliases))}"
+            ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class DimDistribution:
+    """Ownership pattern along a single dimension.
+
+    ``size`` domain extent, ``nprocs`` process-grid extent along this
+    dimension, ``dist`` the distribution type, ``block`` the block size
+    (ignored for BLOCKED; forced to 1 for CYCLIC).
+    """
+
+    size: int
+    nprocs: int
+    dist: DistType
+    block: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise DecompositionError(f"dimension size must be positive, got {self.size}")
+        if self.nprocs <= 0:
+            raise DecompositionError(f"process count must be positive, got {self.nprocs}")
+        if self.block <= 0:
+            raise DecompositionError(f"block size must be positive, got {self.block}")
+        if self.dist is DistType.CYCLIC and self.block != 1:
+            raise DecompositionError("CYCLIC distribution requires block == 1")
+
+    def owned(self, coord: int) -> IntervalSet:
+        """Interval set owned by process grid coordinate ``coord``."""
+        if not 0 <= coord < self.nprocs:
+            raise DecompositionError(
+                f"coordinate {coord} out of range [0, {self.nprocs})"
+            )
+        if self.dist is DistType.BLOCKED:
+            base, extra = divmod(self.size, self.nprocs)
+            # Balanced blocked split: the first `extra` coords get one more.
+            lo = coord * base + min(coord, extra)
+            length = base + (1 if coord < extra else 0)
+            return IntervalSet.single(lo, lo + length)
+        if self.dist is DistType.CYCLIC:
+            return IntervalSet.strided(coord, 1, self.nprocs, self.size)
+        # BLOCK_CYCLIC: blocks of `block` dealt round-robin across coords.
+        return IntervalSet.strided(
+            coord * self.block, self.block, self.nprocs * self.block, self.size
+        )
+
+    def owner_coords(self, interval: IntervalSet) -> list[int]:
+        """Grid coordinates whose ownership intersects ``interval``."""
+        if not interval:
+            return []
+        return [
+            c for c in range(self.nprocs)
+            if self.owned(c).intersection_measure(interval) > 0
+        ]
+
+
+class Decomposition:
+    """A full n-D decomposition: domain extents, process grid, per-dim dists.
+
+    Ranks are row-major over the process grid (last dimension fastest),
+    matching the convention of ``numpy.unravel_index`` and MPI Cartesian
+    communicators with default ordering.
+    """
+
+    __slots__ = ("extents", "layout", "dists", "blocks", "_dim_dists", "_owned_cache")
+
+    def __init__(
+        self,
+        extents: Sequence[int],
+        layout: Sequence[int],
+        dists: "DistType | str | Sequence[DistType | str]",
+        blocks: "int | Sequence[int]" = 1,
+    ) -> None:
+        self.extents = tuple(int(s) for s in extents)
+        self.layout = tuple(int(p) for p in layout)
+        ndim = len(self.extents)
+        if ndim == 0:
+            raise DecompositionError("decomposition needs at least one dimension")
+        if len(self.layout) != ndim:
+            raise DecompositionError(
+                f"layout rank {len(self.layout)} != domain rank {ndim}"
+            )
+        if isinstance(dists, (DistType, str)):
+            dists = [dists] * ndim
+        dist_list = [DistType.parse(d) for d in dists]
+        if len(dist_list) != ndim:
+            raise DecompositionError(f"dists rank {len(dist_list)} != domain rank {ndim}")
+        if isinstance(blocks, int):
+            blocks = [blocks] * ndim
+        block_list = [int(b) for b in blocks]
+        if len(block_list) != ndim:
+            raise DecompositionError(f"blocks rank {len(block_list)} != domain rank {ndim}")
+        # CYCLIC dimensions always use block 1 regardless of the shared default.
+        block_list = [
+            1 if d is DistType.CYCLIC else b for d, b in zip(dist_list, block_list)
+        ]
+        self.dists = tuple(dist_list)
+        self.blocks = tuple(block_list)
+        self._dim_dists = tuple(
+            DimDistribution(size=s, nprocs=p, dist=d, block=b)
+            for s, p, d, b in zip(self.extents, self.layout, dist_list, block_list)
+        )
+        self._owned_cache: dict[int, tuple[IntervalSet, ...]] = {}
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.extents)
+
+    @property
+    def nprocs(self) -> int:
+        n = 1
+        for p in self.layout:
+            n *= p
+        return n
+
+    @property
+    def domain(self) -> Box:
+        return Box.from_extents(self.extents)
+
+    def __repr__(self) -> str:
+        dists = ",".join(d.value for d in self.dists)
+        return (
+            f"Decomposition(extents={self.extents}, layout={self.layout}, "
+            f"dists=[{dists}], blocks={self.blocks})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Decomposition):
+            return NotImplemented
+        return (
+            self.extents == other.extents
+            and self.layout == other.layout
+            and self.dists == other.dists
+            and self.blocks == other.blocks
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.extents, self.layout, self.dists, self.blocks))
+
+    # -- rank <-> grid coordinates -------------------------------------------
+
+    def rank_to_coords(self, rank: int) -> tuple[int, ...]:
+        if not 0 <= rank < self.nprocs:
+            raise DecompositionError(f"rank {rank} out of range [0, {self.nprocs})")
+        coords = []
+        for p in reversed(self.layout):
+            coords.append(rank % p)
+            rank //= p
+        return tuple(reversed(coords))
+
+    def coords_to_rank(self, coords: Sequence[int]) -> int:
+        if len(coords) != self.ndim:
+            raise DecompositionError("coords rank mismatch")
+        rank = 0
+        for c, p in zip(coords, self.layout):
+            if not 0 <= c < p:
+                raise DecompositionError(f"coordinate {c} out of range [0, {p})")
+            rank = rank * p + c
+        return rank
+
+    def ranks(self) -> range:
+        return range(self.nprocs)
+
+    # -- ownership -----------------------------------------------------------
+
+    def task_intervals(self, rank: int) -> tuple[IntervalSet, ...]:
+        """Per-dimension interval sets owned by ``rank`` (cached)."""
+        cached = self._owned_cache.get(rank)
+        if cached is None:
+            coords = self.rank_to_coords(rank)
+            cached = tuple(dd.owned(c) for dd, c in zip(self._dim_dists, coords))
+            self._owned_cache[rank] = cached
+        return cached
+
+    def task_volume(self, rank: int) -> int:
+        return Box.product_volume(self.task_intervals(rank))
+
+    def task_bounding_box(self, rank: int) -> Box:
+        """Tightest box around the task's (possibly strided) assignment.
+
+        Empty assignments (more processes than elements) yield a zero-volume
+        box anchored at the origin.
+        """
+        sets = self.task_intervals(rank)
+        if any(not s for s in sets):
+            return Box(lo=(0,) * self.ndim, hi=(0,) * self.ndim)
+        spans = [s.span for s in sets]
+        return Box(lo=tuple(lo for lo, _ in spans), hi=tuple(hi for _, hi in spans))
+
+    def task_boxes(self, rank: int, limit: int | None = None) -> list[Box]:
+        """Explicit disjoint boxes of the task's assignment.
+
+        For BLOCKED this is a single box; for strided distributions the count
+        is the product of per-dimension interval counts. ``limit`` guards
+        against accidental explosion (raises if exceeded).
+        """
+        sets = self.task_intervals(rank)
+        count = 1
+        for s in sets:
+            count *= max(len(s), 0)
+        if count == 0:
+            return []
+        if limit is not None and count > limit:
+            raise DecompositionError(
+                f"task {rank} decomposes into {count} boxes (> limit {limit}); "
+                "use interval products instead of explicit boxes"
+            )
+        out = []
+        for combo in itertools.product(*(s.intervals for s in sets)):
+            out.append(Box(lo=tuple(lo for lo, _ in combo), hi=tuple(hi for _, hi in combo)))
+        return out
+
+    # -- overlaps -------------------------------------------------------------
+
+    def _check_compat(self, other: "Decomposition") -> None:
+        if self.extents != other.extents:
+            raise DecompositionError(
+                f"decompositions cover different domains: {self.extents} vs {other.extents}"
+            )
+
+    def overlap_volume(
+        self,
+        rank: int,
+        other: "Decomposition",
+        other_rank: int,
+        region: Box | None = None,
+    ) -> int:
+        """Cells owned by ``self``'s task and ``other``'s task (within ``region``)."""
+        self._check_compat(other)
+        mine = self.task_intervals(rank)
+        theirs = other.task_intervals(other_rank)
+        total = 1
+        for d in range(self.ndim):
+            inter = mine[d].intersection(theirs[d])
+            if region is not None:
+                inter = inter.intersection(IntervalSet.single(*region.side(d)))
+            m = inter.measure
+            if m == 0:
+                return 0
+            total *= m
+        return total
+
+    def region_volume(self, rank: int, region: Box) -> int:
+        """Cells of ``region`` owned by this task."""
+        mine = self.task_intervals(rank)
+        total = 1
+        for d in range(self.ndim):
+            m = mine[d].intersection_measure(IntervalSet.single(*region.side(d)))
+            if m == 0:
+                return 0
+            total *= m
+        return total
+
+    def overlapping_ranks(
+        self,
+        other: "Decomposition",
+        rank: int,
+        region: Box | None = None,
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(other_rank, overlap_cells)`` for every task of ``other``
+        sharing cells with ``self``'s ``rank`` (optionally inside ``region``).
+
+        Candidates are found per dimension (ownership is a per-dim product),
+        so the cost is the product of per-dimension candidate counts rather
+        than ``other.nprocs``.
+        """
+        self._check_compat(other)
+        mine = list(self.task_intervals(rank))
+        if region is not None:
+            mine = [
+                s.intersection(IntervalSet.single(*region.side(d)))
+                for d, s in enumerate(mine)
+            ]
+        if any(not s for s in mine):
+            return
+        # Per-dim candidate coordinates of `other` and their overlap measures.
+        per_dim: list[list[tuple[int, int]]] = []
+        for d in range(self.ndim):
+            dd = other._dim_dists[d]
+            cands = []
+            for c in range(dd.nprocs):
+                m = dd.owned(c).intersection_measure(mine[d])
+                if m > 0:
+                    cands.append((c, m))
+            if not cands:
+                return
+            per_dim.append(cands)
+        for combo in itertools.product(*per_dim):
+            cells = 1
+            coords = []
+            for c, m in combo:
+                cells *= m
+                coords.append(c)
+            yield other.coords_to_rank(coords), cells
+
+    def owner_ranks_of_box(self, box: Box) -> Iterator[tuple[int, int]]:
+        """Yield ``(rank, overlap_cells)`` for tasks owning cells of ``box``."""
+        if box.ndim != self.ndim:
+            raise DecompositionError("box rank mismatch")
+        per_dim: list[list[tuple[int, int]]] = []
+        for d in range(self.ndim):
+            dd = self._dim_dists[d]
+            side = IntervalSet.single(*box.side(d))
+            cands = [
+                (c, dd.owned(c).intersection_measure(side))
+                for c in range(dd.nprocs)
+            ]
+            cands = [(c, m) for c, m in cands if m > 0]
+            if not cands:
+                return
+            per_dim.append(cands)
+        for combo in itertools.product(*per_dim):
+            cells = 1
+            coords = []
+            for c, m in combo:
+                cells *= m
+                coords.append(c)
+            yield self.coords_to_rank(coords), cells
+
+    # -- validation helpers (used heavily by tests) ----------------------------
+
+    def covers_domain_exactly(self) -> bool:
+        """True if every cell is owned by exactly one task (per-dim check)."""
+        for dd in self._dim_dists:
+            union = IntervalSet.empty()
+            total = 0
+            for c in range(dd.nprocs):
+                owned = dd.owned(c)
+                total += owned.measure
+                union = union.union(owned)
+            if total != dd.size or union != IntervalSet.single(0, dd.size):
+                return False
+        return True

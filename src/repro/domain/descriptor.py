@@ -1,0 +1,170 @@
+"""User-facing decomposition descriptors (paper §III-B).
+
+The framework "requires users to specify the decomposition of the application
+data domain ... expressed in terms of a domain size, process layout, data
+distribution type, and data block size". :class:`DecompositionDescriptor`
+captures exactly that quadruple, validates it, and builds the internal
+:class:`~repro.domain.decomposition.Decomposition`.
+
+Descriptors can also round-trip through a compact ``key=value`` string form so
+they can live in workflow description files next to the DAG (see
+:mod:`repro.workflow.parser`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.domain.decomposition import Decomposition, DistType
+from repro.errors import DecompositionError
+
+__all__ = ["DecompositionDescriptor"]
+
+
+def _parse_tuple(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError as exc:
+        raise DecompositionError(f"expected comma-separated ints, got {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class DecompositionDescriptor:
+    """The (size, layout, distribution, block) quadruple of paper §III-B.
+
+    ``dists`` may be a single type applied to every dimension or one entry per
+    dimension; same for ``blocks``.
+    """
+
+    domain_size: tuple[int, ...]
+    process_layout: tuple[int, ...]
+    dists: tuple[DistType, ...] = field(default=())
+    blocks: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        size = tuple(int(s) for s in self.domain_size)
+        layout = tuple(int(p) for p in self.process_layout)
+        object.__setattr__(self, "domain_size", size)
+        object.__setattr__(self, "process_layout", layout)
+        ndim = len(size)
+        if ndim == 0:
+            raise DecompositionError("descriptor needs a non-empty domain size")
+        if len(layout) != ndim:
+            raise DecompositionError(
+                f"process layout rank {len(layout)} != domain rank {ndim}"
+            )
+        dists = self.dists or (DistType.BLOCKED,)
+        if isinstance(dists, (str, DistType)):
+            dists = (dists,)
+        dists = tuple(DistType.parse(d) for d in dists)
+        if len(dists) == 1:
+            dists = dists * ndim
+        if len(dists) != ndim:
+            raise DecompositionError(f"dists rank {len(dists)} != domain rank {ndim}")
+        object.__setattr__(self, "dists", dists)
+        blocks = self.blocks or (1,)
+        if isinstance(blocks, int):
+            blocks = (blocks,)
+        blocks = tuple(int(b) for b in blocks)
+        if len(blocks) == 1:
+            blocks = blocks * ndim
+        if len(blocks) != ndim:
+            raise DecompositionError(f"blocks rank {len(blocks)} != domain rank {ndim}")
+        object.__setattr__(self, "blocks", blocks)
+
+    # -- conveniences ---------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.domain_size)
+
+    @property
+    def ntasks(self) -> int:
+        n = 1
+        for p in self.process_layout:
+            n *= p
+        return n
+
+    def build(self) -> Decomposition:
+        """Materialize the internal decomposition object."""
+        return Decomposition(
+            extents=self.domain_size,
+            layout=self.process_layout,
+            dists=self.dists,
+            blocks=self.blocks,
+        )
+
+    # -- string / mapping round-trips ------------------------------------------
+
+    def to_string(self) -> str:
+        parts = [
+            "size=" + ",".join(str(v) for v in self.domain_size),
+            "layout=" + ",".join(str(v) for v in self.process_layout),
+            "dist=" + ";".join(d.value for d in self.dists),
+            "block=" + ",".join(str(v) for v in self.blocks),
+        ]
+        return " ".join(parts)
+
+    @classmethod
+    def from_string(cls, text: str) -> "DecompositionDescriptor":
+        """Parse the ``size=... layout=... dist=... block=...`` form."""
+        fields: dict[str, str] = {}
+        for token in text.split():
+            if "=" not in token:
+                raise DecompositionError(f"malformed descriptor token {token!r}")
+            key, _, value = token.partition("=")
+            fields[key.strip().lower()] = value.strip()
+        missing = {"size", "layout"} - fields.keys()
+        if missing:
+            raise DecompositionError(f"descriptor missing fields: {sorted(missing)}")
+        dists: tuple[DistType, ...] = ()
+        if "dist" in fields:
+            dists = tuple(DistType.parse(d) for d in fields["dist"].split(";") if d)
+        blocks: tuple[int, ...] = ()
+        if "block" in fields:
+            blocks = _parse_tuple(fields["block"])
+        return cls(
+            domain_size=_parse_tuple(fields["size"]),
+            process_layout=_parse_tuple(fields["layout"]),
+            dists=dists,
+            blocks=blocks,
+        )
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "DecompositionDescriptor":
+        """Build from a dict, e.g. loaded from JSON scenario configs."""
+        try:
+            size = data["domain_size"]
+            layout = data["process_layout"]
+        except KeyError as exc:
+            raise DecompositionError(f"descriptor mapping missing {exc}") from exc
+        dists = data.get("dists", ())
+        if isinstance(dists, (str, DistType)):
+            dists = (dists,)
+        blocks = data.get("blocks", ())
+        if isinstance(blocks, int):
+            blocks = (blocks,)
+        return cls(
+            domain_size=tuple(size),  # type: ignore[arg-type]
+            process_layout=tuple(layout),  # type: ignore[arg-type]
+            dists=tuple(DistType.parse(d) for d in dists),  # type: ignore[union-attr]
+            blocks=tuple(int(b) for b in blocks),  # type: ignore[union-attr]
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        domain_size: Sequence[int],
+        process_layout: Sequence[int],
+        dist: "DistType | str" = DistType.BLOCKED,
+        block: int = 1,
+    ) -> "DecompositionDescriptor":
+        """Shorthand: one distribution type and block size for every dim."""
+        ndim = len(tuple(domain_size))
+        return cls(
+            domain_size=tuple(domain_size),
+            process_layout=tuple(process_layout),
+            dists=(DistType.parse(dist),) * ndim,
+            blocks=(block,) * ndim,
+        )

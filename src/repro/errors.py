@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch framework failures without
+swallowing programming errors (``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "DecompositionError",
+    "LinearizationError",
+    "PartitionError",
+    "HardwareError",
+    "TransportError",
+    "SimulationError",
+    "SpaceError",
+    "LookupError_",
+    "ScheduleError",
+    "MappingError",
+    "WorkflowError",
+    "DagParseError",
+    "RegistrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DomainError(ReproError):
+    """Invalid box, interval, or domain geometry."""
+
+
+class DecompositionError(DomainError):
+    """Inconsistent data-decomposition descriptor (sizes, layout, blocks)."""
+
+
+class LinearizationError(ReproError):
+    """Space-filling-curve or linearizer misuse (order, bounds, resolution)."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failure (infeasible capacities, malformed graph)."""
+
+
+class HardwareError(ReproError):
+    """Invalid machine, cluster, or topology specification."""
+
+
+class TransportError(ReproError):
+    """HybridDART transfer or RPC failure."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event or fluid-flow simulation misuse."""
+
+
+class SpaceError(ReproError):
+    """CoDS shared-space operation failure (bad put/get, version conflicts)."""
+
+
+class LookupError_(SpaceError):
+    """Data lookup failed to resolve a requested region."""
+
+
+class ScheduleError(SpaceError):
+    """Communication schedule could not be computed or validated."""
+
+
+class MappingError(ReproError):
+    """Task mapping failure (capacity exceeded, unmapped tasks)."""
+
+
+class WorkflowError(ReproError):
+    """Workflow DAG construction or enactment failure."""
+
+
+class DagParseError(WorkflowError):
+    """Malformed workflow description file (Listing-1 format)."""
+
+
+class RegistrationError(WorkflowError):
+    """Execution-client registration/unregistration failure."""

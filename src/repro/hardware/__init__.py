@@ -1,0 +1,26 @@
+"""Simulated platform: machine specs, cluster, torus topology, link graph."""
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.hetero import HeterogeneousCluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import (
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+    generic_multicore,
+    jaguar_xt5,
+)
+from repro.hardware.torus import TorusTopology, balanced_dims
+
+__all__ = [
+    "NodeSpec",
+    "NetworkSpec",
+    "MachineSpec",
+    "jaguar_xt5",
+    "generic_multicore",
+    "Cluster",
+    "HeterogeneousCluster",
+    "TorusTopology",
+    "balanced_dims",
+    "NetworkModel",
+]

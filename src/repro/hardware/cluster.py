@@ -1,0 +1,89 @@
+"""Cluster model: nodes of cores, and the core <-> node mapping.
+
+Execution clients run one per core ("one MPI process is created per core on
+a multicore compute node"). All placement logic in the framework speaks in
+terms of *global core ids*; the cluster resolves them to nodes, which is what
+decides whether a transfer crosses the network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import HardwareError
+from repro.hardware.spec import MachineSpec, jaguar_xt5
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """``num_nodes`` identical nodes of ``machine.cores_per_node`` cores.
+
+    Global core ids are dense: node ``n`` owns cores
+    ``[n*cpn, (n+1)*cpn)``.
+    """
+
+    def __init__(self, num_nodes: int, machine: MachineSpec | None = None) -> None:
+        if num_nodes <= 0:
+            raise HardwareError(f"num_nodes must be positive, got {num_nodes}")
+        self.machine = machine if machine is not None else jaguar_xt5()
+        self.num_nodes = int(num_nodes)
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.machine.cores_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(num_nodes={self.num_nodes}, "
+            f"cores_per_node={self.cores_per_node}, machine={self.machine.name!r})"
+        )
+
+    # -- core <-> node ------------------------------------------------------------
+
+    def node_of_core(self, core: int) -> int:
+        if not 0 <= core < self.total_cores:
+            raise HardwareError(f"core {core} out of range [0, {self.total_cores})")
+        return core // self.cores_per_node
+
+    def cores_of_node(self, node: int) -> range:
+        if not 0 <= node < self.num_nodes:
+            raise HardwareError(f"node {node} out of range [0, {self.num_nodes})")
+        cpn = self.cores_per_node
+        return range(node * cpn, (node + 1) * cpn)
+
+    def same_node(self, core_a: int, core_b: int) -> bool:
+        return self.node_of_core(core_a) == self.node_of_core(core_b)
+
+    def cores(self) -> range:
+        return range(self.total_cores)
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    # -- allocation helpers ----------------------------------------------------------
+
+    @classmethod
+    def for_cores(
+        cls, num_cores: int, machine: MachineSpec | None = None
+    ) -> "Cluster":
+        """Smallest cluster providing at least ``num_cores`` cores."""
+        machine = machine if machine is not None else jaguar_xt5()
+        if num_cores <= 0:
+            raise HardwareError(f"num_cores must be positive, got {num_cores}")
+        nodes = -(-num_cores // machine.cores_per_node)
+        return cls(num_nodes=nodes, machine=machine)
+
+    def node_blocks(self, cores: Sequence[int]) -> Iterator[tuple[int, list[int]]]:
+        """Group a core list by node, yielding ``(node, cores_on_node)``."""
+        by_node: dict[int, list[int]] = {}
+        for c in cores:
+            by_node.setdefault(self.node_of_core(c), []).append(c)
+        for node in sorted(by_node):
+            yield node, sorted(by_node[node])

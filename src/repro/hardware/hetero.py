@@ -1,0 +1,79 @@
+"""Heterogeneous clusters — the paper's future-work platform (§VII).
+
+"Our directions for future work include extending the framework to enable
+task mapping and execution on emerging heterogeneous multicore platforms."
+This module provides a cluster whose nodes have *different* core counts
+(e.g. fat accelerator-host nodes next to thin ones). All mappers already
+speak in terms of ``node_of_core`` / ``cores_of_node`` and per-node free
+lists, so they work unchanged; the server-side mapper's partition capacities
+are per-node free-core counts, which become naturally heterogeneous here.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from repro.errors import HardwareError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import MachineSpec, jaguar_xt5
+
+__all__ = ["HeterogeneousCluster"]
+
+
+class HeterogeneousCluster(Cluster):
+    """A cluster with per-node core counts.
+
+    Core ids remain dense and node-contiguous: node ``n`` owns the id range
+    ``[offset[n], offset[n] + core_counts[n])``.
+    """
+
+    def __init__(
+        self,
+        core_counts: Sequence[int],
+        machine: MachineSpec | None = None,
+    ) -> None:
+        counts = [int(c) for c in core_counts]
+        if not counts or any(c <= 0 for c in counts):
+            raise HardwareError(f"invalid per-node core counts {core_counts!r}")
+        # Deliberately skip Cluster.__init__ bookkeeping and set fields here;
+        # every Cluster method we don't override is re-implemented below.
+        self.machine = machine if machine is not None else jaguar_xt5()
+        self.num_nodes = len(counts)
+        self.core_counts = tuple(counts)
+        self._offsets = [0]
+        for c in counts:
+            self._offsets.append(self._offsets[-1] + c)
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def cores_per_node(self) -> int:
+        """The *largest* node size (used only for sizing heuristics)."""
+        return max(self.core_counts)
+
+    @property
+    def total_cores(self) -> int:
+        return self._offsets[-1]
+
+    @property
+    def is_uniform(self) -> bool:
+        return len(set(self.core_counts)) == 1
+
+    def __repr__(self) -> str:
+        return (
+            f"HeterogeneousCluster(core_counts={list(self.core_counts)}, "
+            f"machine={self.machine.name!r})"
+        )
+
+    # -- core <-> node ------------------------------------------------------------
+
+    def node_of_core(self, core: int) -> int:
+        if not 0 <= core < self.total_cores:
+            raise HardwareError(f"core {core} out of range [0, {self.total_cores})")
+        return bisect.bisect_right(self._offsets, core) - 1
+
+    def cores_of_node(self, node: int) -> range:
+        if not 0 <= node < self.num_nodes:
+            raise HardwareError(f"node {node} out of range [0, {self.num_nodes})")
+        return range(self._offsets[node], self._offsets[node + 1])

@@ -1,0 +1,101 @@
+"""Link-graph network model over a cluster + torus.
+
+The fluid-flow simulator (:mod:`repro.sim.flows`) needs, for every inter-node
+transfer, the set of capacity-limited resources it occupies. This module
+builds that link table: per-node NIC injection and ejection links plus the
+directed torus links, with dimension-ordered routes between nodes. Intra-node
+transfers never touch the network model — HybridDART sends them through
+shared memory.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hardware.cluster import Cluster
+from repro.hardware.torus import TorusTopology, balanced_dims
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Capacity-annotated link graph for a cluster.
+
+    Link ids are dense ints:
+      * ``2*node``     — NIC injection of ``node`` (into the network)
+      * ``2*node + 1`` — NIC ejection of ``node`` (out of the network)
+      * torus links follow, one id per directed neighbor pair.
+    """
+
+    def __init__(self, cluster: Cluster, topology: TorusTopology | None = None) -> None:
+        self.cluster = cluster
+        if topology is None:
+            topology = TorusTopology(balanced_dims(cluster.num_nodes))
+        if topology.nnodes != cluster.num_nodes:
+            raise HardwareError(
+                f"topology has {topology.nnodes} nodes, cluster has {cluster.num_nodes}"
+            )
+        self.topology = topology
+        net = cluster.machine.network
+        self._nic_links = 2 * cluster.num_nodes
+        self._torus_index: dict[tuple[int, int], int] = {}
+        capacities = [net.nic_bandwidth] * self._nic_links
+        for link in topology.links():
+            self._torus_index[link] = self._nic_links + len(self._torus_index)
+            capacities.append(net.link_bandwidth)
+        self.capacities = capacities
+        self._route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def num_links(self) -> int:
+        return len(self.capacities)
+
+    def injection_link(self, node: int) -> int:
+        return 2 * node
+
+    def ejection_link(self, node: int) -> int:
+        return 2 * node + 1
+
+    def torus_link(self, src_node: int, dst_node: int) -> int:
+        try:
+            return self._torus_index[(src_node, dst_node)]
+        except KeyError:
+            raise HardwareError(
+                f"({src_node}, {dst_node}) is not a torus link"
+            ) from None
+
+    # -- paths ----------------------------------------------------------------------
+
+    def node_path(self, src_node: int, dst_node: int) -> tuple[int, ...]:
+        """Link ids a flow between two *nodes* occupies (cached).
+
+        Same node -> empty path (the caller should use shared memory).
+        """
+        if src_node == dst_node:
+            return ()
+        key = (src_node, dst_node)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            links = [self.injection_link(src_node)]
+            for hop in self.topology.route(src_node, dst_node):
+                links.append(self._torus_index[hop])
+            links.append(self.ejection_link(dst_node))
+            cached = tuple(links)
+            self._route_cache[key] = cached
+        return cached
+
+    def core_path(self, src_core: int, dst_core: int) -> tuple[int, ...]:
+        """Link ids for a core-to-core transfer (empty when intra-node)."""
+        return self.node_path(
+            self.cluster.node_of_core(src_core),
+            self.cluster.node_of_core(dst_core),
+        )
+
+    def path_latency(self, src_node: int, dst_node: int) -> float:
+        """End-to-end base latency of a node-to-node message."""
+        net = self.cluster.machine.network
+        if src_node == dst_node:
+            return self.cluster.machine.node.shm_latency
+        hops = self.topology.hop_distance(src_node, dst_node)
+        return net.base_latency + hops * net.per_hop_latency

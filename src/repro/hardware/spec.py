@@ -1,0 +1,95 @@
+"""Machine specifications for the simulated platform.
+
+The paper evaluates on the Jaguar Cray XT5: dual hex-core AMD Opteron nodes
+(12 cores, 16 GB) connected by SeaStar2+ routers in a fast 3-D torus. We
+model a machine as (node spec, network spec); the numbers in the Jaguar
+preset are published SeaStar2+/Opteron ballparks — absolute values only set
+the time scale, while the figures' *shapes* come from where data moves
+(shared memory vs network) and from link contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareError
+
+__all__ = ["NodeSpec", "NetworkSpec", "MachineSpec", "jaguar_xt5", "generic_multicore"]
+
+GiB = 1024 ** 3
+MiB = 1024 ** 2
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A multi-core compute node."""
+
+    cores: int = 12
+    memory_bytes: int = 16 * GiB
+    #: sustained intra-node shared-memory copy bandwidth (bytes/s)
+    shm_bandwidth: float = 12.0 * GiB
+    #: latency of an intra-node shared-memory handoff (s)
+    shm_latency: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise HardwareError(f"cores must be positive, got {self.cores}")
+        if self.memory_bytes <= 0 or self.shm_bandwidth <= 0 or self.shm_latency < 0:
+            raise HardwareError("node spec values must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The inter-node interconnect (NICs + torus links)."""
+
+    #: per-direction bandwidth of one torus link (bytes/s)
+    link_bandwidth: float = 9.6 * GiB
+    #: NIC injection/ejection bandwidth per node (bytes/s)
+    nic_bandwidth: float = 6.4 * GiB
+    #: base end-to-end message latency (s)
+    base_latency: float = 6.0e-6
+    #: additional latency per torus hop (s)
+    per_hop_latency: float = 0.1e-6
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or self.nic_bandwidth <= 0:
+            raise HardwareError("network bandwidths must be positive")
+        if self.base_latency < 0 or self.per_hop_latency < 0:
+            raise HardwareError("latencies must be non-negative")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete platform description."""
+
+    name: str = "generic"
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.node.cores
+
+
+def jaguar_xt5() -> MachineSpec:
+    """Jaguar Cray XT5-like preset (the paper's evaluation platform)."""
+    return MachineSpec(
+        name="jaguar-xt5",
+        node=NodeSpec(
+            cores=12,
+            memory_bytes=16 * GiB,
+            shm_bandwidth=12.0 * GiB,
+            shm_latency=1.0e-6,
+        ),
+        network=NetworkSpec(
+            link_bandwidth=9.6 * GiB,
+            nic_bandwidth=6.4 * GiB,
+            base_latency=6.0e-6,
+            per_hop_latency=0.1e-6,
+        ),
+    )
+
+
+def generic_multicore(cores: int = 8) -> MachineSpec:
+    """A small generic preset for examples and tests."""
+    return MachineSpec(name=f"generic-{cores}core", node=NodeSpec(cores=cores))

@@ -1,0 +1,140 @@
+"""3-D torus topology with dimension-ordered routing.
+
+Jaguar's SeaStar2+ interconnect is a 3-D torus with dimension-ordered (X then
+Y then Z) routing. We reproduce exactly that: node coordinates live on a
+``dims`` grid with wrap-around links; a route walks each dimension in turn,
+always taking the shorter wrap direction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import HardwareError
+
+__all__ = ["TorusTopology", "balanced_dims"]
+
+
+def balanced_dims(n: int, ndim: int = 3) -> tuple[int, ...]:
+    """Factor ``n`` into ``ndim`` near-equal factors (largest first).
+
+    Used to shape a torus around a node count: ``balanced_dims(64) == (4,4,4)``.
+    Falls back gracefully for primes (e.g. ``(7,1,1)``).
+    """
+    if n <= 0:
+        raise HardwareError(f"node count must be positive, got {n}")
+    if ndim <= 0:
+        raise HardwareError(f"ndim must be positive, got {ndim}")
+    dims = [1] * ndim
+    remaining = n
+    for i in range(ndim - 1):
+        # Largest factor of `remaining` not exceeding its (ndim-i)-th root.
+        target = round(remaining ** (1.0 / (ndim - i)))
+        best = 1
+        for f in range(1, remaining + 1):
+            if remaining % f == 0 and f <= max(target, 1):
+                best = f
+        dims[i] = best
+        remaining //= best
+    dims[ndim - 1] = remaining
+    dims.sort(reverse=True)
+    return tuple(dims)
+
+
+class TorusTopology:
+    """A ``dims[0] x dims[1] x ... `` torus of nodes.
+
+    Node ids are row-major over the coordinate grid. Links are directed:
+    ``(node, neighbor)`` pairs; each node has ``2 * ndim`` outgoing links
+    (fewer when a dimension has extent 1 or 2 collapses wrap pairs).
+    """
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        self.dims = tuple(int(d) for d in dims)
+        if not self.dims or any(d <= 0 for d in self.dims):
+            raise HardwareError(f"invalid torus dims {dims!r}")
+
+    @property
+    def nnodes(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def __repr__(self) -> str:
+        return f"TorusTopology(dims={self.dims})"
+
+    # -- coordinates ---------------------------------------------------------
+
+    def node_to_coords(self, node: int) -> tuple[int, ...]:
+        if not 0 <= node < self.nnodes:
+            raise HardwareError(f"node {node} out of range [0, {self.nnodes})")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(node % d)
+            node //= d
+        return tuple(reversed(coords))
+
+    def coords_to_node(self, coords: Sequence[int]) -> int:
+        if len(coords) != self.ndim:
+            raise HardwareError("coords rank mismatch")
+        node = 0
+        for c, d in zip(coords, self.dims):
+            if not 0 <= c < d:
+                raise HardwareError(f"coordinate {c} out of range [0, {d})")
+            node = node * d + c
+        return node
+
+    # -- links and routes ------------------------------------------------------
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        """All directed links, deduplicated (a 2-extent dim has one wrap pair)."""
+        seen: set[tuple[int, int]] = set()
+        for node in range(self.nnodes):
+            coords = self.node_to_coords(node)
+            for dim, extent in enumerate(self.dims):
+                if extent == 1:
+                    continue
+                for step in (1, -1):
+                    nbr = list(coords)
+                    nbr[dim] = (coords[dim] + step) % extent
+                    link = (node, self.coords_to_node(nbr))
+                    if link not in seen:
+                        seen.add(link)
+                        yield link
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Torus (wrap-aware) Manhattan distance."""
+        ca, cb = self.node_to_coords(a), self.node_to_coords(b)
+        dist = 0
+        for x, y, extent in zip(ca, cb, self.dims):
+            delta = abs(x - y)
+            dist += min(delta, extent - delta)
+        return dist
+
+    def route(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Dimension-ordered route as a list of directed links.
+
+        Each dimension is traversed fully before the next, taking the
+        shorter wrap direction (ties go the positive way) — SeaStar-style
+        deterministic routing, so every (src, dst) pair always loads the
+        same links.
+        """
+        if src == dst:
+            return []
+        cur = list(self.node_to_coords(src))
+        target = self.node_to_coords(dst)
+        hops: list[tuple[int, int]] = []
+        for dim, extent in enumerate(self.dims):
+            while cur[dim] != target[dim]:
+                fwd = (target[dim] - cur[dim]) % extent
+                bwd = (cur[dim] - target[dim]) % extent
+                step = 1 if fwd <= bwd else -1
+                here = self.coords_to_node(cur)
+                cur[dim] = (cur[dim] + step) % extent
+                hops.append((here, self.coords_to_node(cur)))
+        return hops

@@ -1,0 +1,23 @@
+"""Multilevel k-way graph partitioner (METIS substitute)."""
+
+from repro.partition.bisection import RecursiveBisection
+from repro.partition.coarsen import CoarseLevel, contract
+from repro.partition.csr import CSRGraph
+from repro.partition.initial import greedy_graph_growing
+from repro.partition.matching import heavy_edge_matching
+from repro.partition.multilevel import MultilevelKWay, PartitionResult, partition_graph
+from repro.partition.refine import enforce_capacities, refine_kway
+
+__all__ = [
+    "CSRGraph",
+    "CoarseLevel",
+    "contract",
+    "heavy_edge_matching",
+    "greedy_graph_growing",
+    "refine_kway",
+    "enforce_capacities",
+    "MultilevelKWay",
+    "RecursiveBisection",
+    "PartitionResult",
+    "partition_graph",
+]

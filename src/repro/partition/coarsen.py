@@ -1,0 +1,74 @@
+"""Graph contraction for the multilevel partitioner.
+
+Given a matching, contracts each matched pair into a single coarse vertex:
+vertex weights add, parallel coarse edges combine by summing weights, and
+edges internal to a pair disappear (they can no longer be cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.csr import CSRGraph
+
+__all__ = ["CoarseLevel", "contract"]
+
+
+@dataclass(frozen=True)
+class CoarseLevel:
+    """One level of the coarsening hierarchy."""
+
+    graph: CSRGraph            # the coarse graph
+    cmap: np.ndarray           # fine vertex -> coarse vertex
+
+
+def contract(graph: CSRGraph, match: np.ndarray) -> CoarseLevel:
+    """Contract ``graph`` along ``match`` (as from heavy_edge_matching)."""
+    n = graph.nvertices
+    cmap = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if cmap[v] != -1:
+            continue
+        u = int(match[v])
+        cmap[v] = next_id
+        cmap[u] = next_id  # u == v when unmatched
+        next_id += 1
+    cn = next_id
+
+    cvwgt = np.zeros(cn, dtype=np.int64)
+    np.add.at(cvwgt, cmap, graph.vwgt)
+
+    # Aggregate coarse edges: map every fine edge to (cmap[src], cmap[dst]).
+    src = np.repeat(np.arange(n), np.diff(graph.xadj))
+    csrc = cmap[src]
+    cdst = cmap[graph.adjncy]
+    keep = csrc < cdst  # one canonical direction, drops internal edges
+    if not np.any(keep):
+        empty = np.zeros(0, dtype=np.int64)
+        coarse = CSRGraph(
+            xadj=np.zeros(cn + 1, dtype=np.int64),
+            adjncy=empty, adjwgt=empty, vwgt=cvwgt,
+        )
+        return CoarseLevel(graph=coarse, cmap=cmap)
+    keys = csrc[keep] * cn + cdst[keep]
+    wgts = graph.adjwgt[keep]
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    agg = np.zeros(uniq.size, dtype=np.int64)
+    np.add.at(agg, inverse, wgts)
+    cu = uniq // cn
+    cv = uniq % cn
+
+    # Symmetrize into CSR.
+    all_src = np.concatenate([cu, cv])
+    all_dst = np.concatenate([cv, cu])
+    all_wgt = np.concatenate([agg, agg])
+    order = np.lexsort((all_dst, all_src))
+    all_src, all_dst, all_wgt = all_src[order], all_dst[order], all_wgt[order]
+    xadj = np.zeros(cn + 1, dtype=np.int64)
+    np.add.at(xadj, all_src + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    coarse = CSRGraph(xadj=xadj, adjncy=all_dst, adjwgt=all_wgt, vwgt=cvwgt)
+    return CoarseLevel(graph=coarse, cmap=cmap)

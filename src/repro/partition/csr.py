@@ -1,0 +1,161 @@
+"""Compressed-sparse-row weighted graphs for the partitioner.
+
+The partitioner consumes undirected graphs with integer vertex and edge
+weights (edge weights are coupled-data bytes, so they can be large — int64
+throughout). The CSR layout mirrors METIS's ``xadj``/``adjncy``/``adjwgt``
+arrays, which keeps the coarsening and refinement kernels cache-friendly
+numpy code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An undirected weighted graph in CSR form.
+
+    Invariants: adjacency is symmetric, no self-loops, no duplicate edges
+    (parallel edges are combined by summing weights at construction).
+    """
+
+    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt")
+
+    def __init__(
+        self,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        adjwgt: np.ndarray,
+        vwgt: np.ndarray,
+    ) -> None:
+        self.xadj = np.asarray(xadj, dtype=np.int64)
+        self.adjncy = np.asarray(adjncy, dtype=np.int64)
+        self.adjwgt = np.asarray(adjwgt, dtype=np.int64)
+        self.vwgt = np.asarray(vwgt, dtype=np.int64)
+        if self.xadj.ndim != 1 or self.xadj.size == 0 or self.xadj[0] != 0:
+            raise PartitionError("xadj must be 1-D, non-empty, starting at 0")
+        if self.xadj[-1] != self.adjncy.size or self.adjwgt.size != self.adjncy.size:
+            raise PartitionError("adjacency arrays inconsistent with xadj")
+        if self.vwgt.size != self.xadj.size - 1:
+            raise PartitionError("vwgt size must equal vertex count")
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        nvertices: int,
+        edges: Iterable[tuple[int, int, int]],
+        vwgt: "Sequence[int] | np.ndarray | None" = None,
+    ) -> "CSRGraph":
+        """Build from ``(u, v, weight)`` triples.
+
+        Edges are symmetrized; duplicates (including reversed duplicates) sum
+        their weights; self-loops are dropped.
+        """
+        if nvertices <= 0:
+            raise PartitionError(f"nvertices must be positive, got {nvertices}")
+        edge_list = [(int(u), int(v), int(w)) for u, v, w in edges]
+        for u, v, w in edge_list:
+            if not (0 <= u < nvertices and 0 <= v < nvertices):
+                raise PartitionError(f"edge ({u},{v}) out of range [0,{nvertices})")
+            if w <= 0:
+                raise PartitionError(f"edge ({u},{v}) has non-positive weight {w}")
+        # Combine duplicates on canonical (min,max) keys, drop self-loops.
+        combined: dict[tuple[int, int], int] = {}
+        for u, v, w in edge_list:
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            combined[key] = combined.get(key, 0) + w
+        m = len(combined)
+        src = np.empty(2 * m, dtype=np.int64)
+        dst = np.empty(2 * m, dtype=np.int64)
+        wgt = np.empty(2 * m, dtype=np.int64)
+        for i, ((u, v), w) in enumerate(combined.items()):
+            src[2 * i], dst[2 * i], wgt[2 * i] = u, v, w
+            src[2 * i + 1], dst[2 * i + 1], wgt[2 * i + 1] = v, u, w
+        order = np.lexsort((dst, src))
+        src, dst, wgt = src[order], dst[order], wgt[order]
+        xadj = np.zeros(nvertices + 1, dtype=np.int64)
+        np.add.at(xadj, src + 1, 1)
+        np.cumsum(xadj, out=xadj)
+        if vwgt is None:
+            vwgt_arr = np.ones(nvertices, dtype=np.int64)
+        else:
+            vwgt_arr = np.asarray(vwgt, dtype=np.int64)
+            if vwgt_arr.shape != (nvertices,):
+                raise PartitionError("vwgt length must equal nvertices")
+            if np.any(vwgt_arr < 0):
+                raise PartitionError("vertex weights must be non-negative")
+        return cls(xadj=xadj, adjncy=dst, adjwgt=wgt, vwgt=vwgt_arr)
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def nvertices(self) -> int:
+        return self.xadj.size - 1
+
+    @property
+    def nedges(self) -> int:
+        """Undirected edge count."""
+        return self.adjncy.size // 2
+
+    @property
+    def total_vwgt(self) -> int:
+        return int(self.vwgt.sum())
+
+    @property
+    def total_adjwgt(self) -> int:
+        """Sum of edge weights (each undirected edge counted once)."""
+        return int(self.adjwgt.sum()) // 2
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbor ids and edge weights of vertex ``v`` (views, not copies)."""
+        lo, hi = self.xadj[v], self.xadj[v + 1]
+        return self.adjncy[lo:hi], self.adjwgt[lo:hi]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(nvertices={self.nvertices}, nedges={self.nedges})"
+
+    # -- partition metrics --------------------------------------------------------------
+
+    def edgecut(self, parts: np.ndarray) -> int:
+        """Total weight of edges whose endpoints are in different parts."""
+        parts = np.asarray(parts)
+        if parts.shape != (self.nvertices,):
+            raise PartitionError("parts length must equal nvertices")
+        src = np.repeat(np.arange(self.nvertices), np.diff(self.xadj))
+        cut = parts[src] != parts[self.adjncy]
+        return int(self.adjwgt[cut].sum()) // 2
+
+    def part_loads(self, parts: np.ndarray, nparts: int) -> np.ndarray:
+        """Vertex-weight load of each part."""
+        loads = np.zeros(nparts, dtype=np.int64)
+        np.add.at(loads, np.asarray(parts), self.vwgt)
+        return loads
+
+    def validate(self) -> None:
+        """Check structural invariants (symmetry, no self-loops). For tests."""
+        n = self.nvertices
+        seen: set[tuple[int, int, int]] = set()
+        for v in range(n):
+            nbrs, wgts = self.neighbors(v)
+            if np.any(nbrs == v):
+                raise PartitionError(f"self-loop at vertex {v}")
+            if len(np.unique(nbrs)) != len(nbrs):
+                raise PartitionError(f"duplicate neighbors at vertex {v}")
+            for u, w in zip(nbrs.tolist(), wgts.tolist()):
+                seen.add((v, u, w))
+        for v, u, w in seen:
+            if (u, v, w) not in seen:
+                raise PartitionError(f"asymmetric edge ({v},{u},{w})")

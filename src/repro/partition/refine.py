@@ -1,0 +1,120 @@
+"""K-way boundary refinement with hard capacity constraints.
+
+Greedy refinement in the style of METIS's k-way pass: sweep boundary
+vertices, moving each to the adjacent part with the best edgecut gain when
+the target has room. Zero-gain moves are taken only when they improve
+balance; a separate repair pass evicts vertices (least-loss first) from any
+over-capacity part so the final partition is always feasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.csr import CSRGraph
+
+__all__ = ["refine_kway", "enforce_capacities"]
+
+
+def _part_connectivity(graph: CSRGraph, parts: np.ndarray, v: int, nparts: int) -> np.ndarray:
+    """Edge weight from ``v`` into each part."""
+    conn = np.zeros(nparts, dtype=np.int64)
+    nbrs, wgts = graph.neighbors(v)
+    np.add.at(conn, parts[nbrs], wgts)
+    return conn
+
+
+def refine_kway(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    capacities: np.ndarray,
+    rng: np.random.Generator,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Improve ``parts`` in place (also returned) without violating capacities.
+
+    Capacity violations present on entry are tolerated (moves may only reduce
+    them); call :func:`enforce_capacities` first for a feasibility guarantee.
+    """
+    n = graph.nvertices
+    nparts = capacities.size
+    loads = graph.part_loads(parts, nparts)
+
+    for _ in range(max_passes):
+        moved = 0
+        # Boundary vertices: any vertex with a neighbor in another part.
+        src = np.repeat(np.arange(n), np.diff(graph.xadj))
+        boundary = np.unique(src[parts[src] != parts[graph.adjncy]])
+        if boundary.size == 0:
+            break
+        for v in rng.permutation(boundary):
+            own = int(parts[v])
+            w = int(graph.vwgt[v])
+            conn = _part_connectivity(graph, parts, v, nparts)
+            internal = conn[own]
+            gains = conn - internal
+            gains[own] = np.iinfo(np.int64).min
+            room = loads + w <= capacities
+            room[own] = False
+            over_capacity = loads[own] > capacities[own]
+            candidates = np.flatnonzero(room)
+            if candidates.size == 0:
+                continue
+            best = candidates[np.lexsort((loads[candidates], -gains[candidates]))][0]
+            gain = int(gains[best])
+            better_balance = loads[own] - (loads[best] + w) > 0
+            if gain > 0 or (gain == 0 and (over_capacity or better_balance)):
+                parts[v] = best
+                loads[own] -= w
+                loads[best] += w
+                moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def enforce_capacities(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    capacities: np.ndarray,
+) -> np.ndarray:
+    """Repair capacity violations by evicting least-loss vertices.
+
+    From every over-capacity part, repeatedly move the vertex whose eviction
+    costs the least edgecut to the part (with room) it is most connected to.
+    Raises :class:`PartitionError` if total weight exceeds total capacity.
+    """
+    nparts = capacities.size
+    loads = graph.part_loads(parts, nparts)
+    if graph.total_vwgt > int(capacities.sum()):
+        raise PartitionError(
+            f"total vertex weight {graph.total_vwgt} exceeds "
+            f"total capacity {int(capacities.sum())}"
+        )
+    for p in range(nparts):
+        while loads[p] > capacities[p]:
+            members = np.flatnonzero(parts == p)
+            best_move: tuple[int, int, int] | None = None  # (loss, v, target)
+            for v in members.tolist():
+                w = int(graph.vwgt[v])
+                conn = _part_connectivity(graph, parts, v, nparts)
+                room = loads + w <= capacities
+                room[p] = False
+                candidates = np.flatnonzero(room)
+                if candidates.size == 0:
+                    continue
+                tgt = candidates[np.lexsort((loads[candidates], -conn[candidates]))][0]
+                loss = int(conn[p] - conn[tgt])
+                if best_move is None or loss < best_move[0]:
+                    best_move = (loss, v, int(tgt))
+            if best_move is None:
+                raise PartitionError(
+                    f"cannot repair part {p}: no vertex fits elsewhere"
+                )
+            _, v, tgt = best_move
+            w = int(graph.vwgt[v])
+            parts[v] = tgt
+            loads[p] -= w
+            loads[tgt] += w
+    return parts

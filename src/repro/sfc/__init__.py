@@ -1,0 +1,17 @@
+"""Space-filling-curve linearization substrate (paper §IV-A, Fig 6)."""
+
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.linearize import DomainLinearizer
+from repro.sfc.morton import MortonCurve
+from repro.sfc.spans import merge_spans, region_spans, spans_measure
+
+__all__ = [
+    "SpaceFillingCurve",
+    "HilbertCurve",
+    "MortonCurve",
+    "DomainLinearizer",
+    "region_spans",
+    "merge_spans",
+    "spans_measure",
+]

@@ -1,0 +1,95 @@
+"""Common interface for space-filling curves.
+
+Both curves used by the framework (Hilbert — the paper's choice — and Morton,
+kept as an ablation baseline) map the grid ``[0, 2**order)**ndim`` bijectively
+onto ``[0, 2**(ndim*order))`` and share the aligned-subcube contiguity
+property that the span extraction in :mod:`repro.sfc.spans` relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import LinearizationError
+
+__all__ = ["SpaceFillingCurve"]
+
+# int64 is the working dtype; one sign bit is reserved.
+_MAX_INDEX_BITS = 62
+
+
+class SpaceFillingCurve(abc.ABC):
+    """A bijection between grid coordinates and 1-D curve indices."""
+
+    #: short identifier used in reports/ablations
+    name: str = "sfc"
+
+    def __init__(self, ndim: int, order: int) -> None:
+        if ndim < 1:
+            raise LinearizationError(f"ndim must be >= 1, got {ndim}")
+        if order < 1:
+            raise LinearizationError(f"order must be >= 1, got {order}")
+        if ndim * order > _MAX_INDEX_BITS:
+            raise LinearizationError(
+                f"ndim*order = {ndim * order} exceeds {_MAX_INDEX_BITS} index bits"
+            )
+        self.ndim = ndim
+        self.order = order
+
+    @property
+    def side(self) -> int:
+        """Grid extent along each dimension: ``2**order``."""
+        return 1 << self.order
+
+    @property
+    def total_cells(self) -> int:
+        """Size of the index space: ``2**(ndim*order)``."""
+        return 1 << (self.ndim * self.order)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(ndim={self.ndim}, order={self.order})"
+
+    # -- input validation shared by implementations ------------------------------
+
+    def _validate_points(self, points: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Coerce to (N, ndim) int64; return (array, was_single_point)."""
+        arr = np.asarray(points, dtype=np.int64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.ndim:
+            raise LinearizationError(
+                f"expected points of shape (N, {self.ndim}), got {np.shape(points)}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self.side):
+            raise LinearizationError(
+                f"coordinates out of range [0, {self.side}) for order {self.order}"
+            )
+        return arr, squeeze
+
+    def _validate_indices(self, indices: np.ndarray) -> tuple[np.ndarray, bool]:
+        arr = np.asarray(indices, dtype=np.int64)
+        squeeze = arr.ndim == 0
+        if squeeze:
+            arr = arr[None]
+        if arr.ndim != 1:
+            raise LinearizationError(
+                f"expected 1-D index array, got shape {np.shape(indices)}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self.total_cells):
+            raise LinearizationError(
+                f"indices out of range [0, {self.total_cells})"
+            )
+        return arr, squeeze
+
+    # -- the bijection -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Map ``(N, ndim)`` coordinates to ``(N,)`` curve indices."""
+
+    @abc.abstractmethod
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        """Map ``(N,)`` curve indices back to ``(N, ndim)`` coordinates."""

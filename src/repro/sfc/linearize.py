@@ -1,0 +1,156 @@
+"""Domain linearization: application domain -> SFC index space.
+
+Application domains are arbitrary ``(s1..sn)`` grids; the SFC lives on a
+``2**order`` power-of-two grid. As in DataSpaces, the linearizer overlays a
+virtual grid of SFC *bins* on the domain (each bin covering
+``ceil(extent / 2**order)`` cells per dimension) and converts geometric
+descriptors to spans of bin indices. When every extent is a power of two and
+the order matches (the common case for the paper's 2^k domains), bins equal
+cells and the mapping is exact; otherwise boxes snap *outward* to bins, which
+over-approximates — safe for DHT routing, since exact byte accounting uses
+interval products, never the SFC.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.domain.box import Box
+from repro.errors import LinearizationError
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.spans import region_spans
+
+__all__ = ["DomainLinearizer"]
+
+
+def _ceil_log2(x: int) -> int:
+    return max(1, (x - 1).bit_length())
+
+
+class DomainLinearizer:
+    """Maps boxes in an ``extents`` domain to SFC index spans.
+
+    Parameters
+    ----------
+    extents:
+        Domain size per dimension, ``(s1..sn)``.
+    order:
+        Bits per dimension of the SFC grid. Defaults to the smallest order
+        whose grid covers the largest extent (bins == cells for power-of-two
+        domains). Smaller orders coarsen the virtual grid, trading index
+        precision for span count — mirroring DataSpaces' virtual resolution.
+    curve:
+        SFC class or instance; defaults to :class:`HilbertCurve` (the paper's
+        choice). Pass :class:`~repro.sfc.morton.MortonCurve` for ablations.
+    """
+
+    def __init__(
+        self,
+        extents: Sequence[int],
+        order: int | None = None,
+        curve: "type[SpaceFillingCurve] | SpaceFillingCurve" = HilbertCurve,
+    ) -> None:
+        self.extents = tuple(int(s) for s in extents)
+        if not self.extents or any(s <= 0 for s in self.extents):
+            raise LinearizationError(f"invalid domain extents {extents!r}")
+        ndim = len(self.extents)
+        if order is None:
+            order = _ceil_log2(max(self.extents))
+        if isinstance(curve, SpaceFillingCurve):
+            if curve.ndim != ndim or curve.order != order:
+                raise LinearizationError(
+                    f"curve {curve!r} does not match ndim={ndim}, order={order}"
+                )
+            self.curve = curve
+        else:
+            self.curve = curve(ndim, order)
+        side = self.curve.side
+        # Per-dimension bin widths (cells per bin), chosen so side bins cover
+        # the extent: width = ceil(extent / side).
+        self.bin_widths = tuple(-(-s // side) for s in self.extents)
+        # Span extraction is pure and repeated heavily (every put/get of the
+        # same task region); cache by (bin box, coarseness).
+        self._span_cache: dict[tuple[Box, int], list[tuple[int, int]]] = {}
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.curve.ndim
+
+    @property
+    def order(self) -> int:
+        return self.curve.order
+
+    @property
+    def index_cells(self) -> int:
+        """Size of the 1-D index space (number of bins on the curve)."""
+        return self.curve.total_cells
+
+    @property
+    def is_exact(self) -> bool:
+        """True when bins coincide with domain cells."""
+        return all(w == 1 for w in self.bin_widths)
+
+    @property
+    def domain(self) -> Box:
+        return Box.from_extents(self.extents)
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainLinearizer(extents={self.extents}, order={self.order}, "
+            f"curve={self.curve.name})"
+        )
+
+    # -- box <-> bins -----------------------------------------------------------
+
+    def box_to_bins(self, box: Box) -> Box:
+        """Snap a domain box outward to the covering box of SFC bins."""
+        if box.ndim != self.ndim:
+            raise LinearizationError(f"box rank {box.ndim} != domain rank {self.ndim}")
+        clipped = box.intersection(self.domain)
+        if clipped is None:
+            raise LinearizationError(f"box {box} lies outside domain {self.extents}")
+        lo = tuple(l // w for l, w in zip(clipped.lo, self.bin_widths))
+        hi = tuple(-(-h // w) for h, w in zip(clipped.hi, self.bin_widths))
+        return Box(lo=lo, hi=hi)
+
+    def spans_for_box(
+        self, box: Box, min_cube_order: int = 0
+    ) -> list[tuple[int, int]]:
+        """SFC index spans covering (at least) the bins of ``box``.
+
+        See :func:`repro.sfc.spans.region_spans` for ``min_cube_order``.
+        """
+        bins = self.box_to_bins(box)
+        if bins.is_empty:
+            return []
+        key = (bins, min_cube_order)
+        spans = self._span_cache.get(key)
+        if spans is None:
+            spans = region_spans(self.curve, bins, min_cube_order=min_cube_order)
+            self._span_cache[key] = spans
+        return spans
+
+    # -- DHT support ---------------------------------------------------------------
+
+    def partition_index_space(self, nparts: int) -> list[tuple[int, int]]:
+        """Split ``[0, index_cells)`` into ``nparts`` contiguous intervals.
+
+        The paper divides the 1-D index space into intervals assigned to DHT
+        cores. Intervals are balanced to within one cell; every part is
+        non-empty as long as ``nparts <= index_cells``.
+        """
+        if nparts <= 0:
+            raise LinearizationError(f"nparts must be positive, got {nparts}")
+        total = self.index_cells
+        if nparts > total:
+            raise LinearizationError(
+                f"cannot split {total} index cells into {nparts} parts"
+            )
+        base, extra = divmod(total, nparts)
+        bounds = [0]
+        for i in range(nparts):
+            bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+        return [(bounds[i], bounds[i + 1]) for i in range(nparts)]

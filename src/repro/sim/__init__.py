@@ -1,0 +1,18 @@
+"""Simulation substrate: discrete events + fluid-flow network timing."""
+
+from repro.sim.engine import SimEngine
+from repro.sim.events import Event, EventQueue
+from repro.sim.flows import Flow, FlowNetwork
+from repro.sim.fluid import FluidSimulation, TransferTiming
+from repro.sim.mpi import SimComm
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimEngine",
+    "Flow",
+    "FlowNetwork",
+    "FluidSimulation",
+    "TransferTiming",
+    "SimComm",
+]

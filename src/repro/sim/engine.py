@@ -1,0 +1,73 @@
+"""A small discrete-event simulation engine.
+
+The workflow engine runs DAG enactment on top of this: application launches,
+completions, and coupling phases are events on a simulated clock. The engine
+is deliberately minimal — a clock plus an event heap with deterministic
+FIFO tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+__all__ = ["SimEngine"]
+
+
+class SimEngine:
+    """Clock + event queue. Time is in seconds (floats)."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self._queue.push(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        self._queue.push(time, fn, *args)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (in time order) until the queue drains or the clock
+        would pass ``until``. Returns the final clock value."""
+        if self._running:
+            raise SimulationError("engine is already running (no re-entrancy)")
+        self._running = True
+        try:
+            while self._queue:
+                t = self._queue.peek_time()
+                assert t is not None
+                if until is not None and t > until:
+                    self._now = until
+                    break
+                ev = self._queue.pop()
+                self._now = ev.time
+                ev.fire()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        return len(self._queue)

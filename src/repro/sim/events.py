@@ -1,0 +1,54 @@
+"""Event heap for the discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, seq) so ties are FIFO."""
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+    def fire(self) -> Any:
+        return self.fn(*self.args)
+
+
+class EventQueue:
+    """A monotone priority queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if time < 0:
+            raise SimulationError(f"event time must be non-negative, got {time}")
+        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,170 @@
+"""Simulated MPI communication over execution-client groups.
+
+The paper's applications are MPI codes: after ``comm_split`` builds one
+communicator per application (:mod:`repro.workflow.clients`), their
+intra-application traffic is point-to-point and collective MPI operations.
+This module models the *data movement* of the common operations on a
+:class:`~repro.workflow.clients.CommGroup`, issuing the constituent
+transfers through HybridDART so shared-memory vs network accounting matches
+the rest of the framework.
+
+Collective algorithms follow the standard implementations (MPICH/OpenMPI
+defaults): binomial-tree broadcast/reduce, ring allgather, pairwise
+all-to-all, recursive-doubling allreduce — so the *byte volumes and who
+talks to whom* are faithful even though no data is computed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind, TransferRecord
+from repro.workflow.clients import CommGroup
+
+__all__ = ["SimComm"]
+
+
+class SimComm:
+    """MPI-like operations on one communicator (CommGroup)."""
+
+    def __init__(
+        self,
+        group: CommGroup,
+        dart: HybridDART,
+        app_id: int | None = None,
+        kind: TransferKind = TransferKind.INTRA_APP,
+    ) -> None:
+        if group.size == 0:
+            raise SimulationError("communicator must have at least one rank")
+        self.group = group
+        self.dart = dart
+        self.app_id = group.color if app_id is None else app_id
+        self.kind = kind
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def _xfer(self, src_rank: int, dst_rank: int, nbytes: int) -> TransferRecord:
+        return self.dart.transfer(
+            src_core=self.group.core(src_rank),
+            dst_core=self.group.core(dst_rank),
+            nbytes=nbytes,
+            kind=self.kind,
+            app_id=self.app_id,
+        )
+
+    def _check_rank(self, rank: int) -> None:
+        if rank not in self.group.core_of_rank:
+            raise SimulationError(f"rank {rank} not in communicator")
+
+    # -- point to point ------------------------------------------------------------
+
+    def send(self, src: int, dst: int, nbytes: int) -> TransferRecord:
+        self._check_rank(src)
+        self._check_rank(dst)
+        if nbytes < 0:
+            raise SimulationError("message size must be non-negative")
+        return self._xfer(src, dst, nbytes)
+
+    # -- collectives -----------------------------------------------------------------
+
+    def bcast(self, root: int, nbytes: int) -> list[TransferRecord]:
+        """Binomial-tree broadcast: ``ceil(log2 p)`` rounds."""
+        self._check_rank(root)
+        p = self.size
+        recs = []
+        # Virtual ranks relative to root.
+        mask = 1
+        while mask < p:
+            for vrank in range(0, p, 2 * mask):
+                peer = vrank + mask
+                if peer < p:
+                    src = (vrank + root) % p
+                    dst = (peer + root) % p
+                    recs.append(self._xfer(src, dst, nbytes))
+            mask <<= 1
+        return recs
+
+    def reduce(self, root: int, nbytes: int) -> list[TransferRecord]:
+        """Binomial-tree reduction (reverse of bcast)."""
+        self._check_rank(root)
+        p = self.size
+        recs = []
+        mask = 1
+        rounds = []
+        while mask < p:
+            for vrank in range(0, p, 2 * mask):
+                peer = vrank + mask
+                if peer < p:
+                    rounds.append((peer, vrank))
+            mask <<= 1
+        for src_v, dst_v in reversed(rounds):
+            recs.append(self._xfer((src_v + root) % p, (dst_v + root) % p, nbytes))
+        return recs
+
+    def allreduce(self, nbytes: int) -> list[TransferRecord]:
+        """Recursive doubling (power-of-two ranks exchange pairwise).
+
+        Non-power-of-two sizes use the standard pre/post folding steps.
+        """
+        p = self.size
+        recs = []
+        pof2 = 1
+        while pof2 * 2 <= p:
+            pof2 *= 2
+        rem = p - pof2
+        # Fold the remainder into the power-of-two set.
+        for i in range(rem):
+            recs.append(self._xfer(pof2 + i, i, nbytes))
+        mask = 1
+        while mask < pof2:
+            for rank in range(pof2):
+                peer = rank ^ mask
+                if rank < peer:
+                    recs.append(self._xfer(rank, peer, nbytes))
+                    recs.append(self._xfer(peer, rank, nbytes))
+            mask <<= 1
+        for i in range(rem):
+            recs.append(self._xfer(i, pof2 + i, nbytes))
+        return recs
+
+    def allgather(self, nbytes_per_rank: int) -> list[TransferRecord]:
+        """Ring allgather: p-1 rounds, each rank forwards one block."""
+        p = self.size
+        recs = []
+        for step in range(p - 1):
+            for rank in range(p):
+                recs.append(self._xfer(rank, (rank + 1) % p, nbytes_per_rank))
+        return recs
+
+    def alltoall(self, nbytes_per_pair: int) -> list[TransferRecord]:
+        """Pairwise exchange: every rank sends a block to every other."""
+        p = self.size
+        recs = []
+        for src in range(p):
+            for dst in range(p):
+                if src != dst:
+                    recs.append(self._xfer(src, dst, nbytes_per_pair))
+        return recs
+
+    def barrier(self) -> list[TransferRecord]:
+        """Dissemination barrier: ``ceil(log2 p)`` zero-payload rounds."""
+        from repro.transport.hybriddart import CONTROL_MSG_BYTES
+
+        p = self.size
+        recs = []
+        mask = 1
+        while mask < p:
+            for rank in range(p):
+                recs.append(
+                    self.dart.transfer(
+                        src_core=self.group.core(rank),
+                        dst_core=self.group.core((rank + mask) % p),
+                        nbytes=CONTROL_MSG_BYTES,
+                        kind=TransferKind.CONTROL,
+                        app_id=self.app_id,
+                    )
+                )
+            mask <<= 1
+        return recs

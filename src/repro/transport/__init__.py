@@ -1,0 +1,16 @@
+"""HybridDART transport substitute: records, metrics, cost model, RPC."""
+
+from repro.transport.costmodel import CostModel
+from repro.transport.hybriddart import CONTROL_MSG_BYTES, HybridDART
+from repro.transport.message import TransferKind, TransferRecord, Transport
+from repro.transport.metrics import TransferMetrics
+
+__all__ = [
+    "Transport",
+    "TransferKind",
+    "TransferRecord",
+    "TransferMetrics",
+    "CostModel",
+    "HybridDART",
+    "CONTROL_MSG_BYTES",
+]

@@ -1,0 +1,49 @@
+"""Analytic transfer-cost estimates.
+
+A contention-free latency + size/bandwidth model. The benches use the fluid
+flow simulator for headline timings (it models link sharing); this model
+provides quick estimates for schedule heuristics, sanity checks, and the
+examples, where running a full simulation would be noise.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import MachineSpec
+
+__all__ = ["CostModel"]
+
+
+class CostModel:
+    """Contention-free transfer time estimates on a machine."""
+
+    def __init__(self, machine: MachineSpec, network: NetworkModel | None = None) -> None:
+        self.machine = machine
+        self.network = network
+
+    def shm_time(self, nbytes: int) -> float:
+        """Intra-node transfer through shared memory."""
+        node = self.machine.node
+        return node.shm_latency + nbytes / node.shm_bandwidth
+
+    def network_time(self, nbytes: int, hops: int = 1) -> float:
+        """Inter-node transfer, bottlenecked by the slowest resource on the
+        path (NIC or torus link) and delayed by per-hop latency."""
+        net = self.machine.network
+        bw = min(net.nic_bandwidth, net.link_bandwidth)
+        return net.base_latency + hops * net.per_hop_latency + nbytes / bw
+
+    def transfer_time(self, nbytes: int, src_node: int, dst_node: int) -> float:
+        """Time for one transfer between two nodes (shm when equal)."""
+        if src_node == dst_node:
+            return self.shm_time(nbytes)
+        if self.network is not None:
+            hops = self.network.topology.hop_distance(src_node, dst_node)
+        else:
+            hops = 1
+        return self.network_time(nbytes, hops=hops)
+
+    def speedup_shm_over_network(self, nbytes: int) -> float:
+        """How much faster shared memory moves ``nbytes`` than the network —
+        the gap that makes in-situ placement worthwhile."""
+        return self.network_time(nbytes) / self.shm_time(nbytes)

@@ -1,0 +1,108 @@
+"""HybridDART: transport selection + asynchronous RPC abstraction.
+
+The paper's HybridDART layer "creates remotely accessible data buffers using
+either shared memory segments or RDMA memory regions, depending on whether
+the end-points of the data transfer are on the same node or on different
+nodes" and "provides an RPC-like abstraction". This module reproduces both
+behaviours for the simulated platform:
+
+* :meth:`HybridDART.transfer` classifies a core-to-core movement as SHM or
+  NETWORK from the cluster's core->node map, records it in the metrics
+  accumulator, and returns the record (the fluid simulator can then turn
+  records into timed flows).
+* :meth:`HybridDART.rpc` delivers small control messages to per-core
+  handlers — the mechanism the DHT uses for queries and registrations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.hardware.cluster import Cluster
+from repro.transport.message import TransferKind, TransferRecord, Transport
+from repro.transport.metrics import TransferMetrics
+
+__all__ = ["HybridDART", "CONTROL_MSG_BYTES"]
+
+#: nominal size of one control (RPC) message — a header plus a small payload.
+CONTROL_MSG_BYTES = 256
+
+
+class HybridDART:
+    """Transport layer bound to a cluster and a metrics accumulator."""
+
+    def __init__(self, cluster: Cluster, metrics: TransferMetrics | None = None) -> None:
+        self.cluster = cluster
+        self.metrics = metrics if metrics is not None else TransferMetrics()
+        self._handlers: dict[tuple[int, str], Callable[..., Any]] = {}
+
+    # -- transport selection ------------------------------------------------------
+
+    def classify(self, src_core: int, dst_core: int) -> Transport:
+        """SHM when the endpoints share a node, NETWORK otherwise."""
+        return (
+            Transport.SHM
+            if self.cluster.same_node(src_core, dst_core)
+            else Transport.NETWORK
+        )
+
+    def transfer(
+        self,
+        src_core: int,
+        dst_core: int,
+        nbytes: int,
+        kind: TransferKind,
+        app_id: int = -1,
+        var: str = "",
+    ) -> TransferRecord:
+        """Perform (record) one data transfer and return its record."""
+        if nbytes < 0:
+            raise TransportError(f"negative transfer size {nbytes}")
+        rec = TransferRecord(
+            src_core=src_core,
+            dst_core=dst_core,
+            nbytes=nbytes,
+            kind=kind,
+            transport=self.classify(src_core, dst_core),
+            app_id=app_id,
+            var=var,
+        )
+        self.metrics.record(rec)
+        return rec
+
+    # -- RPC ------------------------------------------------------------------------
+
+    def register_handler(
+        self, core: int, name: str, handler: Callable[..., Any]
+    ) -> None:
+        """Expose ``handler`` as RPC endpoint ``name`` on ``core``."""
+        if not 0 <= core < self.cluster.total_cores:
+            raise TransportError(f"core {core} out of range")
+        key = (core, name)
+        if key in self._handlers:
+            raise TransportError(f"handler {name!r} already registered on core {core}")
+        self._handlers[key] = handler
+
+    def unregister_handler(self, core: int, name: str) -> None:
+        if self._handlers.pop((core, name), None) is None:
+            raise TransportError(f"no handler {name!r} on core {core}")
+
+    def rpc(
+        self,
+        src_core: int,
+        dst_core: int,
+        name: str,
+        *args: Any,
+        payload_bytes: int = CONTROL_MSG_BYTES,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``name`` on ``dst_core``; accounts one control round-trip."""
+        handler = self._handlers.get((dst_core, name))
+        if handler is None:
+            raise TransportError(f"no handler {name!r} on core {dst_core}")
+        self.transfer(src_core, dst_core, payload_bytes, TransferKind.CONTROL)
+        result = handler(*args, **kwargs)
+        # Response message back to the caller.
+        self.transfer(dst_core, src_core, CONTROL_MSG_BYTES, TransferKind.CONTROL)
+        return result

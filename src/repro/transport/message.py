@@ -1,0 +1,47 @@
+"""Transfer records: what moved, between which cores, over which transport.
+
+Every data movement in the framework produces a :class:`TransferRecord`.
+The evaluation figures are aggregations over these records — e.g. Fig 8 is
+"bytes of ``COUPLING`` transfers whose transport is ``NETWORK``".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Transport", "TransferKind", "TransferRecord"]
+
+
+class Transport(enum.Enum):
+    """How a transfer physically moved."""
+
+    SHM = "shm"          # intra-node shared memory
+    NETWORK = "network"  # RDMA over the interconnect
+
+
+class TransferKind(enum.Enum):
+    """Why a transfer happened."""
+
+    COUPLING = "coupling"    # inter-application coupled-data redistribution
+    INTRA_APP = "intra_app"  # intra-application exchange (e.g. stencil halos)
+    CONTROL = "control"      # DHT queries, registrations, RPCs
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRecord:
+    """One data movement between two cores."""
+
+    src_core: int
+    dst_core: int
+    nbytes: int
+    kind: TransferKind
+    transport: Transport
+    #: application id of the *consumer* (receiving) side; -1 for control traffic
+    app_id: int = -1
+    #: variable name for coupling traffic, "" otherwise
+    var: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {self.nbytes}")

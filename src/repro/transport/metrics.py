@@ -1,0 +1,115 @@
+"""Aggregated transfer metrics.
+
+Accumulates byte and message counters keyed by (app, kind, transport) as
+records stream in — memory stays O(#distinct keys) however many transfers a
+scenario performs. The evaluation benches read their figures straight off
+these counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.transport.message import TransferKind, TransferRecord, Transport
+
+__all__ = ["TransferMetrics"]
+
+
+class TransferMetrics:
+    """Byte/count accumulator over transfer records."""
+
+    def __init__(self) -> None:
+        # (app_id, kind, transport) -> [bytes, count]
+        self._agg: dict[tuple[int, TransferKind, Transport], list[int]] = defaultdict(
+            lambda: [0, 0]
+        )
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, rec: TransferRecord) -> None:
+        cell = self._agg[(rec.app_id, rec.kind, rec.transport)]
+        cell[0] += rec.nbytes
+        cell[1] += 1
+
+    def record_all(self, recs: Iterable[TransferRecord]) -> None:
+        for rec in recs:
+            self.record(rec)
+
+    def clear(self) -> None:
+        self._agg.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def bytes(
+        self,
+        kind: TransferKind | None = None,
+        transport: Transport | None = None,
+        app_id: int | None = None,
+    ) -> int:
+        """Total bytes matching the given filters (None = any)."""
+        total = 0
+        for (a, k, t), (b, _) in self._agg.items():
+            if kind is not None and k is not kind:
+                continue
+            if transport is not None and t is not transport:
+                continue
+            if app_id is not None and a != app_id:
+                continue
+            total += b
+        return total
+
+    def count(
+        self,
+        kind: TransferKind | None = None,
+        transport: Transport | None = None,
+        app_id: int | None = None,
+    ) -> int:
+        """Number of transfers matching the given filters."""
+        total = 0
+        for (a, k, t), (_, c) in self._agg.items():
+            if kind is not None and k is not kind:
+                continue
+            if transport is not None and t is not transport:
+                continue
+            if app_id is not None and a != app_id:
+                continue
+            total += c
+        return total
+
+    # -- convenience shorthands used by the benches ---------------------------------
+
+    def network_bytes(
+        self, kind: TransferKind | None = None, app_id: int | None = None
+    ) -> int:
+        return self.bytes(kind=kind, transport=Transport.NETWORK, app_id=app_id)
+
+    def shm_bytes(
+        self, kind: TransferKind | None = None, app_id: int | None = None
+    ) -> int:
+        return self.bytes(kind=kind, transport=Transport.SHM, app_id=app_id)
+
+    def network_fraction(self, kind: TransferKind | None = None) -> float:
+        """Fraction of bytes (of a kind) that crossed the network."""
+        net = self.network_bytes(kind=kind)
+        total = net + self.shm_bytes(kind=kind)
+        return net / total if total else 0.0
+
+    def app_ids(self) -> list[int]:
+        return sorted({a for (a, _, _) in self._agg})
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable per-app table (bytes in MiB)."""
+        lines = [
+            f"{'app':>5} {'kind':>10} {'transport':>9} {'MiB':>12} {'msgs':>8}"
+        ]
+        for (a, k, t) in sorted(
+            self._agg, key=lambda key: (key[0], key[1].value, key[2].value)
+        ):
+            b, c = self._agg[(a, k, t)]
+            lines.append(
+                f"{a:>5} {k.value:>10} {t.value:>9} {b / 2**20:>12.2f} {c:>8}"
+            )
+        return "\n".join(lines)

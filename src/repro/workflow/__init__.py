@@ -1,0 +1,33 @@
+"""Workflow management: DAG + bundles, description files, server, engine."""
+
+from repro.workflow.clients import (
+    ClientState,
+    CommGroup,
+    ExecutionClient,
+    comm_split,
+    form_groups,
+)
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import AppContext, AppRun, WorkflowEngine
+from repro.workflow.parser import ParsedDag, build_workflow, parse_dag, write_dag
+from repro.workflow.server import WorkflowManagementServer
+from repro.workflow.visualize import render_dag
+
+__all__ = [
+    "Bundle",
+    "WorkflowDAG",
+    "ParsedDag",
+    "parse_dag",
+    "write_dag",
+    "build_workflow",
+    "ClientState",
+    "ExecutionClient",
+    "CommGroup",
+    "comm_split",
+    "form_groups",
+    "WorkflowManagementServer",
+    "AppContext",
+    "AppRun",
+    "WorkflowEngine",
+    "render_dag",
+]

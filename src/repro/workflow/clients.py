@@ -1,0 +1,127 @@
+"""Execution clients: dynamic grouping and communicator emulation (§IV-C).
+
+One execution client runs per core. After mapping, "each execution client is
+colored with the value of application id ... Execution clients with the same
+color form a processes group at runtime", then ``MPI_Comm_split`` creates a
+communicator per group with "the computation task's process rank value to
+control rank assignment within the group".
+
+:func:`comm_split` reproduces exactly the MPI semantics: clients supply a
+(color, key) pair; one group forms per color; ranks are assigned by
+ascending key (ties broken by the caller's id, as MPI does).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.mapping.base import MappingResult
+from repro.core.task import AppSpec
+from repro.errors import RegistrationError, WorkflowError
+
+__all__ = ["ClientState", "ExecutionClient", "CommGroup", "comm_split", "form_groups"]
+
+
+class ClientState(enum.Enum):
+    IDLE = "idle"
+    ASSIGNED = "assigned"
+    RUNNING = "running"
+
+
+@dataclass
+class ExecutionClient:
+    """One per core; tracks its color (app id) and assigned task."""
+
+    core: int
+    state: ClientState = ClientState.IDLE
+    color: int | None = None
+    task_rank: int | None = None
+
+    def assign(self, app_id: int, rank: int) -> None:
+        if self.state is not ClientState.IDLE:
+            raise RegistrationError(
+                f"client on core {self.core} is {self.state.value}, not idle"
+            )
+        self.color = app_id
+        self.task_rank = rank
+        self.state = ClientState.ASSIGNED
+
+    def release(self) -> None:
+        self.color = None
+        self.task_rank = None
+        self.state = ClientState.IDLE
+
+
+@dataclass(frozen=True)
+class CommGroup:
+    """An MPI-communicator-like group: color + rank -> core table."""
+
+    color: int
+    core_of_rank: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.core_of_rank)
+
+    def core(self, rank: int) -> int:
+        try:
+            return self.core_of_rank[rank]
+        except KeyError:
+            raise WorkflowError(
+                f"rank {rank} not in group of color {self.color}"
+            ) from None
+
+    def ranks(self) -> list[int]:
+        return sorted(self.core_of_rank)
+
+
+def comm_split(members: list[tuple[int, int, int]]) -> dict[int, CommGroup]:
+    """``MPI_Comm_split`` semantics over ``(core, color, key)`` triples.
+
+    Returns one :class:`CommGroup` per color with dense ranks ``0..size-1``
+    ordered by (key, core).
+    """
+    by_color: dict[int, list[tuple[int, int]]] = {}
+    seen_cores: set[int] = set()
+    for core, color, key in members:
+        if core in seen_cores:
+            raise WorkflowError(f"core {core} appears twice in comm_split")
+        seen_cores.add(core)
+        by_color.setdefault(color, []).append((key, core))
+    groups: dict[int, CommGroup] = {}
+    for color, entries in by_color.items():
+        entries.sort()
+        groups[color] = CommGroup(
+            color=color,
+            core_of_rank={rank: core for rank, (_, core) in enumerate(entries)},
+        )
+    return groups
+
+
+def form_groups(
+    apps: list[AppSpec], mapping: MappingResult
+) -> dict[int, CommGroup]:
+    """Color the mapped execution clients and split them into app groups.
+
+    Uses each task's process rank as the split key, so group rank ==
+    task rank — the paper's rank-assignment control.
+    """
+    members: list[tuple[int, int, int]] = []
+    for app in apps:
+        for rank in range(app.ntasks):
+            core = mapping.core_of(app.app_id, rank)
+            members.append((core, app.app_id, rank))
+    groups = comm_split(members)
+    for app in apps:
+        group = groups.get(app.app_id)
+        if group is None or group.size != app.ntasks:
+            raise WorkflowError(
+                f"group for app {app.app_id} has wrong size"
+            )
+        for rank in range(app.ntasks):
+            if group.core(rank) != mapping.core_of(app.app_id, rank):
+                raise WorkflowError(
+                    f"rank assignment mismatch for app {app.app_id} rank {rank}"
+                )
+    return groups

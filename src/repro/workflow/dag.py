@@ -1,0 +1,163 @@
+"""DAG-based workflow model with bundles (paper §III-B).
+
+A workflow is a DAG whose vertices are parallel applications; edges are data
+dependencies between *sequentially* coupled applications. The paper extends
+the classic representation "with the concept of a 'bundle' which represents
+a group of parallel applications that need to be scheduled simultaneously".
+
+Every application belongs to exactly one bundle (singleton bundles for apps
+that run alone); edges never connect two apps of the same bundle (they run
+concurrently — ordering them would be contradictory); and the bundle-level
+graph must be acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.task import AppSpec
+from repro.errors import WorkflowError
+
+__all__ = ["Bundle", "WorkflowDAG"]
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """A set of applications scheduled simultaneously."""
+
+    app_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        ids = tuple(sorted(set(self.app_ids)))
+        if not ids:
+            raise WorkflowError("bundle must contain at least one application")
+        object.__setattr__(self, "app_ids", ids)
+
+    def __contains__(self, app_id: int) -> bool:
+        return app_id in self.app_ids
+
+    def __len__(self) -> int:
+        return len(self.app_ids)
+
+
+class WorkflowDAG:
+    """Applications + dependency edges + bundles."""
+
+    def __init__(
+        self,
+        apps: Iterable[AppSpec],
+        edges: Iterable[tuple[int, int]] = (),
+        bundles: Iterable[Bundle] = (),
+    ) -> None:
+        self.apps: dict[int, AppSpec] = {}
+        for app in apps:
+            if app.app_id in self.apps:
+                raise WorkflowError(f"duplicate app id {app.app_id}")
+            self.apps[app.app_id] = app
+        if not self.apps:
+            raise WorkflowError("workflow must contain at least one application")
+
+        self.edges: list[tuple[int, int]] = []
+        for parent, child in edges:
+            if parent not in self.apps or child not in self.apps:
+                raise WorkflowError(f"edge ({parent}, {child}) references unknown app")
+            if parent == child:
+                raise WorkflowError(f"self-edge on app {parent}")
+            self.edges.append((parent, child))
+
+        bundle_list = list(bundles)
+        covered = [a for b in bundle_list for a in b.app_ids]
+        if len(covered) != len(set(covered)):
+            raise WorkflowError("an application appears in more than one bundle")
+        unknown = set(covered) - set(self.apps)
+        if unknown:
+            raise WorkflowError(f"bundles reference unknown apps: {sorted(unknown)}")
+        # Apps not in any explicit bundle get singleton bundles.
+        missing = sorted(set(self.apps) - set(covered))
+        bundle_list.extend(Bundle((a,)) for a in missing)
+        self.bundles: list[Bundle] = bundle_list
+
+        self._bundle_of: dict[int, int] = {}
+        for i, b in enumerate(self.bundles):
+            for a in b.app_ids:
+                self._bundle_of[a] = i
+
+        self._validate()
+
+    # -- validation ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for parent, child in self.edges:
+            if self._bundle_of[parent] == self._bundle_of[child]:
+                raise WorkflowError(
+                    f"edge ({parent}, {child}) connects apps in the same bundle"
+                )
+        # Acyclicity at the bundle level.
+        try:
+            self.bundle_schedule()
+        except WorkflowError:
+            raise
+        # Domain compatibility inside bundles (they will be mapped together).
+        for b in self.bundles:
+            domains = {self.apps[a].descriptor.domain_size for a in b.app_ids}
+            if len(domains) > 1:
+                raise WorkflowError(
+                    f"bundle {b.app_ids} mixes domains {sorted(domains)}"
+                )
+
+    # -- structure queries ---------------------------------------------------------------
+
+    def bundle_of(self, app_id: int) -> Bundle:
+        try:
+            return self.bundles[self._bundle_of[app_id]]
+        except KeyError:
+            raise WorkflowError(f"unknown app id {app_id}") from None
+
+    def parents(self, app_id: int) -> list[int]:
+        return sorted(p for p, c in self.edges if c == app_id)
+
+    def children(self, app_id: int) -> list[int]:
+        return sorted(c for p, c in self.edges if p == app_id)
+
+    def roots(self) -> list[int]:
+        have_parent = {c for _, c in self.edges}
+        return sorted(a for a in self.apps if a not in have_parent)
+
+    def bundle_parents(self, bundle_index: int) -> set[int]:
+        """Indices of bundles that must complete before this one starts."""
+        out = set()
+        for app_id in self.bundles[bundle_index].app_ids:
+            for p in self.parents(app_id):
+                out.add(self._bundle_of[p])
+        return out
+
+    def bundle_schedule(self) -> list[int]:
+        """Topological order of bundle indices (Kahn's algorithm).
+
+        Raises :class:`WorkflowError` on a cycle.
+        """
+        n = len(self.bundles)
+        indeg = [len(self.bundle_parents(i)) for i in range(n)]
+        ready = sorted(i for i in range(n) if indeg[i] == 0)
+        order: list[int] = []
+        children: dict[int, set[int]] = {i: set() for i in range(n)}
+        for i in range(n):
+            for p in self.bundle_parents(i):
+                children[p].add(i)
+        while ready:
+            i = ready.pop(0)
+            order.append(i)
+            for c in sorted(children[i]):
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        if len(order) != n:
+            raise WorkflowError("workflow DAG contains a cycle")
+        return order
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkflowDAG(apps={sorted(self.apps)}, edges={self.edges}, "
+            f"bundles={[b.app_ids for b in self.bundles]})"
+        )

@@ -1,0 +1,221 @@
+"""The workflow engine: DAG enactment over the discrete-event simulator.
+
+Responsibilities (paper §III-A): manage "the correct enactment and progress
+of DAG-based scientific workflows", track client availability, allocate
+clients to the component applications, and drive the initial distribution of
+computation tasks.
+
+Bundles launch when every parent application has completed. At launch the
+engine runs the bundle's task mapper (round-robin by default; install a
+data-centric mapper per bundle with :meth:`WorkflowEngine.set_bundle_mapper`),
+forms per-application communicator groups via the ``comm_split`` emulation,
+and invokes each application's registered routine — the analogue of the
+paper's statically linked MPI subroutines. A routine returns its simulated
+duration in seconds (or ``None`` for instantaneous), which schedules the
+application's completion event.
+
+Mapper context values may be zero-argument callables: they are resolved at
+*launch* time, which lets a sequential consumer bundle reference the Data
+Lookup service that only has content once the producer has run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.mapping.base import MappingResult, TaskMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.task import AppSpec
+from repro.errors import WorkflowError
+from repro.hardware.cluster import Cluster
+from repro.sim.engine import SimEngine
+from repro.workflow.clients import CommGroup, form_groups
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.server import WorkflowManagementServer
+
+__all__ = ["AppContext", "AppRun", "TraceEvent", "WorkflowEngine"]
+
+
+@dataclass(frozen=True)
+class AppContext:
+    """Everything an application routine can see when it runs."""
+
+    app: AppSpec
+    group: CommGroup
+    mapping: MappingResult
+    start_time: float
+    engine: "WorkflowEngine"
+
+    def core_of_rank(self, rank: int) -> int:
+        return self.group.core(rank)
+
+
+#: An application body: runs at launch, returns simulated duration (seconds).
+AppRoutine = Callable[[AppContext], "float | None"]
+
+
+@dataclass
+class AppRun:
+    """Execution record of one application."""
+
+    app_id: int
+    start: float = 0.0
+    finish: float = 0.0
+    mapping: MappingResult | None = None
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry of the engine's execution trace."""
+
+    time: float
+    event: str          # "bundle_launched" | "app_started" | "app_completed"
+    bundle: int
+    app_id: int = -1
+    detail: str = ""
+
+    def __str__(self) -> str:
+        who = f" app={self.app_id}" if self.app_id >= 0 else ""
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"[t={self.time:10.6f}] {self.event} bundle={self.bundle}{who}{extra}"
+
+
+class WorkflowEngine:
+    """Enacts one workflow DAG on a cluster."""
+
+    def __init__(
+        self,
+        dag: WorkflowDAG,
+        cluster: Cluster,
+        server: WorkflowManagementServer | None = None,
+        sim: SimEngine | None = None,
+    ) -> None:
+        self.dag = dag
+        self.cluster = cluster
+        self.server = server if server is not None else WorkflowManagementServer(cluster)
+        self.server.register_all()
+        self.sim = sim if sim is not None else SimEngine()
+        self._routines: dict[int, AppRoutine] = {}
+        self._mappers: dict[int, tuple[TaskMapper, dict[str, Any]]] = {}
+        self.default_mapper: TaskMapper = RoundRobinMapper()
+        self.runs: dict[int, AppRun] = {}
+        self.trace: list[TraceEvent] = []
+        self._executed = False
+
+    # -- configuration ----------------------------------------------------------------
+
+    def set_routine(self, app_id: int, routine: AppRoutine) -> None:
+        if app_id not in self.dag.apps:
+            raise WorkflowError(f"unknown app id {app_id}")
+        self._routines[app_id] = routine
+
+    def set_bundle_mapper(
+        self, bundle_index: int, mapper: TaskMapper, **context: Any
+    ) -> None:
+        """Install a mapper (+ context) for one bundle. Context values that
+        are zero-arg callables are resolved at launch time."""
+        if not 0 <= bundle_index < len(self.dag.bundles):
+            raise WorkflowError(f"bundle index {bundle_index} out of range")
+        self._mappers[bundle_index] = (mapper, dict(context))
+
+    def bundle_index_of(self, app_id: int) -> int:
+        for i, b in enumerate(self.dag.bundles):
+            if app_id in b:
+                return i
+        raise WorkflowError(f"unknown app id {app_id}")
+
+    # -- enactment ----------------------------------------------------------------------
+
+    def run(self) -> dict[int, AppRun]:
+        """Execute the whole workflow; returns per-application run records."""
+        if self._executed:
+            raise WorkflowError("engine already ran; build a new one to re-run")
+        self._executed = True
+        n = len(self.dag.bundles)
+        self._indeg = [len(self.dag.bundle_parents(i)) for i in range(n)]
+        self._bundle_children: dict[int, set[int]] = {i: set() for i in range(n)}
+        for i in range(n):
+            for p in self.dag.bundle_parents(i):
+                self._bundle_children[p].add(i)
+        self._apps_pending: dict[int, int] = {}
+        for i in range(n):
+            if self._indeg[i] == 0:
+                self.sim.schedule(0.0, self._launch_bundle, i)
+        self.sim.run()
+        missing = set(self.dag.apps) - set(self.runs)
+        if missing:
+            raise WorkflowError(f"apps never ran (broken DAG?): {sorted(missing)}")
+        return self.runs
+
+    @property
+    def makespan(self) -> float:
+        if not self.runs:
+            return 0.0
+        return max(r.finish for r in self.runs.values())
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _resolve_context(self, context: dict[str, Any]) -> dict[str, Any]:
+        return {k: (v() if callable(v) else v) for k, v in context.items()}
+
+    def format_trace(self) -> str:
+        """The execution trace as one line per event."""
+        return "\n".join(str(ev) for ev in self.trace)
+
+    def _launch_bundle(self, index: int) -> None:
+        bundle = self.dag.bundles[index]
+        apps = [self.dag.apps[a] for a in bundle.app_ids]
+        self.trace.append(TraceEvent(
+            time=self.sim.now, event="bundle_launched", bundle=index,
+            detail=f"apps={list(bundle.app_ids)}",
+        ))
+        mapper, context = self._mappers.get(index, (self.default_mapper, {}))
+        resolved = self._resolve_context(context)
+        # Concurrent bundles must not collide: restrict to idle clients.
+        resolved.setdefault("available_cores", self.server.idle_cores())
+        mapping = mapper.map_bundle(apps, self.cluster, **resolved)
+        groups = form_groups(apps, mapping)
+        for app in apps:
+            for rank in range(app.ntasks):
+                self.server.assign_task(mapping.core_of(app.app_id, rank),
+                                        app.app_id, rank)
+        self._apps_pending[index] = len(apps)
+        now = self.sim.now
+        for app in apps:
+            ctx = AppContext(
+                app=app,
+                group=groups[app.app_id],
+                mapping=mapping,
+                start_time=now,
+                engine=self,
+            )
+            routine = self._routines.get(app.app_id, lambda _ctx: 0.0)
+            duration = routine(ctx)
+            duration = 0.0 if duration is None else float(duration)
+            if duration < 0:
+                raise WorkflowError(
+                    f"routine of app {app.app_id} returned negative duration"
+                )
+            self.runs[app.app_id] = AppRun(
+                app_id=app.app_id, start=now, finish=now + duration, mapping=mapping
+            )
+            self.trace.append(TraceEvent(
+                time=now, event="app_started", bundle=index, app_id=app.app_id,
+                detail=f"{app.ntasks} tasks on "
+                       f"{len(mapping.nodes_used())} nodes",
+            ))
+            self.sim.schedule(duration, self._complete_app, index, app.app_id)
+
+    def _complete_app(self, bundle_index: int, app_id: int) -> None:
+        self.trace.append(TraceEvent(
+            time=self.sim.now, event="app_completed", bundle=bundle_index,
+            app_id=app_id,
+        ))
+        self.server.release_app(app_id)
+        self._apps_pending[bundle_index] -= 1
+        if self._apps_pending[bundle_index] == 0:
+            for child in sorted(self._bundle_children[bundle_index]):
+                self._indeg[child] -= 1
+                if self._indeg[child] == 0:
+                    self.sim.schedule(0.0, self._launch_bundle, child)

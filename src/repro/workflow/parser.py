@@ -1,0 +1,141 @@
+"""Parser/writer for the workflow description file (paper Listing 1).
+
+The file format, verbatim from the paper::
+
+    # Climate Modeling Workflow
+    APP_ID 1
+    APP_ID 2
+    APP_ID 3
+    PARENT_APPID 1 CHILD_APPID 2
+    PARENT_APPID 1 CHILD_APPID 3
+    BUNDLE 1
+    BUNDLE 2 3
+
+``#`` starts a comment; blank lines are ignored. We additionally allow an
+optional ``DECOMP <app_id> <descriptor>`` line carrying the app's
+decomposition descriptor in the :class:`DecompositionDescriptor` string
+form, so a description file can be self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import DagParseError, DecompositionError
+from repro.workflow.dag import Bundle, WorkflowDAG
+
+__all__ = ["ParsedDag", "parse_dag", "write_dag", "build_workflow"]
+
+
+@dataclass
+class ParsedDag:
+    """Raw structure read from a description file."""
+
+    app_ids: list[int] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    bundles: list[tuple[int, ...]] = field(default_factory=list)
+    decomps: dict[int, DecompositionDescriptor] = field(default_factory=dict)
+
+
+def parse_dag(text: str) -> ParsedDag:
+    """Parse a Listing-1 style description."""
+    parsed = ParsedDag()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].upper()
+        try:
+            if keyword == "APP_ID":
+                if len(tokens) != 2:
+                    raise DagParseError("APP_ID takes exactly one id")
+                app_id = int(tokens[1])
+                if app_id in parsed.app_ids:
+                    raise DagParseError(f"duplicate APP_ID {app_id}")
+                parsed.app_ids.append(app_id)
+            elif keyword == "PARENT_APPID":
+                if len(tokens) != 4 or tokens[2].upper() != "CHILD_APPID":
+                    raise DagParseError(
+                        "expected 'PARENT_APPID <id> CHILD_APPID <id>'"
+                    )
+                parsed.edges.append((int(tokens[1]), int(tokens[3])))
+            elif keyword == "BUNDLE":
+                if len(tokens) < 2:
+                    raise DagParseError("BUNDLE needs at least one app id")
+                parsed.bundles.append(tuple(int(t) for t in tokens[1:]))
+            elif keyword == "DECOMP":
+                if len(tokens) < 3:
+                    raise DagParseError("DECOMP needs an app id and a descriptor")
+                try:
+                    parsed.decomps[int(tokens[1])] = (
+                        DecompositionDescriptor.from_string(" ".join(tokens[2:]))
+                    )
+                except DecompositionError as exc:
+                    raise DagParseError(f"bad DECOMP descriptor: {exc}") from exc
+            else:
+                raise DagParseError(f"unknown keyword {tokens[0]!r}")
+        except ValueError as exc:
+            raise DagParseError(f"line {lineno}: non-integer id in {line!r}") from exc
+        except DagParseError as exc:
+            raise DagParseError(f"line {lineno}: {exc}") from None
+
+    if not parsed.app_ids:
+        raise DagParseError("description declares no applications")
+    declared = set(parsed.app_ids)
+    for p, c in parsed.edges:
+        if p not in declared or c not in declared:
+            raise DagParseError(f"edge ({p}, {c}) references undeclared app")
+    for bundle in parsed.bundles:
+        for a in bundle:
+            if a not in declared:
+                raise DagParseError(f"BUNDLE references undeclared app {a}")
+    return parsed
+
+
+def write_dag(dag: WorkflowDAG) -> str:
+    """Render a workflow back to the description-file format."""
+    lines = []
+    for app_id in sorted(dag.apps):
+        lines.append(f"APP_ID {app_id}")
+    for parent, child in dag.edges:
+        lines.append(f"PARENT_APPID {parent} CHILD_APPID {child}")
+    for bundle in dag.bundles:
+        lines.append("BUNDLE " + " ".join(str(a) for a in bundle.app_ids))
+    for app_id in sorted(dag.apps):
+        lines.append(f"DECOMP {app_id} {dag.apps[app_id].descriptor.to_string()}")
+    return "\n".join(lines) + "\n"
+
+
+def build_workflow(
+    parsed: ParsedDag,
+    specs: "dict[int, AppSpec] | None" = None,
+    default_element_size: int = 8,
+) -> WorkflowDAG:
+    """Materialize a workflow from a parsed description.
+
+    App specs come either from ``specs`` (keyed by app id) or from the
+    file's own ``DECOMP`` lines; every declared app needs one or the other.
+    """
+    specs = dict(specs or {})
+    apps: list[AppSpec] = []
+    for app_id in parsed.app_ids:
+        if app_id in specs:
+            apps.append(specs[app_id])
+        elif app_id in parsed.decomps:
+            apps.append(
+                AppSpec(
+                    app_id=app_id,
+                    name=f"app{app_id}",
+                    descriptor=parsed.decomps[app_id],
+                    element_size=default_element_size,
+                )
+            )
+        else:
+            raise DagParseError(
+                f"no spec or DECOMP line for app {app_id}"
+            )
+    bundles = [Bundle(b) for b in parsed.bundles]
+    return WorkflowDAG(apps=apps, edges=parsed.edges, bundles=bundles)

@@ -1,0 +1,85 @@
+"""The workflow management server (paper §III-A, Fig 4).
+
+Acts as the rendezvous point: execution clients register at bootstrap (the
+Execution Client Management module keeps their "network addresses" — here,
+core ids), and the server tracks availability and allocates clients to the
+parallel applications of each bundle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegistrationError
+from repro.hardware.cluster import Cluster
+from repro.workflow.clients import ClientState, ExecutionClient
+
+__all__ = ["WorkflowManagementServer"]
+
+
+class WorkflowManagementServer:
+    """Client registry + availability tracking."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._clients: dict[int, ExecutionClient] = {}
+
+    # -- registration (Execution Client Management) ---------------------------------
+
+    def register_client(self, core: int) -> ExecutionClient:
+        if not 0 <= core < self.cluster.total_cores:
+            raise RegistrationError(f"core {core} out of range")
+        if core in self._clients:
+            raise RegistrationError(f"core {core} already registered")
+        client = ExecutionClient(core=core)
+        self._clients[core] = client
+        return client
+
+    def register_all(self) -> None:
+        """Bootstrap one execution client per core of the cluster."""
+        for core in self.cluster.cores():
+            if core not in self._clients:
+                self.register_client(core)
+
+    def unregister_client(self, core: int) -> None:
+        client = self._clients.pop(core, None)
+        if client is None:
+            raise RegistrationError(f"core {core} is not registered")
+
+    def client(self, core: int) -> ExecutionClient:
+        try:
+            return self._clients[core]
+        except KeyError:
+            raise RegistrationError(f"core {core} is not registered") from None
+
+    # -- availability / allocation ----------------------------------------------------
+
+    @property
+    def num_registered(self) -> int:
+        return len(self._clients)
+
+    def idle_cores(self) -> list[int]:
+        return sorted(
+            core
+            for core, c in self._clients.items()
+            if c.state is ClientState.IDLE
+        )
+
+    def allocate(self, num_cores: int) -> list[int]:
+        """Reserve ``num_cores`` idle clients (lowest core ids first)."""
+        idle = self.idle_cores()
+        if len(idle) < num_cores:
+            raise RegistrationError(
+                f"requested {num_cores} clients, only {len(idle)} idle"
+            )
+        return idle[:num_cores]
+
+    def assign_task(self, core: int, app_id: int, rank: int) -> None:
+        self.client(core).assign(app_id, rank)
+
+    def release_app(self, app_id: int) -> int:
+        """Return every client colored ``app_id`` to the idle pool."""
+        released = 0
+        for client in self._clients.values():
+            if client.color == app_id:
+                client.release()
+                released += 1
+        return released

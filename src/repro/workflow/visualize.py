@@ -1,0 +1,49 @@
+"""ASCII rendering of workflow DAGs.
+
+Gives the CLI ``dag`` command (and debugging sessions) a quick picture of
+the enactment structure: bundles laid out in topological waves, apps inside
+their bundles, and the dependency edges listed per wave.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.dag import WorkflowDAG
+
+__all__ = ["render_dag"]
+
+
+def render_dag(dag: WorkflowDAG) -> str:
+    """Render the bundle-level schedule as topological waves.
+
+    Output shape::
+
+        wave 0:  [1:atmosphere]
+        wave 1:  [2:land  3:sea-ice]        <- after: 1
+    """
+    order = dag.bundle_schedule()
+    # Wave index = longest-path depth in the bundle graph.
+    depth: dict[int, int] = {}
+    for b in order:
+        parents = dag.bundle_parents(b)
+        depth[b] = 1 + max((depth[p] for p in parents), default=-1)
+    waves: dict[int, list[int]] = {}
+    for b, d in depth.items():
+        waves.setdefault(d, []).append(b)
+
+    lines = []
+    for d in sorted(waves):
+        cells = []
+        after: set[int] = set()
+        for b in sorted(waves[d]):
+            bundle = dag.bundles[b]
+            names = "  ".join(
+                f"{a}:{dag.apps[a].name}" for a in bundle.app_ids
+            )
+            cells.append(f"[{names}]")
+            for app_id in bundle.app_ids:
+                after.update(dag.parents(app_id))
+        line = f"wave {d}:  " + "  ".join(cells)
+        if after:
+            line += f"        <- after: {', '.join(str(a) for a in sorted(after))}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ascii import bar_chart, grouped_bars, sparkline
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [10.0, 5.0], width=10, unit=" MiB")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+        assert "10 MiB" in lines[0]
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart(["x", "y"], [0.0, 4.0])
+        assert out.splitlines()[0].count("█") == 0
+
+    def test_tiny_nonzero_gets_one_block(self):
+        out = bar_chart(["x", "y"], [0.001, 100.0], width=10)
+        assert out.splitlines()[0].count("█") == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        out = grouped_bars(
+            ["B/B", "B/C"],
+            {"RR": [15.0, 15.0], "DC": [3.0, 13.5]},
+        )
+        lines = out.splitlines()
+        assert lines[0] == "B/B:"
+        assert any("RR" in l for l in lines)
+        assert any("DC" in l for l in lines)
+        assert len(lines) == 6
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bars(["a"], {"s": [1.0, 2.0]})
+
+
+class TestSparkline:
+    def test_monotone(self):
+        out = sparkline([1, 2, 3, 4])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert len(out) == 4
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, float("nan")])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+    def test_length_and_alphabet(self, vals):
+        out = sparkline(vals)
+        assert len(out) == len(vals)
+        assert set(out) <= set("▁▂▃▄▅▆▇█")

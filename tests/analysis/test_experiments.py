@@ -1,0 +1,125 @@
+"""Tests for the scenario experiment driver — the paper's headline claims in
+the small."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    DATA_CENTRIC,
+    ROUND_ROBIN,
+    make_mapper,
+    run_scenario,
+)
+from repro.analysis.report import reduction
+from repro.apps.scenarios import small_concurrent, small_sequential
+from repro.cods.space import CoDS
+from repro.errors import ReproError
+from repro.transport.message import TransferKind
+
+
+class TestConcurrentScenario:
+    def test_round_robin_vs_data_centric_network_bytes(self):
+        """Fig 8's headline: DC moves far less coupled data over the network
+        when both apps are blocked."""
+        rr = run_scenario(small_concurrent(), ROUND_ROBIN)
+        dc = run_scenario(small_concurrent(), DATA_CENTRIC)
+        rr_net = rr.metrics.network_bytes(TransferKind.COUPLING)
+        dc_net = dc.metrics.network_bytes(TransferKind.COUPLING)
+        assert reduction(rr_net, dc_net) > 0.5
+
+    def test_total_coupled_volume_identical(self):
+        """Mapping changes *where* bytes move, never *how many*."""
+        rr = run_scenario(small_concurrent(), ROUND_ROBIN)
+        dc = run_scenario(small_concurrent(), DATA_CENTRIC)
+        total = lambda r: (
+            r.metrics.network_bytes(TransferKind.COUPLING)
+            + r.metrics.shm_bytes(TransferKind.COUPLING)
+        )
+        sc = small_concurrent()
+        assert total(rr) == total(dc) == sc.coupled_bytes
+
+    def test_retrieval_times(self):
+        rr = run_scenario(small_concurrent(), ROUND_ROBIN, time_transfers=True)
+        dc = run_scenario(small_concurrent(), DATA_CENTRIC, time_transfers=True)
+        cid = rr.consumer_ids[0]
+        assert dc.retrieval_times[cid] < rr.retrieval_times[cid]
+
+    def test_schedules_complete(self):
+        res = run_scenario(small_concurrent(), DATA_CENTRIC)
+        sc = res.scenario
+        cons = sc.consumers[0]
+        total_cells = sum(
+            s.total_cells for s in res.schedules[cons.app_id].values()
+        )
+        assert total_cells * cons.element_size == sc.coupled_bytes
+
+    def test_mappings_recorded(self):
+        res = run_scenario(small_concurrent(), DATA_CENTRIC)
+        assert set(res.mappings) == {1, 2}
+
+
+class TestSequentialScenario:
+    def test_network_reduction(self):
+        """Fig 9's headline for the sequential scenario."""
+        rr = run_scenario(small_sequential(), ROUND_ROBIN)
+        dc = run_scenario(small_sequential(), DATA_CENTRIC)
+        rr_net = rr.metrics.network_bytes(TransferKind.COUPLING)
+        dc_net = dc.metrics.network_bytes(TransferKind.COUPLING)
+        assert reduction(rr_net, dc_net) > 0.6
+
+    def test_both_consumers_ran(self):
+        res = run_scenario(small_sequential(), DATA_CENTRIC)
+        assert set(res.schedules) == {2, 3}
+        assert all(res.schedules[i] for i in (2, 3))
+
+    def test_consumers_reuse_producer_nodes(self):
+        res = run_scenario(small_sequential(), DATA_CENTRIC)
+        producer_nodes = res.mappings[1].nodes_used()
+        for cid in (2, 3):
+            assert res.mappings[cid].nodes_used() <= producer_nodes
+
+    def test_retrieval_times_simultaneous(self):
+        res = run_scenario(small_sequential(), DATA_CENTRIC, time_transfers=True)
+        assert res.retrieval_times[2] > 0 and res.retrieval_times[3] > 0
+
+    def test_stencil_traffic_recorded(self):
+        res = run_scenario(small_sequential(), DATA_CENTRIC, stencil_iterations=1)
+        assert res.metrics.bytes(kind=TransferKind.INTRA_APP) > 0
+
+    def test_data_centric_increases_consumer_intra_app_network(self):
+        """Fig 13's trade-off: the scattered consumer (SAP2) pays more
+        intra-app network traffic under DC than under RR."""
+        rr = run_scenario(small_sequential(), ROUND_ROBIN, stencil_iterations=1)
+        dc = run_scenario(small_sequential(), DATA_CENTRIC, stencil_iterations=1)
+        rr_net = rr.metrics.network_bytes(TransferKind.INTRA_APP, app_id=2)
+        dc_net = dc.metrics.network_bytes(TransferKind.INTRA_APP, app_id=2)
+        assert dc_net >= rr_net
+
+    def test_coupling_dominates_total_cost(self):
+        """Figs 14-15: coupling is the dominant network cost under RR, so DC
+        wins overall despite the intra-app increase."""
+        rr = run_scenario(small_sequential(), ROUND_ROBIN, stencil_iterations=1)
+        dc = run_scenario(small_sequential(), DATA_CENTRIC, stencil_iterations=1)
+        assert rr.metrics.network_bytes(TransferKind.COUPLING) > rr.metrics.network_bytes(
+            TransferKind.INTRA_APP
+        )
+        total = lambda r: r.metrics.network_bytes(
+            TransferKind.COUPLING
+        ) + r.metrics.network_bytes(TransferKind.INTRA_APP)
+        assert total(dc) < total(rr)
+
+
+class TestMakeMapper:
+    def test_unknown_mapper(self):
+        sc = small_concurrent()
+        with pytest.raises(ReproError):
+            make_mapper("magic", sc, CoDS(sc.cluster, sc.domain))
+
+    def test_mode_dispatch(self):
+        sc_c = small_concurrent()
+        sc_s = small_sequential()
+        m_c, ctx_c = make_mapper(DATA_CENTRIC, sc_c, CoDS(sc_c.cluster, sc_c.domain))
+        m_s, ctx_s = make_mapper(DATA_CENTRIC, sc_s, CoDS(sc_s.cluster, sc_s.domain))
+        assert "couplings" in ctx_c
+        assert "lookup" in ctx_s
+        assert type(m_c).__name__ == "ServerSideMapper"
+        assert type(m_s).__name__ == "ClientSideMapper"

@@ -1,0 +1,49 @@
+"""Tests for the reporting helpers."""
+
+from repro.analysis.report import format_table, mib, ms, reduction, series
+
+
+class TestUnits:
+    def test_mib(self):
+        assert mib(1 << 20) == 1.0
+        assert mib(0) == 0.0
+
+    def test_ms(self):
+        assert ms(0.25) == 250.0
+
+    def test_reduction(self):
+        assert reduction(100, 20) == 0.8
+        assert reduction(0, 5) == 0.0
+        assert reduction(10, 10) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 20.0]],
+                           title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Columns align: all rows same width.
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_mixed_types(self):
+        out = format_table(["k", "v"], [["row", 42], ["other", "text"]])
+        assert "42" in out and "text" in out
+
+
+class TestSeries:
+    def test_format(self):
+        out = series("CAP2", [512, 1024], [0.001, 0.002])
+        assert out.startswith("CAP2:")
+        assert "(512, 0.001)" in out
+        assert "(1024, 0.002)" in out

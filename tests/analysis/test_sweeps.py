@@ -1,0 +1,68 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.analysis.sweeps import DIST_PATTERNS, SweepRecord, run_sweep
+from repro.apps.scenarios import small_concurrent
+from repro.errors import ReproError
+
+
+def tiny_configs():
+    return [
+        ("B/B", lambda: small_concurrent()),
+        ("B/C", lambda: small_concurrent(consumer_dist="cyclic")),
+    ]
+
+
+class TestSweepRecord:
+    def test_derived_fields(self):
+        r = SweepRecord(
+            label="x", mapper="m",
+            coupling_network_bytes=75, coupling_shm_bytes=25,
+            intra_app_network_bytes=0,
+        )
+        assert r.coupling_total == 100
+        assert r.network_fraction == 0.75
+
+    def test_zero_total(self):
+        r = SweepRecord("x", "m", 0, 0, 0)
+        assert r.network_fraction == 0.0
+
+
+class TestRunSweep:
+    def test_grid_shape(self):
+        result = run_sweep(tiny_configs())
+        assert len(result.records) == 4  # 2 configs x 2 mappers
+        assert result.labels() == ["B/B", "B/C"]
+        assert set(result.by_label("B/B")) == {"round-robin", "data-centric"}
+
+    def test_reduction_table(self):
+        result = run_sweep(tiny_configs())
+        table = result.reduction_table()
+        assert "B/B" in table and "B/C" in table
+        assert "80%" in table  # the headline blocked/blocked reduction
+
+    def test_timing_table(self):
+        result = run_sweep(tiny_configs()[:1], time_transfers=True)
+        table = result.timing_table()
+        assert "retrieval ms" in table
+        assert "B/B" in table
+
+    def test_missing_mapper_raises(self):
+        result = run_sweep(tiny_configs()[:1], mappers=["round-robin"])
+        with pytest.raises(ReproError):
+            result.reduction_table()
+
+    def test_dist_patterns_constant(self):
+        assert len(DIST_PATTERNS) == 6
+        assert ("blocked", "blocked") in DIST_PATTERNS
+
+
+class TestCliSweep:
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--scenario", "concurrent"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked/blocked" in out
+        assert "reduction" in out

@@ -1,0 +1,93 @@
+"""Tests for the analytics (consumer + collectives) application."""
+
+import pytest
+
+from repro.apps.analytics import AnalyticsApp
+from repro.apps.producer import ProducerApp
+from repro.cods.space import CoDS
+from repro.core.commgraph import Coupling
+from repro.core.mapping.serverside import ServerSideMapper
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import WorkflowError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+
+def run_pipeline(data_centric=True, **analytics_kwargs):
+    cluster = Cluster(6, machine=generic_multicore(12))
+    domain = (32, 32, 32)
+    sim = AppSpec(1, "sim",
+                  DecompositionDescriptor.uniform(domain, (4, 4, 4)), var="f")
+    ana = AppSpec(2, "ana",
+                  DecompositionDescriptor.uniform(domain, (2, 2, 2)), var="f")
+    space = CoDS(cluster, domain)
+    dag = WorkflowDAG([sim, ana], bundles=[Bundle((1, 2))])
+    engine = WorkflowEngine(dag, cluster)
+    engine.set_routine(1, ProducerApp(spec=sim, space=space, mode="cont"))
+    analytics = AnalyticsApp(spec=ana, space=space, mode="cont",
+                             **analytics_kwargs)
+    engine.set_routine(2, analytics)
+    if data_centric:
+        engine.set_bundle_mapper(
+            0, ServerSideMapper(), couplings=[Coupling(sim, ana)]
+        )
+    engine.run()
+    return space, analytics
+
+
+class TestAnalyticsApp:
+    def test_ingests_and_reduces(self):
+        space, _ = run_pipeline(reduce_bytes=1000)
+        m = space.dart.metrics
+        # coupling ingest for app 2
+        assert m.bytes(kind=TransferKind.COUPLING, app_id=2) == 32 ** 3 * 8
+        # collective traffic appears as intra-app bytes of app 2
+        assert m.bytes(kind=TransferKind.INTRA_APP, app_id=2) > 0
+
+    def test_allreduce_volume(self):
+        space, _ = run_pipeline(reduce_bytes=1000)
+        # 8 ranks, recursive doubling: 8 * log2(8) * 1000 bytes.
+        assert space.dart.metrics.bytes(
+            kind=TransferKind.INTRA_APP, app_id=2
+        ) == 8 * 3 * 1000
+
+    def test_gather_adds_traffic(self):
+        s1, _ = run_pipeline(reduce_bytes=0, gather_bytes_per_task=0)
+        s2, _ = run_pipeline(reduce_bytes=0, gather_bytes_per_task=100)
+        v1 = s1.dart.metrics.bytes(kind=TransferKind.INTRA_APP, app_id=2)
+        v2 = s2.dart.metrics.bytes(kind=TransferKind.INTRA_APP, app_id=2)
+        assert v2 == v1 + 8 * 7 * 100  # ring allgather
+
+    def test_rounds_multiply(self):
+        s1, _ = run_pipeline(reduce_bytes=500, collective_rounds=1)
+        s3, _ = run_pipeline(reduce_bytes=500, collective_rounds=3)
+        assert (
+            s3.dart.metrics.bytes(kind=TransferKind.INTRA_APP, app_id=2)
+            == 3 * s1.dart.metrics.bytes(kind=TransferKind.INTRA_APP, app_id=2)
+        )
+
+    def test_zero_rounds_no_collectives(self):
+        space, _ = run_pipeline(collective_rounds=0)
+        assert space.dart.metrics.bytes(
+            kind=TransferKind.INTRA_APP, app_id=2
+        ) == 0
+
+    def test_in_situ_placement_helps_collectives_too(self):
+        """Co-located analysis groups do part of their reduction via shm."""
+        dc, _ = run_pipeline(data_centric=True, reduce_bytes=10_000)
+        shm = dc.dart.metrics.shm_bytes(TransferKind.INTRA_APP, app_id=2)
+        net = dc.dart.metrics.network_bytes(TransferKind.INTRA_APP, app_id=2)
+        assert shm + net == 8 * 3 * 10_000
+
+    def test_validation(self):
+        cluster = Cluster(1, machine=generic_multicore(4))
+        space = CoDS(cluster, (8, 8))
+        spec = AppSpec(1, "a", DecompositionDescriptor.uniform((8, 8), (2, 2)))
+        with pytest.raises(WorkflowError):
+            AnalyticsApp(spec=spec, space=space, reduce_bytes=-1)
+        with pytest.raises(WorkflowError):
+            AnalyticsApp(spec=spec, space=space, collective_rounds=-1)

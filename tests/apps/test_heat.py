@@ -1,0 +1,152 @@
+"""Tests for the heat-diffusion demo workload: physics, accounting, and
+end-to-end data integrity through CoDS."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatMonitor, HeatSolver
+from repro.cods.space import CoDS
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import WorkflowError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind
+
+
+def solver_spec(layout=(2, 2), size=(16, 16), app_id=1):
+    return AppSpec(
+        app_id=app_id, name="heat",
+        descriptor=DecompositionDescriptor.uniform(size, layout),
+        var="temperature",
+    )
+
+
+class TestPhysics:
+    def test_uniform_field_with_hot_boundary_stays(self):
+        # boundary == field value: a uniform field is a fixed point.
+        s = HeatSolver(solver_spec(), initial=3.0, boundary=3.0)
+        s.step(10)
+        assert np.allclose(s.field, 3.0)
+
+    def test_hot_spot_diffuses(self):
+        field = np.zeros((16, 16))
+        field[8, 8] = 100.0
+        s = HeatSolver(solver_spec(), initial=field)
+        peak0 = s.peak
+        s.step(5)
+        assert s.peak < peak0          # peak decays
+        assert s.field[8, 8] < 100.0
+        assert s.field[7, 8] > 0.0     # heat spread to neighbours
+
+    def test_cold_boundary_drains_heat(self):
+        s = HeatSolver(solver_spec(), initial=10.0, boundary=0.0)
+        h0 = s.total_heat
+        s.step(20)
+        assert s.total_heat < h0
+
+    def test_symmetry_preserved(self):
+        field = np.zeros((16, 16))
+        field[7:9, 7:9] = 50.0
+        s = HeatSolver(solver_spec(), initial=field)
+        s.step(8)
+        assert np.allclose(s.field, s.field[::-1, :])
+        assert np.allclose(s.field, s.field[:, ::-1])
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            HeatSolver(solver_spec(), alpha=0.5)
+        with pytest.raises(WorkflowError):
+            HeatSolver(solver_spec(), initial=np.zeros((3, 3)))
+        with pytest.raises(WorkflowError):
+            HeatSolver(AppSpec(
+                1, "h3", DecompositionDescriptor.uniform((8, 8, 8), (2, 2, 2)),
+            ))
+        s = HeatSolver(solver_spec())
+        with pytest.raises(WorkflowError):
+            s.step(-1)
+
+
+class TestAccounting:
+    def test_step_accounts_halos(self):
+        cluster = Cluster(2, machine=generic_multicore(2))
+        spec = solver_spec()
+        s = HeatSolver(spec, initial=1.0)
+        mapping = RoundRobinMapper().map_bundle([spec], cluster)
+        space = CoDS(cluster, (16, 16))
+        s.step(3, mapping=mapping, dart=space.dart)
+        assert space.dart.metrics.bytes(kind=TransferKind.INTRA_APP) > 0
+
+    def test_publish_volume(self):
+        cluster = Cluster(2, machine=generic_multicore(2))
+        spec = solver_spec()
+        s = HeatSolver(spec, initial=1.0)
+        mapping = RoundRobinMapper().map_bundle([spec], cluster)
+        space = CoDS(cluster, (16, 16))
+        published = s.publish(space, mapping)
+        assert published == 16 * 16 * 8
+        assert space.stored_bytes() == published
+
+
+class TestEndToEndIntegrity:
+    def run_pipeline(self):
+        cluster = Cluster(4, machine=generic_multicore(4))
+        spec = solver_spec(layout=(2, 2))
+        rng = np.random.default_rng(7)
+        s = HeatSolver(spec, initial=rng.random((16, 16)) * 10)
+        producer_mapping = RoundRobinMapper().map_bundle([spec], cluster)
+        space = CoDS(cluster, (16, 16))
+        s.step(4, mapping=producer_mapping, dart=space.dart)
+        s.publish(space, producer_mapping)
+        monitor_spec = solver_spec(layout=(2, 1), app_id=2)
+        monitor_mapping = ClientSideMapper().map_bundle(
+            [monitor_spec], cluster, lookup=space.lookup,
+            available_cores=[
+                c for c in cluster.cores()
+                if c not in producer_mapping.placement.values()
+            ],
+        )
+        return s, space, HeatMonitor(monitor_spec, space), monitor_mapping
+
+    def test_monitor_sees_exact_values(self):
+        s, space, monitor, mapping = self.run_pipeline()
+        stats = monitor.probe(
+            mapping.core_of(2, 0), Box(lo=(0, 0), hi=(16, 16))
+        )
+        assert stats["heat"] == pytest.approx(s.total_heat)
+        assert stats["max"] == pytest.approx(s.peak)
+        assert stats["mean"] == pytest.approx(float(s.field.mean()))
+
+    def test_scan_partitions_statistics(self):
+        s, space, monitor, mapping = self.run_pipeline()
+        per_task = monitor.scan(mapping)
+        assert len(per_task) == 2
+        total = sum(st["heat"] for st in per_task.values())
+        assert total == pytest.approx(s.total_heat)
+
+    def test_subregion_probe_matches_slice(self):
+        s, space, monitor, mapping = self.run_pipeline()
+        box = Box(lo=(3, 5), hi=(9, 12))
+        stats = monitor.probe(mapping.core_of(2, 0), box)
+        ref = s.field[3:9, 5:12]
+        assert stats["heat"] == pytest.approx(float(ref.sum()))
+        assert stats["min"] == pytest.approx(float(ref.min()))
+
+    def test_versioned_snapshots(self):
+        cluster = Cluster(4, machine=generic_multicore(4))
+        spec = solver_spec()
+        s = HeatSolver(spec, initial=5.0, boundary=0.0)
+        mapping = RoundRobinMapper().map_bundle([spec], cluster)
+        space = CoDS(cluster, (16, 16), use_schedule_cache=False)
+        s.publish(space, mapping, version=0)
+        heat_v0 = s.total_heat
+        s.step(10)
+        s.publish(space, mapping, version=1)
+        monitor = HeatMonitor(solver_spec(layout=(1, 1), app_id=2), space)
+        stats0 = monitor.probe(15, Box(lo=(0, 0), hi=(16, 16)), version=0)
+        stats1 = monitor.probe(15, Box(lo=(0, 0), hi=(16, 16)), version=1)
+        assert stats0["heat"] == pytest.approx(heat_v0)
+        assert stats1["heat"] < stats0["heat"]

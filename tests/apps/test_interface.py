@@ -1,0 +1,65 @@
+"""Tests for interface-region (boundary) coupling — the paper's Fig 1
+climate-interface case."""
+
+import pytest
+
+from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
+from repro.apps.scenarios import interface_scenario
+from repro.errors import MappingError
+from repro.transport.message import TransferKind
+
+
+class TestInterfaceScenario:
+    def test_coupled_bytes_is_interface_volume(self):
+        sc = interface_scenario(
+            producer_tasks=64, consumer_tasks=16, task_side=32,
+            interface_depth=4,
+        )
+        # 4 planes of a 128x128x128 domain.
+        assert sc.coupled_bytes == 4 * 128 * 128 * 8
+        assert sc.coupled_region is not None
+        assert sc.coupled_region.shape[0] == 4
+
+    def test_invalid_depth(self):
+        with pytest.raises(MappingError):
+            interface_scenario(interface_depth=0)
+        with pytest.raises(MappingError):
+            interface_scenario(interface_depth=10 ** 6)
+
+    def test_only_interface_bytes_move(self):
+        sc = interface_scenario()
+        res = run_scenario(sc, ROUND_ROBIN)
+        moved = res.metrics.bytes(kind=TransferKind.COUPLING)
+        assert moved == sc.coupled_bytes
+
+    def test_data_centric_localizes_interface(self):
+        rr = run_scenario(interface_scenario(), ROUND_ROBIN)
+        dc = run_scenario(interface_scenario(), DATA_CENTRIC)
+        rr_net = rr.metrics.network_bytes(TransferKind.COUPLING)
+        dc_net = dc.metrics.network_bytes(TransferKind.COUPLING)
+        assert dc_net < rr_net
+        # The interface involves few producer tasks; the partitioner can
+        # co-locate all of them with their consumers.
+        assert dc_net == 0
+
+    def test_non_interface_tasks_request_nothing(self):
+        sc = interface_scenario()
+        res = run_scenario(sc, DATA_CENTRIC)
+        consumer = sc.consumers[0]
+        schedules = res.schedules[consumer.app_id]
+        # Only consumer tasks owning part of the interface have schedules.
+        touching = sum(
+            1 for task in consumer.tasks(sc.coupled_region)
+            if task.requested_cells > 0
+        )
+        assert len(schedules) == touching
+        assert touching < consumer.ntasks
+
+    def test_total_schedule_covers_interface_exactly(self):
+        sc = interface_scenario()
+        res = run_scenario(sc, DATA_CENTRIC)
+        total_cells = sum(
+            s.total_cells
+            for s in res.schedules[sc.consumers[0].app_id].values()
+        )
+        assert total_cells * 8 == sc.coupled_bytes

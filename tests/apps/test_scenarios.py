@@ -1,0 +1,93 @@
+"""Tests for scenario builders and the synthetic producer/consumer apps."""
+
+import pytest
+
+from repro.apps.consumer import ConsumerApp
+from repro.apps.producer import ProducerApp
+from repro.apps.scenarios import (
+    concurrent_scenario,
+    layout_for,
+    paper_concurrent,
+    paper_sequential,
+    sequential_scenario,
+    small_concurrent,
+    small_sequential,
+)
+from repro.cods.space import CoDS
+from repro.errors import MappingError, WorkflowError
+
+
+class TestLayoutFor:
+    def test_cube(self):
+        assert layout_for(512) == (8, 8, 8)
+        assert layout_for(64) == (4, 4, 4)
+
+    def test_non_cube(self):
+        assert sorted(layout_for(384), reverse=True) == [8, 8, 6]
+
+    def test_product(self):
+        for n in (1, 7, 128, 384, 1024):
+            l = layout_for(n)
+            assert l[0] * l[1] * l[2] == n
+
+
+class TestScenarioBuilders:
+    def test_paper_concurrent_shape(self):
+        sc = paper_concurrent()
+        assert sc.producer.ntasks == 512
+        assert sc.consumers[0].ntasks == 64
+        assert sc.domain == (1024, 1024, 1024)
+        assert sc.coupled_bytes == 8 * 1024 ** 3  # the paper's 8 GB
+        assert sc.cluster.cores_per_node == 12
+        assert sc.cluster.total_cores >= 576
+
+    def test_paper_sequential_shape(self):
+        sc = paper_sequential()
+        assert sc.producer.ntasks == 512
+        assert [c.ntasks for c in sc.consumers] == [128, 384]
+        # 16 GB total: the 8 GB domain pulled by each of two consumers.
+        assert 2 * sc.coupled_bytes == 16 * 1024 ** 3
+
+    def test_small_scenarios_fit_laptops(self):
+        assert small_concurrent().total_tasks <= 100
+        assert small_sequential().total_tasks <= 200
+
+    def test_sequential_consumer_overflow(self):
+        with pytest.raises(MappingError):
+            sequential_scenario(producer_tasks=64, consumer_tasks=(64, 64))
+
+    def test_dist_overrides(self):
+        sc = concurrent_scenario(
+            producer_tasks=8, consumer_tasks=8, task_side=8,
+            producer_dist="cyclic", consumer_dist="block_cyclic",
+        )
+        assert sc.producer.descriptor.dists[0].value == "cyclic"
+        assert sc.consumers[0].descriptor.dists[0].value == "block_cyclic"
+
+    def test_describe(self):
+        text = small_concurrent().describe()
+        assert "CAP1" in text and "CAP2" in text and "concurrent" in text
+
+    def test_apps_listing(self):
+        sc = small_sequential()
+        assert [a.app_id for a in sc.apps] == [1, 2, 3]
+
+
+class TestSyntheticAppValidation:
+    def make(self):
+        sc = small_concurrent()
+        return sc, CoDS(sc.cluster, sc.domain)
+
+    def test_invalid_mode(self):
+        sc, space = self.make()
+        with pytest.raises(WorkflowError):
+            ProducerApp(spec=sc.producer, space=space, mode="bogus")
+        with pytest.raises(WorkflowError):
+            ConsumerApp(spec=sc.consumers[0], space=space, mode="bogus")
+
+    def test_negative_params(self):
+        sc, space = self.make()
+        with pytest.raises(WorkflowError):
+            ProducerApp(spec=sc.producer, space=space, stencil_iterations=-1)
+        with pytest.raises(WorkflowError):
+            ProducerApp(spec=sc.producer, space=space, compute_seconds=-1.0)

@@ -1,0 +1,151 @@
+"""Tests for the stencil halo-exchange model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.stencil import run_stencil_exchange, stencil_pairs
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind
+
+
+def app(layout, size=(8, 8), app_id=1, esize=8):
+    return AppSpec(
+        app_id=app_id, name="stencil",
+        descriptor=DecompositionDescriptor.uniform(size, layout),
+        element_size=esize,
+    )
+
+
+class TestStencilPairs:
+    def test_1d_chain(self):
+        a = app(layout=(4,), size=(16,))
+        pairs = stencil_pairs(a)
+        # 3 interior boundaries, 2 directions each.
+        assert len(pairs) == 6
+        for ex in pairs:
+            assert ex.nbytes == 1 * 8  # ghost face of one cell
+
+    def test_2d_grid_counts(self):
+        a = app(layout=(2, 2))
+        pairs = stencil_pairs(a)
+        # Each task has 2 neighbors; 4 tasks * 2 = 8 directed exchanges.
+        assert len(pairs) == 8
+        # Face of a 4x4 tile = 4 cells * 8 B.
+        assert all(ex.nbytes == 32 for ex in pairs)
+
+    def test_symmetry(self):
+        a = app(layout=(2, 3), size=(12, 12))
+        pairs = {(e.src_rank, e.dst_rank) for e in stencil_pairs(a)}
+        assert all((b, a_) in pairs for a_, b in pairs)
+
+    def test_ghost_width_scales(self):
+        a = app(layout=(2, 1))
+        w1 = stencil_pairs(a, ghost_width=1)
+        w2 = stencil_pairs(a, ghost_width=2)
+        assert all(y.nbytes == 2 * x.nbytes for x, y in zip(w1, w2))
+
+    def test_ghost_width_clipped_to_task(self):
+        a = app(layout=(8, 1), size=(8, 8))  # 1-cell-thick slabs
+        pairs = stencil_pairs(a, ghost_width=5)
+        assert all(ex.nbytes == 8 * 8 for ex in pairs)  # one 8-cell face max
+
+    def test_empty_tasks_skipped(self):
+        a = app(layout=(6, 1), size=(4, 4))  # ranks 4,5 own nothing
+        pairs = stencil_pairs(a)
+        ranks = {e.src_rank for e in pairs} | {e.dst_rank for e in pairs}
+        assert ranks <= {0, 1, 2, 3}
+
+    def test_single_task_no_exchange(self):
+        assert stencil_pairs(app(layout=(1, 1))) == []
+
+    def test_3d_face_volumes(self):
+        a = app(layout=(2, 2, 2), size=(8, 8, 8))
+        pairs = stencil_pairs(a)
+        # 4x4 tile face = 16 cells; each task has 3 neighbors.
+        assert len(pairs) == 8 * 3
+        assert all(ex.nbytes == 16 * 8 for ex in pairs)
+
+
+class TestRunStencil:
+    def test_transport_classification(self):
+        clu = Cluster(2, machine=generic_multicore(2))
+        a = app(layout=(4, 1), size=(16, 16))
+        mapping = RoundRobinMapper().map_bundle([a], clu)
+        dart = HybridDART(clu)
+        recs = run_stencil_exchange(a, mapping, dart)
+        # Ranks 0,1 on node 0; ranks 2,3 on node 1. Exchange 1<->2 crosses.
+        net = dart.metrics.network_bytes(TransferKind.INTRA_APP)
+        shm = dart.metrics.shm_bytes(TransferKind.INTRA_APP)
+        assert net > 0 and shm > 0
+        assert net + shm == sum(r.nbytes for r in recs)
+
+    def test_iterations_multiply(self):
+        clu = Cluster(2, machine=generic_multicore(2))
+        a = app(layout=(4, 1), size=(16, 16))
+        mapping = RoundRobinMapper().map_bundle([a], clu)
+        dart = HybridDART(clu)
+        run_stencil_exchange(a, mapping, dart, iterations=3)
+        once = HybridDART(clu)
+        run_stencil_exchange(a, mapping, once)
+        assert (
+            dart.metrics.bytes(kind=TransferKind.INTRA_APP)
+            == 3 * once.metrics.bytes(kind=TransferKind.INTRA_APP)
+        )
+
+
+@given(
+    st.integers(1, 4), st.integers(1, 4),
+    st.sampled_from(["blocked", "cyclic", "block_cyclic"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_total_exchange_bounded_by_surface(p0, p1, dist):
+    """Total halo volume is bounded by 2*ndim*total cells (each cell can be
+    on at most one face per direction)."""
+    a = AppSpec(
+        app_id=1, name="s",
+        descriptor=DecompositionDescriptor.uniform((12, 12), (p0, p1), dist),
+    )
+    pairs = stencil_pairs(a)
+    total_cells = sum(e.nbytes for e in pairs) // 8
+    assert total_cells <= 4 * 144
+
+
+class TestCornerExchanges:
+    def test_2d_moore_neighbourhood(self):
+        a = app(layout=(3, 3), size=(9, 9))
+        pairs = stencil_pairs(a, corners=True)
+        # Center rank (1,1) has 8 neighbors; corner rank (0,0) has 3.
+        center_out = [e for e in pairs if e.src_rank == 4]
+        corner_out = [e for e in pairs if e.src_rank == 0]
+        assert len(center_out) == 8
+        assert len(corner_out) == 3
+
+    def test_corner_volume_is_ghost_square(self):
+        a = app(layout=(2, 2), size=(8, 8))  # 4x4 tiles
+        pairs = stencil_pairs(a, ghost_width=2, corners=True)
+        diag = [e for e in pairs if e.src_rank == 0 and e.dst_rank == 3]
+        assert len(diag) == 1
+        assert diag[0].nbytes == 2 * 2 * 8  # ghost^2 cells
+
+    def test_face_volumes_match_default_mode(self):
+        a = app(layout=(2, 2), size=(8, 8))
+        faces_only = {(e.src_rank, e.dst_rank): e.nbytes for e in stencil_pairs(a)}
+        with_corners = {
+            (e.src_rank, e.dst_rank): e.nbytes
+            for e in stencil_pairs(a, corners=True)
+        }
+        for key, nbytes in faces_only.items():
+            assert with_corners[key] == nbytes
+        assert len(with_corners) > len(faces_only)
+
+    def test_3d_corner_count(self):
+        a = app(layout=(3, 3, 3), size=(9, 9, 9))
+        pairs = stencil_pairs(a, corners=True)
+        center = sum(1 for e in pairs if e.src_rank == 13)
+        assert center == 26  # full 27-point stencil minus self

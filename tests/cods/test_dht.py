@@ -1,0 +1,188 @@
+"""Tests for the spatial DHT and the data lookup service."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cods.dht import SpatialDHT
+from repro.cods.lookup import DataLookupService
+from repro.cods.objects import DataObject, region_from_box
+from repro.domain.box import Box
+from repro.errors import LookupError_, SpaceError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.sfc.linearize import DomainLinearizer
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind
+
+
+def make_setup(num_nodes=4, cpn=4, extents=(16, 16)):
+    cluster = Cluster(num_nodes, machine=generic_multicore(cpn))
+    dart = HybridDART(cluster)
+    lin = DomainLinearizer(extents)
+    dht_cores = [cluster.cores_of_node(n)[0] for n in cluster.nodes()]
+    dht = SpatialDHT(lin, dht_cores, dart)
+    return cluster, dart, dht
+
+
+def make_obj(core, box, var="T", version=0, esize=8):
+    return DataObject(
+        var=var, version=version, region=region_from_box(box),
+        owner_core=core, element_size=esize,
+    )
+
+
+class TestConstruction:
+    def test_intervals_cover_index_space(self):
+        _, _, dht = make_setup()
+        assert dht.intervals[0][0] == 0
+        assert dht.intervals[-1][1] == dht.linearizer.index_cells
+        for (l1, h1), (l2, h2) in zip(dht.intervals, dht.intervals[1:]):
+            assert h1 == l2
+
+    def test_no_dht_cores(self):
+        lin = DomainLinearizer((8, 8))
+        with pytest.raises(SpaceError):
+            SpatialDHT(lin, [])
+
+    def test_duplicate_dht_cores(self):
+        lin = DomainLinearizer((8, 8))
+        with pytest.raises(SpaceError):
+            SpatialDHT(lin, [0, 0])
+
+
+class TestRegisterQuery:
+    def test_roundtrip(self):
+        _, _, dht = make_setup()
+        obj = make_obj(core=5, box=Box(lo=(0, 0), hi=(8, 8)))
+        dht.register(obj)
+        locs = dht.query(0, "T", Box(lo=(2, 2), hi=(6, 6)))
+        assert len(locs) == 1
+        assert locs[0].owner_core == 5
+
+    def test_query_filters_nonoverlapping(self):
+        _, _, dht = make_setup()
+        dht.register(make_obj(core=1, box=Box(lo=(0, 0), hi=(4, 4))))
+        dht.register(make_obj(core=2, box=Box(lo=(8, 8), hi=(12, 12))))
+        locs = dht.query(0, "T", Box(lo=(0, 0), hi=(2, 2)))
+        assert [l.owner_core for l in locs] == [1]
+
+    def test_query_unknown_var(self):
+        _, _, dht = make_setup()
+        assert dht.query(0, "nope", Box(lo=(0, 0), hi=(4, 4))) == []
+
+    def test_query_version_filter(self):
+        _, _, dht = make_setup()
+        dht.register(make_obj(core=1, box=Box(lo=(0, 0), hi=(4, 4)), version=0))
+        dht.register(make_obj(core=1, box=Box(lo=(0, 0), hi=(4, 4)), version=1))
+        locs = dht.query(0, "T", Box(lo=(0, 0), hi=(4, 4)), version=1)
+        assert len(locs) == 1 and locs[0].version == 1
+
+    def test_dedup_across_dht_cores(self):
+        # An object spanning the whole domain registers at every DHT core
+        # but must appear once in a whole-domain query.
+        _, _, dht = make_setup()
+        dht.register(make_obj(core=3, box=Box(lo=(0, 0), hi=(16, 16))))
+        locs = dht.query(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        assert len(locs) == 1
+
+    def test_register_empty_region_noop(self):
+        _, _, dht = make_setup()
+        obj = DataObject(
+            var="T", version=0,
+            region=region_from_box(Box(lo=(0, 0), hi=(0, 0))),
+            owner_core=0, element_size=8,
+        )
+        assert dht.register(obj) == 0
+
+    def test_control_traffic_recorded(self):
+        _, dart, dht = make_setup()
+        dht.register(make_obj(core=5, box=Box(lo=(0, 0), hi=(16, 16))))
+        n_reg = dart.metrics.count(kind=TransferKind.CONTROL)
+        assert n_reg > 0
+        dht.query(5, "T", Box(lo=(0, 0), hi=(16, 16)))
+        assert dart.metrics.count(kind=TransferKind.CONTROL) > n_reg
+
+    def test_unregister(self):
+        _, _, dht = make_setup()
+        dht.register(make_obj(core=5, box=Box(lo=(0, 0), hi=(16, 16))))
+        removed = dht.unregister("T", 0, 5)
+        assert removed > 0
+        assert dht.query(0, "T", Box(lo=(0, 0), hi=(16, 16))) == []
+        assert dht.table_sizes() == [0] * 4
+
+    def test_multiple_owners_found(self):
+        _, _, dht = make_setup()
+        dht.register(make_obj(core=0, box=Box(lo=(0, 0), hi=(8, 16))))
+        dht.register(make_obj(core=4, box=Box(lo=(8, 0), hi=(16, 16))))
+        locs = dht.query(0, "T", Box(lo=(4, 0), hi=(12, 16)))
+        assert sorted(l.owner_core for l in locs) == [0, 4]
+
+    def test_table_sizes_balanced_for_uniform_puts(self):
+        _, _, dht = make_setup()
+        # 16 blocked tiles, uniformly covering the domain.
+        for i in range(4):
+            for j in range(4):
+                dht.register(
+                    make_obj(
+                        core=i * 4 + j,
+                        box=Box(lo=(4 * i, 4 * j), hi=(4 * i + 4, 4 * j + 4)),
+                    )
+                )
+        sizes = dht.table_sizes()
+        assert sum(sizes) >= 16
+        assert all(s > 0 for s in sizes)
+
+
+class TestLookupService:
+    def test_bytes_by_node(self):
+        cluster, _, dht = make_setup()
+        lookup = DataLookupService(dht, cluster)
+        # Core 0 (node 0) holds the left half; core 4 (node 1) the right.
+        dht.register(make_obj(core=0, box=Box(lo=(0, 0), hi=(8, 16))))
+        dht.register(make_obj(core=4, box=Box(lo=(8, 0), hi=(16, 16))))
+        per_node = lookup.bytes_by_node(0, "T", Box(lo=(4, 0), hi=(12, 16)))
+        assert per_node == {0: 4 * 16 * 8, 1: 4 * 16 * 8}
+
+    def test_best_node(self):
+        cluster, _, dht = make_setup()
+        lookup = DataLookupService(dht, cluster)
+        dht.register(make_obj(core=0, box=Box(lo=(0, 0), hi=(12, 16))))
+        dht.register(make_obj(core=4, box=Box(lo=(12, 0), hi=(16, 16))))
+        node, nbytes = lookup.best_node(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        assert node == 0
+        assert nbytes == 12 * 16 * 8
+
+    def test_best_node_none(self):
+        cluster, _, dht = make_setup()
+        lookup = DataLookupService(dht, cluster)
+        assert lookup.best_node(0, "T", Box(lo=(0, 0), hi=(4, 4))) is None
+
+    def test_best_node_tie_breaks_low(self):
+        cluster, _, dht = make_setup()
+        lookup = DataLookupService(dht, cluster)
+        dht.register(make_obj(core=4, box=Box(lo=(0, 0), hi=(8, 16))))
+        dht.register(make_obj(core=0, box=Box(lo=(8, 0), hi=(16, 16))))
+        node, _ = lookup.best_node(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        assert node == 0
+
+
+# -- property-based --------------------------------------------------------------
+
+boxes_16 = st.tuples(
+    st.integers(0, 15), st.integers(0, 15), st.integers(1, 8), st.integers(1, 8)
+).map(lambda t: Box(lo=(t[0], t[1]), hi=(min(t[0] + t[2], 16), min(t[1] + t[3], 16))))
+
+
+@given(st.lists(boxes_16, min_size=1, max_size=8), boxes_16)
+@settings(max_examples=40, deadline=None)
+def test_query_finds_exactly_overlapping_objects(put_boxes, query_box):
+    _, _, dht = make_setup()
+    for i, b in enumerate(put_boxes):
+        dht.register(make_obj(core=i % 16, box=b, version=i))
+    locs = dht.query(0, "T", query_box)
+    got = {(l.version) for l in locs}
+    expect = {
+        i for i, b in enumerate(put_boxes) if b.intersection_volume(query_box) > 0
+    }
+    assert got == expect

@@ -1,0 +1,154 @@
+"""Tests for data objects, region products, and the per-core object store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cods.objects import (
+    DataObject,
+    ObjectStore,
+    region_bounding_box,
+    region_cells,
+    region_from_box,
+    region_overlap_cells,
+    region_restrict,
+)
+from repro.domain.box import Box
+from repro.domain.intervals import IntervalSet
+from repro.errors import SpaceError
+
+
+def obj(core=0, var="T", version=0, box=Box(lo=(0, 0), hi=(4, 4)), esize=8):
+    return DataObject(
+        var=var, version=version, region=region_from_box(box),
+        owner_core=core, element_size=esize,
+    )
+
+
+class TestRegionHelpers:
+    def test_from_box_roundtrip(self):
+        box = Box(lo=(1, 2), hi=(5, 9))
+        region = region_from_box(box)
+        assert region_bounding_box(region) == box
+        assert region_cells(region) == box.volume
+
+    def test_empty_region_bbox(self):
+        region = (IntervalSet.empty(), IntervalSet.single(0, 4))
+        assert region_bounding_box(region).is_empty
+        assert region_cells(region) == 0
+
+    def test_overlap_cells(self):
+        a = region_from_box(Box(lo=(0, 0), hi=(4, 4)))
+        b = region_from_box(Box(lo=(2, 2), hi=(6, 6)))
+        assert region_overlap_cells(a, b) == 4
+
+    def test_overlap_strided(self):
+        a = (IntervalSet.strided(0, 1, 2, 8),)  # 0,2,4,6
+        b = (IntervalSet.single(0, 5),)
+        assert region_overlap_cells(a, b) == 3
+
+    def test_overlap_rank_mismatch(self):
+        with pytest.raises(SpaceError):
+            region_overlap_cells(
+                region_from_box(Box(lo=(0,), hi=(2,))),
+                region_from_box(Box(lo=(0, 0), hi=(2, 2))),
+            )
+
+    def test_restrict(self):
+        region = region_from_box(Box(lo=(0, 0), hi=(8, 8)))
+        clipped = region_restrict(region, Box(lo=(2, 3), hi=(5, 6)))
+        assert region_cells(clipped) == 9
+
+    def test_restrict_rank_mismatch(self):
+        with pytest.raises(SpaceError):
+            region_restrict(
+                region_from_box(Box(lo=(0,), hi=(2,))), Box(lo=(0, 0), hi=(1, 1))
+            )
+
+
+class TestDataObject:
+    def test_nbytes(self):
+        o = obj(box=Box(lo=(0, 0), hi=(4, 4)), esize=8)
+        assert o.cells == 16
+        assert o.nbytes == 128
+
+    def test_validation(self):
+        with pytest.raises(SpaceError):
+            obj(var="")
+        with pytest.raises(SpaceError):
+            obj(version=-1)
+        with pytest.raises(SpaceError):
+            obj(esize=0)
+        with pytest.raises(SpaceError):
+            DataObject(var="T", version=0, region=(), owner_core=0, element_size=8)
+
+    def test_overlap_with_box(self):
+        o = obj(box=Box(lo=(0, 0), hi=(4, 4)))
+        assert o.overlap_cells_with_box(Box(lo=(3, 3), hi=(8, 8))) == 1
+
+    def test_key(self):
+        assert obj(core=5, var="v", version=2).key() == ("v", 2, 5)
+
+
+class TestObjectStore:
+    def test_insert_get(self):
+        s = ObjectStore(core=0)
+        o = obj()
+        s.insert(o)
+        assert s.get("T", 0) is o
+        assert s.used_bytes == o.nbytes
+        assert len(s) == 1
+
+    def test_wrong_owner_rejected(self):
+        s = ObjectStore(core=1)
+        with pytest.raises(SpaceError):
+            s.insert(obj(core=0))
+
+    def test_duplicate_rejected(self):
+        s = ObjectStore(core=0)
+        s.insert(obj())
+        with pytest.raises(SpaceError):
+            s.insert(obj())
+
+    def test_capacity_enforced(self):
+        s = ObjectStore(core=0, capacity_bytes=100)
+        with pytest.raises(SpaceError):
+            s.insert(obj())  # 128 bytes
+
+    def test_evict(self):
+        s = ObjectStore(core=0)
+        s.insert(obj())
+        evicted = s.evict("T", 0)
+        assert evicted.var == "T"
+        assert s.used_bytes == 0
+        with pytest.raises(SpaceError):
+            s.evict("T", 0)
+
+    def test_get_missing(self):
+        assert ObjectStore(core=0).get("x", 0) is None
+
+    def test_multiple_versions(self):
+        s = ObjectStore(core=0)
+        s.insert(obj(version=0))
+        s.insert(obj(version=1))
+        assert len(s) == 2
+
+    def test_clear(self):
+        s = ObjectStore(core=0)
+        s.insert(obj())
+        s.clear()
+        assert len(s) == 0 and s.used_bytes == 0
+
+
+@given(
+    st.integers(0, 10), st.integers(0, 10), st.integers(1, 8), st.integers(1, 8),
+    st.integers(0, 10), st.integers(0, 10), st.integers(1, 8), st.integers(1, 8),
+)
+@settings(max_examples=50)
+def test_region_overlap_matches_box_overlap(ax, ay, aw, ah, bx, by, bw, bh):
+    a = Box(lo=(ax, ay), hi=(ax + aw, ay + ah))
+    b = Box(lo=(bx, by), hi=(bx + bw, by + bh))
+    assert (
+        region_overlap_cells(region_from_box(a), region_from_box(b))
+        == a.intersection_volume(b)
+    )

@@ -1,0 +1,162 @@
+"""Tests for payload-carrying objects and array assembly (fetch_seq)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cods.objects import DataObject, region_from_box
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.domain.decomposition import Decomposition
+from repro.errors import SpaceError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+
+
+def make_space(extents=(16, 16), nodes=4, cpn=4, **kw):
+    return CoDS(Cluster(nodes, machine=generic_multicore(cpn)), extents, **kw)
+
+
+class TestPayloadValidation:
+    def region(self, box=Box(lo=(0, 0), hi=(4, 4))):
+        return region_from_box(box)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SpaceError):
+            DataObject(var="T", version=0, region=self.region(),
+                       owner_core=0, element_size=8,
+                       payload=np.zeros((3, 4)))
+
+    def test_itemsize_mismatch(self):
+        with pytest.raises(SpaceError):
+            DataObject(var="T", version=0, region=self.region(),
+                       owner_core=0, element_size=8,
+                       payload=np.zeros((4, 4), dtype=np.float32))
+
+    def test_valid_payload(self):
+        obj = DataObject(var="T", version=0, region=self.region(),
+                         owner_core=0, element_size=8,
+                         payload=np.ones((4, 4)))
+        assert obj.nbytes == 128
+
+    def test_put_seq_infers_element_size(self):
+        space = make_space()
+        obj = space.put_seq(0, "T", Box(lo=(0, 0), hi=(4, 4)),
+                            data=np.zeros((4, 4), dtype=np.float32))
+        assert obj.element_size == 4
+
+
+class TestFetchSeq:
+    def test_single_owner_roundtrip(self):
+        space = make_space()
+        field = np.arange(256, dtype=np.float64).reshape(16, 16)
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)), data=field)
+        out, sched, recs = space.fetch_seq(5, "T", Box(lo=(0, 0), hi=(16, 16)))
+        assert np.array_equal(out, field)
+        assert sched.total_bytes == 256 * 8
+
+    def test_subregion_fetch(self):
+        space = make_space()
+        field = np.arange(256, dtype=np.float64).reshape(16, 16)
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)), data=field)
+        out, _, _ = space.fetch_seq(1, "T", Box(lo=(2, 3), hi=(6, 9)))
+        assert np.array_equal(out, field[2:6, 3:9])
+
+    def test_multi_owner_assembly(self):
+        """A domain tiled by four producers reassembles exactly."""
+        space = make_space()
+        field = np.random.default_rng(0).random((16, 16))
+        decomp = Decomposition((16, 16), (2, 2), "blocked")
+        for rank in range(4):
+            box = decomp.task_bounding_box(rank)
+            space.put_seq(
+                rank, "T", box,
+                data=field[box.lo[0]:box.hi[0], box.lo[1]:box.hi[1]].copy(),
+            )
+        out, sched, _ = space.fetch_seq(8, "T", Box(lo=(0, 0), hi=(16, 16)))
+        assert np.array_equal(out, field)
+        assert sched.num_sources == 4
+
+    def test_cyclic_producer_assembly(self):
+        """Strided (cyclic) contributions land in the right cells."""
+        space = make_space()
+        field = np.random.default_rng(1).random((8, 8))
+        decomp = Decomposition((8, 8), (2, 2), "cyclic")
+        for rank in range(4):
+            region = decomp.task_intervals(rank)
+            rows = region[0].to_array()
+            cols = region[1].to_array()
+            space.put_seq(rank, "T", region,
+                          data=field[np.ix_(rows, cols)].copy())
+        out, _, _ = space.fetch_seq(5, "T", Box(lo=(0, 0), hi=(8, 8)))
+        assert np.array_equal(out, field)
+
+    def test_version_selection(self):
+        space = make_space(use_schedule_cache=False)
+        box = Box(lo=(0, 0), hi=(4, 4))
+        space.put_seq(0, "T", box, data=np.zeros((4, 4)), version=0)
+        space.put_seq(0, "T", box, data=np.ones((4, 4)), version=1)
+        out0, _, _ = space.fetch_seq(1, "T", box, version=0)
+        out1, _, _ = space.fetch_seq(1, "T", box, version=1)
+        outn, _, _ = space.fetch_seq(2, "T", box)  # newest
+        assert out0.sum() == 0 and out1.sum() == 16 and outn.sum() == 16
+
+    def test_missing_payload_raises(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))  # descriptor only
+        with pytest.raises(SpaceError):
+            space.fetch_seq(1, "T", Box(lo=(0, 0), hi=(4, 4)))
+
+    def test_metrics_still_recorded(self):
+        from repro.transport.message import TransferKind
+
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)),
+                      data=np.zeros((16, 16)))
+        space.fetch_seq(12, "T", Box(lo=(0, 0), hi=(16, 16)), app_id=3)
+        assert space.dart.metrics.bytes(
+            kind=TransferKind.COUPLING, app_id=3
+        ) == 256 * 8
+
+
+@given(
+    st.integers(0, 10), st.integers(0, 10), st.integers(1, 6), st.integers(1, 6),
+)
+@settings(max_examples=30, deadline=None)
+def test_fetch_matches_numpy_slice(r0, c0, h, w):
+    space = make_space()
+    field = np.arange(256, dtype=np.float64).reshape(16, 16)
+    space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)), data=field)
+    box = Box(lo=(r0, c0), hi=(min(r0 + h, 16), min(c0 + w, 16)))
+    out, _, _ = space.fetch_seq(1, "T", box)
+    assert np.array_equal(out, field[box.lo[0]:box.hi[0], box.lo[1]:box.hi[1]])
+
+
+class TestFetch3D:
+    def test_3d_multi_owner_assembly(self):
+        space = make_space(extents=(8, 8, 8))
+        field = np.random.default_rng(2).random((8, 8, 8))
+        decomp = Decomposition((8, 8, 8), (2, 2, 2), "blocked")
+        for rank in range(8):
+            box = decomp.task_bounding_box(rank)
+            space.put_seq(
+                rank, "T", box,
+                data=field[box.lo[0]:box.hi[0],
+                           box.lo[1]:box.hi[1],
+                           box.lo[2]:box.hi[2]].copy(),
+            )
+        out, sched, _ = space.fetch_seq(9, "T", Box(lo=(0, 0, 0), hi=(8, 8, 8)))
+        assert np.array_equal(out, field)
+        assert sched.num_sources == 8
+
+    def test_3d_cross_partition_slab(self):
+        space = make_space(extents=(8, 8, 8))
+        field = np.arange(512, dtype=np.float64).reshape(8, 8, 8)
+        decomp = Decomposition((8, 8, 8), (2, 1, 1), "blocked")
+        for rank in range(2):
+            box = decomp.task_bounding_box(rank)
+            space.put_seq(rank, "T", box,
+                          data=field[box.lo[0]:box.hi[0]].copy())
+        out, _, _ = space.fetch_seq(5, "T", Box(lo=(2, 1, 0), hi=(6, 7, 8)))
+        assert np.array_equal(out, field[2:6, 1:7, 0:8])

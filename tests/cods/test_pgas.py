@@ -1,0 +1,112 @@
+"""Tests for the PGAS global-array view."""
+
+import numpy as np
+import pytest
+
+from repro.cods.pgas import GlobalArray
+from repro.cods.space import CoDS
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import SpaceError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind, Transport
+
+
+def make_array(domain=(16, 16), layout=(2, 2), fill=0.0, dtype=np.float64):
+    cluster = Cluster(4, machine=generic_multicore(4))
+    space = CoDS(cluster, domain, use_schedule_cache=False)
+    spec = AppSpec(
+        1, "ga", DecompositionDescriptor.uniform(domain, layout), var="A"
+    )
+    mapping = RoundRobinMapper().map_bundle([spec], cluster)
+    return GlobalArray(space, spec, mapping, dtype=dtype, fill=fill), space
+
+
+class TestSlicing:
+    def test_full_read(self):
+        ga, _ = make_array(fill=7.0)
+        out = ga.read(0, (slice(None), slice(None)))
+        assert out.shape == (16, 16)
+        assert np.all(out == 7.0)
+
+    def test_section_read(self):
+        ga, _ = make_array(fill=1.0)
+        out = ga.read(0, (slice(2, 6), slice(3, 9)))
+        assert out.shape == (4, 6)
+
+    def test_integer_index(self):
+        ga, _ = make_array(fill=2.0)
+        out = ga.read(0, (5, slice(0, 16)))
+        assert out.shape == (1, 16)
+
+    def test_negative_indices(self):
+        ga, _ = make_array()
+        out = ga.read(0, (slice(-4, None), slice(None, -8)))
+        assert out.shape == (4, 8)
+
+    def test_bad_keys(self):
+        ga, _ = make_array()
+        with pytest.raises(SpaceError):
+            ga.read(0, (slice(0, 4),))  # rank mismatch
+        with pytest.raises(SpaceError):
+            ga.read(0, (slice(0, 20), slice(0, 4)))  # out of range
+        with pytest.raises(SpaceError):
+            ga.read(0, (slice(0, 8, 2), slice(0, 4)))  # strided
+
+
+class TestOneSidedSemantics:
+    def test_write_then_read(self):
+        ga, _ = make_array()
+        ga.write(0, (slice(4, 8), slice(4, 8)), 9.0)
+        out = ga.read(1, (slice(None), slice(None)))
+        assert np.all(out[4:8, 4:8] == 9.0)
+        assert out.sum() == 9.0 * 16
+
+    def test_write_spanning_partitions(self):
+        """A section crossing all four partitions updates each owner."""
+        ga, _ = make_array()
+        values = np.arange(64, dtype=np.float64).reshape(8, 8)
+        ga.write(0, (slice(4, 12), slice(4, 12)), values)
+        out = ga.read(0, (slice(4, 12), slice(4, 12)))
+        assert np.array_equal(out, values)
+
+    def test_writes_accounted_to_owners(self):
+        ga, space = make_array()
+        before = space.dart.metrics.bytes(kind=TransferKind.COUPLING)
+        ga.write(15, (slice(0, 4), slice(0, 4)), 1.0)  # core 15 -> owner core 0
+        moved = space.dart.metrics.bytes(kind=TransferKind.COUPLING) - before
+        assert moved == 16 * 8
+        assert space.dart.metrics.network_bytes(TransferKind.COUPLING) > 0
+
+    def test_local_write_is_shm(self):
+        ga, space = make_array()
+        ga.write(1, (slice(0, 4), slice(0, 4)), 1.0)  # core 1, owner core 0
+        # Same node -> shm
+        recs_net = space.dart.metrics.network_bytes(TransferKind.COUPLING)
+        assert recs_net == 0
+
+    def test_to_numpy(self):
+        ga, _ = make_array(fill=3.5)
+        arr = ga.to_numpy(2)
+        assert arr.shape == (16, 16)
+        assert np.all(arr == 3.5)
+
+    def test_dtype_respected(self):
+        ga, _ = make_array(dtype=np.float32, fill=1.0)
+        out = ga.read(0, (slice(0, 2), slice(0, 2)))
+        assert out.dtype == np.float32
+
+    def test_matches_numpy_reference(self):
+        """Random writes against a plain numpy oracle."""
+        ga, _ = make_array()
+        ref = np.zeros((16, 16))
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            r0, c0 = rng.integers(0, 12, size=2)
+            h, w = rng.integers(1, 5, size=2)
+            val = float(rng.random())
+            ga.write(0, (slice(int(r0), int(r0 + h)), slice(int(c0), int(c0 + w))), val)
+            ref[r0:r0 + h, c0:c0 + w] = val
+        assert np.array_equal(ga.to_numpy(0), ref)

@@ -1,0 +1,144 @@
+"""Tests for communication schedules and the schedule cache."""
+
+import pytest
+
+from repro.cods.dht import ObjectLocation
+from repro.cods.objects import region_from_box
+from repro.cods.schedule import (
+    CommSchedule,
+    ScheduleCache,
+    TransferPlan,
+    compute_schedule,
+    producer_schedule,
+)
+from repro.domain.box import Box
+from repro.errors import ScheduleError
+
+
+def loc(core, box, var="T", version=0, esize=8):
+    return ObjectLocation(
+        var=var, version=version, owner_core=core,
+        region=region_from_box(box), element_size=esize,
+    )
+
+
+class TestTransferPlan:
+    def test_positive_volume_required(self):
+        with pytest.raises(ScheduleError):
+            TransferPlan(0, 1, 0, 0, "T")
+
+
+class TestComputeSchedule:
+    def test_single_source(self):
+        box = Box(lo=(0, 0), hi=(4, 4))
+        sched = compute_schedule("T", 9, box, [loc(3, Box(lo=(0, 0), hi=(8, 8)))])
+        assert sched.total_cells == 16
+        assert sched.total_bytes == 128
+        assert sched.num_sources == 1
+        assert sched.plans[0].src_core == 3
+        assert sched.plans[0].dst_core == 9
+
+    def test_multiple_sources_partition(self):
+        box = Box(lo=(0, 0), hi=(8, 8))
+        locs = [
+            loc(0, Box(lo=(0, 0), hi=(4, 8))),
+            loc(1, Box(lo=(4, 0), hi=(8, 8))),
+        ]
+        sched = compute_schedule("T", 5, box, locs)
+        assert sched.total_cells == 64
+        assert {p.src_core for p in sched.plans} == {0, 1}
+
+    def test_incomplete_coverage_raises(self):
+        box = Box(lo=(0, 0), hi=(8, 8))
+        with pytest.raises(ScheduleError):
+            compute_schedule("T", 5, box, [loc(0, Box(lo=(0, 0), hi=(4, 8)))])
+
+    def test_incomplete_allowed(self):
+        box = Box(lo=(0, 0), hi=(8, 8))
+        sched = compute_schedule(
+            "T", 5, box, [loc(0, Box(lo=(0, 0), hi=(4, 8)))], require_complete=False
+        )
+        assert sched.total_cells == 32
+
+    def test_newest_version_per_owner(self):
+        box = Box(lo=(0, 0), hi=(4, 4))
+        locs = [
+            loc(0, Box(lo=(0, 0), hi=(4, 4)), version=0),
+            loc(0, Box(lo=(0, 0), hi=(4, 4)), version=3),
+        ]
+        sched = compute_schedule("T", 5, box, locs)
+        assert len(sched.plans) == 1
+        assert sched.total_cells == 16
+
+    def test_local_bytes(self):
+        box = Box(lo=(0, 0), hi=(8, 8))
+        locs = [
+            loc(0, Box(lo=(0, 0), hi=(4, 8))),   # core 0 -> node 0
+            loc(12, Box(lo=(4, 0), hi=(8, 8))),  # core 12 -> node 1 (cpn=12)
+        ]
+        sched = compute_schedule("T", 1, box, locs)  # dst core 1 -> node 0
+        assert sched.local_bytes(lambda c: c // 12) == 32 * 8
+
+    def test_empty_locations_raise_when_complete_required(self):
+        with pytest.raises(ScheduleError):
+            compute_schedule("T", 0, Box(lo=(0,), hi=(4,)), [])
+
+
+class TestProducerSchedule:
+    def test_direct_sources(self):
+        box = Box(lo=(0, 0), hi=(8, 8))
+        producers = [
+            (2, region_from_box(Box(lo=(0, 0), hi=(8, 4)))),
+            (7, region_from_box(Box(lo=(0, 4), hi=(8, 8)))),
+        ]
+        sched = producer_schedule("T", 11, box, producers, element_size=4)
+        assert sched.total_bytes == 64 * 4
+        assert {p.src_core for p in sched.plans} == {2, 7}
+
+    def test_incomplete_producers_raise(self):
+        box = Box(lo=(0, 0), hi=(8, 8))
+        with pytest.raises(ScheduleError):
+            producer_schedule(
+                "T", 1, box,
+                [(0, region_from_box(Box(lo=(0, 0), hi=(4, 4))))],
+                element_size=8,
+            )
+
+
+class TestScheduleCache:
+    def sched(self, var="T", core=0, box=Box(lo=(0,), hi=(4,))):
+        return CommSchedule(var=var, dst_core=core, region=region_from_box(box))
+
+    def test_miss_then_hit(self):
+        cache = ScheduleCache()
+        assert cache.get("T", 0, Box(lo=(0,), hi=(4,))) is None
+        cache.put(self.sched())
+        assert cache.get("T", 0, Box(lo=(0,), hi=(4,))) is not None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_key_includes_core_and_box(self):
+        cache = ScheduleCache()
+        cache.put(self.sched(core=0))
+        assert cache.get("T", 1, Box(lo=(0,), hi=(4,))) is None
+        assert cache.get("T", 0, Box(lo=(0,), hi=(5,))) is None
+
+    def test_fifo_eviction(self):
+        cache = ScheduleCache(max_entries=2)
+        cache.put(self.sched(var="a"))
+        cache.put(self.sched(var="b"))
+        cache.put(self.sched(var="c"))
+        assert len(cache) == 2
+        assert cache.get("a", 0, Box(lo=(0,), hi=(4,))) is None
+        assert cache.get("c", 0, Box(lo=(0,), hi=(4,))) is not None
+
+    def test_clear(self):
+        cache = ScheduleCache()
+        cache.put(self.sched())
+        cache.get("T", 0, Box(lo=(0,), hi=(4,)))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.hit_rate == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ScheduleError):
+            ScheduleCache(max_entries=0)

@@ -1,0 +1,164 @@
+"""Tests for the CoDS shared-space facade (Table I operators)."""
+
+import pytest
+
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.errors import ScheduleError, SpaceError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind, Transport
+
+
+def make_space(nodes=4, cpn=4, extents=(16, 16), **kw):
+    cluster = Cluster(nodes, machine=generic_multicore(cpn))
+    return CoDS(cluster, extents, **kw)
+
+
+class TestPutGetSeq:
+    def test_roundtrip(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(8, 16)))
+        space.put_seq(4, "T", Box(lo=(8, 0), hi=(16, 16)))
+        sched, recs = space.get_seq(5, "T", Box(lo=(4, 0), hi=(12, 16)))
+        assert sched.total_cells == 8 * 16
+        assert len(recs) == 2
+        # Pull from core 4 (same node as 5) is shm; from core 0 is network.
+        transports = {r.src_core: r.transport for r in recs}
+        assert transports[4] is Transport.SHM
+        assert transports[0] is Transport.NETWORK
+
+    def test_get_missing_data_raises(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(8, 16)))
+        with pytest.raises(ScheduleError):
+            space.get_seq(1, "T", Box(lo=(0, 0), hi=(16, 16)))
+
+    def test_put_outside_domain(self):
+        space = make_space()
+        with pytest.raises(SpaceError):
+            space.put_seq(0, "T", Box(lo=(10, 10), hi=(20, 20)))
+
+    def test_get_outside_domain(self):
+        space = make_space()
+        with pytest.raises(SpaceError):
+            space.get_seq(0, "T", Box(lo=(0, 0), hi=(17, 17)))
+
+    def test_bytes_recorded_as_coupling(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        _, recs = space.get_seq(12, "T", Box(lo=(0, 0), hi=(16, 16)), app_id=2)
+        assert space.dart.metrics.bytes(
+            kind=TransferKind.COUPLING, app_id=2
+        ) == sum(r.nbytes for r in recs) == 16 * 16 * 8
+
+    def test_stored_bytes(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(4, 4)), element_size=8)
+        assert space.stored_bytes() == 16 * 8
+
+    def test_evict(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        space.evict(0, "T")
+        assert space.stored_bytes() == 0
+        with pytest.raises(ScheduleError):
+            space.get_seq(1, "T", Box(lo=(0, 0), hi=(4, 4)))
+
+    def test_memory_capacity_enforced(self):
+        cluster = Cluster(1, machine=generic_multicore(2))
+        space = CoDS(cluster, (1024, 1024), enforce_memory=True)
+        # One core's share of 16 GiB is 8 GiB; a 1024x1024 region at a huge
+        # element size overflows it.
+        with pytest.raises(SpaceError):
+            space.put_seq(
+                0, "T", Box(lo=(0, 0), hi=(1024, 1024)), element_size=2 ** 20
+            )
+
+    def test_unknown_core(self):
+        space = make_space()
+        with pytest.raises(SpaceError):
+            space.put_seq(999, "T", Box(lo=(0, 0), hi=(4, 4)))
+
+
+class TestScheduleCaching:
+    def test_second_get_uses_cache(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        box = Box(lo=(0, 0), hi=(8, 8))
+        space.get_seq(5, "T", box)
+        control_after_first = space.dart.metrics.count(kind=TransferKind.CONTROL)
+        sched2, recs2 = space.get_seq(5, "T", box)
+        # No new DHT control messages, but data still transferred.
+        assert space.dart.metrics.count(kind=TransferKind.CONTROL) == control_after_first
+        assert len(recs2) == 1
+        assert space.schedule_cache.hits == 1
+
+    def test_cache_disabled(self):
+        space = make_space(use_schedule_cache=False)
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        box = Box(lo=(0, 0), hi=(8, 8))
+        space.get_seq(5, "T", box)
+        c1 = space.dart.metrics.count(kind=TransferKind.CONTROL)
+        space.get_seq(5, "T", box)
+        assert space.dart.metrics.count(kind=TransferKind.CONTROL) > c1
+
+
+class TestConcurrentCoupling:
+    def test_put_get_cont(self):
+        space = make_space()
+        space.put_cont(0, "U", Box(lo=(0, 0), hi=(8, 16)), element_size=4)
+        space.put_cont(4, "U", Box(lo=(8, 0), hi=(16, 16)), element_size=4)
+        sched, recs = space.get_cont(5, "U", Box(lo=(0, 0), hi=(16, 16)), app_id=3)
+        assert sched.total_bytes == 16 * 16 * 4
+        assert len(recs) == 2
+        assert space.dart.metrics.bytes(
+            kind=TransferKind.COUPLING, app_id=3
+        ) == 16 * 16 * 4
+
+    def test_get_cont_without_producer(self):
+        space = make_space()
+        with pytest.raises(SpaceError):
+            space.get_cont(0, "U", Box(lo=(0, 0), hi=(4, 4)))
+
+    def test_element_size_mismatch(self):
+        space = make_space()
+        space.put_cont(0, "U", Box(lo=(0, 0), hi=(8, 8)), element_size=4)
+        with pytest.raises(SpaceError):
+            space.put_cont(1, "U", Box(lo=(8, 8), hi=(16, 16)), element_size=8)
+
+    def test_incomplete_producers(self):
+        space = make_space()
+        space.put_cont(0, "U", Box(lo=(0, 0), hi=(8, 8)), element_size=4)
+        with pytest.raises(ScheduleError):
+            space.get_cont(1, "U", Box(lo=(0, 0), hi=(16, 16)))
+
+    def test_reset_concurrent(self):
+        space = make_space()
+        space.put_cont(0, "U", Box(lo=(0, 0), hi=(16, 16)), element_size=4)
+        space.reset_concurrent("U")
+        with pytest.raises(SpaceError):
+            space.get_cont(1, "U", Box(lo=(0, 0), hi=(4, 4)))
+
+    def test_no_staging_for_concurrent(self):
+        """Concurrent coupling must not store anything in the space."""
+        space = make_space()
+        space.put_cont(0, "U", Box(lo=(0, 0), hi=(16, 16)), element_size=4)
+        assert space.stored_bytes() == 0
+
+
+class TestInSituPlacementEffect:
+    def test_colocated_consumer_all_shm(self):
+        """A consumer placed on the producer's node pulls via shared memory
+        only — the in-situ scenario of the paper's Fig 2."""
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        _, recs = space.get_seq(1, "T", Box(lo=(0, 0), hi=(16, 16)))  # same node
+        assert all(r.transport is Transport.SHM for r in recs)
+        assert space.dart.metrics.network_bytes(TransferKind.COUPLING) == 0
+
+    def test_remote_consumer_all_network(self):
+        space = make_space()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        _, recs = space.get_seq(12, "T", Box(lo=(0, 0), hi=(16, 16)))  # node 3
+        assert all(r.transport is Transport.NETWORK for r in recs)

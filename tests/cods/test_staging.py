@@ -1,0 +1,113 @@
+"""Tests for the staging-area baseline (related-work comparison)."""
+
+import pytest
+
+from repro.cods.staging import StagingArea
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.errors import ScheduleError, SpaceError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind
+
+
+def make_staging(nodes=4, cpn=4, staging=(3,), extents=(16, 16)):
+    cluster = Cluster(nodes, machine=generic_multicore(cpn))
+    return StagingArea(cluster, extents, list(staging))
+
+
+class TestConstruction:
+    def test_basic(self):
+        area = make_staging()
+        assert area.staging_cores == [12, 13, 14, 15]
+        assert area.staged_bytes() == 0
+
+    def test_no_nodes(self):
+        cluster = Cluster(2, machine=generic_multicore(2))
+        with pytest.raises(SpaceError):
+            StagingArea(cluster, (8, 8), [])
+
+    def test_node_out_of_range(self):
+        cluster = Cluster(2, machine=generic_multicore(2))
+        with pytest.raises(SpaceError):
+            StagingArea(cluster, (8, 8), [5])
+
+
+class TestTwoHopPath:
+    def test_put_get_roundtrip(self):
+        area = make_staging()
+        box = Box(lo=(0, 0), hi=(16, 16))
+        obj, put_rec = area.put(0, "T", box, app_id=1)
+        assert obj.owner_core in area.staging_cores
+        assert area.staged_bytes() == 16 * 16 * 8
+        sched, recs = area.get(1, "T", box, app_id=2)
+        assert sched.total_cells == 256
+        # Two movements: put bytes + get bytes.
+        total = area.dart.metrics.bytes(kind=TransferKind.COUPLING)
+        assert total == 2 * 16 * 16 * 8
+
+    def test_get_missing_raises(self):
+        area = make_staging()
+        with pytest.raises(ScheduleError):
+            area.get(0, "nope", Box(lo=(0, 0), hi=(4, 4)))
+
+    def test_version_filter(self):
+        area = make_staging()
+        box = Box(lo=(0, 0), hi=(16, 16))
+        area.put(0, "T", box, version=0)
+        area.put(1, "T", box, version=1)
+        sched, _ = area.get(2, "T", box, version=0)
+        assert sched.total_cells == 256
+
+    def test_partitioned_puts_balance(self):
+        area = make_staging(nodes=4, cpn=4, staging=(2, 3))
+        # 16 blocked tiles spread over the staging cores.
+        for i in range(4):
+            for j in range(4):
+                area.put(
+                    i * 4 + j, "T",
+                    Box(lo=(4 * i, 4 * j), hi=(4 * i + 4, 4 * j + 4)),
+                )
+        loads = area.store_loads()
+        assert sum(loads.values()) == 16 * 16 * 8
+        assert sum(1 for v in loads.values() if v > 0) >= 4
+
+    def test_empty_region_rejected(self):
+        area = make_staging()
+        with pytest.raises(SpaceError):
+            area.put(0, "T", Box(lo=(0, 0), hi=(0, 0)))
+
+
+class TestStagingVsInSitu:
+    def test_staging_moves_twice_the_bytes(self):
+        """The §VI claim: indirect sharing doubles the data movement."""
+        cluster = Cluster(4, machine=generic_multicore(4))
+        box = Box(lo=(0, 0), hi=(16, 16))
+
+        staging = StagingArea(cluster, (16, 16), [3])
+        staging.put(0, "T", box)
+        staging.get(1, "T", box)
+        staging_bytes = staging.dart.metrics.bytes(kind=TransferKind.COUPLING)
+
+        space = CoDS(cluster, (16, 16))
+        space.put_seq(0, "T", box)          # stays in producer memory
+        space.get_seq(1, "T", box)          # one movement
+        insitu_bytes = space.dart.metrics.bytes(kind=TransferKind.COUPLING)
+
+        assert staging_bytes == 2 * insitu_bytes
+
+    def test_staging_always_crosses_network(self):
+        """Consumer co-located with the producer: in-situ is pure shm, the
+        staging path still crosses the network twice."""
+        cluster = Cluster(4, machine=generic_multicore(4))
+        box = Box(lo=(0, 0), hi=(16, 16))
+
+        staging = StagingArea(cluster, (16, 16), [3])
+        staging.put(0, "T", box)
+        staging.get(1, "T", box)  # same node as producer
+        assert staging.dart.metrics.network_bytes(TransferKind.COUPLING) > 0
+
+        space = CoDS(cluster, (16, 16))
+        space.put_seq(0, "T", box)
+        space.get_seq(1, "T", box)
+        assert space.dart.metrics.network_bytes(TransferKind.COUPLING) == 0

@@ -1,0 +1,129 @@
+"""Tests for mapping onto a restricted core set (concurrent bundles)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
+from repro.apps.scenarios import small_concurrent, small_sequential
+from repro.cods.space import CoDS
+from repro.core.commgraph import Coupling
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.mapping.serverside import ServerSideMapper
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import MappingError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind
+
+
+def app(app_id, layout, size=(16, 16)):
+    return AppSpec(
+        app_id=app_id, name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform(size, layout),
+    )
+
+
+def cluster(nodes=4, cpn=4):
+    return Cluster(nodes, machine=generic_multicore(cpn))
+
+
+class TestRoundRobinRestricted:
+    def test_block_uses_only_available(self):
+        c = cluster()
+        avail = [5, 6, 7, 9]
+        a = app(1, (2, 2))
+        r = RoundRobinMapper().map_bundle([a], c, available_cores=avail)
+        assert set(r.placement.values()) <= set(avail)
+
+    def test_capacity_against_available(self):
+        c = cluster()
+        with pytest.raises(MappingError):
+            RoundRobinMapper().map_bundle(
+                [app(1, (2, 2))], c, available_cores=[0, 1]
+            )
+
+    def test_out_of_range_available(self):
+        c = cluster()
+        with pytest.raises(MappingError):
+            RoundRobinMapper().map_bundle(
+                [app(1, (1, 1))], c, available_cores=[99]
+            )
+
+    def test_cyclic_spreads_over_available_nodes(self):
+        c = cluster()
+        avail = [0, 1, 4, 5, 8, 9]  # two free cores on nodes 0..2
+        a = app(1, (3, 1))
+        r = RoundRobinMapper("cyclic").map_bundle([a], c, available_cores=avail)
+        nodes = {r.node_of(1, i) for i in range(3)}
+        assert nodes == {0, 1, 2}
+
+
+class TestServerSideRestricted:
+    def test_uses_only_available(self):
+        c = cluster()
+        a, b = app(1, (2, 2)), app(2, (2, 2))
+        avail = list(range(8, 16))  # nodes 2 and 3 only
+        r = ServerSideMapper(seed=0).map_bundle(
+            [a, b], c, couplings=[Coupling(a, b)], available_cores=avail
+        )
+        assert set(r.placement.values()) <= set(avail)
+        r.validate([a, b])
+
+    def test_partial_node_capacities(self):
+        c = cluster()
+        # 3 free cores on node 0, 4 on node 1, 1 on node 2.
+        avail = [0, 1, 2, 4, 5, 6, 7, 8]
+        a, b = app(1, (2, 2)), app(2, (2, 2))
+        r = ServerSideMapper(seed=0).map_bundle(
+            [a, b], c, couplings=[Coupling(a, b)], available_cores=avail
+        )
+        assert set(r.placement.values()) <= set(avail)
+
+    def test_insufficient(self):
+        c = cluster()
+        a, b = app(1, (2, 2)), app(2, (2, 2))
+        with pytest.raises(MappingError):
+            ServerSideMapper().map_bundle(
+                [a, b], c, couplings=[Coupling(a, b)],
+                available_cores=list(range(6)),
+            )
+
+
+class TestClientSideRestricted:
+    def test_stays_within_available(self):
+        c = cluster()
+        space = CoDS(c, (16, 16))
+        space.put_seq(0, "data", Box(lo=(0, 0), hi=(16, 16)))
+        cons = app(2, (2, 2))
+        avail = list(range(8, 16))  # data's node 0 NOT available
+        r = ClientSideMapper().map_bundle(
+            [cons], c, lookup=space.lookup, available_cores=avail
+        )
+        assert set(r.placement.values()) <= set(avail)
+
+
+class TestConservationProperty:
+    """Mapping strategy must never change the total coupled volume."""
+
+    @given(st.sampled_from(["blocked", "cyclic", "block_cyclic"]),
+           st.sampled_from(["blocked", "cyclic", "block_cyclic"]))
+    @settings(max_examples=9, deadline=None)
+    def test_concurrent_total_invariant(self, pd, cd):
+        total = {}
+        for mapper in (ROUND_ROBIN, DATA_CENTRIC):
+            res = run_scenario(
+                small_concurrent(producer_dist=pd, consumer_dist=cd), mapper
+            )
+            total[mapper] = res.metrics.bytes(kind=TransferKind.COUPLING)
+        assert total[ROUND_ROBIN] == total[DATA_CENTRIC]
+
+    def test_sequential_total_invariant(self):
+        total = {}
+        for mapper in (ROUND_ROBIN, DATA_CENTRIC):
+            res = run_scenario(small_sequential(), mapper)
+            total[mapper] = res.metrics.bytes(kind=TransferKind.COUPLING)
+        assert total[ROUND_ROBIN] == total[DATA_CENTRIC]

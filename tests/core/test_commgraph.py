@@ -1,0 +1,116 @@
+"""Tests for the inter-application communication graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commgraph import Coupling, build_comm_graph
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import MappingError
+
+
+def app(app_id, layout, size=(8, 8), dist="blocked", esize=8):
+    return AppSpec(
+        app_id=app_id,
+        name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform(size, layout, dist),
+        element_size=esize,
+    )
+
+
+class TestCoupling:
+    def test_self_coupling_rejected(self):
+        a = app(1, (2, 2))
+        b = app(1, (2, 2))
+        with pytest.raises(MappingError):
+            Coupling(a, b)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(MappingError):
+            Coupling(app(1, (2, 2), size=(8, 8)), app(2, (2, 2), size=(16, 16)))
+
+
+class TestBuildCommGraph:
+    def test_identical_decompositions_one_to_one(self):
+        a, b = app(1, (2, 2)), app(2, (2, 2))
+        cg = build_comm_graph([a, b], [Coupling(a, b)])
+        assert cg.ntasks == 8
+        # Each producer task couples with exactly its twin consumer task.
+        assert cg.graph.nedges == 4
+        for prank in range(4):
+            u = cg.vertex_of[(1, prank)]
+            nbrs, wgts = cg.graph.neighbors(u)
+            assert nbrs.tolist() == [cg.vertex_of[(2, prank)]]
+            assert wgts.tolist() == [16 * 8]  # 4x4 cells * 8 B
+
+    def test_total_bytes_equals_domain_volume(self):
+        a, b = app(1, (4, 2)), app(2, (2, 2))
+        cg = build_comm_graph([a, b], [Coupling(a, b)])
+        assert cg.total_coupled_bytes() == 8 * 8 * 8  # full domain redistributed
+
+    def test_mixed_distribution_fanout(self):
+        """Blocked -> cyclic coupling explodes the edge count (Fig 10)."""
+        same = build_comm_graph(
+            [app(1, (2, 2)), app(2, (2, 2))],
+            [Coupling(app(1, (2, 2)), app(2, (2, 2)))],
+        )
+        mixed_consumer = app(2, (2, 2), dist="cyclic")
+        mixed = build_comm_graph(
+            [app(1, (2, 2)), mixed_consumer],
+            [Coupling(app(1, (2, 2)), mixed_consumer)],
+        )
+        assert mixed.graph.nedges > same.graph.nedges
+        # Cyclic consumer: every producer task talks to every consumer task.
+        assert mixed.graph.nedges == 16
+
+    def test_coupled_region_restricts_edges(self):
+        a, b = app(1, (2, 2)), app(2, (2, 2))
+        corner = Box(lo=(0, 0), hi=(4, 4))
+        cg = build_comm_graph([a, b], [Coupling(a, b, region=corner)])
+        assert cg.total_coupled_bytes() == 16 * 8
+        assert cg.graph.nedges == 1
+
+    def test_multiple_couplings_accumulate(self):
+        a, b, c = app(1, (2, 2)), app(2, (2, 2)), app(3, (2, 2))
+        cg = build_comm_graph(
+            [a, b, c], [Coupling(a, b), Coupling(a, c)]
+        )
+        assert cg.ntasks == 12
+        assert cg.total_coupled_bytes() == 2 * 8 * 8 * 8
+
+    def test_duplicate_app_ids_rejected(self):
+        with pytest.raises(MappingError):
+            build_comm_graph([app(1, (2, 2)), app(1, (2, 2))], [])
+
+    def test_coupling_outside_bundle_rejected(self):
+        a, b, c = app(1, (2, 2)), app(2, (2, 2)), app(3, (2, 2))
+        with pytest.raises(MappingError):
+            build_comm_graph([a, b], [Coupling(a, c)])
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(MappingError):
+            build_comm_graph([], [])
+
+    def test_vertex_numbering(self):
+        a, b = app(1, (2, 1)), app(2, (1, 2))
+        cg = build_comm_graph([a, b], [Coupling(a, b)])
+        assert cg.tasks[:2] == ((1, 0), (1, 1))
+        assert cg.tasks[2:] == ((2, 0), (2, 1))
+        assert cg.vertex_of[(2, 1)] == 3
+
+
+@given(
+    st.sampled_from(["blocked", "cyclic", "block_cyclic"]),
+    st.sampled_from(["blocked", "cyclic", "block_cyclic"]),
+    st.integers(1, 3), st.integers(1, 3),
+)
+@settings(max_examples=30, deadline=None)
+def test_edge_weights_conserve_domain_volume(dist_a, dist_b, pa, pb):
+    """Whatever the distributions, redistributing the full domain moves
+    exactly domain_volume * element_size bytes in total."""
+    a = app(1, (pa, pa), size=(12, 12), dist=dist_a)
+    b = app(2, (pb, pb), size=(12, 12), dist=dist_b)
+    cg = build_comm_graph([a, b], [Coupling(a, b)])
+    assert cg.total_coupled_bytes() == 12 * 12 * 8

@@ -1,0 +1,222 @@
+"""Tests for the three task mappers and the mapping result type."""
+
+import pytest
+
+from repro.cods.space import CoDS
+from repro.core.commgraph import Coupling
+from repro.core.mapping.base import MappingResult
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.mapping.serverside import ServerSideMapper
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import MappingError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+
+
+def app(app_id, layout, size=(16, 16), dist="blocked", esize=8):
+    return AppSpec(
+        app_id=app_id,
+        name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform(size, layout, dist),
+        element_size=esize,
+    )
+
+
+def cluster(nodes=4, cpn=4):
+    return Cluster(nodes, machine=generic_multicore(cpn))
+
+
+class TestMappingResult:
+    def test_assign_and_query(self):
+        c = cluster()
+        r = MappingResult(cluster=c)
+        r.assign((1, 0), 5)
+        assert r.core_of(1, 0) == 5
+        assert r.node_of(1, 0) == 1
+        assert r.cores_of_app(1) == {0: 5}
+        assert r.nodes_used() == {1}
+
+    def test_double_assign_rejected(self):
+        r = MappingResult(cluster=cluster())
+        r.assign((1, 0), 0)
+        with pytest.raises(MappingError):
+            r.assign((1, 0), 1)
+
+    def test_core_out_of_range(self):
+        with pytest.raises(MappingError):
+            MappingResult(cluster=cluster()).assign((1, 0), 99)
+
+    def test_unmapped_query(self):
+        with pytest.raises(MappingError):
+            MappingResult(cluster=cluster()).core_of(1, 0)
+
+    def test_validate_incomplete(self):
+        a = app(1, (2, 2))
+        r = MappingResult(cluster=cluster())
+        r.assign((1, 0), 0)
+        with pytest.raises(MappingError):
+            r.validate([a])
+
+    def test_validate_core_collision(self):
+        a = app(1, (2, 1))
+        r = MappingResult(cluster=cluster())
+        r.placement[(1, 0)] = 3
+        r.placement[(1, 1)] = 3
+        with pytest.raises(MappingError):
+            r.validate([a])
+
+
+class TestRoundRobin:
+    def test_block_fills_nodes_in_order(self):
+        a = app(1, (2, 3))  # 6 tasks
+        r = RoundRobinMapper("block").map_bundle([a], cluster())
+        assert [r.core_of(1, i) for i in range(6)] == [0, 1, 2, 3, 4, 5]
+        assert r.node_of(1, 0) == 0 and r.node_of(1, 5) == 1
+
+    def test_cyclic_strides_nodes(self):
+        a = app(1, (2, 3))
+        r = RoundRobinMapper("cyclic").map_bundle([a], cluster())
+        assert [r.node_of(1, i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_bundle_apps_back_to_back(self):
+        a, b = app(1, (2, 2)), app(2, (2, 1))
+        r = RoundRobinMapper().map_bundle([a, b], cluster())
+        assert r.core_of(2, 0) == 4
+        r.validate([a, b])
+
+    def test_capacity_check(self):
+        a = app(1, (8, 8))  # 64 tasks > 16 cores
+        with pytest.raises(MappingError):
+            RoundRobinMapper().map_bundle([a], cluster())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(MappingError):
+            RoundRobinMapper("zigzag")
+
+
+class TestServerSide:
+    def test_colocates_coupled_tasks(self):
+        """With identical decompositions, the data-centric mapping should put
+        each producer task on the same node as its consumer twin."""
+        a, b = app(1, (4, 2)), app(2, (4, 2))  # 8 + 8 tasks on 4x4 cores
+        r = ServerSideMapper(seed=0).map_bundle(
+            [a, b], cluster(), couplings=[Coupling(a, b)]
+        )
+        r.validate([a, b])
+        same_node = sum(
+            r.node_of(1, rank) == r.node_of(2, rank) for rank in range(8)
+        )
+        assert same_node == 8
+
+    def test_round_robin_does_not_colocate(self):
+        """Contrast case for the test above: block RR separates the apps."""
+        a, b = app(1, (4, 2)), app(2, (4, 2))
+        r = RoundRobinMapper().map_bundle([a, b], cluster())
+        same_node = sum(
+            r.node_of(1, rank) == r.node_of(2, rank) for rank in range(8)
+        )
+        assert same_node == 0
+
+    def test_requires_couplings(self):
+        a, b = app(1, (2, 2)), app(2, (2, 2))
+        with pytest.raises(MappingError):
+            ServerSideMapper().map_bundle([a, b], cluster())
+
+    def test_group_capacity_respected(self):
+        a, b = app(1, (4, 2)), app(2, (2, 2))  # 12 tasks, cpn=4 -> 3 nodes
+        r = ServerSideMapper(seed=1).map_bundle(
+            [a, b], cluster(), couplings=[Coupling(a, b)]
+        )
+        per_node = {}
+        for key, core in r.placement.items():
+            per_node.setdefault(r.cluster.node_of_core(core), []).append(key)
+        assert all(len(v) <= 4 for v in per_node.values())
+
+    def test_too_many_groups(self):
+        a = app(1, (4, 4))  # 16 tasks
+        with pytest.raises(MappingError):
+            ServerSideMapper().map_bundle(
+                [a, app(2, (4, 4))], cluster(nodes=4, cpn=4),
+                couplings=[Coupling(a, app(2, (4, 4)))],
+            )
+
+    def test_deterministic(self):
+        a, b = app(1, (4, 2)), app(2, (2, 2))
+        r1 = ServerSideMapper(seed=5).map_bundle(
+            [a, b], cluster(), couplings=[Coupling(a, b)]
+        )
+        r2 = ServerSideMapper(seed=5).map_bundle(
+            [a, b], cluster(), couplings=[Coupling(a, b)]
+        )
+        assert r1.placement == r2.placement
+
+
+class TestClientSide:
+    def setup_space(self, producer, clu):
+        """Producer stores its blocked data via put_seq from RR placement."""
+        space = CoDS(clu, producer.descriptor.domain_size)
+        placement = RoundRobinMapper().map_bundle([producer], clu)
+        decomp = producer.decomposition
+        for rank in range(producer.ntasks):
+            space.put_seq(
+                placement.core_of(producer.app_id, rank),
+                producer.var,
+                decomp.task_intervals(rank),
+                element_size=producer.element_size,
+            )
+        return space, placement
+
+    def test_consumer_follows_data(self):
+        clu = cluster(nodes=4, cpn=4)
+        prod = app(1, (4, 4))  # 16 tasks fill all 16 cores
+        cons = app(2, (2, 2))  # 4 consumer tasks
+        space, prod_placement = self.setup_space(prod, clu)
+        r = ClientSideMapper().map_bundle([cons], clu, lookup=space.lookup)
+        r.validate([cons])
+        # Each consumer task covers a 8x8 quadrant = four producer tiles that
+        # live on one node (RR placed 4 consecutive ranks per node).
+        for rank in range(4):
+            node = r.node_of(2, rank)
+            per_node = space.lookup.bytes_by_node_for_region(
+                0, cons.var, cons.decomposition.task_intervals(rank)
+            )
+            assert per_node[node] == max(per_node.values())
+
+    def test_requires_lookup(self):
+        with pytest.raises(MappingError):
+            ClientSideMapper().map_bundle([app(2, (2, 2))], cluster())
+
+    def test_no_data_keeps_initial_placement(self):
+        clu = cluster()
+        cons = app(2, (2, 2))
+        space = CoDS(clu, (16, 16))  # empty space
+        r = ClientSideMapper().map_bundle([cons], clu, lookup=space.lookup)
+        initial = RoundRobinMapper().map_bundle([cons], clu)
+        assert r.placement == initial.placement
+
+    def test_capacity_spill(self):
+        """All data on one node, more consumers than that node has cores:
+        the extras spill to other nodes."""
+        clu = cluster(nodes=4, cpn=2)
+        space = CoDS(clu, (16, 16))
+        # Single producer object on node 0 covering the whole domain.
+        space.put_seq(0, "data", Box(lo=(0, 0), hi=(16, 16)))
+        cons = app(2, (2, 2))  # 4 tasks, node 0 has 2 cores
+        r = ClientSideMapper().map_bundle([cons], clu, lookup=space.lookup)
+        r.validate([cons])
+        nodes = [r.node_of(2, i) for i in range(4)]
+        assert nodes.count(0) == 2
+
+    def test_coupled_region_restriction(self):
+        clu = cluster(nodes=4, cpn=4)
+        prod = app(1, (4, 4))
+        cons = app(2, (2, 2))
+        space, _ = self.setup_space(prod, clu)
+        region = Box(lo=(0, 0), hi=(8, 8))  # only rank 0's quadrant
+        r = ClientSideMapper().map_bundle(
+            [cons], clu, lookup=space.lookup, coupled_region=region
+        )
+        r.validate([cons])

@@ -1,0 +1,69 @@
+"""Tests for AppSpec and ComputationTask."""
+
+import pytest
+
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import MappingError
+
+
+def app(app_id=1, layout=(2, 2), size=(8, 8), dist="blocked", esize=8):
+    return AppSpec(
+        app_id=app_id,
+        name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform(size, layout, dist),
+        element_size=esize,
+    )
+
+
+class TestAppSpec:
+    def test_basic(self):
+        a = app()
+        assert a.ntasks == 4
+        assert a.decomposition.nprocs == 4
+
+    def test_decomposition_cached(self):
+        a = app()
+        assert a.decomposition is a.decomposition
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            app(app_id=-1)
+        with pytest.raises(MappingError):
+            app(esize=0)
+        with pytest.raises(MappingError):
+            AppSpec(app_id=1, name="", descriptor=app().descriptor)
+
+
+class TestComputationTask:
+    def test_full_region(self):
+        t = app().task(0)
+        assert t.key == (1, 0)
+        assert t.owned_cells == 16
+        assert t.requested_cells == 16
+        assert t.requested_bytes == 128
+        assert t.bounding_box == Box(lo=(0, 0), hi=(4, 4))
+
+    def test_coupled_region_clips_request(self):
+        # Coupled region is the top-left 4x4 corner; only rank 0 wants data.
+        region = Box(lo=(0, 0), hi=(4, 4))
+        tasks = app().tasks(region)
+        assert tasks[0].requested_cells == 16
+        assert tasks[1].requested_cells == 0
+        assert tasks[3].requested_cells == 0
+
+    def test_partial_overlap(self):
+        region = Box(lo=(2, 2), hi=(6, 6))
+        tasks = app().tasks(region)
+        assert sum(t.requested_cells for t in tasks) == 16
+        assert tasks[0].requested_cells == 4
+
+    def test_tasks_count(self):
+        assert len(app(layout=(3, 2)).tasks()) == 6
+
+    def test_cyclic_task_region(self):
+        a = app(dist="cyclic", layout=(2, 2))
+        t = a.task(0)
+        assert t.owned_cells == 16  # every 2nd cell in each dim of 8x8
+        assert t.bounding_box == Box(lo=(0, 0), hi=(7, 7))

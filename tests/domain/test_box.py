@@ -1,0 +1,213 @@
+"""Unit and property tests for the Box geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domain.box import Box
+from repro.errors import DomainError
+
+
+# -- strategies ---------------------------------------------------------------
+
+def boxes(ndim):
+    def build(vals):
+        lo = tuple(min(a, b) for a, b in vals)
+        hi = tuple(max(a, b) for a, b in vals)
+        return Box(lo=lo, hi=hi)
+
+    return st.lists(
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        min_size=ndim, max_size=ndim,
+    ).map(build)
+
+
+def cells(box):
+    """Explicit cell set (small boxes only)."""
+    import itertools
+    return set(itertools.product(*[range(l, h) for l, h in zip(box.lo, box.hi)]))
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = Box(lo=(0, 0), hi=(4, 6))
+        assert b.ndim == 2
+        assert b.shape == (4, 6)
+        assert b.volume == 24
+        assert not b.is_empty
+
+    def test_empty_box(self):
+        assert Box(lo=(0,), hi=(0,)).is_empty
+        assert Box(lo=(0,), hi=(0,)).volume == 0
+
+    def test_rank_mismatch(self):
+        with pytest.raises(DomainError):
+            Box(lo=(0, 0), hi=(1,))
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(DomainError):
+            Box(lo=(), hi=())
+
+    def test_hi_below_lo_rejected(self):
+        with pytest.raises(DomainError):
+            Box(lo=(5,), hi=(3,))
+
+    def test_from_extents(self):
+        b = Box.from_extents((3, 4, 5))
+        assert b.lo == (0, 0, 0)
+        assert b.hi == (3, 4, 5)
+
+    def test_hashable(self):
+        assert Box(lo=(0,), hi=(2,)) in {Box(lo=(0,), hi=(2,))}
+
+
+class TestCornersSyntax:
+    def test_paper_example(self):
+        # The paper's <0,0,0; 10,10,20> descriptor: inclusive corners.
+        b = Box.from_corners("<0,0,0; 10,10,20>")
+        assert b.lo == (0, 0, 0)
+        assert b.hi == (11, 11, 21)
+
+    def test_roundtrip(self):
+        b = Box(lo=(1, 2), hi=(5, 9))
+        assert Box.from_corners(b.to_corners()) == b
+
+    def test_malformed(self):
+        with pytest.raises(DomainError):
+            Box.from_corners("<1,2,3>")
+        with pytest.raises(DomainError):
+            Box.from_corners("<a,b; c,d>")
+
+
+class TestGeometry:
+    def test_contains_point(self):
+        b = Box(lo=(0, 0), hi=(4, 4))
+        assert b.contains_point((0, 0))
+        assert b.contains_point((3, 3))
+        assert not b.contains_point((4, 0))
+
+    def test_contains_point_rank_mismatch(self):
+        with pytest.raises(DomainError):
+            Box(lo=(0,), hi=(4,)).contains_point((1, 2))
+
+    def test_contains_box(self):
+        outer = Box(lo=(0, 0), hi=(10, 10))
+        assert outer.contains_box(Box(lo=(2, 2), hi=(5, 5)))
+        assert not outer.contains_box(Box(lo=(2, 2), hi=(11, 5)))
+        assert outer.contains_box(Box(lo=(20, 20), hi=(20, 20)))  # empty
+
+    def test_intersection(self):
+        a = Box(lo=(0, 0), hi=(5, 5))
+        b = Box(lo=(3, 2), hi=(8, 4))
+        inter = a.intersection(b)
+        assert inter == Box(lo=(3, 2), hi=(5, 4))
+        assert a.intersection_volume(b) == inter.volume == 4
+
+    def test_disjoint_intersection(self):
+        a = Box(lo=(0,), hi=(5,))
+        b = Box(lo=(5,), hi=(9,))
+        assert a.intersection(b) is None
+        assert a.intersection_volume(b) == 0
+        assert not a.intersects(b)
+
+    def test_union_bound(self):
+        a = Box(lo=(0, 4), hi=(2, 6))
+        b = Box(lo=(1, 0), hi=(5, 5))
+        assert a.union_bound(b) == Box(lo=(0, 0), hi=(5, 6))
+
+    def test_translate(self):
+        b = Box(lo=(1, 1), hi=(3, 3)).translate((2, -1))
+        assert b == Box(lo=(3, 0), hi=(5, 2))
+
+    def test_expand(self):
+        dom = Box(lo=(0, 0), hi=(10, 10))
+        b = Box(lo=(2, 2), hi=(4, 4)).expand(1, bound=dom)
+        assert b == Box(lo=(1, 1), hi=(5, 5))
+
+    def test_expand_clips_at_bound(self):
+        dom = Box(lo=(0, 0), hi=(10, 10))
+        b = Box(lo=(0, 0), hi=(2, 2)).expand(3, bound=dom)
+        assert b == Box(lo=(0, 0), hi=(5, 5))
+
+    def test_expand_outside_bound_raises(self):
+        dom = Box(lo=(0,), hi=(2,))
+        with pytest.raises(DomainError):
+            Box(lo=(10,), hi=(12,)).expand(1, bound=dom)
+
+
+class TestSubtract:
+    def test_disjoint_returns_self(self):
+        a = Box(lo=(0,), hi=(3,))
+        assert a.subtract(Box(lo=(5,), hi=(7,))) == [a]
+
+    def test_fully_covered_returns_empty(self):
+        a = Box(lo=(1, 1), hi=(3, 3))
+        assert a.subtract(Box(lo=(0, 0), hi=(5, 5))) == []
+
+    def test_center_hole_2d(self):
+        a = Box(lo=(0, 0), hi=(6, 6))
+        hole = Box(lo=(2, 2), hi=(4, 4))
+        parts = a.subtract(hole)
+        assert sum(p.volume for p in parts) == 36 - 4
+        covered = set()
+        for p in parts:
+            c = cells(p)
+            assert not (covered & c), "subtract produced overlapping boxes"
+            covered |= c
+        assert covered == cells(a) - cells(hole)
+
+
+class TestIntervalInterop:
+    def test_interval_sets(self):
+        sets = Box(lo=(1, 2), hi=(4, 8)).interval_sets()
+        assert sets[0].intervals == ((1, 4),)
+        assert sets[1].intervals == ((2, 8),)
+
+    def test_product_volume(self):
+        from repro.domain.intervals import IntervalSet
+        sets = [IntervalSet([(0, 2), (4, 5)]), IntervalSet([(0, 10)])]
+        assert Box.product_volume(sets) == 30
+
+    def test_corners_iter(self):
+        pts = set(Box(lo=(0, 0), hi=(3, 2)).corners_iter())
+        assert pts == {(0, 0), (0, 1), (2, 0), (2, 1)}
+
+
+# -- property-based tests --------------------------------------------------------
+
+@given(boxes(2), boxes(2))
+def test_intersection_matches_cells(a, b):
+    inter = a.intersection(b)
+    oracle = cells(a) & cells(b)
+    assert a.intersection_volume(b) == len(oracle)
+    if inter is None:
+        assert not oracle
+    else:
+        assert cells(inter) == oracle
+
+
+@given(boxes(2), boxes(2))
+def test_subtract_matches_cells(a, b):
+    parts = a.subtract(b)
+    got = set()
+    for p in parts:
+        c = cells(p)
+        assert not (got & c)
+        got |= c
+    assert got == cells(a) - cells(b)
+
+
+@given(boxes(3), boxes(3))
+def test_union_bound_contains_both(a, b):
+    u = a.union_bound(b)
+    assert u.contains_box(a) and u.contains_box(b)
+
+
+@given(boxes(2))
+def test_volume_matches_cells(a):
+    assert a.volume == len(cells(a))
+
+
+@given(boxes(2), boxes(2))
+def test_intersects_iff_shared_cells(a, b):
+    assert a.intersects(b) == bool(cells(a) & cells(b))

@@ -1,0 +1,247 @@
+"""Unit and property tests for Decomposition / DimDistribution."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domain.box import Box
+from repro.domain.decomposition import Decomposition, DimDistribution, DistType
+from repro.errors import DecompositionError
+
+
+class TestDistType:
+    def test_parse_aliases(self):
+        assert DistType.parse("blocked") is DistType.BLOCKED
+        assert DistType.parse("block") is DistType.BLOCKED
+        assert DistType.parse("CYCLIC") is DistType.CYCLIC
+        assert DistType.parse("block-cyclic") is DistType.BLOCK_CYCLIC
+        assert DistType.parse("block_cyclic") is DistType.BLOCK_CYCLIC
+        assert DistType.parse(DistType.CYCLIC) is DistType.CYCLIC
+
+    def test_parse_unknown(self):
+        with pytest.raises(DecompositionError):
+            DistType.parse("diagonal")
+
+
+class TestDimDistribution:
+    def test_blocked_balanced(self):
+        dd = DimDistribution(size=10, nprocs=3, dist=DistType.BLOCKED)
+        owned = [dd.owned(c) for c in range(3)]
+        assert owned[0].intervals == ((0, 4),)
+        assert owned[1].intervals == ((4, 7),)
+        assert owned[2].intervals == ((7, 10),)
+
+    def test_blocked_exact_division(self):
+        dd = DimDistribution(size=8, nprocs=4, dist=DistType.BLOCKED)
+        assert [dd.owned(c).measure for c in range(4)] == [2, 2, 2, 2]
+
+    def test_cyclic(self):
+        dd = DimDistribution(size=7, nprocs=3, dist=DistType.CYCLIC)
+        assert dd.owned(0).to_array().tolist() == [0, 3, 6]
+        assert dd.owned(1).to_array().tolist() == [1, 4]
+        assert dd.owned(2).to_array().tolist() == [2, 5]
+
+    def test_block_cyclic(self):
+        dd = DimDistribution(size=12, nprocs=2, dist=DistType.BLOCK_CYCLIC, block=2)
+        assert dd.owned(0).intervals == ((0, 2), (4, 6), (8, 10))
+        assert dd.owned(1).intervals == ((2, 4), (6, 8), (10, 12))
+
+    def test_cyclic_rejects_block(self):
+        with pytest.raises(DecompositionError):
+            DimDistribution(size=8, nprocs=2, dist=DistType.CYCLIC, block=2)
+
+    def test_more_procs_than_elements(self):
+        dd = DimDistribution(size=2, nprocs=4, dist=DistType.BLOCKED)
+        measures = [dd.owned(c).measure for c in range(4)]
+        assert measures == [1, 1, 0, 0]
+
+    def test_coord_out_of_range(self):
+        dd = DimDistribution(size=8, nprocs=2, dist=DistType.BLOCKED)
+        with pytest.raises(DecompositionError):
+            dd.owned(2)
+
+    def test_owner_coords(self):
+        from repro.domain.intervals import IntervalSet
+        dd = DimDistribution(size=12, nprocs=3, dist=DistType.BLOCKED)
+        assert dd.owner_coords(IntervalSet.single(3, 5)) == [0, 1]
+        assert dd.owner_coords(IntervalSet.empty()) == []
+
+
+class TestDecompositionShape:
+    def test_basic(self):
+        d = Decomposition((8, 8), (2, 4), DistType.BLOCKED)
+        assert d.ndim == 2
+        assert d.nprocs == 8
+        assert d.domain == Box.from_extents((8, 8))
+
+    def test_rank_coord_roundtrip(self):
+        d = Decomposition((8, 8, 8), (2, 3, 4), DistType.BLOCKED)
+        for r in d.ranks():
+            assert d.coords_to_rank(d.rank_to_coords(r)) == r
+
+    def test_row_major_order(self):
+        d = Decomposition((8, 8), (2, 4), DistType.BLOCKED)
+        assert d.rank_to_coords(0) == (0, 0)
+        assert d.rank_to_coords(1) == (0, 1)
+        assert d.rank_to_coords(4) == (1, 0)
+
+    def test_layout_rank_mismatch(self):
+        with pytest.raises(DecompositionError):
+            Decomposition((8, 8), (2,), DistType.BLOCKED)
+
+    def test_scalar_broadcast(self):
+        d = Decomposition((8, 8), (2, 2), "cyclic", 1)
+        assert d.dists == (DistType.CYCLIC, DistType.CYCLIC)
+
+    def test_per_dim_dists(self):
+        d = Decomposition((8, 8), (2, 2), ["blocked", "cyclic"])
+        assert d.dists == (DistType.BLOCKED, DistType.CYCLIC)
+
+    def test_cyclic_forces_block_one(self):
+        d = Decomposition((8, 8), (2, 2), ["cyclic", "block_cyclic"], 2)
+        assert d.blocks == (1, 2)
+
+    def test_eq_hash(self):
+        a = Decomposition((8,), (2,), "blocked")
+        b = Decomposition((8,), (2,), "blocked")
+        assert a == b and hash(a) == hash(b)
+        assert a != Decomposition((8,), (2,), "cyclic")
+
+
+class TestOwnership:
+    def test_blocked_bounding_box(self):
+        d = Decomposition((8, 8), (2, 2), DistType.BLOCKED)
+        assert d.task_bounding_box(0) == Box(lo=(0, 0), hi=(4, 4))
+        assert d.task_bounding_box(3) == Box(lo=(4, 4), hi=(8, 8))
+
+    def test_task_volume_partition(self):
+        for dist in DistType:
+            d = Decomposition((12, 12), (2, 3), dist, 2)
+            assert sum(d.task_volume(r) for r in d.ranks()) == 144
+
+    def test_covers_domain_exactly(self):
+        for dist in DistType:
+            d = Decomposition((13, 9), (3, 2), dist, 2)
+            assert d.covers_domain_exactly()
+
+    def test_task_boxes_blocked_single(self):
+        d = Decomposition((8, 8), (2, 2), DistType.BLOCKED)
+        assert d.task_boxes(1) == [Box(lo=(0, 4), hi=(4, 8))]
+
+    def test_task_boxes_limit(self):
+        d = Decomposition((16, 16), (4, 4), DistType.CYCLIC)
+        with pytest.raises(DecompositionError):
+            d.task_boxes(0, limit=3)
+
+    def test_task_boxes_empty_task(self):
+        d = Decomposition((2,), (4,), DistType.BLOCKED)
+        assert d.task_boxes(3) == []
+
+    def test_empty_task_bounding_box(self):
+        d = Decomposition((2,), (4,), DistType.BLOCKED)
+        assert d.task_bounding_box(3).is_empty
+
+
+class TestOverlaps:
+    def test_identical_decompositions_overlap_self(self):
+        d = Decomposition((8, 8), (2, 2), DistType.BLOCKED)
+        for r in d.ranks():
+            assert d.overlap_volume(r, d, r) == d.task_volume(r)
+
+    def test_different_layouts(self):
+        a = Decomposition((8,), (2,), DistType.BLOCKED)  # [0,4) [4,8)
+        b = Decomposition((8,), (4,), DistType.BLOCKED)  # [0,2) [2,4) [4,6) [6,8)
+        assert a.overlap_volume(0, b, 0) == 2
+        assert a.overlap_volume(0, b, 1) == 2
+        assert a.overlap_volume(0, b, 2) == 0
+
+    def test_region_restriction(self):
+        a = Decomposition((8,), (2,), DistType.BLOCKED)
+        region = Box(lo=(3,), hi=(5,))
+        assert a.overlap_volume(0, a, 0, region=region) == 1
+        assert a.region_volume(0, region) == 1
+        assert a.region_volume(1, region) == 1
+
+    def test_incompatible_domains(self):
+        a = Decomposition((8,), (2,), DistType.BLOCKED)
+        b = Decomposition((9,), (2,), DistType.BLOCKED)
+        with pytest.raises(DecompositionError):
+            a.overlap_volume(0, b, 0)
+
+    def test_overlapping_ranks_matches_bruteforce(self):
+        a = Decomposition((12, 12), (2, 2), DistType.BLOCKED)
+        b = Decomposition((12, 12), (3, 2), DistType.CYCLIC)
+        for r in a.ranks():
+            got = dict(a.overlapping_ranks(b, r))
+            brute = {
+                rb: a.overlap_volume(r, b, rb)
+                for rb in b.ranks()
+                if a.overlap_volume(r, b, rb) > 0
+            }
+            assert got == brute
+
+    def test_overlapping_ranks_total_volume(self):
+        a = Decomposition((10, 10), (2, 5), DistType.BLOCK_CYCLIC, 2)
+        b = Decomposition((10, 10), (5, 2), DistType.BLOCKED)
+        for r in a.ranks():
+            total = sum(v for _, v in a.overlapping_ranks(b, r))
+            assert total == a.task_volume(r)
+
+    def test_owner_ranks_of_box(self):
+        d = Decomposition((8, 8), (2, 2), DistType.BLOCKED)
+        owners = dict(d.owner_ranks_of_box(Box(lo=(0, 0), hi=(8, 8))))
+        assert owners == {0: 16, 1: 16, 2: 16, 3: 16}
+        corner = dict(d.owner_ranks_of_box(Box(lo=(0, 0), hi=(2, 2))))
+        assert corner == {0: 4}
+
+
+# -- property-based tests --------------------------------------------------------
+
+dist_strategy = st.sampled_from(list(DistType))
+
+
+@given(
+    st.integers(1, 30), st.integers(1, 6), dist_strategy, st.integers(1, 4)
+)
+def test_dim_distribution_partitions_exactly(size, nprocs, dist, block):
+    if dist is DistType.CYCLIC:
+        block = 1
+    dd = DimDistribution(size=size, nprocs=nprocs, dist=dist, block=block)
+    seen = set()
+    for c in range(nprocs):
+        vals = set(dd.owned(c).to_array().tolist())
+        assert not (seen & vals), "cells owned by two coords"
+        seen |= vals
+    assert seen == set(range(size))
+
+
+@given(
+    st.integers(2, 16), st.integers(2, 16),
+    st.integers(1, 3), st.integers(1, 3),
+    dist_strategy, dist_strategy,
+    st.integers(1, 3), st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_cross_decomposition_overlap_conservation(s0, s1, p0, p1, da, db, ba, bb):
+    """Sum of overlaps of one task with every task of the other decomposition
+    equals the task's own volume (both decompositions cover the domain)."""
+    a = Decomposition((s0, s1), (p0, p1), da, ba)
+    b = Decomposition((s0, s1), (p1, p0), db, bb)
+    for r in a.ranks():
+        total = sum(a.overlap_volume(r, b, rb) for rb in b.ranks())
+        assert total == a.task_volume(r)
+
+
+@given(
+    st.integers(2, 12), st.integers(1, 4), dist_strategy, st.integers(1, 3),
+)
+@settings(max_examples=40)
+def test_overlap_matches_cell_oracle_1d(size, p, dist, block):
+    a = Decomposition((size,), (p,), dist, block)
+    b = Decomposition((size,), (max(1, p - 1),), DistType.BLOCKED)
+    for ra, rb in itertools.product(a.ranks(), b.ranks()):
+        mine = set(a.task_intervals(ra)[0].to_array().tolist())
+        theirs = set(b.task_intervals(rb)[0].to_array().tolist())
+        assert a.overlap_volume(ra, b, rb) == len(mine & theirs)

@@ -1,0 +1,91 @@
+"""Tests for the user-facing DecompositionDescriptor."""
+
+import pytest
+
+from repro.domain.decomposition import DistType
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import DecompositionError
+
+
+class TestConstruction:
+    def test_uniform(self):
+        d = DecompositionDescriptor.uniform((128, 128, 128), (8, 8, 8), "blocked")
+        assert d.ndim == 3
+        assert d.ntasks == 512
+        assert d.dists == (DistType.BLOCKED,) * 3
+        assert d.blocks == (1,) * 3
+
+    def test_broadcast_single_dist(self):
+        d = DecompositionDescriptor((16, 16), (2, 2), (DistType.CYCLIC,), (1,))
+        assert d.dists == (DistType.CYCLIC, DistType.CYCLIC)
+
+    def test_defaults(self):
+        d = DecompositionDescriptor((16, 16), (2, 2))
+        assert d.dists == (DistType.BLOCKED, DistType.BLOCKED)
+        assert d.blocks == (1, 1)
+
+    def test_layout_mismatch(self):
+        with pytest.raises(DecompositionError):
+            DecompositionDescriptor((16, 16), (2,))
+
+    def test_empty_domain(self):
+        with pytest.raises(DecompositionError):
+            DecompositionDescriptor((), ())
+
+    def test_dists_rank_mismatch(self):
+        with pytest.raises(DecompositionError):
+            DecompositionDescriptor(
+                (16, 16), (2, 2), (DistType.CYCLIC, DistType.CYCLIC, DistType.CYCLIC)
+            )
+
+
+class TestBuild:
+    def test_build_matches_fields(self):
+        desc = DecompositionDescriptor.uniform((12, 12), (3, 2), "block_cyclic", 2)
+        d = desc.build()
+        assert d.extents == (12, 12)
+        assert d.layout == (3, 2)
+        assert d.dists == (DistType.BLOCK_CYCLIC,) * 2
+        assert d.blocks == (2, 2)
+        assert d.covers_domain_exactly()
+
+
+class TestStringRoundTrip:
+    def test_to_from_string(self):
+        desc = DecompositionDescriptor(
+            (128, 64), (4, 2), (DistType.BLOCKED, DistType.CYCLIC), (1, 1)
+        )
+        assert DecompositionDescriptor.from_string(desc.to_string()) == desc
+
+    def test_from_string_minimal(self):
+        desc = DecompositionDescriptor.from_string("size=8,8 layout=2,2")
+        assert desc.dists == (DistType.BLOCKED, DistType.BLOCKED)
+
+    def test_from_string_missing_field(self):
+        with pytest.raises(DecompositionError):
+            DecompositionDescriptor.from_string("size=8,8")
+
+    def test_from_string_malformed_token(self):
+        with pytest.raises(DecompositionError):
+            DecompositionDescriptor.from_string("size=8,8 layout")
+
+    def test_from_string_bad_ints(self):
+        with pytest.raises(DecompositionError):
+            DecompositionDescriptor.from_string("size=a,b layout=2,2")
+
+
+class TestMapping:
+    def test_from_mapping(self):
+        desc = DecompositionDescriptor.from_mapping(
+            {
+                "domain_size": [16, 16],
+                "process_layout": [4, 4],
+                "dists": "cyclic",
+                "blocks": 1,
+            }
+        )
+        assert desc.dists == (DistType.CYCLIC, DistType.CYCLIC)
+
+    def test_from_mapping_missing(self):
+        with pytest.raises(DecompositionError):
+            DecompositionDescriptor.from_mapping({"domain_size": [4]})

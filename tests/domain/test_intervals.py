@@ -1,0 +1,215 @@
+"""Unit and property tests for IntervalSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domain.intervals import IntervalSet
+from repro.errors import DomainError
+
+
+# -- strategies ---------------------------------------------------------------
+
+interval_pairs = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)), max_size=8
+)
+
+
+def iset(pairs):
+    return IntervalSet((min(a, b), max(a, b)) for a, b in pairs)
+
+
+# -- construction / normalization ---------------------------------------------
+
+class TestConstruction:
+    def test_empty(self):
+        s = IntervalSet.empty()
+        assert not s
+        assert s.measure == 0
+        assert len(s) == 0
+
+    def test_single(self):
+        s = IntervalSet.single(2, 5)
+        assert s.measure == 3
+        assert s.intervals == ((2, 5),)
+
+    def test_single_empty_when_hi_le_lo(self):
+        assert not IntervalSet.single(5, 5)
+        assert not IntervalSet.single(5, 2)
+
+    def test_merges_overlapping(self):
+        s = IntervalSet([(0, 3), (2, 6)])
+        assert s.intervals == ((0, 6),)
+
+    def test_merges_adjacent(self):
+        s = IntervalSet([(0, 3), (3, 6)])
+        assert s.intervals == ((0, 6),)
+
+    def test_keeps_gap(self):
+        s = IntervalSet([(0, 3), (4, 6)])
+        assert s.intervals == ((0, 3), (4, 6))
+
+    def test_unsorted_input(self):
+        s = IntervalSet([(7, 9), (0, 2)])
+        assert s.intervals == ((0, 2), (7, 9))
+
+    def test_drops_empty_intervals(self):
+        s = IntervalSet([(3, 3), (1, 2)])
+        assert s.intervals == ((1, 2),)
+
+    def test_equality_is_semantic(self):
+        assert IntervalSet([(0, 2), (2, 4)]) == IntervalSet([(0, 4)])
+        assert hash(IntervalSet([(0, 2), (2, 4)])) == hash(IntervalSet([(0, 4)]))
+
+    def test_repr(self):
+        assert "[0,2)" in repr(IntervalSet.single(0, 2))
+
+
+class TestStrided:
+    def test_cyclic_pattern(self):
+        s = IntervalSet.strided(1, 1, 3, 10)  # 1, 4, 7
+        assert s.to_array().tolist() == [1, 4, 7]
+
+    def test_block_cyclic_pattern(self):
+        s = IntervalSet.strided(0, 2, 6, 12)  # [0,2), [6,8)
+        assert s.intervals == ((0, 2), (6, 8))
+
+    def test_clipped_at_domain_end(self):
+        s = IntervalSet.strided(9, 4, 6, 11)
+        assert s.intervals == ((9, 11),)
+
+    def test_invalid_block(self):
+        with pytest.raises(DomainError):
+            IntervalSet.strided(0, 0, 3, 10)
+
+    def test_invalid_stride(self):
+        with pytest.raises(DomainError):
+            IntervalSet.strided(0, 1, 0, 10)
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(DomainError):
+            IntervalSet.strided(0, 4, 3, 10)
+
+    def test_empty_when_start_beyond_domain(self):
+        assert not IntervalSet.strided(20, 1, 3, 10)
+
+
+class TestAccessors:
+    def test_span(self):
+        assert IntervalSet([(2, 4), (8, 9)]).span == (2, 9)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(DomainError):
+            IntervalSet.empty().span
+
+    def test_contains(self):
+        s = IntervalSet([(0, 3), (5, 8)])
+        assert 0 in s and 2 in s and 5 in s and 7 in s
+        assert 3 not in s and 4 not in s and 8 not in s and -1 not in s
+
+
+class TestAlgebra:
+    def test_intersection_basic(self):
+        a = IntervalSet([(0, 5), (10, 15)])
+        b = IntervalSet([(3, 12)])
+        assert a.intersection(b).intervals == ((3, 5), (10, 12))
+
+    def test_intersection_measure_matches(self):
+        a = IntervalSet([(0, 5), (10, 15)])
+        b = IntervalSet([(3, 12)])
+        assert a.intersection_measure(b) == a.intersection(b).measure == 4
+
+    def test_union(self):
+        a = IntervalSet([(0, 2)])
+        b = IntervalSet([(2, 5)])
+        assert a.union(b) == IntervalSet([(0, 5)])
+
+    def test_difference(self):
+        a = IntervalSet([(0, 10)])
+        b = IntervalSet([(2, 4), (6, 8)])
+        assert a.difference(b).intervals == ((0, 2), (4, 6), (8, 10))
+
+    def test_difference_empty_result(self):
+        a = IntervalSet([(2, 4)])
+        assert not a.difference(IntervalSet([(0, 10)]))
+
+    def test_isdisjoint(self):
+        assert IntervalSet([(0, 2)]).isdisjoint(IntervalSet([(2, 4)]))
+        assert not IntervalSet([(0, 3)]).isdisjoint(IntervalSet([(2, 4)]))
+
+    def test_issubset(self):
+        assert IntervalSet([(1, 2), (3, 4)]).issubset(IntervalSet([(0, 5)]))
+        assert not IntervalSet([(0, 6)]).issubset(IntervalSet([(0, 5)]))
+
+
+class TestArrayRoundTrip:
+    def test_from_array(self):
+        s = IntervalSet.from_array([5, 1, 2, 3, 9])
+        assert s.intervals == ((1, 4), (5, 6), (9, 10))
+
+    def test_from_empty_array(self):
+        assert not IntervalSet.from_array([])
+
+    def test_roundtrip(self):
+        s = IntervalSet([(0, 3), (7, 9)])
+        assert IntervalSet.from_array(s.to_array()) == s
+
+
+# -- property-based tests -------------------------------------------------------
+
+@given(interval_pairs, interval_pairs)
+def test_intersection_matches_set_semantics(pa, pb):
+    a, b = iset(pa), iset(pb)
+    oracle = set(a.to_array().tolist()) & set(b.to_array().tolist())
+    assert set(a.intersection(b).to_array().tolist()) == oracle
+    assert a.intersection_measure(b) == len(oracle)
+
+
+@given(interval_pairs, interval_pairs)
+def test_union_matches_set_semantics(pa, pb):
+    a, b = iset(pa), iset(pb)
+    oracle = set(a.to_array().tolist()) | set(b.to_array().tolist())
+    assert set(a.union(b).to_array().tolist()) == oracle
+
+
+@given(interval_pairs, interval_pairs)
+def test_difference_matches_set_semantics(pa, pb):
+    a, b = iset(pa), iset(pb)
+    oracle = set(a.to_array().tolist()) - set(b.to_array().tolist())
+    assert set(a.difference(b).to_array().tolist()) == oracle
+
+
+@given(interval_pairs)
+def test_normalization_is_canonical(pairs):
+    s = iset(pairs)
+    # disjoint, sorted, non-adjacent
+    for (lo1, hi1), (lo2, hi2) in zip(s.intervals, s.intervals[1:]):
+        assert hi1 < lo2
+    # re-normalizing is a fixed point
+    assert IntervalSet(s.intervals) == s
+
+
+@given(interval_pairs, st.integers(-60, 60))
+def test_contains_matches_membership(pairs, x):
+    s = iset(pairs)
+    assert (x in s) == (x in set(s.to_array().tolist()))
+
+
+@given(
+    st.integers(0, 5),
+    st.integers(1, 4),
+    st.integers(0, 4),
+    st.integers(1, 60),
+)
+@settings(max_examples=60)
+def test_strided_matches_bruteforce(start, block, extra_stride, domain_hi):
+    stride = block + extra_stride
+    s = IntervalSet.strided(start, block, stride, domain_hi)
+    oracle = {
+        x
+        for base in range(start, domain_hi, stride)
+        for x in range(base, min(base + block, domain_hi))
+        if x >= 0
+    }
+    assert set(s.to_array().tolist()) == oracle

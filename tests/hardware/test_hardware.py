@@ -1,0 +1,210 @@
+"""Tests for machine specs, cluster, torus topology and the network model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import MachineSpec, NetworkSpec, NodeSpec, generic_multicore, jaguar_xt5
+from repro.hardware.torus import TorusTopology, balanced_dims
+
+
+class TestSpecs:
+    def test_jaguar_preset(self):
+        m = jaguar_xt5()
+        assert m.cores_per_node == 12
+        assert m.node.memory_bytes == 16 * 1024 ** 3
+        assert m.network.link_bandwidth > m.network.nic_bandwidth
+
+    def test_generic(self):
+        assert generic_multicore(8).cores_per_node == 8
+
+    def test_invalid_node(self):
+        with pytest.raises(HardwareError):
+            NodeSpec(cores=0)
+        with pytest.raises(HardwareError):
+            NodeSpec(shm_bandwidth=-1)
+
+    def test_invalid_network(self):
+        with pytest.raises(HardwareError):
+            NetworkSpec(link_bandwidth=0)
+        with pytest.raises(HardwareError):
+            NetworkSpec(base_latency=-1)
+
+
+class TestBalancedDims:
+    def test_perfect_cube(self):
+        assert balanced_dims(64) == (4, 4, 4)
+
+    def test_non_cube(self):
+        dims = balanced_dims(24)
+        assert len(dims) == 3
+        assert dims[0] * dims[1] * dims[2] == 24
+
+    def test_prime(self):
+        assert sorted(balanced_dims(7), reverse=True) == [7, 1, 1]
+
+    def test_one(self):
+        assert balanced_dims(1) == (1, 1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(HardwareError):
+            balanced_dims(0)
+
+    @given(st.integers(1, 200), st.integers(1, 4))
+    def test_product_invariant(self, n, ndim):
+        dims = balanced_dims(n, ndim)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == n
+        assert len(dims) == ndim
+
+
+class TestTorus:
+    def test_coords_roundtrip(self):
+        t = TorusTopology((3, 4, 5))
+        for node in range(t.nnodes):
+            assert t.coords_to_node(t.node_to_coords(node)) == node
+
+    def test_invalid_dims(self):
+        with pytest.raises(HardwareError):
+            TorusTopology((0, 2))
+
+    def test_node_out_of_range(self):
+        t = TorusTopology((2, 2))
+        with pytest.raises(HardwareError):
+            t.node_to_coords(4)
+
+    def test_hop_distance_wraps(self):
+        t = TorusTopology((8,))
+        assert t.hop_distance(0, 7) == 1  # wrap is shorter
+        assert t.hop_distance(0, 4) == 4
+
+    def test_route_length_equals_distance(self):
+        t = TorusTopology((4, 4, 2))
+        for src in range(0, t.nnodes, 3):
+            for dst in range(0, t.nnodes, 5):
+                route = t.route(src, dst)
+                assert len(route) == t.hop_distance(src, dst)
+
+    def test_route_is_connected(self):
+        t = TorusTopology((4, 3))
+        route = t.route(0, 11)
+        cur = 0
+        for a, b in route:
+            assert a == cur
+            cur = b
+        assert cur == 11
+
+    def test_route_same_node_empty(self):
+        assert TorusTopology((4, 4)).route(3, 3) == []
+
+    def test_route_deterministic(self):
+        t = TorusTopology((5, 5))
+        assert t.route(2, 17) == t.route(2, 17)
+
+    def test_links_are_neighbor_pairs(self):
+        t = TorusTopology((3, 3))
+        for a, b in t.links():
+            assert t.hop_distance(a, b) == 1
+
+    def test_links_count_3d(self):
+        # In a torus with all extents >= 3, every node has 2*ndim out-links.
+        t = TorusTopology((3, 3, 3))
+        links = list(t.links())
+        assert len(links) == 27 * 6
+        assert len(set(links)) == len(links)
+
+    def test_links_extent_two_not_duplicated(self):
+        # extent 2: +1 and -1 reach the same neighbor -> one link, not two.
+        t = TorusTopology((2,))
+        assert sorted(t.links()) == [(0, 1), (1, 0)]
+
+
+class TestCluster:
+    def test_core_node_mapping(self):
+        c = Cluster(num_nodes=3, machine=generic_multicore(4))
+        assert c.total_cores == 12
+        assert c.node_of_core(0) == 0
+        assert c.node_of_core(7) == 1
+        assert list(c.cores_of_node(2)) == [8, 9, 10, 11]
+        assert c.same_node(4, 7)
+        assert not c.same_node(3, 4)
+
+    def test_bounds(self):
+        c = Cluster(num_nodes=2, machine=generic_multicore(2))
+        with pytest.raises(HardwareError):
+            c.node_of_core(4)
+        with pytest.raises(HardwareError):
+            c.cores_of_node(2)
+        with pytest.raises(HardwareError):
+            Cluster(num_nodes=0)
+
+    def test_for_cores_rounds_up(self):
+        c = Cluster.for_cores(13, machine=generic_multicore(4))
+        assert c.num_nodes == 4
+
+    def test_default_machine_is_jaguar(self):
+        assert Cluster(2).machine.name == "jaguar-xt5"
+
+    def test_node_blocks(self):
+        c = Cluster(num_nodes=3, machine=generic_multicore(2))
+        blocks = list(c.node_blocks([5, 0, 1, 4]))
+        assert blocks == [(0, [0, 1]), (2, [4, 5])]
+
+
+class TestNetworkModel:
+    def make(self, nodes=8, cpn=4):
+        return NetworkModel(Cluster(num_nodes=nodes, machine=generic_multicore(cpn)))
+
+    def test_link_count(self):
+        net = self.make(8)
+        # 2 NIC links per node + torus links
+        assert net.num_links == 16 + len(list(net.topology.links()))
+
+    def test_same_node_path_empty(self):
+        net = self.make()
+        assert net.core_path(0, 3) == ()
+
+    def test_cross_node_path_structure(self):
+        net = self.make()
+        path = net.core_path(0, 4)  # node 0 -> node 1
+        assert path[0] == net.injection_link(0)
+        assert path[-1] == net.ejection_link(1)
+        assert len(path) >= 3  # inject + >=1 torus hop + eject
+
+    def test_path_cached_and_deterministic(self):
+        net = self.make()
+        assert net.node_path(0, 5) is net.node_path(0, 5)
+
+    def test_topology_mismatch(self):
+        with pytest.raises(HardwareError):
+            NetworkModel(Cluster(4, machine=generic_multicore(2)), TorusTopology((3,)))
+
+    def test_bad_torus_link(self):
+        net = self.make(8)
+        with pytest.raises(HardwareError):
+            net.torus_link(0, 0)
+
+    def test_latency_grows_with_distance(self):
+        net = self.make(8)
+        t = net.topology
+        far = max(range(8), key=lambda n: t.hop_distance(0, n))
+        assert net.path_latency(0, far) > net.path_latency(0, 0)
+
+
+@given(st.integers(2, 30))
+@settings(max_examples=20, deadline=None)
+def test_all_node_pairs_routable(nnodes):
+    net = NetworkModel(Cluster(nnodes, machine=generic_multicore(2)))
+    for dst in range(nnodes):
+        path = net.node_path(0, dst)
+        if dst == 0:
+            assert path == ()
+        else:
+            assert path[0] == net.injection_link(0)
+            assert path[-1] == net.ejection_link(dst)
+            assert all(0 <= l < net.num_links for l in path)

@@ -1,0 +1,130 @@
+"""Tests for heterogeneous clusters and mapping on them."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cods.space import CoDS
+from repro.core.commgraph import Coupling
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.mapping.serverside import ServerSideMapper
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import HardwareError
+from repro.hardware.hetero import HeterogeneousCluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import generic_multicore
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind
+
+
+def app(app_id, layout, size=(16, 16)):
+    return AppSpec(
+        app_id=app_id, name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform(size, layout),
+    )
+
+
+class TestShape:
+    def test_core_node_mapping(self):
+        c = HeterogeneousCluster([4, 2, 6])
+        assert c.total_cores == 12
+        assert c.num_nodes == 3
+        assert c.node_of_core(0) == 0
+        assert c.node_of_core(3) == 0
+        assert c.node_of_core(4) == 1
+        assert c.node_of_core(6) == 2
+        assert list(c.cores_of_node(1)) == [4, 5]
+        assert c.same_node(6, 11)
+        assert not c.same_node(3, 4)
+
+    def test_cores_per_node_is_max(self):
+        assert HeterogeneousCluster([4, 2, 6]).cores_per_node == 6
+
+    def test_is_uniform(self):
+        assert HeterogeneousCluster([4, 4]).is_uniform
+        assert not HeterogeneousCluster([4, 2]).is_uniform
+
+    def test_invalid(self):
+        with pytest.raises(HardwareError):
+            HeterogeneousCluster([])
+        with pytest.raises(HardwareError):
+            HeterogeneousCluster([4, 0])
+
+    def test_bounds(self):
+        c = HeterogeneousCluster([2, 2])
+        with pytest.raises(HardwareError):
+            c.node_of_core(4)
+        with pytest.raises(HardwareError):
+            c.cores_of_node(2)
+
+    def test_node_blocks(self):
+        c = HeterogeneousCluster([2, 3])
+        assert list(c.node_blocks([4, 0, 2])) == [(0, [0]), (1, [2, 4])]
+
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=6))
+    @settings(max_examples=40)
+    def test_core_node_roundtrip(self, counts):
+        c = HeterogeneousCluster(counts)
+        for node in c.nodes():
+            for core in c.cores_of_node(node):
+                assert c.node_of_core(core) == node
+
+
+class TestMappingOnHetero:
+    def test_round_robin(self):
+        c = HeterogeneousCluster([2, 6, 4], machine=generic_multicore(4))
+        a = app(1, (3, 4))  # 12 tasks exactly fill the cluster
+        r = RoundRobinMapper().map_bundle([a], c)
+        r.validate([a])
+        assert r.node_of(1, 0) == 0
+        assert r.node_of(1, 2) == 1
+
+    def test_cyclic_round_robin(self):
+        c = HeterogeneousCluster([1, 3], machine=generic_multicore(2))
+        a = app(1, (2, 2))
+        r = RoundRobinMapper("cyclic").map_bundle([a], c)
+        r.validate([a])
+        # Node 0 has a single core: only one task can land there.
+        per_node = [r.node_of(1, i) for i in range(4)]
+        assert per_node.count(0) == 1
+
+    def test_server_side_respects_node_sizes(self):
+        # 8+8 coupled tasks on nodes of sizes [8, 4, 4]: feasible only if the
+        # partitioner uses per-node capacities.
+        c = HeterogeneousCluster([8, 4, 4], machine=generic_multicore(8))
+        a, b = app(1, (4, 2)), app(2, (4, 2))
+        r = ServerSideMapper(seed=0).map_bundle(
+            [a, b], c, couplings=[Coupling(a, b)]
+        )
+        r.validate([a, b])
+        for node in c.nodes():
+            used = sum(
+                1 for core in r.placement.values()
+                if c.node_of_core(core) == node
+            )
+            assert used <= len(c.cores_of_node(node))
+
+    def test_client_side_follows_data_to_fat_node(self):
+        c = HeterogeneousCluster([2, 8, 2], machine=generic_multicore(8))
+        space = CoDS(c, (16, 16))
+        # All data lives on the fat node 1.
+        space.put_seq(2, "data", __import__("repro.domain.box", fromlist=["Box"]).Box(
+            lo=(0, 0), hi=(16, 16)))
+        cons = app(2, (2, 2))
+        r = ClientSideMapper().map_bundle([cons], c, lookup=space.lookup)
+        r.validate([cons])
+        nodes = [r.node_of(2, i) for i in range(4)]
+        assert nodes.count(1) == 4  # all consumers fit on the fat node
+
+    def test_dart_and_network_work(self):
+        c = HeterogeneousCluster([2, 3])
+        dart = HybridDART(c)
+        rec = dart.transfer(0, 1, 10, TransferKind.COUPLING)
+        assert rec.transport.value == "shm"
+        rec = dart.transfer(0, 4, 10, TransferKind.COUPLING)
+        assert rec.transport.value == "network"
+        net = NetworkModel(c)
+        assert net.core_path(0, 1) == ()
+        assert len(net.core_path(0, 4)) >= 3

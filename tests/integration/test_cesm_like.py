@@ -1,0 +1,131 @@
+"""A CESM-like multi-component workflow through the whole stack.
+
+The paper's §II-A describes the Community Earth System Model pattern:
+"during each simulation step, the land and sea-ice components run
+concurrently, and run after the atmosphere model has completed". This test
+builds a four-component pipeline — atmosphere -> (land, sea-ice) -> coupler
+— with interface-region coupling, data-centric consumer placement, and a
+final reduction, and checks enactment order, byte conservation, and the
+in-situ benefit wave by wave.
+"""
+
+import pytest
+
+from repro.apps.consumer import ConsumerApp
+from repro.apps.producer import ProducerApp
+from repro.cods.space import CoDS
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+DOMAIN = (48, 48, 24)
+
+
+def spec(app_id, name, layout):
+    return AppSpec(
+        app_id=app_id, name=name,
+        descriptor=DecompositionDescriptor.uniform(DOMAIN, layout),
+        var="boundary",
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    cluster = Cluster(6, machine=generic_multicore(12))
+    atm = spec(1, "atmosphere", (4, 4, 4))     # 64 tasks
+    land = spec(2, "land", (2, 2, 2))          # 8 tasks
+    ice = spec(3, "sea-ice", (4, 2, 2))        # 16 tasks
+    coupler = spec(4, "coupler", (2, 2, 1))    # 4 tasks
+    space = CoDS(cluster, DOMAIN)
+    dag = WorkflowDAG(
+        [atm, land, ice, coupler],
+        edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+        bundles=[Bundle((1,)), Bundle((2, 3)), Bundle((4,))],
+    )
+    engine = WorkflowEngine(dag, cluster)
+    engine.set_routine(1, ProducerApp(
+        spec=atm, space=space, mode="seq", compute_seconds=100.0,
+        stencil_iterations=1,
+    ))
+    land_app = ConsumerApp(spec=land, space=space, mode="seq",
+                           compute_seconds=40.0)
+    ice_app = ConsumerApp(spec=ice, space=space, mode="seq",
+                          compute_seconds=60.0)
+    engine.set_routine(2, land_app)
+    engine.set_routine(3, ice_app)
+
+    def coupler_routine(ctx):
+        decomp = coupler.decomposition
+        for rank in range(coupler.ntasks):
+            box = decomp.task_bounding_box(rank)
+            space.get_seq(ctx.group.core(rank), "boundary", box,
+                          app_id=coupler.app_id)
+        return 10.0
+
+    engine.set_routine(4, coupler_routine)
+    engine.set_bundle_mapper(
+        engine.bundle_index_of(2), ClientSideMapper(),
+        lookup=lambda: space.lookup,
+    )
+    engine.set_bundle_mapper(
+        engine.bundle_index_of(4), ClientSideMapper(),
+        lookup=lambda: space.lookup,
+    )
+    runs = engine.run()
+    return cluster, space, engine, runs
+
+
+class TestEnactment:
+    def test_wave_order(self, pipeline):
+        _, _, engine, runs = pipeline
+        assert runs[1].start == 0.0 and runs[1].finish == 100.0
+        assert runs[2].start == runs[3].start == 100.0
+        # Coupler waits for the slower of land (140) and sea-ice (160).
+        assert runs[4].start == 160.0
+        assert engine.makespan == 170.0
+
+    def test_trace_complete(self, pipeline):
+        _, _, engine, _ = pipeline
+        kinds = [ev.event for ev in engine.trace]
+        assert kinds.count("bundle_launched") == 3
+        assert kinds.count("app_completed") == 4
+
+
+class TestDataFlow:
+    def test_each_consumer_pulled_full_domain(self, pipeline):
+        _, space, _, _ = pipeline
+        total = 48 * 48 * 24 * 8
+        for app_id in (2, 3, 4):
+            assert space.dart.metrics.bytes(
+                kind=TransferKind.COUPLING, app_id=app_id
+            ) == total
+
+    def test_in_situ_effect_for_consumers(self, pipeline):
+        _, space, _, _ = pipeline
+        for app_id in (2, 3):
+            net = space.dart.metrics.network_bytes(
+                TransferKind.COUPLING, app_id=app_id
+            )
+            shm = space.dart.metrics.shm_bytes(
+                TransferKind.COUPLING, app_id=app_id
+            )
+            # Data-centric placement retrieves "all or a large portion"
+            # locally (paper §III-A): at least half of each consumer's pull.
+            assert shm >= net
+
+    def test_intra_app_traffic_present(self, pipeline):
+        _, space, _, _ = pipeline
+        assert space.dart.metrics.bytes(
+            kind=TransferKind.INTRA_APP, app_id=1
+        ) > 0
+
+    def test_consumers_on_producer_nodes(self, pipeline):
+        _, _, _, runs = pipeline
+        atm_nodes = runs[1].mapping.nodes_used()
+        for app_id in (2, 3):
+            assert runs[app_id].mapping.nodes_used() <= atm_nodes

@@ -1,0 +1,213 @@
+"""End-to-end integration tests: the full stack from DAG description file to
+transfer metrics, mirroring the paper's two scenarios."""
+
+import pytest
+
+from repro import (
+    AppSpec,
+    Bundle,
+    Coupling,
+    DecompositionDescriptor,
+    InSituFramework,
+    WorkflowDAG,
+)
+from repro.apps.consumer import ConsumerApp
+from repro.apps.producer import ProducerApp
+from repro.cods.space import CoDS
+from repro.core.mapping.clientside import ClientSideMapper
+from repro.core.mapping.serverside import ServerSideMapper
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.message import TransferKind, Transport
+from repro.workflow.engine import WorkflowEngine
+
+
+def spec(app_id, name, layout, domain=(64, 64, 64), var="field"):
+    return AppSpec(
+        app_id=app_id, name=name,
+        descriptor=DecompositionDescriptor.uniform(domain, layout),
+        var=var,
+    )
+
+
+class TestOnlineDataProcessingPipeline:
+    """Paper scenario 1 through the full workflow engine."""
+
+    def run_pipeline(self, data_centric: bool):
+        cluster = Cluster(6, machine=generic_multicore(12))
+        domain = (64, 64, 64)
+        sim = spec(1, "sim", (4, 4, 4), domain)
+        viz = spec(2, "viz", (2, 2, 2), domain)
+        space = CoDS(cluster, domain)
+        dag = WorkflowDAG([sim, viz], bundles=[Bundle((1, 2))])
+        engine = WorkflowEngine(dag, cluster)
+        engine.set_routine(1, ProducerApp(spec=sim, space=space, mode="cont"))
+        engine.set_routine(2, ConsumerApp(spec=viz, space=space, mode="cont"))
+        if data_centric:
+            engine.set_bundle_mapper(
+                0, ServerSideMapper(), couplings=[Coupling(sim, viz)]
+            )
+        engine.run()
+        return space
+
+    def test_coupling_conserved_and_reduced(self):
+        rr_space = self.run_pipeline(data_centric=False)
+        dc_space = self.run_pipeline(data_centric=True)
+        total = 64 ** 3 * 8
+        for space in (rr_space, dc_space):
+            m = space.dart.metrics
+            assert (
+                m.network_bytes(TransferKind.COUPLING)
+                + m.shm_bytes(TransferKind.COUPLING)
+                == total
+            )
+        assert (
+            dc_space.dart.metrics.network_bytes(TransferKind.COUPLING)
+            < rr_space.dart.metrics.network_bytes(TransferKind.COUPLING)
+        )
+
+    def test_no_staging_in_concurrent_mode(self):
+        space = self.run_pipeline(data_centric=True)
+        assert space.stored_bytes() == 0
+
+
+class TestClimateModelingPipeline:
+    """Paper scenario 2: sequential coupling with client-side mapping."""
+
+    def run_pipeline(self, data_centric: bool):
+        cluster = Cluster(6, machine=generic_multicore(12))
+        domain = (64, 64, 64)
+        atm = spec(1, "atm", (4, 4, 4), domain)
+        land = spec(2, "land", (2, 2, 4), domain)
+        ice = spec(3, "ice", (4, 4, 3), domain)
+        space = CoDS(cluster, domain)
+        dag = WorkflowDAG(
+            [atm, land, ice], edges=[(1, 2), (1, 3)],
+            bundles=[Bundle((1,)), Bundle((2, 3))],
+        )
+        engine = WorkflowEngine(dag, cluster)
+        engine.set_routine(1, ProducerApp(
+            spec=atm, space=space, mode="seq", compute_seconds=10.0))
+        engine.set_routine(2, ConsumerApp(spec=land, space=space, mode="seq"))
+        engine.set_routine(3, ConsumerApp(spec=ice, space=space, mode="seq"))
+        if data_centric:
+            engine.set_bundle_mapper(
+                engine.bundle_index_of(2), ClientSideMapper(),
+                lookup=lambda: space.lookup,
+            )
+        runs = engine.run()
+        return space, runs, engine
+
+    def test_sequencing(self):
+        _, runs, engine = self.run_pipeline(data_centric=True)
+        assert runs[1].finish == 10.0
+        assert runs[2].start == runs[3].start == 10.0
+        assert engine.makespan == 10.0
+
+    def test_consumers_pull_everything(self):
+        space, _, _ = self.run_pipeline(data_centric=True)
+        m = space.dart.metrics
+        total = 64 ** 3 * 8
+        for app_id in (2, 3):
+            pulled = m.bytes(kind=TransferKind.COUPLING, app_id=app_id)
+            assert pulled == total
+
+    def test_data_stays_in_space(self):
+        space, _, _ = self.run_pipeline(data_centric=True)
+        assert space.stored_bytes() == 64 ** 3 * 8
+
+    def test_network_reduction(self):
+        rr, _, _ = self.run_pipeline(data_centric=False)
+        dc, _, _ = self.run_pipeline(data_centric=True)
+        assert (
+            dc.dart.metrics.network_bytes(TransferKind.COUPLING)
+            < 0.5 * rr.dart.metrics.network_bytes(TransferKind.COUPLING)
+        )
+
+
+class TestFrameworkFacade:
+    def test_quickstart_flow(self):
+        fw = InSituFramework(num_nodes=6)
+        domain = (64, 64, 64)
+        a = spec(1, "a", (4, 4, 4), domain)
+        b = spec(2, "b", (2, 2, 2), domain)
+        mapping = fw.map_concurrent([a, b], [Coupling(a, b)])
+        space = fw.create_space(domain)
+        for rank in range(a.ntasks):
+            space.put_cont(
+                mapping.core_of(1, rank), "field",
+                a.decomposition.task_intervals(rank),
+            )
+        for task in b.tasks():
+            space.get_cont(mapping.core_of(2, task.rank), "field",
+                           task.requested_region, app_id=2)
+        assert fw.metrics.bytes(kind=TransferKind.COUPLING) == 64 ** 3 * 8
+        assert "coupling" in fw.transfer_summary()
+
+    def test_space_reuse(self):
+        fw = InSituFramework(num_nodes=2)
+        assert fw.create_space((16, 16)) is fw.create_space((16, 16))
+        assert fw.create_space((16, 16)) is not fw.create_space((32, 32))
+
+    def test_workflow_from_description(self):
+        fw = InSituFramework(num_nodes=2)
+        dag = fw.workflow_from_description(
+            "APP_ID 1\nDECOMP 1 size=16,16 layout=2,2\n"
+        )
+        engine = fw.engine(dag)
+        runs = engine.run()
+        assert 1 in runs
+
+    def test_bad_strategy(self):
+        from repro.errors import ReproError
+        fw = InSituFramework(num_nodes=2)
+        a = spec(1, "a", (2, 2, 2), (16, 16, 16))
+        with pytest.raises(ReproError):
+            fw.map_concurrent([a], [], strategy="psychic")
+        with pytest.raises(ReproError):
+            fw.map_sequential_consumers([a], fw.create_space((16, 16, 16)),
+                                        strategy="psychic")
+
+    def test_requires_cluster_or_nodes(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            InSituFramework()
+
+    def test_round_robin_strategies(self):
+        fw = InSituFramework(num_nodes=6)
+        a = spec(1, "a", (4, 4, 4), (64, 64, 64))
+        b = spec(2, "b", (2, 2, 2), (64, 64, 64))
+        mapping = fw.map_concurrent([a, b], [Coupling(a, b)],
+                                    strategy="round-robin")
+        mapping.validate([a, b])
+        space = fw.create_space((64, 64, 64))
+        seq = fw.map_sequential_consumers([b], space, strategy="round-robin")
+        seq.validate([b])
+
+
+class TestIterativeCoupling:
+    """Versioned puts/gets across simulation iterations."""
+
+    def test_versions_resolve_to_newest(self):
+        cluster = Cluster(2, machine=generic_multicore(4))
+        space = CoDS(cluster, (16, 16))
+        from repro.domain.box import Box
+        box = Box(lo=(0, 0), hi=(16, 16))
+        for version in range(3):
+            space.put_seq(0, "T", box, version=version)
+        # Unversioned get pulls the newest version only (no duplicates).
+        sched, recs = space.get_seq(5, "T", box)
+        assert sched.total_cells == 256
+        assert len(recs) == 1
+
+    def test_explicit_version_get(self):
+        cluster = Cluster(2, machine=generic_multicore(4))
+        space = CoDS(cluster, (16, 16), use_schedule_cache=False)
+        from repro.domain.box import Box
+        box = Box(lo=(0, 0), hi=(16, 16))
+        space.put_seq(0, "T", box, version=0)
+        space.put_seq(1, "T", box, version=1)
+        sched, _ = space.get_seq(4, "T", box, version=0)
+        assert sched.plans[0].src_core == 0
+        sched, _ = space.get_seq(4, "T", box, version=1)
+        assert sched.plans[0].src_core == 1

@@ -1,0 +1,79 @@
+"""Smoke tests: every example must run and print its headline output.
+
+Examples are documentation that executes; these tests keep them honest.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys, argv=None):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "data-centric" in out
+        assert "in-situ fraction" in out
+
+    def test_online_data_processing(self, capsys):
+        out = run_example("online_data_processing", capsys)
+        assert "faster in-situ" in out
+
+    def test_climate_modeling(self, capsys):
+        out = run_example("climate_modeling", capsys)
+        assert "boundary data over network" in out
+        assert "round-robin" in out and "data-centric" in out
+
+    def test_scaling_study(self, capsys):
+        out = run_example("scaling_study", capsys)
+        assert "weak scaling" in out
+        assert "CAP2" in out and "SAP3" in out
+
+    def test_mixed_distributions(self, capsys):
+        out = run_example("mixed_distributions", capsys)
+        assert "in-situ works" in out
+        assert "fan-out too wide" in out
+
+    def test_iterative_coupling(self, capsys):
+        out = run_example("iterative_coupling", capsys)
+        assert "cache hits" in out
+        assert "steady state" in out
+
+    def test_heterogeneous_nodes(self, capsys):
+        out = run_example("heterogeneous_nodes", capsys)
+        assert "heterogeneous cluster" in out
+        assert "fat nodes" in out
+
+    def test_staging_vs_insitu(self, capsys):
+        out = run_example("staging_vs_insitu", capsys)
+        assert "staging" in out and "in-situ" in out
+        assert "█" in out  # the bar charts rendered
+
+    def test_heat_pipeline(self, capsys):
+        out = run_example("heat_pipeline", capsys)
+        assert "monitor measured" in out
+        assert "traffic:" in out
+
+    def test_programming_models(self, capsys):
+        out = run_example("programming_models", capsys)
+        assert "MapReduce histogram" in out
+        assert "PGAS global array" in out
+        assert "expected 256" in out

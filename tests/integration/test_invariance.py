@@ -1,0 +1,100 @@
+"""Invariance properties of the whole stack.
+
+* **Routing-coarseness invariance**: the DHT's ``span_cube_order`` only
+  over-approximates which DHT cores a query routes to; exact interval
+  filtering means query *results* (and hence schedules and byte counts)
+  must be identical at every coarseness.
+* **Determinism**: running the same scenario twice yields identical
+  metrics, mappings, and schedules — every component is seeded.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import DATA_CENTRIC, run_scenario
+from repro.apps.scenarios import small_concurrent, small_sequential
+from repro.cods.dht import SpatialDHT
+from repro.cods.objects import DataObject, region_from_box
+from repro.domain.box import Box
+from repro.sfc.linearize import DomainLinearizer
+from repro.transport.message import TransferKind
+
+boxes_32 = st.tuples(
+    st.integers(0, 28), st.integers(0, 28), st.integers(1, 10), st.integers(1, 10)
+).map(lambda t: Box(lo=(t[0], t[1]),
+                    hi=(min(t[0] + t[2], 32), min(t[1] + t[3], 32))))
+
+
+class TestRoutingCoarsenessInvariance:
+    @given(st.lists(boxes_32, min_size=1, max_size=6), boxes_32)
+    @settings(max_examples=30, deadline=None)
+    def test_query_results_independent_of_span_order(self, puts, query):
+        results = []
+        for order in (0, 2, 5):
+            lin = DomainLinearizer((32, 32))
+            dht = SpatialDHT(lin, dht_cores=list(range(7)),
+                             span_cube_order=order)
+            for i, box in enumerate(puts):
+                dht.register(DataObject(
+                    var="T", version=i, region=region_from_box(box),
+                    owner_core=i, element_size=8,
+                ))
+            locs = dht.query(0, "T", query)
+            results.append(sorted((l.version, l.owner_core) for l in locs))
+        assert results[0] == results[1] == results[2]
+
+    @given(st.lists(boxes_32, min_size=1, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_coarser_routing_only_adds_control_cost(self, puts):
+        """Coarser spans may touch more DHT cores, never fewer answers."""
+        touched = []
+        for order in (0, 4):
+            lin = DomainLinearizer((32, 32))
+            dht = SpatialDHT(lin, dht_cores=list(range(7)),
+                             span_cube_order=order)
+            total = 0
+            for i, box in enumerate(puts):
+                total += dht.register(DataObject(
+                    var="T", version=i, region=region_from_box(box),
+                    owner_core=i, element_size=8,
+                ))
+            touched.append(total)
+        assert touched[1] >= touched[0] or touched[0] == touched[1]
+
+
+class TestDeterminism:
+    def _signature(self, result):
+        m = result.metrics
+        sig = [
+            m.network_bytes(TransferKind.COUPLING),
+            m.shm_bytes(TransferKind.COUPLING),
+            m.count(kind=TransferKind.CONTROL),
+        ]
+        for app_id in sorted(result.mappings):
+            sig.append(tuple(sorted(result.mappings[app_id].placement.items())))
+        for app_id in sorted(result.schedules):
+            for rank in sorted(result.schedules[app_id]):
+                sched = result.schedules[app_id][rank]
+                sig.append(tuple(
+                    (p.src_core, p.nbytes) for p in sched.plans
+                ))
+        return sig
+
+    def test_concurrent_deterministic(self):
+        a = run_scenario(small_concurrent(), DATA_CENTRIC, seed=3)
+        b = run_scenario(small_concurrent(), DATA_CENTRIC, seed=3)
+        assert self._signature(a) == self._signature(b)
+
+    def test_sequential_deterministic(self):
+        a = run_scenario(small_sequential(), DATA_CENTRIC)
+        b = run_scenario(small_sequential(), DATA_CENTRIC)
+        assert self._signature(a) == self._signature(b)
+
+    def test_seed_changes_server_side_mapping_not_volume(self):
+        a = run_scenario(small_concurrent(), DATA_CENTRIC, seed=0)
+        b = run_scenario(small_concurrent(), DATA_CENTRIC, seed=99)
+        total = lambda r: (
+            r.metrics.network_bytes(TransferKind.COUPLING)
+            + r.metrics.shm_bytes(TransferKind.COUPLING)
+        )
+        assert total(a) == total(b)

@@ -1,0 +1,98 @@
+"""Tests for the recursive-bisection partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.bisection import RecursiveBisection
+from repro.partition.csr import CSRGraph
+from repro.partition.multilevel import partition_graph
+
+
+def grid_graph(rows, cols, w=1):
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1, w))
+            if r + 1 < rows:
+                edges.append((v, v + cols, w))
+    return CSRGraph.from_edges(rows * cols, edges)
+
+
+def two_cliques(k, bridge_w=1, clique_w=100):
+    edges = []
+    for base in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                edges.append((base + i, base + j, clique_w))
+    edges.append((0, k, bridge_w))
+    return CSRGraph.from_edges(2 * k, edges)
+
+
+class TestRecursiveBisection:
+    def test_two_cliques(self):
+        g = two_cliques(6)
+        res = RecursiveBisection(seed=0).partition(g, 2, capacities=6)
+        assert res.edgecut == 1
+        assert res.is_feasible
+
+    def test_four_parts_grid(self):
+        g = grid_graph(8, 8)
+        res = RecursiveBisection(seed=0).partition(g, 4, capacities=16)
+        assert res.is_feasible
+        assert res.loads.sum() == 64
+        assert set(np.unique(res.parts)) == {0, 1, 2, 3}
+        assert res.edgecut == g.edgecut(res.parts)
+
+    def test_odd_part_count(self):
+        g = grid_graph(6, 5)
+        res = RecursiveBisection(seed=1).partition(g, 3, capacities=10)
+        assert res.is_feasible
+        assert res.loads.sum() == 30
+
+    def test_single_part(self):
+        g = grid_graph(3, 3)
+        res = RecursiveBisection().partition(g, 1)
+        assert res.edgecut == 0
+
+    def test_infeasible(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(PartitionError):
+            RecursiveBisection().partition(g, 2, capacities=[4, 4])
+
+    def test_deterministic(self):
+        g = grid_graph(6, 6)
+        a = RecursiveBisection(seed=3).partition(g, 4, capacities=9)
+        b = RecursiveBisection(seed=3).partition(g, 4, capacities=9)
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_comparable_to_multilevel(self):
+        """Bisection should land in the same quality ballpark (within 2x)."""
+        g = grid_graph(8, 8)
+        bis = RecursiveBisection(seed=0).partition(g, 4, capacities=16)
+        ml = partition_graph(g, 4, capacities=16, seed=0)
+        assert bis.edgecut <= 2 * max(ml.edgecut, 8)
+
+    def test_tiny_graph_fallback(self):
+        # 2 isolated vertices into 2 parts: the fallback size split kicks in.
+        g = CSRGraph.from_edges(2, [])
+        res = RecursiveBisection().partition(g, 2, capacities=1)
+        assert sorted(res.parts.tolist()) == [0, 1]
+
+
+@given(
+    st.integers(2, 5), st.integers(2, 5), st.integers(2, 4), st.integers(0, 100)
+)
+@settings(max_examples=20, deadline=None)
+def test_bisection_always_feasible(rows, cols, k, seed):
+    g = grid_graph(rows, cols)
+    n = g.nvertices
+    k = min(k, n)
+    cap = -(-n // k) + 1
+    res = RecursiveBisection(seed=seed).partition(g, k, capacities=cap)
+    assert res.is_feasible
+    assert res.loads.sum() == n

@@ -1,0 +1,129 @@
+"""Tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.csr import CSRGraph
+
+
+def path_graph(n, w=1):
+    return CSRGraph.from_edges(n, [(i, i + 1, w) for i in range(n - 1)])
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 5), (1, 2, 7)])
+        assert g.nvertices == 3
+        assert g.nedges == 2
+        assert g.total_adjwgt == 12
+        g.validate()
+
+    def test_symmetry(self):
+        g = CSRGraph.from_edges(2, [(0, 1, 3)])
+        nbrs0, w0 = g.neighbors(0)
+        nbrs1, w1 = g.neighbors(1)
+        assert nbrs0.tolist() == [1] and w0.tolist() == [3]
+        assert nbrs1.tolist() == [0] and w1.tolist() == [3]
+
+    def test_duplicate_edges_combined(self):
+        g = CSRGraph.from_edges(2, [(0, 1, 3), (1, 0, 4)])
+        assert g.nedges == 1
+        assert g.total_adjwgt == 7
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(2, [(0, 0, 9), (0, 1, 1)])
+        assert g.nedges == 1
+        g.validate()
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(5, [(0, 1, 1)])
+        assert g.degree(4) == 0
+        assert g.neighbors(4)[0].size == 0
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, [])
+        assert g.nedges == 0
+        g.validate()
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(PartitionError):
+            CSRGraph.from_edges(2, [(0, 2, 1)])
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(PartitionError):
+            CSRGraph.from_edges(2, [(0, 1, 0)])
+
+    def test_bad_nvertices(self):
+        with pytest.raises(PartitionError):
+            CSRGraph.from_edges(0, [])
+
+    def test_custom_vwgt(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 1)], vwgt=[2, 3, 4])
+        assert g.total_vwgt == 9
+
+    def test_vwgt_wrong_len(self):
+        with pytest.raises(PartitionError):
+            CSRGraph.from_edges(3, [], vwgt=[1, 2])
+
+    def test_negative_vwgt(self):
+        with pytest.raises(PartitionError):
+            CSRGraph.from_edges(1, [], vwgt=[-1])
+
+
+class TestMetrics:
+    def test_edgecut_path(self):
+        g = path_graph(4, w=2)
+        assert g.edgecut(np.array([0, 0, 1, 1])) == 2
+        assert g.edgecut(np.array([0, 1, 0, 1])) == 6
+        assert g.edgecut(np.array([0, 0, 0, 0])) == 0
+
+    def test_edgecut_wrong_len(self):
+        with pytest.raises(PartitionError):
+            path_graph(3).edgecut(np.array([0, 1]))
+
+    def test_part_loads(self):
+        g = CSRGraph.from_edges(4, [], vwgt=[1, 2, 3, 4])
+        loads = g.part_loads(np.array([0, 1, 0, 1]), 2)
+        assert loads.tolist() == [4, 6]
+
+
+# -- property-based ------------------------------------------------------------
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(1, 100)),
+    max_size=40,
+)
+
+
+@given(edges_strategy)
+@settings(max_examples=50)
+def test_from_edges_invariants(edges):
+    g = CSRGraph.from_edges(10, edges)
+    g.validate()
+    # Total weight equals the combined unique undirected weights.
+    expect = {}
+    for u, v, w in edges:
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        expect[key] = expect.get(key, 0) + w
+    assert g.total_adjwgt == sum(expect.values())
+    assert g.nedges == len(expect)
+
+
+@given(edges_strategy, st.lists(st.integers(0, 2), min_size=10, max_size=10))
+@settings(max_examples=50)
+def test_edgecut_matches_bruteforce(edges, parts):
+    g = CSRGraph.from_edges(10, edges)
+    parts = np.array(parts)
+    expect = {}
+    for u, v, w in edges:
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        expect[key] = expect.get(key, 0) + w
+    brute = sum(w for (u, v), w in expect.items() if parts[u] != parts[v])
+    assert g.edgecut(parts) == brute

@@ -1,0 +1,180 @@
+"""Unit and property tests for the Hilbert and Morton curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinearizationError
+from repro.sfc.hilbert import HilbertCurve, hilbert_index, hilbert_point
+from repro.sfc.morton import MortonCurve
+
+CURVES = [HilbertCurve, MortonCurve]
+
+
+@pytest.fixture(params=CURVES, ids=lambda c: c.name)
+def curve_cls(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_props(self, curve_cls):
+        c = curve_cls(3, 4)
+        assert c.side == 16
+        assert c.total_cells == 16 ** 3
+
+    def test_invalid_ndim(self, curve_cls):
+        with pytest.raises(LinearizationError):
+            curve_cls(0, 4)
+
+    def test_invalid_order(self, curve_cls):
+        with pytest.raises(LinearizationError):
+            curve_cls(2, 0)
+
+    def test_too_many_bits(self, curve_cls):
+        with pytest.raises(LinearizationError):
+            curve_cls(8, 8)  # 64 bits > 62
+
+    def test_repr(self, curve_cls):
+        assert "ndim=2" in repr(curve_cls(2, 3))
+
+
+class TestValidation:
+    def test_out_of_range_point(self, curve_cls):
+        c = curve_cls(2, 2)
+        with pytest.raises(LinearizationError):
+            c.encode(np.array([4, 0]))
+        with pytest.raises(LinearizationError):
+            c.encode(np.array([-1, 0]))
+
+    def test_wrong_rank(self, curve_cls):
+        c = curve_cls(2, 2)
+        with pytest.raises(LinearizationError):
+            c.encode(np.array([1, 1, 1]))
+
+    def test_out_of_range_index(self, curve_cls):
+        c = curve_cls(2, 2)
+        with pytest.raises(LinearizationError):
+            c.decode(np.array([16]))
+        with pytest.raises(LinearizationError):
+            c.decode(np.array([-1]))
+
+    def test_scalar_roundtrip(self, curve_cls):
+        c = curve_cls(2, 3)
+        idx = c.encode(np.array([3, 5]))
+        assert np.isscalar(int(idx))
+        assert tuple(c.decode(idx)) == (3, 5)
+
+
+class TestBijection:
+    @pytest.mark.parametrize("ndim,order", [(1, 4), (2, 3), (3, 2), (4, 2)])
+    def test_full_bijection(self, curve_cls, ndim, order):
+        c = curve_cls(ndim, order)
+        side = c.side
+        grids = np.meshgrid(*[np.arange(side)] * ndim, indexing="ij")
+        pts = np.stack([g.ravel() for g in grids], axis=1)
+        idx = c.encode(pts)
+        assert sorted(idx.tolist()) == list(range(c.total_cells))
+        back = c.decode(idx)
+        assert np.array_equal(back, pts)
+
+    def test_known_2d_hilbert_order2(self):
+        # Canonical 4x4 Hilbert curve starts at (0,0); verify start/end and
+        # the adjacency property pins the rest.
+        c = HilbertCurve(2, 2)
+        assert int(c.encode(np.array([0, 0]))) == 0
+
+    def test_morton_is_bit_interleave(self):
+        c = MortonCurve(2, 3)
+        # point (x, y): index bits are x,y interleaved, x in the high bit
+        # of each pair (dimension 0 maps to bit ndim-1-0 = 1 of each group).
+        assert int(c.encode(np.array([1, 0]))) == 2
+        assert int(c.encode(np.array([0, 1]))) == 1
+        assert int(c.encode(np.array([3, 3]))) == 15
+
+
+class TestHilbertAdjacency:
+    @pytest.mark.parametrize("ndim,order", [(2, 3), (3, 2)])
+    def test_consecutive_indices_are_grid_neighbors(self, ndim, order):
+        """The defining Hilbert property: consecutive curve points are at
+        Manhattan distance exactly 1."""
+        c = HilbertCurve(ndim, order)
+        idx = np.arange(c.total_cells, dtype=np.int64)
+        pts = c.decode(idx)
+        dist = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+        assert np.all(dist == 1)
+
+    def test_morton_lacks_adjacency(self):
+        """Sanity check that the ablation baseline is genuinely worse."""
+        c = MortonCurve(2, 3)
+        idx = np.arange(c.total_cells, dtype=np.int64)
+        pts = c.decode(idx)
+        dist = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+        assert dist.max() > 1
+
+
+class TestAlignedCubeContiguity:
+    """The property the DHT span extraction relies on."""
+
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_aligned_cubes_are_contiguous(self, curve_cls, level):
+        ndim, order = 2, 4
+        c = curve_cls(ndim, order)
+        side = 1 << level
+        cells = side ** ndim
+        for cx in range(0, c.side, side):
+            for cy in range(0, c.side, side):
+                xs, ys = np.meshgrid(
+                    np.arange(cx, cx + side), np.arange(cy, cy + side), indexing="ij"
+                )
+                pts = np.stack([xs.ravel(), ys.ravel()], axis=1)
+                idx = np.sort(c.encode(pts))
+                assert idx[-1] - idx[0] == cells - 1, "cube not contiguous"
+                assert idx[0] % cells == 0, "cube span not aligned"
+
+
+class TestScalarHelpers:
+    def test_hilbert_index_point_roundtrip(self):
+        for pt in [(0, 0, 0), (1, 2, 3), (7, 7, 7)]:
+            idx = hilbert_index(pt, order=3)
+            assert hilbert_point(idx, ndim=3, order=3) == pt
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(LinearizationError):
+            hilbert_point(-1, 2, 2)
+
+
+# -- property-based -------------------------------------------------------------
+
+@given(
+    st.sampled_from(CURVES),
+    st.integers(1, 4),
+    st.integers(1, 5),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_random_points(curve_cls_, ndim, order, data):
+    if ndim * order > 20:
+        order = 20 // ndim
+    c = curve_cls_(ndim, max(order, 1))
+    pts = data.draw(
+        st.lists(
+            st.tuples(*[st.integers(0, c.side - 1)] * ndim),
+            min_size=1, max_size=16,
+        )
+    )
+    arr = np.asarray(pts, dtype=np.int64)
+    idx = c.encode(arr)
+    assert np.array_equal(c.decode(idx), arr)
+    assert idx.min() >= 0 and idx.max() < c.total_cells
+
+
+@given(st.sampled_from(CURVES), st.integers(1, 3), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_encode_is_injective_on_random_sample(curve_cls_, ndim, order):
+    c = curve_cls_(ndim, order)
+    rng = np.random.default_rng(42)
+    pts = rng.integers(0, c.side, size=(64, ndim), dtype=np.int64)
+    uniq = np.unique(pts, axis=0)
+    idx = c.encode(uniq)
+    assert len(np.unique(idx)) == len(uniq)

@@ -1,0 +1,204 @@
+"""Tests for box -> span extraction and the domain linearizer."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domain.box import Box
+from repro.errors import LinearizationError
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.linearize import DomainLinearizer
+from repro.sfc.morton import MortonCurve
+from repro.sfc.spans import merge_spans, region_spans, spans_measure
+
+
+def brute_force_indices(curve, box):
+    """Oracle: encode every cell of the box."""
+    ranges = [range(l, h) for l, h in zip(box.lo, box.hi)]
+    pts = np.asarray(list(itertools.product(*ranges)), dtype=np.int64)
+    if pts.size == 0:
+        return set()
+    return set(curve.encode(pts).tolist())
+
+
+class TestMergeSpans:
+    def test_merge_overlapping(self):
+        assert merge_spans([(0, 4), (2, 6)]) == [(0, 6)]
+
+    def test_merge_adjacent(self):
+        assert merge_spans([(4, 6), (0, 4)]) == [(0, 6)]
+
+    def test_drops_empty(self):
+        assert merge_spans([(3, 3), (1, 2)]) == [(1, 2)]
+
+    def test_measure(self):
+        assert spans_measure([(0, 4), (10, 11)]) == 5
+
+
+class TestRegionSpans:
+    @pytest.mark.parametrize("curve_cls", [HilbertCurve, MortonCurve])
+    def test_exact_cover_2d(self, curve_cls):
+        c = curve_cls(2, 4)
+        box = Box(lo=(3, 5), hi=(11, 13))
+        spans = region_spans(c, box)
+        covered = set()
+        for lo, hi in spans:
+            covered.update(range(lo, hi))
+        assert covered == brute_force_indices(c, box)
+
+    def test_full_domain_single_span(self):
+        c = HilbertCurve(2, 3)
+        spans = region_spans(c, Box(lo=(0, 0), hi=(8, 8)))
+        assert spans == [(0, 64)]
+
+    def test_single_cell(self):
+        c = HilbertCurve(2, 3)
+        spans = region_spans(c, Box(lo=(5, 2), hi=(6, 3)))
+        assert len(spans) == 1
+        lo, hi = spans[0]
+        assert hi - lo == 1
+        assert lo == int(c.encode(np.array([5, 2])))
+
+    def test_box_clipped_to_domain(self):
+        c = HilbertCurve(2, 3)
+        spans = region_spans(c, Box(lo=(6, 6), hi=(20, 20)))
+        assert spans_measure(spans) == 4  # only the in-domain 2x2 corner
+
+    def test_box_outside_domain(self):
+        c = HilbertCurve(2, 3)
+        assert region_spans(c, Box(lo=(9, 9), hi=(12, 12))) == []
+
+    def test_empty_box(self):
+        c = HilbertCurve(2, 3)
+        assert region_spans(c, Box(lo=(1, 1), hi=(1, 1))) == []
+
+    def test_rank_mismatch(self):
+        c = HilbertCurve(3, 3)
+        with pytest.raises(LinearizationError):
+            region_spans(c, Box(lo=(0, 0), hi=(2, 2)))
+
+    def test_min_cube_order_overapproximates(self):
+        c = HilbertCurve(2, 4)
+        box = Box(lo=(1, 1), hi=(7, 7))
+        exact = region_spans(c, box)
+        coarse = region_spans(c, box, min_cube_order=2)
+        # Coarse spans must cover the exact spans...
+        exact_set = set()
+        for lo, hi in exact:
+            exact_set.update(range(lo, hi))
+        coarse_set = set()
+        for lo, hi in coarse:
+            coarse_set.update(range(lo, hi))
+        assert exact_set <= coarse_set
+        # ...with fewer pieces.
+        assert len(coarse) <= len(exact)
+
+    def test_min_cube_order_bounds(self):
+        c = HilbertCurve(2, 3)
+        with pytest.raises(LinearizationError):
+            region_spans(c, Box(lo=(0, 0), hi=(2, 2)), min_cube_order=4)
+
+    @pytest.mark.parametrize("curve_cls", [HilbertCurve, MortonCurve])
+    def test_3d_exact(self, curve_cls):
+        c = curve_cls(3, 3)
+        box = Box(lo=(1, 2, 3), hi=(5, 7, 8))
+        spans = region_spans(c, box)
+        covered = set()
+        for lo, hi in spans:
+            covered.update(range(lo, hi))
+        assert covered == brute_force_indices(c, box)
+
+    def test_hilbert_fewer_spans_than_morton(self):
+        """Hilbert locality: a mid-domain box needs no more spans on Hilbert
+        than on Morton order (the ablation claim, in the small)."""
+        box = Box(lo=(3, 3), hi=(13, 13))
+        h = len(region_spans(HilbertCurve(2, 4), box))
+        m = len(region_spans(MortonCurve(2, 4), box))
+        assert h <= m
+
+
+class TestDomainLinearizer:
+    def test_exact_when_power_of_two(self):
+        lin = DomainLinearizer((16, 16))
+        assert lin.is_exact
+        assert lin.order == 4
+        assert lin.index_cells == 256
+
+    def test_non_power_of_two_bins(self):
+        lin = DomainLinearizer((10, 20))
+        assert lin.order == 5  # covers 20
+        assert lin.bin_widths == (1, 1)
+
+    def test_explicit_coarse_order(self):
+        lin = DomainLinearizer((64, 64), order=3)
+        assert lin.bin_widths == (8, 8)
+        assert not lin.is_exact
+
+    def test_invalid_extents(self):
+        with pytest.raises(LinearizationError):
+            DomainLinearizer(())
+        with pytest.raises(LinearizationError):
+            DomainLinearizer((0, 4))
+
+    def test_curve_instance_must_match(self):
+        with pytest.raises(LinearizationError):
+            DomainLinearizer((16, 16), order=4, curve=HilbertCurve(2, 3))
+
+    def test_box_to_bins_snaps_outward(self):
+        lin = DomainLinearizer((64, 64), order=3)  # bins of 8x8
+        bins = lin.box_to_bins(Box(lo=(5, 17), hi=(9, 24)))
+        assert bins == Box(lo=(0, 2), hi=(2, 3))
+
+    def test_box_outside_domain_raises(self):
+        lin = DomainLinearizer((16, 16))
+        with pytest.raises(LinearizationError):
+            lin.box_to_bins(Box(lo=(20, 20), hi=(24, 24)))
+
+    def test_spans_cover_box(self):
+        lin = DomainLinearizer((16, 16))
+        box = Box(lo=(2, 3), hi=(9, 11))
+        spans = lin.spans_for_box(box)
+        assert spans_measure(spans) == box.volume  # exact linearizer
+
+    def test_partition_index_space(self):
+        lin = DomainLinearizer((16, 16))
+        parts = lin.partition_index_space(5)
+        assert len(parts) == 5
+        assert parts[0][0] == 0
+        assert parts[-1][1] == 256
+        for (l1, h1), (l2, h2) in zip(parts, parts[1:]):
+            assert h1 == l2
+        sizes = [h - l for l, h in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_invalid(self):
+        lin = DomainLinearizer((4,))
+        with pytest.raises(LinearizationError):
+            lin.partition_index_space(0)
+        with pytest.raises(LinearizationError):
+            lin.partition_index_space(100)
+
+
+# -- property-based ---------------------------------------------------------------
+
+box_2d = st.tuples(
+    st.integers(0, 15), st.integers(0, 15), st.integers(1, 8), st.integers(1, 8)
+).map(lambda t: Box(lo=(t[0], t[1]), hi=(min(t[0] + t[2], 16), min(t[1] + t[3], 16))))
+
+
+@given(st.sampled_from([HilbertCurve, MortonCurve]), box_2d)
+@settings(max_examples=50, deadline=None)
+def test_spans_match_bruteforce(curve_cls, box):
+    c = curve_cls(2, 4)
+    spans = region_spans(c, box)
+    covered = set()
+    for lo, hi in spans:
+        assert hi > lo
+        covered.update(range(lo, hi))
+    assert covered == brute_force_indices(c, box)
+    # spans are sorted and disjoint
+    for (l1, h1), (l2, h2) in zip(spans, spans[1:]):
+        assert h1 < l2

@@ -1,0 +1,107 @@
+"""Tests for the event queue and discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, fired.append, "b")
+        q.push(1.0, fired.append, "a")
+        q.push(3.0, fired.append, "c")
+        while q:
+            q.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, fired.append, 1)
+        q.push(1.0, fired.append, 2)
+        q.push(1.0, fired.append, 3)
+        while q:
+            q.pop().fire()
+        assert fired == [1, 2, 3]
+
+    def test_negative_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_pop_empty(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+
+
+class TestSimEngine:
+    def test_clock_advances(self):
+        eng = SimEngine()
+        times = []
+        eng.schedule(1.5, lambda: times.append(eng.now))
+        eng.schedule(0.5, lambda: times.append(eng.now))
+        end = eng.run()
+        assert times == [0.5, 1.5]
+        assert end == 1.5
+
+    def test_nested_scheduling(self):
+        eng = SimEngine()
+        log = []
+
+        def first():
+            log.append(("first", eng.now))
+            eng.schedule(2.0, second)
+
+        def second():
+            log.append(("second", eng.now))
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(1.0, fired.append, "early")
+        eng.schedule(10.0, fired.append, "late")
+        eng.run(until=5.0)
+        assert fired == ["early"]
+        assert eng.now == 5.0
+        assert eng.pending() == 1
+
+    def test_run_until_past_queue(self):
+        eng = SimEngine()
+        eng.schedule(1.0, lambda: None)
+        assert eng.run(until=7.0) == 7.0
+
+    def test_schedule_at(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule_at(4.0, fired.append, "x")
+        eng.run()
+        assert fired == ["x"] and eng.now == 4.0
+
+    def test_schedule_at_past_raises(self):
+        eng = SimEngine()
+        eng.schedule(2.0, lambda: eng.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_negative_delay(self):
+        with pytest.raises(SimulationError):
+            SimEngine().schedule(-0.1, lambda: None)
+
+    def test_no_reentrancy(self):
+        eng = SimEngine()
+        eng.schedule(1.0, lambda: eng.run())
+        with pytest.raises(SimulationError):
+            eng.run()

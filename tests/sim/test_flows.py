@@ -1,0 +1,216 @@
+"""Tests for max-min fair allocation and the fluid simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import MachineSpec, NetworkSpec, NodeSpec
+from repro.sim.flows import Flow, FlowNetwork
+from repro.sim.fluid import FluidSimulation
+
+
+class TestFlow:
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            Flow(0, (0,), -1)
+        with pytest.raises(SimulationError):
+            Flow(0, (0,), 1, start_time=-1)
+
+
+class TestMaxMin:
+    def net(self, caps):
+        return FlowNetwork(np.asarray(caps, dtype=float))
+
+    def rates(self, caps, paths, active=None):
+        net = self.net(caps)
+        inc = net.incidence(paths)
+        r = net.maxmin_rates(inc, active)
+        net.validate_rates(inc, r)
+        return r
+
+    def test_single_flow_gets_bottleneck(self):
+        r = self.rates([10.0, 4.0], [(0, 1)])
+        assert r[0] == pytest.approx(4.0)
+
+    def test_equal_share_one_link(self):
+        r = self.rates([9.0], [(0,), (0,), (0,)])
+        assert np.allclose(r, 3.0)
+
+    def test_classic_maxmin_example(self):
+        # Two links cap 1. Flow A uses both, B uses link0, C uses link1.
+        # Max-min: A=0.5, B=0.5, C=0.5.
+        r = self.rates([1.0, 1.0], [(0, 1), (0,), (1,)])
+        assert np.allclose(r, [0.5, 0.5, 0.5])
+
+    def test_unbottlenecked_flow_takes_slack(self):
+        # link0 cap 1 shared by A,B; link1 cap 10 used by C alone.
+        r = self.rates([1.0, 10.0], [(0,), (0,), (1,)])
+        assert np.allclose(r, [0.5, 0.5, 10.0])
+
+    def test_empty_path_is_infinite(self):
+        r = self.rates([1.0], [(), (0,)])
+        assert np.isinf(r[0])
+        assert r[1] == pytest.approx(1.0)
+
+    def test_inactive_flows_excluded(self):
+        r = self.rates([6.0], [(0,), (0,), (0,)], active=np.array([True, False, True]))
+        assert np.allclose(r, [3.0, 0.0, 3.0])
+
+    def test_no_flows(self):
+        net = self.net([1.0])
+        inc = net.incidence([])
+        assert net.maxmin_rates(inc).size == 0
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(SimulationError):
+            self.net([1.0]).incidence([(3,)])
+
+    def test_invalid_capacities(self):
+        with pytest.raises(SimulationError):
+            FlowNetwork([0.0])
+        with pytest.raises(SimulationError):
+            FlowNetwork([])
+
+    @given(
+        st.lists(st.floats(1.0, 100.0), min_size=1, max_size=6),
+        st.lists(
+            st.lists(st.integers(0, 5), min_size=0, max_size=4), max_size=10
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_feasibility_and_saturation(self, caps, raw_paths):
+        """Property: allocation never oversubscribes a link, and every flow
+        with a non-empty path is bottlenecked by some saturated link."""
+        nlinks = len(caps)
+        paths = [tuple(l % nlinks for l in p) for p in raw_paths]
+        net = self.net(caps)
+        inc = net.incidence(paths)
+        rates = net.maxmin_rates(inc)
+        net.validate_rates(inc, rates)
+        loads = np.asarray(
+            inc.T @ np.where(np.isfinite(rates), rates, 0.0)
+        ).ravel()
+        for i, p in enumerate(paths):
+            if not p:
+                assert np.isinf(rates[i])
+                continue
+            assert rates[i] > 0
+            # max-min: each flow crosses at least one (nearly) saturated link
+            assert any(loads[l] >= caps[l] * (1 - 1e-6) for l in set(p))
+
+
+def tiny_machine(cpn=2):
+    """Tiny machine with round numbers: shm 100 B/s, network 10 B/s."""
+    return MachineSpec(
+        name="tiny",
+        node=NodeSpec(cores=cpn, memory_bytes=1 << 30,
+                      shm_bandwidth=100.0, shm_latency=0.0),
+        network=NetworkSpec(link_bandwidth=10.0, nic_bandwidth=10.0,
+                            base_latency=0.0, per_hop_latency=0.0),
+    )
+
+
+class TestFluidSimulation:
+    def make(self, nodes=2, cpn=2):
+        return FluidSimulation(NetworkModel(Cluster(nodes, machine=tiny_machine(cpn))))
+
+    def test_single_shm_transfer(self):
+        sim = self.make()
+        sim.add_transfer(0, 1, 200, tag="t")  # same node, 100 B/s
+        (t,) = sim.run()
+        assert t.finish == pytest.approx(2.0)
+        assert t.tag == "t"
+
+    def test_single_network_transfer(self):
+        sim = self.make()
+        sim.add_transfer(0, 2, 100)  # cross node, 10 B/s bottleneck
+        (t,) = sim.run()
+        assert t.finish == pytest.approx(10.0)
+
+    def test_shm_much_faster_than_network(self):
+        sim = self.make()
+        a = sim.add_transfer(0, 1, 1000, tag="shm")
+        b = sim.add_transfer(0, 2, 1000, tag="net")
+        by_tag = {t.tag: t for t in sim.run()}
+        assert by_tag["shm"].finish < by_tag["net"].finish / 5
+
+    def test_contention_on_shared_nic(self):
+        sim = self.make()
+        # Two network transfers from node 0: share the injection NIC (10 B/s).
+        sim.add_transfer(0, 2, 100, tag="a")
+        sim.add_transfer(1, 3, 100, tag="b")
+        times = {t.tag: t.finish for t in sim.run()}
+        # Fair share 5 B/s each -> 20 s (possibly routed via same links).
+        assert times["a"] == pytest.approx(20.0, rel=0.01)
+        assert times["b"] == pytest.approx(20.0, rel=0.01)
+
+    def test_sequential_starts(self):
+        sim = self.make()
+        sim.add_transfer(0, 2, 100, start=0.0, tag="first")
+        sim.add_transfer(0, 2, 100, start=100.0, tag="second")
+        times = {t.tag: t for t in sim.run()}
+        # First finishes (t=10) before second starts: no sharing.
+        assert times["first"].finish == pytest.approx(10.0)
+        assert times["second"].finish == pytest.approx(110.0)
+
+    def test_overlapping_starts_share(self):
+        sim = self.make()
+        sim.add_transfer(0, 2, 100, start=0.0, tag="a")
+        sim.add_transfer(0, 2, 100, start=5.0, tag="b")
+        times = {t.tag: t.finish for t in sim.run()}
+        # a runs alone 5s (50 B done), then shares: 50 left at 5 B/s -> 15.
+        assert times["a"] == pytest.approx(15.0, rel=0.01)
+        # b: 100 bytes at 5 B/s then 10 B/s after a finishes:
+        # 5..15: 50 B, then full rate: 5 more seconds -> t=20.
+        assert times["b"] == pytest.approx(20.0, rel=0.01)
+
+    def test_zero_byte_completes_at_start(self):
+        sim = self.make()
+        sim.add_transfer(0, 2, 0, start=3.0, tag="z")
+        (t,) = sim.run()
+        assert t.finish == pytest.approx(3.0)
+
+    def test_empty_batch(self):
+        assert self.make().run() == []
+
+    def test_latency_shifts_start(self):
+        machine = MachineSpec(
+            name="lat",
+            node=NodeSpec(cores=2, shm_bandwidth=100.0, shm_latency=0.0),
+            network=NetworkSpec(link_bandwidth=10.0, nic_bandwidth=10.0,
+                                base_latency=2.0, per_hop_latency=0.0),
+        )
+        sim = FluidSimulation(NetworkModel(Cluster(2, machine=machine)))
+        sim.add_transfer(0, 2, 100)
+        (t,) = sim.run()
+        assert t.finish == pytest.approx(12.0)
+
+    def test_completion_by_group(self):
+        sim = self.make()
+        sim.add_transfer(0, 2, 100, tag=("app1", 0))
+        sim.add_transfer(1, 3, 50, tag=("app1", 1))
+        sim.add_transfer(0, 1, 100, tag=("app2", 0))
+        timings = sim.run()
+        groups = FluidSimulation.completion_by_group(
+            timings, {("app1", 0): "app1", ("app1", 1): "app1", ("app2", 0): "app2"}
+        )
+        assert groups["app1"] == max(
+            t.finish for t in timings if t.tag[0] == "app1"
+        )
+        assert groups["app2"] < groups["app1"]
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SimulationError):
+            self.make().add_transfer(0, 1, -1)
+
+    def test_conservation_total_time_lower_bound(self):
+        """Total completion >= volume / bottleneck capacity (sanity)."""
+        sim = self.make(nodes=4)
+        for i in range(4):
+            sim.add_transfer(0, 4 + i % 2, 100, tag=i)  # all inject from node 0
+        finish = max(t.finish for t in sim.run())
+        assert finish >= 400 / 10 - 1e-6

@@ -1,0 +1,111 @@
+"""Consistency tests between the fluid simulation and the analytic cost
+model, plus conservation properties under contention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import MachineSpec, NetworkSpec, NodeSpec
+from repro.sim.fluid import FluidSimulation
+from repro.transport.costmodel import CostModel
+
+
+def machine(link_bw=100.0, nic_bw=100.0, shm_bw=1000.0, lat=0.0):
+    return MachineSpec(
+        name="test",
+        node=NodeSpec(cores=4, shm_bandwidth=shm_bw, shm_latency=lat),
+        network=NetworkSpec(link_bandwidth=link_bw, nic_bandwidth=nic_bw,
+                            base_latency=lat, per_hop_latency=0.0),
+    )
+
+
+class TestFluidMatchesAnalyticForLoneFlows:
+    """With no contention, the fluid time must equal latency + size/bw."""
+
+    def test_single_shm(self):
+        cluster = Cluster(2, machine=machine(lat=0.5))
+        net = NetworkModel(cluster)
+        cm = CostModel(cluster.machine, network=net)
+        sim = FluidSimulation(net)
+        sim.add_transfer(0, 1, 5000)
+        (t,) = sim.run()
+        assert t.finish == pytest.approx(cm.shm_time(5000))
+
+    def test_single_network(self):
+        cluster = Cluster(4, machine=machine(lat=0.25))
+        net = NetworkModel(cluster)
+        sim = FluidSimulation(net)
+        sim.add_transfer(0, 4, 1000)  # node 0 -> node 1
+        (t,) = sim.run()
+        # bottleneck is min(nic, link) = 100 B/s, latency 0.25 base
+        expected = net.path_latency(0, 1) + 1000 / 100.0
+        assert t.finish == pytest.approx(expected)
+
+    @given(st.integers(1, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_lone_flow_any_size(self, nbytes):
+        cluster = Cluster(4, machine=machine())
+        net = NetworkModel(cluster)
+        sim = FluidSimulation(net)
+        sim.add_transfer(0, 8, nbytes)
+        (t,) = sim.run()
+        assert t.finish == pytest.approx(
+            net.path_latency(0, 2) + nbytes / 100.0, rel=1e-6
+        )
+
+
+class TestConservation:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15), st.integers(1, 10 ** 4)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_throughput_bounded(self, transfers):
+        """Total delivered bytes / makespan can't exceed the sum of all
+        resource capacities (a loose but always-valid bound)."""
+        cluster = Cluster(4, machine=machine())
+        net = NetworkModel(cluster)
+        sim = FluidSimulation(net)
+        total = 0
+        for src, dst, nbytes in transfers:
+            sim.add_transfer(src, dst, nbytes)
+            total += nbytes
+        timings = sim.run()
+        makespan = max(t.finish for t in timings)
+        assert makespan > 0
+        cap_sum = sum(sim.flow_network.capacities)
+        assert total / makespan <= cap_sum * (1 + 1e-6)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15), st.integers(0, 10 ** 4)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_transfer_completes(self, transfers):
+        cluster = Cluster(4, machine=machine())
+        sim = FluidSimulation(NetworkModel(cluster))
+        for i, (src, dst, nbytes) in enumerate(transfers):
+            sim.add_transfer(src, dst, nbytes, tag=i)
+        timings = sim.run()
+        assert len(timings) == len(transfers)
+        assert all(np.isfinite(t.finish) for t in timings)
+        assert all(t.finish >= t.start - 1e-12 for t in timings)
+
+    def test_fair_sharing_beats_serialization(self):
+        """Max-min sharing finishes k equal flows on one link exactly when
+        serial execution would — never later."""
+        cluster = Cluster(2, machine=machine())
+        sim = FluidSimulation(NetworkModel(cluster))
+        for i in range(4):
+            sim.add_transfer(0, 4, 100, tag=i)
+        timings = sim.run()
+        makespan = max(t.finish for t in timings)
+        serial = 4 * 100 / 100.0
+        assert makespan == pytest.approx(serial, rel=0.01)

@@ -1,0 +1,154 @@
+"""Tests for the simulated MPI collectives layer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.sim.mpi import SimComm
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind
+from repro.workflow.clients import CommGroup
+
+
+def make_comm(p, nodes=4, cpn=4, spread=True):
+    cluster = Cluster(nodes, machine=generic_multicore(cpn))
+    dart = HybridDART(cluster)
+    if spread:
+        cores = {r: (r * cpn) % cluster.total_cores + r // nodes for r in range(p)}
+    else:
+        cores = {r: r for r in range(p)}
+    group = CommGroup(color=1, core_of_rank=cores)
+    return SimComm(group, dart), dart
+
+
+class TestPointToPoint:
+    def test_send(self):
+        comm, dart = make_comm(4)
+        rec = comm.send(0, 1, 100)
+        assert rec.nbytes == 100
+        assert dart.metrics.bytes(kind=TransferKind.INTRA_APP) == 100
+
+    def test_send_invalid_rank(self):
+        comm, _ = make_comm(2)
+        with pytest.raises(SimulationError):
+            comm.send(0, 5, 10)
+        with pytest.raises(SimulationError):
+            comm.send(0, 1, -1)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_message_count(self, p):
+        comm, _ = make_comm(p)
+        recs = comm.bcast(0, 64)
+        assert len(recs) == p - 1  # a tree bcast sends exactly p-1 messages
+
+    def test_everyone_receives(self):
+        comm, _ = make_comm(8)
+        recs = comm.bcast(0, 64)
+        receivers = {r.dst_core for r in recs}
+        expected = {comm.group.core(r) for r in range(1, 8)}
+        assert receivers == expected
+
+    def test_nonzero_root(self):
+        comm, _ = make_comm(5)
+        recs = comm.bcast(2, 64)
+        assert len(recs) == 4
+        assert comm.group.core(2) not in {r.dst_core for r in recs}
+
+    def test_log_rounds(self):
+        """The first sender is the root; a binomial tree has <= ceil(log2 p)
+        sends originating from it."""
+        comm, _ = make_comm(8)
+        recs = comm.bcast(0, 64)
+        from_root = sum(1 for r in recs if r.src_core == comm.group.core(0))
+        assert from_root == math.ceil(math.log2(8))
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", [2, 3, 4, 6, 8])
+    def test_message_count(self, p):
+        comm, _ = make_comm(p)
+        assert len(comm.reduce(0, 64)) == p - 1
+
+    def test_root_receives_last(self):
+        comm, _ = make_comm(4)
+        recs = comm.reduce(0, 64)
+        assert recs[-1].dst_core == comm.group.core(0)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_power_of_two_volume(self, p):
+        comm, dart = make_comm(p)
+        comm.allreduce(100)
+        # recursive doubling: log2(p) rounds, p messages per round
+        expected = p * math.log2(p) * 100
+        assert dart.metrics.bytes(kind=TransferKind.INTRA_APP) == expected
+
+    @pytest.mark.parametrize("p", [3, 5, 6, 7])
+    def test_non_power_of_two(self, p):
+        comm, _ = make_comm(p)
+        recs = comm.allreduce(10)
+        pof2 = 1 << (p.bit_length() - 1)
+        rem = p - pof2
+        assert len(recs) == 2 * rem + pof2 * int(math.log2(pof2))
+
+    def test_single_rank_noop(self):
+        comm, _ = make_comm(1)
+        assert comm.allreduce(10) == []
+
+
+class TestAllgatherAlltoall:
+    def test_allgather_ring_volume(self):
+        comm, dart = make_comm(4)
+        comm.allgather(25)
+        # p ranks x (p-1) steps x block
+        assert dart.metrics.bytes(kind=TransferKind.INTRA_APP) == 4 * 3 * 25
+
+    def test_alltoall_pairs(self):
+        comm, _ = make_comm(4)
+        recs = comm.alltoall(10)
+        assert len(recs) == 12
+        pairs = {(r.src_core, r.dst_core) for r in recs}
+        assert len(pairs) == 12
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [2, 4, 5, 8])
+    def test_rounds(self, p):
+        comm, dart = make_comm(p)
+        recs = comm.barrier()
+        assert len(recs) == p * math.ceil(math.log2(p))
+        assert dart.metrics.bytes(kind=TransferKind.INTRA_APP) == 0  # control only
+
+
+class TestTransportAwareness:
+    def test_colocated_group_is_all_shm(self):
+        comm, dart = make_comm(4, spread=False)  # ranks 0-3 on node 0
+        comm.allreduce(100)
+        assert dart.metrics.network_bytes(TransferKind.INTRA_APP) == 0
+
+    def test_spread_group_uses_network(self):
+        comm, dart = make_comm(8, spread=True)
+        comm.allreduce(100)
+        assert dart.metrics.network_bytes(TransferKind.INTRA_APP) > 0
+
+    def test_empty_group_rejected(self):
+        cluster = Cluster(1, machine=generic_multicore(2))
+        with pytest.raises(SimulationError):
+            SimComm(CommGroup(color=1, core_of_rank={}), HybridDART(cluster))
+
+
+@given(st.integers(1, 12), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_bcast_reaches_everyone_exactly_once(p, nbytes):
+    comm, _ = make_comm(p, nodes=4, cpn=4)
+    recs = comm.bcast(0, nbytes)
+    received = [r.dst_core for r in recs]
+    assert len(received) == len(set(received)) == p - 1

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["concurrent"])
+        assert args.mapper == "data-centric"
+        assert args.scale == "small"
+        assert args.stencil == 0
+        assert not args.time
+
+    def test_bad_mapper(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["concurrent", "--mapper", "magic"])
+
+
+class TestCommands:
+    def test_concurrent(self, capsys):
+        assert main(["concurrent", "--mapper", "round-robin"]) == 0
+        out = capsys.readouterr().out
+        assert "CAP1" in out and "coupling" in out
+
+    def test_sequential_with_time(self, capsys):
+        assert main(["sequential", "--time"]) == 0
+        out = capsys.readouterr().out
+        assert "retrieval ms" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--scenario", "concurrent"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out and "data-centric" in out
+        assert "reduction" in out
+
+    def test_compare_with_dist(self, capsys):
+        assert main(["compare", "--scenario", "sequential",
+                     "--dist", "cyclic"]) == 0
+        assert "cyclic" in capsys.readouterr().out
+
+    def test_stencil_flag(self, capsys):
+        assert main(["concurrent", "--stencil", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "intra_app" in out
+
+    def test_dag_command(self, tmp_path, capsys):
+        path = tmp_path / "wf.dag"
+        path.write_text(
+            "APP_ID 1\nAPP_ID 2\nPARENT_APPID 1 CHILD_APPID 2\n"
+            "DECOMP 1 size=8,8 layout=2,2\nDECOMP 2 size=8,8 layout=4,1\n"
+        )
+        assert main(["dag", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid workflow: 2 apps" in out
+        assert "BUNDLE" in out
+
+    def test_dag_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.dag"
+        path.write_text("NOT_A_KEYWORD 1\n")
+        from repro.errors import DagParseError
+        with pytest.raises(DagParseError):
+            main(["dag", str(path)])

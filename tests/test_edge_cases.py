@@ -1,0 +1,126 @@
+"""Edge cases across modules that the focused suites don't reach."""
+
+import pytest
+
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.errors import SpaceError, TransportError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.sfc.linearize import DomainLinearizer
+from repro.transport.hybriddart import CONTROL_MSG_BYTES, HybridDART
+from repro.transport.message import TransferKind
+
+
+class TestHybridDartRpcPayload:
+    def test_custom_payload_bytes(self):
+        cluster = Cluster(2, machine=generic_multicore(2))
+        dart = HybridDART(cluster)
+        dart.register_handler(2, "op", lambda: "done")
+        assert dart.rpc(0, 2, "op", payload_bytes=4096) == "done"
+        # Request uses the custom size; the response uses the default.
+        assert dart.metrics.bytes(kind=TransferKind.CONTROL) == (
+            4096 + CONTROL_MSG_BYTES
+        )
+
+    def test_handler_args_kwargs(self):
+        cluster = Cluster(1, machine=generic_multicore(2))
+        dart = HybridDART(cluster)
+        dart.register_handler(0, "add", lambda a, b=0: a + b)
+        assert dart.rpc(1, 0, "add", 2, b=3) == 5
+
+
+class TestSpanCacheIdentity:
+    def test_same_box_returns_cached_list(self):
+        lin = DomainLinearizer((32, 32))
+        box = Box(lo=(3, 3), hi=(9, 9))
+        assert lin.spans_for_box(box) is lin.spans_for_box(box)
+
+    def test_different_coarseness_cached_separately(self):
+        lin = DomainLinearizer((32, 32))
+        box = Box(lo=(1, 1), hi=(9, 9))
+        exact = lin.spans_for_box(box, 0)
+        coarse = lin.spans_for_box(box, 3)
+        assert exact is not coarse
+        assert len(coarse) <= len(exact)
+
+
+class TestSpaceMisc:
+    def make(self):
+        return CoDS(Cluster(2, machine=generic_multicore(4)), (16, 16))
+
+    def test_reset_concurrent_all(self):
+        space = self.make()
+        space.put_cont(0, "a", Box(lo=(0, 0), hi=(16, 16)))
+        space.put_cont(1, "b", Box(lo=(0, 0), hi=(16, 16)))
+        space.reset_concurrent()
+        for var in ("a", "b"):
+            with pytest.raises(SpaceError):
+                space.get_cont(2, var, Box(lo=(0, 0), hi=(4, 4)))
+
+    def test_mismatched_dart_cluster_rejected(self):
+        c1 = Cluster(2, machine=generic_multicore(4))
+        c2 = Cluster(2, machine=generic_multicore(4))
+        with pytest.raises(SpaceError):
+            CoDS(c1, (16, 16), dart=HybridDART(c2))
+
+    def test_linearizer_extent_mismatch_rejected(self):
+        cluster = Cluster(2, machine=generic_multicore(4))
+        with pytest.raises(SpaceError):
+            CoDS(cluster, (16, 16), linearizer=DomainLinearizer((32, 32)))
+
+    def test_get_seq_of_empty_region_is_empty_schedule(self):
+        from repro.domain.intervals import IntervalSet
+
+        space = self.make()
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        empty = (IntervalSet.empty(), IntervalSet.empty())
+        sched, recs = space.get_seq(1, "T", empty)
+        assert sched.total_bytes == 0
+        assert recs == []
+
+
+class TestMetricsMisc:
+    def test_record_all_iterable(self):
+        from repro.transport.message import TransferRecord, Transport
+        from repro.transport.metrics import TransferMetrics
+
+        m = TransferMetrics()
+        m.record_all(
+            TransferRecord(0, 1, 10, TransferKind.COUPLING, Transport.SHM)
+            for _ in range(3)
+        )
+        assert m.count() == 3
+
+    def test_overall_network_fraction(self):
+        from repro.transport.message import TransferRecord, Transport
+        from repro.transport.metrics import TransferMetrics
+
+        m = TransferMetrics()
+        m.record(TransferRecord(0, 1, 30, TransferKind.COUPLING, Transport.NETWORK))
+        m.record(TransferRecord(0, 1, 10, TransferKind.INTRA_APP, Transport.SHM))
+        assert m.network_fraction() == 0.75
+
+
+class TestEngineLiteralContext:
+    def test_non_callable_context_passes_through(self):
+        from repro.core.mapping.roundrobin import RoundRobinMapper
+        from repro.core.task import AppSpec
+        from repro.domain.descriptor import DecompositionDescriptor
+        from repro.workflow.dag import WorkflowDAG
+        from repro.workflow.engine import WorkflowEngine
+
+        seen = {}
+
+        class Spy(RoundRobinMapper):
+            def map_bundle(self, apps, cluster, marker=None, **ctx):
+                seen["marker"] = marker
+                return super().map_bundle(apps, cluster)
+
+        app = AppSpec(1, "a", DecompositionDescriptor.uniform((8, 8), (2, 2)))
+        engine = WorkflowEngine(
+            WorkflowDAG([app]), Cluster(2, machine=generic_multicore(4))
+        )
+        engine.set_bundle_mapper(0, Spy(), marker="literal-value")
+        engine.run()
+        assert seen["marker"] == "literal-value"

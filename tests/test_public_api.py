@@ -1,0 +1,71 @@
+"""Public-API surface checks: everything exported must exist and import."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.domain",
+    "repro.sfc",
+    "repro.partition",
+    "repro.hardware",
+    "repro.transport",
+    "repro.sim",
+    "repro.cods",
+    "repro.core",
+    "repro.core.mapping",
+    "repro.workflow",
+    "repro.apps",
+    "repro.analysis",
+    "repro.cli",
+    "repro.errors",
+]
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_members_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_top_level_all_resolves(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_errors_hierarchy(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, Exception)
+            if exc is not errors.ReproError:
+                assert issubclass(exc, errors.ReproError)
+
+    def test_key_classes_reachable_from_top(self):
+        # The objects a downstream user needs for the quickstart.
+        for symbol in (
+            "InSituFramework", "AppSpec", "Coupling",
+            "DecompositionDescriptor", "CoDS", "Cluster",
+            "WorkflowDAG", "WorkflowEngine", "Box",
+        ):
+            assert hasattr(repro, symbol)
+
+    def test_docstrings_on_public_classes(self):
+        """Every public class/function at top level carries a docstring."""
+        import inspect
+
+        for symbol in repro.__all__:
+            obj = getattr(repro, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{symbol} lacks a docstring"

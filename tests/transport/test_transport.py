@@ -1,0 +1,162 @@
+"""Tests for transfer records, metrics, cost model, and HybridDART."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import generic_multicore, jaguar_xt5
+from repro.transport.costmodel import CostModel
+from repro.transport.hybriddart import CONTROL_MSG_BYTES, HybridDART
+from repro.transport.message import TransferKind, TransferRecord, Transport
+from repro.transport.metrics import TransferMetrics
+
+
+def make_dart(nodes=2, cpn=4):
+    return HybridDART(Cluster(num_nodes=nodes, machine=generic_multicore(cpn)))
+
+
+class TestTransferRecord:
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRecord(0, 1, -1, TransferKind.COUPLING, Transport.SHM)
+
+    def test_frozen(self):
+        rec = TransferRecord(0, 1, 10, TransferKind.COUPLING, Transport.SHM)
+        with pytest.raises(AttributeError):
+            rec.nbytes = 5
+
+
+class TestMetrics:
+    def rec(self, nbytes, kind, transport, app_id=1):
+        return TransferRecord(0, 1, nbytes, kind, transport, app_id=app_id)
+
+    def test_bytes_filters(self):
+        m = TransferMetrics()
+        m.record(self.rec(100, TransferKind.COUPLING, Transport.NETWORK, app_id=1))
+        m.record(self.rec(50, TransferKind.COUPLING, Transport.SHM, app_id=1))
+        m.record(self.rec(30, TransferKind.INTRA_APP, Transport.NETWORK, app_id=2))
+        assert m.bytes() == 180
+        assert m.bytes(kind=TransferKind.COUPLING) == 150
+        assert m.network_bytes() == 130
+        assert m.network_bytes(kind=TransferKind.COUPLING) == 100
+        assert m.shm_bytes(app_id=1) == 50
+        assert m.bytes(app_id=2) == 30
+
+    def test_counts(self):
+        m = TransferMetrics()
+        m.record_all(
+            self.rec(10, TransferKind.CONTROL, Transport.NETWORK) for _ in range(5)
+        )
+        assert m.count() == 5
+        assert m.count(kind=TransferKind.COUPLING) == 0
+
+    def test_network_fraction(self):
+        m = TransferMetrics()
+        m.record(self.rec(75, TransferKind.COUPLING, Transport.NETWORK))
+        m.record(self.rec(25, TransferKind.COUPLING, Transport.SHM))
+        assert m.network_fraction(TransferKind.COUPLING) == 0.75
+        assert m.network_fraction(TransferKind.INTRA_APP) == 0.0
+
+    def test_clear_and_app_ids(self):
+        m = TransferMetrics()
+        m.record(self.rec(10, TransferKind.COUPLING, Transport.SHM, app_id=3))
+        assert m.app_ids() == [3]
+        m.clear()
+        assert m.bytes() == 0
+
+    def test_summary_contains_rows(self):
+        m = TransferMetrics()
+        m.record(self.rec(2 ** 20, TransferKind.COUPLING, Transport.NETWORK, app_id=7))
+        text = m.summary()
+        assert "coupling" in text and "network" in text and "7" in text
+
+
+class TestCostModel:
+    def test_shm_faster_than_network(self):
+        cm = CostModel(jaguar_xt5())
+        nbytes = 32 * 2 ** 20
+        assert cm.shm_time(nbytes) < cm.network_time(nbytes)
+        assert cm.speedup_shm_over_network(nbytes) > 1
+
+    def test_transfer_time_dispatch(self):
+        cm = CostModel(jaguar_xt5())
+        assert cm.transfer_time(1000, 0, 0) == cm.shm_time(1000)
+        assert cm.transfer_time(1000, 0, 1) >= cm.network_time(1000)
+
+    def test_hops_from_network_model(self):
+        cluster = Cluster(8, machine=generic_multicore(2))
+        net = NetworkModel(cluster)
+        cm = CostModel(cluster.machine, network=net)
+        far = max(range(8), key=lambda n: net.topology.hop_distance(0, n))
+        assert cm.transfer_time(0, 0, far) >= cm.transfer_time(0, 0, 1)
+
+    def test_time_monotone_in_bytes(self):
+        cm = CostModel(jaguar_xt5())
+        assert cm.network_time(2 ** 20) < cm.network_time(2 ** 24)
+
+
+class TestHybridDART:
+    def test_classify(self):
+        dart = make_dart()
+        assert dart.classify(0, 3) is Transport.SHM
+        assert dart.classify(0, 4) is Transport.NETWORK
+
+    def test_transfer_records_metrics(self):
+        dart = make_dart()
+        rec = dart.transfer(0, 5, 1024, TransferKind.COUPLING, app_id=2)
+        assert rec.transport is Transport.NETWORK
+        assert dart.metrics.network_bytes(TransferKind.COUPLING, app_id=2) == 1024
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(TransportError):
+            make_dart().transfer(0, 1, -5, TransferKind.COUPLING)
+
+    def test_rpc_roundtrip(self):
+        dart = make_dart()
+        dart.register_handler(4, "lookup", lambda x: x * 2)
+        assert dart.rpc(0, 4, "lookup", 21) == 42
+        # one request + one response control message
+        assert dart.metrics.count(kind=TransferKind.CONTROL) == 2
+        assert (
+            dart.metrics.bytes(kind=TransferKind.CONTROL)
+            == 2 * CONTROL_MSG_BYTES
+        )
+
+    def test_rpc_missing_handler(self):
+        with pytest.raises(TransportError):
+            make_dart().rpc(0, 1, "nope")
+
+    def test_duplicate_handler_rejected(self):
+        dart = make_dart()
+        dart.register_handler(0, "h", lambda: None)
+        with pytest.raises(TransportError):
+            dart.register_handler(0, "h", lambda: None)
+
+    def test_unregister(self):
+        dart = make_dart()
+        dart.register_handler(0, "h", lambda: 1)
+        dart.unregister_handler(0, "h")
+        with pytest.raises(TransportError):
+            dart.rpc(1, 0, "h")
+        with pytest.raises(TransportError):
+            dart.unregister_handler(0, "h")
+
+    def test_handler_core_out_of_range(self):
+        with pytest.raises(TransportError):
+            make_dart().register_handler(99, "h", lambda: None)
+
+
+@given(
+    st.integers(0, 15), st.integers(0, 15), st.integers(0, 10 ** 9),
+    st.sampled_from(list(TransferKind)),
+)
+@settings(max_examples=60)
+def test_transfer_classification_matches_nodes(src, dst, nbytes, kind):
+    dart = make_dart(nodes=4, cpn=4)
+    rec = dart.transfer(src, dst, nbytes, kind)
+    same = src // 4 == dst // 4
+    assert rec.transport is (Transport.SHM if same else Transport.NETWORK)
+    assert dart.metrics.bytes(kind=kind) == nbytes

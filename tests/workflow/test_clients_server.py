@@ -1,0 +1,147 @@
+"""Tests for execution clients, comm_split emulation, and the server."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping.roundrobin import RoundRobinMapper
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import RegistrationError, WorkflowError
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.workflow.clients import (
+    ClientState,
+    ExecutionClient,
+    comm_split,
+    form_groups,
+)
+from repro.workflow.server import WorkflowManagementServer
+
+
+def app(app_id, layout=(2, 2)):
+    return AppSpec(
+        app_id=app_id,
+        name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform((8, 8), layout),
+    )
+
+
+class TestExecutionClient:
+    def test_assign_release(self):
+        c = ExecutionClient(core=3)
+        c.assign(1, 0)
+        assert c.state is ClientState.ASSIGNED
+        assert c.color == 1 and c.task_rank == 0
+        c.release()
+        assert c.state is ClientState.IDLE and c.color is None
+
+    def test_double_assign(self):
+        c = ExecutionClient(core=3)
+        c.assign(1, 0)
+        with pytest.raises(RegistrationError):
+            c.assign(2, 0)
+
+
+class TestCommSplit:
+    def test_groups_by_color(self):
+        groups = comm_split([(0, 1, 0), (1, 2, 0), (2, 1, 1), (3, 2, 1)])
+        assert set(groups) == {1, 2}
+        assert groups[1].core_of_rank == {0: 0, 1: 2}
+        assert groups[2].core_of_rank == {0: 1, 1: 3}
+
+    def test_rank_order_by_key(self):
+        groups = comm_split([(10, 1, 2), (11, 1, 0), (12, 1, 1)])
+        assert groups[1].core_of_rank == {0: 11, 1: 12, 2: 10}
+
+    def test_tie_breaks_by_core(self):
+        groups = comm_split([(5, 1, 0), (3, 1, 0)])
+        assert groups[1].core_of_rank == {0: 3, 1: 5}
+
+    def test_duplicate_core_rejected(self):
+        with pytest.raises(WorkflowError):
+            comm_split([(0, 1, 0), (0, 2, 0)])
+
+    def test_group_queries(self):
+        groups = comm_split([(0, 7, 0)])
+        g = groups[7]
+        assert g.size == 1 and g.ranks() == [0] and g.core(0) == 0
+        with pytest.raises(WorkflowError):
+            g.core(1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(1, 3), st.integers(0, 5)),
+            max_size=20,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=40)
+    def test_ranks_dense_and_complete(self, members):
+        groups = comm_split(members)
+        total = sum(g.size for g in groups.values())
+        assert total == len(members)
+        for g in groups.values():
+            assert g.ranks() == list(range(g.size))
+
+
+class TestFormGroups:
+    def test_group_rank_equals_task_rank(self):
+        cluster = Cluster(4, machine=generic_multicore(4))
+        apps = [app(1), app(2, layout=(2, 1))]
+        mapping = RoundRobinMapper().map_bundle(apps, cluster)
+        groups = form_groups(apps, mapping)
+        for a in apps:
+            for rank in range(a.ntasks):
+                assert groups[a.app_id].core(rank) == mapping.core_of(a.app_id, rank)
+
+
+class TestServer:
+    def make(self, nodes=2, cpn=4):
+        return WorkflowManagementServer(Cluster(nodes, machine=generic_multicore(cpn)))
+
+    def test_register_all(self):
+        s = self.make()
+        s.register_all()
+        assert s.num_registered == 8
+        assert s.idle_cores() == list(range(8))
+
+    def test_register_duplicate(self):
+        s = self.make()
+        s.register_client(0)
+        with pytest.raises(RegistrationError):
+            s.register_client(0)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(RegistrationError):
+            self.make().register_client(100)
+
+    def test_unregister(self):
+        s = self.make()
+        s.register_client(0)
+        s.unregister_client(0)
+        with pytest.raises(RegistrationError):
+            s.client(0)
+        with pytest.raises(RegistrationError):
+            s.unregister_client(0)
+
+    def test_allocate(self):
+        s = self.make()
+        s.register_all()
+        assert s.allocate(3) == [0, 1, 2]
+
+    def test_allocate_insufficient(self):
+        s = self.make()
+        s.register_all()
+        s.assign_task(0, 1, 0)
+        with pytest.raises(RegistrationError):
+            s.allocate(8)
+
+    def test_assign_and_release(self):
+        s = self.make()
+        s.register_all()
+        s.assign_task(2, 1, 0)
+        s.assign_task(3, 1, 1)
+        assert 2 not in s.idle_cores()
+        assert s.release_app(1) == 2
+        assert 2 in s.idle_cores()

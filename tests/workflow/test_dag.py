@@ -1,0 +1,189 @@
+"""Tests for the workflow DAG model and the description-file parser."""
+
+import pytest
+
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import DagParseError, WorkflowError
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.parser import build_workflow, parse_dag, write_dag
+
+
+def app(app_id, layout=(2, 2), size=(8, 8)):
+    return AppSpec(
+        app_id=app_id,
+        name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform(size, layout),
+    )
+
+
+class TestBundle:
+    def test_sorted_dedup(self):
+        assert Bundle((3, 1, 1)).app_ids == (1, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkflowError):
+            Bundle(())
+
+    def test_contains(self):
+        b = Bundle((1, 2))
+        assert 1 in b and 3 not in b
+        assert len(b) == 2
+
+
+class TestWorkflowDAG:
+    def test_online_processing_shape(self):
+        """The paper's first scenario: two concurrently coupled apps."""
+        dag = WorkflowDAG([app(1), app(2)], bundles=[Bundle((1, 2))])
+        assert len(dag.bundles) == 1
+        assert dag.bundle_schedule() == [0]
+        assert dag.roots() == [1, 2]
+
+    def test_climate_modeling_shape(self):
+        """The paper's second scenario: 1 -> 2, 1 -> 3, singleton bundles."""
+        dag = WorkflowDAG(
+            [app(1), app(2), app(3)],
+            edges=[(1, 2), (1, 3)],
+            bundles=[Bundle((1,)), Bundle((2,)), Bundle((3,))],
+        )
+        order = dag.bundle_schedule()
+        assert order[0] == dag.bundles.index(dag.bundle_of(1))
+        assert dag.parents(2) == [1]
+        assert dag.children(1) == [2, 3]
+        assert dag.roots() == [1]
+
+    def test_implicit_singleton_bundles(self):
+        dag = WorkflowDAG([app(1), app(2)], edges=[(1, 2)])
+        assert len(dag.bundles) == 2
+        assert dag.bundle_of(1).app_ids == (1,)
+
+    def test_duplicate_app(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG([app(1), app(1)])
+
+    def test_edge_unknown_app(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG([app(1)], edges=[(1, 9)])
+
+    def test_self_edge(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG([app(1)], edges=[(1, 1)])
+
+    def test_app_in_two_bundles(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG([app(1), app(2)], bundles=[Bundle((1, 2)), Bundle((1,))])
+
+    def test_edge_within_bundle_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG([app(1), app(2)], edges=[(1, 2)], bundles=[Bundle((1, 2))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG([app(1), app(2)], edges=[(1, 2), (2, 1)])
+
+    def test_bundle_domain_mismatch(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG(
+                [app(1, size=(8, 8)), app(2, size=(16, 16))],
+                bundles=[Bundle((1, 2))],
+            )
+
+    def test_empty_workflow(self):
+        with pytest.raises(WorkflowError):
+            WorkflowDAG([])
+
+    def test_diamond_schedule(self):
+        dag = WorkflowDAG(
+            [app(1), app(2), app(3), app(4)],
+            edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        order = dag.bundle_schedule()
+        pos = {dag.bundles[i].app_ids[0]: k for k, i in enumerate(order)}
+        assert pos[1] < pos[2] and pos[1] < pos[3]
+        assert pos[2] < pos[4] and pos[3] < pos[4]
+
+
+LISTING_1 = """
+# Climate Modeling Workflow
+# Atmosphere model has appid=1
+APP_ID 1
+APP_ID 2
+APP_ID 3
+PARENT_APPID 1 CHILD_APPID 2
+PARENT_APPID 1 CHILD_APPID 3
+BUNDLE 1
+BUNDLE 2
+BUNDLE 3
+"""
+
+
+class TestParser:
+    def test_listing1_climate(self):
+        parsed = parse_dag(LISTING_1)
+        assert parsed.app_ids == [1, 2, 3]
+        assert parsed.edges == [(1, 2), (1, 3)]
+        assert parsed.bundles == [(1,), (2,), (3,)]
+
+    def test_listing1_online(self):
+        parsed = parse_dag("APP_ID 1\nAPP_ID 2\nBUNDLE 1 2\n")
+        assert parsed.bundles == [(1, 2)]
+
+    def test_decomp_lines(self):
+        parsed = parse_dag(
+            "APP_ID 1\nDECOMP 1 size=8,8 layout=2,2 dist=blocked block=1\n"
+        )
+        assert parsed.decomps[1].ntasks == 4
+
+    def test_comments_and_blanks(self):
+        parsed = parse_dag("\n# hi\nAPP_ID 4  # trailing\n")
+        assert parsed.app_ids == [4]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "APP_ID\n",
+            "APP_ID 1\nAPP_ID 1\n",
+            "APP_ID x\n",
+            "APP_ID 1\nPARENT_APPID 1 CHILD 2\n",
+            "APP_ID 1\nBUNDLE\n",
+            "APP_ID 1\nBUNDLE 2\n",
+            "APP_ID 1\nPARENT_APPID 1 CHILD_APPID 2\n",
+            "FOO 1\n",
+            "",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(DagParseError):
+            parse_dag(text)
+
+    def test_build_workflow_from_specs(self):
+        parsed = parse_dag(LISTING_1)
+        dag = build_workflow(parsed, {i: app(i) for i in (1, 2, 3)})
+        assert sorted(dag.apps) == [1, 2, 3]
+
+    def test_build_workflow_from_decomp_lines(self):
+        text = (
+            "APP_ID 1\nAPP_ID 2\nBUNDLE 1 2\n"
+            "DECOMP 1 size=8,8 layout=2,2\n"
+            "DECOMP 2 size=8,8 layout=4,1\n"
+        )
+        dag = build_workflow(parse_dag(text))
+        assert dag.apps[2].ntasks == 4
+
+    def test_build_workflow_missing_spec(self):
+        with pytest.raises(DagParseError):
+            build_workflow(parse_dag("APP_ID 1\n"))
+
+    def test_write_roundtrip(self):
+        dag = WorkflowDAG(
+            [app(1), app(2), app(3)],
+            edges=[(1, 2), (1, 3)],
+            bundles=[Bundle((1,)), Bundle((2, 3))],
+        )
+        text = write_dag(dag)
+        rebuilt = build_workflow(parse_dag(text))
+        assert sorted(rebuilt.apps) == [1, 2, 3]
+        assert rebuilt.edges == dag.edges
+        assert [b.app_ids for b in rebuilt.bundles] == [
+            b.app_ids for b in dag.bundles
+        ]

@@ -1,0 +1,84 @@
+"""Fuzz tests: the DAG parser must never crash with anything but
+DagParseError, and valid inputs must round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DagParseError, WorkflowError
+from repro.workflow.parser import build_workflow, parse_dag, write_dag
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=200)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_dag(text)
+    except DagParseError:
+        pass  # the only acceptable failure mode
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=1, max_size=8, unique=True),
+    st.data(),
+)
+@settings(max_examples=80)
+def test_generated_valid_files_parse(app_ids, data):
+    lines = [f"APP_ID {a}" for a in app_ids]
+    # Random forward edges (acyclic by construction: low id -> high id).
+    ordered = sorted(app_ids)
+    for i, parent in enumerate(ordered):
+        for child in ordered[i + 1:]:
+            if data.draw(st.booleans()):
+                lines.append(f"PARENT_APPID {parent} CHILD_APPID {child}")
+    text = "\n".join(lines)
+    parsed = parse_dag(text)
+    assert sorted(parsed.app_ids) == ordered
+    for p, c in parsed.edges:
+        assert p < c
+
+
+@given(
+    st.lists(st.integers(1, 6), min_size=1, max_size=4, unique=True),
+)
+@settings(max_examples=40)
+def test_workflow_roundtrip_through_description(app_ids):
+    from repro.core.task import AppSpec
+    from repro.domain.descriptor import DecompositionDescriptor
+    from repro.workflow.dag import WorkflowDAG
+
+    apps = [
+        AppSpec(a, f"app{a}",
+                DecompositionDescriptor.uniform((8, 8), (2, 2)))
+        for a in app_ids
+    ]
+    ordered = sorted(app_ids)
+    edges = [(ordered[i], ordered[i + 1]) for i in range(len(ordered) - 1)]
+    dag = WorkflowDAG(apps, edges=edges)
+    rebuilt = build_workflow(parse_dag(write_dag(dag)))
+    assert sorted(rebuilt.apps) == ordered
+    assert rebuilt.edges == dag.edges
+    assert rebuilt.bundle_schedule() == dag.bundle_schedule()
+
+
+@given(st.lists(st.sampled_from([
+    "APP_ID", "BUNDLE", "PARENT_APPID", "DECOMP", "#", "",
+]), max_size=12), st.data())
+@settings(max_examples=100)
+def test_keyword_fragments_never_crash(keywords, data):
+    """Lines made of real keywords with random arguments."""
+    lines = []
+    for kw in keywords:
+        args = data.draw(st.lists(
+            st.one_of(st.integers(-5, 25).map(str), st.sampled_from(["x", "1,2"])),
+            max_size=4,
+        ))
+        lines.append(" ".join([kw, *args]))
+    try:
+        parsed = parse_dag("\n".join(lines))
+        # If it parsed, building may still legitimately fail on semantics.
+        try:
+            build_workflow(parsed)
+        except (DagParseError, WorkflowError):
+            pass
+    except DagParseError:
+        pass

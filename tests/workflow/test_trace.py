@@ -1,0 +1,76 @@
+"""Tests for the workflow engine's execution trace."""
+
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import TraceEvent, WorkflowEngine
+
+
+def app(app_id, layout=(2, 2)):
+    return AppSpec(
+        app_id=app_id, name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform((8, 8), layout),
+    )
+
+
+def run_climate():
+    dag = WorkflowDAG(
+        [app(1), app(2), app(3)], edges=[(1, 2), (1, 3)],
+        bundles=[Bundle((1,)), Bundle((2, 3))],
+    )
+    eng = WorkflowEngine(dag, Cluster(4, machine=generic_multicore(4)))
+    eng.set_routine(1, lambda ctx: 5.0)
+    eng.run()
+    return eng
+
+
+class TestTrace:
+    def test_event_sequence(self):
+        eng = run_climate()
+        kinds = [ev.event for ev in eng.trace]
+        assert kinds[0] == "bundle_launched"
+        assert kinds.count("bundle_launched") == 2
+        assert kinds.count("app_started") == 3
+        assert kinds.count("app_completed") == 3
+
+    def test_times_monotone(self):
+        eng = run_climate()
+        times = [ev.time for ev in eng.trace]
+        assert times == sorted(times)
+
+    def test_dependency_ordering(self):
+        eng = run_climate()
+        done_1 = next(
+            ev.time for ev in eng.trace
+            if ev.event == "app_completed" and ev.app_id == 1
+        )
+        start_2 = next(
+            ev.time for ev in eng.trace
+            if ev.event == "app_started" and ev.app_id == 2
+        )
+        assert start_2 >= done_1 == 5.0
+
+    def test_detail_fields(self):
+        eng = run_climate()
+        launch = eng.trace[0]
+        assert "apps=[1]" in launch.detail
+        started = next(ev for ev in eng.trace if ev.event == "app_started")
+        assert "tasks on" in started.detail
+
+    def test_format_trace(self):
+        eng = run_climate()
+        text = eng.format_trace()
+        assert "bundle_launched" in text
+        assert text.count("\n") == len(eng.trace) - 1
+
+    def test_str_event(self):
+        ev = TraceEvent(time=1.5, event="app_started", bundle=0, app_id=2,
+                        detail="x")
+        s = str(ev)
+        assert "app=2" in s and "(x)" in s and "app_started" in s
+
+    def test_event_without_app(self):
+        ev = TraceEvent(time=0.0, event="bundle_launched", bundle=1)
+        assert "app=" not in str(ev)

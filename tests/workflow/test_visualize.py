@@ -1,0 +1,46 @@
+"""Tests for the ASCII DAG renderer."""
+
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.visualize import render_dag
+
+
+def app(app_id, name=None):
+    return AppSpec(
+        app_id=app_id, name=name or f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform((8, 8), (2, 2)),
+    )
+
+
+class TestRenderDag:
+    def test_single_app(self):
+        out = render_dag(WorkflowDAG([app(1, "solo")]))
+        assert out == "wave 0:  [1:solo]"
+
+    def test_climate_shape(self):
+        dag = WorkflowDAG(
+            [app(1, "atm"), app(2, "land"), app(3, "ice")],
+            edges=[(1, 2), (1, 3)],
+            bundles=[Bundle((1,)), Bundle((2, 3))],
+        )
+        out = render_dag(dag)
+        lines = out.splitlines()
+        assert lines[0] == "wave 0:  [1:atm]"
+        assert "[2:land  3:ice]" in lines[1]
+        assert "after: 1" in lines[1]
+
+    def test_diamond_depths(self):
+        dag = WorkflowDAG(
+            [app(i) for i in range(1, 5)],
+            edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        out = render_dag(dag)
+        assert out.count("wave") == 3
+        assert "wave 2" in out
+
+    def test_parallel_roots_share_wave(self):
+        dag = WorkflowDAG([app(1), app(2)])
+        out = render_dag(dag)
+        assert out.count("wave 0") == 1
+        assert "[1:app1]" in out and "[2:app2]" in out
