@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.errors import AnalysisError
+
 __all__ = ["bar_chart", "sparkline", "grouped_bars"]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
@@ -25,11 +27,11 @@ def bar_chart(
 ) -> str:
     """Horizontal bar chart, one row per label."""
     if len(labels) != len(values):
-        raise ValueError("labels and values must have equal length")
+        raise AnalysisError("labels and values must have equal length")
     if not labels:
         return ""
     if any(v < 0 for v in values):
-        raise ValueError("bar chart values must be non-negative")
+        raise AnalysisError("bar chart values must be non-negative")
     peak = max(values) or 1.0
     label_w = max(len(l) for l in labels)
     lines = []
@@ -48,7 +50,7 @@ def grouped_bars(
     """Several series per group (e.g. RR vs DC per distribution pattern)."""
     for name, vals in series.items():
         if len(vals) != len(groups):
-            raise ValueError(f"series {name!r} length != group count")
+            raise AnalysisError(f"series {name!r} length != group count")
     peak = max((max(v) for v in series.values()), default=0) or 1.0
     label_w = max(
         [len(g) for g in groups] + [len(n) for n in series], default=1
@@ -69,7 +71,7 @@ def sparkline(values: Sequence[float]) -> str:
     if not vals:
         return ""
     if any(math.isnan(v) or math.isinf(v) for v in vals):
-        raise ValueError("sparkline values must be finite")
+        raise AnalysisError("sparkline values must be finite")
     lo, hi = min(vals), max(vals)
     if hi == lo:
         return _SPARK_LEVELS[0] * len(vals)

@@ -22,8 +22,11 @@ from repro.core.mapping.clientside import ClientSideMapper
 from repro.core.mapping.roundrobin import RoundRobinMapper
 from repro.core.mapping.serverside import ServerSideMapper
 from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.hardware.network import NetworkModel
 from repro.sim.fluid import FluidSimulation
+from repro.transport.hybriddart import HybridDART
 from repro.transport.metrics import TransferMetrics
 from repro.workflow.dag import Bundle, WorkflowDAG
 from repro.workflow.engine import WorkflowEngine
@@ -46,6 +49,8 @@ class ScenarioResult:
     schedules: dict[int, dict[int, CommSchedule]] = field(default_factory=dict)
     #: per-consumer-app coupled-data retrieval time (s); filled when timed
     retrieval_times: dict[int, float] = field(default_factory=dict)
+    #: fault injector used for the run (None for failure-free executions)
+    injector: "FaultInjector | None" = None
 
     @property
     def consumer_ids(self) -> list[int]:
@@ -81,10 +86,20 @@ def run_scenario(
     stencil_iterations: int = 0,
     time_transfers: bool = False,
     seed: int = 0,
+    fault_plan: "FaultPlan | None" = None,
 ) -> ScenarioResult:
-    """Execute one scenario under the named mapping strategy."""
+    """Execute one scenario under the named mapping strategy.
+
+    ``fault_plan`` (when non-empty) runs the scenario under deterministic
+    fault injection: transfers retry with backoff, DHT cores fail over, and
+    crashed nodes trigger bundle re-enactment. An empty or absent plan
+    leaves every code path byte-identical to the failure-free run.
+    """
     cluster = scenario.cluster
-    space = CoDS(cluster, scenario.domain)
+    injector: FaultInjector | None = None
+    if fault_plan is not None and not fault_plan.is_empty:
+        injector = FaultInjector(fault_plan)
+    space = CoDS(cluster, scenario.domain, dart=HybridDART(cluster, injector=injector))
     mode = scenario.mode
 
     producer_routine = ProducerApp(
@@ -115,7 +130,13 @@ def run_scenario(
             ],
         )
 
-    engine = WorkflowEngine(dag, cluster)
+    engine = WorkflowEngine(dag, cluster, injector=injector)
+    if injector is not None:
+        # CoDS recovers after the engine (listener order): the engine frees
+        # the crashed clients first, then the space drops lost stores and
+        # fails the node's DHT core over to its successor.
+        injector.add_node_crash_listener(lambda node: space.on_node_crash(node))
+        injector.add_dht_failure_listener(lambda core: space.fail_dht_core(core))
     engine.set_routine(scenario.producer.app_id, producer_routine)
     for routine in consumer_routines:
         engine.set_routine(routine.spec.app_id, routine)
@@ -133,6 +154,7 @@ def run_scenario(
         scenario=scenario,
         mapper_name=mapper,
         metrics=space.dart.metrics,
+        injector=injector,
     )
     for app_id, run in runs.items():
         if run.mapping is not None:
@@ -155,14 +177,27 @@ def _time_retrievals(
     CAP2 tasks pull at once.
     """
     network = NetworkModel(scenario.cluster)
+    cluster = scenario.cluster
     sim = FluidSimulation(network)
     group_of = {}
     for app_id, by_rank in result.schedules.items():
         for rank, sched in by_rank.items():
             for i, plan in enumerate(sched.plans):
                 tag = (app_id, rank, i)
+                nbytes = plan.nbytes
+                if result.injector is not None:
+                    # Degraded links retransmit (expected-attempts inflation)
+                    # and deliver a fraction of nominal bandwidth, so the
+                    # effective byte volume grows monotonically with loss.
+                    src_node = cluster.node_of_core(plan.src_core)
+                    dst_node = cluster.node_of_core(plan.dst_core)
+                    if src_node != dst_node:
+                        inflate = result.injector.expected_attempts(
+                            src_node, dst_node
+                        ) / result.injector.bandwidth_factor(src_node, dst_node)
+                        nbytes = int(round(nbytes * inflate))
                 sim.add_transfer(
-                    plan.src_core, plan.dst_core, plan.nbytes, tag=tag
+                    plan.src_core, plan.dst_core, nbytes, tag=tag
                 )
                 group_of[tag] = app_id
     if len(sim) == 0:

@@ -15,6 +15,7 @@ import sys
 
 from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
 from repro.analysis.report import format_table, mib, ms, reduction
+from repro.faults.plan import FaultPlan
 from repro.apps.scenarios import (
     paper_concurrent,
     paper_sequential,
@@ -55,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--time", action="store_true",
             help="fluid-simulate transfer times (slower)",
         )
+        p.add_argument(
+            "--fault-plan", metavar="PATH", default=None,
+            help="JSON fault plan: inject crashes/degradation deterministically",
+        )
 
     for name, help_ in (
         ("concurrent", "run the online-data-processing scenario (CAP1/CAP2)"),
@@ -92,12 +97,31 @@ def _build(scenario_name: str, scale: str, dist: str):
     return small_sequential(producer_dist=dist, consumer_dist=dist)
 
 
+def _load_fault_plan(args: argparse.Namespace) -> "FaultPlan | None":
+    path = getattr(args, "fault_plan", None)
+    return FaultPlan.load(path) if path else None
+
+
+def _print_fault_summary(result) -> None:
+    injector = result.injector
+    if injector is None:
+        return
+    print()
+    print(f"fault injection (seed={injector.plan.seed}): "
+          f"{injector.retries_issued} retries issued, "
+          f"{len(injector.crashed_nodes())} node(s) crashed")
+    trace = injector.format_trace()
+    if trace:
+        print(trace)
+
+
 def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
     scenario = _build(scenario_name, args.scale, args.dist)
     print(scenario.describe())
     result = run_scenario(
         scenario, args.mapper,
         stencil_iterations=args.stencil, time_transfers=args.time,
+        fault_plan=_load_fault_plan(args),
     )
     m = result.metrics
     rows = []
@@ -119,17 +143,21 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
             for app_id, t in sorted(result.retrieval_times.items())
         ]
         print(format_table(["consumer", "retrieval ms"], rows))
+    _print_fault_summary(result)
     return 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:
     rows = []
+    last_result = None
     for mapper in (ROUND_ROBIN, DATA_CENTRIC):
         scenario = _build(args.scenario, args.scale, args.dist)
         result = run_scenario(
             scenario, mapper,
             stencil_iterations=args.stencil, time_transfers=args.time,
+            fault_plan=_load_fault_plan(args),
         )
+        last_result = result
         m = result.metrics
         row = [
             mapper,
@@ -145,6 +173,8 @@ def _run_compare(args: argparse.Namespace) -> int:
     print(format_table(headers, rows, title=f"{args.scenario} scenario ({args.dist})"))
     red = reduction(rows[0][1], rows[1][1])
     print(f"\nnetwork coupled-data reduction: {red:.0%}")
+    if last_result is not None:
+        _print_fault_summary(last_result)
     return 0
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import bisect
 import itertools
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.cods.objects import DataObject, RegionProduct, region_from_box
 from repro.domain.box import Box
@@ -76,6 +77,7 @@ class SpatialDHT:
         # the control round-trip. Endpoint names carry a per-instance id so
         # several spaces (DHTs) can share one DART.
         self._rpc_suffix = f"#{next(_DHT_IDS)}"
+        self.failed_cores: list[int] = []
         if self.dart is not None:
             for core in dht_cores:
                 self.dart.register_handler(
@@ -196,6 +198,57 @@ class SpatialDHT:
                     out.append(loc)
         out.sort(key=lambda l: (l.version, l.owner_core))
         return out
+
+    # -- failover -----------------------------------------------------------------------
+
+    def fail_core(self, core: int) -> int:
+        """Remove a failed DHT core; its Hilbert interval moves to a successor.
+
+        The successor is the next surviving DHT core along the 1-D index
+        space (the previous one when the failed core owned the last
+        interval), so the interval partition stays contiguous. The failed
+        core's location table is *lost* — call :meth:`rebuild` with the
+        surviving objects to restore full coverage. Returns the successor's
+        global core id.
+        """
+        try:
+            i = self.dht_cores.index(core)
+        except ValueError:
+            raise SpaceError(f"core {core} is not an active DHT core") from None
+        if len(self.dht_cores) == 1:
+            raise SpaceError("cannot fail the last remaining DHT core")
+        lo, hi = self.intervals[i]
+        if i + 1 < len(self.intervals):
+            j = i + 1
+            self.intervals[j] = (lo, self.intervals[j][1])
+        else:
+            j = i - 1
+            self.intervals[j] = (self.intervals[j][0], hi)
+        successor = self.dht_cores[j]
+        del self.intervals[i]
+        del self.dht_cores[i]
+        del self._tables[i]
+        self._starts = [s for s, _ in self.intervals]
+        self.failed_cores.append(core)
+        if self.dart is not None:
+            self.dart.unregister_handler(core, "dht_register" + self._rpc_suffix)
+            self.dart.unregister_handler(core, "dht_query" + self._rpc_suffix)
+        return successor
+
+    def rebuild(self, objects: "Iterable[DataObject]") -> int:
+        """Rebuild every location table from surviving stored objects.
+
+        Clears all tables and re-registers each object (registration RPCs
+        are accounted as usual — failover recovery is real control traffic).
+        Returns the number of objects re-registered.
+        """
+        for table in self._tables:
+            table.clear()
+        count = 0
+        for obj in objects:
+            self.register(obj)
+            count += 1
+        return count
 
     # -- introspection -------------------------------------------------------------------
 

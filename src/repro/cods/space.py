@@ -139,6 +139,10 @@ class CoDS:
         ``data`` optionally attaches the actual values (an array shaped like
         the region); consumers can then :meth:`fetch_seq` assembled arrays.
         When given, its itemsize overrides ``element_size``.
+
+        Re-putting an existing ``(var, version)`` from the same core
+        replaces the stored object (latest wins) — bundle re-enactment after
+        a fault re-issues its puts idempotently.
         """
         if data is not None:
             import numpy as np
@@ -153,7 +157,11 @@ class CoDS:
             element_size=element_size,
             payload=data,
         )
-        self.store_of(core).insert(obj)
+        store = self.store_of(core)
+        if store.get(var, version) is not None:
+            store.evict(var, version)
+            self.dht.unregister(var, version, core)
+        store.insert(obj)
         self.dht.register(obj)
         return obj
 
@@ -292,6 +300,64 @@ class CoDS:
             if self.schedule_cache is not None:
                 self.schedule_cache.put(schedule)
         return schedule, self._execute(schedule, app_id)
+
+    # -- fault recovery ----------------------------------------------------------------
+
+    def fail_dht_core(self, core: int) -> int:
+        """Fail one DHT core and fail over to its successor.
+
+        The failed core's Hilbert interval is reassigned to the successor
+        DHT core and every location table is rebuilt from the surviving
+        per-core object stores, so subsequent ``get_seq`` queries keep
+        resolving (the data itself was never on the DHT core). The schedule
+        cache is cleared: cached schedules may reference pre-failover
+        routing. Returns the successor's global core id.
+        """
+        successor = self.dht.fail_core(core)
+        self.dht.rebuild(
+            obj for store in self._stores.values() for obj in store.objects()
+        )
+        if self.schedule_cache is not None:
+            self.schedule_cache.clear()
+        return successor
+
+    def on_node_crash(self, node: int) -> int:
+        """Handle a compute-node crash: its stores and DHT core are lost.
+
+        Objects stored on the node's cores disappear (in-memory storage),
+        the node's DHT core fails over to its successor, location tables are
+        rebuilt from the surviving stores, and concurrent-producer
+        declarations on the crashed cores are withdrawn. Returns the number
+        of data objects lost.
+        """
+        if not 0 <= node < self.cluster.num_nodes:
+            raise SpaceError(f"node {node} out of range")
+        crashed_cores = set(self.cluster.cores_of_node(node))
+        lost = 0
+        for core in crashed_cores:
+            store = self._stores.get(core)
+            if store is not None:
+                lost += len(store)
+                store.clear()
+        # Every node hosts one DHT core (its first core); fail it over
+        # unless it is the last one standing.
+        node_dht_cores = crashed_cores & set(self.dht.dht_cores)
+        for core in sorted(node_dht_cores):
+            if len(self.dht.dht_cores) > 1:
+                self.dht.fail_core(core)
+        self.dht.rebuild(
+            obj for store in self._stores.values() for obj in store.objects()
+        )
+        for var, sources in list(self._producers.items()):
+            kept = [(c, r) for c, r in sources if c not in crashed_cores]
+            if kept:
+                self._producers[var] = kept
+            else:
+                del self._producers[var]
+                self._producer_esize.pop(var, None)
+        if self.schedule_cache is not None:
+            self.schedule_cache.clear()
+        return lost
 
     # -- maintenance ----------------------------------------------------------------------
 

@@ -59,6 +59,13 @@ class MappingResult:
     def nodes_used(self) -> set[int]:
         return {self.cluster.node_of_core(c) for c in self.placement.values()}
 
+    def cores_used(self) -> set[int]:
+        return set(self.placement.values())
+
+    def overlaps_cores(self, cores: "set[int]") -> bool:
+        """True if any task is placed on one of ``cores`` (fault checks)."""
+        return not cores.isdisjoint(self.placement.values())
+
     def __len__(self) -> int:
         return len(self.placement)
 

@@ -15,7 +15,11 @@ __all__ = [
     "PartitionError",
     "HardwareError",
     "TransportError",
+    "TransferDroppedError",
     "SimulationError",
+    "FaultError",
+    "FaultPlanError",
+    "AnalysisError",
     "SpaceError",
     "LookupError_",
     "ScheduleError",
@@ -54,8 +58,24 @@ class TransportError(ReproError):
     """HybridDART transfer or RPC failure."""
 
 
+class TransferDroppedError(TransportError):
+    """A transfer was dropped and exhausted its retry budget."""
+
+
 class SimulationError(ReproError):
     """Discrete-event or fluid-flow simulation misuse."""
+
+
+class FaultError(ReproError):
+    """Fault-injection runtime misuse (arming, listeners, retries)."""
+
+
+class FaultPlanError(FaultError):
+    """Malformed fault plan (bad probabilities, times, or JSON)."""
+
+
+class AnalysisError(ReproError):
+    """Invalid input to reporting/visualization helpers."""
 
 
 class SpaceError(ReproError):

@@ -1,0 +1,17 @@
+"""Deterministic fault injection for the in-situ framework.
+
+See :mod:`repro.faults.plan` for the fault-schedule model and
+:mod:`repro.faults.injector` for the runtime that realizes it.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import DHTCoreFailure, FaultPlan, LinkDegradation, NodeCrash
+
+__all__ = [
+    "DHTCoreFailure",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "NodeCrash",
+]

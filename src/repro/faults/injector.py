@@ -1,0 +1,150 @@
+"""The fault injector: binds a :class:`FaultPlan` to the running stack.
+
+One injector is shared by every layer of a scenario run. The transport asks
+it whether a network attempt fails (a deterministic, seed-driven decision
+stream), the sim engine arms its timed events (node crashes, DHT-core
+failures), and interested components subscribe listeners that the injector
+fires *at simulated event time* — so recovery (client re-dispatch, DHT
+failover, store cleanup) happens in causal order on the event clock.
+
+Every injected fault and every recovery action appends a :class:`FaultEvent`
+to the injector's trace; two runs of the same seeded plan over the same
+scenario produce identical traces, which is what the replayability tests
+pin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import FaultError
+from repro.faults.plan import DHTCoreFailure, FaultPlan, NodeCrash
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the injector's fault/recovery trace."""
+
+    time: float
+    kind: str      # "node_crash" | "dht_failure" | "transfer_retry" | ...
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"[t={self.time:10.6f}] {self.kind}{extra}"
+
+
+class FaultInjector:
+    """Deterministic runtime realization of one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._events: list[FaultEvent] = []
+        self._crashed_nodes: set[int] = set()
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._armed = False
+        self._node_crash_listeners: list[Callable[[int], None]] = []
+        self._dht_failure_listeners: list[Callable[[int], None]] = []
+        #: total retries issued by the transport (diagnostics)
+        self.retries_issued = 0
+
+    # -- event trace ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def record(self, kind: str, detail: str = "") -> FaultEvent:
+        ev = FaultEvent(time=self.now, kind=kind, detail=detail)
+        self._events.append(ev)
+        return ev
+
+    def trace(self) -> tuple[FaultEvent, ...]:
+        """The full fault/recovery trace, in firing order."""
+        return tuple(self._events)
+
+    def format_trace(self) -> str:
+        return "\n".join(str(ev) for ev in self._events)
+
+    # -- subscription -----------------------------------------------------------
+
+    def add_node_crash_listener(self, fn: Callable[[int], None]) -> None:
+        """``fn(node)`` runs at each crash's simulated time, in add order."""
+        self._node_crash_listeners.append(fn)
+
+    def add_dht_failure_listener(self, fn: Callable[[int], None]) -> None:
+        """``fn(core)`` runs at each DHT failure's simulated time."""
+        self._dht_failure_listeners.append(fn)
+
+    # -- arming on the event clock ---------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def arm(self, sim) -> None:
+        """Schedule the plan's timed faults on a :class:`SimEngine`.
+
+        Safe to call once per injector; the injector's clock follows the
+        engine it was armed on.
+        """
+        if self._armed:
+            raise FaultError("injector is already armed on a sim engine")
+        self._armed = True
+        self._clock = lambda: sim.now
+        for crash in self.plan.node_crashes:
+            sim.schedule_at(crash.time, self._fire_node_crash, crash)
+        for failure in self.plan.dht_failures:
+            sim.schedule_at(failure.time, self._fire_dht_failure, failure)
+
+    def _fire_node_crash(self, crash: NodeCrash) -> None:
+        if crash.node in self._crashed_nodes:
+            return
+        self._crashed_nodes.add(crash.node)
+        self.record("node_crash", f"node={crash.node}")
+        for fn in self._node_crash_listeners:
+            fn(crash.node)
+
+    def _fire_dht_failure(self, failure: DHTCoreFailure) -> None:
+        self.record("dht_failure", f"core={failure.core}")
+        for fn in self._dht_failure_listeners:
+            fn(failure.core)
+
+    # -- queries the layers make --------------------------------------------------
+
+    def node_alive(self, node: int) -> bool:
+        return node not in self._crashed_nodes
+
+    def crashed_nodes(self) -> frozenset[int]:
+        return frozenset(self._crashed_nodes)
+
+    def attempt_fails(self, src_node: int, dst_node: int) -> bool:
+        """Decide (deterministically) whether one network attempt fails.
+
+        Consumes one value of the seeded decision stream *only* when the
+        plan gives the pair a non-zero failure probability, so clean pairs
+        do not perturb the stream of degraded ones.
+        """
+        p = self.plan.attempt_failure_probability(src_node, dst_node)
+        if p <= 0.0:
+            return False
+        return self._rng.random() < p
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Exponential-backoff wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise FaultError(f"retry attempt must be >= 1, got {attempt}")
+        return self.plan.retry_timeout * self.plan.retry_backoff ** (attempt - 1)
+
+    def bandwidth_factor(self, src_node: int, dst_node: int) -> float:
+        return self.plan.bandwidth_factor(src_node, dst_node)
+
+    def expected_attempts(self, src_node: int, dst_node: int) -> float:
+        """Expected sends per delivered transfer (geometric retransmission)."""
+        p = self.plan.attempt_failure_probability(src_node, dst_node)
+        return 1.0 / (1.0 - p)

@@ -1,0 +1,263 @@
+"""Deterministic fault schedules (the production-resilience layer).
+
+The paper's evaluation assumes a failure-free Jaguar XT5 run; a production
+deployment must keep answering ``get_seq``/``get_cont`` queries and
+re-enacting bundles when nodes, links, or DHT cores misbehave. A
+:class:`FaultPlan` describes *what goes wrong and when* as plain data:
+
+* :class:`NodeCrash` — a compute node dies at simulated time ``t``; its
+  execution clients and object stores are lost.
+* :class:`DHTCoreFailure` — the DHT service on one core fails at time ``t``
+  (the core's Hilbert interval is reassigned to its successor and the
+  location tables are rebuilt from surviving stores).
+* :class:`LinkDegradation` — a node pair's network path drops a fraction of
+  transfer attempts (``loss_factor``) and/or delivers a fraction of its
+  nominal bandwidth (``bandwidth_factor``).
+* ``drop_probability`` / ``corrupt_probability`` — global per-attempt
+  failure probabilities for network transfers (dropped and corrupted
+  attempts are both retransmitted).
+
+Everything is deterministic from ``seed``: replaying the same plan against
+the same scenario yields byte-identical metrics and identical event traces.
+Plans round-trip through JSON for the CLI's ``--fault-plan`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import FaultPlanError
+
+__all__ = ["NodeCrash", "DHTCoreFailure", "LinkDegradation", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Compute node ``node`` crashes at simulated time ``time``."""
+
+    node: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultPlanError(f"node must be non-negative, got {self.node}")
+        if self.time < 0:
+            raise FaultPlanError(f"crash time must be non-negative, got {self.time}")
+
+
+@dataclass(frozen=True)
+class DHTCoreFailure:
+    """The DHT service on ``core`` fails at simulated time ``time``."""
+
+    core: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise FaultPlanError(f"core must be non-negative, got {self.core}")
+        if self.time < 0:
+            raise FaultPlanError(f"failure time must be non-negative, got {self.time}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Degraded connectivity between two nodes (symmetric).
+
+    ``loss_factor`` is the probability one transfer attempt between the pair
+    is lost and must be retransmitted; ``bandwidth_factor`` scales the
+    effective bandwidth of the pair's path (1.0 = nominal).
+    """
+
+    src_node: int
+    dst_node: int
+    loss_factor: float = 0.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_factor < 1.0:
+            raise FaultPlanError(
+                f"loss_factor must be in [0, 1), got {self.loss_factor}"
+            )
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise FaultPlanError(
+                f"bandwidth_factor must be in (0, 1], got {self.bandwidth_factor}"
+            )
+
+    def matches(self, node_a: int, node_b: int) -> bool:
+        return {node_a, node_b} == {self.src_node, self.dst_node}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seed-deterministic failure scenario."""
+
+    seed: int = 0
+    node_crashes: tuple[NodeCrash, ...] = ()
+    dht_failures: tuple[DHTCoreFailure, ...] = ()
+    link_degradations: tuple[LinkDegradation, ...] = ()
+    #: per-attempt probability any network transfer is dropped outright
+    drop_probability: float = 0.0
+    #: per-attempt probability a delivered transfer arrives corrupted
+    corrupt_probability: float = 0.0
+    #: failed transfers are re-issued up to this many times before giving up
+    max_retries: int = 3
+    #: first retry waits this long (seconds) ...
+    retry_timeout: float = 1e-4
+    #: ... and each further retry multiplies the wait by this factor
+    retry_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "corrupt_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1), got {p}")
+        if self.max_retries < 0:
+            raise FaultPlanError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.retry_timeout < 0:
+            raise FaultPlanError(
+                f"retry_timeout must be non-negative, got {self.retry_timeout}"
+            )
+        if self.retry_backoff < 1.0:
+            raise FaultPlanError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+        # Normalize list inputs to tuples so plans stay hashable/immutable.
+        for name in ("node_crashes", "dht_failures", "link_degradations"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (framework runs untouched)."""
+        return (
+            not self.node_crashes
+            and not self.dht_failures
+            and not self.link_degradations
+            and self.drop_probability == 0.0
+            and self.corrupt_probability == 0.0
+        )
+
+    def loss_factor(self, node_a: int, node_b: int) -> float:
+        """Worst loss factor declared for a node pair (0.0 when clean)."""
+        return max(
+            (d.loss_factor for d in self.link_degradations if d.matches(node_a, node_b)),
+            default=0.0,
+        )
+
+    def bandwidth_factor(self, node_a: int, node_b: int) -> float:
+        """Worst bandwidth factor declared for a node pair (1.0 when clean)."""
+        return min(
+            (
+                d.bandwidth_factor
+                for d in self.link_degradations
+                if d.matches(node_a, node_b)
+            ),
+            default=1.0,
+        )
+
+    def attempt_failure_probability(self, node_a: int, node_b: int) -> float:
+        """Probability one network attempt between the pair must be re-sent.
+
+        Drops, corruption, and link loss are independent failure modes:
+        ``p = 1 - (1-drop)(1-corrupt)(1-loss)``.
+        """
+        return 1.0 - (
+            (1.0 - self.drop_probability)
+            * (1.0 - self.corrupt_probability)
+            * (1.0 - self.loss_factor(node_a, node_b))
+        )
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "node_crashes": [
+                {"node": c.node, "time": c.time} for c in self.node_crashes
+            ],
+            "dht_failures": [
+                {"core": f.core, "time": f.time} for f in self.dht_failures
+            ],
+            "link_degradations": [
+                {
+                    "src_node": d.src_node,
+                    "dst_node": d.dst_node,
+                    "loss_factor": d.loss_factor,
+                    "bandwidth_factor": d.bandwidth_factor,
+                }
+                for d in self.link_degradations
+            ],
+            "drop_probability": self.drop_probability,
+            "corrupt_probability": self.corrupt_probability,
+            "max_retries": self.max_retries,
+            "retry_timeout": self.retry_timeout,
+            "retry_backoff": self.retry_backoff,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(data)}")
+        known = {
+            "seed",
+            "node_crashes",
+            "dht_failures",
+            "link_degradations",
+            "drop_probability",
+            "corrupt_probability",
+            "max_retries",
+            "retry_timeout",
+            "retry_backoff",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan keys: {sorted(unknown)}")
+        try:
+            return cls(
+                seed=int(data.get("seed", 0)),
+                node_crashes=tuple(
+                    NodeCrash(node=int(c["node"]), time=float(c["time"]))
+                    for c in data.get("node_crashes", ())
+                ),
+                dht_failures=tuple(
+                    DHTCoreFailure(core=int(f["core"]), time=float(f["time"]))
+                    for f in data.get("dht_failures", ())
+                ),
+                link_degradations=tuple(
+                    LinkDegradation(
+                        src_node=int(d["src_node"]),
+                        dst_node=int(d["dst_node"]),
+                        loss_factor=float(d.get("loss_factor", 0.0)),
+                        bandwidth_factor=float(d.get("bandwidth_factor", 1.0)),
+                    )
+                    for d in data.get("link_degradations", ())
+                ),
+                drop_probability=float(data.get("drop_probability", 0.0)),
+                corrupt_probability=float(data.get("corrupt_probability", 0.0)),
+                max_retries=int(data.get("max_retries", 3)),
+                retry_timeout=float(data.get("retry_timeout", 1e-4)),
+                retry_backoff=float(data.get("retry_backoff", 2.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault plan: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls.from_json(fh.read())
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path!r}: {exc}") from exc

@@ -8,21 +8,32 @@ FIFO tie-breaking.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.events import EventQueue
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["SimEngine"]
 
 
 class SimEngine:
-    """Clock + event queue. Time is in seconds (floats)."""
+    """Clock + event queue. Time is in seconds (floats).
 
-    def __init__(self) -> None:
+    Passing a :class:`~repro.faults.injector.FaultInjector` arms its fault
+    plan on this clock: node crashes and DHT-core failures become ordinary
+    timed events, interleaved deterministically with workflow events.
+    """
+
+    def __init__(self, fault_injector: "FaultInjector | None" = None) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.arm(self)
 
     @property
     def now(self) -> float:

@@ -16,12 +16,15 @@ behaviours for the simulated platform:
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import TransportError
+from repro.errors import TransferDroppedError, TransportError
 from repro.hardware.cluster import Cluster
 from repro.transport.message import TransferKind, TransferRecord, Transport
 from repro.transport.metrics import TransferMetrics
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["HybridDART", "CONTROL_MSG_BYTES"]
 
@@ -30,11 +33,27 @@ CONTROL_MSG_BYTES = 256
 
 
 class HybridDART:
-    """Transport layer bound to a cluster and a metrics accumulator."""
+    """Transport layer bound to a cluster and a metrics accumulator.
 
-    def __init__(self, cluster: Cluster, metrics: TransferMetrics | None = None) -> None:
+    With a :class:`~repro.faults.injector.FaultInjector` attached, network
+    transfers become unreliable: each attempt may be dropped or corrupted
+    per the fault plan, failed attempts are re-issued after an exponential
+    backoff, and the successful record carries the retry count (failed
+    attempts also show up in the metrics as retransmitted bytes). A transfer
+    that exhausts its retry budget raises :class:`TransferDroppedError`.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        metrics: TransferMetrics | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
         self.cluster = cluster
         self.metrics = metrics if metrics is not None else TransferMetrics()
+        self.injector = injector
+        #: cumulative simulated seconds spent in retry backoff waits
+        self.backoff_seconds = 0.0
         self._handlers: dict[tuple[int, str], Callable[..., Any]] = {}
 
     # -- transport selection ------------------------------------------------------
@@ -56,20 +75,60 @@ class HybridDART:
         app_id: int = -1,
         var: str = "",
     ) -> TransferRecord:
-        """Perform (record) one data transfer and return its record."""
+        """Perform (record) one data transfer and return its record.
+
+        Under fault injection, network attempts that fail are re-issued with
+        exponential backoff up to the plan's retry budget.
+        """
         if nbytes < 0:
             raise TransportError(f"negative transfer size {nbytes}")
+        transport = self.classify(src_core, dst_core)
+        retries = 0
+        if self.injector is not None and transport is Transport.NETWORK:
+            retries = self._deliver_with_retries(src_core, dst_core, nbytes)
         rec = TransferRecord(
             src_core=src_core,
             dst_core=dst_core,
             nbytes=nbytes,
             kind=kind,
-            transport=self.classify(src_core, dst_core),
+            transport=transport,
             app_id=app_id,
             var=var,
+            retries=retries,
         )
         self.metrics.record(rec)
         return rec
+
+    def _deliver_with_retries(
+        self, src_core: int, dst_core: int, nbytes: int
+    ) -> int:
+        """Attempt an unreliable network delivery; returns the retry count."""
+        injector = self.injector
+        assert injector is not None
+        src_node = self.cluster.node_of_core(src_core)
+        dst_node = self.cluster.node_of_core(dst_core)
+        max_retries = injector.plan.max_retries
+        attempt = 0
+        while injector.attempt_fails(src_node, dst_node):
+            attempt += 1
+            if attempt > max_retries:
+                injector.record(
+                    "transfer_dropped",
+                    f"{src_core}->{dst_core} {nbytes}B after {max_retries} retries",
+                )
+                raise TransferDroppedError(
+                    f"transfer {src_core}->{dst_core} ({nbytes} bytes) dropped "
+                    f"after {max_retries} retries"
+                )
+            delay = injector.backoff_delay(attempt)
+            self.backoff_seconds += delay
+            injector.retries_issued += 1
+            injector.record(
+                "transfer_retry",
+                f"{src_core}->{dst_core} {nbytes}B attempt={attempt} "
+                f"backoff={delay:.6g}s",
+            )
+        return attempt
 
     # -- RPC ------------------------------------------------------------------------
 

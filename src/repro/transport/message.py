@@ -10,6 +10,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.errors import TransportError
+
 __all__ = ["Transport", "TransferKind", "TransferRecord"]
 
 
@@ -41,7 +43,15 @@ class TransferRecord:
     app_id: int = -1
     #: variable name for coupling traffic, "" otherwise
     var: str = ""
+    #: failed attempts re-issued before this transfer succeeded
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:
-            raise ValueError(f"transfer size must be non-negative, got {self.nbytes}")
+            raise TransportError(
+                f"transfer size must be non-negative, got {self.nbytes}"
+            )
+        if self.retries < 0:
+            raise TransportError(
+                f"retry count must be non-negative, got {self.retries}"
+            )

@@ -20,9 +20,9 @@ class TransferMetrics:
     """Byte/count accumulator over transfer records."""
 
     def __init__(self) -> None:
-        # (app_id, kind, transport) -> [bytes, count]
+        # (app_id, kind, transport) -> [bytes, count, retries, retransmitted bytes]
         self._agg: dict[tuple[int, TransferKind, Transport], list[int]] = defaultdict(
-            lambda: [0, 0]
+            lambda: [0, 0, 0, 0]
         )
 
     # -- recording ---------------------------------------------------------------
@@ -31,6 +31,8 @@ class TransferMetrics:
         cell = self._agg[(rec.app_id, rec.kind, rec.transport)]
         cell[0] += rec.nbytes
         cell[1] += 1
+        cell[2] += rec.retries
+        cell[3] += rec.retries * rec.nbytes
 
     def record_all(self, recs: Iterable[TransferRecord]) -> None:
         for rec in recs:
@@ -49,7 +51,7 @@ class TransferMetrics:
     ) -> int:
         """Total bytes matching the given filters (None = any)."""
         total = 0
-        for (a, k, t), (b, _) in self._agg.items():
+        for (a, k, t), (b, *_) in self._agg.items():
             if kind is not None and k is not kind:
                 continue
             if transport is not None and t is not transport:
@@ -67,7 +69,7 @@ class TransferMetrics:
     ) -> int:
         """Number of transfers matching the given filters."""
         total = 0
-        for (a, k, t), (_, c) in self._agg.items():
+        for (a, k, t), (_, c, *_) in self._agg.items():
             if kind is not None and k is not kind:
                 continue
             if transport is not None and t is not transport:
@@ -75,6 +77,42 @@ class TransferMetrics:
             if app_id is not None and a != app_id:
                 continue
             total += c
+        return total
+
+    def retries(
+        self,
+        kind: TransferKind | None = None,
+        transport: Transport | None = None,
+        app_id: int | None = None,
+    ) -> int:
+        """Failed attempts re-issued for the matching transfers."""
+        total = 0
+        for (a, k, t), (_, _, r, _) in self._agg.items():
+            if kind is not None and k is not kind:
+                continue
+            if transport is not None and t is not transport:
+                continue
+            if app_id is not None and a != app_id:
+                continue
+            total += r
+        return total
+
+    def retransmitted_bytes(
+        self,
+        kind: TransferKind | None = None,
+        transport: Transport | None = None,
+        app_id: int | None = None,
+    ) -> int:
+        """Bytes that crossed the wire again because an attempt failed."""
+        total = 0
+        for (a, k, t), (_, _, _, rb) in self._agg.items():
+            if kind is not None and k is not kind:
+                continue
+            if transport is not None and t is not transport:
+                continue
+            if app_id is not None and a != app_id:
+                continue
+            total += rb
         return total
 
     # -- convenience shorthands used by the benches ---------------------------------
@@ -98,6 +136,21 @@ class TransferMetrics:
     def app_ids(self) -> list[int]:
         return sorted({a for (a, _, _) in self._agg})
 
+    # -- comparison / snapshots ------------------------------------------------------
+
+    def as_dict(self) -> dict[tuple[int, str, str], tuple[int, int, int, int]]:
+        """Plain snapshot ``(app, kind, transport) -> (bytes, count, retries,
+        retransmitted bytes)`` — the replayability tests compare these."""
+        return {
+            (a, k.value, t.value): tuple(cell)
+            for (a, k, t), cell in self._agg.items()
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransferMetrics):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
     # -- reporting ------------------------------------------------------------------
 
     def summary(self) -> str:
@@ -108,7 +161,7 @@ class TransferMetrics:
         for (a, k, t) in sorted(
             self._agg, key=lambda key: (key[0], key[1].value, key[2].value)
         ):
-            b, c = self._agg[(a, k, t)]
+            b, c, *_ = self._agg[(a, k, t)]
             lines.append(
                 f"{a:>5} {k.value:>10} {t.value:>9} {b / 2**20:>12.2f} {c:>8}"
             )

@@ -22,7 +22,7 @@ Lookup service that only has content once the producer has run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.mapping.base import MappingResult, TaskMapper
 from repro.core.mapping.roundrobin import RoundRobinMapper
@@ -33,6 +33,9 @@ from repro.sim.engine import SimEngine
 from repro.workflow.clients import CommGroup, form_groups
 from repro.workflow.dag import WorkflowDAG
 from repro.workflow.server import WorkflowManagementServer
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["AppContext", "AppRun", "TraceEvent", "WorkflowEngine"]
 
@@ -90,17 +93,29 @@ class WorkflowEngine:
         cluster: Cluster,
         server: WorkflowManagementServer | None = None,
         sim: SimEngine | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.dag = dag
         self.cluster = cluster
         self.server = server if server is not None else WorkflowManagementServer(cluster)
         self.server.register_all()
-        self.sim = sim if sim is not None else SimEngine()
+        if sim is not None:
+            self.sim = sim
+            if injector is not None and not injector.armed:
+                injector.arm(sim)
+        else:
+            self.sim = SimEngine(fault_injector=injector)
+        self.injector = injector
+        if injector is not None:
+            injector.add_node_crash_listener(self._on_node_crash)
         self._routines: dict[int, AppRoutine] = {}
         self._mappers: dict[int, tuple[TaskMapper, dict[str, Any]]] = {}
         self.default_mapper: TaskMapper = RoundRobinMapper()
         self.runs: dict[int, AppRun] = {}
         self.trace: list[TraceEvent] = []
+        #: bundle index -> number of post-fault re-enactments (degraded mode)
+        self.reenactments: dict[int, int] = {}
+        self._gen: dict[int, int] = {}
         self._executed = False
 
     # -- configuration ----------------------------------------------------------------
@@ -166,6 +181,7 @@ class WorkflowEngine:
     def _launch_bundle(self, index: int) -> None:
         bundle = self.dag.bundles[index]
         apps = [self.dag.apps[a] for a in bundle.app_ids]
+        gen = self._gen.setdefault(index, 0)
         self.trace.append(TraceEvent(
             time=self.sim.now, event="bundle_launched", bundle=index,
             detail=f"apps={list(bundle.app_ids)}",
@@ -205,9 +221,12 @@ class WorkflowEngine:
                 detail=f"{app.ntasks} tasks on "
                        f"{len(mapping.nodes_used())} nodes",
             ))
-            self.sim.schedule(duration, self._complete_app, index, app.app_id)
+            self.sim.schedule(duration, self._complete_app, index, app.app_id, gen)
 
-    def _complete_app(self, bundle_index: int, app_id: int) -> None:
+    def _complete_app(self, bundle_index: int, app_id: int, gen: int = 0) -> None:
+        if gen != self._gen.get(bundle_index, 0):
+            # Completion of an enactment superseded by a fault re-dispatch.
+            return
         self.trace.append(TraceEvent(
             time=self.sim.now, event="app_completed", bundle=bundle_index,
             app_id=app_id,
@@ -219,3 +238,49 @@ class WorkflowEngine:
                 self._indeg[child] -= 1
                 if self._indeg[child] == 0:
                     self.sim.schedule(0.0, self._launch_bundle, child)
+
+    # -- fault handling -----------------------------------------------------------------
+
+    def _on_node_crash(self, node: int) -> None:
+        """React to a node crash fired by the fault injector.
+
+        The crashed node's execution clients leave the pool, and every
+        bundle with an in-flight application that had tasks on the node is
+        re-enacted: its mapper re-runs over the surviving idle cores (the
+        paper's mapping machinery doubles as the re-dispatch policy) and all
+        of its applications re-execute. Completions of the superseded
+        enactment are ignored via a per-bundle generation counter.
+        """
+        now = self.sim.now
+        crashed = set(self.cluster.cores_of_node(node))
+        self.trace.append(TraceEvent(
+            time=now, event="node_crashed", bundle=-1, detail=f"node={node}",
+        ))
+        for core in sorted(crashed):
+            if self.server.is_registered(core):
+                self.server.unregister_client(core)
+        if not hasattr(self, "_apps_pending"):
+            return  # crash before enactment started: clients are gone, no re-dispatch
+        for index, pending in list(self._apps_pending.items()):
+            if pending <= 0:
+                continue
+            bundle = self.dag.bundles[index]
+            hit = False
+            for app_id in bundle.app_ids:
+                run = self.runs.get(app_id)
+                if run is None or run.finish <= now or run.mapping is None:
+                    continue
+                if not crashed.isdisjoint(run.mapping.cores_of_app(app_id).values()):
+                    hit = True
+                    break
+            if not hit:
+                continue
+            self._gen[index] = self._gen.get(index, 0) + 1
+            self.reenactments[index] = self.reenactments.get(index, 0) + 1
+            for app_id in bundle.app_ids:
+                self.server.release_app(app_id)
+            self.trace.append(TraceEvent(
+                time=now, event="bundle_reenacted", bundle=index,
+                detail=f"after crash of node {node}",
+            ))
+            self.sim.schedule(0.0, self._launch_bundle, index)

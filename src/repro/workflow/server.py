@@ -44,6 +44,9 @@ class WorkflowManagementServer:
         if client is None:
             raise RegistrationError(f"core {core} is not registered")
 
+    def is_registered(self, core: int) -> bool:
+        return core in self._clients
+
     def client(self, core: int) -> ExecutionClient:
         try:
             return self._clients[core]

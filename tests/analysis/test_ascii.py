@@ -5,6 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.ascii import bar_chart, grouped_bars, sparkline
+from repro.errors import AnalysisError, ReproError
 
 
 class TestBarChart:
@@ -25,12 +26,16 @@ class TestBarChart:
         assert out.splitlines()[0].count("█") == 1
 
     def test_length_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             bar_chart(["a"], [1.0, 2.0])
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             bar_chart(["a"], [-1.0])
+
+    def test_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
 
     def test_empty(self):
         assert bar_chart([], []) == ""
@@ -49,7 +54,7 @@ class TestGroupedBars:
         assert len(lines) == 6
 
     def test_length_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             grouped_bars(["a"], {"s": [1.0, 2.0]})
 
 
@@ -66,7 +71,7 @@ class TestSparkline:
         assert sparkline([]) == ""
 
     def test_nan_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             sparkline([1.0, float("nan")])
 
     @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))

@@ -1,0 +1,90 @@
+"""Golden regression tests for the paper's headline result (Figs 8-9).
+
+These pin the exact coupled-data byte counts of the data-centric vs
+round-robin comparison at laptop scale, so that mapping or transport
+refactors cannot silently erode the reduction regimes the paper reports
+(~80% for the concurrent scenario, ~90% for the sequential one at full
+scale; the shape-faithful bench scale reproduces the same regime).
+
+The numbers are deterministic: the stack has no timing dependence and every
+mapper seed is fixed, so any change here is a real behavioural change.
+"""
+
+from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
+from repro.apps.scenarios import concurrent_scenario, sequential_scenario
+from repro.transport.message import TransferKind
+
+
+def _net_coupling(scenario, mapper):
+    result = run_scenario(scenario, mapper)
+    return result.metrics.network_bytes(TransferKind.COUPLING)
+
+
+def _concurrent():
+    return concurrent_scenario(
+        producer_tasks=64, consumer_tasks=8, task_side=32
+    )
+
+
+def _sequential():
+    return sequential_scenario(
+        producer_tasks=64, consumer_tasks=(16, 48), task_side=32
+    )
+
+
+class TestFig08ConcurrentGolden:
+    """Concurrent (CAP1/CAP2) coupled bytes over the network, blocked/blocked."""
+
+    RR_BYTES = 15_728_640
+    DC_BYTES = 3_145_728
+
+    def test_round_robin_bytes_pinned(self):
+        assert _net_coupling(_concurrent(), ROUND_ROBIN) == self.RR_BYTES
+
+    def test_data_centric_bytes_pinned(self):
+        assert _net_coupling(_concurrent(), DATA_CENTRIC) == self.DC_BYTES
+
+    def test_reduction_regime(self):
+        red = 1 - self.DC_BYTES / self.RR_BYTES
+        assert 0.75 <= red <= 0.9  # the paper's ~80% regime
+
+
+class TestFig09SequentialGolden:
+    """Sequential (SAP1-3) coupled bytes over the network, blocked/blocked."""
+
+    RR_BYTES = 24_100_864
+    DC_BYTES = 4_177_920
+
+    def test_round_robin_bytes_pinned(self):
+        assert _net_coupling(_sequential(), ROUND_ROBIN) == self.RR_BYTES
+
+    def test_data_centric_bytes_pinned(self):
+        assert _net_coupling(_sequential(), DATA_CENTRIC) == self.DC_BYTES
+
+    def test_reduction_regime(self):
+        red = 1 - self.DC_BYTES / self.RR_BYTES
+        assert red >= 0.75  # ~90% at full scale; bench scale stays >= 75%
+
+
+class TestEmptyFaultPlanInvariance:
+    """An empty/absent fault plan leaves the golden numbers untouched."""
+
+    def test_concurrent_unchanged_under_empty_plan(self):
+        from repro.faults.plan import FaultPlan
+
+        base = _net_coupling(_concurrent(), DATA_CENTRIC)
+        result = run_scenario(
+            _concurrent(), DATA_CENTRIC, fault_plan=FaultPlan()
+        )
+        assert result.injector is None
+        assert result.metrics.network_bytes(TransferKind.COUPLING) == base
+
+    def test_sequential_unchanged_under_empty_plan(self):
+        from repro.faults.plan import FaultPlan
+
+        base = _net_coupling(_sequential(), DATA_CENTRIC)
+        result = run_scenario(
+            _sequential(), DATA_CENTRIC, fault_plan=FaultPlan()
+        )
+        assert result.injector is None
+        assert result.metrics.network_bytes(TransferKind.COUPLING) == base

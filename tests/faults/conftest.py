@@ -1,0 +1,71 @@
+"""Shared scaffolding for the fault-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.scenarios import layout_for
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+
+DOMAIN = (8, 8, 8)
+VAR = "u"
+
+
+def make_app(app_id: int, name: str, ntasks: int) -> AppSpec:
+    return AppSpec(
+        app_id=app_id,
+        name=name,
+        descriptor=DecompositionDescriptor.uniform(
+            DOMAIN, layout_for(ntasks), "blocked", 4
+        ),
+        element_size=8,
+        var=VAR,
+    )
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=4, machine=generic_multicore(4))
+
+
+def expected_array(spec: AppSpec) -> np.ndarray:
+    """Domain array where each cell holds its producing task's rank."""
+    out = np.zeros(DOMAIN, dtype=np.float64)
+    for rank in range(spec.ntasks):
+        region = spec.decomposition.task_intervals(rank)
+        idx = [s.to_array() for s in region]
+        out[np.ix_(*idx)] = float(rank)
+    return out
+
+
+def producer_routine(space, spec: AppSpec, duration: float = 1.0):
+    """A put_seq producer that stores real payloads (rank-valued blocks)."""
+
+    def produce(ctx):
+        for rank in range(spec.ntasks):
+            region = spec.decomposition.task_intervals(rank)
+            shape = tuple(s.measure for s in region)
+            space.put_seq(
+                ctx.group.core(rank), VAR, region, version=0,
+                data=np.full(shape, float(rank)),
+            )
+        return duration
+
+    return produce
+
+
+def consumer_routine(space, results: list, duration: float = 0.0):
+    """A fetch_seq consumer that assembles the whole domain."""
+    from repro.domain.box import Box
+
+    def consume(ctx):
+        arr, schedule, records = space.fetch_seq(
+            ctx.group.core(0), VAR, Box.from_extents(DOMAIN), version=0,
+            app_id=ctx.app.app_id,
+        )
+        results.append((arr, schedule, records))
+        return duration
+
+    return consume

@@ -1,0 +1,113 @@
+"""DHT-core failover: interval reassignment, table rebuild, live queries.
+
+Covers the acceptance scenario: after a DHT core crashes, a subsequent
+``get_seq`` still succeeds and assembles the exact payload bytes through the
+successor DHT core.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cods.space import CoDS
+from repro.errors import SpaceError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import DHTCoreFailure, FaultPlan
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+from .conftest import (
+    DOMAIN,
+    VAR,
+    consumer_routine,
+    expected_array,
+    make_app,
+    producer_routine,
+)
+
+
+class TestCoDSFailover:
+    def put_halves(self, space):
+        """Store the domain as two rank-valued halves with payloads."""
+        from repro.domain.box import Box
+
+        half = DOMAIN[0] // 2
+        left = Box(lo=(0, 0, 0), hi=(half,) + DOMAIN[1:])
+        right = Box(lo=(half, 0, 0), hi=DOMAIN)
+        space.put_seq(1, VAR, left, version=0,
+                      data=np.full(left.shape, 1.0))
+        space.put_seq(5, VAR, right, version=0,
+                      data=np.full(right.shape, 2.0))
+        expected = np.empty(DOMAIN)
+        expected[:half] = 1.0
+        expected[half:] = 2.0
+        return expected
+
+    def test_get_seq_after_failover_assembles_full_payload(self, cluster):
+        from repro.domain.box import Box
+
+        space = CoDS(cluster, DOMAIN)
+        expected = self.put_halves(space)
+        first_dht_core = space.dht.dht_cores[0]
+
+        successor = space.fail_dht_core(first_dht_core)
+        assert successor == space.dht.dht_cores[0]
+        assert first_dht_core not in space.dht.dht_cores
+        assert space.dht.failed_cores == [first_dht_core]
+
+        arr, schedule, records = space.fetch_seq(
+            2, VAR, Box.from_extents(DOMAIN), version=0
+        )
+        assert np.array_equal(arr, expected)
+        # The pulls cover exactly the requested bytes.
+        total = sum(p.nbytes for p in schedule.plans)
+        assert total == int(np.prod(DOMAIN)) * 8
+
+    def test_failover_before_put_routes_registrations_to_successor(self, cluster):
+        from repro.domain.box import Box
+
+        space = CoDS(cluster, DOMAIN)
+        space.fail_dht_core(space.dht.dht_cores[0])
+        expected = self.put_halves(space)
+        arr, _, _ = space.fetch_seq(2, VAR, Box.from_extents(DOMAIN), version=0)
+        assert np.array_equal(arr, expected)
+
+    def test_last_dht_core_cannot_fail(self, cluster):
+        space = CoDS(cluster, DOMAIN)
+        cores = list(space.dht.dht_cores)
+        for core in cores[:-1]:
+            space.fail_dht_core(core)
+        with pytest.raises(SpaceError):
+            space.fail_dht_core(cores[-1])
+
+    def test_unknown_core_rejected(self, cluster):
+        space = CoDS(cluster, DOMAIN)
+        with pytest.raises(SpaceError):
+            space.fail_dht_core(3)  # not a DHT core
+
+
+class TestTimedFailoverIntegration:
+    def test_consumer_gets_full_payload_via_successor(self, cluster):
+        """DHT core fails mid-workflow, between the puts and the gets."""
+        producer = make_app(1, "P", 8)
+        consumer = make_app(2, "C", 1)
+        dag = WorkflowDAG(
+            [producer, consumer],
+            edges=[(1, 2)],
+            bundles=[Bundle((1,)), Bundle((2,))],
+        )
+        plan = FaultPlan(dht_failures=(DHTCoreFailure(0, 0.5),))
+        injector = FaultInjector(plan)
+        space = CoDS(cluster, DOMAIN)
+        engine = WorkflowEngine(dag, cluster, injector=injector)
+        injector.add_dht_failure_listener(space.fail_dht_core)
+
+        results = []
+        engine.set_routine(1, producer_routine(space, producer, duration=1.0))
+        engine.set_routine(2, consumer_routine(space, results))
+        engine.run()
+
+        assert space.dht.failed_cores == [0]
+        assert [ev.kind for ev in injector.trace()] == ["dht_failure"]
+        (arr, schedule, _), = results
+        assert np.array_equal(arr, expected_array(producer))
+        assert sum(p.nbytes for p in schedule.plans) == int(np.prod(DOMAIN)) * 8

@@ -1,0 +1,115 @@
+"""FaultInjector unit tests: determinism, backoff, arming, listeners."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DHTCoreFailure,
+    FaultPlan,
+    LinkDegradation,
+    NodeCrash,
+)
+from repro.sim.engine import SimEngine
+
+
+class TestDecisionStream:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(seed=3, drop_probability=0.5)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        seq_a = [a.attempt_fails(0, 1) for _ in range(50)]
+        seq_b = [b.attempt_fails(0, 1) for _ in range(50)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_clean_pairs_do_not_consume_the_stream(self):
+        plan = FaultPlan(
+            seed=3,
+            link_degradations=(LinkDegradation(0, 1, loss_factor=0.5),),
+        )
+        plain = FaultInjector(plan)
+        interleaved = FaultInjector(plan)
+        seq_plain = [plain.attempt_fails(0, 1) for _ in range(30)]
+        seq_inter = []
+        for _ in range(30):
+            # Clean-pair queries in between must not perturb the stream.
+            assert interleaved.attempt_fails(0, 2) is False
+            assert interleaved.attempt_fails(1, 2) is False
+            seq_inter.append(interleaved.attempt_fails(0, 1))
+        assert seq_plain == seq_inter
+
+    def test_expected_attempts(self):
+        plan = FaultPlan(drop_probability=0.5)
+        inj = FaultInjector(plan)
+        assert inj.expected_attempts(0, 1) == pytest.approx(2.0)
+        assert FaultInjector(FaultPlan()).expected_attempts(0, 1) == 1.0
+
+
+class TestBackoff:
+    def test_exponential_schedule(self):
+        plan = FaultPlan(
+            drop_probability=0.1, retry_timeout=1e-3, retry_backoff=2.0
+        )
+        inj = FaultInjector(plan)
+        assert inj.backoff_delay(1) == pytest.approx(1e-3)
+        assert inj.backoff_delay(2) == pytest.approx(2e-3)
+        assert inj.backoff_delay(3) == pytest.approx(4e-3)
+
+    def test_attempt_must_be_positive(self):
+        inj = FaultInjector(FaultPlan())
+        with pytest.raises(FaultError):
+            inj.backoff_delay(0)
+
+
+class TestArming:
+    def test_arm_schedules_timed_faults(self):
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(2, 1.5),),
+            dht_failures=(DHTCoreFailure(8, 0.5),),
+        )
+        inj = FaultInjector(plan)
+        crashes, failures = [], []
+        inj.add_node_crash_listener(
+            lambda node: crashes.append((inj.now, node))
+        )
+        inj.add_dht_failure_listener(
+            lambda core: failures.append((inj.now, core))
+        )
+        sim = SimEngine(fault_injector=inj)
+        assert inj.armed
+        assert inj.node_alive(2)
+        sim.run()
+        assert failures == [(0.5, 8)]
+        assert crashes == [(1.5, 2)]
+        assert not inj.node_alive(2)
+        assert inj.crashed_nodes() == frozenset({2})
+        kinds = [ev.kind for ev in inj.trace()]
+        assert kinds == ["dht_failure", "node_crash"]
+
+    def test_arm_twice_rejected(self):
+        inj = FaultInjector(FaultPlan(node_crashes=(NodeCrash(0, 1.0),)))
+        SimEngine(fault_injector=inj)
+        with pytest.raises(FaultError):
+            inj.arm(SimEngine())
+
+    def test_duplicate_crash_fires_once(self):
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(1, 0.5), NodeCrash(1, 0.7)),
+        )
+        inj = FaultInjector(plan)
+        fired = []
+        inj.add_node_crash_listener(fired.append)
+        sim = SimEngine(fault_injector=inj)
+        sim.run()
+        assert fired == [1]
+
+
+class TestTrace:
+    def test_record_and_format(self):
+        inj = FaultInjector(FaultPlan())
+        inj.record("transfer_retry", "0->4 64B attempt=1")
+        inj.record("transfer_dropped")
+        assert len(inj.trace()) == 2
+        text = inj.format_trace()
+        assert "transfer_retry" in text and "transfer_dropped" in text

@@ -1,0 +1,62 @@
+"""Link degradation: retrieval time grows monotonically with the damage."""
+
+from repro.analysis.experiments import ROUND_ROBIN, run_scenario
+from repro.apps.scenarios import sequential_scenario
+from repro.faults.plan import FaultPlan, LinkDegradation
+
+
+def small_scenario():
+    return sequential_scenario(
+        producer_tasks=16, consumer_tasks=(4, 8), task_side=8
+    )
+
+
+def timed_retrieval(fault_plan):
+    result = run_scenario(
+        small_scenario(), ROUND_ROBIN, time_transfers=True,
+        fault_plan=fault_plan,
+    )
+    return max(result.retrieval_times.values())
+
+
+class TestLossMonotonicity:
+    def test_retrieval_time_increases_with_loss_factor(self):
+        times = []
+        for loss in (None, 0.2, 0.4, 0.6):
+            plan = None
+            if loss is not None:
+                plan = FaultPlan(
+                    link_degradations=(
+                        LinkDegradation(0, 1, loss_factor=loss),
+                    ),
+                    max_retries=64,
+                )
+            times.append(timed_retrieval(plan))
+        assert times[0] > 0.0
+        for slower, faster in zip(times[1:], times[:-1]):
+            assert slower > faster
+
+    def test_retrieval_time_increases_as_bandwidth_degrades(self):
+        times = []
+        for bw in (1.0, 0.5, 0.25):
+            plan = FaultPlan(
+                link_degradations=(
+                    LinkDegradation(0, 1, bandwidth_factor=bw),
+                ),
+            )
+            times.append(timed_retrieval(plan))
+        assert times[1] > times[0]
+        assert times[2] > times[1]
+
+    def test_nominal_link_plan_leaves_timing_unchanged(self):
+        # bandwidth_factor=1.0 and loss 0 on an irrelevant pair: the plan is
+        # non-empty (an injector exists) but changes nothing.
+        base = timed_retrieval(None)
+        plan = FaultPlan(
+            link_degradations=(LinkDegradation(0, 1, bandwidth_factor=1.0),),
+            drop_probability=0.0,
+        )
+        # A pure-nominal degradation makes the plan non-empty only through
+        # the entry itself; every factor it reports is the identity.
+        assert not plan.is_empty
+        assert timed_retrieval(plan) == base

@@ -1,0 +1,121 @@
+"""Node-crash handling: client removal, bundle re-enactment, data recovery."""
+
+import numpy as np
+
+from repro.cods.space import CoDS
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NodeCrash
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+from .conftest import (
+    DOMAIN,
+    consumer_routine,
+    expected_array,
+    make_app,
+    producer_routine,
+)
+
+
+class TestEngineReDispatch:
+    def run_engine(self, cluster, crash_time, duration=2.0, ntasks=8):
+        app = make_app(1, "A", ntasks)
+        dag = WorkflowDAG([app], bundles=[Bundle((1,))])
+        plan = FaultPlan(node_crashes=(NodeCrash(0, crash_time),))
+        injector = FaultInjector(plan)
+        engine = WorkflowEngine(dag, cluster, injector=injector)
+        engine.set_routine(1, lambda ctx: duration)
+        runs = engine.run()
+        return engine, runs
+
+    def test_in_flight_bundle_is_reenacted_off_the_crashed_node(self, cluster):
+        # RoundRobin 'block' puts 8 tasks on cores 0-7 = nodes 0-1; node 0
+        # crashes at t=1.0 while the app runs until t=2.0.
+        engine, runs = self.run_engine(cluster, crash_time=1.0)
+        assert engine.reenactments == {0: 1}
+        # The re-enacted run starts at the crash time and completes.
+        assert runs[1].start == 1.0
+        assert runs[1].finish == 3.0
+        # The surviving mapping avoids every core of the crashed node.
+        crashed = set(cluster.cores_of_node(0))
+        assert not runs[1].mapping.overlaps_cores(crashed)
+        events = [ev.event for ev in engine.trace]
+        assert "node_crashed" in events
+        assert "bundle_reenacted" in events
+        # Crashed clients left the registry.
+        for core in crashed:
+            assert not engine.server.is_registered(core)
+
+    def test_crash_after_completion_is_a_no_op(self, cluster):
+        engine, runs = self.run_engine(cluster, crash_time=5.0)
+        assert engine.reenactments == {}
+        assert runs[1].finish == 2.0
+        events = [ev.event for ev in engine.trace]
+        assert "node_crashed" in events
+        assert "bundle_reenacted" not in events
+
+    def test_crash_of_uninvolved_node_is_a_no_op(self, cluster):
+        # Only 4 tasks -> cores 0-3 (node 0); crash node 3 instead.
+        app = make_app(1, "A", 4)
+        dag = WorkflowDAG([app], bundles=[Bundle((1,))])
+        plan = FaultPlan(node_crashes=(NodeCrash(3, 1.0),))
+        engine = WorkflowEngine(dag, cluster, injector=FaultInjector(plan))
+        engine.set_routine(1, lambda ctx: 2.0)
+        runs = engine.run()
+        assert engine.reenactments == {}
+        assert runs[1].finish == 2.0
+
+
+class TestCrashedProducerRecovery:
+    def test_consumer_assembles_full_payload_after_producer_crash(self, cluster):
+        """The acceptance path: the producer's node dies mid-run; the bundle
+        re-enacts on surviving cores, re-puts its data (latest wins), the
+        space fails the node's DHT core over, and the consumer's get_seq
+        still assembles the complete, correct payload."""
+        producer = make_app(1, "P", 8)
+        consumer = make_app(2, "C", 1)
+        dag = WorkflowDAG(
+            [producer, consumer],
+            edges=[(1, 2)],
+            bundles=[Bundle((1,)), Bundle((2,))],
+        )
+        plan = FaultPlan(node_crashes=(NodeCrash(0, 0.5),))
+        injector = FaultInjector(plan)
+        space = CoDS(cluster, DOMAIN)
+        # Same listener order as run_scenario: engine first (queues the
+        # re-launch), then the space (recovers synchronously at crash time).
+        engine = WorkflowEngine(dag, cluster, injector=injector)
+        injector.add_node_crash_listener(lambda node: space.on_node_crash(node))
+
+        results = []
+        engine.set_routine(1, producer_routine(space, producer, duration=1.0))
+        engine.set_routine(2, consumer_routine(space, results))
+        runs = engine.run()
+
+        # The producer bundle was re-enacted once, off the crashed node.
+        assert engine.reenactments == {0: 1}
+        crashed = set(cluster.cores_of_node(0))
+        assert not runs[1].mapping.overlaps_cores(crashed)
+        # The node's DHT core failed over.
+        assert 0 in space.dht.failed_cores
+        # The consumer ran after the re-enacted producer and got everything.
+        assert runs[2].start >= runs[1].finish
+        (arr, _, _), = results
+        assert np.array_equal(arr, expected_array(producer))
+
+    def test_degraded_mode_accounting_in_trace(self, cluster):
+        producer = make_app(1, "P", 8)
+        dag = WorkflowDAG([producer], bundles=[Bundle((1,))])
+        plan = FaultPlan(node_crashes=(NodeCrash(0, 0.5),))
+        injector = FaultInjector(plan)
+        space = CoDS(cluster, DOMAIN)
+        engine = WorkflowEngine(dag, cluster, injector=injector)
+        injector.add_node_crash_listener(lambda node: space.on_node_crash(node))
+        engine.set_routine(1, producer_routine(space, producer, duration=1.0))
+        engine.run()
+        assert [ev.kind for ev in injector.trace()] == ["node_crash"]
+        reenacted = [
+            ev for ev in engine.trace if ev.event == "bundle_reenacted"
+        ]
+        assert len(reenacted) == 1
+        assert "node 0" in reenacted[0].detail

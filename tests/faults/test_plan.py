@@ -1,0 +1,130 @@
+"""FaultPlan model tests: validation, factors, JSON round-trips."""
+
+import pytest
+
+from repro.errors import FaultError, FaultPlanError, ReproError
+from repro.faults.plan import (
+    DHTCoreFailure,
+    FaultPlan,
+    LinkDegradation,
+    NodeCrash,
+)
+
+
+class TestValidation:
+    def test_default_plan_is_empty(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+
+    def test_plan_with_any_fault_is_not_empty(self):
+        assert not FaultPlan(node_crashes=(NodeCrash(0, 1.0),)).is_empty
+        assert not FaultPlan(dht_failures=(DHTCoreFailure(0, 1.0),)).is_empty
+        assert not FaultPlan(
+            link_degradations=(LinkDegradation(0, 1, loss_factor=0.1),)
+        ).is_empty
+        assert not FaultPlan(drop_probability=0.1).is_empty
+        assert not FaultPlan(corrupt_probability=0.1).is_empty
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(drop_probability=-0.1),
+            dict(drop_probability=1.0),
+            dict(corrupt_probability=1.5),
+            dict(max_retries=-1),
+            dict(retry_timeout=-1.0),
+            dict(retry_backoff=0.5),
+        ],
+    )
+    def test_bad_plan_fields_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**kwargs)
+
+    def test_bad_components_rejected(self):
+        with pytest.raises(FaultPlanError):
+            NodeCrash(node=-1, time=0.0)
+        with pytest.raises(FaultPlanError):
+            NodeCrash(node=0, time=-1.0)
+        with pytest.raises(FaultPlanError):
+            DHTCoreFailure(core=-2, time=0.0)
+        with pytest.raises(FaultPlanError):
+            LinkDegradation(0, 1, loss_factor=1.0)
+        with pytest.raises(FaultPlanError):
+            LinkDegradation(0, 1, bandwidth_factor=0.0)
+
+    def test_error_hierarchy(self):
+        assert issubclass(FaultPlanError, FaultError)
+        assert issubclass(FaultError, ReproError)
+        with pytest.raises(ReproError):
+            FaultPlan(drop_probability=2.0)
+
+
+class TestFactors:
+    def test_link_degradation_matching_is_symmetric(self):
+        deg = LinkDegradation(2, 5, loss_factor=0.25)
+        assert deg.matches(2, 5) and deg.matches(5, 2)
+        assert not deg.matches(2, 3)
+
+    def test_worst_factor_wins(self):
+        plan = FaultPlan(
+            link_degradations=(
+                LinkDegradation(0, 1, loss_factor=0.1, bandwidth_factor=0.9),
+                LinkDegradation(1, 0, loss_factor=0.4, bandwidth_factor=0.5),
+            )
+        )
+        assert plan.loss_factor(0, 1) == 0.4
+        assert plan.bandwidth_factor(1, 0) == 0.5
+        # Clean pairs are untouched.
+        assert plan.loss_factor(0, 2) == 0.0
+        assert plan.bandwidth_factor(0, 2) == 1.0
+
+    def test_attempt_failure_probability_composes_independently(self):
+        plan = FaultPlan(
+            drop_probability=0.1,
+            corrupt_probability=0.2,
+            link_degradations=(LinkDegradation(0, 1, loss_factor=0.5),),
+        )
+        expected = 1.0 - 0.9 * 0.8 * 0.5
+        assert plan.attempt_failure_probability(0, 1) == pytest.approx(expected)
+        assert plan.attempt_failure_probability(0, 2) == pytest.approx(
+            1.0 - 0.9 * 0.8
+        )
+
+
+class TestSerialization:
+    def plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=42,
+            node_crashes=(NodeCrash(1, 0.5),),
+            dht_failures=(DHTCoreFailure(4, 0.25),),
+            link_degradations=(
+                LinkDegradation(0, 1, loss_factor=0.3, bandwidth_factor=0.5),
+            ),
+            drop_probability=0.01,
+            corrupt_probability=0.02,
+            max_retries=5,
+            retry_timeout=2e-4,
+            retry_backoff=1.5,
+        )
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_load_from_file(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json('{"seed": 1, "surprise": true}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("{not json")
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load("/nonexistent/fault-plan.json")

@@ -1,0 +1,98 @@
+"""Retry/timeout/backoff semantics of HybridDART under fault injection."""
+
+import pytest
+
+from repro.errors import TransferDroppedError, TransportError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, LinkDegradation
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.transport.hybriddart import HybridDART
+from repro.transport.message import TransferKind, Transport
+
+
+def make_dart(plan, nodes=2, cpn=4):
+    cluster = Cluster(num_nodes=nodes, machine=generic_multicore(cpn))
+    return HybridDART(cluster, injector=FaultInjector(plan))
+
+
+class TestRetries:
+    def test_failed_attempts_are_reissued_and_tagged(self):
+        dart = make_dart(FaultPlan(seed=1, drop_probability=0.4, max_retries=64))
+        recs = [
+            dart.transfer(0, 4, 1000, TransferKind.COUPLING, app_id=2)
+            for _ in range(40)
+        ]
+        # Every transfer eventually delivered; some needed retries.
+        total_retries = sum(r.retries for r in recs)
+        assert total_retries > 0
+        assert dart.injector.retries_issued == total_retries
+        m = dart.metrics
+        assert m.retries(kind=TransferKind.COUPLING) == total_retries
+        assert m.retransmitted_bytes(kind=TransferKind.COUPLING) == 1000 * total_retries
+        assert m.bytes(kind=TransferKind.COUPLING) == 1000 * len(recs)
+        # Retry events landed in the fault trace.
+        kinds = {ev.kind for ev in dart.injector.trace()}
+        assert kinds == {"transfer_retry"}
+
+    def test_backoff_accumulates_exponentially(self):
+        plan = FaultPlan(
+            seed=1, drop_probability=0.4, max_retries=64,
+            retry_timeout=1e-3, retry_backoff=2.0,
+        )
+        dart = make_dart(plan)
+        recs = [
+            dart.transfer(0, 4, 10, TransferKind.COUPLING) for _ in range(40)
+        ]
+        # Each transfer with k retries waits sum_{i=1..k} timeout*backoff^(i-1).
+        expected = sum(
+            plan.retry_timeout * plan.retry_backoff ** (i - 1)
+            for rec in recs
+            for i in range(1, rec.retries + 1)
+        )
+        assert expected > 0.0
+        assert dart.backoff_seconds == pytest.approx(expected)
+
+    def test_exhausted_retry_budget_drops_the_transfer(self):
+        # seed 0: first random() = 0.844... < 0.9 -> the only attempt fails,
+        # and with max_retries=0 the transfer is dropped outright.
+        dart = make_dart(FaultPlan(seed=0, drop_probability=0.9, max_retries=0))
+        with pytest.raises(TransferDroppedError):
+            dart.transfer(0, 4, 1000, TransferKind.COUPLING)
+        assert any(
+            ev.kind == "transfer_dropped" for ev in dart.injector.trace()
+        )
+
+    def test_dropped_error_is_a_transport_error(self):
+        assert issubclass(TransferDroppedError, TransportError)
+
+
+class TestScope:
+    def test_shm_transfers_never_retry(self):
+        # Same node: even a catastrophic plan leaves SHM untouched.
+        dart = make_dart(FaultPlan(seed=0, drop_probability=0.9, max_retries=0))
+        for _ in range(20):
+            rec = dart.transfer(0, 1, 1000, TransferKind.COUPLING)
+            assert rec.transport is Transport.SHM
+            assert rec.retries == 0
+        assert dart.injector.retries_issued == 0
+        assert dart.metrics.retries() == 0
+
+    def test_clean_pairs_never_retry(self):
+        plan = FaultPlan(
+            seed=0, max_retries=0,
+            link_degradations=(LinkDegradation(0, 1, loss_factor=0.9),),
+        )
+        dart = make_dart(plan, nodes=3)
+        # Nodes 0<->2 and 1<->2 are clean; only 0<->1 is degraded.
+        for _ in range(20):
+            rec = dart.transfer(0, 8, 1000, TransferKind.COUPLING)
+            assert rec.retries == 0
+        assert dart.metrics.retries() == 0
+
+    def test_without_injector_behaviour_is_unchanged(self):
+        cluster = Cluster(num_nodes=2, machine=generic_multicore(4))
+        dart = HybridDART(cluster)
+        rec = dart.transfer(0, 4, 1000, TransferKind.COUPLING)
+        assert rec.retries == 0
+        assert dart.backoff_seconds == 0.0

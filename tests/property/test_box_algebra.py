@@ -1,0 +1,106 @@
+"""Property tests for the Box algebra (satellite: hypothesis laws).
+
+These pin the algebraic laws the comm-graph and schedule machinery relies
+on: intersection commutes and never grows, subtraction partitions the
+minuend exactly, and volume bookkeeping is consistent across all of them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domain.box import Box
+
+pytestmark = pytest.mark.property
+
+MAX_COORD = 64
+
+
+@st.composite
+def boxes(draw, ndim=None):
+    if ndim is None:
+        ndim = draw(st.integers(1, 4))
+    lo, hi = [], []
+    for _ in range(ndim):
+        a = draw(st.integers(0, MAX_COORD))
+        b = draw(st.integers(0, MAX_COORD))
+        lo.append(min(a, b))
+        hi.append(max(a, b))
+    return Box(lo=tuple(lo), hi=tuple(hi))
+
+
+@st.composite
+def box_pairs(draw):
+    ndim = draw(st.integers(1, 4))
+    return draw(boxes(ndim=ndim)), draw(boxes(ndim=ndim))
+
+
+@given(box_pairs())
+def test_intersection_commutes(pair):
+    a, b = pair
+    assert a.intersection(b) == b.intersection(a)
+    assert a.intersection_volume(b) == b.intersection_volume(a)
+
+
+@given(box_pairs())
+def test_intersection_contained_in_both(pair):
+    a, b = pair
+    inter = a.intersection(b)
+    if inter is None:
+        assert a.intersection_volume(b) == 0
+    else:
+        assert a.contains_box(inter) and b.contains_box(inter)
+        assert inter.volume == a.intersection_volume(b)
+        assert inter.volume > 0
+
+
+@given(boxes())
+def test_self_intersection_is_identity(box):
+    if box.is_empty:
+        assert box.intersection(box) is None
+    else:
+        assert box.intersection(box) == box
+    assert box.intersection_volume(box) == box.volume
+
+
+@given(box_pairs())
+@settings(max_examples=200)
+def test_subtract_partitions_volume(pair):
+    a, b = pair
+    pieces = a.subtract(b)
+    # Pieces are disjoint from each other and from b, live inside a, and
+    # their volumes sum to |a| - |a ∩ b|.
+    assert sum(p.volume for p in pieces) == a.volume - a.intersection_volume(b)
+    for p in pieces:
+        assert not p.is_empty
+        assert a.contains_box(p)
+        assert p.intersection_volume(b) == 0
+    for i, p in enumerate(pieces):
+        for q in pieces[i + 1:]:
+            assert p.intersection_volume(q) == 0
+
+
+@given(box_pairs())
+def test_union_bound_contains_both(pair):
+    a, b = pair
+    bound = a.union_bound(b)
+    assert bound.contains_box(a) and bound.contains_box(b)
+    assert bound.volume >= max(a.volume, b.volume)
+
+
+@given(boxes())
+def test_volume_matches_shape_and_interval_sets(box):
+    v = 1
+    for s in box.shape:
+        v *= s
+    assert box.volume == v
+    assert Box.product_volume(box.interval_sets()) == box.volume
+
+
+@given(boxes(), st.lists(st.integers(-16, 16), min_size=1, max_size=4))
+def test_translate_preserves_volume(box, offset):
+    if len(offset) != box.ndim:
+        offset = (offset * box.ndim)[: box.ndim]
+    moved = box.translate(offset)
+    assert moved.volume == box.volume
+    assert moved.shape == box.shape

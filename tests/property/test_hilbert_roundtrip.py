@@ -1,0 +1,69 @@
+"""Property tests for the Hilbert curve: encode/decode is a bijection.
+
+The DHT's index space is a Hilbert linearization of the application domain;
+every lookup depends on encode and decode being exact inverses and on the
+index range covering the grid exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.hilbert import HilbertCurve
+
+pytestmark = pytest.mark.property
+
+
+@st.composite
+def curve_and_points(draw):
+    ndim = draw(st.integers(1, 4))
+    order = draw(st.integers(1, 5))
+    side = 1 << order
+    npoints = draw(st.integers(1, 32))
+    pts = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, side - 1) for _ in range(ndim)]),
+            min_size=npoints,
+            max_size=npoints,
+        )
+    )
+    return HilbertCurve(ndim, order), np.asarray(pts, dtype=np.int64)
+
+
+@given(curve_and_points())
+@settings(max_examples=200)
+def test_decode_inverts_encode(cp):
+    curve, pts = cp
+    idx = curve.encode(pts)
+    back = curve.decode(idx)
+    assert np.array_equal(back, pts)
+
+
+@given(curve_and_points())
+def test_indices_in_range(cp):
+    curve, pts = cp
+    idx = curve.encode(pts)
+    assert np.all(idx >= 0)
+    assert np.all(idx < (1 << (curve.ndim * curve.order)))
+
+
+@given(st.integers(1, 3), st.integers(1, 4))
+def test_curve_is_a_bijection_on_the_full_grid(ndim, order):
+    side = 1 << order
+    grid = np.stack(
+        np.meshgrid(*[np.arange(side)] * ndim, indexing="ij"), axis=-1
+    ).reshape(-1, ndim)
+    idx = HilbertCurve(ndim, order).encode(grid)
+    assert np.array_equal(np.sort(idx), np.arange(side**ndim))
+
+
+@given(st.integers(2, 3), st.integers(2, 4))
+def test_successive_indices_are_grid_neighbours(ndim, order):
+    # The defining Hilbert property: consecutive curve indices differ by
+    # exactly one step along exactly one axis.
+    curve = HilbertCurve(ndim, order)
+    total = (1 << order) ** ndim
+    pts = curve.decode(np.arange(total))
+    steps = np.abs(np.diff(pts, axis=0))
+    assert np.all(steps.sum(axis=1) == 1)

@@ -1,0 +1,84 @@
+"""Property tests for the multilevel partitioner: feasibility guarantees.
+
+Server-side mapping treats each part as one compute node with a hard
+``cores_per_node`` capacity; the partitioner promises a feasible assignment
+whenever one exists, with every vertex placed exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.csr import CSRGraph
+from repro.partition.multilevel import partition_graph
+
+pytestmark = pytest.mark.property
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 40))
+    nedges = draw(st.integers(0, min(3 * n, 80)))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.integers(1, 100),
+            ),
+            min_size=nedges,
+            max_size=nedges,
+        )
+    )
+    edges = [(u, v, w) for u, v, w in edges if u != v]
+    return CSRGraph.from_edges(n, edges)
+
+
+@st.composite
+def feasible_instances(draw):
+    g = draw(graphs())
+    n = g.nvertices
+    nparts = draw(st.integers(1, min(8, n)))
+    # Unit vertex weights: capacity * nparts >= n guarantees feasibility.
+    slack = draw(st.integers(0, 4))
+    cap = -(-n // nparts) + slack
+    seed = draw(st.integers(0, 3))
+    return g, nparts, cap, seed
+
+
+@given(feasible_instances())
+@settings(max_examples=60, deadline=None)
+def test_partition_is_feasible_and_complete(instance):
+    g, nparts, cap, seed = instance
+    res = partition_graph(g, nparts, capacities=cap, seed=seed)
+    assert res.is_feasible
+    # Every vertex assigned to exactly one valid part.
+    assert res.parts.shape == (g.nvertices,)
+    assert np.all((res.parts >= 0) & (res.parts < nparts))
+    # Loads are exact per-part weight sums, bounded by capacity.
+    for p in range(nparts):
+        assert res.loads[p] == int(g.vwgt[res.parts == p].sum())
+        assert res.loads[p] <= cap
+    # groups() agrees with the parts array.
+    groups = res.groups()
+    assert sorted(v for grp in groups for v in grp) == list(range(g.nvertices))
+
+
+@given(feasible_instances())
+@settings(max_examples=30, deadline=None)
+def test_partition_is_deterministic_for_a_seed(instance):
+    g, nparts, cap, seed = instance
+    a = partition_graph(g, nparts, capacities=cap, seed=seed)
+    b = partition_graph(g, nparts, capacities=cap, seed=seed)
+    assert np.array_equal(a.parts, b.parts)
+    assert a.edgecut == b.edgecut
+
+
+@given(feasible_instances())
+@settings(max_examples=30, deadline=None)
+def test_edgecut_matches_parts(instance):
+    g, nparts, cap, seed = instance
+    res = partition_graph(g, nparts, capacities=cap, seed=seed)
+    assert res.edgecut == g.edgecut(res.parts)
+    assert res.edgecut >= 0

@@ -20,8 +20,13 @@ def make_dart(nodes=2, cpn=4):
 
 class TestTransferRecord:
     def test_negative_bytes_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TransportError):
             TransferRecord(0, 1, -1, TransferKind.COUPLING, Transport.SHM)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(TransportError):
+            TransferRecord(0, 1, 1, TransferKind.COUPLING, Transport.SHM,
+                           retries=-1)
 
     def test_frozen(self):
         rec = TransferRecord(0, 1, 10, TransferKind.COUPLING, Transport.SHM)
