@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Validate --trace-out / --metrics-out files against the expected shapes.
+
+CI runs the Fig 8 bench configuration with tracing on and feeds the emitted
+files through this script, so any drift in the trace_event or metrics
+snapshot format fails the build before it breaks Perfetto or trace-report.
+
+Usage:  python benchmarks/check_trace.py trace.json [metrics.json]
+
+Exits 0 when every check passes, 1 with a diagnostic otherwise. The checks
+are hand-rolled (stdlib only — no jsonschema dependency).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: trace_event phases the tracer is allowed to emit
+KNOWN_PHASES = {"B", "E", "i", "b", "e"}
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def fail(msg: str) -> None:
+    raise CheckFailure(msg)
+
+
+def check_trace(path: str) -> int:
+    """Validate a Chrome trace_event file; returns the event count."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, list):
+        events = doc
+    else:
+        if not isinstance(doc, dict) or "traceEvents" not in doc:
+            fail(f"{path}: top level must be a list or have 'traceEvents'")
+        events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty list")
+
+    stacks: dict[tuple, list[str]] = {}
+    open_async: dict[object, str] = {}
+    for n, ev in enumerate(events):
+        where = f"{path}: event {n}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for field, types in (("name", str), ("ph", str), ("ts", (int, float))):
+            if not isinstance(ev.get(field), types):
+                fail(f"{where}: missing or mistyped {field!r}")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        key = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(key, [])
+            if not stack:
+                fail(f"{where}: E {ev['name']!r} with no open B span")
+            stack.pop()
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                fail(f"{where}: instant must carry a scope 's'")
+        elif ph in ("b", "e"):
+            if "id" not in ev or "cat" not in ev:
+                fail(f"{where}: async event needs 'id' and 'cat'")
+            if ph == "b":
+                open_async[ev["id"]] = ev["name"]
+            elif open_async.pop(ev["id"], None) is None:
+                fail(f"{where}: e {ev['name']!r} with no matching b")
+    for key, stack in stacks.items():
+        if stack:
+            fail(f"{path}: unbalanced spans left open on {key}: {stack}")
+    if open_async:
+        fail(f"{path}: async spans never ended: {sorted(open_async.values())}")
+    return len(events)
+
+
+def check_metrics(path: str) -> int:
+    """Validate a metrics snapshot; returns the cell count."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    cells = 0
+    for section in ("counters", "gauges", "histograms"):
+        table = doc.get(section)
+        if not isinstance(table, dict):
+            fail(f"{path}: missing {section!r} table")
+        for cell, value in table.items():
+            where = f"{path}: {section}[{cell!r}]"
+            if section == "histograms":
+                if not isinstance(value, dict):
+                    fail(f"{where}: histogram cell must be an object")
+                for field in ("buckets", "counts", "sum", "count"):
+                    if field not in value:
+                        fail(f"{where}: missing {field!r}")
+                if len(value["counts"]) != len(value["buckets"]) + 1:
+                    fail(f"{where}: counts must have one overflow slot "
+                         f"beyond the buckets")
+                if sum(value["counts"]) != value["count"]:
+                    fail(f"{where}: bucket counts do not sum to 'count'")
+            elif not isinstance(value, (int, float)):
+                fail(f"{where}: cell value must be a number")
+            cells += 1
+    if not doc["counters"]:
+        fail(f"{path}: snapshot has no counters (empty run?)")
+    return cells
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        events = check_trace(argv[0])
+        print(f"{argv[0]}: OK ({events} events)")
+        if len(argv) == 2:
+            cells = check_metrics(argv[1])
+            print(f"{argv[1]}: OK ({cells} cells)")
+    except CheckFailure as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -25,6 +25,8 @@ from repro.errors import ReproError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.hardware.network import NetworkModel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
 from repro.sim.fluid import FluidSimulation
 from repro.transport.hybriddart import HybridDART
 from repro.transport.metrics import TransferMetrics
@@ -51,6 +53,10 @@ class ScenarioResult:
     retrieval_times: dict[int, float] = field(default_factory=dict)
     #: fault injector used for the run (None for failure-free executions)
     injector: "FaultInjector | None" = None
+    #: metrics registry backing the run's accumulators (always present)
+    registry: "MetricsRegistry | None" = None
+    #: simulated events the engine dispatched (perf-guard diagnostics)
+    sim_events: int = 0
 
     @property
     def consumer_ids(self) -> list[int]:
@@ -87,6 +93,8 @@ def run_scenario(
     time_transfers: bool = False,
     seed: int = 0,
     fault_plan: "FaultPlan | None" = None,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: "MetricsRegistry | None" = None,
 ) -> ScenarioResult:
     """Execute one scenario under the named mapping strategy.
 
@@ -94,12 +102,23 @@ def run_scenario(
     fault injection: transfers retry with backoff, DHT cores fail over, and
     crashed nodes trigger bundle re-enactment. An empty or absent plan
     leaves every code path byte-identical to the failure-free run.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) records spans across
+    every layer, stamped with the run's simulated time; ``registry`` backs
+    the transfer accumulator so DHT/schedule-cache instruments land in the
+    same ``--metrics-out`` snapshot. Both default to disabled/private
+    instances and leave the untraced run byte-identical.
     """
     cluster = scenario.cluster
     injector: FaultInjector | None = None
     if fault_plan is not None and not fault_plan.is_empty:
         injector = FaultInjector(fault_plan)
-    space = CoDS(cluster, scenario.domain, dart=HybridDART(cluster, injector=injector))
+    metrics = TransferMetrics(registry=registry)
+    space = CoDS(
+        cluster,
+        scenario.domain,
+        dart=HybridDART(cluster, metrics=metrics, injector=injector, tracer=tracer),
+    )
     mode = scenario.mode
 
     producer_routine = ProducerApp(
@@ -130,7 +149,7 @@ def run_scenario(
             ],
         )
 
-    engine = WorkflowEngine(dag, cluster, injector=injector)
+    engine = WorkflowEngine(dag, cluster, injector=injector, tracer=tracer)
     if injector is not None:
         # CoDS recovers after the engine (listener order): the engine frees
         # the crashed clients first, then the space drops lost stores and
@@ -155,6 +174,8 @@ def run_scenario(
         mapper_name=mapper,
         metrics=space.dart.metrics,
         injector=injector,
+        registry=space.dart.registry,
+        sim_events=engine.sim.events_fired,
     )
     for app_id, run in runs.items():
         if run.mapping is not None:

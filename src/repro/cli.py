@@ -60,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--fault-plan", metavar="PATH", default=None,
             help="JSON fault plan: inject crashes/degradation deterministically",
         )
+        p.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="write a Chrome trace_event JSON of the run "
+                 "(open in Perfetto / chrome://tracing, or feed to trace-report)",
+        )
+        p.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write a JSON snapshot of the run's metrics registry",
+        )
 
     for name, help_ in (
         ("concurrent", "run the online-data-processing scenario (CAP1/CAP2)"),
@@ -81,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=["small", "paper"], default="small")
     p.add_argument("--time", action="store_true",
                    help="include fluid-simulated retrieval times")
+
+    p = sub.add_parser(
+        "trace-report", help="profile a --trace-out file (timeline, hot spans, ...)"
+    )
+    p.add_argument("trace", help="path to a Chrome trace_event JSON file")
+    p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="join a --metrics-out snapshot (exact cache/transfer counters)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the hot-span table (default 10)",
+    )
 
     p = sub.add_parser("dag", help="validate and echo a workflow description file")
     p.add_argument("path", help="path to a Listing-1 style .dag file")
@@ -115,13 +137,33 @@ def _print_fault_summary(result) -> None:
         print(trace)
 
 
+def _make_tracer(args: argparse.Namespace):
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.obs.tracer import Tracer
+
+    return Tracer()
+
+
+def _write_obs(args: argparse.Namespace, result, tracer) -> None:
+    if tracer is not None:
+        tracer.write_chrome(args.trace_out)
+        print(f"\ntrace written to {args.trace_out} "
+              f"({len(tracer.chrome_events())} events); "
+              f"inspect with: repro-insitu trace-report {args.trace_out}")
+    if getattr(args, "metrics_out", None) and result.registry is not None:
+        result.registry.write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+
+
 def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
     scenario = _build(scenario_name, args.scale, args.dist)
     print(scenario.describe())
+    tracer = _make_tracer(args)
     result = run_scenario(
         scenario, args.mapper,
         stencil_iterations=args.stencil, time_transfers=args.time,
-        fault_plan=_load_fault_plan(args),
+        fault_plan=_load_fault_plan(args), tracer=tracer,
     )
     m = result.metrics
     rows = []
@@ -144,20 +186,26 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         ]
         print(format_table(["consumer", "retrieval ms"], rows))
     _print_fault_summary(result)
+    _write_obs(args, result, tracer)
     return 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:
     rows = []
     last_result = None
+    last_tracer = None
     for mapper in (ROUND_ROBIN, DATA_CENTRIC):
         scenario = _build(args.scenario, args.scale, args.dist)
+        # Each run gets its own tracer (clocks are per-engine); the
+        # data-centric run — the paper's contribution — is the one written.
+        tracer = _make_tracer(args)
         result = run_scenario(
             scenario, mapper,
             stencil_iterations=args.stencil, time_transfers=args.time,
-            fault_plan=_load_fault_plan(args),
+            fault_plan=_load_fault_plan(args), tracer=tracer,
         )
         last_result = result
+        last_tracer = tracer
         m = result.metrics
         row = [
             mapper,
@@ -175,6 +223,15 @@ def _run_compare(args: argparse.Namespace) -> int:
     print(f"\nnetwork coupled-data reduction: {red:.0%}")
     if last_result is not None:
         _print_fault_summary(last_result)
+        _write_obs(args, last_result, last_tracer)
+    return 0
+
+
+def _run_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import TraceReport
+
+    report = TraceReport.from_files(args.trace, args.metrics)
+    print(report.format(top=args.top))
     return 0
 
 
@@ -228,6 +285,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_compare(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "trace-report":
+        return _run_trace_report(args)
     return _run_dag(args)
 
 

@@ -22,6 +22,8 @@ from typing import Iterable
 from repro.cods.objects import DataObject, RegionProduct, region_from_box
 from repro.domain.box import Box
 from repro.errors import LookupError_, SpaceError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.sfc.linearize import DomainLinearizer
 from repro.transport.hybriddart import HybridDART
 
@@ -78,6 +80,16 @@ class SpatialDHT:
         # several spaces (DHTs) can share one DART.
         self._rpc_suffix = f"#{next(_DHT_IDS)}"
         self.failed_cores: list[int] = []
+        self._last_hops = 0
+        # Lookup/registration instruments live in the transport's registry
+        # when one is attached (a private registry otherwise, so the code
+        # path is identical either way).
+        registry = dart.registry if dart is not None else MetricsRegistry()
+        self._m_lookups = registry.counter("dht.lookups")
+        self._m_registrations = registry.counter("dht.registrations")
+        self._m_hops = registry.histogram(
+            "dht.hops", buckets=(1, 2, 4, 8, 16, 32)
+        )
         if self.dart is not None:
             for core in dht_cores:
                 self.dart.register_handler(
@@ -123,6 +135,17 @@ class SpatialDHT:
         bbox = obj.bounding_box
         if bbox.is_empty:
             return 0
+        tracer = self.dart.tracer if self.dart is not None else NULL_TRACER
+        if not tracer.enabled:
+            return self._do_register(obj, bbox)
+        with tracer.span(
+            "dht.register", var=obj.var, owner=obj.owner_core
+        ) as span:
+            hops = self._do_register(obj, bbox)
+            span.set(hops=hops)
+            return hops
+
+    def _do_register(self, obj: DataObject, bbox: Box) -> int:
         spans = self.linearizer.spans_for_box(bbox, self.span_cube_order)
         owners = self._owners_of_spans(spans)
         if not owners:
@@ -134,6 +157,7 @@ class SpatialDHT:
             region=obj.region,
             element_size=obj.element_size,
         )
+        self._m_registrations.inc()
         for i in owners:
             self._rpc(obj.owner_core, i, "dht_register")
             self._tables[i].setdefault(obj.var, []).append(loc)
@@ -173,10 +197,28 @@ class SpatialDHT:
         registered at several DHT cores), and filters by actual geometric
         overlap with the query box.
         """
+        tracer = self.dart.tracer if self.dart is not None else NULL_TRACER
+        if not tracer.enabled:
+            return self._do_query(src_core, var, box, version)
+        with tracer.span("dht.query", var=var, src=src_core) as span:
+            out = self._do_query(src_core, var, box, version)
+            span.set(hops=self._last_hops, results=len(out))
+            return out
+
+    def _do_query(
+        self,
+        src_core: int,
+        var: str,
+        box: Box,
+        version: int | None = None,
+    ) -> list[ObjectLocation]:
         spans = self.linearizer.spans_for_box(box, self.span_cube_order)
         owners = self._owners_of_spans(spans)
         if not owners:
             raise LookupError_(f"query box {box} maps to no DHT interval")
+        self._last_hops = len(owners)
+        self._m_lookups.inc()
+        self._m_hops.observe(len(owners))
         qregion = region_from_box(box)
         seen: set[tuple[str, int, int]] = set()
         out: list[ObjectLocation] = []

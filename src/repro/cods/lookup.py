@@ -54,6 +54,21 @@ class DataLookupService:
         version: int | None = None,
     ) -> dict[int, int]:
         """Bytes of the requested region held by each compute node."""
+        tracer = self.dht.dart.tracer if self.dht.dart is not None else None
+        if tracer is None or not tracer.enabled:
+            return self._bytes_by_node(src_core, var, box, version)
+        with tracer.span("lookup.bytes_by_node", var=var, src=src_core) as span:
+            per_node = self._bytes_by_node(src_core, var, box, version)
+            span.set(nodes=len(per_node), nbytes=sum(per_node.values()))
+            return per_node
+
+    def _bytes_by_node(
+        self,
+        src_core: int,
+        var: str,
+        box: Box,
+        version: int | None = None,
+    ) -> dict[int, int]:
         qregion = region_from_box(box)
         per_node: dict[int, int] = defaultdict(int)
         for loc in self.locate(src_core, var, box, version):

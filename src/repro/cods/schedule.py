@@ -182,15 +182,34 @@ def producer_schedule(
 
 
 class ScheduleCache:
-    """Version-agnostic schedule cache with hit/miss counters."""
+    """Version-agnostic schedule cache with hit/miss counters.
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    When bound to a :class:`~repro.obs.metrics.MetricsRegistry`, every
+    lookup also increments the ``schedule.cache.hit`` / ``.miss`` counters,
+    so cache effectiveness appears in ``--metrics-out`` snapshots and the
+    ``trace-report`` profiler without touching the local counters the
+    ablation benches read.
+    """
+
+    def __init__(self, max_entries: int = 4096, registry=None) -> None:
         if max_entries <= 0:
             raise ScheduleError("cache must allow at least one entry")
         self.max_entries = max_entries
         self._cache: dict[tuple[str, int, RegionProduct], CommSchedule] = {}
         self.hits = 0
         self.misses = 0
+        self._m_hit = self._m_miss = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry) -> "ScheduleCache":
+        """Mirror hit/miss counts into ``schedule.cache.*`` counters."""
+        self._m_hit = registry.counter("schedule.cache.hit")
+        self._m_miss = registry.counter("schedule.cache.miss")
+        # Materialize both cells so snapshots show 0 rather than nothing.
+        self._m_hit.touch()
+        self._m_miss.touch()
+        return self
 
     def get(
         self, var: str, dst_core: int, region: "Box | RegionProduct"
@@ -198,8 +217,12 @@ class ScheduleCache:
         sched = self._cache.get((var, dst_core, _as_region(region)))
         if sched is None:
             self.misses += 1
+            if self._m_miss is not None:
+                self._m_miss.inc()
         else:
             self.hits += 1
+            if self._m_hit is not None:
+                self._m_hit.inc()
         return sched
 
     def put(self, schedule: CommSchedule) -> None:

@@ -38,6 +38,7 @@ from repro.cods.schedule import (
 from repro.domain.box import Box
 from repro.errors import SpaceError
 from repro.hardware.cluster import Cluster
+from repro.obs.tracer import NULL_TRACER
 from repro.sfc.linearize import DomainLinearizer
 from repro.transport.hybriddart import HybridDART
 from repro.transport.message import TransferKind, TransferRecord
@@ -74,7 +75,9 @@ class CoDS:
         self.dht = SpatialDHT(self.linearizer, dht_cores, self.dart)
         self.lookup = DataLookupService(self.dht, cluster)
         self.schedule_cache: ScheduleCache | None = (
-            ScheduleCache() if use_schedule_cache else None
+            ScheduleCache(registry=self.dart.registry)
+            if use_schedule_cache
+            else None
         )
         per_core_capacity = (
             cluster.machine.node.memory_bytes // cluster.cores_per_node
@@ -89,6 +92,11 @@ class CoDS:
         self._producer_esize: dict[str, int] = {}
 
     # -- helpers ----------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The span tracer shared with the transport (no-op by default)."""
+        return self.dart.tracer
 
     def store_of(self, core: int) -> ObjectStore:
         try:
@@ -144,6 +152,21 @@ class CoDS:
         replaces the stored object (latest wins) — bundle re-enactment after
         a fault re-issues its puts idempotently.
         """
+        tracer = self.dart.tracer
+        if not tracer.enabled:
+            return self._put_seq(core, var, region, element_size, version, data)
+        with tracer.span("cods.put_seq", var=var, core=core, version=version):
+            return self._put_seq(core, var, region, element_size, version, data)
+
+    def _put_seq(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        element_size: int,
+        version: int,
+        data: "object | None",
+    ) -> DataObject:
         if data is not None:
             import numpy as np
 
@@ -180,6 +203,28 @@ class CoDS:
         communication schedule and the transfer records of the pulls it
         issued.
         """
+        tracer = self.dart.tracer
+        if not tracer.enabled:
+            return self._get_seq(
+                core, var, region, version, app_id, NULL_TRACER
+            )
+        with tracer.span("cods.get_seq", var=var, core=core) as span:
+            schedule, records = self._get_seq(
+                core, var, region, version, app_id, tracer, span
+            )
+            span.set(plans=len(schedule.plans), nbytes=schedule.total_bytes)
+            return schedule, records
+
+    def _get_seq(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        version: int | None,
+        app_id: int,
+        tracer,
+        span=None,
+    ) -> tuple[CommSchedule, list[TransferRecord]]:
         from repro.cods.objects import region_cells
 
         qregion = self._as_region(region)
@@ -191,9 +236,16 @@ class CoDS:
         schedule: CommSchedule | None = None
         if self.schedule_cache is not None:
             schedule = self.schedule_cache.get(var, core, qregion)
+        if span is not None:
+            span.set(cache_hit=schedule is not None)
         if schedule is None:
-            locations = self.lookup.locate(core, var, bbox, version)
-            schedule = compute_schedule(var, core, qregion, locations)
+            if tracer.enabled:
+                with tracer.span("schedule.compute", var=var, core=core):
+                    locations = self.lookup.locate(core, var, bbox, version)
+                    schedule = compute_schedule(var, core, qregion, locations)
+            else:
+                locations = self.lookup.locate(core, var, bbox, version)
+                schedule = compute_schedule(var, core, qregion, locations)
             if self.schedule_cache is not None:
                 self.schedule_cache.put(schedule)
         return schedule, self._execute(schedule, app_id)
@@ -270,6 +322,9 @@ class CoDS:
         element_size: int = 8,
     ) -> None:
         """Expose a producer task's region of ``var`` for direct transfer."""
+        tracer = self.dart.tracer
+        if tracer.enabled:
+            tracer.instant("cods.put_cont", var=var, core=core)
         known = self._producer_esize.setdefault(var, element_size)
         if known != element_size:
             raise SpaceError(
@@ -285,6 +340,25 @@ class CoDS:
         app_id: int = -1,
     ) -> tuple[CommSchedule, list[TransferRecord]]:
         """Pull a region of ``var`` directly from the producer tasks."""
+        tracer = self.dart.tracer
+        if not tracer.enabled:
+            return self._get_cont(core, var, region, app_id, NULL_TRACER)
+        with tracer.span("cods.get_cont", var=var, core=core) as span:
+            schedule, records = self._get_cont(
+                core, var, region, app_id, tracer, span
+            )
+            span.set(plans=len(schedule.plans), nbytes=schedule.total_bytes)
+            return schedule, records
+
+    def _get_cont(
+        self,
+        core: int,
+        var: str,
+        region: "Box | RegionProduct",
+        app_id: int,
+        tracer,
+        span=None,
+    ) -> tuple[CommSchedule, list[TransferRecord]]:
         qregion = self._as_region(region)
         self._check_box(region_bounding_box(qregion))
         sources = self._producers.get(var)
@@ -293,10 +367,18 @@ class CoDS:
         schedule: CommSchedule | None = None
         if self.schedule_cache is not None:
             schedule = self.schedule_cache.get(var, core, qregion)
+        if span is not None:
+            span.set(cache_hit=schedule is not None)
         if schedule is None:
-            schedule = producer_schedule(
-                var, core, qregion, sources, self._producer_esize[var]
-            )
+            if tracer.enabled:
+                with tracer.span("schedule.compute", var=var, core=core):
+                    schedule = producer_schedule(
+                        var, core, qregion, sources, self._producer_esize[var]
+                    )
+            else:
+                schedule = producer_schedule(
+                    var, core, qregion, sources, self._producer_esize[var]
+                )
             if self.schedule_cache is not None:
                 self.schedule_cache.put(schedule)
         return schedule, self._execute(schedule, app_id)

@@ -21,6 +21,7 @@ from typing import Callable
 
 from repro.errors import FaultError
 from repro.faults.plan import DHTCoreFailure, FaultPlan, NodeCrash
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["FaultEvent", "FaultInjector"]
 
@@ -52,6 +53,10 @@ class FaultInjector:
         self._dht_failure_listeners: list[Callable[[int], None]] = []
         #: total retries issued by the transport (diagnostics)
         self.retries_issued = 0
+        #: span tracer mirrored by :meth:`record` (set by the transport or
+        #: the experiment driver); faults become ``fault.*`` instant events,
+        #: so transfer retries appear as sub-spans of their transfer.
+        self.tracer = NULL_TRACER
 
     # -- event trace ------------------------------------------------------------
 
@@ -62,6 +67,8 @@ class FaultInjector:
     def record(self, kind: str, detail: str = "") -> FaultEvent:
         ev = FaultEvent(time=self.now, kind=kind, detail=detail)
         self._events.append(ev)
+        if self.tracer.enabled:
+            self.tracer.instant("fault." + kind, detail=detail)
         return ev
 
     def trace(self) -> tuple[FaultEvent, ...]:

@@ -1,0 +1,36 @@
+"""Observability: tracing, metrics, and profiling for the framework.
+
+The paper's whole evaluation is a question of *where time and bytes go* —
+network vs. shared-memory transfer, DHT lookup cost, schedule-cache reuse.
+This package makes those questions answerable without ad-hoc
+instrumentation:
+
+* :mod:`repro.obs.tracer` — hierarchical spans stamped with simulated time,
+  exported as a structured tree or Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
+  fixed-bucket histograms with label support, snapshot to JSON.
+* :mod:`repro.obs.report` — turns a trace + metrics snapshot into the
+  paper's vocabulary: per-phase timeline, top-N spans, DHT hop
+  distribution, schedule-cache hit rate, transfer breakdown.
+
+Tracing is off by default: every instrumented hot path holds a reference to
+the shared :data:`~repro.obs.tracer.NULL_TRACER`, whose ``enabled`` flag is
+``False``, so the disabled cost is one attribute check per site.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import TraceReport
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceReport",
+    "Tracer",
+]

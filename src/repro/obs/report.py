@@ -1,0 +1,277 @@
+"""Profiling reports: turn a trace into the paper's vocabulary.
+
+The evaluation sections of the paper talk about per-phase timelines
+(enactment waves), lookup cost (DHT hops), schedule reuse (cache hit
+rate), and transfer breakdowns (network vs. shared memory). This module
+derives all of those from a Chrome ``trace_event`` JSON file written by
+:meth:`repro.obs.tracer.Tracer.write_chrome` (optionally joined with a
+``--metrics-out`` snapshot), and renders them as the ``trace-report`` CLI
+subcommand's output.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import AnalysisError
+
+
+def _fmt():
+    """Late import of the table helpers: ``repro.analysis`` pulls in the
+    whole experiment stack, which itself imports ``repro.obs`` (a cycle at
+    module-import time)."""
+    from repro.analysis.report import format_table, mib, ms
+
+    return format_table, mib, ms
+
+__all__ = ["SpanStat", "TraceReport", "load_trace", "load_metrics"]
+
+
+def load_trace(path: str) -> list[dict[str, Any]]:
+    """Read a Chrome ``trace_event`` JSON file and return its event list."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, list):  # the bare-array flavour of the format
+        return data
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise AnalysisError(f"{path}: not a Chrome trace_event file")
+    return events
+
+
+def load_metrics(path: str) -> dict[str, Any]:
+    """Read a ``--metrics-out`` snapshot."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "counters" not in data:
+        raise AnalysisError(f"{path}: not a metrics snapshot")
+    return data
+
+
+@dataclass
+class SpanStat:
+    """Aggregate of every completed span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_us: float = 0.0  # inclusive simulated time
+    max_us: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.total_us / 1e6
+
+
+@dataclass
+class TraceReport:
+    """Everything the profiler derives from one trace (+ metrics) pair."""
+
+    #: completed sync-span aggregates by name
+    span_stats: dict[str, SpanStat] = field(default_factory=dict)
+    #: async (workflow) intervals: (name, attrs, start_us, end_us)
+    phases: list[tuple[str, dict[str, Any], float, float]] = field(
+        default_factory=list
+    )
+    #: instant events tally by name
+    instants: TallyCounter = field(default_factory=TallyCounter)
+    #: DHT-cores-touched distribution over queries: hops -> #queries
+    dht_hops: dict[int, int] = field(default_factory=dict)
+    #: schedule-cache outcomes observed on get_{seq,cont} spans
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: (kind, transport) -> [bytes, transfers] from dart.transfer spans
+    transfers: dict[tuple[str, str], list[int]] = field(default_factory=dict)
+    #: metrics snapshot, when one was supplied
+    metrics: dict[str, Any] | None = None
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence[dict[str, Any]],
+        metrics: dict[str, Any] | None = None,
+    ) -> "TraceReport":
+        report = cls(metrics=metrics)
+        # B/E events nest by emission order per (pid, tid).
+        stacks: dict[tuple, list[dict[str, Any]]] = {}
+        open_async: dict[Any, dict[str, Any]] = {}
+        for ev in events:
+            ph = ev.get("ph")
+            if ph == "B":
+                stacks.setdefault((ev.get("pid"), ev.get("tid")), []).append(ev)
+            elif ph == "E":
+                stack = stacks.get((ev.get("pid"), ev.get("tid")), [])
+                if not stack:
+                    raise AnalysisError(
+                        f"unbalanced trace: E {ev.get('name')!r} with no open span"
+                    )
+                begin = stack.pop()
+                report._complete(begin, ev)
+            elif ph == "i":
+                report.instants[ev.get("name", "?")] += 1
+            elif ph == "b":
+                open_async[ev.get("id")] = ev
+            elif ph == "e":
+                begin = open_async.pop(ev.get("id"), None)
+                if begin is not None:
+                    report.phases.append((
+                        begin.get("name", "?"),
+                        dict(ev.get("args", {})),
+                        begin["ts"],
+                        ev["ts"],
+                    ))
+        report.phases.sort(key=lambda p: (p[2], p[1].get("seq", 0)))
+        return report
+
+    @classmethod
+    def from_files(
+        cls, trace_path: str, metrics_path: str | None = None
+    ) -> "TraceReport":
+        metrics = load_metrics(metrics_path) if metrics_path else None
+        return cls.from_events(load_trace(trace_path), metrics)
+
+    def _complete(self, begin: dict[str, Any], end: dict[str, Any]) -> None:
+        name = begin.get("name", "?")
+        dur = end["ts"] - begin["ts"]
+        stat = self.span_stats.setdefault(name, SpanStat(name))
+        stat.count += 1
+        stat.total_us += dur
+        stat.max_us = max(stat.max_us, dur)
+        args = end.get("args", {})
+        if name == "dht.query":
+            hops = int(args.get("hops", 0))
+            self.dht_hops[hops] = self.dht_hops.get(hops, 0) + 1
+        elif name in ("cods.get_seq", "cods.get_cont"):
+            if "cache_hit" in args:
+                if args["cache_hit"]:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+        elif name == "dart.transfer":
+            key = (str(args.get("kind", "?")), str(args.get("transport", "?")))
+            cell = self.transfers.setdefault(key, [0, 0])
+            cell[0] += int(args.get("nbytes", 0))
+            cell[1] += 1
+
+    # -- derived quantities -------------------------------------------------------------
+
+    def top_spans(self, n: int = 10) -> list[SpanStat]:
+        """The ``n`` span names with the most inclusive simulated time,
+        ties broken by invocation count (busiest first)."""
+        return sorted(
+            self.span_stats.values(),
+            key=lambda s: (-s.total_us, -s.count, s.name),
+        )[:n]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Schedule-cache hit rate; prefers the metrics snapshot when given."""
+        hits, misses = self.cache_hits, self.cache_misses
+        if self.metrics is not None:
+            counters = self.metrics.get("counters", {})
+            if "schedule.cache.hit" in counters or "schedule.cache.miss" in counters:
+                hits = counters.get("schedule.cache.hit", 0)
+                misses = counters.get("schedule.cache.miss", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def total_events(self) -> int:
+        return (
+            sum(s.count for s in self.span_stats.values())
+            + sum(self.instants.values())
+            + len(self.phases)
+        )
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def format_timeline(self) -> str:
+        format_table, _, ms = _fmt()
+        rows = []
+        for name, attrs, t0, t1 in self.phases:
+            what = [name]
+            for key in ("bundle", "app", "gen"):
+                if key in attrs:
+                    what.append(f"{key}={attrs[key]}")
+            rows.append([
+                " ".join(what), ms(t0 / 1e6), ms(t1 / 1e6), ms((t1 - t0) / 1e6),
+            ])
+        if not rows:
+            return "per-phase timeline: no workflow phases in trace"
+        return format_table(
+            ["phase", "start ms", "end ms", "duration ms"], rows,
+            title="per-phase timeline (simulated time)",
+        )
+
+    def format_top_spans(self, n: int = 10) -> str:
+        format_table, _, ms = _fmt()
+        rows = [
+            [s.name, s.count, ms(s.total_s), ms(s.max_us / 1e6)]
+            for s in self.top_spans(n)
+        ]
+        if not rows:
+            return "top spans: trace contains no completed spans"
+        return format_table(
+            ["span", "count", "incl ms", "max ms"], rows,
+            title=f"top {len(rows)} spans by inclusive simulated time",
+        )
+
+    def format_dht_hops(self) -> str:
+        format_table, _, _ = _fmt()
+        if not self.dht_hops:
+            return "DHT hop distribution: no dht.query spans in trace"
+        total = sum(self.dht_hops.values())
+        rows = [
+            [hops, count, f"{count / total:.0%}"]
+            for hops, count in sorted(self.dht_hops.items())
+        ]
+        return format_table(
+            ["DHT cores touched", "queries", "share"], rows,
+            title=f"DHT hop distribution ({total} queries)",
+        )
+
+    def format_transfers(self) -> str:
+        format_table, mib, _ = _fmt()
+        if not self.transfers:
+            return "transfer breakdown: no dart.transfer spans in trace"
+        rows = [
+            [kind, transport, mib(cell[0]), cell[1]]
+            for (kind, transport), cell in sorted(self.transfers.items())
+        ]
+        return format_table(
+            ["kind", "transport", "MiB", "transfers"], rows,
+            title="transfer breakdown by transport",
+        )
+
+    def format(self, top: int = 10) -> str:
+        """The full ``trace-report`` output."""
+        cache_total = self.cache_hits + self.cache_misses
+        if self.metrics is not None:
+            counters = self.metrics.get("counters", {})
+            cache_total = max(
+                cache_total,
+                counters.get("schedule.cache.hit", 0)
+                + counters.get("schedule.cache.miss", 0),
+            )
+        sections = [
+            self.format_timeline(),
+            self.format_top_spans(top),
+            self.format_dht_hops(),
+            (
+                f"schedule-cache hit rate: {self.cache_hit_rate:.1%} "
+                f"over {cache_total} lookups"
+                if cache_total
+                else "schedule-cache hit rate: no schedule lookups in trace"
+            ),
+            self.format_transfers(),
+        ]
+        if self.instants:
+            lines = [
+                f"  {name}: {count}"
+                for name, count in sorted(self.instants.items())
+            ]
+            sections.append("instant events:\n" + "\n".join(lines))
+        return "\n\n".join(sections)

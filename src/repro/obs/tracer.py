@@ -1,0 +1,261 @@
+"""Hierarchical span tracing on the simulated clock.
+
+A :class:`Tracer` records *spans* — named, attributed intervals of simulated
+time — as both a structured in-memory tree and a flat event stream that
+exports to Chrome ``trace_event`` JSON (loadable in ``chrome://tracing`` or
+Perfetto). Three span flavours cover the framework's shapes of work:
+
+* ``with tracer.span("dht.query", var=v):`` — synchronous work nested via a
+  stack (transfers, RPCs, lookups, schedule computation);
+* ``tracer.instant("fault.transfer_retry", ...)`` — point events (retries,
+  crashes);
+* ``tracer.begin_async(...)`` / ``tracer.end_async(...)`` — intervals that
+  outlive the current call frame (workflow bundles and applications, which
+  start at launch and finish at a later completion *event*).
+
+Timestamps come from ``tracer.clock`` — a zero-argument callable, normally
+bound to ``SimEngine.now`` when the tracer is handed to an engine — so two
+runs of the same scenario produce identical traces.
+
+The default tracer everywhere is :data:`NULL_TRACER`: its ``enabled`` flag
+is ``False`` and instrumented hot paths check that one attribute before
+doing any tracing work, so the disabled overhead is a single branch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Callable, Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One traced interval: a name, attributes, children, and sim-times."""
+
+    __slots__ = ("name", "start", "end", "seq", "attrs", "children", "kind", "_tracer")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        seq: int,
+        attrs: dict[str, Any],
+        kind: str = "span",
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.seq = seq
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.kind = kind  # "span" | "instant" | "async"
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Inclusive simulated duration (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. a cache-hit flag)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Nested plain-dict form of this span and its children."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "kind": self.kind,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    # -- context-manager protocol (synchronous spans) -------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._tracer is not None:
+            self._tracer._finish(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, start={self.start}, end={self.end})"
+
+
+class Tracer:
+    """Collects spans into a tree and a Chrome-exportable event stream."""
+
+    enabled = True
+
+    def __init__(self, clock: "Callable[[], float] | None" = None) -> None:
+        #: zero-arg callable returning the current (simulated) time; a
+        #: SimEngine binds this to its own clock if still unset.
+        self.clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._seq = itertools.count()
+        # Flat stream in emission order: (phase, time, span). Phases follow
+        # trace_event: B/E for sync spans, i for instants, b/e for async.
+        self._events: list[tuple[str, float, Span]] = []
+
+    # -- time ------------------------------------------------------------------------
+
+    def now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    # -- recording -------------------------------------------------------------------
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        """Open a synchronous span; use as a context manager."""
+        sp = Span(name, self.now(), next(self._seq), attrs, "span", self)
+        self._attach(sp)
+        self._stack.append(sp)
+        self._events.append(("B", sp.start, sp))
+        return sp
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ReproError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        span.end = self.now()
+        self._events.append(("E", span.end, span))
+
+    def instant(self, name: str, /, **attrs: Any) -> Span:
+        """Record a point event under the current span."""
+        sp = Span(name, self.now(), next(self._seq), attrs, "instant", self)
+        sp.end = sp.start
+        self._attach(sp)
+        self._events.append(("i", sp.start, sp))
+        return sp
+
+    def begin_async(self, name: str, /, **attrs: Any) -> Span:
+        """Open a span that will be finished from a later event callback.
+
+        Async spans attach where they begin but do not join the stack, so
+        work traced while they are open does not nest under them.
+        """
+        sp = Span(name, self.now(), next(self._seq), attrs, "async", self)
+        self._attach(sp)
+        self._events.append(("b", sp.start, sp))
+        return sp
+
+    def end_async(self, span: Span, **attrs: Any) -> None:
+        if span.kind != "async":
+            raise ReproError(f"span {span.name!r} is not an async span")
+        if span.end is not None:
+            raise ReproError(f"async span {span.name!r} already finished")
+        span.attrs.update(attrs)
+        span.end = self.now()
+        self._events.append(("e", span.end, span))
+
+    # -- introspection ----------------------------------------------------------------
+
+    def open_spans(self) -> int:
+        """Depth of the synchronous span stack (0 when balanced)."""
+        return len(self._stack)
+
+    def all_spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first."""
+        todo = list(self.roots)
+        while todo:
+            sp = todo.pop()
+            yield sp
+            todo.extend(sp.children)
+
+    def find(self, name: str) -> list[Span]:
+        return [sp for sp in self.all_spans() if sp.name == name]
+
+    def tree(self) -> list[dict[str, Any]]:
+        return [sp.to_dict() for sp in self.roots]
+
+    # -- Chrome trace_event export ------------------------------------------------------
+
+    def chrome_events(self) -> list[dict[str, Any]]:
+        """The trace as a list of ``trace_event`` dicts (ts/dur in µs).
+
+        Synchronous spans become B/E duration events (nesting follows
+        emission order, which keeps zero-sim-duration spans readable),
+        instants become ``i`` events, and async workflow spans become
+        ``b``/``e`` events keyed by the span's sequence number.
+        """
+        out: list[dict[str, Any]] = []
+        for ph, t, sp in self._events:
+            ev: dict[str, Any] = {
+                "name": sp.name,
+                "ph": ph,
+                "ts": t * 1e6,
+                "pid": 0,
+                "tid": 0,
+            }
+            if ph in ("b", "e"):
+                ev["cat"] = "workflow"
+                ev["id"] = sp.seq
+            else:
+                ev["cat"] = sp.name.split(".", 1)[0]
+            if ph == "i":
+                ev["s"] = "t"
+            if ph != "B":  # args once per span, with the final attribute set
+                ev["args"] = dict(sp.attrs, seq=sp.seq)
+            out.append(ev)
+        return out
+
+    def to_chrome(self) -> dict[str, Any]:
+        return {"traceEvents": self.chrome_events(), "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        """Write the trace as Chrome ``trace_event`` JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+            fh.write("\n")
+
+
+class _NullSpan(Span):
+    """A single reusable span that absorbs every operation."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+class NullTracer:
+    """Disabled tracer: one shared instance, every operation is a no-op.
+
+    Instrumented code keeps a reference to this by default and guards the
+    expensive path with ``if tracer.enabled:`` — so tracing costs one
+    attribute check when off.
+    """
+
+    enabled = False
+    clock: "Callable[[], float] | None" = None
+
+    _NULL_SPAN = _NullSpan("null", 0.0, -1, {}, "span")
+
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        return self._NULL_SPAN
+
+    def instant(self, name: str, /, **attrs: Any) -> None:
+        return None
+
+    def begin_async(self, name: str, /, **attrs: Any) -> Span:
+        return self._NULL_SPAN
+
+    def end_async(self, span: Any, **attrs: Any) -> None:
+        return None
+
+
+#: the process-wide disabled tracer (default everywhere)
+NULL_TRACER = NullTracer()

@@ -11,10 +11,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import EventQueue
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = ["SimEngine"]
 
@@ -25,12 +27,27 @@ class SimEngine:
     Passing a :class:`~repro.faults.injector.FaultInjector` arms its fault
     plan on this clock: node crashes and DHT-core failures become ordinary
     timed events, interleaved deterministically with workflow events.
+
+    Passing a :class:`~repro.obs.tracer.Tracer` wraps each event dispatch in
+    a ``sim.event`` span; the tracer's clock is bound to this engine's
+    simulated time if it has not been bound elsewhere. The default is the
+    shared no-op tracer, so the untraced dispatch loop pays one attribute
+    check.
     """
 
-    def __init__(self, fault_injector: "FaultInjector | None" = None) -> None:
+    def __init__(
+        self,
+        fault_injector: "FaultInjector | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and self.tracer.clock is None:
+            self.tracer.clock = lambda: self._now
+        #: events dispatched over this engine's lifetime (cheap diagnostics)
+        self.events_fired = 0
         self.fault_injector = fault_injector
         if fault_injector is not None:
             fault_injector.arm(self)
@@ -63,16 +80,24 @@ class SimEngine:
         if self._running:
             raise SimulationError("engine is already running (no re-entrancy)")
         self._running = True
+        tracer = self.tracer
         try:
             while self._queue:
-                t = self._queue.peek_time()
-                assert t is not None
-                if until is not None and t > until:
-                    self._now = until
+                ev = self._queue.pop_if_before(until)
+                if ev is None:
+                    # Head event lies strictly after the boundary: stop at it.
+                    self._now = until  # type: ignore[assignment]
                     break
-                ev = self._queue.pop()
                 self._now = ev.time
-                ev.fire()
+                self.events_fired += 1
+                if tracer.enabled:
+                    with tracer.span(
+                        "sim.event",
+                        fn=getattr(ev.fn, "__qualname__", repr(ev.fn)),
+                    ):
+                        ev.fire()
+                else:
+                    ev.fire()
             else:
                 if until is not None and until > self._now:
                     self._now = until

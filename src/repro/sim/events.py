@@ -44,6 +44,21 @@ class EventQueue:
             raise SimulationError("pop from empty event queue")
         return heapq.heappop(self._heap)
 
+    def pop_if_before(self, time: float | None) -> Event | None:
+        """Pop the earliest event iff it is due at or before ``time``.
+
+        ``None`` means no bound (pop whatever is next). Returns ``None``
+        when the queue is empty or the head event lies strictly after the
+        bound — the symmetric peek-then-pop the engine's ``until`` boundary
+        needs, in one call: an event scheduled exactly at the bound fires,
+        a later one never does.
+        """
+        if not self._heap:
+            return None
+        if time is not None and self._heap[0].time > time:
+            return None
+        return heapq.heappop(self._heap)
+
     def peek_time(self) -> float | None:
         return self._heap[0].time if self._heap else None
 

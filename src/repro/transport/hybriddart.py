@@ -20,11 +20,14 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import TransferDroppedError, TransportError
 from repro.hardware.cluster import Cluster
+from repro.obs.tracer import NULL_TRACER
 from repro.transport.message import TransferKind, TransferRecord, Transport
 from repro.transport.metrics import TransferMetrics
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = ["HybridDART", "CONTROL_MSG_BYTES"]
 
@@ -48,13 +51,22 @@ class HybridDART:
         cluster: Cluster,
         metrics: TransferMetrics | None = None,
         injector: "FaultInjector | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.cluster = cluster
         self.metrics = metrics if metrics is not None else TransferMetrics()
         self.injector = injector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if injector is not None and injector.tracer is NULL_TRACER:
+            injector.tracer = self.tracer
         #: cumulative simulated seconds spent in retry backoff waits
         self.backoff_seconds = 0.0
         self._handlers: dict[tuple[int, str], Callable[..., Any]] = {}
+
+    @property
+    def registry(self) -> "MetricsRegistry":
+        """The metrics registry behind this transport's accumulator."""
+        return self.metrics.registry
 
     # -- transport selection ------------------------------------------------------
 
@@ -83,6 +95,31 @@ class HybridDART:
         if nbytes < 0:
             raise TransportError(f"negative transfer size {nbytes}")
         transport = self.classify(src_core, dst_core)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._deliver(src_core, dst_core, nbytes, kind, transport,
+                                 app_id, var)
+        with tracer.span(
+            "dart.transfer",
+            src=src_core, dst=dst_core, nbytes=nbytes,
+            kind=kind.value, transport=transport.value, var=var,
+        ) as span:
+            rec = self._deliver(src_core, dst_core, nbytes, kind, transport,
+                                app_id, var)
+            if rec.retries:
+                span.set(retries=rec.retries)
+            return rec
+
+    def _deliver(
+        self,
+        src_core: int,
+        dst_core: int,
+        nbytes: int,
+        kind: TransferKind,
+        transport: Transport,
+        app_id: int,
+        var: str,
+    ) -> TransferRecord:
         retries = 0
         if self.injector is not None and transport is Transport.NETWORK:
             retries = self._deliver_with_retries(src_core, dst_core, nbytes)
@@ -160,6 +197,25 @@ class HybridDART:
         handler = self._handlers.get((dst_core, name))
         if handler is None:
             raise TransportError(f"no handler {name!r} on core {dst_core}")
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._invoke(
+                handler, src_core, dst_core, payload_bytes, args, kwargs
+            )
+        with tracer.span("dart.rpc", endpoint=name, src=src_core, dst=dst_core):
+            return self._invoke(
+                handler, src_core, dst_core, payload_bytes, args, kwargs
+            )
+
+    def _invoke(
+        self,
+        handler: Callable[..., Any],
+        src_core: int,
+        dst_core: int,
+        payload_bytes: int,
+        args: tuple,
+        kwargs: dict,
+    ) -> Any:
         self.transfer(src_core, dst_core, payload_bytes, TransferKind.CONTROL)
         result = handler(*args, **kwargs)
         # Response message back to the caller.

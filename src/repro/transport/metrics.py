@@ -4,44 +4,101 @@ Accumulates byte and message counters keyed by (app, kind, transport) as
 records stream in — memory stays O(#distinct keys) however many transfers a
 scenario performs. The evaluation benches read their figures straight off
 these counters.
+
+Since the observability layer landed, :class:`TransferMetrics` is a thin
+façade over a :class:`~repro.obs.metrics.MetricsRegistry`: the byte/count/
+retry accumulation lives in labelled registry counters
+(``transfer.bytes``, ``transfer.count``, ``transfer.retries``,
+``transfer.retransmitted_bytes``), so a ``--metrics-out`` snapshot sees the
+same numbers the benches read, while every query and export below is
+byte-identical to the pre-registry implementation.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterable
 
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.message import TransferKind, TransferRecord, Transport
 
 __all__ = ["TransferMetrics"]
 
+#: registry label names shared by all transfer counters
+_LABELS = ("app", "kind", "transport")
+
 
 class TransferMetrics:
-    """Byte/count accumulator over transfer records."""
+    """Byte/count accumulator over transfer records, backed by a registry."""
 
-    def __init__(self) -> None:
-        # (app_id, kind, transport) -> [bytes, count, retries, retransmitted bytes]
-        self._agg: dict[tuple[int, TransferKind, Transport], list[int]] = defaultdict(
-            lambda: [0, 0, 0, 0]
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._bytes = self.registry.counter("transfer.bytes", _LABELS)
+        self._count = self.registry.counter("transfer.count", _LABELS)
+        self._retries = self.registry.counter("transfer.retries", _LABELS)
+        self._rebytes = self.registry.counter(
+            "transfer.retransmitted_bytes", _LABELS
         )
 
     # -- recording ---------------------------------------------------------------
 
     def record(self, rec: TransferRecord) -> None:
-        cell = self._agg[(rec.app_id, rec.kind, rec.transport)]
-        cell[0] += rec.nbytes
-        cell[1] += 1
-        cell[2] += rec.retries
-        cell[3] += rec.retries * rec.nbytes
+        # Hot path: update the counter cells directly with one shared key
+        # (cell layout is the registry's documented storage contract).
+        key = (rec.app_id, rec.kind, rec.transport)
+        cells = self._bytes.cells
+        cells[key] = cells.get(key, 0) + rec.nbytes
+        cells = self._count.cells
+        cells[key] = cells.get(key, 0) + 1
+        cells = self._retries.cells
+        cells[key] = cells.get(key, 0) + rec.retries
+        cells = self._rebytes.cells
+        cells[key] = cells.get(key, 0) + rec.retries * rec.nbytes
 
     def record_all(self, recs: Iterable[TransferRecord]) -> None:
         for rec in recs:
             self.record(rec)
 
     def clear(self) -> None:
-        self._agg.clear()
+        for counter in (self._bytes, self._count, self._retries, self._rebytes):
+            counter.cells.clear()
+
+    def merge(self, other: "TransferMetrics") -> "TransferMetrics":
+        """Fold another accumulator's counters into this one (in place).
+
+        Combines metrics from independently-run scenarios — the report
+        module and benchmark aggregation sum per-run accumulators this way.
+        Returns ``self`` for chaining.
+        """
+        pairs = (
+            (self._bytes, other._bytes),
+            (self._count, other._count),
+            (self._retries, other._retries),
+            (self._rebytes, other._rebytes),
+        )
+        for mine, theirs in pairs:
+            for key, value in theirs.cells.items():
+                mine.cells[key] = mine.cells.get(key, 0) + value
+        return self
 
     # -- queries ---------------------------------------------------------------
+
+    def _sum(
+        self,
+        counter,
+        kind: TransferKind | None,
+        transport: Transport | None,
+        app_id: int | None,
+    ) -> int:
+        total = 0
+        for (a, k, t), v in counter.cells.items():
+            if kind is not None and k is not kind:
+                continue
+            if transport is not None and t is not transport:
+                continue
+            if app_id is not None and a != app_id:
+                continue
+            total += v
+        return total
 
     def bytes(
         self,
@@ -50,16 +107,7 @@ class TransferMetrics:
         app_id: int | None = None,
     ) -> int:
         """Total bytes matching the given filters (None = any)."""
-        total = 0
-        for (a, k, t), (b, *_) in self._agg.items():
-            if kind is not None and k is not kind:
-                continue
-            if transport is not None and t is not transport:
-                continue
-            if app_id is not None and a != app_id:
-                continue
-            total += b
-        return total
+        return self._sum(self._bytes, kind, transport, app_id)
 
     def count(
         self,
@@ -68,16 +116,7 @@ class TransferMetrics:
         app_id: int | None = None,
     ) -> int:
         """Number of transfers matching the given filters."""
-        total = 0
-        for (a, k, t), (_, c, *_) in self._agg.items():
-            if kind is not None and k is not kind:
-                continue
-            if transport is not None and t is not transport:
-                continue
-            if app_id is not None and a != app_id:
-                continue
-            total += c
-        return total
+        return self._sum(self._count, kind, transport, app_id)
 
     def retries(
         self,
@@ -86,16 +125,7 @@ class TransferMetrics:
         app_id: int | None = None,
     ) -> int:
         """Failed attempts re-issued for the matching transfers."""
-        total = 0
-        for (a, k, t), (_, _, r, _) in self._agg.items():
-            if kind is not None and k is not kind:
-                continue
-            if transport is not None and t is not transport:
-                continue
-            if app_id is not None and a != app_id:
-                continue
-            total += r
-        return total
+        return self._sum(self._retries, kind, transport, app_id)
 
     def retransmitted_bytes(
         self,
@@ -104,16 +134,7 @@ class TransferMetrics:
         app_id: int | None = None,
     ) -> int:
         """Bytes that crossed the wire again because an attempt failed."""
-        total = 0
-        for (a, k, t), (_, _, _, rb) in self._agg.items():
-            if kind is not None and k is not kind:
-                continue
-            if transport is not None and t is not transport:
-                continue
-            if app_id is not None and a != app_id:
-                continue
-            total += rb
-        return total
+        return self._sum(self._rebytes, kind, transport, app_id)
 
     # -- convenience shorthands used by the benches ---------------------------------
 
@@ -134,7 +155,7 @@ class TransferMetrics:
         return net / total if total else 0.0
 
     def app_ids(self) -> list[int]:
-        return sorted({a for (a, _, _) in self._agg})
+        return sorted({a for (a, _, _) in self._bytes.cells})
 
     # -- comparison / snapshots ------------------------------------------------------
 
@@ -142,8 +163,13 @@ class TransferMetrics:
         """Plain snapshot ``(app, kind, transport) -> (bytes, count, retries,
         retransmitted bytes)`` — the replayability tests compare these."""
         return {
-            (a, k.value, t.value): tuple(cell)
-            for (a, k, t), cell in self._agg.items()
+            (a, k.value, t.value): (
+                b,
+                self._count.cells.get((a, k, t), 0),
+                self._retries.cells.get((a, k, t), 0),
+                self._rebytes.cells.get((a, k, t), 0),
+            )
+            for (a, k, t), b in self._bytes.cells.items()
         }
 
     def __eq__(self, other: object) -> bool:
@@ -159,9 +185,10 @@ class TransferMetrics:
             f"{'app':>5} {'kind':>10} {'transport':>9} {'MiB':>12} {'msgs':>8}"
         ]
         for (a, k, t) in sorted(
-            self._agg, key=lambda key: (key[0], key[1].value, key[2].value)
+            self._bytes.cells, key=lambda key: (key[0], key[1].value, key[2].value)
         ):
-            b, c, *_ = self._agg[(a, k, t)]
+            b = self._bytes.cells[(a, k, t)]
+            c = self._count.cells.get((a, k, t), 0)
             lines.append(
                 f"{a:>5} {k.value:>10} {t.value:>9} {b / 2**20:>12.2f} {c:>8}"
             )

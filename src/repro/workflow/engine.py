@@ -29,6 +29,7 @@ from repro.core.mapping.roundrobin import RoundRobinMapper
 from repro.core.task import AppSpec
 from repro.errors import WorkflowError
 from repro.hardware.cluster import Cluster
+from repro.obs.tracer import Span
 from repro.sim.engine import SimEngine
 from repro.workflow.clients import CommGroup, form_groups
 from repro.workflow.dag import WorkflowDAG
@@ -36,6 +37,7 @@ from repro.workflow.server import WorkflowManagementServer
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.obs.tracer import NullTracer, Tracer
 
 __all__ = ["AppContext", "AppRun", "TraceEvent", "WorkflowEngine"]
 
@@ -94,6 +96,7 @@ class WorkflowEngine:
         server: WorkflowManagementServer | None = None,
         sim: SimEngine | None = None,
         injector: "FaultInjector | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.dag = dag
         self.cluster = cluster
@@ -104,7 +107,10 @@ class WorkflowEngine:
             if injector is not None and not injector.armed:
                 injector.arm(sim)
         else:
-            self.sim = SimEngine(fault_injector=injector)
+            self.sim = SimEngine(fault_injector=injector, tracer=tracer)
+        self.tracer = tracer if tracer is not None else self.sim.tracer
+        if self.tracer.enabled and self.tracer.clock is None:
+            self.tracer.clock = lambda: self.sim.now
         self.injector = injector
         if injector is not None:
             injector.add_node_crash_listener(self._on_node_crash)
@@ -117,6 +123,9 @@ class WorkflowEngine:
         self.reenactments: dict[int, int] = {}
         self._gen: dict[int, int] = {}
         self._executed = False
+        # Open async spans per enactment generation (tracing only).
+        self._bundle_spans: dict[tuple[int, int], Span] = {}
+        self._app_spans: dict[tuple[int, int], Span] = {}
 
     # -- configuration ----------------------------------------------------------------
 
@@ -182,6 +191,12 @@ class WorkflowEngine:
         bundle = self.dag.bundles[index]
         apps = [self.dag.apps[a] for a in bundle.app_ids]
         gen = self._gen.setdefault(index, 0)
+        tracer = self.tracer
+        if tracer.enabled:
+            self._bundle_spans[(index, gen)] = tracer.begin_async(
+                "workflow.bundle", bundle=index, gen=gen,
+                apps=list(bundle.app_ids),
+            )
         self.trace.append(TraceEvent(
             time=self.sim.now, event="bundle_launched", bundle=index,
             detail=f"apps={list(bundle.app_ids)}",
@@ -190,7 +205,13 @@ class WorkflowEngine:
         resolved = self._resolve_context(context)
         # Concurrent bundles must not collide: restrict to idle clients.
         resolved.setdefault("available_cores", self.server.idle_cores())
-        mapping = mapper.map_bundle(apps, self.cluster, **resolved)
+        if tracer.enabled:
+            with tracer.span(
+                "workflow.map", bundle=index, mapper=type(mapper).__name__
+            ):
+                mapping = mapper.map_bundle(apps, self.cluster, **resolved)
+        else:
+            mapping = mapper.map_bundle(apps, self.cluster, **resolved)
         groups = form_groups(apps, mapping)
         for app in apps:
             for rank in range(app.ntasks):
@@ -206,8 +227,19 @@ class WorkflowEngine:
                 start_time=now,
                 engine=self,
             )
+            if tracer.enabled:
+                self._app_spans[(app.app_id, gen)] = tracer.begin_async(
+                    "workflow.app", app=app.app_id, bundle=index, gen=gen,
+                    app_name=app.name, tasks=app.ntasks,
+                )
             routine = self._routines.get(app.app_id, lambda _ctx: 0.0)
-            duration = routine(ctx)
+            if tracer.enabled:
+                with tracer.span(
+                    "workflow.routine", app=app.app_id, bundle=index
+                ):
+                    duration = routine(ctx)
+            else:
+                duration = routine(ctx)
             duration = 0.0 if duration is None else float(duration)
             if duration < 0:
                 raise WorkflowError(
@@ -231,9 +263,15 @@ class WorkflowEngine:
             time=self.sim.now, event="app_completed", bundle=bundle_index,
             app_id=app_id,
         ))
+        span = self._app_spans.pop((app_id, gen), None)
+        if span is not None:
+            self.tracer.end_async(span)
         self.server.release_app(app_id)
         self._apps_pending[bundle_index] -= 1
         if self._apps_pending[bundle_index] == 0:
+            span = self._bundle_spans.pop((bundle_index, gen), None)
+            if span is not None:
+                self.tracer.end_async(span)
             for child in sorted(self._bundle_children[bundle_index]):
                 self._indeg[child] -= 1
                 if self._indeg[child] == 0:
@@ -275,9 +313,16 @@ class WorkflowEngine:
                     break
             if not hit:
                 continue
-            self._gen[index] = self._gen.get(index, 0) + 1
+            old_gen = self._gen.get(index, 0)
+            self._gen[index] = old_gen + 1
             self.reenactments[index] = self.reenactments.get(index, 0) + 1
+            span = self._bundle_spans.pop((index, old_gen), None)
+            if span is not None:
+                self.tracer.end_async(span, aborted=True)
             for app_id in bundle.app_ids:
+                span = self._app_spans.pop((app_id, old_gen), None)
+                if span is not None:
+                    self.tracer.end_async(span, aborted=True)
                 self.server.release_app(app_id)
             self.trace.append(TraceEvent(
                 time=now, event="bundle_reenacted", bundle=index,

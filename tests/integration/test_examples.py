@@ -9,6 +9,10 @@ from pathlib import Path
 
 import pytest
 
+# Every example runs a full scenario through the real stack; keep them out
+# of the default (fast) tier-1 run.
+pytestmark = pytest.mark.slow
+
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
@@ -77,3 +81,10 @@ class TestExamples:
         assert "MapReduce histogram" in out
         assert "PGAS global array" in out
         assert "expected 256" in out
+
+    def test_observability(self, capsys):
+        out = run_example("observability", capsys)
+        assert "traced" in out and "spans" in out
+        assert "metrics registry snapshot" in out
+        assert "DHT hop distribution" in out
+        assert "open it in Perfetto" in out

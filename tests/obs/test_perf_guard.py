@@ -1,0 +1,54 @@
+"""Perf guard: instrumentation must not perturb the untraced hot path.
+
+The Fig 8 bench configuration (concurrent scenario, blocked/blocked,
+data-centric) must dispatch the same engine events and move the same bytes
+whether tracing is attached or not, and an untraced run must carry the
+null tracer end to end.
+"""
+
+from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
+from repro.apps.scenarios import small_concurrent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.transport.message import TransferKind
+
+
+class TestPerfGuard:
+    def test_fig08_bytes_and_events_unchanged_by_tracing(self):
+        untraced = run_scenario(small_concurrent(), DATA_CENTRIC)
+        traced = run_scenario(
+            small_concurrent(), DATA_CENTRIC,
+            tracer=Tracer(), registry=MetricsRegistry(),
+        )
+        # Byte-identical transfer accounting (the Fig 8/9 quantities) ...
+        assert traced.metrics.as_dict() == untraced.metrics.as_dict()
+        assert traced.metrics.network_bytes(TransferKind.COUPLING) == \
+            untraced.metrics.network_bytes(TransferKind.COUPLING)
+        # ... and the same simulated-event schedule.
+        assert traced.sim_events == untraced.sim_events
+
+    def test_fig08_round_robin_also_unchanged(self):
+        untraced = run_scenario(small_concurrent(), ROUND_ROBIN)
+        traced = run_scenario(small_concurrent(), ROUND_ROBIN, tracer=Tracer())
+        assert traced.metrics.as_dict() == untraced.metrics.as_dict()
+        assert traced.sim_events == untraced.sim_events
+
+    def test_untraced_run_uses_null_tracer_throughout(self):
+        from repro.transport.hybriddart import HybridDART
+
+        scenario = small_concurrent()
+        dart = HybridDART(scenario.cluster)
+        # Default wiring keeps the shared no-op tracer on every layer, so
+        # the disabled cost is one `enabled` attribute check per call site.
+        assert dart.tracer is NULL_TRACER
+        result = run_scenario(scenario, DATA_CENTRIC)
+        assert result.registry is not None
+        assert "transfer.bytes" in result.registry
+
+    def test_traced_run_actually_traces(self):
+        tracer = Tracer()
+        run_scenario(small_concurrent(), DATA_CENTRIC, tracer=tracer)
+        assert tracer.open_spans() == 0
+        assert tracer.find("dart.transfer")
+        assert tracer.find("workflow.map")
+        assert any(sp.kind == "async" for sp in tracer.all_spans())

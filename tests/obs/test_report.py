@@ -1,0 +1,129 @@
+"""Tests for the trace-report profiler (repro.obs.report)."""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import TraceReport, load_metrics, load_trace
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def build_trace():
+    """A small hand-driven trace exercising every report section."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    bundle = tracer.begin_async("workflow.bundle", bundle=0, gen=0)
+    for hops in (1, 1, 2):
+        with tracer.span("dht.query", var="T") as sp:
+            sp.set(hops=hops)
+    for hit in (False, True):
+        with tracer.span("cods.get_seq", var="T") as sp:
+            sp.set(cache_hit=hit)
+    with tracer.span("dart.transfer", kind="coupling", transport="shm",
+                     nbytes=2 ** 20):
+        clock.t = 0.5
+    with tracer.span("dart.transfer", kind="coupling", transport="network",
+                     nbytes=2 ** 19):
+        clock.t = 2.0
+    tracer.instant("fault.transfer_retry")
+    tracer.end_async(bundle)
+    return tracer
+
+
+class TestLoaders:
+    def test_load_trace_wrapped_and_bare(self, tmp_path):
+        events = [{"name": "x", "ph": "i", "ts": 0, "s": "t"}]
+        wrapped = tmp_path / "w.json"
+        wrapped.write_text(json.dumps({"traceEvents": events}))
+        bare = tmp_path / "b.json"
+        bare.write_text(json.dumps(events))
+        assert load_trace(str(wrapped)) == events
+        assert load_trace(str(bare)) == events
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"not": "a trace"}')
+        with pytest.raises(AnalysisError):
+            load_trace(str(path))
+
+    def test_load_metrics_rejects_garbage(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("[]")
+        with pytest.raises(AnalysisError):
+            load_metrics(str(path))
+
+
+class TestTraceReport:
+    def test_aggregates(self):
+        report = TraceReport.from_events(build_trace().chrome_events())
+        assert report.dht_hops == {1: 2, 2: 1}
+        assert report.cache_hits == 1 and report.cache_misses == 1
+        assert report.cache_hit_rate == 0.5
+        assert report.transfers[("coupling", "shm")] == [2 ** 20, 1]
+        assert report.transfers[("coupling", "network")] == [2 ** 19, 1]
+        assert report.instants["fault.transfer_retry"] == 1
+        assert len(report.phases) == 1
+        assert report.phases[0][0] == "workflow.bundle"
+
+    def test_top_spans_orders_by_inclusive_time(self):
+        report = TraceReport.from_events(build_trace().chrome_events())
+        top = report.top_spans(2)
+        assert top[0].name == "dart.transfer"
+        assert top[0].count == 2
+        assert top[0].total_us == pytest.approx(2.0 * 1e6)
+        assert top[0].max_us == pytest.approx(1.5 * 1e6)
+
+    def test_metrics_snapshot_wins_for_cache_rate(self):
+        reg = MetricsRegistry()
+        reg.counter("schedule.cache.hit").inc(3)
+        reg.counter("schedule.cache.miss").inc(1)
+        report = TraceReport.from_events(
+            build_trace().chrome_events(), metrics=reg.snapshot()
+        )
+        assert report.cache_hit_rate == 0.75
+
+    def test_unbalanced_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            TraceReport.from_events(
+                [{"name": "x", "ph": "E", "ts": 1.0, "pid": 0, "tid": 0}]
+            )
+
+    def test_format_renders_every_section(self):
+        out = TraceReport.from_events(build_trace().chrome_events()).format()
+        assert "per-phase timeline" in out
+        assert "spans by inclusive simulated time" in out
+        assert "DHT hop distribution" in out
+        assert "schedule-cache hit rate: 50.0%" in out
+        assert "transfer breakdown by transport" in out
+        assert "fault.transfer_retry: 1" in out
+
+    def test_format_empty_trace_degrades_gracefully(self):
+        out = TraceReport.from_events([]).format()
+        assert "no workflow phases" in out
+        assert "no completed spans" in out
+        assert "no dht.query spans" in out
+        assert "no schedule lookups" in out
+        assert "no dart.transfer spans" in out
+
+    def test_from_files_round_trip(self, tmp_path):
+        tracer = build_trace()
+        reg = MetricsRegistry()
+        reg.counter("schedule.cache.hit").inc(1)
+        reg.counter("schedule.cache.miss").inc(1)
+        tpath, mpath = tmp_path / "t.json", tmp_path / "m.json"
+        tracer.write_chrome(str(tpath))
+        reg.write_json(str(mpath))
+        report = TraceReport.from_files(str(tpath), str(mpath))
+        # 7 sync spans + 1 instant + 1 async phase
+        assert report.total_events() == 9
+        assert report.cache_hit_rate == 0.5

@@ -1,0 +1,157 @@
+"""Tests for the span tracer and its Chrome trace_event export."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSpans:
+    def test_nesting_follows_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [sp.name for sp in tracer.roots] == ["outer"]
+        assert [sp.name for sp in tracer.roots[0].children] == ["inner"]
+        assert tracer.open_spans() == 0
+
+    def test_sim_time_stamps(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work") as sp:
+            clock.t = 2.5
+        assert sp.start == 0.0 and sp.end == 2.5
+        assert sp.duration == 2.5
+
+    def test_attrs_set_mid_span_exported_on_end_event(self):
+        tracer = Tracer()
+        with tracer.span("dht.query", var="T") as sp:
+            sp.set(hops=3)
+        end = [e for e in tracer.chrome_events() if e["ph"] == "E"][0]
+        assert end["args"]["var"] == "T" and end["args"]["hops"] == 3
+
+    def test_name_is_positional_only(self):
+        # `name=` must stay usable as a span attribute.
+        tracer = Tracer()
+        with tracer.span("workflow.app", name="attr-not-param") as sp:
+            pass
+        assert sp.attrs["name"] == "attr-not-param"
+
+    def test_out_of_order_close_rejected(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(ReproError):
+            tracer._finish(outer)
+
+    def test_find_and_all_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.find("b")) == 2
+        assert len(list(tracer.all_spans())) == 3
+
+    def test_instant_attaches_under_current_span(self):
+        tracer = Tracer()
+        with tracer.span("transfer"):
+            tracer.instant("fault.transfer_retry", attempt=1)
+        (retry,) = tracer.roots[0].children
+        assert retry.kind == "instant" and retry.duration == 0.0
+
+
+class TestAsyncSpans:
+    def test_async_span_outlives_the_frame(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        sp = tracer.begin_async("workflow.bundle", bundle=0)
+        clock.t = 4.0
+        tracer.end_async(sp, aborted=False)
+        assert sp.duration == 4.0
+        assert sp.attrs["aborted"] is False
+
+    def test_async_does_not_become_parent(self):
+        tracer = Tracer()
+        sp = tracer.begin_async("workflow.bundle")
+        with tracer.span("dart.transfer"):
+            pass
+        assert sp.children == []
+        assert [r.name for r in tracer.roots] == [
+            "workflow.bundle", "dart.transfer"
+        ]
+        tracer.end_async(sp)
+
+    def test_double_end_rejected(self):
+        tracer = Tracer()
+        sp = tracer.begin_async("x")
+        tracer.end_async(sp)
+        with pytest.raises(ReproError):
+            tracer.end_async(sp)
+
+    def test_end_sync_span_as_async_rejected(self):
+        tracer = Tracer()
+        sp = tracer.span("x")
+        with pytest.raises(ReproError):
+            tracer.end_async(sp)
+
+
+class TestChromeExport:
+    def test_event_stream_shape(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        bundle = tracer.begin_async("workflow.bundle", bundle=0)
+        with tracer.span("dart.transfer", nbytes=10):
+            tracer.instant("fault.transfer_retry")
+            clock.t = 1.0
+        tracer.end_async(bundle)
+
+        path = tmp_path / "t.json"
+        tracer.write_chrome(str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert [e["ph"] for e in events] == ["b", "B", "i", "E", "e"]
+        b, B, i, E, e = events
+        assert B["name"] == "dart.transfer" and "args" not in B
+        assert E["args"]["nbytes"] == 10
+        assert E["ts"] == 1.0 * 1e6  # sim seconds -> microseconds
+        assert i["s"] == "t"
+        assert b["cat"] == "workflow" and b["id"] == e["id"]
+        assert B["cat"] == "dart"  # category from the name prefix
+
+    def test_tree_export(self):
+        tracer = Tracer()
+        with tracer.span("a", x=1):
+            with tracer.span("b"):
+                pass
+        (tree,) = tracer.tree()
+        assert tree["name"] == "a" and tree["attrs"] == {"x": 1}
+        assert tree["children"][0]["name"] == "b"
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        sp = NULL_TRACER.span("anything", x=1)
+        sp.set(y=2)  # must not accumulate on the shared instance
+        assert sp.attrs == {}
+        with sp:
+            pass  # context-manager protocol still works
+        NULL_TRACER.instant("x")
+        NULL_TRACER.end_async(NULL_TRACER.begin_async("x"))
+
+    def test_shared_singleton_span(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -42,6 +42,25 @@ class TestEventQueue:
         q.push(5.0, lambda: None)
         assert q.peek_time() == 5.0
 
+    def test_pop_if_before(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        assert q.pop_if_before(2.0).time == 1.0
+        assert q.pop_if_before(2.0) is None  # next event is at 3.0
+        assert len(q) == 1
+
+    def test_pop_if_before_boundary_inclusive(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        assert q.pop_if_before(2.0).time == 2.0
+
+    def test_pop_if_before_none_means_unbounded(self):
+        q = EventQueue()
+        q.push(7.0, lambda: None)
+        assert q.pop_if_before(None).time == 7.0
+        assert q.pop_if_before(None) is None  # empty queue
+
 
 class TestSimEngine:
     def test_clock_advances(self):
@@ -77,6 +96,27 @@ class TestSimEngine:
         assert fired == ["early"]
         assert eng.now == 5.0
         assert eng.pending() == 1
+
+    def test_run_until_fires_event_exactly_at_boundary(self):
+        # Regression: an event scheduled exactly at `until` must fire, and a
+        # strictly later one must stay queued.
+        eng = SimEngine()
+        fired = []
+        eng.schedule(5.0, fired.append, "at-boundary")
+        eng.schedule(5.0 + 1e-9, fired.append, "after")
+        eng.run(until=5.0)
+        assert fired == ["at-boundary"]
+        assert eng.now == 5.0
+        assert eng.pending() == 1
+
+    def test_run_until_counts_fired_events(self):
+        eng = SimEngine()
+        for t in (1.0, 2.0, 8.0):
+            eng.schedule(t, lambda: None)
+        eng.run(until=4.0)
+        assert eng.events_fired == 2
+        eng.run()
+        assert eng.events_fired == 3
 
     def test_run_until_past_queue(self):
         eng = SimEngine()

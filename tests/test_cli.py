@@ -39,6 +39,7 @@ class TestCommands:
         assert "round-robin" in out and "data-centric" in out
         assert "reduction" in out
 
+    @pytest.mark.slow
     def test_compare_with_dist(self, capsys):
         assert main(["compare", "--scenario", "sequential",
                      "--dist", "cyclic"]) == 0
@@ -66,3 +67,52 @@ class TestCommands:
         from repro.errors import DagParseError
         with pytest.raises(DagParseError):
             main(["dag", str(path)])
+
+
+class TestObservability:
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        tpath = tmp_path / "t.json"
+        mpath = tmp_path / "m.json"
+        assert main(["concurrent", "--trace-out", str(tpath),
+                     "--metrics-out", str(mpath)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {tpath}" in out
+        assert f"metrics written to {mpath}" in out
+
+        trace = json.loads(tpath.read_text())
+        assert isinstance(trace["traceEvents"], list) and trace["traceEvents"]
+        assert {"name", "ph", "ts"} <= set(trace["traceEvents"][0])
+        metrics = json.loads(mpath.read_text())
+        assert "transfer.bytes{app=2,kind=coupling,transport=shm}" in \
+            metrics["counters"]
+
+    def test_metrics_out_alone(self, tmp_path, capsys):
+        mpath = tmp_path / "m.json"
+        assert main(["sequential", "--metrics-out", str(mpath)]) == 0
+        assert mpath.exists()
+        assert "trace written" not in capsys.readouterr().out
+
+    def test_trace_report_subcommand(self, tmp_path, capsys):
+        tpath = tmp_path / "t.json"
+        mpath = tmp_path / "m.json"
+        main(["sequential", "--trace-out", str(tpath),
+              "--metrics-out", str(mpath)])
+        capsys.readouterr()
+
+        assert main(["trace-report", str(tpath),
+                     "--metrics", str(mpath), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase timeline" in out
+        assert "top 5 spans by inclusive simulated time" in out
+        assert "DHT hop distribution" in out
+        assert "schedule-cache hit rate" in out
+        assert "transfer breakdown by transport" in out
+
+    def test_compare_writes_data_centric_trace(self, tmp_path, capsys):
+        tpath = tmp_path / "t.json"
+        assert main(["compare", "--scenario", "concurrent",
+                     "--trace-out", str(tpath)]) == 0
+        assert tpath.exists()
+        assert f"trace written to {tpath}" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Tests for TransferMetrics as a registry façade, and for merge()."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.transport.message import TransferKind, TransferRecord, Transport
+from repro.transport.metrics import TransferMetrics
+
+
+def rec(nbytes, kind=TransferKind.COUPLING, transport=Transport.SHM,
+        app_id=1, retries=0):
+    return TransferRecord(0, 1, nbytes, kind, transport,
+                          app_id=app_id, retries=retries)
+
+
+class TestMerge:
+    def test_disjoint_keys_union(self):
+        a = TransferMetrics()
+        a.record(rec(100, transport=Transport.NETWORK, app_id=1))
+        b = TransferMetrics()
+        b.record(rec(50, transport=Transport.SHM, app_id=2))
+        out = a.merge(b)
+        assert out is a  # in place, chainable
+        assert a.bytes(app_id=1) == 100
+        assert a.bytes(app_id=2) == 50
+        assert a.count() == 2
+
+    def test_overlapping_keys_sum(self):
+        a = TransferMetrics()
+        a.record(rec(100, retries=1))
+        b = TransferMetrics()
+        b.record(rec(40, retries=2))
+        b.record(rec(60))
+        a.merge(b)
+        assert a.bytes() == 200
+        assert a.count() == 3
+        assert a.retries() == 3
+        assert a.retransmitted_bytes() == 1 * 100 + 2 * 40
+
+    def test_merge_equals_single_accumulator(self):
+        records = [
+            rec(10, TransferKind.COUPLING, Transport.NETWORK, app_id=2),
+            rec(20, TransferKind.CONTROL, Transport.SHM, app_id=-1),
+            rec(30, TransferKind.COUPLING, Transport.SHM, app_id=2, retries=1),
+            rec(40, TransferKind.INTRA_APP, Transport.NETWORK, app_id=3),
+        ]
+        combined = TransferMetrics()
+        combined.record_all(records)
+        a, b = TransferMetrics(), TransferMetrics()
+        a.record_all(records[:2])
+        b.record_all(records[2:])
+        assert a.merge(b) == combined
+        assert a.as_dict() == combined.as_dict()
+
+    def test_merge_does_not_mutate_other(self):
+        a, b = TransferMetrics(), TransferMetrics()
+        b.record(rec(10))
+        before = b.as_dict()
+        a.merge(b)
+        assert b.as_dict() == before
+
+    def test_merge_empty_is_identity(self):
+        a = TransferMetrics()
+        a.record(rec(10))
+        snap = a.as_dict()
+        a.merge(TransferMetrics())
+        assert a.as_dict() == snap
+
+
+class TestRegistryFacade:
+    def test_counters_visible_in_registry_snapshot(self):
+        registry = MetricsRegistry()
+        m = TransferMetrics(registry=registry)
+        m.record(rec(100, transport=Transport.NETWORK))
+        snap = registry.snapshot()
+        assert snap["counters"]["transfer.bytes{app=1,kind=coupling,transport=network}"] == 100
+        assert snap["counters"]["transfer.count{app=1,kind=coupling,transport=network}"] == 1
+
+    def test_private_registry_by_default(self):
+        a, b = TransferMetrics(), TransferMetrics()
+        a.record(rec(10))
+        assert b.bytes() == 0
+        assert a.registry is not b.registry
+
+    def test_clear_resets_registry_cells(self):
+        m = TransferMetrics()
+        m.record(rec(10, retries=1))
+        m.clear()
+        assert m.bytes() == 0
+        assert m.count() == 0
+        assert m.retries() == 0
+        assert m.as_dict() == {}
+
+    def test_app_ids_and_network_fraction(self):
+        m = TransferMetrics()
+        m.record(rec(75, transport=Transport.NETWORK, app_id=2))
+        m.record(rec(25, transport=Transport.SHM, app_id=3))
+        assert m.app_ids() == [2, 3]
+        assert m.network_fraction() == 0.75
