@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Chaos soak: seeded random fault plans over the Fig 8 scenario.
+
+Each seed derives a deterministic fault plan — one node crash at a random
+mid-flight instant, sometimes a DHT-core failure on top — and runs the
+sequential coupling scenario with k-way replication and heartbeat failure
+detection. The soak passes only if every run upholds the resilience
+invariants:
+
+* zero failed gets: every consumer assembled its full requested region
+  (a lost read raises and fails the seed),
+* no logical object lost every copy (k=2 absorbs any single crash), and
+* the replication factor is restored by the end of the run.
+
+One seed additionally runs with tracing and a metrics registry attached;
+the emitted files are validated with benchmarks/check_trace.py, so the
+chaos path keeps producing balanced spans and well-formed snapshots.
+
+Usage:  python benchmarks/chaos_soak.py [--seeds N] [--replication K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from check_trace import check_metrics, check_trace  # noqa: E402
+
+from repro.analysis.experiments import run_scenario  # noqa: E402
+from repro.apps.scenarios import CoupledScenario, layout_for  # noqa: E402
+from repro.core.task import AppSpec  # noqa: E402
+from repro.domain.descriptor import DecompositionDescriptor  # noqa: E402
+from repro.faults.plan import (  # noqa: E402
+    DHTCoreFailure,
+    FaultPlan,
+    NodeCrash,
+)
+from repro.hardware.cluster import Cluster  # noqa: E402
+from repro.hardware.spec import generic_multicore  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.tracer import Tracer  # noqa: E402
+from repro.resilience.manager import ResilienceConfig  # noqa: E402
+
+#: producer/consumer simulated compute (run window [0, ~1.1] s)
+PRODUCER_COMPUTE = 1.0
+CONSUMER_COMPUTE = 0.1
+
+#: soak workload: 32 producer tasks on a 10-node/40-core cluster, so a
+#: whole node's worth of spare cores survives any single crash and
+#: re-dispatched bundles always fit
+PRODUCER_TASKS = 32
+CONSUMER_TASKS = (8, 16)
+SPARE_NODES = 2
+TASK_SIDE = 8
+
+
+def soak_scenario() -> CoupledScenario:
+    """Fig 8-shaped sequential coupling with spare nodes for re-dispatch."""
+    machine = generic_multicore(4)
+    cluster = Cluster(
+        num_nodes=PRODUCER_TASKS // 4 + SPARE_NODES, machine=machine
+    )
+    playout = layout_for(PRODUCER_TASKS)
+    domain = tuple(p * TASK_SIDE for p in playout)
+
+    def app(app_id, name, ntasks):
+        return AppSpec(
+            app_id=app_id, name=name,
+            descriptor=DecompositionDescriptor.uniform(
+                domain, layout_for(ntasks), "blocked", 4
+            ),
+            element_size=8, var="coupled",
+        )
+
+    return CoupledScenario(
+        name="chaos-soak", mode="seq", cluster=cluster, domain=domain,
+        producer=app(1, "SAP1", PRODUCER_TASKS),
+        consumers=[
+            app(2 + i, f"SAP{2 + i}", n)
+            for i, n in enumerate(CONSUMER_TASKS)
+        ],
+    )
+
+
+def plan_for_seed(seed: int, cluster) -> FaultPlan:
+    """Deterministic single-crash (sometimes +DHT-failure) plan."""
+    rng = random.Random(seed)
+    node = rng.randrange(cluster.num_nodes)
+    crash_time = round(rng.uniform(0.05, 1.05), 4)
+    dht_failures = ()
+    if rng.random() < 0.3:
+        # A DHT core on a *different* node stops answering too (each node's
+        # first core serves a DHT interval).
+        other = rng.choice(
+            [n for n in range(cluster.num_nodes) if n != node]
+        )
+        dht_failures = (
+            DHTCoreFailure(
+                core=cluster.cores_of_node(other)[0],
+                time=round(rng.uniform(0.05, 1.05), 4),
+            ),
+        )
+    return FaultPlan(
+        seed=seed,
+        node_crashes=(NodeCrash(node=node, time=crash_time),),
+        dht_failures=dht_failures,
+    )
+
+
+def run_seed(seed: int, replication: int, tracer=None, registry=None):
+    scenario = soak_scenario()
+    plan = plan_for_seed(seed, scenario.cluster)
+    result = run_scenario(
+        scenario,
+        fault_plan=plan,
+        tracer=tracer,
+        registry=registry,
+        resilience=ResilienceConfig(replication=replication),
+        producer_compute=PRODUCER_COMPUTE,
+        consumer_compute=CONSUMER_COMPUTE,
+    )
+    return plan, result
+
+
+def verify(seed: int, plan: FaultPlan, result, replication: int) -> list[str]:
+    problems = []
+    # Every consumer performed its gets (a failed get raises earlier, but
+    # double-check the schedules actually landed).
+    for app_id in result.consumer_ids:
+        if not result.schedules.get(app_id):
+            problems.append(f"consumer {app_id} has no schedules")
+    space = result.space
+    lost = space.lost_objects()
+    if lost:
+        problems.append(f"objects lost every copy: {lost}")
+    # Replication factor restored for every surviving logical object.
+    copies: dict[tuple, int] = {}
+    for store in space._stores.values():
+        for obj in store.objects():
+            key = (obj.var, obj.version, obj.logical_owner)
+            copies[key] = copies.get(key, 0) + 1
+    for key in space._produced_by:
+        if copies.get(key, 0) != replication:
+            problems.append(
+                f"{key}: {copies.get(key, 0)} copies, want {replication}"
+            )
+    s = result.resilience
+    if s["detections_node"] != 1:
+        problems.append(f"crash not detected: {s}")
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seeds", type=int, default=200,
+                    help="number of seeded fault plans to run (default 200)")
+    ap.add_argument("--replication", type=int, default=2)
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    failures = 0
+    totals = {"failover_reads": 0, "rereplication_copies": 0,
+              "reenactments": 0, "detections_dht": 0}
+    for seed in range(args.seeds):
+        tracer = registry = None
+        if seed == 0:
+            tracer, registry = Tracer(), MetricsRegistry()
+        try:
+            plan, result = run_seed(seed, args.replication, tracer, registry)
+        except Exception as exc:  # noqa: BLE001 — any failure fails the seed
+            print(f"seed {seed}: FAILED GET / run error: {exc}")
+            failures += 1
+            continue
+        problems = verify(seed, plan, result, args.replication)
+        for key in totals:
+            totals[key] += result.resilience.get(key, 0)
+        if problems:
+            failures += 1
+            crash = plan.node_crashes[0]
+            print(f"seed {seed} (node {crash.node} @ {crash.time}): "
+                  + "; ".join(problems))
+        elif args.verbose:
+            crash = plan.node_crashes[0]
+            print(f"seed {seed}: ok (node {crash.node} @ {crash.time}, "
+                  f"{result.resilience})")
+        if seed == 0:
+            with tempfile.TemporaryDirectory() as tmp:
+                tpath = os.path.join(tmp, "trace.json")
+                mpath = os.path.join(tmp, "metrics.json")
+                tracer.write_chrome(tpath)
+                registry.write_json(mpath)
+                try:
+                    nevents = check_trace(tpath)
+                    ncells = check_metrics(mpath)
+                except Exception as exc:  # noqa: BLE001
+                    print(f"seed 0: trace/metrics validation failed: {exc}")
+                    failures += 1
+                else:
+                    print(f"seed 0: trace balanced ({nevents} events), "
+                          f"metrics well-formed ({ncells} cells)")
+
+    print(f"\nchaos soak: {args.seeds - failures}/{args.seeds} seeds clean; "
+          f"{totals['failover_reads']} failover reads, "
+          f"{totals['rereplication_copies']} copies re-replicated, "
+          f"{totals['reenactments']} re-enactments, "
+          f"{totals['detections_dht']} DHT detections")
+    if failures:
+        print(f"chaos soak FAILED: {failures} seed(s) violated invariants")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ two calls to this driver with different mappers or scenario parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.apps.consumer import ConsumerApp
 from repro.apps.producer import ProducerApp
@@ -32,6 +33,9 @@ from repro.transport.hybriddart import HybridDART
 from repro.transport.metrics import TransferMetrics
 from repro.workflow.dag import Bundle, WorkflowDAG
 from repro.workflow.engine import WorkflowEngine
+
+if TYPE_CHECKING:
+    from repro.resilience.manager import ResilienceConfig
 
 __all__ = ["ScenarioResult", "run_scenario", "make_mapper"]
 
@@ -57,6 +61,13 @@ class ScenarioResult:
     registry: "MetricsRegistry | None" = None
     #: simulated events the engine dispatched (perf-guard diagnostics)
     sim_events: int = 0
+    #: resilience summary (replication, detections, failovers…); None when
+    #: the run executed without the resilience subsystem
+    resilience: "dict | None" = None
+    #: the workflow engine (re-enactment counters, trace, makespan)
+    engine: "WorkflowEngine | None" = None
+    #: the CoDS space the run shared data through (invariant checks)
+    space: "CoDS | None" = None
 
     @property
     def consumer_ids(self) -> list[int]:
@@ -95,6 +106,9 @@ def run_scenario(
     fault_plan: "FaultPlan | None" = None,
     tracer: "Tracer | NullTracer | None" = None,
     registry: "MetricsRegistry | None" = None,
+    resilience: "ResilienceConfig | None" = None,
+    producer_compute: float = 0.0,
+    consumer_compute: float = 0.0,
 ) -> ScenarioResult:
     """Execute one scenario under the named mapping strategy.
 
@@ -108,27 +122,64 @@ def run_scenario(
     the transfer accumulator so DHT/schedule-cache instruments land in the
     same ``--metrics-out`` snapshot. Both default to disabled/private
     instances and leave the untraced run byte-identical.
+
+    ``resilience`` (a :class:`repro.resilience.ResilienceConfig`) switches
+    the run into resilience mode: k-way replication in the space, heartbeat
+    failure detection (crashes take effect at *detection* time instead of
+    instantly), automatic re-replication, optional periodic checkpoints,
+    and — via ``restore_from`` — resuming a previous run's checkpoint.
+    ``None`` keeps the legacy instant-recovery wiring byte-identical.
+
+    ``producer_compute``/``consumer_compute`` give the synthetic apps a
+    simulated compute duration, stretching the run over simulated time so
+    mid-flight faults, failure detection, and periodic checkpoints have a
+    window to land in. The default (0.0) collapses the whole workflow to
+    t=0, exactly as before.
     """
     cluster = scenario.cluster
     injector: FaultInjector | None = None
     if fault_plan is not None and not fault_plan.is_empty:
         injector = FaultInjector(fault_plan)
+
+    ckpt = None
+    sim = None
+    if resilience is not None:
+        from repro.resilience.checkpoint import Checkpoint, decode_label
+        from repro.resilience.replication import ReplicaPlacer
+        from repro.sim.engine import SimEngine
+
+        resilience.validate()
+        if resilience.restore_from is not None:
+            ckpt = Checkpoint.load(resilience.restore_from)
+            if registry is None:
+                registry = MetricsRegistry()
+            registry.load_state(ckpt.metrics_state, decode_label)
+            sim = SimEngine(tracer=tracer, start_time=ckpt.time)
+
     metrics = TransferMetrics(registry=registry)
     space = CoDS(
         cluster,
         scenario.domain,
         dart=HybridDART(cluster, metrics=metrics, injector=injector, tracer=tracer),
+        replication=resilience.replication if resilience is not None else 1,
+        placer=(
+            ReplicaPlacer(cluster, resilience.placer_seed)
+            if resilience is not None and resilience.replication > 1
+            else None
+        ),
     )
     mode = scenario.mode
 
     producer_routine = ProducerApp(
         spec=scenario.producer, space=space, mode=mode,
         stencil_iterations=stencil_iterations,
+        compute_seconds=producer_compute,
     )
     consumer_routines = [
         ConsumerApp(spec=c, space=space, mode=mode,
                     stencil_iterations=stencil_iterations,
-                    coupled_region=scenario.coupled_region)
+                    coupled_region=scenario.coupled_region,
+                    compute_seconds=consumer_compute)
         for c in scenario.consumers
     ]
 
@@ -149,13 +200,31 @@ def run_scenario(
             ],
         )
 
-    engine = WorkflowEngine(dag, cluster, injector=injector, tracer=tracer)
-    if injector is not None:
-        # CoDS recovers after the engine (listener order): the engine frees
-        # the crashed clients first, then the space drops lost stores and
-        # fails the node's DHT core over to its successor.
-        injector.add_node_crash_listener(lambda node: space.on_node_crash(node))
-        injector.add_dht_failure_listener(lambda core: space.fail_dht_core(core))
+    manager = None
+    if resilience is not None:
+        from repro.resilience.manager import ResilienceManager
+
+        engine = WorkflowEngine(
+            dag, cluster, sim=sim, injector=injector, tracer=tracer,
+            defer_crash_redispatch=True,
+        )
+        manager = ResilienceManager(
+            resilience, engine.sim, space, engine, space.dart.registry,
+            injector=injector,
+            fault_seed=fault_plan.seed if fault_plan is not None else None,
+        )
+        manager.install()
+        manager.start_checkpointing()
+        if ckpt is not None:
+            space.restore_manifest(ckpt.space_manifest)
+    else:
+        engine = WorkflowEngine(dag, cluster, injector=injector, tracer=tracer)
+        if injector is not None:
+            # CoDS recovers after the engine (listener order): the engine
+            # frees the crashed clients first, then the space drops lost
+            # stores and fails the node's DHT core over to its successor.
+            injector.add_node_crash_listener(lambda node: space.on_node_crash(node))
+            injector.add_dht_failure_listener(lambda core: space.fail_dht_core(core))
     engine.set_routine(scenario.producer.app_id, producer_routine)
     for routine in consumer_routines:
         engine.set_routine(routine.spec.app_id, routine)
@@ -167,7 +236,7 @@ def run_scenario(
         consumer_bundle = engine.bundle_index_of(scenario.consumers[0].app_id)
         engine.set_bundle_mapper(consumer_bundle, chosen, **context)
 
-    runs = engine.run()
+    runs = engine.run(restore=ckpt.engine_state if ckpt is not None else None)
 
     result = ScenarioResult(
         scenario=scenario,
@@ -176,6 +245,9 @@ def run_scenario(
         injector=injector,
         registry=space.dart.registry,
         sim_events=engine.sim.events_fired,
+        resilience=manager.summary() if manager is not None else None,
+        engine=engine,
+        space=space,
     )
     for app_id, run in runs.items():
         if run.mapping is not None:

@@ -39,6 +39,7 @@ class ProducerApp(SyntheticApp):
                     self.space.put_seq(
                         core, spec.var, region,
                         element_size=spec.element_size, version=self.version,
+                        app_id=spec.app_id,
                     )
                 else:
                     self.space.put_cont(

@@ -69,6 +69,37 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out", metavar="PATH", default=None,
             help="write a JSON snapshot of the run's metrics registry",
         )
+        p.add_argument(
+            "--replication", type=int, default=1, metavar="K",
+            help="store K copies of every object on K distinct nodes "
+                 "(K>1 enables the resilience subsystem)",
+        )
+        p.add_argument(
+            "--checkpoint-out", metavar="PATH", default=None,
+            help="periodically checkpoint workflow + data-space state "
+                 "(implies the resilience subsystem)",
+        )
+        p.add_argument(
+            "--checkpoint-interval", type=float, default=0.25, metavar="S",
+            help="simulated seconds between checkpoints (default 0.25)",
+        )
+        p.add_argument(
+            "--restore-from", metavar="PATH", default=None,
+            help="resume a previous run from its checkpoint file",
+        )
+        p.add_argument(
+            "--heartbeat-period", type=float, default=0.05, metavar="S",
+            help="failure-detector sweep period (default 0.05)",
+        )
+        p.add_argument(
+            "--heartbeat-timeout", type=float, default=0.15, metavar="S",
+            help="silence before a node is declared dead (default 0.15)",
+        )
+        p.add_argument(
+            "--compute-seconds", type=float, default=0.0, metavar="S",
+            help="simulated compute time per app (gives mid-flight faults "
+                 "and checkpoints a window; default 0)",
+        )
 
     for name, help_ in (
         ("concurrent", "run the online-data-processing scenario (CAP1/CAP2)"),
@@ -137,6 +168,37 @@ def _print_fault_summary(result) -> None:
         print(trace)
 
 
+def _make_resilience(args: argparse.Namespace):
+    """A ResilienceConfig when any resilience flag departs from defaults."""
+    if (getattr(args, "replication", 1) <= 1
+            and not getattr(args, "checkpoint_out", None)
+            and not getattr(args, "restore_from", None)):
+        return None
+    from repro.resilience.manager import ResilienceConfig
+
+    return ResilienceConfig(
+        replication=args.replication,
+        heartbeat_period=args.heartbeat_period,
+        heartbeat_timeout=args.heartbeat_timeout,
+        checkpoint_path=args.checkpoint_out,
+        checkpoint_interval=args.checkpoint_interval,
+        restore_from=args.restore_from,
+    )
+
+
+def _print_resilience_summary(result) -> None:
+    if result.resilience is None:
+        return
+    s = result.resilience
+    print()
+    print(f"resilience: replication={s['replication']}, "
+          f"detections={s['detections_node']} node / {s['detections_dht']} dht, "
+          f"failover reads={s['failover_reads']}, "
+          f"re-replicated={s['rereplication_copies']} copies "
+          f"({s['rereplication_bytes']} B), "
+          f"re-enactments={s['reenactments']}")
+
+
 def _make_tracer(args: argparse.Namespace):
     if not getattr(args, "trace_out", None):
         return None
@@ -164,6 +226,9 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         scenario, args.mapper,
         stencil_iterations=args.stencil, time_transfers=args.time,
         fault_plan=_load_fault_plan(args), tracer=tracer,
+        resilience=_make_resilience(args),
+        producer_compute=args.compute_seconds,
+        consumer_compute=args.compute_seconds,
     )
     m = result.metrics
     rows = []
@@ -186,6 +251,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         ]
         print(format_table(["consumer", "retrieval ms"], rows))
     _print_fault_summary(result)
+    _print_resilience_summary(result)
     _write_obs(args, result, tracer)
     return 0
 
@@ -203,6 +269,9 @@ def _run_compare(args: argparse.Namespace) -> int:
             scenario, mapper,
             stencil_iterations=args.stencil, time_transfers=args.time,
             fault_plan=_load_fault_plan(args), tracer=tracer,
+            resilience=_make_resilience(args),
+            producer_compute=args.compute_seconds,
+            consumer_compute=args.compute_seconds,
         )
         last_result = result
         last_tracer = tracer
@@ -223,6 +292,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     print(f"\nnetwork coupled-data reduction: {red:.0%}")
     if last_result is not None:
         _print_fault_summary(last_result)
+        _print_resilience_summary(last_result)
         _write_obs(args, last_result, last_tracer)
     return 0
 

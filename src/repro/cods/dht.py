@@ -42,6 +42,17 @@ class ObjectLocation:
     owner_core: int
     region: RegionProduct
     element_size: int
+    #: primary copy's core when this entry points at a replica (None = primary)
+    primary_core: "int | None" = None
+
+    @property
+    def is_replica(self) -> bool:
+        return self.primary_core is not None
+
+    @property
+    def logical_owner(self) -> int:
+        """Core of the primary copy (``owner_core`` for primaries)."""
+        return self.owner_core if self.primary_core is None else self.primary_core
 
 
 class SpatialDHT:
@@ -125,27 +136,31 @@ class SpatialDHT:
 
     # -- registration ------------------------------------------------------------------
 
-    def register(self, obj: DataObject) -> int:
+    def register(self, obj: DataObject, account: bool = True) -> int:
         """Insert an object's location; returns the number of DHT cores touched.
 
         The object's *bounding box* routes the registration (DataSpaces
         registers bboxes); the exact interval-product region is stored in the
         location entries so queries can compute precise overlaps.
+
+        ``account=False`` records the entry without the control RPCs or the
+        registration counter — used when re-loading state from a checkpoint,
+        whose original registrations were already paid for.
         """
         bbox = obj.bounding_box
         if bbox.is_empty:
             return 0
         tracer = self.dart.tracer if self.dart is not None else NULL_TRACER
         if not tracer.enabled:
-            return self._do_register(obj, bbox)
+            return self._do_register(obj, bbox, account)
         with tracer.span(
             "dht.register", var=obj.var, owner=obj.owner_core
         ) as span:
-            hops = self._do_register(obj, bbox)
+            hops = self._do_register(obj, bbox, account)
             span.set(hops=hops)
             return hops
 
-    def _do_register(self, obj: DataObject, bbox: Box) -> int:
+    def _do_register(self, obj: DataObject, bbox: Box, account: bool = True) -> int:
         spans = self.linearizer.spans_for_box(bbox, self.span_cube_order)
         owners = self._owners_of_spans(spans)
         if not owners:
@@ -156,15 +171,27 @@ class SpatialDHT:
             owner_core=obj.owner_core,
             region=obj.region,
             element_size=obj.element_size,
+            primary_core=obj.primary_core,
         )
-        self._m_registrations.inc()
+        if account:
+            self._m_registrations.inc()
         for i in owners:
-            self._rpc(obj.owner_core, i, "dht_register")
+            if account:
+                self._rpc(obj.owner_core, i, "dht_register")
             self._tables[i].setdefault(obj.var, []).append(loc)
         return len(owners)
 
-    def unregister(self, var: str, version: int, owner_core: int) -> int:
-        """Remove matching entries from every location table."""
+    def unregister(
+        self, var: str, version: int, owner_core: int, of: "int | None" = None
+    ) -> int:
+        """Remove matching entries from every location table.
+
+        ``of`` selects by *logical* owner: the core's own primary by
+        default, or a replica of core ``of`` held on ``owner_core`` — so
+        dropping a replica never takes down the hosting core's primary of
+        the same variable.
+        """
+        logical = owner_core if of is None else of
         removed = 0
         for table in self._tables:
             entries = table.get(var)
@@ -172,7 +199,8 @@ class SpatialDHT:
                 continue
             kept = [
                 e for e in entries
-                if not (e.version == version and e.owner_core == owner_core)
+                if not (e.version == version and e.owner_core == owner_core
+                        and e.logical_owner == logical)
             ]
             removed += len(entries) - len(kept)
             if kept:
@@ -227,7 +255,7 @@ class SpatialDHT:
             for loc in self._tables[i].get(var, ()):
                 if version is not None and loc.version != version:
                     continue
-                key = (loc.var, loc.version, loc.owner_core)
+                key = (loc.var, loc.version, loc.owner_core, loc.primary_core)
                 if key in seen:
                     continue
                 seen.add(key)
@@ -238,7 +266,7 @@ class SpatialDHT:
                         break
                 if overlap > 0:
                     out.append(loc)
-        out.sort(key=lambda l: (l.version, l.owner_core))
+        out.sort(key=lambda l: (l.version, l.owner_core, l.logical_owner))
         return out
 
     # -- failover -----------------------------------------------------------------------
@@ -277,18 +305,19 @@ class SpatialDHT:
             self.dart.unregister_handler(core, "dht_query" + self._rpc_suffix)
         return successor
 
-    def rebuild(self, objects: "Iterable[DataObject]") -> int:
+    def rebuild(self, objects: "Iterable[DataObject]", account: bool = True) -> int:
         """Rebuild every location table from surviving stored objects.
 
         Clears all tables and re-registers each object (registration RPCs
-        are accounted as usual — failover recovery is real control traffic).
-        Returns the number of objects re-registered.
+        are accounted as usual — failover recovery is real control traffic;
+        pass ``account=False`` when replaying a checkpoint whose traffic was
+        already paid). Returns the number of objects re-registered.
         """
         for table in self._tables:
             table.clear()
         count = 0
         for obj in objects:
-            self.register(obj)
+            self.register(obj, account=account)
             count += 1
         return count
 

@@ -30,11 +30,21 @@ __all__ = ["DataLookupService"]
 
 
 class DataLookupService:
-    """Query interface over the DHT location tables."""
+    """Query interface over the DHT location tables.
+
+    ``liveness`` (set by the resilience manager when replication is on)
+    filters the *byte-count* queries to nodes still alive — between a crash
+    and its detection the DHT still lists copies on the dead node, and
+    mapping decisions must not count unreachable bytes. :meth:`locate` is
+    deliberately unfiltered: the space's copy selection needs to see dead
+    copies to tell replica failover apart from true data loss. ``None``
+    (the default) keeps every query byte-identical to the unfiltered path.
+    """
 
     def __init__(self, dht: SpatialDHT, cluster: Cluster) -> None:
         self.dht = dht
         self.cluster = cluster
+        self.liveness: "Callable[[int], bool] | None" = None
 
     def locate(
         self,
@@ -45,6 +55,11 @@ class DataLookupService:
     ) -> list[ObjectLocation]:
         """Exact locations of stored data overlapping ``box``."""
         return self.dht.query(src_core, var, box, version)
+
+    def _node_live(self, core: int) -> bool:
+        return self.liveness is None or self.liveness(
+            self.cluster.node_of_core(core)
+        )
 
     def bytes_by_node(
         self,
@@ -72,6 +87,8 @@ class DataLookupService:
         qregion = region_from_box(box)
         per_node: dict[int, int] = defaultdict(int)
         for loc in self.locate(src_core, var, box, version):
+            if not self._node_live(loc.owner_core):
+                continue
             cells = region_overlap_cells(qregion, loc.region)
             if cells:
                 node = self.cluster.node_of_core(loc.owner_core)
@@ -93,6 +110,8 @@ class DataLookupService:
             return {}
         per_node: dict[int, int] = defaultdict(int)
         for loc in self.locate(src_core, var, bbox, version):
+            if not self._node_live(loc.owner_core):
+                continue
             cells = region_overlap_cells(region, loc.region)
             if cells:
                 node = self.cluster.node_of_core(loc.owner_core)

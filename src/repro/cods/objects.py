@@ -94,6 +94,9 @@ class DataObject:
     owner_core: int
     element_size: int
     payload: "object | None" = None  # numpy ndarray or None
+    #: core holding the primary copy when this object is a replica;
+    #: ``None`` means this object *is* the primary (the common case).
+    primary_core: "int | None" = None
 
     def __post_init__(self) -> None:
         if not self.var:
@@ -119,6 +122,15 @@ class DataObject:
                     f"{self.element_size}"
                 )
             object.__setattr__(self, "payload", arr)
+
+    @property
+    def is_replica(self) -> bool:
+        return self.primary_core is not None
+
+    @property
+    def logical_owner(self) -> int:
+        """Core of the primary copy (itself when this is the primary)."""
+        return self.owner_core if self.primary_core is None else self.primary_core
 
     @property
     def cells(self) -> int:
@@ -151,6 +163,9 @@ class ObjectStore:
         self.capacity_bytes = capacity_bytes
         self._objects: dict[tuple[str, int, int], DataObject] = {}
         self._bytes = 0
+        # Objects held per variable name — O(1) staleness probe for cached
+        # schedules that may reference an evicted source store.
+        self._var_count: dict[str, int] = {}
 
     @property
     def used_bytes(self) -> int:
@@ -165,7 +180,10 @@ class ObjectStore:
                 f"object owned by core {obj.owner_core} inserted into store "
                 f"of core {self.core}"
             )
-        key = obj.key()
+        # Keyed by logical owner: the core's own primary keys on the core
+        # itself (the pre-replication behavior), while replicas of *other*
+        # cores' primaries coexist alongside it under their primary's core.
+        key = (obj.var, obj.version, obj.logical_owner)
         if key in self._objects:
             raise SpaceError(f"duplicate object {key} in store of core {self.core}")
         if (
@@ -178,17 +196,34 @@ class ObjectStore:
             )
         self._objects[key] = obj
         self._bytes += obj.nbytes
+        self._var_count[obj.var] = self._var_count.get(obj.var, 0) + 1
 
-    def get(self, var: str, version: int) -> DataObject | None:
-        return self._objects.get((var, version, self.core))
+    def get(self, var: str, version: int, of: int | None = None) -> DataObject | None:
+        """The stored copy of ``(var, version)`` whose logical owner is
+        ``of`` (this core — i.e. the core's own primary — by default)."""
+        owner = self.core if of is None else of
+        return self._objects.get((var, version, owner))
 
-    def evict(self, var: str, version: int) -> DataObject:
-        obj = self._objects.pop((var, version, self.core), None)
+    def has_var(self, var: str) -> bool:
+        """Whether any version of ``var`` is stored here (O(1))."""
+        return self._var_count.get(var, 0) > 0
+
+    def evict(self, var: str, version: int, of: int | None = None) -> DataObject:
+        """Remove one copy (the core's own primary unless ``of`` names the
+        logical owner of a replica held here)."""
+        owner = self.core if of is None else of
+        obj = self._objects.pop((var, version, owner), None)
         if obj is None:
             raise SpaceError(
-                f"no object ({var!r}, v{version}) in store of core {self.core}"
+                f"no object ({var!r}, v{version}) of core {owner} in store "
+                f"of core {self.core}"
             )
         self._bytes -= obj.nbytes
+        left = self._var_count.get(var, 0) - 1
+        if left > 0:
+            self._var_count[var] = left
+        else:
+            self._var_count.pop(var, None)
         return obj
 
     def objects(self) -> Iterator[DataObject]:
@@ -197,3 +232,4 @@ class ObjectStore:
     def clear(self) -> None:
         self._objects.clear()
         self._bytes = 0
+        self._var_count.clear()

@@ -232,6 +232,13 @@ class ScheduleCache:
         key = (schedule.var, schedule.dst_core, schedule.region)
         self._cache[key] = schedule
 
+    def invalidate(self, var: str) -> int:
+        """Drop every cached schedule for one variable; returns how many."""
+        stale = [k for k in self._cache if k[0] == var]
+        for k in stale:
+            del self._cache[k]
+        return len(stale)
+
     def clear(self) -> None:
         self._cache.clear()
         self.hits = 0

@@ -20,7 +20,9 @@ mapping appears directly in the transfer metrics.
 
 from __future__ import annotations
 
-from repro.cods.dht import SpatialDHT
+from dataclasses import replace as _dc_replace
+
+from repro.cods.dht import ObjectLocation, SpatialDHT
 from repro.cods.lookup import DataLookupService
 from repro.cods.objects import (
     DataObject,
@@ -36,7 +38,8 @@ from repro.cods.schedule import (
     producer_schedule,
 )
 from repro.domain.box import Box
-from repro.errors import SpaceError
+from repro.domain.intervals import IntervalSet
+from repro.errors import CheckpointError, DataLostError, SpaceError
 from repro.hardware.cluster import Cluster
 from repro.obs.tracer import NULL_TRACER
 from repro.sfc.linearize import DomainLinearizer
@@ -57,6 +60,8 @@ class CoDS:
         linearizer: DomainLinearizer | None = None,
         use_schedule_cache: bool = True,
         enforce_memory: bool = False,
+        replication: int = 1,
+        placer: "object | None" = None,
     ) -> None:
         self.cluster = cluster
         self.dart = dart if dart is not None else HybridDART(cluster)
@@ -90,6 +95,41 @@ class CoDS:
         # var -> [(core, region)], element size; for the concurrent path.
         self._producers: dict[str, list[tuple[int, RegionProduct]]] = {}
         self._producer_esize: dict[str, int] = {}
+        # -- resilience state (inert at replication=1 with no crashes) --
+        if not 1 <= replication <= cluster.num_nodes:
+            raise SpaceError(
+                f"replication factor {replication} needs {replication} distinct "
+                f"nodes; cluster has {cluster.num_nodes}"
+            )
+        self.replication = replication
+        self._placer = placer
+        self._dead_nodes: set[int] = set()
+        # logical (var, version, primary core) -> replica cores
+        self._replicas: dict[tuple[str, int, int], tuple[int, ...]] = {}
+        # logical (var, version, primary core) -> producing app id
+        self._produced_by: dict[tuple[str, int, int], int] = {}
+        # resilience.failover.reads counter; bound by the resilience manager
+        self._m_failover = None
+
+    @property
+    def placer(self):
+        """Replica placer (SFC-successor default, built on first use)."""
+        if self._placer is None:
+            from repro.resilience.replication import ReplicaPlacer
+
+            self._placer = ReplicaPlacer(self.cluster)
+        return self._placer
+
+    def bind_resilience_metrics(self, registry) -> None:
+        """Mirror failover reads into the ``resilience.*`` counters."""
+        self._m_failover = registry.counter("resilience.failover.reads")
+        self._m_failover.touch()
+
+    def _node_alive(self, node: int) -> bool:
+        return node not in self._dead_nodes
+
+    def dead_nodes(self) -> frozenset[int]:
+        return frozenset(self._dead_nodes)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -141,6 +181,7 @@ class CoDS:
         element_size: int = 8,
         version: int = 0,
         data: "object | None" = None,
+        app_id: int = -1,
     ) -> DataObject:
         """Store a region of ``var`` in the space (owner = ``core``).
 
@@ -151,12 +192,21 @@ class CoDS:
         Re-putting an existing ``(var, version)`` from the same core
         replaces the stored object (latest wins) — bundle re-enactment after
         a fault re-issues its puts idempotently.
+
+        With ``replication > 1``, k-1 replica copies are written to distinct
+        live nodes (SFC-successor placement) and registered alongside the
+        primary. ``app_id`` records the producing application so the
+        recovery ladder can re-enact the right bundle if every copy is lost.
         """
         tracer = self.dart.tracer
         if not tracer.enabled:
-            return self._put_seq(core, var, region, element_size, version, data)
+            return self._put_seq(
+                core, var, region, element_size, version, data, app_id
+            )
         with tracer.span("cods.put_seq", var=var, core=core, version=version):
-            return self._put_seq(core, var, region, element_size, version, data)
+            return self._put_seq(
+                core, var, region, element_size, version, data, app_id
+            )
 
     def _put_seq(
         self,
@@ -166,6 +216,7 @@ class CoDS:
         element_size: int,
         version: int,
         data: "object | None",
+        app_id: int = -1,
     ) -> DataObject:
         if data is not None:
             import numpy as np
@@ -184,9 +235,75 @@ class CoDS:
         if store.get(var, version) is not None:
             store.evict(var, version)
             self.dht.unregister(var, version, core)
+            self._drop_replicas(var, version, core)
         store.insert(obj)
         self.dht.register(obj)
+        self._produced_by[(var, version, core)] = app_id
+        if self._dead_nodes:
+            # A re-enacted producer lands on fresh cores. Retire this
+            # (var, version)'s dead logical objects: bookkeeping when every
+            # copy died with its node, and — when replicas outlived a dead
+            # primary — any surviving copies of the *same region*, which the
+            # new object supersedes (leaving them would double-cover the
+            # region in consumer schedules).
+            for key in [
+                k for k in self._produced_by
+                if k[0] == var and k[1] == version and k[2] != core
+            ]:
+                pcore = key[2]
+                survivors = []  # (holding core, copy) pairs still stored
+                pstore = self._stores.get(pcore)
+                if pstore is not None:
+                    prim = pstore.get(var, version)
+                    if prim is not None:
+                        survivors.append((pcore, prim))
+                for rc in self._replicas.get(key, ()):
+                    rstore = self._stores.get(rc)
+                    rep = (
+                        rstore.get(var, version, of=pcore)
+                        if rstore is not None else None
+                    )
+                    if rep is not None:
+                        survivors.append((rc, rep))
+                if survivors:
+                    if survivors[0][1].region != obj.region:
+                        continue  # a different rank's share — keep it
+                    for rc, _copy in survivors:
+                        self._stores[rc].evict(var, version, of=pcore)
+                        self.dht.unregister(var, version, rc, of=pcore)
+                del self._produced_by[key]
+                self._replicas.pop(key, None)
+        if self.replication > 1:
+            self._replicate(obj)
         return obj
+
+    def _replicate(self, obj: DataObject) -> None:
+        """Write k-1 replicas of a freshly put primary to distinct nodes."""
+        targets = self.placer.replica_cores(
+            obj.owner_core, self.replication - 1, alive=self._node_alive
+        )
+        placed: list[int] = []
+        for t in targets:
+            rep = _dc_replace(obj, owner_core=t, primary_core=obj.owner_core)
+            self.store_of(t).insert(rep)
+            self.dht.register(rep)
+            self.dart.transfer(
+                src_core=obj.owner_core,
+                dst_core=t,
+                nbytes=rep.nbytes,
+                kind=TransferKind.REPLICATION,
+                var=obj.var,
+            )
+            placed.append(t)
+        self._replicas[(obj.var, obj.version, obj.owner_core)] = tuple(placed)
+
+    def _drop_replicas(self, var: str, version: int, primary: int) -> None:
+        """Evict and unregister every replica of one logical object."""
+        for rc in self._replicas.pop((var, version, primary), ()):
+            rstore = self._stores.get(rc)
+            if rstore is not None and rstore.get(var, version, of=primary) is not None:
+                rstore.evict(var, version, of=primary)
+            self.dht.unregister(var, version, rc, of=primary)
 
     def get_seq(
         self,
@@ -236,19 +353,87 @@ class CoDS:
         schedule: CommSchedule | None = None
         if self.schedule_cache is not None:
             schedule = self.schedule_cache.get(var, core, qregion)
+            if schedule is not None and not self._schedule_alive(schedule):
+                # The cached schedule references evicted or crashed sources;
+                # recompute and replace it (latest wins).
+                schedule = None
         if span is not None:
             span.set(cache_hit=schedule is not None)
         if schedule is None:
             if tracer.enabled:
                 with tracer.span("schedule.compute", var=var, core=core):
                     locations = self.lookup.locate(core, var, bbox, version)
+                    locations = self._select_copies(core, locations, var)
                     schedule = compute_schedule(var, core, qregion, locations)
             else:
                 locations = self.lookup.locate(core, var, bbox, version)
+                locations = self._select_copies(core, locations, var)
                 schedule = compute_schedule(var, core, qregion, locations)
             if self.schedule_cache is not None:
                 self.schedule_cache.put(schedule)
         return schedule, self._execute(schedule, app_id)
+
+    def _schedule_alive(self, schedule: CommSchedule) -> bool:
+        """Whether every source of a cached schedule still holds the var.
+
+        Guards the seq cache against dangling sources: an evicted object or
+        a crashed node leaves stale cache entries behind (entries are keyed
+        without a version, so eviction cannot target them directly).
+        """
+        for p in schedule.plans:
+            store = self._stores.get(p.src_core)
+            if store is None or not store.has_var(schedule.var):
+                return False
+        return True
+
+    def _select_copies(
+        self, dst_core: int, locations, var: str
+    ) -> "list[ObjectLocation]":
+        """Pick exactly one live copy per logical object before scheduling.
+
+        With replication every logical object resolves to several locations
+        (primary + replicas) covering the same region; feeding them all to
+        ``compute_schedule`` would double-cover. The primary wins while its
+        node is alive; otherwise the read fails over to a replica, preferring
+        one on the destination's node (shared-memory pull), then the lowest
+        core id for determinism. No live copy left ⇒ :class:`DataLostError`.
+
+        Identity transform when ``replication == 1`` and no node has died —
+        and skipped entirely on the default path (see the caller's gate).
+        """
+        if not self._dead_nodes and self.replication == 1:
+            return list(locations)
+        groups: dict[tuple[int, int], list] = {}
+        for loc in locations:
+            groups.setdefault((loc.version, loc.logical_owner), []).append(loc)
+        dst_node = self.cluster.node_of_core(dst_core)
+        chosen = []
+        for (version, owner), copies in groups.items():
+            live = [
+                c for c in copies
+                if self.cluster.node_of_core(c.owner_core) not in self._dead_nodes
+            ]
+            if not live:
+                raise DataLostError(
+                    f"every copy of {var!r} v{version} (owner core {owner}) "
+                    "is on a crashed node"
+                )
+            primary = next((c for c in live if not c.is_replica), None)
+            if primary is not None:
+                chosen.append(primary)
+                continue
+            pick = min(
+                live,
+                key=lambda c: (
+                    self.cluster.node_of_core(c.owner_core) != dst_node,
+                    c.owner_core,
+                ),
+            )
+            if self._m_failover is not None:
+                self._m_failover.inc()
+            chosen.append(pick)
+        chosen.sort(key=lambda c: (c.version, c.owner_core))
+        return chosen
 
     def fetch_seq(
         self,
@@ -330,7 +515,11 @@ class CoDS:
             raise SpaceError(
                 f"element size mismatch for {var!r}: {element_size} != {known}"
             )
-        self._producers.setdefault(var, []).append((core, self._as_region(region)))
+        entry = (core, self._as_region(region))
+        sources = self._producers.setdefault(var, [])
+        # Latest wins: a re-enacted producer re-declares its region from a
+        # fresh core; keeping the old declaration would double the coverage.
+        sources[:] = [s for s in sources if s[1] != entry[1]] + [entry]
 
     def get_cont(
         self,
@@ -403,33 +592,31 @@ class CoDS:
             self.schedule_cache.clear()
         return successor
 
-    def on_node_crash(self, node: int) -> int:
-        """Handle a compute-node crash: its stores and DHT core are lost.
+    def mark_node_dead(self, node: int) -> int:
+        """The *physical* effect of a node crash, at crash time.
 
-        Objects stored on the node's cores disappear (in-memory storage),
-        the node's DHT core fails over to its successor, location tables are
-        rebuilt from the surviving stores, and concurrent-producer
-        declarations on the crashed cores are withdrawn. Returns the number
-        of data objects lost.
+        Objects in the node's in-memory stores vanish and its concurrent-
+        producer declarations are withdrawn — that is what actually happens
+        the instant a node dies. DHT failover, cache invalidation, and
+        re-replication are *recovery* actions that wait for the failure
+        detector (:meth:`recover_node_crash`); until then, reads that touch
+        the dead node fail over through :meth:`_select_copies`. Returns the
+        number of data objects lost from the node's stores.
         """
         if not 0 <= node < self.cluster.num_nodes:
             raise SpaceError(f"node {node} out of range")
         crashed_cores = set(self.cluster.cores_of_node(node))
+        self._dead_nodes.add(node)
         lost = 0
         for core in crashed_cores:
             store = self._stores.get(core)
             if store is not None:
                 lost += len(store)
                 store.clear()
-        # Every node hosts one DHT core (its first core); fail it over
-        # unless it is the last one standing.
-        node_dht_cores = crashed_cores & set(self.dht.dht_cores)
-        for core in sorted(node_dht_cores):
-            if len(self.dht.dht_cores) > 1:
-                self.dht.fail_core(core)
-        self.dht.rebuild(
-            obj for store in self._stores.values() for obj in store.objects()
-        )
+        self._withdraw_producers(crashed_cores)
+        return lost
+
+    def _withdraw_producers(self, crashed_cores: set[int]) -> None:
         for var, sources in list(self._producers.items()):
             kept = [(c, r) for c, r in sources if c not in crashed_cores]
             if kept:
@@ -437,16 +624,249 @@ class CoDS:
             else:
                 del self._producers[var]
                 self._producer_esize.pop(var, None)
+
+    def recover_node_crash(self, node: int) -> None:
+        """Recovery actions once a node crash has been *detected*.
+
+        The node's DHT core fails over to its successor (unless it is the
+        last one standing), location tables rebuild from the surviving
+        stores, the schedule cache drops (cached schedules may route via the
+        dead node), and replica bookkeeping forgets copies that died with
+        the node.
+        """
+        if not 0 <= node < self.cluster.num_nodes:
+            raise SpaceError(f"node {node} out of range")
+        crashed_cores = set(self.cluster.cores_of_node(node))
+        node_dht_cores = crashed_cores & set(self.dht.dht_cores)
+        for core in sorted(node_dht_cores):
+            if len(self.dht.dht_cores) > 1:
+                self.dht.fail_core(core)
+        self.dht.rebuild(
+            obj for store in self._stores.values() for obj in store.objects()
+        )
+        for key, cores in list(self._replicas.items()):
+            kept = tuple(c for c in cores if c not in crashed_cores)
+            if kept != cores:
+                self._replicas[key] = kept
         if self.schedule_cache is not None:
             self.schedule_cache.clear()
+
+    def on_node_crash(self, node: int) -> int:
+        """Crash plus immediate recovery, in one call.
+
+        Legacy entry point for runs without a failure detector: the crash's
+        physical effects and the recovery actions happen at the same
+        simulated instant (zero detection latency). Returns the number of
+        data objects lost.
+        """
+        lost = self.mark_node_dead(node)
+        self.recover_node_crash(node)
         return lost
+
+    def restore_replication(self) -> tuple[int, int]:
+        """Re-replicate under-replicated objects after crashes.
+
+        The logical owner core is an *identity*, not a location: it never
+        changes, even once dead (re-keying a logical object under a new
+        primary would collide with the new core's own primary of the same
+        variable). Re-replication simply places additional copies — sourced
+        from a surviving one, the primary if alive, else the lowest-core
+        replica — until ``replication`` copies exist again, each costing one
+        REPLICATION transfer. Objects with *no* surviving copy are not
+        handled here; :meth:`lost_objects` reports them for the
+        re-enactment rung of the recovery ladder.
+
+        Returns ``(copies_created, bytes_copied)``.
+        """
+        if self.replication <= 1:
+            return (0, 0)
+        # Survey the surviving copies of every logical object.
+        groups: dict[tuple[str, int, int], list[DataObject]] = {}
+        for store in self._stores.values():
+            for obj in store.objects():
+                key = (obj.var, obj.version, obj.logical_owner)
+                groups.setdefault(key, []).append(obj)
+        created = 0
+        nbytes = 0
+        for (var, version, owner), copies in sorted(groups.items()):
+            copies.sort(key=lambda o: o.owner_core)
+            holders = [o.owner_core for o in copies]
+            missing = self.replication - len(holders)
+            if missing <= 0:
+                continue
+            src = next((o for o in copies if not o.is_replica), copies[0])
+            targets = self.placer.replica_cores(
+                owner,
+                missing,
+                alive=self._node_alive,
+                exclude_nodes=[self.cluster.node_of_core(c) for c in holders],
+            )
+            for t in targets:
+                rep = _dc_replace(src, owner_core=t, primary_core=owner)
+                self.store_of(t).insert(rep)
+                self.dart.transfer(
+                    src_core=src.owner_core,
+                    dst_core=t,
+                    nbytes=rep.nbytes,
+                    kind=TransferKind.REPLICATION,
+                    var=var,
+                )
+                holders.append(t)
+                created += 1
+                nbytes += rep.nbytes
+            self._replicas[(var, version, owner)] = tuple(
+                sorted(c for c in holders if c != owner)
+            )
+        if created:
+            self.dht.rebuild(
+                obj for store in self._stores.values() for obj in store.objects()
+            )
+            if self.schedule_cache is not None:
+                self.schedule_cache.clear()
+        return created, nbytes
+
+    def lost_objects(self) -> "list[tuple[str, int, int]]":
+        """Logical objects with *zero* surviving copies.
+
+        Returns ``(var, version, producing app id)`` triples — the last rung
+        of the recovery ladder re-enacts those apps' bundles. App id is -1
+        when the producer did not identify itself.
+        """
+        alive: set[tuple[str, int, int]] = set()
+        for store in self._stores.values():
+            for obj in store.objects():
+                alive.add((obj.var, obj.version, obj.logical_owner))
+        lost = []
+        for (var, version, core), app_id in sorted(self._produced_by.items()):
+            if (var, version, core) not in alive:
+                lost.append((var, version, app_id))
+        return lost
+
+    # -- checkpoint manifest ---------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """JSON-serializable snapshot of the space's logical state.
+
+        Captures object descriptors (not payloads — checkpointing raw data
+        arrays is out of scope and raises), producer declarations, replica
+        bookkeeping, and failure state. :meth:`restore_manifest` rebuilds an
+        equivalent space from it without re-accounting any transfers.
+        """
+        objects = []
+        for store in self._stores.values():
+            for obj in store.objects():
+                if obj.payload is not None:
+                    raise CheckpointError(
+                        f"object {obj.key()} carries a payload; checkpointing "
+                        "value-bearing spaces is not supported"
+                    )
+                objects.append({
+                    "var": obj.var,
+                    "version": obj.version,
+                    "owner_core": obj.owner_core,
+                    "element_size": obj.element_size,
+                    "primary_core": obj.primary_core,
+                    "region": [list(s.intervals) for s in obj.region],
+                })
+        return {
+            "replication": self.replication,
+            "dead_nodes": sorted(self._dead_nodes),
+            "failed_dht_cores": sorted(
+                set(self.cluster.cores_of_node(n)[0] for n in self.cluster.nodes())
+                - set(self.dht.dht_cores)
+            ),
+            "objects": objects,
+            "producers": {
+                var: [
+                    [core, [list(s.intervals) for s in region]]
+                    for core, region in sources
+                ]
+                for var, sources in self._producers.items()
+            },
+            "producer_esize": dict(self._producer_esize),
+            "produced_by": [
+                [var, version, core, app_id]
+                for (var, version, core), app_id in sorted(
+                    self._produced_by.items()
+                )
+            ],
+            "replicas": [
+                [var, version, core, list(cores)]
+                for (var, version, core), cores in sorted(self._replicas.items())
+            ],
+        }
+
+    def restore_manifest(self, manifest: dict) -> None:
+        """Rebuild logical state from :meth:`manifest` (fresh space only)."""
+        if any(len(s) for s in self._stores.values()) or self._producers:
+            raise CheckpointError("restore_manifest needs an empty space")
+        if manifest.get("replication", 1) != self.replication:
+            raise CheckpointError(
+                f"checkpoint was taken at replication="
+                f"{manifest.get('replication', 1)}, space is at "
+                f"{self.replication}"
+            )
+        # Failure state first, so DHT routing matches the checkpoint's.
+        for core in manifest.get("failed_dht_cores", ()):
+            if core in self.dht.dht_cores and len(self.dht.dht_cores) > 1:
+                self.dht.fail_core(core)
+        self._dead_nodes = set(manifest.get("dead_nodes", ()))
+        objs = []
+        for rec in manifest["objects"]:
+            region = tuple(
+                IntervalSet([tuple(p) for p in pairs])
+                for pairs in rec["region"]
+            )
+            obj = DataObject(
+                var=rec["var"],
+                version=rec["version"],
+                region=region,
+                owner_core=rec["owner_core"],
+                element_size=rec["element_size"],
+                primary_core=rec.get("primary_core"),
+            )
+            self.store_of(obj.owner_core).insert(obj)
+            objs.append(obj)
+        self.dht.rebuild(objs, account=False)
+        self._producers = {
+            var: [
+                (
+                    core,
+                    tuple(
+                        IntervalSet([tuple(p) for p in pairs])
+                        for pairs in region
+                    ),
+                )
+                for core, region in sources
+            ]
+            for var, sources in manifest.get("producers", {}).items()
+        }
+        self._producer_esize = dict(manifest.get("producer_esize", {}))
+        self._produced_by = {
+            (var, version, core): app_id
+            for var, version, core, app_id in manifest.get("produced_by", ())
+        }
+        self._replicas = {
+            (var, version, core): tuple(cores)
+            for var, version, core, cores in manifest.get("replicas", ())
+        }
 
     # -- maintenance ----------------------------------------------------------------------
 
     def evict(self, core: int, var: str, version: int = 0) -> DataObject:
-        """Drop an object from its store and the DHT location tables."""
+        """Drop an object from its store and the DHT location tables.
+
+        Evicting a primary also drops its replicas and retires the
+        producer bookkeeping — an evicted object is gone on purpose, not
+        lost. Cached schedules that referenced the object are rejected on
+        their next cache hit (``_schedule_alive``), so a ``get_seq`` after
+        the last covering object is evicted raises :class:`ScheduleError`
+        instead of silently pulling from an empty store.
+        """
         obj = self.store_of(core).evict(var, version)
         self.dht.unregister(var, version, core)
+        self._drop_replicas(var, version, core)
+        self._produced_by.pop((var, version, core), None)
         return obj
 
     def reset_concurrent(self, var: str | None = None) -> None:

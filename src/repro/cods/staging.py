@@ -157,6 +157,25 @@ class StagingArea:
         ]
         return schedule, records
 
+    # -- fault handling -------------------------------------------------------------
+
+    def on_node_crash(self, node: int) -> int:
+        """Drop objects staged on a crashed node's cores.
+
+        Staging has no replication: data staged on the dead node is simply
+        gone (the baseline's exposure to faults is part of the comparison).
+        Returns the number of staged objects lost.
+        """
+        if not 0 <= node < self.cluster.num_nodes:
+            raise SpaceError(f"node {node} out of range")
+        crashed = set(self.cluster.cores_of_node(node))
+        lost = 0
+        for core in self.staging_cores:
+            if core in crashed:
+                lost += len(self._stores[core])
+                self._stores[core] = []
+        return lost
+
     # -- introspection --------------------------------------------------------------
 
     def staged_bytes(self) -> int:

@@ -23,6 +23,9 @@ __all__ = [
     "SpaceError",
     "LookupError_",
     "ScheduleError",
+    "ResilienceError",
+    "DataLostError",
+    "CheckpointError",
     "MappingError",
     "WorkflowError",
     "DagParseError",
@@ -88,6 +91,18 @@ class LookupError_(SpaceError):
 
 class ScheduleError(SpaceError):
     """Communication schedule could not be computed or validated."""
+
+
+class ResilienceError(ReproError):
+    """Resilience subsystem misuse (replication, detection, checkpointing)."""
+
+
+class DataLostError(SpaceError):
+    """Every replica of a requested object is gone (unrecoverable read)."""
+
+
+class CheckpointError(ResilienceError):
+    """Checkpoint capture, serialization, or restore failure."""
 
 
 class MappingError(ReproError):

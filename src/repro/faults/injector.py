@@ -33,6 +33,9 @@ class FaultEvent:
     time: float
     kind: str      # "node_crash" | "dht_failure" | "transfer_retry" | ...
     detail: str = ""
+    #: per-injector emission sequence number; ``(time, seq)`` totally orders
+    #: the trace even when several faults share one simulated instant.
+    seq: int = 0
 
     def __str__(self) -> str:
         extra = f" ({self.detail})" if self.detail else ""
@@ -46,7 +49,9 @@ class FaultInjector:
         self.plan = plan
         self._rng = random.Random(plan.seed)
         self._events: list[FaultEvent] = []
+        self._seq = 0
         self._crashed_nodes: set[int] = set()
+        self._failed_dht_cores: set[int] = set()
         self._clock: Callable[[], float] = lambda: 0.0
         self._armed = False
         self._node_crash_listeners: list[Callable[[int], None]] = []
@@ -65,15 +70,21 @@ class FaultInjector:
         return self._clock()
 
     def record(self, kind: str, detail: str = "") -> FaultEvent:
-        ev = FaultEvent(time=self.now, kind=kind, detail=detail)
+        ev = FaultEvent(time=self.now, kind=kind, detail=detail, seq=self._seq)
+        self._seq += 1
         self._events.append(ev)
         if self.tracer.enabled:
             self.tracer.instant("fault." + kind, detail=detail)
         return ev
 
     def trace(self) -> tuple[FaultEvent, ...]:
-        """The full fault/recovery trace, in firing order."""
-        return tuple(self._events)
+        """The full fault/recovery trace, ordered by ``(time, seq)``.
+
+        Emission already happens in event-clock order, but sorting pins the
+        contract: equal-time faults appear in their canonical arming order,
+        never in dict/listener iteration order.
+        """
+        return tuple(sorted(self._events, key=lambda e: (e.time, e.seq)))
 
     def format_trace(self) -> str:
         return "\n".join(str(ev) for ev in self._events)
@@ -94,20 +105,48 @@ class FaultInjector:
     def armed(self) -> bool:
         return self._armed
 
+    def timed_faults(self) -> list[tuple[float, int, int, object]]:
+        """The plan's timed faults in canonical ``(time, kind, id)`` order.
+
+        Node crashes order before DHT failures at the same instant (a dead
+        node takes its DHT core with it, so the containing fault comes
+        first); ties inside a kind break on the node/core id. Arming in this
+        order makes equal-time traces deterministic regardless of how the
+        plan listed its faults.
+        """
+        faults: list[tuple[float, int, int, object]] = []
+        for crash in self.plan.node_crashes:
+            faults.append((crash.time, 0, crash.node, crash))
+        for failure in self.plan.dht_failures:
+            faults.append((failure.time, 1, failure.core, failure))
+        faults.sort(key=lambda f: f[:3])
+        return faults
+
     def arm(self, sim) -> None:
         """Schedule the plan's timed faults on a :class:`SimEngine`.
 
         Safe to call once per injector; the injector's clock follows the
-        engine it was armed on.
+        engine it was armed on. Faults whose time already passed (a sim
+        restored from a checkpoint starts mid-run) are applied silently as
+        pre-existing state instead of being re-fired.
         """
         if self._armed:
             raise FaultError("injector is already armed on a sim engine")
         self._armed = True
         self._clock = lambda: sim.now
-        for crash in self.plan.node_crashes:
-            sim.schedule_at(crash.time, self._fire_node_crash, crash)
-        for failure in self.plan.dht_failures:
-            sim.schedule_at(failure.time, self._fire_dht_failure, failure)
+        for time, fkind, _ident, fault in self.timed_faults():
+            if time < sim.now:
+                # Pre-checkpoint fault: the restored state already reflects
+                # it — record the truth, fire no listeners.
+                if fkind == 0:
+                    self._crashed_nodes.add(fault.node)
+                else:
+                    self._failed_dht_cores.add(fault.core)
+                continue
+            if fkind == 0:
+                sim.schedule_at(time, self._fire_node_crash, fault)
+            else:
+                sim.schedule_at(time, self._fire_dht_failure, fault)
 
     def _fire_node_crash(self, crash: NodeCrash) -> None:
         if crash.node in self._crashed_nodes:
@@ -118,6 +157,9 @@ class FaultInjector:
             fn(crash.node)
 
     def _fire_dht_failure(self, failure: DHTCoreFailure) -> None:
+        if failure.core in self._failed_dht_cores:
+            return
+        self._failed_dht_cores.add(failure.core)
         self.record("dht_failure", f"core={failure.core}")
         for fn in self._dht_failure_listeners:
             fn(failure.core)
@@ -129,6 +171,12 @@ class FaultInjector:
 
     def crashed_nodes(self) -> frozenset[int]:
         return frozenset(self._crashed_nodes)
+
+    def dht_core_failed(self, core: int) -> bool:
+        return core in self._failed_dht_cores
+
+    def failed_dht_cores(self) -> frozenset[int]:
+        return frozenset(self._failed_dht_cores)
 
     def attempt_fails(self, src_node: int, dst_node: int) -> bool:
         """Decide (deterministically) whether one network attempt fails.

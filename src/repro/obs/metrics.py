@@ -270,6 +270,54 @@ class MetricsRegistry:
                     mine.cells[key] = mine.cells.get(key, 0) + cell
         return self
 
+    # -- checkpoint state ---------------------------------------------------------
+
+    def dump_state(self, encode=None) -> dict[str, Any]:
+        """Lossless, restorable export (unlike :meth:`snapshot`).
+
+        Cells keep raw label values (ints, enums) for identity-sensitive
+        hot-path reads, so a restore cannot go through the stringified
+        snapshot. ``encode`` maps one label value to a JSON-serializable
+        form; the caller supplies the matching ``decode`` to
+        :meth:`load_state` (the checkpoint layer knows the enum types, this
+        module does not). Default: identity.
+        """
+        if encode is None:
+            encode = lambda v: v  # noqa: E731
+        state: dict[str, Any] = {}
+        for name, metric in self._metrics.items():
+            rec: dict[str, Any] = {
+                "kind": metric.kind,
+                "labelnames": list(metric.labelnames),
+                "cells": [
+                    [[encode(v) for v in key],
+                     list(cell) if isinstance(cell, list) else cell]
+                    for key, cell in metric.cells.items()
+                ],
+            }
+            if metric.kind == "histogram":
+                rec["buckets"] = list(metric.buckets)
+            state[name] = rec
+        return state
+
+    def load_state(self, state: dict[str, Any], decode=None) -> None:
+        """Recreate instruments and cells from :meth:`dump_state` output."""
+        if decode is None:
+            decode = lambda v: v  # noqa: E731
+        for name, rec in state.items():
+            labelnames = tuple(rec["labelnames"])
+            if rec["kind"] == "histogram":
+                metric = self.histogram(name, rec["buckets"], labelnames)
+            elif rec["kind"] == "gauge":
+                metric = self.gauge(name, labelnames)
+            else:
+                metric = self.counter(name, labelnames)
+            for key, cell in rec["cells"]:
+                decoded = tuple(decode(v) for v in key)
+                metric.cells[decoded] = (
+                    list(cell) if isinstance(cell, list) else cell
+                )
+
     # -- export -------------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:

@@ -1,0 +1,21 @@
+"""Resilience subsystem: replication, failure detection, checkpoint/restart.
+
+See DESIGN.md's "recovery ladder" section for how the pieces compose:
+replica failover → re-replication → checkpoint restore → bundle
+re-enactment.
+"""
+
+from repro.resilience.checkpoint import Checkpoint, CheckpointManager, capture
+from repro.resilience.detector import HeartbeatFailureDetector
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.resilience.replication import ReplicaPlacer
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "HeartbeatFailureDetector",
+    "ReplicaPlacer",
+    "ResilienceConfig",
+    "ResilienceManager",
+    "capture",
+]

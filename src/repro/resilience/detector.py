@@ -1,0 +1,206 @@
+"""Heartbeat failure detection on the simulated event clock.
+
+Crashes *happen* at their fault-plan time, but the workflow must not react
+instantly — a real system only learns of a failure when heartbeats stop
+arriving. The detector models the standard period/timeout scheme: every
+``period`` seconds a monitor sweep runs; a node whose last heartbeat is
+older than ``timeout`` is declared dead and the death listeners fire. The
+gap between the crash and its declaration is the detection latency the
+``resilience.detection.latency`` histogram records.
+
+Two kinds of sweep keep the model honest without stalling the simulator:
+
+* a *periodic* sweep rescheduling itself as a daemon event — it never keeps
+  the run alive on its own, so an idle workflow still terminates, and
+* one *deadline* sweep per planned fault at ``fault_time + timeout +
+  period`` — a plain (non-daemon) event guaranteeing that every fault is
+  detected even if the workflow's own event queue has drained.
+
+Optionally (``account_heartbeats=True``) each sweep issues real monitor →
+node RPCs through HybridDART, so heartbeat traffic shows up in the
+transfer accounting like any other control message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ResilienceError
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
+    from repro.hardware.cluster import Cluster
+    from repro.sim.engine import SimEngine
+    from repro.transport.hybriddart import HybridDART
+
+__all__ = ["HeartbeatFailureDetector"]
+
+#: detection-latency histogram buckets (seconds)
+LATENCY_BUCKETS: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2)
+
+
+class HeartbeatFailureDetector:
+    """Periodic heartbeat sweeps declaring nodes and DHT cores dead."""
+
+    def __init__(
+        self,
+        sim: "SimEngine",
+        cluster: "Cluster",
+        injector: "FaultInjector",
+        period: float = 0.05,
+        timeout: float = 0.15,
+        monitor_core: int = 0,
+        dart: "HybridDART | None" = None,
+        account_heartbeats: bool = False,
+        registry=None,
+    ) -> None:
+        if period <= 0:
+            raise ResilienceError(f"heartbeat period must be > 0, got {period}")
+        if timeout < period:
+            raise ResilienceError(
+                f"timeout {timeout} below period {period}: every sweep "
+                "would declare every node dead"
+            )
+        self.sim = sim
+        self.cluster = cluster
+        self.injector = injector
+        self.period = period
+        self.timeout = timeout
+        self.monitor_core = monitor_core
+        self.dart = dart
+        self.account_heartbeats = account_heartbeats
+        if account_heartbeats and dart is None:
+            raise ResilienceError("account_heartbeats needs a HybridDART")
+        self._last_hb: dict[int, float] = {}
+        self._declared_nodes: set[int] = set()
+        self._declared_dht: set[int] = set()
+        self._node_listeners: list[Callable[[int], None]] = []
+        self._dht_listeners: list[Callable[[int], None]] = []
+        self._started = False
+        self._m_latency = None
+        if registry is not None:
+            self._m_latency = registry.histogram(
+                "resilience.detection.latency", buckets=LATENCY_BUCKETS
+            )
+
+    # -- subscription ------------------------------------------------------------
+
+    def add_node_death_listener(self, fn: Callable[[int], None]) -> None:
+        """``fn(node)`` runs when a node crash is *detected* (not injected)."""
+        self._node_listeners.append(fn)
+
+    def add_dht_death_listener(self, fn: Callable[[int], None]) -> None:
+        """``fn(core)`` runs when a DHT-core failure is detected."""
+        self._dht_listeners.append(fn)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the sweeps. Nodes already dead at start are declared on the
+        first sweep (a restored run learns of pre-checkpoint faults the same
+        way it learns of new ones)."""
+        if self._started:
+            raise ResilienceError("detector already started")
+        self._started = True
+        now = self.sim.now
+        for node in self.cluster.nodes():
+            self._last_hb[node] = now
+        # Faults already detectable before start (a restored run starting
+        # past `fault_time + timeout`) were declared in the original run;
+        # the restored state reflects their recovery, so they are marked
+        # silently instead of re-firing the listeners. Read from the *plan*:
+        # the injector may not be armed yet when the detector starts.
+        for crash in self.injector.plan.node_crashes:
+            if crash.time + self.timeout <= now:
+                self._declared_nodes.add(crash.node)
+            elif crash.time < now:
+                # Crashed before the checkpoint but not yet declared when it
+                # was taken: silence accrues from the crash, not from the
+                # restore instant, so the restored run declares the node on
+                # the same schedule the original would have.
+                self._last_hb[crash.node] = crash.time
+        for failure in self.injector.plan.dht_failures:
+            if failure.time + self.timeout <= now:
+                self._declared_dht.add(failure.core)
+        if self.account_heartbeats:
+            self._register_ping_handlers()
+        self.sim.schedule_daemon(self.period, self._periodic_sweep)
+        for time, _kind, _ident, _fault in self.injector.timed_faults():
+            deadline = time + self.timeout + self.period
+            if deadline >= now:
+                self.sim.schedule_at(max(deadline, now), self._sweep)
+
+    def _register_ping_handlers(self) -> None:
+        for node in self.cluster.nodes():
+            core = self.cluster.cores_of_node(node)[0]
+            self.dart.register_handler(core, "hb_ping", lambda *a: None)
+
+    # -- sweeping ----------------------------------------------------------------
+
+    def _periodic_sweep(self) -> None:
+        self._sweep()
+        self.sim.schedule_daemon(self.period, self._periodic_sweep)
+
+    def _sweep(self) -> None:
+        now = self.sim.now
+        for node in self.cluster.nodes():
+            if node in self._declared_nodes:
+                continue
+            if self.injector.node_alive(node):
+                # Heartbeat arrives; optionally account the monitor's ping.
+                if (
+                    self.account_heartbeats
+                    and self.cluster.node_of_core(self.monitor_core) != node
+                ):
+                    self.dart.rpc(
+                        self.monitor_core,
+                        self.cluster.cores_of_node(node)[0],
+                        "hb_ping",
+                    )
+                self._last_hb[node] = now
+            elif now - self._last_hb[node] >= self.timeout:
+                self._declare_node(node, now)
+        for core in sorted(self.injector.failed_dht_cores()):
+            node = self.cluster.node_of_core(core)
+            if core in self._declared_dht or node in self._declared_nodes:
+                continue
+            # A DHT core stops answering: its peers notice after `timeout`.
+            failed_at = self._dht_failure_time(core)
+            if failed_at is not None and now - failed_at >= self.timeout:
+                self._declare_dht(core, now, failed_at)
+
+    def _declare_node(self, node: int, now: float) -> None:
+        self._declared_nodes.add(node)
+        crash_time = self._crash_time(node)
+        if self._m_latency is not None and crash_time is not None:
+            self._m_latency.observe(now - crash_time)
+        self.injector.record("node_death_detected", f"node={node}")
+        for fn in self._node_listeners:
+            fn(node)
+
+    def _declare_dht(self, core: int, now: float, failed_at: float) -> None:
+        self._declared_dht.add(core)
+        if self._m_latency is not None:
+            self._m_latency.observe(now - failed_at)
+        self.injector.record("dht_death_detected", f"core={core}")
+        for fn in self._dht_listeners:
+            fn(core)
+
+    # -- plan introspection --------------------------------------------------------
+
+    def _crash_time(self, node: int) -> "float | None":
+        times = [
+            c.time for c in self.injector.plan.node_crashes if c.node == node
+        ]
+        return min(times) if times else None
+
+    def _dht_failure_time(self, core: int) -> "float | None":
+        times = [
+            f.time for f in self.injector.plan.dht_failures if f.core == core
+        ]
+        return min(times) if times else None
+
+    # -- queries -------------------------------------------------------------------
+
+    def declared_dead(self) -> frozenset[int]:
+        return frozenset(self._declared_nodes)

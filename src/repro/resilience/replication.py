@@ -1,0 +1,100 @@
+"""Replica placement for the resilient data space.
+
+k-way replication keeps ``k`` copies of every logical object on ``k``
+*distinct* compute nodes, so any single node crash leaves at least one copy
+readable. Placement follows the SFC-neighbor rule: the DHT partitions the
+1-D Hilbert index space into one contiguous interval per node (in node-id
+order), so a node's successors along the index space are simply the next
+node ids modulo the node count. Replicating onto SFC successors keeps a
+replica's location table entries near the primary's — the same DHT cores
+that answer for the primary usually answer for its replicas — while the
+``seed`` rotates the start of the successor walk so independent spaces do
+not all pile replicas onto the same neighbors.
+
+Placement is a pure function of ``(owner node, seed, live set)``: the
+property tests pin that two placers with equal seeds agree everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import ResilienceError
+from repro.hardware.cluster import Cluster
+
+__all__ = ["ReplicaPlacer"]
+
+
+class ReplicaPlacer:
+    """Deterministic SFC-successor replica placement over a cluster."""
+
+    def __init__(self, cluster: Cluster, seed: int = 0) -> None:
+        if cluster.num_nodes < 1:
+            raise ResilienceError("placer needs a cluster with nodes")
+        self.cluster = cluster
+        self.seed = seed
+        # Rotation of the successor walk; kept in [0, nodes-1) so the
+        # immediate successor is reachable and owner != first candidate.
+        span = max(1, cluster.num_nodes - 1)
+        self._rotation = seed % span
+
+    def replica_nodes(
+        self,
+        owner_node: int,
+        count: int,
+        alive: "Callable[[int], bool] | None" = None,
+        exclude: "Iterable[int]" = (),
+    ) -> list[int]:
+        """``count`` distinct nodes for replicas of data owned by ``owner_node``.
+
+        Walks the SFC successor ring starting ``1 + rotation`` nodes past the
+        owner, skipping the owner itself, dead nodes (``alive`` predicate),
+        and any ``exclude``-d nodes (nodes already holding a copy, during
+        re-replication). Returns fewer than ``count`` nodes when the cluster
+        cannot provide them — the caller decides whether degraded
+        replication is acceptable.
+        """
+        if count < 0:
+            raise ResilienceError(f"replica count must be >= 0, got {count}")
+        n = self.cluster.num_nodes
+        if not 0 <= owner_node < n:
+            raise ResilienceError(f"owner node {owner_node} out of range")
+        banned = set(exclude)
+        banned.add(owner_node)
+        chosen: list[int] = []
+        start = owner_node + 1 + self._rotation
+        for i in range(n):
+            if len(chosen) == count:
+                break
+            node = (start + i) % n
+            if node in banned:
+                continue
+            if alive is not None and not alive(node):
+                continue
+            chosen.append(node)
+            banned.add(node)
+        return chosen
+
+    def replica_cores(
+        self,
+        owner_core: int,
+        count: int,
+        alive: "Callable[[int], bool] | None" = None,
+        exclude_nodes: "Iterable[int]" = (),
+    ) -> list[int]:
+        """Replica cores for data owned by ``owner_core``.
+
+        Node selection is :meth:`replica_nodes` of the owner's node; within
+        each chosen node the replica lands on the same core offset as the
+        owner, so replica load spreads across a node's cores exactly like
+        primary load does.
+        """
+        cluster = self.cluster
+        owner_node = cluster.node_of_core(owner_core)
+        offset = owner_core - cluster.cores_of_node(owner_node)[0]
+        return [
+            cluster.cores_of_node(node)[0] + offset
+            for node in self.replica_nodes(
+                owner_node, count, alive=alive, exclude=exclude_nodes
+            )
+        ]

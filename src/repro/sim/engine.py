@@ -39,9 +39,14 @@ class SimEngine:
         self,
         fault_injector: "FaultInjector | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
+        start_time: float = 0.0,
     ) -> None:
+        if start_time < 0:
+            raise SimulationError(
+                f"start time must be non-negative, got {start_time}"
+            )
         self._queue = EventQueue()
-        self._now = 0.0
+        self._now = float(start_time)
         self._running = False
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled and self.tracer.clock is None:
@@ -72,6 +77,19 @@ class SimEngine:
             )
         self._queue.push(time, fn, *args)
 
+    def schedule_daemon(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> None:
+        """Like :meth:`schedule`, but the event never keeps the run alive.
+
+        Periodic services (checkpoint ticks) reschedule themselves as
+        daemon events; the run loop exits once only daemon events remain,
+        so a self-rescheduling service cannot stall termination.
+        """
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self._queue.push(self._now + delay, fn, *args, daemon=True)
+
     # -- execution ------------------------------------------------------------------
 
     def run(self, until: float | None = None) -> float:
@@ -82,7 +100,7 @@ class SimEngine:
         self._running = True
         tracer = self.tracer
         try:
-            while self._queue:
+            while self._queue.live_events:
                 ev = self._queue.pop_if_before(until)
                 if ev is None:
                     # Head event lies strictly after the boundary: stop at it.

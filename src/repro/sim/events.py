@@ -20,6 +20,10 @@ class Event:
     seq: int
     fn: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
+    #: daemon events (periodic heartbeats, checkpoint ticks) never keep the
+    #: simulation alive on their own — the run loop stops once only daemon
+    #: events remain.
+    daemon: bool = field(compare=False, default=False)
 
     def fire(self) -> Any:
         return self.fn(*self.args)
@@ -31,18 +35,32 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        self._live = 0
 
-    def push(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    @property
+    def live_events(self) -> int:
+        """Pending non-daemon events."""
+        return self._live
+
+    def push(
+        self, time: float, fn: Callable[..., Any], *args: Any,
+        daemon: bool = False,
+    ) -> Event:
         if time < 0:
             raise SimulationError(f"event time must be non-negative, got {time}")
-        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args)
+        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args, daemon=daemon)
         heapq.heappush(self._heap, ev)
+        if not daemon:
+            self._live += 1
         return ev
 
     def pop(self) -> Event:
         if not self._heap:
             raise SimulationError("pop from empty event queue")
-        return heapq.heappop(self._heap)
+        ev = heapq.heappop(self._heap)
+        if not ev.daemon:
+            self._live -= 1
+        return ev
 
     def pop_if_before(self, time: float | None) -> Event | None:
         """Pop the earliest event iff it is due at or before ``time``.
@@ -57,7 +75,10 @@ class EventQueue:
             return None
         if time is not None and self._heap[0].time > time:
             return None
-        return heapq.heappop(self._heap)
+        ev = heapq.heappop(self._heap)
+        if not ev.daemon:
+            self._live -= 1
+        return ev
 
     def peek_time(self) -> float | None:
         return self._heap[0].time if self._heap else None

@@ -25,9 +25,10 @@ class Transport(enum.Enum):
 class TransferKind(enum.Enum):
     """Why a transfer happened."""
 
-    COUPLING = "coupling"    # inter-application coupled-data redistribution
-    INTRA_APP = "intra_app"  # intra-application exchange (e.g. stencil halos)
-    CONTROL = "control"      # DHT queries, registrations, RPCs
+    COUPLING = "coupling"        # inter-application coupled-data redistribution
+    INTRA_APP = "intra_app"      # intra-application exchange (e.g. stencil halos)
+    CONTROL = "control"          # DHT queries, registrations, RPCs
+    REPLICATION = "replication"  # resilience copies (replica writes, re-replication)
 
 
 @dataclass(frozen=True, slots=True)

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.core.mapping.base import MappingResult, TaskMapper
 from repro.core.mapping.roundrobin import RoundRobinMapper
 from repro.core.task import AppSpec
-from repro.errors import WorkflowError
+from repro.errors import CheckpointError, DataLostError, WorkflowError
 from repro.hardware.cluster import Cluster
 from repro.obs.tracer import Span
 from repro.sim.engine import SimEngine
@@ -97,6 +97,7 @@ class WorkflowEngine:
         sim: SimEngine | None = None,
         injector: "FaultInjector | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
+        defer_crash_redispatch: bool = False,
     ) -> None:
         self.dag = dag
         self.cluster = cluster
@@ -112,7 +113,10 @@ class WorkflowEngine:
         if self.tracer.enabled and self.tracer.clock is None:
             self.tracer.clock = lambda: self.sim.now
         self.injector = injector
-        if injector is not None:
+        # With a failure detector in the loop (resilience mode), crash
+        # re-dispatch waits for *detection*: the resilience manager calls
+        # handle_node_crash once the detector declares the node dead.
+        if injector is not None and not defer_crash_redispatch:
             injector.add_node_crash_listener(self._on_node_crash)
         self._routines: dict[int, AppRoutine] = {}
         self._mappers: dict[int, tuple[TaskMapper, dict[str, Any]]] = {}
@@ -122,6 +126,12 @@ class WorkflowEngine:
         #: bundle index -> number of post-fault re-enactments (degraded mode)
         self.reenactments: dict[int, int] = {}
         self._gen: dict[int, int] = {}
+        self._completed: set[int] = set()
+        #: simulated delay before retrying a bundle whose get hit lost data
+        self.data_loss_retry: float = 0.05
+        #: retry budget per bundle for the data-loss rung of the ladder
+        self.max_data_loss_retries: int = 8
+        self._data_loss_attempts: dict[int, int] = {}
         self._executed = False
         # Open async spans per enactment generation (tracing only).
         self._bundle_spans: dict[tuple[int, int], Span] = {}
@@ -151,8 +161,17 @@ class WorkflowEngine:
 
     # -- enactment ----------------------------------------------------------------------
 
-    def run(self) -> dict[int, AppRun]:
-        """Execute the whole workflow; returns per-application run records."""
+    def run(self, restore: "dict | None" = None) -> dict[int, AppRun]:
+        """Execute the whole workflow; returns per-application run records.
+
+        ``restore`` (a :meth:`checkpoint_state` dict) resumes a previously
+        checkpointed enactment instead of starting fresh: completed work is
+        replayed as bookkeeping, in-flight applications re-schedule their
+        completion events (their routines' side effects are part of the
+        checkpoint's space manifest, so they do not re-execute), and only
+        not-yet-launched bundles run their routines from here on. The sim
+        clock must already stand at the checkpoint's capture time.
+        """
         if self._executed:
             raise WorkflowError("engine already ran; build a new one to re-run")
         self._executed = True
@@ -163,9 +182,12 @@ class WorkflowEngine:
             for p in self.dag.bundle_parents(i):
                 self._bundle_children[p].add(i)
         self._apps_pending: dict[int, int] = {}
-        for i in range(n):
-            if self._indeg[i] == 0:
-                self.sim.schedule(0.0, self._launch_bundle, i)
+        if restore is not None:
+            self._restore(restore)
+        else:
+            for i in range(n):
+                if self._indeg[i] == 0:
+                    self.sim.schedule(0.0, self._launch_bundle, i)
         self.sim.run()
         missing = set(self.dag.apps) - set(self.runs)
         if missing:
@@ -219,46 +241,86 @@ class WorkflowEngine:
                                         app.app_id, rank)
         self._apps_pending[index] = len(apps)
         now = self.sim.now
-        for app in apps:
-            ctx = AppContext(
-                app=app,
-                group=groups[app.app_id],
-                mapping=mapping,
-                start_time=now,
-                engine=self,
-            )
-            if tracer.enabled:
-                self._app_spans[(app.app_id, gen)] = tracer.begin_async(
-                    "workflow.app", app=app.app_id, bundle=index, gen=gen,
-                    app_name=app.name, tasks=app.ntasks,
+        try:
+            for app in apps:
+                self._completed.discard(app.app_id)
+                ctx = AppContext(
+                    app=app,
+                    group=groups[app.app_id],
+                    mapping=mapping,
+                    start_time=now,
+                    engine=self,
                 )
-            routine = self._routines.get(app.app_id, lambda _ctx: 0.0)
-            if tracer.enabled:
-                with tracer.span(
-                    "workflow.routine", app=app.app_id, bundle=index
-                ):
+                if tracer.enabled:
+                    self._app_spans[(app.app_id, gen)] = tracer.begin_async(
+                        "workflow.app", app=app.app_id, bundle=index, gen=gen,
+                        app_name=app.name, tasks=app.ntasks,
+                    )
+                routine = self._routines.get(app.app_id, lambda _ctx: 0.0)
+                if tracer.enabled:
+                    with tracer.span(
+                        "workflow.routine", app=app.app_id, bundle=index
+                    ):
+                        duration = routine(ctx)
+                else:
                     duration = routine(ctx)
-            else:
-                duration = routine(ctx)
-            duration = 0.0 if duration is None else float(duration)
-            if duration < 0:
-                raise WorkflowError(
-                    f"routine of app {app.app_id} returned negative duration"
+                duration = 0.0 if duration is None else float(duration)
+                if duration < 0:
+                    raise WorkflowError(
+                        f"routine of app {app.app_id} returned negative duration"
+                    )
+                self.runs[app.app_id] = AppRun(
+                    app_id=app.app_id, start=now, finish=now + duration,
+                    mapping=mapping,
                 )
-            self.runs[app.app_id] = AppRun(
-                app_id=app.app_id, start=now, finish=now + duration, mapping=mapping
-            )
-            self.trace.append(TraceEvent(
-                time=now, event="app_started", bundle=index, app_id=app.app_id,
-                detail=f"{app.ntasks} tasks on "
-                       f"{len(mapping.nodes_used())} nodes",
-            ))
-            self.sim.schedule(duration, self._complete_app, index, app.app_id, gen)
+                self.trace.append(TraceEvent(
+                    time=now, event="app_started", bundle=index,
+                    app_id=app.app_id,
+                    detail=f"{app.ntasks} tasks on "
+                           f"{len(mapping.nodes_used())} nodes",
+                ))
+                self.sim.schedule(
+                    duration, self._complete_app, index, app.app_id, gen
+                )
+        except DataLostError as exc:
+            self._retry_after_data_loss(index, gen, exc)
+
+    def _retry_after_data_loss(self, index: int, gen: int, exc: Exception) -> None:
+        """A bundle's get hit an object with zero surviving copies.
+
+        Back off and re-launch the whole bundle: the resilience manager
+        re-enacts the lost data's producer in parallel, so the retry finds
+        the space repopulated. A bounded retry budget keeps a truly
+        unrecoverable loss from looping forever.
+        """
+        attempts = self._data_loss_attempts.get(index, 0) + 1
+        self._data_loss_attempts[index] = attempts
+        if attempts > self.max_data_loss_retries:
+            raise WorkflowError(
+                f"bundle {index} still hits lost data after "
+                f"{self.max_data_loss_retries} retries: {exc}"
+            ) from exc
+        bundle = self.dag.bundles[index]
+        self._gen[index] = gen + 1
+        span = self._bundle_spans.pop((index, gen), None)
+        if span is not None:
+            self.tracer.end_async(span, aborted=True)
+        for app_id in bundle.app_ids:
+            span = self._app_spans.pop((app_id, gen), None)
+            if span is not None:
+                self.tracer.end_async(span, aborted=True)
+            self.server.release_app(app_id)
+        self.trace.append(TraceEvent(
+            time=self.sim.now, event="bundle_data_loss_retry", bundle=index,
+            detail=f"attempt={attempts} ({exc})",
+        ))
+        self.sim.schedule(self.data_loss_retry, self._launch_bundle, index)
 
     def _complete_app(self, bundle_index: int, app_id: int, gen: int = 0) -> None:
         if gen != self._gen.get(bundle_index, 0):
             # Completion of an enactment superseded by a fault re-dispatch.
             return
+        self._completed.add(app_id)
         self.trace.append(TraceEvent(
             time=self.sim.now, event="app_completed", bundle=bundle_index,
             app_id=app_id,
@@ -277,7 +339,136 @@ class WorkflowEngine:
                 if self._indeg[child] == 0:
                     self.sim.schedule(0.0, self._launch_bundle, child)
 
+    # -- checkpoint / restart --------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """JSON-serializable snapshot of enactment progress.
+
+        Captures run records (with task placements), per-bundle generation
+        and pending counters, and which applications have completed — enough
+        for :meth:`run` with ``restore=`` to resume without re-executing any
+        routine that already ran (their side effects live in the space
+        manifest captured alongside this state).
+        """
+        if not self._executed:
+            raise CheckpointError("cannot checkpoint before enactment starts")
+        runs = []
+        for app_id, run in sorted(self.runs.items()):
+            placement = (
+                sorted(run.mapping.cores_of_app(app_id).items())
+                if run.mapping is not None else []
+            )
+            runs.append({
+                "app_id": app_id,
+                "bundle": self.bundle_index_of(app_id),
+                "start": run.start,
+                "finish": run.finish,
+                "placement": placement,
+                "done": app_id in self._completed,
+            })
+        return {
+            "time": self.sim.now,
+            "runs": runs,
+            "gen": {str(i): g for i, g in self._gen.items()},
+            "reenactments": {str(i): n for i, n in self.reenactments.items()},
+            "apps_pending": {str(i): p for i, p in self._apps_pending.items()},
+            "indeg": list(self._indeg),
+        }
+
+    def _restore(self, state: dict) -> None:
+        now = self.sim.now
+        if state["time"] > now + 1e-9:
+            raise CheckpointError(
+                f"checkpoint was captured at t={state['time']}, but the sim "
+                f"clock stands at t={now}; build the SimEngine with "
+                "start_time=checkpoint.time"
+            )
+        self._indeg = [int(v) for v in state["indeg"]]
+        self._gen = {int(k): v for k, v in state["gen"].items()}
+        self.reenactments = {
+            int(k): v for k, v in state["reenactments"].items()
+        }
+        self._apps_pending = {
+            int(k): v for k, v in state["apps_pending"].items()
+        }
+        # Pre-checkpoint crashes were armed as pre-existing state; their
+        # execution clients must leave the pool the same way.
+        if self.injector is not None:
+            for node in sorted(self.injector.crashed_nodes()):
+                for core in self.cluster.cores_of_node(node):
+                    if self.server.is_registered(core):
+                        self.server.unregister_client(core)
+        for rec in state["runs"]:
+            app_id = rec["app_id"]
+            mapping = None
+            if rec["placement"]:
+                mapping = MappingResult(self.cluster)
+                for rank, core in rec["placement"]:
+                    mapping.assign((app_id, int(rank)), int(core))
+            self.runs[app_id] = AppRun(
+                app_id=app_id, start=rec["start"], finish=rec["finish"],
+                mapping=mapping,
+            )
+            if rec["done"]:
+                self._completed.add(app_id)
+                continue
+            # In flight at capture time: re-occupy its cores and re-schedule
+            # the completion (the routine itself already ran pre-checkpoint).
+            index = rec["bundle"]
+            if mapping is not None:
+                for rank, core in mapping.cores_of_app(app_id).items():
+                    self.server.assign_task(core, app_id, rank)
+            self.sim.schedule_at(
+                max(rec["finish"], now), self._complete_app, index, app_id,
+                self._gen.get(index, 0),
+            )
+        # Bundles whose parents completed but whose zero-delay launch event
+        # was still queued at capture time never made it into the state:
+        # launch anything unblocked and not yet launched.
+        for i in range(len(self.dag.bundles)):
+            if self._indeg[i] == 0 and i not in self._apps_pending:
+                self.sim.schedule(0.0, self._launch_bundle, i)
+
     # -- fault handling -----------------------------------------------------------------
+
+    def handle_node_crash(self, node: int) -> None:
+        """Re-dispatch work hit by a node crash (public entry point).
+
+        In resilience mode (``defer_crash_redispatch=True``) the failure
+        detector — not the injector — decides *when* the workflow learns of
+        a crash; the resilience manager calls this at detection time.
+        """
+        self._on_node_crash(node)
+
+    def reenact_bundle(self, index: int, reason: str = "") -> None:
+        """Re-enact one bundle, superseding any in-flight enactment.
+
+        The last rung of the recovery ladder: when every replica of an
+        object is gone, re-running the bundle that produced it regenerates
+        the data. Completions of the superseded enactment are ignored via
+        the generation counter; a completed bundle simply runs again (its
+        puts are idempotent), without re-triggering its children.
+        """
+        if not 0 <= index < len(self.dag.bundles):
+            raise WorkflowError(f"bundle index {index} out of range")
+        if not hasattr(self, "_apps_pending"):
+            raise WorkflowError("engine has not started enactment")
+        old_gen = self._gen.get(index, 0)
+        self._gen[index] = old_gen + 1
+        self.reenactments[index] = self.reenactments.get(index, 0) + 1
+        span = self._bundle_spans.pop((index, old_gen), None)
+        if span is not None:
+            self.tracer.end_async(span, aborted=True)
+        for app_id in self.dag.bundles[index].app_ids:
+            span = self._app_spans.pop((app_id, old_gen), None)
+            if span is not None:
+                self.tracer.end_async(span, aborted=True)
+            self.server.release_app(app_id)
+        self.trace.append(TraceEvent(
+            time=self.sim.now, event="bundle_reenacted", bundle=index,
+            detail=reason,
+        ))
+        self.sim.schedule(0.0, self._launch_bundle, index)
 
     def _on_node_crash(self, node: int) -> None:
         """React to a node crash fired by the fault injector.

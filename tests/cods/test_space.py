@@ -65,6 +65,35 @@ class TestPutGetSeq:
         with pytest.raises(ScheduleError):
             space.get_seq(1, "T", Box(lo=(0, 0), hi=(4, 4)))
 
+    def test_get_after_evict_raises_despite_cached_schedule(self):
+        """Regression: evict used to leave the schedule cache pointing at
+        the evicted store, so a later get_seq silently served a stale plan
+        pulling from an empty store. The cached schedule must be rejected
+        and the miss path must raise cleanly."""
+        space = make_space()
+        box = Box(lo=(0, 0), hi=(16, 16))
+        space.put_seq(0, "T", box)
+        space.get_seq(5, "T", box)  # populates the schedule cache
+        space.evict(0, "T")
+        with pytest.raises(ScheduleError):
+            space.get_seq(5, "T", box)  # same key -> would hit the cache
+        # Also via a different reader that never cached.
+        with pytest.raises(ScheduleError):
+            space.get_seq(9, "T", Box(lo=(0, 0), hi=(4, 4)))
+
+    def test_evict_replicated_object_drops_every_copy(self):
+        from repro.resilience.replication import ReplicaPlacer
+
+        cluster = Cluster(4, machine=generic_multicore(4))
+        space = CoDS(cluster, (16, 16), replication=2,
+                     placer=ReplicaPlacer(cluster, 0))
+        space.put_seq(0, "T", Box(lo=(0, 0), hi=(16, 16)))
+        assert space.stored_bytes() == 2 * 16 * 16 * 8
+        space.evict(0, "T")
+        assert space.stored_bytes() == 0
+        with pytest.raises(ScheduleError):
+            space.get_seq(1, "T", Box(lo=(0, 0), hi=(4, 4)))
+
     def test_memory_capacity_enforced(self):
         cluster = Cluster(1, machine=generic_multicore(2))
         space = CoDS(cluster, (1024, 1024), enforce_memory=True)

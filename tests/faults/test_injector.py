@@ -113,3 +113,48 @@ class TestTrace:
         assert len(inj.trace()) == 2
         text = inj.format_trace()
         assert "transfer_retry" in text and "transfer_dropped" in text
+
+
+class TestEqualTimeDeterminism:
+    """Equal-time faults must arm and trace in canonical order regardless
+    of how the plan listed them."""
+
+    def make_plan(self, order):
+        crashes = tuple(NodeCrash(n, 1.0) for n in order["nodes"])
+        failures = tuple(DHTCoreFailure(c, 1.0) for c in order["cores"])
+        return FaultPlan(node_crashes=crashes, dht_failures=failures)
+
+    def trace_of(self, plan):
+        inj = FaultInjector(plan)
+        sim = SimEngine(fault_injector=inj)
+        sim.run()
+        return [(ev.time, ev.seq, ev.kind, ev.detail) for ev in inj.trace()]
+
+    def test_trace_independent_of_plan_listing_order(self):
+        a = self.trace_of(self.make_plan(
+            {"nodes": [2, 0], "cores": [9, 5]}))
+        b = self.trace_of(self.make_plan(
+            {"nodes": [0, 2], "cores": [5, 9]}))
+        assert a == b
+        # Canonical order: crashes before DHT failures, ids ascending.
+        details = [d for _, _, _, d in a]
+        assert details == ["node=0", "node=2", "core=5", "core=9"]
+
+    def test_timed_faults_sorted_by_time_kind_id(self):
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(3, 2.0), NodeCrash(1, 1.0)),
+            dht_failures=(DHTCoreFailure(4, 1.0),),
+        )
+        inj = FaultInjector(plan)
+        order = [(t, k, i) for t, k, i, _ in inj.timed_faults()]
+        assert order == [(1.0, 0, 1), (1.0, 1, 4), (2.0, 0, 3)]
+
+    def test_seq_totally_orders_equal_time_events(self):
+        plan = self.make_plan({"nodes": [1, 0], "cores": [3]})
+        inj = FaultInjector(plan)
+        sim = SimEngine(fault_injector=inj)
+        sim.run()
+        trace = inj.trace()
+        assert all(ev.time == 1.0 for ev in trace)
+        seqs = [ev.seq for ev in trace]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)

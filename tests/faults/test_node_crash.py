@@ -119,3 +119,49 @@ class TestCrashedProducerRecovery:
         ]
         assert len(reenacted) == 1
         assert "node 0" in reenacted[0].detail
+
+
+class TestCombinedDHTAndDataCrash:
+    def test_single_event_takes_dht_core_and_objects_together(self, cluster):
+        """One crash event hits a node that both serves a DHT interval and
+        stores data objects: the same event must fail the DHT core over AND
+        recover the lost objects via re-enactment — no partial recovery."""
+        producer = make_app(1, "P", 8)
+        consumer = make_app(2, "C", 1)
+        dag = WorkflowDAG(
+            [producer, consumer],
+            edges=[(1, 2)],
+            bundles=[Bundle((1,)), Bundle((2,))],
+        )
+        plan = FaultPlan(node_crashes=(NodeCrash(0, 0.5),))
+        injector = FaultInjector(plan)
+        space = CoDS(cluster, DOMAIN)
+        # Node 0's first core serves the first DHT interval and its cores
+        # hold the producer's first ranks' objects.
+        assert 0 in space.dht.dht_cores
+        engine = WorkflowEngine(dag, cluster, injector=injector)
+        injector.add_node_crash_listener(lambda node: space.on_node_crash(node))
+
+        results = []
+        engine.set_routine(1, producer_routine(space, producer, duration=1.0))
+        engine.set_routine(2, consumer_routine(space, results))
+        engine.run()
+
+        # Both halves of the recovery happened, from one trace event.
+        assert [ev.kind for ev in injector.trace()] == ["node_crash"]
+        assert 0 in space.dht.failed_cores
+        assert len(space.dht.dht_cores) == cluster.num_nodes - 1
+        assert engine.reenactments == {0: 1}
+        # The consumer still assembled the full domain.
+        (arr, _, _), = results
+        assert np.array_equal(arr, expected_array(producer))
+        # Location tables were rebuilt: every table entry points at a live
+        # core, and the surviving intervals cover the whole index space.
+        crashed = set(cluster.cores_of_node(0))
+        for store in space._stores.values():
+            for obj in store.objects():
+                assert obj.owner_core not in crashed
+        lo = min(a for a, _ in space.dht.intervals)
+        hi = max(b for _, b in space.dht.intervals)
+        covered = sum(b - a for a, b in space.dht.intervals)
+        assert covered == hi - lo

@@ -52,3 +52,39 @@ class TestPerfGuard:
         assert tracer.find("dart.transfer")
         assert tracer.find("workflow.map")
         assert any(sp.kind == "async" for sp in tracer.all_spans())
+
+
+class TestResilienceGuard:
+    """The resilience subsystem must be invisible until switched on."""
+
+    def test_resilience_mode_without_faults_matches_legacy_run(self):
+        """replication=1, no faults, no checkpoints: the resilience wiring
+        (SimEngine with detector daemons, deferred redispatch) must leave
+        the Fig 8 quantities and the event schedule byte-identical."""
+        from repro.resilience.manager import ResilienceConfig
+
+        legacy = run_scenario(small_concurrent(), DATA_CENTRIC)
+        wired = run_scenario(
+            small_concurrent(), DATA_CENTRIC,
+            resilience=ResilienceConfig(replication=1),
+        )
+        assert wired.metrics.as_dict() == legacy.metrics.as_dict()
+        assert wired.sim_events == legacy.sim_events
+        assert wired.resilience is not None
+        assert legacy.resilience is None
+
+    def test_replication_leaves_coupling_volumes_untouched(self):
+        """k=2 adds REPLICATION transfers but must not change the coupling
+        bytes the figures report (primaries win every read)."""
+        from repro.resilience.manager import ResilienceConfig
+
+        plain = run_scenario(small_concurrent(), DATA_CENTRIC)
+        replicated = run_scenario(
+            small_concurrent(), DATA_CENTRIC,
+            resilience=ResilienceConfig(replication=2),
+        )
+        for kind in (TransferKind.COUPLING, TransferKind.INTRA_APP):
+            assert replicated.metrics.network_bytes(kind) == \
+                plain.metrics.network_bytes(kind)
+            assert replicated.metrics.shm_bytes(kind) == \
+                plain.metrics.shm_bytes(kind)

@@ -1,0 +1,108 @@
+"""Property tests for replica placement and the re-replication invariant.
+
+The placer promises: k replica cores on k distinct live nodes, never the
+owner's node, never an excluded or dead node, and the walk is a pure
+function of ``(cluster, seed, owner, k, liveness)``. After any single node
+crash, re-replication restores the k-copies-on-distinct-live-nodes
+invariant for every logical object that kept at least one copy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.resilience.replication import ReplicaPlacer
+
+pytestmark = pytest.mark.property
+
+
+@st.composite
+def placer_cases(draw):
+    num_nodes = draw(st.integers(3, 8))
+    cores_per_node = draw(st.integers(2, 4))
+    cluster = Cluster(num_nodes, machine=generic_multicore(cores_per_node))
+    seed = draw(st.integers(0, 10))
+    owner = draw(st.integers(0, num_nodes * cores_per_node - 1))
+    k = draw(st.integers(1, num_nodes - 1))
+    dead = draw(st.sets(
+        st.integers(0, num_nodes - 1),
+        max_size=num_nodes - 2,
+    ))
+    dead.discard(cluster.node_of_core(owner))
+    # Keep at least k live candidate nodes besides the owner's.
+    while num_nodes - 1 - len(dead) < k:
+        dead.pop()
+    return cluster, seed, owner, k, frozenset(dead)
+
+
+class TestPlacerInvariants:
+    @given(placer_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_k_replicas_on_k_distinct_live_nodes(self, case):
+        cluster, seed, owner, k, dead = case
+        placer = ReplicaPlacer(cluster, seed)
+        targets = placer.replica_cores(
+            owner, k, alive=lambda node: node not in dead
+        )
+        assert len(targets) == k
+        nodes = [cluster.node_of_core(c) for c in targets]
+        assert len(set(nodes)) == k
+        assert cluster.node_of_core(owner) not in nodes
+        assert not (set(nodes) & dead)
+
+    @given(placer_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_placement_deterministic_per_seed(self, case):
+        cluster, seed, owner, k, dead = case
+        alive = lambda node: node not in dead
+        a = ReplicaPlacer(cluster, seed).replica_cores(owner, k, alive=alive)
+        b = ReplicaPlacer(cluster, seed).replica_cores(owner, k, alive=alive)
+        assert a == b
+
+
+@st.composite
+def crash_cases(draw):
+    num_nodes = draw(st.integers(3, 6))
+    cores_per_node = draw(st.integers(2, 4))
+    cluster = Cluster(num_nodes, machine=generic_multicore(cores_per_node))
+    seed = draw(st.integers(0, 5))
+    k = draw(st.integers(2, min(3, num_nodes - 1)))
+    crashed = draw(st.integers(0, num_nodes - 1))
+    nputs = draw(st.integers(1, min(4, num_nodes * cores_per_node)))
+    return cluster, seed, k, crashed, nputs
+
+
+class TestReReplicationInvariant:
+    @given(crash_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_single_crash_then_restore_recovers_factor(self, case):
+        cluster, seed, k, crashed, nputs = case
+        space = CoDS(cluster, (16, 16), replication=k,
+                     placer=ReplicaPlacer(cluster, seed))
+        rows = 16 // nputs
+        for i in range(nputs):
+            lo, hi = i * rows, (i + 1) * rows if i < nputs - 1 else 16
+            space.put_seq(i, "v", Box(lo=(lo, 0), hi=(hi, 16)),
+                          element_size=8, version=0, app_id=1)
+        space.mark_node_dead(crashed)
+        space.recover_node_crash(crashed)
+        space.restore_replication()
+
+        copies: dict[int, list[int]] = {}
+        for store in space._stores.values():
+            for obj in store.objects():
+                copies.setdefault(obj.logical_owner, []).append(obj.owner_core)
+        # k >= 2 and one crash: every logical object kept a copy, and after
+        # restore_replication each has exactly k copies on distinct live
+        # nodes again.
+        assert set(copies) == set(range(nputs))
+        for owner, cores in copies.items():
+            assert len(cores) == k
+            nodes = {cluster.node_of_core(c) for c in cores}
+            assert len(nodes) == k
+            assert crashed not in nodes
+        assert space.lost_objects() == []

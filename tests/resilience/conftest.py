@@ -1,0 +1,124 @@
+"""Shared scaffolding for the resilience tests.
+
+The staged workflow used throughout gives the run temporal extent —
+producer (1.0 s) -> filler (3.0 s) -> consumer — so crashes injected at
+t=2.0 land *between* the producer's puts and the consumer's reads, the
+window where replica failover and re-replication actually matter.
+"""
+
+import pytest
+
+from repro.apps.scenarios import layout_for
+from repro.cods.space import CoDS
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.faults.injector import FaultInjector
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.resilience.replication import ReplicaPlacer
+from repro.sim.engine import SimEngine
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+DOMAIN = (8, 8, 8)
+VAR = "u"
+
+
+def make_app(app_id: int, name: str, ntasks: int) -> AppSpec:
+    return AppSpec(
+        app_id=app_id,
+        name=name,
+        descriptor=DecompositionDescriptor.uniform(
+            DOMAIN, layout_for(ntasks), "blocked", 4
+        ),
+        element_size=8,
+        var=VAR,
+    )
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=4, machine=generic_multicore(4))
+
+
+class StagedRun:
+    """Producer -> filler -> consumer workflow under the resilience stack."""
+
+    def __init__(
+        self,
+        cluster,
+        config: ResilienceConfig,
+        injector: "FaultInjector | None" = None,
+        producer_tasks: int = 8,
+        filler_seconds: float = 3.0,
+    ):
+        self.cluster = cluster
+        self.config = config
+        self.injector = injector
+        self.producer = make_app(1, "P", producer_tasks)
+        self.filler = make_app(2, "F", 1)
+        self.consumer = make_app(3, "C", 1)
+        dag = WorkflowDAG(
+            [self.producer, self.filler, self.consumer],
+            edges=[(1, 2), (2, 3)],
+            bundles=[Bundle((1,)), Bundle((2,)), Bundle((3,))],
+        )
+        self.space = CoDS(
+            cluster, DOMAIN,
+            replication=config.replication,
+            placer=(
+                ReplicaPlacer(cluster, config.placer_seed)
+                if config.replication > 1 else None
+            ),
+        )
+        self.sim = SimEngine()
+        self.engine = WorkflowEngine(
+            dag, cluster, sim=self.sim, injector=injector,
+            defer_crash_redispatch=True,
+        )
+        self.manager = ResilienceManager(
+            config, self.engine.sim, self.space, self.engine,
+            self.space.dart.registry, injector=injector,
+        )
+        self.manager.install()
+        self.reads: list = []
+
+        def produce(ctx):
+            for rank in range(self.producer.ntasks):
+                region = self.producer.decomposition.task_intervals(rank)
+                self.space.put_seq(
+                    ctx.group.core(rank), VAR, region,
+                    element_size=8, version=0, app_id=1,
+                )
+            return 1.0
+
+        def consume(ctx):
+            sched, records = self.space.get_seq(
+                ctx.group.core(0), VAR, Box.from_extents(DOMAIN),
+                version=0, app_id=3,
+            )
+            self.reads.append((sched, records))
+            return 0.0
+
+        self.engine.set_routine(1, produce)
+        self.engine.set_routine(2, lambda ctx: filler_seconds)
+        self.engine.set_routine(3, consume)
+
+    def run(self):
+        return self.engine.run()
+
+    def summary(self) -> dict:
+        return self.manager.summary()
+
+
+def replica_count(space: CoDS, var: str, version: int, owner: int) -> int:
+    """Surviving copies of one logical object, by scanning every store."""
+    return sum(
+        1
+        for store in space._stores.values()
+        for obj in store.objects()
+        if obj.var == var and obj.version == version
+        and obj.logical_owner == owner
+    )

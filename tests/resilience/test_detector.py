@@ -1,0 +1,128 @@
+"""Heartbeat failure detection on the simulated event clock."""
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import DHTCoreFailure, FaultPlan, NodeCrash
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.detector import HeartbeatFailureDetector
+from repro.sim.engine import SimEngine
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=4, machine=generic_multicore(4))
+
+
+def make_detector(cluster, sim, injector, registry=None, **kw):
+    return HeartbeatFailureDetector(
+        sim, cluster, injector, registry=registry, **kw
+    )
+
+
+class TestDetection:
+    def test_node_declared_within_timeout_plus_sweep(self, cluster):
+        plan = FaultPlan(node_crashes=(NodeCrash(time=1.0, node=2),))
+        injector = FaultInjector(plan)
+        sim = SimEngine()
+        registry = MetricsRegistry()
+        det = make_detector(cluster, sim, injector, registry,
+                            period=0.05, timeout=0.15)
+        declared = []
+        det.add_node_death_listener(lambda n: declared.append((n, sim.now)))
+        det.start()
+        injector.arm(sim)
+        sim.schedule_at(3.0, lambda: None)  # keep the run alive past the fault
+        sim.run()
+        assert [n for n, _ in declared] == [2]
+        t = declared[0][1]
+        # Silence is measured from the last heartbeat *before* the crash,
+        # so detection can lead the crash+timeout mark by up to one period.
+        assert 1.0 + 0.15 - 0.05 <= t <= 1.0 + 0.15 + 2 * 0.05
+        hist = registry["resilience.detection.latency"]
+        assert hist.count() == 1
+
+    def test_healthy_run_declares_nothing(self, cluster):
+        injector = FaultInjector(FaultPlan())
+        sim = SimEngine()
+        det = make_detector(cluster, sim, injector)
+        declared = []
+        det.add_node_death_listener(lambda n: declared.append(n))
+        det.start()
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert declared == []
+        assert det.declared_dead() == frozenset()
+
+    def test_dht_core_failure_detected(self, cluster):
+        plan = FaultPlan(dht_failures=(DHTCoreFailure(time=0.5, core=4),))
+        injector = FaultInjector(plan)
+        sim = SimEngine()
+        det = make_detector(cluster, sim, injector, period=0.05, timeout=0.15)
+        declared = []
+        det.add_dht_death_listener(lambda c: declared.append((c, sim.now)))
+        det.start()
+        injector.arm(sim)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert [c for c, _ in declared] == [4]
+        assert declared[0][1] >= 0.5 + 0.15
+
+    def test_detection_fires_even_after_live_events_drain(self, cluster):
+        """The deadline sweep is a real (non-daemon) event: a crash is
+        detected even when no workflow activity keeps the clock running."""
+        plan = FaultPlan(node_crashes=(NodeCrash(time=1.0, node=0),))
+        injector = FaultInjector(plan)
+        sim = SimEngine()
+        det = make_detector(cluster, sim, injector)
+        declared = []
+        det.add_node_death_listener(lambda n: declared.append(n))
+        det.start()
+        injector.arm(sim)
+        sim.run()  # nothing else scheduled
+        assert declared == [0]
+
+    def test_cannot_start_twice(self, cluster):
+        injector = FaultInjector(FaultPlan())
+        det = make_detector(cluster, SimEngine(), injector)
+        det.start()
+        with pytest.raises(ResilienceError):
+            det.start()
+
+    def test_restored_run_detects_crash_in_declaration_gap(self, cluster):
+        """Regression: a checkpoint taken after a crash was injected but
+        before it was declared (crash < ckpt_time < crash + timeout) used
+        to seed the crashed node's last heartbeat at the restore instant,
+        so the restored run never accrued enough silence and the crash
+        went undetected. Silence must accrue from the crash time."""
+        plan = FaultPlan(node_crashes=(NodeCrash(time=1.0, node=2),))
+        injector = FaultInjector(plan)
+        sim = SimEngine(start_time=1.1)  # 1.0 < 1.1 < 1.0 + 0.15
+        det = make_detector(cluster, sim, injector, period=0.05, timeout=0.15)
+        declared = []
+        det.add_node_death_listener(lambda n: declared.append((n, sim.now)))
+        det.start()
+        injector.arm(sim)
+        sim.run()  # the deadline sweep alone must carry detection
+        assert [n for n, _ in declared] == [2]
+        t = declared[0][1]
+        assert 1.0 + 0.15 <= t <= 1.0 + 0.15 + 2 * 0.05
+
+    def test_restored_run_predeclares_stale_faults(self, cluster):
+        """Restoring past a fault's detection deadline must not re-announce
+        it (the pre-restore run already recovered)."""
+        plan = FaultPlan(node_crashes=(NodeCrash(time=1.0, node=2),))
+        injector = FaultInjector(plan)
+        sim = SimEngine(start_time=5.0)
+        det = make_detector(cluster, sim, injector)
+        declared = []
+        det.add_node_death_listener(lambda n: declared.append(n))
+        det.start()
+        injector.arm(sim)
+        sim.schedule_at(6.0, lambda: None)
+        sim.run()
+        assert declared == []
+        assert det.declared_dead() == frozenset({2})

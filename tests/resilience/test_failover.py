@@ -1,0 +1,127 @@
+"""The recovery ladder under mid-flight node crashes.
+
+Rung 1 (replica failover) and rung 2 (re-replication) must absorb any
+single crash when k >= 2 — re-enactment of producer bundles (rung 4) is
+reserved for objects with *zero* surviving copies.
+"""
+
+import pytest
+
+from repro.errors import DataLostError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NodeCrash
+from repro.resilience.manager import ResilienceConfig
+
+from .conftest import StagedRun, replica_count
+
+
+def crash_plan(node: int, time: float = 2.0, seed: int = 7) -> FaultInjector:
+    return FaultInjector(
+        FaultPlan(seed=seed, node_crashes=(NodeCrash(time=time, node=node),))
+    )
+
+
+class TestReplicaFailover:
+    def test_single_crash_with_k2_never_reenacts_for_data(self, cluster):
+        run = StagedRun(cluster, ResilienceConfig(replication=2),
+                        injector=crash_plan(node=0))
+        run.run()
+        s = run.summary()
+        assert s["detections_node"] == 1
+        # The consumer read everything; dead primaries served from replicas.
+        assert len(run.reads) == 1
+        assert s["failover_reads"] > 0
+        # No logical object lost every copy.
+        assert run.space.lost_objects() == []
+
+    def test_rereplication_restores_factor_after_crash(self, cluster):
+        run = StagedRun(cluster, ResilienceConfig(replication=2),
+                        injector=crash_plan(node=0))
+        run.run()
+        assert run.summary()["rereplication_copies"] > 0
+        for rank in range(run.producer.ntasks):
+            assert replica_count(run.space, "u", 0, rank) == 2
+
+    def test_detection_is_not_instant(self, cluster):
+        """Crash effects are physical at t=2.0; recovery waits for the
+        detector, one heartbeat timeout later."""
+        cfg = ResilienceConfig(replication=2, heartbeat_period=0.05,
+                               heartbeat_timeout=0.15)
+        run = StagedRun(cluster, cfg, injector=crash_plan(node=0))
+        run.run()
+        assert run.manager.detector.declared_dead() == frozenset({0})
+        hist = run.space.dart.registry["resilience.detection.latency"]
+        assert hist.count() == 1
+        latency = hist.sum()
+        assert cfg.heartbeat_timeout - cfg.heartbeat_period <= latency <= \
+            cfg.heartbeat_timeout + 2 * cfg.heartbeat_period
+
+    def test_failover_prefers_surviving_copy(self, cluster):
+        run = StagedRun(cluster, ResilienceConfig(replication=2),
+                        injector=crash_plan(node=0))
+        run.run()
+        (sched, _records), = run.reads
+        dead = set(cluster.cores_of_node(0))
+        assert all(p.src_core not in dead for p in sched.plans)
+
+    def test_unreplicated_crash_loses_objects(self, cluster):
+        """k=1: the crash's primaries are simply gone — the ladder's last
+        rung (re-enactment) is the only way back."""
+        run = StagedRun(cluster, ResilienceConfig(replication=1),
+                        injector=crash_plan(node=0))
+        run.run()
+        s = run.summary()
+        # The engine re-enacted the producing bundle and the read succeeded.
+        assert s["reenactments"] >= 1
+        assert len(run.reads) == 1
+        assert run.space.lost_objects() == []
+
+    def test_select_copies_raises_when_every_copy_dead(self, cluster):
+        from repro.cods.space import CoDS
+        from repro.domain.box import Box
+        from repro.resilience.replication import ReplicaPlacer
+
+        from .conftest import DOMAIN, VAR, make_app
+
+        space = CoDS(cluster, DOMAIN, replication=2,
+                     placer=ReplicaPlacer(cluster, 0))
+        spec = make_app(1, "P", 4)  # all primaries on node 0
+        for rank in range(spec.ntasks):
+            region = spec.decomposition.task_intervals(rank)
+            space.put_seq(rank, VAR, region, element_size=8, version=0)
+        # Kill the primary node and every replica's node.
+        replica_nodes = {
+            cluster.node_of_core(o.owner_core)
+            for s in space._stores.values() for o in s.objects()
+            if o.is_replica
+        }
+        for node in {0} | replica_nodes:
+            space.mark_node_dead(node)
+        with pytest.raises(DataLostError):
+            space.get_seq(
+                cluster.cores_of_node(3)[0], VAR,
+                Box.from_extents(DOMAIN), version=0,
+            )
+
+
+class TestCombinedCrashDetected:
+    def test_dht_core_and_replicas_recover_from_one_detection(self, cluster):
+        """The crashed node serves a DHT interval and hosts data: one
+        detection must fail the DHT core over, rebuild location tables,
+        and restore the replication factor."""
+        run = StagedRun(cluster, ResilienceConfig(replication=2),
+                        injector=crash_plan(node=0))
+        assert 0 in run.space.dht.dht_cores
+        run.run()
+        s = run.summary()
+        assert s["detections_node"] == 1
+        assert 0 in run.space.dht.failed_cores
+        assert len(run.space.dht.dht_cores) == cluster.num_nodes - 1
+        # Replication factor restored and the read succeeded.
+        assert s["rereplication_copies"] > 0
+        assert len(run.reads) == 1
+        # Surviving DHT intervals stay contiguous over the index space.
+        covered = sum(b - a for a, b in run.space.dht.intervals)
+        lo = min(a for a, _ in run.space.dht.intervals)
+        hi = max(b for _, b in run.space.dht.intervals)
+        assert covered == hi - lo

@@ -1,0 +1,97 @@
+"""k-way replication in the CoDS space."""
+
+import pytest
+
+from repro.cods.space import CoDS
+from repro.errors import SpaceError
+from repro.resilience.replication import ReplicaPlacer
+from repro.transport.message import TransferKind
+
+from .conftest import DOMAIN, VAR, make_app
+
+
+def fill(space: CoDS, spec, version: int = 0) -> None:
+    for rank in range(spec.ntasks):
+        region = spec.decomposition.task_intervals(rank)
+        space.put_seq(rank, VAR, region, element_size=8, version=version,
+                      app_id=spec.app_id)
+
+
+class TestReplicatedPut:
+    def test_put_creates_k_copies_on_distinct_nodes(self, cluster):
+        space = CoDS(cluster, DOMAIN, replication=2,
+                     placer=ReplicaPlacer(cluster, 0))
+        spec = make_app(1, "P", 8)
+        fill(space, spec)
+        for rank in range(spec.ntasks):
+            copies = [
+                obj
+                for store in space._stores.values()
+                for obj in store.objects()
+                if obj.logical_owner == rank
+            ]
+            assert len(copies) == 2
+            nodes = {cluster.node_of_core(o.owner_core) for o in copies}
+            assert len(nodes) == 2
+            primaries = [o for o in copies if not o.is_replica]
+            assert len(primaries) == 1
+            assert primaries[0].owner_core == rank
+
+    def test_replication_transfers_accounted(self, cluster):
+        space = CoDS(cluster, DOMAIN, replication=3,
+                     placer=ReplicaPlacer(cluster, 0))
+        spec = make_app(1, "P", 8)
+        fill(space, spec)
+        m = space.dart.metrics
+        total = (m.network_bytes(TransferKind.REPLICATION)
+                 + m.shm_bytes(TransferKind.REPLICATION))
+        # 8 primaries x 2 extra copies, each a full task share.
+        share = 8 * (8 * 8 * 8 // 8)
+        assert total == 16 * share
+
+    def test_replication_one_writes_no_replicas(self, cluster):
+        space = CoDS(cluster, DOMAIN)
+        spec = make_app(1, "P", 8)
+        fill(space, spec)
+        assert all(not o.is_replica
+                   for s in space._stores.values() for o in s.objects())
+        m = space.dart.metrics
+        assert m.network_bytes(TransferKind.REPLICATION) == 0
+        assert m.shm_bytes(TransferKind.REPLICATION) == 0
+
+    def test_replication_factor_validated(self, cluster):
+        with pytest.raises(SpaceError):
+            CoDS(cluster, DOMAIN, replication=0)
+        with pytest.raises(SpaceError):
+            CoDS(cluster, DOMAIN, replication=cluster.num_nodes + 1)
+
+    def test_reput_drops_previous_replicas(self, cluster):
+        space = CoDS(cluster, DOMAIN, replication=2,
+                     placer=ReplicaPlacer(cluster, 0))
+        spec = make_app(1, "P", 8)
+        fill(space, spec)
+        fill(space, spec)  # idempotent re-put (a re-enacted producer)
+        for rank in range(spec.ntasks):
+            copies = [
+                obj
+                for store in space._stores.values()
+                for obj in store.objects()
+                if obj.logical_owner == rank
+            ]
+            assert len(copies) == 2
+
+    def test_get_seq_unchanged_by_replication(self, cluster):
+        """Replicated and unreplicated spaces serve identical schedules
+        while every node is alive (primaries win)."""
+        from repro.domain.box import Box
+
+        plain = CoDS(cluster, DOMAIN)
+        repl = CoDS(cluster, DOMAIN, replication=2,
+                    placer=ReplicaPlacer(cluster, 0))
+        spec = make_app(1, "P", 8)
+        fill(plain, spec)
+        fill(repl, spec)
+        box = Box.from_extents(DOMAIN)
+        s1, _ = plain.get_seq(12, VAR, box, version=0)
+        s2, _ = repl.get_seq(12, VAR, box, version=0)
+        assert s1.plans == s2.plans
