@@ -17,7 +17,7 @@ import json
 import sys
 
 #: trace_event phases the tracer is allowed to emit
-KNOWN_PHASES = {"B", "E", "i", "b", "e"}
+KNOWN_PHASES = {"B", "E", "i", "b", "e", "s", "f"}
 
 
 class CheckFailure(Exception):
@@ -43,6 +43,10 @@ def check_trace(path: str) -> int:
 
     stacks: dict[tuple, list[str]] = {}
     open_async: dict[object, str] = {}
+    span_seqs: set = set()
+    flow_starts: dict[object, tuple] = {}
+    flow_ends: set = set()
+    flow_refs: list[tuple[str, object]] = []
     for n, ev in enumerate(events):
         where = f"{path}: event {n}"
         if not isinstance(ev, dict):
@@ -54,6 +58,9 @@ def check_trace(path: str) -> int:
         if ph not in KNOWN_PHASES:
             fail(f"{where}: unknown phase {ph!r}")
         key = (ev.get("pid"), ev.get("tid"))
+        seq = ev.get("args", {}).get("seq")
+        if seq is not None:
+            span_seqs.add(seq)
         if ph == "B":
             stacks.setdefault(key, []).append(ev["name"])
         elif ph == "E":
@@ -71,11 +78,38 @@ def check_trace(path: str) -> int:
                 open_async[ev["id"]] = ev["name"]
             elif open_async.pop(ev["id"], None) is None:
                 fail(f"{where}: e {ev['name']!r} with no matching b")
+        elif ph in ("s", "f"):
+            args = ev.get("args")
+            if "id" not in ev:
+                fail(f"{where}: flow event needs an 'id'")
+            if (not isinstance(args, dict) or "source" not in args
+                    or "target" not in args):
+                fail(f"{where}: flow event needs args.source/args.target")
+            if ph == "s":
+                if ev["id"] in flow_starts:
+                    fail(f"{where}: duplicate flow start id {ev['id']}")
+                flow_starts[ev["id"]] = (args["source"], args["target"])
+            else:
+                if ev.get("bp") != "e":
+                    fail(f"{where}: flow finish must bind to the enclosing "
+                         f"slice (bp='e')")
+                if flow_starts.get(ev["id"]) != (args["source"], args["target"]):
+                    fail(f"{where}: flow finish id {ev['id']} does not match "
+                         f"its start")
+                flow_ends.add(ev["id"])
+            flow_refs.append((where, args["source"]))
+            flow_refs.append((where, args["target"]))
     for key, stack in stacks.items():
         if stack:
             fail(f"{path}: unbalanced spans left open on {key}: {stack}")
     if open_async:
         fail(f"{path}: async spans never ended: {sorted(open_async.values())}")
+    dangling = set(flow_starts) - flow_ends
+    if dangling:
+        fail(f"{path}: flow starts without a finish: {sorted(dangling)}")
+    for where, seq in flow_refs:
+        if seq not in span_seqs:
+            fail(f"{where}: flow link references unknown span seq {seq}")
     return len(events)
 
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Continuous perf-history harness (CI entry point).
+
+Runs the canonical Fig 8/9/16 scenarios through
+:mod:`repro.analysis.perfhistory`, prints the attribution dashboard,
+diffs the profiles against the newest committed ``BENCH_<n>.json``, and
+writes the fresh snapshot. CI invokes this with ``--fail-on-regression``
+so a metric escaping its tolerance band turns the build red; the written
+snapshot is uploaded as a build artifact and, once committed, becomes
+the next run's baseline.
+
+Usage:  python benchmarks/perf_history.py [--out BENCH_5.json]
+                                          [--dir .] [--label msg]
+                                          [--scenario fig09_sequential]...
+                                          [--fail-on-regression]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.analysis.perfhistory import find_snapshots, run_history  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument(
+        "--out", default=None,
+        help="snapshot path (default: next BENCH_<n>.json in --dir)",
+    )
+    parser.add_argument(
+        "--dir", dest="directory", default=".",
+        help="directory holding the BENCH_*.json history",
+    )
+    parser.add_argument("--scenario", action="append", default=None)
+    parser.add_argument("--label", default="")
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args(argv)
+
+    out = args.out
+    if out is None:
+        existing = find_snapshots(args.directory)
+        nxt = existing[-1][0] + 1 if existing else 0
+        out = os.path.join(args.directory, f"BENCH_{nxt}.json")
+
+    profiles, verdict, text = run_history(
+        out=out,
+        directory=args.directory,
+        scenarios=args.scenario,
+        label=args.label,
+    )
+    print(text, end="")
+    print(f"\nsnapshot written to {out}")
+    if verdict is None:
+        print("no previous snapshot; baseline established")
+        return 0
+    if not verdict.passed and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

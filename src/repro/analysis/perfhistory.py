@@ -1,0 +1,303 @@
+"""Continuous performance history over the paper's canonical scenarios.
+
+One :func:`run_history` call re-runs the canonical Fig-8 (concurrent
+coupling), Fig-9 (sequential coupling), and Fig-16 (weak scaling)
+workloads with tracing on, reduces each to a flat *profile* — makespan,
+critical-path length, per-category attribution (via
+:mod:`repro.obs.critpath`), straggler slack, and bytes moved — and
+
+* writes the profiles as a schema-versioned ``BENCH_<n>.json`` snapshot,
+* diffs them against the previous snapshot's tolerance bands
+  (:mod:`repro.obs.anomaly`), yielding a pass/fail regression verdict,
+* renders an ASCII dashboard (attribution bars per scenario, makespan
+  sparkline across the whole ``BENCH_*`` series).
+
+Both the ``repro-insitu perf`` subcommand and ``benchmarks/perf_history.py``
+drive this module; CI runs the latter and fails the build on a red
+verdict. Snapshots are deterministic — same tree, same JSON bytes — so a
+committed ``BENCH_<n>.json`` doubles as the next PR's baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis.ascii import bar_chart, sparkline
+from repro.errors import AnalysisError
+from repro.obs.anomaly import Verdict, compare
+from repro.obs.baseline import SCHEMA_VERSION, Baseline
+
+__all__ = [
+    "PerfScenario",
+    "CANONICAL",
+    "run_profile",
+    "run_history",
+    "find_snapshots",
+    "load_snapshot",
+    "write_snapshot",
+    "snapshot_baseline",
+    "dashboard",
+]
+
+#: snapshot files are BENCH_<index>.json at the repo root (or --dir)
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: simulated per-app compute so runs have a real makespan to attribute
+_PRODUCER_COMPUTE = 0.01
+_CONSUMER_COMPUTE = 0.008
+
+#: weak-scaling producer sizes (bench scale; Fig 16 shape, not magnitude)
+_FIG16_SCALES = (16, 32, 64)
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One canonical workload the history tracks."""
+
+    name: str
+    title: str
+    run: Callable[[], dict[str, Any]]
+
+
+def _traced_profile(scenario, **kwargs) -> dict[str, Any]:
+    """Run one scenario traced and reduce it to a flat metrics profile."""
+    from repro.analysis.experiments import run_scenario
+    from repro.obs.critpath import SpanGraph, analyze
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    result = run_scenario(
+        scenario,
+        tracer=tracer,
+        time_transfers=True,
+        producer_compute=_PRODUCER_COMPUTE,
+        consumer_compute=_CONSUMER_COMPUTE,
+        **kwargs,
+    )
+    graph = SpanGraph.from_tracer(tracer)
+    a = analyze(graph)
+    m = result.metrics
+    return {
+        "makespan": a["makespan"],
+        "critical_path_length": a["critical_path_length"],
+        "attribution": a["attribution"],
+        "attribution_frac": a["attribution_fractions"],
+        "path_segments": a["segments"],
+        "max_slack": a["max_slack"],
+        "bytes_network": float(m.network_bytes()),
+        "bytes_shm": float(m.shm_bytes()),
+        "bytes_total": float(m.network_bytes() + m.shm_bytes()),
+        "sim_events": float(result.sim_events),
+    }
+
+
+def _run_fig08() -> dict[str, Any]:
+    from repro.apps.scenarios import small_concurrent
+
+    return _traced_profile(small_concurrent())
+
+
+def _run_fig09() -> dict[str, Any]:
+    from repro.apps.scenarios import small_sequential
+
+    return _traced_profile(small_sequential())
+
+
+def _run_fig16() -> dict[str, Any]:
+    """Weak-scaling retrieval times; the largest point is fully profiled."""
+    from repro.analysis.experiments import run_scenario
+    from repro.apps.scenarios import concurrent_scenario
+
+    times: dict[str, float] = {}
+    for p in _FIG16_SCALES:
+        scenario = concurrent_scenario(
+            producer_tasks=p, consumer_tasks=max(p // 8, 1), task_side=16
+        )
+        result = run_scenario(scenario, time_transfers=True)
+        times[f"retrieval_p{p}"] = result.retrieval_times[2]
+    largest = _FIG16_SCALES[-1]
+    profile = _traced_profile(concurrent_scenario(
+        producer_tasks=largest,
+        consumer_tasks=max(largest // 8, 1),
+        task_side=16,
+    ))
+    profile.update(times)
+    profile["retrieval_growth"] = (
+        times[f"retrieval_p{largest}"] - times[f"retrieval_p{_FIG16_SCALES[0]}"]
+    )
+    return profile
+
+
+CANONICAL: tuple[PerfScenario, ...] = (
+    PerfScenario("fig08_concurrent", "Fig 8 — concurrent coupling", _run_fig08),
+    PerfScenario("fig09_sequential", "Fig 9 — sequential coupling", _run_fig09),
+    PerfScenario("fig16_weak_scaling", "Fig 16 — weak scaling", _run_fig16),
+)
+
+
+def run_profile(names: "list[str] | None" = None) -> dict[str, dict[str, Any]]:
+    """Run the canonical scenarios (or the named subset) -> profiles."""
+    wanted = set(names) if names else None
+    known = {s.name for s in CANONICAL}
+    if wanted is not None and not wanted <= known:
+        raise AnalysisError(
+            f"unknown perf scenario(s): {sorted(wanted - known)}; "
+            f"known: {sorted(known)}"
+        )
+    out: dict[str, dict[str, Any]] = {}
+    for scen in CANONICAL:
+        if wanted is None or scen.name in wanted:
+            out[scen.name] = scen.run()
+    return out
+
+
+# -- snapshot files -------------------------------------------------------------------
+
+
+def find_snapshots(directory: str = ".") -> list[tuple[int, str]]:
+    """All ``BENCH_<n>.json`` files in ``directory``, sorted by index."""
+    out = []
+    for entry in os.listdir(directory):
+        m = _SNAPSHOT_RE.match(entry)
+        if m:
+            out.append((int(m.group(1)), os.path.join(directory, entry)))
+    out.sort()
+    return out
+
+
+def load_snapshot(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        snap = json.load(fh)
+    schema = int(snap.get("schema", 0))
+    if schema > SCHEMA_VERSION:
+        raise AnalysisError(
+            f"snapshot {path} has schema {schema}, newer than supported "
+            f"{SCHEMA_VERSION}"
+        )
+    return snap
+
+
+def write_snapshot(
+    path: str, profiles: dict[str, dict[str, Any]], label: str = ""
+) -> None:
+    """Write a deterministic, schema-versioned snapshot."""
+    index = 0
+    m = _SNAPSHOT_RE.match(os.path.basename(path))
+    if m:
+        index = int(m.group(1))
+    snap = {
+        "schema": SCHEMA_VERSION,
+        "index": index,
+        "label": label,
+        "scenarios": {
+            name: _sorted_tree(profile)
+            for name, profile in sorted(profiles.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snap, fh, indent=1)
+        fh.write("\n")
+
+
+def _sorted_tree(d: dict[str, Any]) -> dict[str, Any]:
+    return {
+        k: _sorted_tree(v) if isinstance(v, dict) else v
+        for k, v in sorted(d.items())
+    }
+
+
+def snapshot_baseline(snap: dict[str, Any]) -> Baseline:
+    """A :class:`Baseline` view of a loaded snapshot."""
+    base = Baseline(label=str(snap.get("label", "")))
+    for name, profile in snap.get("scenarios", {}).items():
+        base.record(name, profile)
+    return base
+
+
+# -- dashboard ------------------------------------------------------------------------
+
+
+def dashboard(
+    profiles: dict[str, dict[str, Any]],
+    history: "list[tuple[int, dict[str, Any]]] | None" = None,
+    verdict: "Verdict | None" = None,
+) -> str:
+    """ASCII dashboard: attribution bars, history sparklines, verdict."""
+    from repro.obs.critpath import CATEGORIES
+
+    lines: list[str] = []
+    titles = {s.name: s.title for s in CANONICAL}
+    for name in sorted(profiles):
+        p = profiles[name]
+        lines.append(f"== {titles.get(name, name)} ==")
+        lines.append(
+            f"makespan {p['makespan'] * 1e3:.3f} ms, "
+            f"critical path {p['critical_path_length'] * 1e3:.3f} ms "
+            f"({p['path_segments']} segments), "
+            f"bytes net/shm {p['bytes_network']:.0f}/{p['bytes_shm']:.0f}"
+        )
+        att = p.get("attribution", {})
+        cats = [c for c in CATEGORIES if c in att]
+        if cats:
+            lines.append(bar_chart(
+                cats, [att[c] * 1e3 for c in cats], width=32, unit=" ms",
+            ))
+        lines.append("")
+    if history:
+        lines.append("== history (BENCH_* series) ==")
+        for name in sorted(profiles):
+            series = [
+                snap["scenarios"][name]["makespan"]
+                for _idx, snap in history
+                if name in snap.get("scenarios", {})
+            ]
+            series.append(profiles[name]["makespan"])
+            indices = [str(i) for i, _ in history] + ["now"]
+            lines.append(
+                f"{name:>20} makespan {sparkline(series)} "
+                f"({indices[0]} .. {indices[-1]})"
+            )
+        lines.append("")
+    if verdict is not None:
+        lines.append("== regression check ==")
+        lines.append(verdict.summary())
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# -- driver ---------------------------------------------------------------------------
+
+
+def run_history(
+    out: "str | None" = None,
+    directory: str = ".",
+    scenarios: "list[str] | None" = None,
+    label: str = "",
+) -> tuple[dict[str, dict[str, Any]], "Verdict | None", str]:
+    """Run the harness end to end.
+
+    Returns ``(profiles, verdict, dashboard_text)``. The verdict is None
+    when no previous snapshot exists to diff against. When ``out`` is
+    given the fresh snapshot is written there (after the diff, so a
+    snapshot never serves as its own baseline).
+    """
+    profiles = run_profile(scenarios)
+    snapshots = find_snapshots(directory)
+    if out is not None:
+        out_abs = os.path.abspath(out)
+        snapshots = [
+            (i, p) for i, p in snapshots if os.path.abspath(p) != out_abs
+        ]
+    verdict: "Verdict | None" = None
+    history: list[tuple[int, dict[str, Any]]] = []
+    if snapshots:
+        history = [(i, load_snapshot(p)) for i, p in snapshots]
+        prev = history[-1][1]
+        verdict = compare(snapshot_baseline(prev), profiles)
+    text = dashboard(profiles, history=history, verdict=verdict)
+    if out is not None:
+        write_snapshot(out, profiles, label=label)
+    return profiles, verdict, text

@@ -135,6 +135,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows in the hot-span table (default 10)",
     )
 
+    p = sub.add_parser(
+        "perf",
+        help="perf history: run the canonical Fig 8/9/16 scenarios, print "
+             "critical-path attribution, diff against the last BENCH_<n>.json",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the fresh snapshot here (conventionally BENCH_<n>.json)",
+    )
+    p.add_argument(
+        "--dir", dest="directory", metavar="PATH", default=".",
+        help="directory holding the BENCH_*.json history (default: cwd)",
+    )
+    p.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this canonical scenario (repeatable); "
+             "fig08_concurrent, fig09_sequential, fig16_weak_scaling",
+    )
+    p.add_argument(
+        "--label", default="", help="free-form label stored in the snapshot"
+    )
+    p.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when any metric regresses past its tolerance band",
+    )
+
     p = sub.add_parser("dag", help="validate and echo a workflow description file")
     p.add_argument("path", help="path to a Listing-1 style .dag file")
     return parser
@@ -305,6 +331,25 @@ def _run_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    from repro.analysis.perfhistory import run_history
+
+    profiles, verdict, text = run_history(
+        out=args.out,
+        directory=args.directory,
+        scenarios=args.scenario,
+        label=args.label,
+    )
+    print(text, end="")
+    if args.out:
+        print(f"\nsnapshot written to {args.out}")
+    if verdict is None:
+        print("\nno previous BENCH_*.json snapshot; nothing to diff against")
+    if args.fail_on_regression and verdict is not None and not verdict.passed:
+        return 1
+    return 0
+
+
 def _run_dag(args: argparse.Namespace) -> int:
     with open(args.path, "r", encoding="utf-8") as fh:
         text = fh.read()
@@ -357,6 +402,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_sweep(args)
     if args.command == "trace-report":
         return _run_trace_report(args)
+    if args.command == "perf":
+        return _run_perf(args)
     return _run_dag(args)
 
 

@@ -110,6 +110,9 @@ class CoDS:
         self._produced_by: dict[tuple[str, int, int], int] = {}
         # resilience.failover.reads counter; bound by the resilience manager
         self._m_failover = None
+        # (var, holding core) -> producing put span/instant (tracing only);
+        # pulls link back to it so traces carry put -> transfer causality
+        self._put_spans: dict[tuple[str, int], object] = {}
 
     @property
     def placer(self):
@@ -158,7 +161,24 @@ class CoDS:
     def _execute(
         self, schedule: CommSchedule, app_id: int
     ) -> list[TransferRecord]:
-        """Receiver-driven pulls: one transfer per plan entry."""
+        """Receiver-driven pulls: one transfer per plan entry.
+
+        When traced, each pull links back to the put that stored the data
+        on its source core (the producer-put → transfer leg of the flow
+        chain; the transfer → consumer-get leg is the span nesting).
+        """
+        if not self.dart.tracer.enabled:
+            return [
+                self.dart.transfer(
+                    src_core=p.src_core,
+                    dst_core=p.dst_core,
+                    nbytes=p.nbytes,
+                    kind=TransferKind.COUPLING,
+                    app_id=app_id,
+                    var=p.var,
+                )
+                for p in schedule.plans
+            ]
         return [
             self.dart.transfer(
                 src_core=p.src_core,
@@ -167,6 +187,7 @@ class CoDS:
                 kind=TransferKind.COUPLING,
                 app_id=app_id,
                 var=p.var,
+                link_from=self._put_spans.get((p.var, p.src_core)),
             )
             for p in schedule.plans
         ]
@@ -203,10 +224,16 @@ class CoDS:
             return self._put_seq(
                 core, var, region, element_size, version, data, app_id
             )
-        with tracer.span("cods.put_seq", var=var, core=core, version=version):
-            return self._put_seq(
+        with tracer.span("cods.put_seq", var=var, core=core, version=version) as sp:
+            obj = self._put_seq(
                 core, var, region, element_size, version, data, app_id
             )
+            # The put span covers every core now holding a copy (primary +
+            # replicas), so failover pulls still link to their producer.
+            self._put_spans[(var, core)] = sp
+            for rc in self._replicas.get((var, version, core), ()):
+                self._put_spans[(var, rc)] = sp
+            return obj
 
     def _put_seq(
         self,
@@ -509,7 +536,9 @@ class CoDS:
         """Expose a producer task's region of ``var`` for direct transfer."""
         tracer = self.dart.tracer
         if tracer.enabled:
-            tracer.instant("cods.put_cont", var=var, core=core)
+            self._put_spans[(var, core)] = tracer.instant(
+                "cods.put_cont", var=var, core=core
+            )
         known = self._producer_esize.setdefault(var, element_size)
         if known != element_size:
             raise SpaceError(
@@ -710,7 +739,11 @@ class CoDS:
                     nbytes=rep.nbytes,
                     kind=TransferKind.REPLICATION,
                     var=var,
+                    link_from=self._put_spans.get((var, src.owner_core)),
                 )
+                sp = self._put_spans.get((var, src.owner_core))
+                if sp is not None:  # new copy inherits its producer's span
+                    self._put_spans[(var, t)] = sp
                 holders.append(t)
                 created += 1
                 nbytes += rep.nbytes

@@ -1,36 +1,56 @@
-"""Observability: tracing, metrics, and profiling for the framework.
+"""Observability: tracing, metrics, profiling, and regression analysis.
 
 The paper's whole evaluation is a question of *where time and bytes go* —
 network vs. shared-memory transfer, DHT lookup cost, schedule-cache reuse.
 This package makes those questions answerable without ad-hoc
 instrumentation:
 
-* :mod:`repro.obs.tracer` — hierarchical spans stamped with simulated time,
-  exported as a structured tree or Chrome ``trace_event`` JSON
-  (``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.tracer` — hierarchical spans stamped with simulated time
+  plus causal *flow links* between them, exported as a structured tree or
+  Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto).
 * :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
-  fixed-bucket histograms with label support, snapshot to JSON.
+  fixed-bucket histograms (with quantile estimates) with label support,
+  snapshot to JSON.
 * :mod:`repro.obs.report` — turns a trace + metrics snapshot into the
   paper's vocabulary: per-phase timeline, top-N spans, DHT hop
   distribution, schedule-cache hit rate, transfer breakdown.
+* :mod:`repro.obs.critpath` — rebuilds the span DAG from spans + flow
+  links, extracts the critical path, attributes it per category
+  (compute/network/dht/wait/recovery), and ranks stragglers by slack.
+* :mod:`repro.obs.baseline` / :mod:`repro.obs.anomaly` — schema-versioned
+  performance baselines with tolerance bands, and the pass/fail
+  regression verdict of comparing a fresh run against one.
 
 Tracing is off by default: every instrumented hot path holds a reference to
 the shared :data:`~repro.obs.tracer.NULL_TRACER`, whose ``enabled`` flag is
 ``False``, so the disabled cost is one attribute check per site.
 """
 
+from repro.obs.anomaly import Deviation, Verdict, compare
+from repro.obs.baseline import Baseline, Tolerance
+from repro.obs.critpath import CriticalPath, SpanGraph, critical_path, stragglers
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import TraceReport
-from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.tracer import NULL_TRACER, FlowLink, NullTracer, Span, Tracer
 
 __all__ = [
+    "Baseline",
     "Counter",
+    "CriticalPath",
+    "Deviation",
+    "FlowLink",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "SpanGraph",
+    "Tolerance",
     "TraceReport",
     "Tracer",
+    "Verdict",
+    "compare",
+    "critical_path",
+    "stragglers",
 ]

@@ -1,0 +1,179 @@
+"""Regression detection: a run's profile vs a stored baseline.
+
+:func:`compare` takes a :class:`~repro.obs.baseline.Baseline` and the
+fresh metrics of one or more scenarios and yields a :class:`Verdict`: the
+list of per-metric :class:`Deviation` records (value, band, severity) and
+an overall pass/fail. A metric outside its tolerance band is a
+**regression** when it moved in the harmful direction (slower, more
+bytes, profile shift) and an **improvement** otherwise; only regressions
+fail the verdict. Metrics present on one side only are reported as
+``missing``/``new`` and do not fail — a new metric is not a regression,
+and a retired one is the baseline's business to forget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.baseline import Baseline, flatten_metrics
+
+__all__ = ["Deviation", "Verdict", "compare", "compare_profiles"]
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One metric's position relative to its tolerance band."""
+
+    scenario: str
+    metric: str
+    baseline: float
+    candidate: float
+    lo: float
+    hi: float
+    #: "ok" | "regression" | "improvement" | "missing" | "new"
+    status: str
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (inf when the baseline is zero and moved)."""
+        if self.baseline == 0.0:
+            return 1.0 if self.candidate == 0.0 else float("inf")
+        return self.candidate / self.baseline
+
+    def describe(self) -> str:
+        if self.status in ("missing", "new"):
+            return f"{self.scenario}/{self.metric}: {self.status}"
+        arrow = {"regression": "REGRESSION", "improvement": "improved",
+                 "ok": "ok"}[self.status]
+        return (
+            f"{self.scenario}/{self.metric}: {self.baseline:.6g} -> "
+            f"{self.candidate:.6g} ({arrow}; band [{self.lo:.6g}, "
+            f"{self.hi:.6g}])"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "lo": self.lo,
+            "hi": self.hi,
+            "status": self.status,
+        }
+
+
+@dataclass
+class Verdict:
+    """The outcome of one baseline comparison."""
+
+    deviations: list[Deviation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    @property
+    def regressions(self) -> list[Deviation]:
+        return [d for d in self.deviations if d.status == "regression"]
+
+    @property
+    def improvements(self) -> list[Deviation]:
+        return [d for d in self.deviations if d.status == "improvement"]
+
+    def summary(self) -> str:
+        n = len(self.deviations)
+        if self.passed:
+            extra = (
+                f", {len(self.improvements)} improved"
+                if self.improvements else ""
+            )
+            return f"PASS ({n} metrics checked{extra})"
+        lines = [f"FAIL ({len(self.regressions)}/{n} metrics regressed)"]
+        lines.extend("  " + d.describe() for d in self.regressions)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "checked": len(self.deviations),
+            "regressions": [d.to_dict() for d in self.regressions],
+            "improvements": [d.to_dict() for d in self.improvements],
+        }
+
+
+def _status(
+    tol, base: float, cand: float, lo: float, hi: float
+) -> str:
+    # slack is symmetric around the baseline even for one-sided bands:
+    # a candidate that far *below* is a reportable improvement, not a
+    # failure.
+    slack = hi - base
+    if cand > hi:
+        return "regression"
+    if cand < base - slack:
+        # Two-sided bands treat any escape as a profile shift (harmful in
+        # either direction); one-sided bands welcome it.
+        return "improvement" if tol.one_sided else "regression"
+    return "ok"
+
+
+def compare_profiles(
+    baseline: Baseline,
+    scenario: str,
+    candidate: dict[str, Any],
+) -> list[Deviation]:
+    """Deviations of one scenario's fresh metrics vs the stored profile."""
+    stored = baseline.profiles.get(scenario)
+    flat = flatten_metrics(candidate)
+    out: list[Deviation] = []
+    if stored is None:
+        for metric in sorted(flat):
+            out.append(Deviation(
+                scenario, metric, 0.0, flat[metric],
+                float("-inf"), float("inf"), "new",
+            ))
+        return out
+    for metric in sorted(set(stored) | set(flat)):
+        if metric not in flat:
+            out.append(Deviation(
+                scenario, metric, stored[metric], 0.0,
+                float("-inf"), float("inf"), "missing",
+            ))
+            continue
+        if metric not in stored:
+            out.append(Deviation(
+                scenario, metric, 0.0, flat[metric],
+                float("-inf"), float("inf"), "new",
+            ))
+            continue
+        tol = baseline.tolerance_for(metric)
+        base, cand = stored[metric], flat[metric]
+        lo, hi = tol.band(base)
+        out.append(Deviation(
+            scenario, metric, base, cand, lo, hi,
+            _status(tol, base, cand, lo, hi),
+        ))
+    return out
+
+
+def compare(
+    baseline: Baseline, candidates: dict[str, dict[str, Any]]
+) -> Verdict:
+    """Compare every scenario's fresh metrics against the baseline.
+
+    ``candidates`` maps scenario name -> (possibly nested) metrics dict.
+    Scenarios in the baseline but absent from ``candidates`` are ignored —
+    a partial re-run checks only what it ran.
+    """
+    verdict = Verdict()
+    for scenario in sorted(candidates):
+        verdict.deviations.extend(
+            compare_profiles(baseline, scenario, candidates[scenario])
+        )
+    return verdict

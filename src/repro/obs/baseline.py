@@ -1,0 +1,177 @@
+"""Performance baselines: frozen snapshots of a run's headline numbers.
+
+A :class:`Baseline` captures, per scenario, the metrics that the continuous
+perf-history harness tracks run-over-run — makespan, critical-path
+category attribution, bytes moved — together with per-metric *tolerance
+bands*. :mod:`repro.obs.anomaly` compares a fresh run against a stored
+baseline and produces a pass/fail regression verdict.
+
+Snapshots serialise to schema-versioned JSON so old baselines stay
+readable as the format grows; loading a snapshot with a newer major
+schema than this module understands is an error rather than a silent
+misread.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Tolerance",
+    "Baseline",
+    "DEFAULT_TOLERANCES",
+]
+
+#: snapshot schema, bumped on incompatible layout changes
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Acceptable drift for one metric: relative and/or absolute slack.
+
+    A candidate value ``v`` is within tolerance of a baseline value ``b``
+    when ``|v - b| <= max(rel * |b|, abs)``. Metrics where only *growth*
+    is a regression (time, bytes) set ``one_sided=True``: a candidate
+    *below* the band never fails.
+    """
+
+    rel: float = 0.10
+    abs: float = 0.0
+    one_sided: bool = False
+
+    def allows(self, baseline: float, candidate: float) -> bool:
+        slack = max(self.rel * abs(baseline), self.abs)
+        if self.one_sided:
+            return candidate <= baseline + slack
+        return abs(candidate - baseline) <= slack
+
+    def band(self, baseline: float) -> tuple[float, float]:
+        """The (lo, hi) interval a candidate must fall in."""
+        slack = max(self.rel * abs(baseline), self.abs)
+        lo = float("-inf") if self.one_sided else baseline - slack
+        return (lo, baseline + slack)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"rel": self.rel, "abs": self.abs, "one_sided": self.one_sided}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Tolerance":
+        return cls(
+            rel=float(d.get("rel", 0.10)),
+            abs=float(d.get("abs", 0.0)),
+            one_sided=bool(d.get("one_sided", False)),
+        )
+
+
+#: default tolerance per metric name; ``*`` is the fallback. Times and
+#: byte counts are one-sided (getting faster/leaner is never a
+#: regression); attribution fractions are two-sided with absolute slack
+#: because a shift in *either* direction means the profile changed.
+DEFAULT_TOLERANCES: dict[str, Tolerance] = {
+    "makespan": Tolerance(rel=0.10, abs=1e-9, one_sided=True),
+    "critical_path_length": Tolerance(rel=0.10, abs=1e-9, one_sided=True),
+    "bytes_total": Tolerance(rel=0.05, abs=0.0, one_sided=True),
+    "bytes_network": Tolerance(rel=0.05, abs=0.0, one_sided=True),
+    "attribution.compute": Tolerance(rel=0.0, abs=0.10),
+    "attribution.network": Tolerance(rel=0.0, abs=0.10),
+    "attribution.dht": Tolerance(rel=0.0, abs=0.10),
+    "attribution.wait": Tolerance(rel=0.0, abs=0.10),
+    "attribution.recovery": Tolerance(rel=0.0, abs=0.10),
+    "*": Tolerance(rel=0.10, abs=1e-9),
+}
+
+
+@dataclass
+class Baseline:
+    """A named set of scenario profiles with tolerance bands.
+
+    ``profiles`` maps scenario name -> flat ``{metric: value}`` dict
+    (nested attribution dicts flatten to dotted keys). ``tolerances``
+    overrides :data:`DEFAULT_TOLERANCES` per metric name.
+    """
+
+    label: str = ""
+    profiles: dict[str, dict[str, float]] = field(default_factory=dict)
+    tolerances: dict[str, Tolerance] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, scenario: str, metrics: dict[str, Any]) -> None:
+        """Store (flattened) metrics for ``scenario``, replacing any prior."""
+        self.profiles[scenario] = flatten_metrics(metrics)
+
+    def tolerance_for(self, metric: str) -> Tolerance:
+        """Most specific tolerance: exact name, then defaults, then ``*``."""
+        for table in (self.tolerances, DEFAULT_TOLERANCES):
+            if metric in table:
+                return table[metric]
+        if "*" in self.tolerances:
+            return self.tolerances["*"]
+        return DEFAULT_TOLERANCES["*"]
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "label": self.label,
+            "profiles": {
+                name: dict(sorted(prof.items()))
+                for name, prof in sorted(self.profiles.items())
+            },
+            "tolerances": {
+                name: tol.to_dict()
+                for name, tol in sorted(self.tolerances.items())
+            },
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Baseline":
+        schema = int(d.get("schema", 0))
+        if schema > SCHEMA_VERSION:
+            raise ReproError(
+                f"baseline schema {schema} is newer than supported "
+                f"{SCHEMA_VERSION}; upgrade the tooling"
+            )
+        return cls(
+            label=str(d.get("label", "")),
+            profiles={
+                name: {k: float(v) for k, v in prof.items()}
+                for name, prof in d.get("profiles", {}).items()
+            },
+            tolerances={
+                name: Tolerance.from_dict(td)
+                for name, td in d.get("tolerances", {}).items()
+            },
+            meta=dict(d.get("meta", {})),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=False)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def flatten_metrics(metrics: dict[str, Any], prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to dotted keys, keeping only numeric leaves."""
+    out: dict[str, float] = {}
+    for key, value in metrics.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, f"{name}."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[name] = float(value)
+    return out

@@ -1,0 +1,506 @@
+"""Critical-path analysis over a traced run's span DAG.
+
+A traced run leaves two artefacts in the :class:`~repro.obs.tracer.Tracer`:
+the span tree (what nested under what) and the flow links (what *caused*
+what across call frames — puts feeding transfers, bundle completions
+unblocking children, event dispatches firing the events they scheduled).
+Together they form a DAG over intervals of simulated time. This module
+
+* rebuilds that DAG either from a live tracer or from an exported Chrome
+  ``trace_event`` JSON file (:class:`SpanGraph`),
+* walks it backward from the latest-finishing span to produce the run's
+  **critical path** — a sequence of segments that tiles ``[t0, makespan]``
+  exactly, so per-category attribution sums to the makespan by
+  construction (:func:`critical_path`),
+* attributes each segment to one of five categories — ``compute``,
+  ``network``, ``dht``, ``wait``, ``recovery`` — from the span name or,
+  for gaps, from the flow-link kind that explains the delay,
+* ranks **stragglers**: per workflow bundle and generation, which
+  application finished last and how much *slack* its siblings had
+  (:func:`stragglers`).
+
+The walk is deterministic: ties break on span sequence number, which the
+tracer assigns in emission order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CATEGORIES",
+    "PathSegment",
+    "SpanNode",
+    "SpanGraph",
+    "CriticalPath",
+    "Straggler",
+    "categorize",
+    "critical_path",
+    "stragglers",
+    "analyze",
+]
+
+#: attribution categories, in reporting order
+CATEGORIES = ("compute", "network", "dht", "wait", "recovery")
+
+#: span-name prefix -> category. First match (longest prefix) wins.
+_PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
+    ("dart.transfer", "network"),
+    ("dart.rpc", "dht"),
+    ("dht.", "dht"),
+    ("lookup.", "dht"),
+    ("cods.", "dht"),
+    ("schedule.compute", "compute"),
+    ("resilience.", "recovery"),
+    ("fault.", "recovery"),
+    ("checkpoint.", "recovery"),
+    ("workflow.", "compute"),
+    ("sim.", "compute"),
+)
+
+
+def categorize(name: str) -> str:
+    """Attribution category for a span name (default ``compute``)."""
+    for prefix, cat in _PREFIX_CATEGORIES:
+        if name.startswith(prefix):
+            return cat
+    return "compute"
+
+
+def _gap_category(link_kind: "str | None") -> str:
+    """Category of a wait gap explained by a flow link of ``link_kind``.
+
+    A plain gap is ``wait``; a gap crossed via a ``sched.compute`` link is
+    an application's execution window (``compute``); ``sched.recovery``
+    covers back-off delays before re-enactment.
+    """
+    if link_kind is not None and link_kind.startswith("sched."):
+        cat = link_kind.split(".", 1)[1]
+        if cat in CATEGORIES:
+            return cat
+    return "wait"
+
+
+@dataclass
+class SpanNode:
+    """One span as a DAG node: an interval plus its causal neighbourhood."""
+
+    seq: int
+    name: str
+    start: float
+    end: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    parent: "SpanNode | None" = None
+    children: list["SpanNode"] = field(default_factory=list)
+    #: (kind, source node) pairs for links whose target is this span
+    preds: list[tuple[str, "SpanNode"]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanNode({self.name!r}#{self.seq} [{self.start},{self.end}])"
+
+
+class SpanGraph:
+    """The span DAG of one run: intervals, nesting, and flow edges."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, SpanNode] = {}
+        #: (kind, source, target) in creation order
+        self.links: list[tuple[str, SpanNode, SpanNode]] = []
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer: Any) -> "SpanGraph":
+        """Build from a live :class:`~repro.obs.tracer.Tracer`."""
+        g = cls()
+
+        def add(span: Any, parent: "SpanNode | None") -> None:
+            end = span.end if span.end is not None else span.start
+            node = SpanNode(
+                seq=span.seq, name=span.name, start=span.start, end=end,
+                attrs=dict(span.attrs), parent=parent,
+            )
+            g.nodes[node.seq] = node
+            if parent is not None:
+                parent.children.append(node)
+            for child in span.children:
+                add(child, node)
+
+        for root in tracer.roots:
+            add(root, None)
+        for fl in getattr(tracer, "links", ()):
+            src = g.nodes.get(fl.source.seq)
+            dst = g.nodes.get(fl.target.seq)
+            if src is None or dst is None:  # pragma: no cover - defensive
+                continue
+            g._add_link(fl.kind, src, dst)
+        return g
+
+    @classmethod
+    def from_chrome(cls, events: Iterable[dict[str, Any]]) -> "SpanGraph":
+        """Build from Chrome ``trace_event`` dicts (the export round-trip).
+
+        Reconstructs sync spans from B/E nesting per ``tid``, instants from
+        ``i``, async spans from ``b``/``e`` pairs keyed by ``id``, and flow
+        links from ``s``/``f`` pairs carrying source/target span sequence
+        numbers in ``args``.
+        """
+        g = cls()
+        stack: list[SpanNode] = []
+        open_async: dict[int, SpanNode] = {}
+        pending_links: list[tuple[str, int, int]] = []
+
+        def attach(node: SpanNode) -> None:
+            if stack:
+                node.parent = stack[-1]
+                stack[-1].children.append(node)
+
+        for ev in events:
+            ph = ev.get("ph")
+            ts = ev.get("ts", 0.0) / 1e6
+            if ph == "B":
+                node = SpanNode(seq=-1, name=ev["name"], start=ts, end=ts)
+                attach(node)
+                stack.append(node)
+            elif ph == "E":
+                if not stack:
+                    raise ReproError("trace has E event with no open span")
+                node = stack.pop()
+                node.end = ts
+                args = dict(ev.get("args", {}))
+                node.seq = args.pop("seq", -1)
+                node.attrs = args
+                g.nodes[node.seq] = node
+            elif ph == "i":
+                args = dict(ev.get("args", {}))
+                seq = args.pop("seq", -1)
+                node = SpanNode(
+                    seq=seq, name=ev["name"], start=ts, end=ts, attrs=args,
+                )
+                attach(node)
+                g.nodes[seq] = node
+            elif ph == "b":
+                node = SpanNode(seq=-1, name=ev["name"], start=ts, end=ts)
+                attach(node)
+                open_async[ev["id"]] = node
+            elif ph == "e":
+                node = open_async.pop(ev["id"], None)
+                if node is None:
+                    raise ReproError(
+                        f"trace has e event for unknown async id {ev['id']}"
+                    )
+                node.end = ts
+                args = dict(ev.get("args", {}))
+                node.seq = args.pop("seq", -1)
+                node.attrs = args
+                g.nodes[node.seq] = node
+            elif ph == "s":
+                args = ev.get("args", {})
+                pending_links.append(
+                    (ev["name"], args["source"], args["target"])
+                )
+            # "f" events repeat the s payload; one side is enough.
+        for node in stack:  # spans still open at export time
+            g.nodes.setdefault(node.seq, node)
+        for node in open_async.values():
+            g.nodes.setdefault(node.seq, node)
+        for kind, src_seq, dst_seq in pending_links:
+            src = g.nodes.get(src_seq)
+            dst = g.nodes.get(dst_seq)
+            if src is None or dst is None:
+                raise ReproError(
+                    f"flow link {kind!r} references unknown span "
+                    f"({src_seq} -> {dst_seq})"
+                )
+            g._add_link(kind, src, dst)
+        return g
+
+    @classmethod
+    def from_chrome_file(cls, path: str) -> "SpanGraph":
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        return cls.from_chrome(events)
+
+    def _add_link(self, kind: str, src: SpanNode, dst: SpanNode) -> None:
+        self.links.append((kind, src, dst))
+        dst.preds.append((kind, src))
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        return max((n.end for n in self.nodes.values()), default=0.0)
+
+    @property
+    def t0(self) -> float:
+        return min((n.start for n in self.nodes.values()), default=0.0)
+
+    def sink(self) -> "SpanNode | None":
+        """The latest-finishing span (ties: highest seq, i.e. emitted last)."""
+        if not self.nodes:
+            return None
+        return max(self.nodes.values(), key=lambda n: (n.end, n.seq))
+
+
+@dataclass
+class PathSegment:
+    """One tile of the critical path: an interval owned by one span/gap."""
+
+    start: float
+    end: float
+    category: str
+    name: str  # owning span name, or "(wait)" / "(wait:<link kind>)"
+    seq: int  # owning span seq, or -1 for gaps
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "category": self.category,
+            "name": self.name,
+            "seq": self.seq,
+        }
+
+
+@dataclass
+class CriticalPath:
+    """The walk's result: segments tiling ``[t0, makespan]``."""
+
+    t0: float
+    makespan: float
+    segments: list[PathSegment]
+
+    @property
+    def length(self) -> float:
+        return self.makespan - self.t0
+
+    def attribution(self) -> dict[str, float]:
+        """Seconds on the path per category (keys cover all CATEGORIES)."""
+        out = {cat: 0.0 for cat in CATEGORIES}
+        for seg in self.segments:
+            out[seg.category] += seg.duration
+        return out
+
+    def attribution_fractions(self) -> dict[str, float]:
+        total = self.length
+        if total <= 0:
+            return {cat: 0.0 for cat in CATEGORIES}
+        return {
+            cat: secs / total for cat, secs in self.attribution().items()
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "t0": self.t0,
+            "makespan": self.makespan,
+            "length": self.length,
+            "attribution": self.attribution(),
+            "segments": [s.to_dict() for s in self.segments],
+        }
+
+
+def critical_path(graph: SpanGraph) -> CriticalPath:
+    """Walk the span DAG backward from the sink and tile ``[t0, makespan]``.
+
+    At each step the walk owns an interval ending at ``t`` inside the
+    current span. It hands the earlier part of the interval to, in order
+    of preference:
+
+    1. the latest-ending **child** that finishes inside the interval (the
+       nested work that was the bottleneck),
+    2. at the span's head, the latest-ending **flow predecessor** (the
+       cross-frame cause: the put behind a transfer, the dispatch behind
+       an event), emitting a gap segment when the predecessor finished
+       before this span started,
+    3. the **nesting parent** (the caller continues to own the time),
+    4. a **wait gap** back to the previous activity when nothing explains
+       the time — attributed via the flow-link kind when one crossed it.
+
+    Segments are emitted right-to-left and reversed at the end; by
+    construction consecutive segments share endpoints, so the per-category
+    attribution sums to ``makespan - t0`` exactly.
+    """
+    sink = graph.sink()
+    if sink is None:
+        return CriticalPath(0.0, 0.0, [])
+    t0 = graph.t0
+    segments: list[PathSegment] = []
+    node: SpanNode = sink
+    t = sink.end
+    # Guard against zero-duration cycles: a (node, t) pair must not repeat.
+    seen_at_t: set[tuple[int, float]] = set()
+
+    def emit(start: float, end: float, cat: str, name: str, seq: int) -> None:
+        if end > start:
+            segments.append(PathSegment(start, end, cat, name, seq))
+
+    while t > t0:
+        key = (id(node), t)
+        if key in seen_at_t:
+            # Zero-duration chain looped; force progress via a wait gap.
+            # The jump target must end strictly before t — clearing the
+            # guard is only safe once t actually decreases, else two
+            # zero-width spans ending at the same instant bounce forever.
+            prev = _latest_end_before(graph, t, exclude=node, strict=True)
+            if prev is None:
+                emit(t0, t, "wait", "(wait)", -1)
+                t = t0
+                break
+            emit(prev.end, t, "wait", "(wait)", -1)
+            node, t = prev, prev.end
+            seen_at_t.clear()
+            continue
+        seen_at_t.add(key)
+
+        lo = max(node.start, t0)
+        # 1. bottleneck child inside (lo, t]
+        child = _bottleneck_child(node, lo, t)
+        if child is not None:
+            emit(child.end, t, categorize(node.name), node.name, node.seq)
+            node, t = child, child.end
+            continue
+        # Own the remainder of this span down to its start.
+        emit(lo, t, categorize(node.name), node.name, node.seq)
+        t = lo
+        if t <= t0:
+            break
+        # 2. flow predecessor at the span head
+        pred = _latest_pred(node)
+        if pred is not None:
+            kind, src = pred
+            if src.end < t:
+                emit(src.end, t, _gap_category(kind),
+                     f"(wait:{kind})", -1)
+            node, t = src, min(src.end, t)
+            continue
+        # 3. nesting parent
+        if node.parent is not None:
+            node = node.parent
+            continue
+        # 4. wait gap back to the previous activity
+        prev = _latest_end_before(graph, t, exclude=node)
+        if prev is None:
+            emit(t0, t, "wait", "(wait)", -1)
+            t = t0
+            break
+        emit(prev.end, t, "wait", "(wait)", -1)
+        node, t = prev, prev.end
+    segments.reverse()
+    return CriticalPath(t0, graph.makespan, segments)
+
+
+def _bottleneck_child(node: SpanNode, lo: float, t: float) -> "SpanNode | None":
+    """Latest-ending child with ``lo < end <= t`` (ties: highest seq)."""
+    best: SpanNode | None = None
+    for child in node.children:
+        if lo < child.end <= t:
+            if best is None or (child.end, child.seq) > (best.end, best.seq):
+                best = child
+    return best
+
+
+def _latest_pred(node: SpanNode) -> "tuple[str, SpanNode] | None":
+    """The flow predecessor with the latest end (ties: highest seq)."""
+    best: tuple[str, SpanNode] | None = None
+    for kind, src in node.preds:
+        if best is None or (src.end, src.seq) > (best[1].end, best[1].seq):
+            best = (kind, src)
+    return best
+
+
+def _latest_end_before(
+    graph: SpanGraph, t: float, exclude: SpanNode, strict: bool = False
+) -> "SpanNode | None":
+    """Latest span ending at (or, with ``strict``, before) ``t``, not ``exclude``."""
+    best: SpanNode | None = None
+    for n in graph.nodes.values():
+        if n is exclude or n.end > t or (strict and n.end >= t):
+            continue
+        if best is None or (n.end, n.seq) > (best.end, best.seq):
+            best = n
+    return best
+
+
+@dataclass
+class Straggler:
+    """Per-(bundle, generation) completion-order record."""
+
+    bundle: int
+    gen: int
+    app_id: int
+    end: float
+    #: seconds between this app's finish and the bundle's close
+    slack: float
+    #: True for the app that closed the bundle (slack == min of group)
+    is_straggler: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bundle": self.bundle,
+            "gen": self.gen,
+            "app_id": self.app_id,
+            "end": self.end,
+            "slack": self.slack,
+            "is_straggler": self.is_straggler,
+        }
+
+
+def stragglers(graph: SpanGraph) -> list[Straggler]:
+    """Slack analysis over ``workflow.app`` spans, grouped per bundle+gen.
+
+    Within each group the app that finished last (the *straggler*) gated
+    the bundle; every sibling's slack is how much later it could have
+    finished without delaying the bundle. Sorted by (bundle, gen, -slack,
+    app_id) so the most slack-rich apps lead each group and the straggler
+    closes it.
+    """
+    groups: dict[tuple[int, int], list[SpanNode]] = {}
+    for node in graph.nodes.values():
+        if node.name != "workflow.app":
+            continue
+        key = (int(node.attrs.get("bundle", -1)),
+               int(node.attrs.get("gen", 0)))
+        groups.setdefault(key, []).append(node)
+    out: list[Straggler] = []
+    for (bundle, gen), nodes in sorted(groups.items()):
+        close = max(n.end for n in nodes)
+        last = max(nodes, key=lambda n: (n.end, n.seq))
+        for n in nodes:
+            out.append(Straggler(
+                bundle=bundle, gen=gen,
+                app_id=int(n.attrs.get("app", n.attrs.get("app_id", -1))),
+                end=n.end, slack=close - n.end,
+                is_straggler=n is last,
+            ))
+    out.sort(key=lambda s: (s.bundle, s.gen, -s.slack, s.app_id))
+    return out
+
+
+def analyze(graph: SpanGraph) -> dict[str, Any]:
+    """One-call bundle: critical path + attribution + stragglers."""
+    path = critical_path(graph)
+    strag = stragglers(graph)
+    worst = [s.to_dict() for s in strag if s.is_straggler]
+    return {
+        "makespan": path.makespan,
+        "critical_path_length": path.length,
+        "attribution": path.attribution(),
+        "attribution_fractions": path.attribution_fractions(),
+        "segments": len(path.segments),
+        "stragglers": worst,
+        "max_slack": max((s.slack for s in strag), default=0.0),
+    }

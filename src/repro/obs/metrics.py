@@ -33,8 +33,13 @@ from repro.errors import ReproError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_registries"]
 
-#: default histogram buckets: powers of four, good for byte/hop counts
-DEFAULT_BUCKETS: tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096)
+#: default histogram buckets: powers of four up to 16 MiB, covering the
+#: full byte scale of one transfer (control messages through coupled
+#: regions) as well as small counts (hops, retries)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+    262144, 1048576, 4194304, 16777216,
+)
 
 
 def _label_key(labelnames: tuple[str, ...], labels: dict[str, Any]) -> tuple:
@@ -163,6 +168,34 @@ class Histogram(_Metric):
     def count(self, **labels: Any) -> int:
         cell = self.cells.get(self._key(labels))
         return 0 if cell is None else cell[-1]
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile of a cell's observations.
+
+        Linear interpolation inside the bucket the quantile falls in,
+        taking 0 as the lower edge of the first bucket (observations are
+        non-negative counts/bytes here). Mass in the overflow bucket
+        clamps to the last bound — the histogram cannot know how far
+        beyond it the tail reaches. An empty cell estimates 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(
+                f"quantile must be in [0, 1], got {q}"
+            )
+        cell = self.cells.get(self._key(labels))
+        if cell is None or cell[-1] == 0:
+            return 0.0
+        target = q * cell[-1]
+        cum = 0
+        lo = 0.0
+        for bound, n in zip(self.buckets, cell):
+            if n:
+                cum += n
+                if cum >= target:
+                    frac = 1.0 - (cum - target) / n
+                    return lo + (bound - lo) * frac
+            lo = bound
+        return self.buckets[-1]
 
     def sum(self, **labels: Any) -> float:
         cell = self.cells.get(self._key(labels))

@@ -161,10 +161,10 @@ class TraceReport:
 
     def top_spans(self, n: int = 10) -> list[SpanStat]:
         """The ``n`` span names with the most inclusive simulated time,
-        ties broken by invocation count (busiest first)."""
+        ties broken deterministically by name order."""
         return sorted(
             self.span_stats.values(),
-            key=lambda s: (-s.total_us, -s.count, s.name),
+            key=lambda s: (-s.total_us, s.name),
         )[:n]
 
     @property

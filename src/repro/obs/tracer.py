@@ -13,6 +13,14 @@ Perfetto). Three span flavours cover the framework's shapes of work:
   outlive the current call frame (workflow bundles and applications, which
   start at launch and finish at a later completion *event*).
 
+Spans can additionally be connected by *flow links* —
+``tracer.link(source, target, kind)`` — recording causality that the span
+stack cannot express: a producer's put feeding a later consumer pull, a
+bundle completion unblocking its children, an event dispatch firing the
+event it scheduled, a failure detection triggering recovery. Links export
+as Chrome ``s``/``f`` flow events and are the edges
+:mod:`repro.obs.critpath` walks to reconstruct the run's causal DAG.
+
 Timestamps come from ``tracer.clock`` — a zero-argument callable, normally
 bound to ``SimEngine.now`` when the tracer is handed to an engine — so two
 runs of the same scenario produce identical traces.
@@ -30,7 +38,7 @@ from typing import Any, Callable, Iterator
 
 from repro.errors import ReproError
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["FlowLink", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
 class Span:
@@ -89,6 +97,23 @@ class Span:
         return f"Span({self.name!r}, start={self.start}, end={self.end})"
 
 
+class FlowLink:
+    """A causal edge between two spans (``source`` happened-before ``target``)."""
+
+    __slots__ = ("link_id", "kind", "source", "target")
+
+    def __init__(self, link_id: int, kind: str, source: Span, target: Span) -> None:
+        self.link_id = link_id
+        self.kind = kind
+        self.source = source
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlowLink({self.kind!r}, "
+                f"{self.source.name}#{self.source.seq} -> "
+                f"{self.target.name}#{self.target.seq})")
+
+
 class Tracer:
     """Collects spans into a tree and a Chrome-exportable event stream."""
 
@@ -104,6 +129,8 @@ class Tracer:
         # Flat stream in emission order: (phase, time, span). Phases follow
         # trace_event: B/E for sync spans, i for instants, b/e for async.
         self._events: list[tuple[str, float, Span]] = []
+        #: causal flow links, in creation order
+        self.links: list[FlowLink] = []
 
     # -- time ------------------------------------------------------------------------
 
@@ -161,6 +188,23 @@ class Tracer:
         span.end = self.now()
         self._events.append(("e", span.end, span))
 
+    def link(self, source: Span, target: Span, kind: str = "flow") -> FlowLink:
+        """Record a causal edge: ``source`` happened-before ``target``.
+
+        ``kind`` names the causality (``data``, ``dep``, ``dispatch``,
+        ``sched``, ``recovery``, ...). Links are the cross-tree edges of the
+        span DAG; spans from either end may still be open when linked.
+        """
+        if source is target:
+            raise ReproError(f"span {source.name!r} cannot link to itself")
+        fl = FlowLink(next(self._seq), kind, source, target)
+        self.links.append(fl)
+        return fl
+
+    def current(self) -> "Span | None":
+        """The innermost open synchronous span (None outside any span)."""
+        return self._stack[-1] if self._stack else None
+
     # -- introspection ----------------------------------------------------------------
 
     def open_spans(self) -> int:
@@ -190,6 +234,11 @@ class Tracer:
         emission order, which keeps zero-sim-duration spans readable),
         instants become ``i`` events, and async workflow spans become
         ``b``/``e`` events keyed by the span's sequence number.
+
+        Flow links follow the span stream as ``s``/``f`` event pairs keyed
+        by the link id; both carry the source and target span sequence
+        numbers in ``args``, which is how :mod:`repro.obs.critpath`
+        re-attaches them to spans when reading a trace back.
         """
         out: list[dict[str, Any]] = []
         for ph, t, sp in self._events:
@@ -210,6 +259,18 @@ class Tracer:
             if ph != "B":  # args once per span, with the final attribute set
                 ev["args"] = dict(sp.attrs, seq=sp.seq)
             out.append(ev)
+        for fl in self.links:
+            src_ts = (fl.source.end if fl.source.end is not None
+                      else fl.source.start) * 1e6
+            args = {"source": fl.source.seq, "target": fl.target.seq}
+            common = {"name": fl.kind, "cat": "flow", "pid": 0, "tid": 0}
+            out.append(dict(
+                common, ph="s", id=fl.link_id, ts=src_ts, args=dict(args),
+            ))
+            out.append(dict(
+                common, ph="f", bp="e", id=fl.link_id,
+                ts=fl.target.start * 1e6, args=dict(args),
+            ))
         return out
 
     def to_chrome(self) -> dict[str, Any]:
@@ -254,6 +315,12 @@ class NullTracer:
         return self._NULL_SPAN
 
     def end_async(self, span: Any, **attrs: Any) -> None:
+        return None
+
+    def link(self, source: Any, target: Any, kind: str = "flow") -> None:
+        return None
+
+    def current(self) -> None:
         return None
 
 

@@ -124,11 +124,15 @@ class HeartbeatFailureDetector:
                 self._declared_dht.add(failure.core)
         if self.account_heartbeats:
             self._register_ping_handlers()
-        self.sim.schedule_daemon(self.period, self._periodic_sweep)
+        self.sim.schedule_daemon(
+            self.period, self._periodic_sweep, category="recovery"
+        )
         for time, _kind, _ident, _fault in self.injector.timed_faults():
             deadline = time + self.timeout + self.period
             if deadline >= now:
-                self.sim.schedule_at(max(deadline, now), self._sweep)
+                self.sim.schedule_at(
+                    max(deadline, now), self._sweep, category="recovery"
+                )
 
     def _register_ping_handlers(self) -> None:
         for node in self.cluster.nodes():
@@ -139,7 +143,9 @@ class HeartbeatFailureDetector:
 
     def _periodic_sweep(self) -> None:
         self._sweep()
-        self.sim.schedule_daemon(self.period, self._periodic_sweep)
+        self.sim.schedule_daemon(
+            self.period, self._periodic_sweep, category="recovery"
+        )
 
     def _sweep(self) -> None:
         now = self.sim.now

@@ -63,22 +63,51 @@ class SimEngine:
 
     # -- scheduling ----------------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+    def _note_origin(self, ev, category: "str | None") -> None:
+        """Stamp the scheduling span on the event (tracing only).
+
+        When the event later fires, the dispatch span links back to the
+        span that scheduled it — the causal edge critical-path analysis
+        follows across simulated delays. ``category`` names what the delay
+        *is* (e.g. "compute" for an app's execution window) and rides on
+        the link kind as ``sched.<category>``.
+        """
+        if self.tracer.enabled:
+            ev.origin = self.tracer.current()
+            ev.category = category
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        category: "str | None" = None,
+    ) -> None:
         """Run ``fn(*args)`` ``delay`` seconds from the current time."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        self._queue.push(self._now + delay, fn, *args)
+        self._note_origin(self._queue.push(self._now + delay, fn, *args), category)
 
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        category: "str | None" = None,
+    ) -> None:
         """Run ``fn(*args)`` at absolute simulated ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        self._queue.push(time, fn, *args)
+        self._note_origin(self._queue.push(time, fn, *args), category)
 
     def schedule_daemon(
-        self, delay: float, fn: Callable[..., Any], *args: Any
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        category: "str | None" = None,
     ) -> None:
         """Like :meth:`schedule`, but the event never keeps the run alive.
 
@@ -88,7 +117,9 @@ class SimEngine:
         """
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        self._queue.push(self._now + delay, fn, *args, daemon=True)
+        self._note_origin(
+            self._queue.push(self._now + delay, fn, *args, daemon=True), category
+        )
 
     # -- execution ------------------------------------------------------------------
 
@@ -112,7 +143,13 @@ class SimEngine:
                     with tracer.span(
                         "sim.event",
                         fn=getattr(ev.fn, "__qualname__", repr(ev.fn)),
-                    ):
+                    ) as span:
+                        if ev.origin is not None:
+                            tracer.link(
+                                ev.origin, span,
+                                "sched" if ev.category is None
+                                else f"sched.{ev.category}",
+                            )
                         ev.fire()
                 else:
                     ev.fire()

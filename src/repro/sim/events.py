@@ -24,6 +24,11 @@ class Event:
     #: simulation alive on their own — the run loop stops once only daemon
     #: events remain.
     daemon: bool = field(compare=False, default=False)
+    #: span open at scheduling time (tracing only; None when untraced)
+    origin: Any = field(compare=False, default=None)
+    #: causal category of the scheduled delay (tracing only; e.g. "compute"
+    #: for an app-completion event — rides on the sched flow link)
+    category: "str | None" = field(compare=False, default=None)
 
     def fire(self) -> Any:
         return self.fn(*self.args)

@@ -86,11 +86,16 @@ class HybridDART:
         kind: TransferKind,
         app_id: int = -1,
         var: str = "",
+        link_from: "object | None" = None,
     ) -> TransferRecord:
         """Perform (record) one data transfer and return its record.
 
         Under fault injection, network attempts that fail are re-issued with
         exponential backoff up to the plan's retry budget.
+
+        ``link_from`` (tracing only) is the span that made this movement
+        necessary — the producer's put for a coupling pull — and becomes a
+        ``data`` flow link into the transfer span. Ignored when untraced.
         """
         if nbytes < 0:
             raise TransportError(f"negative transfer size {nbytes}")
@@ -104,6 +109,8 @@ class HybridDART:
             src=src_core, dst=dst_core, nbytes=nbytes,
             kind=kind.value, transport=transport.value, var=var,
         ) as span:
+            if link_from is not None:
+                tracer.link(link_from, span, "data")
             rec = self._deliver(src_core, dst_core, nbytes, kind, transport,
                                 app_id, var)
             if rec.retries:

@@ -136,6 +136,9 @@ class WorkflowEngine:
         # Open async spans per enactment generation (tracing only).
         self._bundle_spans: dict[tuple[int, int], Span] = {}
         self._app_spans: dict[tuple[int, int], Span] = {}
+        # Last *completed* span per bundle (tracing only): child bundle
+        # launches link back to it, giving traces explicit DAG dep edges.
+        self._done_bundle_spans: dict[int, Span] = {}
 
     # -- configuration ----------------------------------------------------------------
 
@@ -215,10 +218,15 @@ class WorkflowEngine:
         gen = self._gen.setdefault(index, 0)
         tracer = self.tracer
         if tracer.enabled:
-            self._bundle_spans[(index, gen)] = tracer.begin_async(
+            bspan = tracer.begin_async(
                 "workflow.bundle", bundle=index, gen=gen,
                 apps=list(bundle.app_ids),
             )
+            self._bundle_spans[(index, gen)] = bspan
+            for parent in sorted(self.dag.bundle_parents(index)):
+                pspan = self._done_bundle_spans.get(parent)
+                if pspan is not None:
+                    tracer.link(pspan, bspan, "dep")
         self.trace.append(TraceEvent(
             time=self.sim.now, event="bundle_launched", bundle=index,
             detail=f"apps={list(bundle.app_ids)}",
@@ -252,15 +260,19 @@ class WorkflowEngine:
                     engine=self,
                 )
                 if tracer.enabled:
-                    self._app_spans[(app.app_id, gen)] = tracer.begin_async(
+                    aspan = tracer.begin_async(
                         "workflow.app", app=app.app_id, bundle=index, gen=gen,
                         app_name=app.name, tasks=app.ntasks,
                     )
+                    self._app_spans[(app.app_id, gen)] = aspan
+                    tracer.link(self._bundle_spans[(index, gen)], aspan,
+                                "dispatch")
                 routine = self._routines.get(app.app_id, lambda _ctx: 0.0)
                 if tracer.enabled:
                     with tracer.span(
                         "workflow.routine", app=app.app_id, bundle=index
-                    ):
+                    ) as rspan:
+                        tracer.link(aspan, rspan, "execute")
                         duration = routine(ctx)
                 else:
                     duration = routine(ctx)
@@ -280,7 +292,8 @@ class WorkflowEngine:
                            f"{len(mapping.nodes_used())} nodes",
                 ))
                 self.sim.schedule(
-                    duration, self._complete_app, index, app.app_id, gen
+                    duration, self._complete_app, index, app.app_id, gen,
+                    category="compute",
                 )
         except DataLostError as exc:
             self._retry_after_data_loss(index, gen, exc)
@@ -314,7 +327,10 @@ class WorkflowEngine:
             time=self.sim.now, event="bundle_data_loss_retry", bundle=index,
             detail=f"attempt={attempts} ({exc})",
         ))
-        self.sim.schedule(self.data_loss_retry, self._launch_bundle, index)
+        self.sim.schedule(
+            self.data_loss_retry, self._launch_bundle, index,
+            category="recovery",
+        )
 
     def _complete_app(self, bundle_index: int, app_id: int, gen: int = 0) -> None:
         if gen != self._gen.get(bundle_index, 0):
@@ -334,6 +350,7 @@ class WorkflowEngine:
             span = self._bundle_spans.pop((bundle_index, gen), None)
             if span is not None:
                 self.tracer.end_async(span)
+                self._done_bundle_spans[bundle_index] = span
             for child in sorted(self._bundle_children[bundle_index]):
                 self._indeg[child] -= 1
                 if self._indeg[child] == 0:

@@ -1,0 +1,221 @@
+"""The perf-history harness: snapshots, diffing, dashboard, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.perfhistory import (
+    CANONICAL,
+    dashboard,
+    find_snapshots,
+    load_snapshot,
+    run_history,
+    run_profile,
+    snapshot_baseline,
+    write_snapshot,
+)
+from repro.errors import AnalysisError
+from repro.obs.anomaly import compare
+
+
+@pytest.fixture(scope="module")
+def fig09_profile():
+    """One real fig09 run, shared across the module (the expensive part)."""
+    return run_profile(["fig09_sequential"])
+
+
+class TestProfiles:
+    def test_canonical_names(self):
+        assert [s.name for s in CANONICAL] == [
+            "fig08_concurrent", "fig09_sequential", "fig16_weak_scaling",
+        ]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_profile(["fig99_nope"])
+
+    def test_attribution_sums_to_makespan(self, fig09_profile):
+        # The PR's acceptance criterion (±1%; construction gives exact).
+        p = fig09_profile["fig09_sequential"]
+        assert p["makespan"] > 0
+        assert sum(p["attribution"].values()) == pytest.approx(
+            p["makespan"], rel=0.01
+        )
+
+    def test_profile_carries_bytes_and_events(self, fig09_profile):
+        p = fig09_profile["fig09_sequential"]
+        assert p["bytes_total"] == p["bytes_network"] + p["bytes_shm"]
+        assert p["bytes_total"] > 0
+        assert p["sim_events"] > 0
+
+
+class TestSnapshots:
+    def test_write_load_round_trip(self, tmp_path, fig09_profile):
+        path = tmp_path / "BENCH_3.json"
+        write_snapshot(str(path), fig09_profile, label="test")
+        snap = load_snapshot(str(path))
+        assert snap["schema"] == 1
+        assert snap["index"] == 3
+        assert snap["label"] == "test"
+        assert "fig09_sequential" in snap["scenarios"]
+
+    def test_snapshot_bytes_deterministic(self, tmp_path, fig09_profile):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = tmp_path / "a" / "BENCH_1.json"
+        b = tmp_path / "b" / "BENCH_1.json"
+        write_snapshot(str(a), fig09_profile)
+        write_snapshot(str(b), fig09_profile)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_find_snapshots_sorted_by_index(self, tmp_path):
+        for n in (10, 2, 0):
+            (tmp_path / f"BENCH_{n}.json").write_text("{}")
+        (tmp_path / "BENCH_nope.json").write_text("{}")
+        found = find_snapshots(str(tmp_path))
+        assert [i for i, _ in found] == [0, 2, 10]
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_1.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(AnalysisError):
+            load_snapshot(str(path))
+
+    def test_snapshot_as_baseline_detects_regression(
+        self, tmp_path, fig09_profile
+    ):
+        path = tmp_path / "BENCH_1.json"
+        write_snapshot(str(path), fig09_profile)
+        base = snapshot_baseline(load_snapshot(str(path)))
+        # Identical run: green.
+        assert compare(base, fig09_profile).passed
+        # Slowed-down run: red.
+        import copy
+
+        slow = copy.deepcopy(fig09_profile)
+        slow["fig09_sequential"]["makespan"] *= 2
+        assert not compare(base, slow).passed
+
+
+class TestDashboard:
+    def test_dashboard_renders_attribution(self, fig09_profile):
+        text = dashboard(fig09_profile)
+        assert "Fig 9" in text
+        assert "compute" in text and "recovery" in text
+        assert "makespan" in text
+
+    def test_dashboard_includes_history_and_verdict(
+        self, tmp_path, fig09_profile
+    ):
+        path = tmp_path / "BENCH_1.json"
+        write_snapshot(str(path), fig09_profile)
+        snap = load_snapshot(str(path))
+        verdict = compare(snapshot_baseline(snap), fig09_profile)
+        text = dashboard(fig09_profile, history=[(1, snap)], verdict=verdict)
+        assert "history" in text
+        assert "PASS" in text
+
+
+class TestRunHistory:
+    def test_first_run_has_no_verdict(self, tmp_path):
+        profiles, verdict, text = run_history(
+            out=str(tmp_path / "BENCH_0.json"),
+            directory=str(tmp_path),
+            scenarios=["fig09_sequential"],
+        )
+        assert verdict is None
+        assert (tmp_path / "BENCH_0.json").exists()
+
+    def test_second_run_diffs_against_first(self, tmp_path):
+        run_history(
+            out=str(tmp_path / "BENCH_0.json"), directory=str(tmp_path),
+            scenarios=["fig09_sequential"],
+        )
+        _, verdict, text = run_history(
+            out=str(tmp_path / "BENCH_1.json"), directory=str(tmp_path),
+            scenarios=["fig09_sequential"],
+        )
+        assert verdict is not None and verdict.passed
+        assert "PASS" in text
+
+    def test_out_file_not_its_own_baseline(self, tmp_path):
+        # Overwriting an existing snapshot must diff against the *previous*
+        # one, not the file being replaced... which here does not exist.
+        _, verdict, _ = run_history(
+            out=str(tmp_path / "BENCH_5.json"), directory=str(tmp_path),
+            scenarios=["fig09_sequential"],
+        )
+        assert verdict is None
+        # Re-running with the same out path: still no older snapshot.
+        _, verdict, _ = run_history(
+            out=str(tmp_path / "BENCH_5.json"), directory=str(tmp_path),
+            scenarios=["fig09_sequential"],
+        )
+        assert verdict is None
+
+
+class TestCli:
+    def test_perf_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "perf", "--scenario", "fig09_sequential",
+            "--dir", str(tmp_path),
+            "--out", str(tmp_path / "BENCH_0.json"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fig 9" in out
+        assert "snapshot written" in out
+
+    def test_perf_fail_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        main([
+            "perf", "--scenario", "fig09_sequential",
+            "--dir", str(tmp_path),
+            "--out", str(tmp_path / "BENCH_0.json"),
+        ])
+        # Tamper: pretend the baseline was twice as fast.
+        path = tmp_path / "BENCH_0.json"
+        snap = json.loads(path.read_text())
+        snap["scenarios"]["fig09_sequential"]["makespan"] /= 2
+        path.write_text(json.dumps(snap))
+        capsys.readouterr()
+        rc = main([
+            "perf", "--scenario", "fig09_sequential",
+            "--dir", str(tmp_path), "--fail-on-regression",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out
+
+    def test_harness_main(self, tmp_path, capsys):
+        import importlib.util
+        import os
+
+        spec = importlib.util.spec_from_file_location(
+            "perf_history_script",
+            os.path.join(
+                os.path.dirname(os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__)
+                ))),
+                "benchmarks", "perf_history.py",
+            ),
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        rc = mod.main([
+            "--dir", str(tmp_path), "--scenario", "fig09_sequential",
+            "--fail-on-regression",
+        ])
+        assert rc == 0
+        assert (tmp_path / "BENCH_0.json").exists()
+        capsys.readouterr()
+        rc = mod.main([
+            "--dir", str(tmp_path), "--scenario", "fig09_sequential",
+            "--fail-on-regression",
+        ])
+        assert rc == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+        assert "PASS" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Baselines, tolerance bands, and the regression verdict."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.anomaly import compare, compare_profiles
+from repro.obs.baseline import (
+    Baseline,
+    Tolerance,
+    flatten_metrics,
+)
+
+
+class TestTolerance:
+    def test_two_sided_band(self):
+        tol = Tolerance(rel=0.10)
+        assert tol.allows(100.0, 109.0)
+        assert tol.allows(100.0, 91.0)
+        assert not tol.allows(100.0, 111.0)
+        assert not tol.allows(100.0, 89.0)
+
+    def test_one_sided_never_fails_low(self):
+        tol = Tolerance(rel=0.10, one_sided=True)
+        assert tol.allows(100.0, 1.0)
+        assert tol.allows(100.0, 110.0)
+        assert not tol.allows(100.0, 111.0)
+
+    def test_absolute_slack_dominates_near_zero(self):
+        tol = Tolerance(rel=0.10, abs=0.5)
+        assert tol.allows(0.0, 0.4)
+        assert not tol.allows(0.0, 0.6)
+
+    def test_round_trip(self):
+        tol = Tolerance(rel=0.2, abs=1.5, one_sided=True)
+        assert Tolerance.from_dict(tol.to_dict()) == tol
+
+
+class TestBaseline:
+    def test_flatten_nested_metrics(self):
+        flat = flatten_metrics({
+            "makespan": 1.0,
+            "attribution": {"compute": 0.5, "wait": 0.5},
+            "label": "ignored-not-numeric",
+            "flag": True,
+        })
+        assert flat == {
+            "makespan": 1.0,
+            "attribution.compute": 0.5,
+            "attribution.wait": 0.5,
+        }
+
+    def test_save_load_round_trip(self, tmp_path):
+        base = Baseline(label="pr-3")
+        base.record("fig09", {"makespan": 0.018,
+                              "attribution": {"compute": 0.018}})
+        base.tolerances["makespan"] = Tolerance(rel=0.2, one_sided=True)
+        path = tmp_path / "baseline.json"
+        base.save(str(path))
+        loaded = Baseline.load(str(path))
+        assert loaded.label == "pr-3"
+        assert loaded.profiles == base.profiles
+        assert loaded.tolerance_for("makespan") == Tolerance(
+            rel=0.2, one_sided=True
+        )
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ReproError):
+            Baseline.from_dict({"schema": 999})
+
+    def test_tolerance_lookup_order(self):
+        base = Baseline()
+        base.tolerances["makespan"] = Tolerance(rel=0.5)
+        assert base.tolerance_for("makespan").rel == 0.5
+        # Falls back to the defaults table, then to its wildcard.
+        assert base.tolerance_for("bytes_total").one_sided
+        assert base.tolerance_for("never.heard.of.it") is not None
+
+
+def _base(**profile):
+    base = Baseline()
+    base.record("s", profile)
+    return base
+
+
+class TestCompare:
+    def test_within_band_passes(self):
+        verdict = compare(_base(makespan=1.0), {"s": {"makespan": 1.05}})
+        assert verdict.passed
+        assert len(verdict.deviations) == 1
+        assert verdict.deviations[0].status == "ok"
+
+    def test_slower_fails(self):
+        verdict = compare(_base(makespan=1.0), {"s": {"makespan": 1.5}})
+        assert not verdict.passed
+        assert verdict.regressions[0].metric == "makespan"
+        assert "REGRESSION" in verdict.summary()
+
+    def test_faster_is_improvement_not_failure(self):
+        verdict = compare(_base(makespan=1.0), {"s": {"makespan": 0.5}})
+        assert verdict.passed
+        assert verdict.improvements[0].metric == "makespan"
+
+    def test_attribution_shift_fails_both_directions(self):
+        for shifted in (0.55, 0.95):
+            verdict = compare(
+                _base(**{"attribution_frac": {"compute": 0.75}}),
+                {"s": {"attribution_frac": {"compute": shifted}}},
+            )
+            assert not verdict.passed, shifted
+
+    def test_new_and_missing_metrics_do_not_fail(self):
+        base = _base(makespan=1.0, old_metric=5.0)
+        verdict = compare(base, {"s": {"makespan": 1.0, "new_metric": 7.0}})
+        assert verdict.passed
+        statuses = {d.metric: d.status for d in verdict.deviations}
+        assert statuses["old_metric"] == "missing"
+        assert statuses["new_metric"] == "new"
+
+    def test_unknown_scenario_is_all_new(self):
+        devs = compare_profiles(Baseline(), "fresh", {"makespan": 1.0})
+        assert [d.status for d in devs] == ["new"]
+
+    def test_scenarios_absent_from_candidates_ignored(self):
+        base = Baseline()
+        base.record("a", {"makespan": 1.0})
+        base.record("b", {"makespan": 1.0})
+        verdict = compare(base, {"a": {"makespan": 1.0}})
+        assert verdict.passed
+        assert {d.scenario for d in verdict.deviations} == {"a"}
+
+    def test_verdict_dict_shape(self):
+        verdict = compare(_base(makespan=1.0), {"s": {"makespan": 2.0}})
+        d = verdict.to_dict()
+        assert d["passed"] is False
+        assert d["regressions"][0]["metric"] == "makespan"

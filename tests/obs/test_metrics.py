@@ -89,6 +89,50 @@ class TestHistogram:
         assert snap["counts"] == [0, 1, 0]
         assert snap["sum"] == 2 and snap["count"] == 1
 
+    def test_default_buckets_span_the_byte_scale(self):
+        # One transfer can be a 256 B control message or a multi-MiB
+        # coupled region; the defaults must keep both off the overflow
+        # slot.
+        h = Histogram("nbytes")
+        h.observe(256)
+        h.observe(8 * 1024 * 1024)
+        cell = h.cells[()]
+        assert cell[len(h.buckets)] == 0  # nothing overflowed
+        assert h.buckets[-1] >= 16 * 1024 * 1024
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("lat", buckets=(10, 20, 40))
+        for v in (5, 15, 15, 35):
+            h.observe(v)
+        # Median: rank 2 of 4 lands at the top of the (10, 20] bucket's
+        # first observation... interpolated linearly.
+        assert h.quantile(0.5) == pytest.approx(15.0)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(1.0) == pytest.approx(40.0)
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        h = Histogram("lat", buckets=(10, 20))
+        h.observe(1000)
+        assert h.quantile(0.99) == 20.0
+
+    def test_quantile_empty_cell_is_zero(self):
+        h = Histogram("lat", buckets=(10,))
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        h = Histogram("lat", buckets=(10,))
+        with pytest.raises(ReproError):
+            h.quantile(1.5)
+        with pytest.raises(ReproError):
+            h.quantile(-0.1)
+
+    def test_quantile_respects_labels(self):
+        h = Histogram("lat", buckets=(10, 20), labelnames=("kind",))
+        h.observe(5, kind="a")
+        h.observe(15, kind="b")
+        assert h.quantile(1.0, kind="a") == pytest.approx(10.0)
+        assert h.quantile(1.0, kind="b") == pytest.approx(20.0)
+
 
 class TestRegistry:
     def test_get_or_create_same_instance(self):
