@@ -16,7 +16,20 @@ One seed additionally runs with tracing and a metrics registry attached;
 the emitted files are validated with benchmarks/check_trace.py, so the
 chaos path keeps producing balanced spans and well-formed snapshots.
 
-Usage:  python benchmarks/chaos_soak.py [--seeds N] [--replication K]
+``--gray`` switches the soak to gray failures: each seed derives a plan
+combining a slow-node window, wildcard delivery corruption, and wildcard
+duplicate delivery, and runs with hedged pulls, straggler speculation, and
+periodic integrity scrubbing armed. The gray invariants:
+
+* zero corrupted values reach a consumer — every corrupted delivery is
+  caught by its checksum and re-fetched (``integrity.unrecoverable`` == 0,
+  and any unrecoverable pull would have raised and failed the seed),
+* every primary copy verifies its checksum at rest (corrupting REPLICATION
+  writes may poison replicas, never primaries), and
+* the whole run is deterministic: seed 0 runs twice and both runs must
+  produce identical gray counters.
+
+Usage:  python benchmarks/chaos_soak.py [--seeds N] [--replication K] [--gray]
 """
 
 from __future__ import annotations
@@ -37,9 +50,12 @@ from repro.apps.scenarios import CoupledScenario, layout_for  # noqa: E402
 from repro.core.task import AppSpec  # noqa: E402
 from repro.domain.descriptor import DecompositionDescriptor  # noqa: E402
 from repro.faults.plan import (  # noqa: E402
+    DataCorruption,
     DHTCoreFailure,
+    DuplicateDelivery,
     FaultPlan,
     NodeCrash,
+    SlowNode,
 )
 from repro.hardware.cluster import Cluster  # noqa: E402
 from repro.hardware.spec import generic_multicore  # noqa: E402
@@ -113,6 +129,115 @@ def plan_for_seed(seed: int, cluster) -> FaultPlan:
     )
 
 
+def gray_plan_for_seed(seed: int, cluster) -> FaultPlan:
+    """Deterministic slow-node + corruption + duplication plan.
+
+    Corruption stays under 8 % per delivery so a pull and its single
+    replica re-fetch (k=2) failing together stays rare enough for the
+    bundle-retry ladder to always recover within its retry budget.
+    """
+    rng = random.Random(f"{seed}/gray")
+    node = rng.randrange(cluster.num_nodes)
+    return FaultPlan(
+        seed=seed,
+        slow_nodes=(
+            # The window spans the consumers' pull phase (which lands past
+            # t=1.1 and later still when the producer itself is slowed), so
+            # hedging and speculation actually engage.
+            SlowNode(
+                node=node,
+                start=round(rng.uniform(0.0, 0.5), 4),
+                duration=round(rng.uniform(2.0, 6.0), 4),
+                factor=round(rng.uniform(2.0, 6.0), 2),
+            ),
+        ),
+        corruptions=(
+            DataCorruption(probability=round(rng.uniform(0.01, 0.08), 3)),
+        ),
+        duplications=(
+            DuplicateDelivery(probability=round(rng.uniform(0.02, 0.15), 3)),
+        ),
+    )
+
+
+#: gray-mode knobs (all armed so every subsystem soaks together)
+GRAY_HEDGE_FACTOR = 2.0
+GRAY_SPECULATION_THRESHOLD = 1.5
+GRAY_SCRUB_PERIOD = 0.1
+
+#: gray counters compared across the seed-0 determinism re-run
+GRAY_COUNTERS = (
+    "transport.corrupted_deliveries",
+    "transport.duplicate_deliveries",
+    "integrity.corrupted_deliveries",
+    "integrity.refetches",
+    "integrity.duplicates_dropped",
+    "integrity.corrupted_replicas",
+    "integrity.scrub.corrupt_found",
+    "integrity.scrub.repaired",
+    "hedge.issued",
+    "hedge.wins",
+    "hedge.redundant_bytes",
+    "workflow.speculation.launched",
+    "workflow.speculation.wins",
+    "workflow.speculation.cancelled",
+)
+
+
+def run_gray_seed(seed: int, replication: int, tracer=None, registry=None):
+    scenario = soak_scenario()
+    plan = gray_plan_for_seed(seed, scenario.cluster)
+    result = run_scenario(
+        scenario,
+        fault_plan=plan,
+        tracer=tracer,
+        registry=registry,
+        resilience=ResilienceConfig(
+            replication=replication, scrub_period=GRAY_SCRUB_PERIOD
+        ),
+        producer_compute=PRODUCER_COMPUTE,
+        consumer_compute=CONSUMER_COMPUTE,
+        hedge_factor=GRAY_HEDGE_FACTOR,
+        speculation_threshold=GRAY_SPECULATION_THRESHOLD,
+    )
+    return plan, result
+
+
+def gray_counter_snapshot(result) -> dict[str, int]:
+    reg = result.registry
+    return {
+        name: int(reg[name].total())
+        for name in GRAY_COUNTERS
+        if name in reg
+    }
+
+
+def verify_gray(seed: int, plan: FaultPlan, result) -> list[str]:
+    problems = []
+    for app_id in result.consumer_ids:
+        if not result.schedules.get(app_id):
+            problems.append(f"consumer {app_id} has no schedules")
+    reg = result.registry
+    # The invariant: no corrupted value ever reached a consumer. A pull
+    # with every copy corrupt raises (failing the run); the counter covers
+    # the window where the exception was swallowed by a retry ladder.
+    if "integrity.unrecoverable" in reg:
+        n = int(reg["integrity.unrecoverable"].total())
+        if n:
+            problems.append(f"{n} unrecoverable corrupted pull(s)")
+    # Corrupting REPLICATION writes may poison replicas (the scrubber's
+    # job); primaries are written locally and must always verify.
+    space = result.space
+    for var, version, owner in space._produced_by:
+        store = space._stores.get(owner)
+        obj = store.get(var, version, of=owner) if store is not None else None
+        if obj is not None and not obj.verify_checksum():
+            problems.append(
+                f"primary copy of {(var, version, owner)} corrupt at rest"
+            )
+    return problems
+
+
 def run_seed(seed: int, replication: int, tracer=None, registry=None):
     scenario = soak_scenario()
     plan = plan_for_seed(seed, scenario.cluster)
@@ -161,8 +286,14 @@ def main(argv: "list[str] | None" = None) -> int:
     ap.add_argument("--seeds", type=int, default=200,
                     help="number of seeded fault plans to run (default 200)")
     ap.add_argument("--replication", type=int, default=2)
+    ap.add_argument("--gray", action="store_true",
+                    help="soak gray failures (slow node + corruption + "
+                         "duplication) instead of crash-stop faults")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args(argv)
+
+    if args.gray:
+        return _gray_main(args)
 
     failures = 0
     totals = {"failover_reads": 0, "rereplication_copies": 0,
@@ -212,6 +343,72 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{totals['detections_dht']} DHT detections")
     if failures:
         print(f"chaos soak FAILED: {failures} seed(s) violated invariants")
+        return 1
+    return 0
+
+
+def _gray_main(args: argparse.Namespace) -> int:
+    failures = 0
+    totals: dict[str, int] = {}
+    for seed in range(args.seeds):
+        tracer = registry = None
+        if seed == 0:
+            tracer, registry = Tracer(), MetricsRegistry()
+        try:
+            plan, result = run_gray_seed(
+                seed, args.replication, tracer, registry
+            )
+        except Exception as exc:  # noqa: BLE001 — any failure fails the seed
+            print(f"seed {seed}: FAILED GET / run error: {exc}")
+            failures += 1
+            continue
+        problems = verify_gray(seed, plan, result)
+        snap = gray_counter_snapshot(result)
+        for key, val in snap.items():
+            totals[key] = totals.get(key, 0) + val
+        if problems:
+            failures += 1
+            print(f"seed {seed}: " + "; ".join(problems))
+        elif args.verbose:
+            print(f"seed {seed}: ok ({snap})")
+        if seed == 0:
+            # Determinism: the same seed re-run must reproduce every gray
+            # counter exactly (hedges, speculations, scrub repairs, ...).
+            _, again = run_gray_seed(seed, args.replication)
+            snap2 = gray_counter_snapshot(again)
+            if snap != snap2:
+                failures += 1
+                print(f"seed 0: NON-DETERMINISTIC gray counters:\n"
+                      f"  first:  {snap}\n  second: {snap2}")
+            with tempfile.TemporaryDirectory() as tmp:
+                tpath = os.path.join(tmp, "trace.json")
+                mpath = os.path.join(tmp, "metrics.json")
+                tracer.write_chrome(tpath)
+                registry.write_json(mpath)
+                try:
+                    nevents = check_trace(tpath)
+                    ncells = check_metrics(mpath)
+                except Exception as exc:  # noqa: BLE001
+                    print(f"seed 0: trace/metrics validation failed: {exc}")
+                    failures += 1
+                else:
+                    print(f"seed 0: deterministic, trace balanced "
+                          f"({nevents} events), metrics well-formed "
+                          f"({ncells} cells)")
+
+    print(f"\ngray soak: {args.seeds - failures}/{args.seeds} seeds clean; "
+          f"{totals.get('integrity.refetches', 0)} integrity re-fetches, "
+          f"{totals.get('integrity.duplicates_dropped', 0)} duplicates "
+          f"dropped, "
+          f"{totals.get('hedge.issued', 0)}/{totals.get('hedge.wins', 0)} "
+          f"hedges issued/won, "
+          f"{totals.get('workflow.speculation.launched', 0)}"
+          f"/{totals.get('workflow.speculation.wins', 0)} "
+          f"speculations launched/won, "
+          f"{totals.get('integrity.scrub.repaired', 0)} replicas scrubbed "
+          f"clean")
+    if failures:
+        print(f"gray soak FAILED: {failures} seed(s) violated invariants")
         return 1
     return 0
 

@@ -109,6 +109,8 @@ def run_scenario(
     resilience: "ResilienceConfig | None" = None,
     producer_compute: float = 0.0,
     consumer_compute: float = 0.0,
+    hedge_factor: "float | None" = None,
+    speculation_threshold: "float | None" = None,
 ) -> ScenarioResult:
     """Execute one scenario under the named mapping strategy.
 
@@ -135,6 +137,13 @@ def run_scenario(
     mid-flight faults, failure detection, and periodic checkpoints have a
     window to land in. The default (0.0) collapses the whole workflow to
     t=0, exactly as before.
+
+    ``hedge_factor`` arms hedged pulls (a pull slower than the cost model's
+    expected time times the factor races a backup pull from another replica
+    holder); ``speculation_threshold`` arms straggler speculation (an app
+    running beyond the threshold times the median of its bundle peers on a
+    slowed node is speculatively re-enacted on a spare core). Both are inert
+    without matching gray faults in the plan and default to off.
     """
     cluster = scenario.cluster
     injector: FaultInjector | None = None
@@ -161,6 +170,7 @@ def run_scenario(
         cluster,
         scenario.domain,
         dart=HybridDART(cluster, metrics=metrics, injector=injector, tracer=tracer),
+        hedge_factor=hedge_factor,
         replication=resilience.replication if resilience is not None else 1,
         placer=(
             ReplicaPlacer(cluster, resilience.placer_seed)
@@ -207,6 +217,8 @@ def run_scenario(
         engine = WorkflowEngine(
             dag, cluster, sim=sim, injector=injector, tracer=tracer,
             defer_crash_redispatch=True,
+            speculation_threshold=speculation_threshold,
+            registry=space.dart.registry,
         )
         manager = ResilienceManager(
             resilience, engine.sim, space, engine, space.dart.registry,
@@ -218,7 +230,11 @@ def run_scenario(
         if ckpt is not None:
             space.restore_manifest(ckpt.space_manifest)
     else:
-        engine = WorkflowEngine(dag, cluster, injector=injector, tracer=tracer)
+        engine = WorkflowEngine(
+            dag, cluster, injector=injector, tracer=tracer,
+            speculation_threshold=speculation_threshold,
+            registry=space.dart.registry if injector is not None else None,
+        )
         if injector is not None:
             # CoDS recovers after the engine (listener order): the engine
             # frees the crashed clients first, then the space drops lost

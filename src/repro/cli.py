@@ -11,11 +11,18 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
 from repro.analysis.report import format_table, mib, ms, reduction
-from repro.faults.plan import FaultPlan
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    DataCorruption,
+    DuplicateDelivery,
+    FaultPlan,
+    SlowNode,
+)
 from repro.apps.scenarios import (
     paper_concurrent,
     paper_sequential,
@@ -26,6 +33,79 @@ from repro.transport.message import TransferKind
 from repro.workflow.parser import build_workflow, parse_dag, write_dag
 
 __all__ = ["main", "build_parser"]
+
+
+# -- argparse type validators (reject bad values at parse time) ----------------
+
+
+def _probability(text: str) -> float:
+    try:
+        p = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a probability, got {text!r}")
+    if not 0.0 <= p < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"probability must be in [0, 1), got {text}"
+        )
+    return p
+
+
+def _hedge_factor(text: str) -> float:
+    try:
+        f = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if f <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"hedge factor must be > 1 (a multiple of the expected pull "
+            f"time), got {text}"
+        )
+    return f
+
+
+def _speculation_threshold(text: str) -> float:
+    try:
+        f = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if f < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"speculation threshold must be >= 1 (a multiple of the peer "
+            f"median), got {text}"
+        )
+    return f
+
+
+def _positive_seconds(text: str) -> float:
+    try:
+        s = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected seconds, got {text!r}")
+    if s <= 0:
+        raise argparse.ArgumentTypeError(f"period must be positive, got {text}")
+    return s
+
+
+def _slow_node_spec(text: str) -> SlowNode:
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise argparse.ArgumentTypeError(
+            f"expected NODE:START:DURATION[:FACTOR], got {text!r}"
+        )
+    try:
+        node = int(parts[0])
+        start = float(parts[1])
+        duration = float(parts[2])
+        factor = float(parts[3]) if len(parts) == 4 else 2.0
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE:START:DURATION[:FACTOR] with numeric fields, "
+            f"got {text!r}"
+        )
+    try:
+        return SlowNode(node=node, start=start, duration=duration, factor=factor)
+    except FaultPlanError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +179,40 @@ def build_parser() -> argparse.ArgumentParser:
             "--compute-seconds", type=float, default=0.0, metavar="S",
             help="simulated compute time per app (gives mid-flight faults "
                  "and checkpoints a window; default 0)",
+        )
+        p.add_argument(
+            "--slow-node", action="append", type=_slow_node_spec, default=None,
+            metavar="NODE:START:DUR[:FACTOR]",
+            help="gray fault: node NODE runs FACTOR x slower (default 2) "
+                 "from START for DUR simulated seconds (repeatable)",
+        )
+        p.add_argument(
+            "--corruption", type=_probability, default=None, metavar="P",
+            help="gray fault: each network delivery arrives bit-flipped with "
+                 "probability P; checksum verification re-fetches from a "
+                 "surviving replica",
+        )
+        p.add_argument(
+            "--duplication", type=_probability, default=None, metavar="P",
+            help="gray fault: each network delivery is replayed with "
+                 "probability P; duplicates are dropped at the consumer",
+        )
+        p.add_argument(
+            "--hedge-factor", type=_hedge_factor, default=None, metavar="X",
+            help="hedge a pull with a backup from another replica holder "
+                 "once it runs X times over the cost-model expected time "
+                 "(X > 1; needs --replication > 1 to have alternates)",
+        )
+        p.add_argument(
+            "--speculation-threshold", type=_speculation_threshold,
+            default=None, metavar="X",
+            help="speculatively re-enact an app running X times over the "
+                 "median of its bundle peers on a slowed node (X >= 1)",
+        )
+        p.add_argument(
+            "--scrub-period", type=_positive_seconds, default=None, metavar="S",
+            help="re-verify replica checksums every S simulated seconds and "
+                 "repair corrupt copies (enables the resilience subsystem)",
         )
 
     for name, help_ in (
@@ -178,7 +292,28 @@ def _build(scenario_name: str, scale: str, dist: str):
 
 def _load_fault_plan(args: argparse.Namespace) -> "FaultPlan | None":
     path = getattr(args, "fault_plan", None)
-    return FaultPlan.load(path) if path else None
+    plan = FaultPlan.load(path) if path else None
+    slow = tuple(getattr(args, "slow_node", None) or ())
+    corruption = getattr(args, "corruption", None)
+    duplication = getattr(args, "duplication", None)
+    if not slow and corruption is None and duplication is None:
+        return plan
+    if plan is None:
+        plan = FaultPlan()
+    # Flag-injected gray faults stack on top of whatever the JSON plan
+    # declares; the probabilities become wildcard (any-link) faults.
+    return dataclasses.replace(
+        plan,
+        slow_nodes=plan.slow_nodes + slow,
+        corruptions=plan.corruptions + (
+            (DataCorruption(probability=corruption),)
+            if corruption else ()
+        ),
+        duplications=plan.duplications + (
+            (DuplicateDelivery(probability=duplication),)
+            if duplication else ()
+        ),
+    )
 
 
 def _print_fault_summary(result) -> None:
@@ -198,7 +333,8 @@ def _make_resilience(args: argparse.Namespace):
     """A ResilienceConfig when any resilience flag departs from defaults."""
     if (getattr(args, "replication", 1) <= 1
             and not getattr(args, "checkpoint_out", None)
-            and not getattr(args, "restore_from", None)):
+            and not getattr(args, "restore_from", None)
+            and getattr(args, "scrub_period", None) is None):
         return None
     from repro.resilience.manager import ResilienceConfig
 
@@ -209,6 +345,7 @@ def _make_resilience(args: argparse.Namespace):
         checkpoint_path=args.checkpoint_out,
         checkpoint_interval=args.checkpoint_interval,
         restore_from=args.restore_from,
+        scrub_period=getattr(args, "scrub_period", None),
     )
 
 
@@ -223,6 +360,36 @@ def _print_resilience_summary(result) -> None:
           f"re-replicated={s['rereplication_copies']} copies "
           f"({s['rereplication_bytes']} B), "
           f"re-enactments={s['reenactments']}")
+    if "scrub" in s:
+        sc = s["scrub"]
+        print(f"scrub: {sc['passes']} passes, "
+              f"{sc['copies_checked']} copies checked, "
+              f"{sc['corrupt_found']} corrupt found, "
+              f"{sc['repaired']} repaired")
+
+
+def _print_gray_summary(result) -> None:
+    """Hedge / speculation / integrity counters for gray-failure runs."""
+    injector = result.injector
+    reg = result.registry
+    if injector is None or reg is None or not injector.plan.has_gray_faults:
+        return
+
+    def count(name: str) -> int:
+        # Read-only: never registers absent (lazy) gray instruments.
+        return int(reg[name].total()) if name in reg else 0
+
+    print()
+    print("gray failures: "
+          f"corrupted deliveries={count('transport.corrupted_deliveries')}, "
+          f"duplicates dropped={count('integrity.duplicates_dropped')}, "
+          f"integrity re-fetches={count('integrity.refetches')}")
+    print(f"hedged pulls: {count('hedge.issued')} issued, "
+          f"{count('hedge.wins')} won, "
+          f"{count('hedge.redundant_bytes')} redundant bytes")
+    print(f"speculation: {count('workflow.speculation.launched')} launched, "
+          f"{count('workflow.speculation.wins')} won, "
+          f"{count('workflow.speculation.cancelled')} cancelled")
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -255,6 +422,8 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         resilience=_make_resilience(args),
         producer_compute=args.compute_seconds,
         consumer_compute=args.compute_seconds,
+        hedge_factor=args.hedge_factor,
+        speculation_threshold=args.speculation_threshold,
     )
     m = result.metrics
     rows = []
@@ -277,6 +446,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         ]
         print(format_table(["consumer", "retrieval ms"], rows))
     _print_fault_summary(result)
+    _print_gray_summary(result)
     _print_resilience_summary(result)
     _write_obs(args, result, tracer)
     return 0
@@ -298,6 +468,8 @@ def _run_compare(args: argparse.Namespace) -> int:
             resilience=_make_resilience(args),
             producer_compute=args.compute_seconds,
             consumer_compute=args.compute_seconds,
+            hedge_factor=args.hedge_factor,
+            speculation_threshold=args.speculation_threshold,
         )
         last_result = result
         last_tracer = tracer
@@ -318,6 +490,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     print(f"\nnetwork coupled-data reduction: {red:.0%}")
     if last_result is not None:
         _print_fault_summary(last_result)
+        _print_gray_summary(last_result)
         _print_resilience_summary(last_result)
         _write_obs(args, last_result, last_tracer)
     return 0

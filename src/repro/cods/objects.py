@@ -9,6 +9,7 @@ storage the sequential coupling scenario shares data through.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -23,9 +24,35 @@ __all__ = [
     "region_cells",
     "region_overlap_cells",
     "region_restrict",
+    "object_checksum",
     "DataObject",
     "ObjectStore",
 ]
+
+
+def object_checksum(
+    var: str,
+    version: int,
+    region: RegionProduct,
+    element_size: int,
+    payload: "object | None",
+) -> int:
+    """Content checksum (CRC-32) of one object's identity and values.
+
+    Covers the descriptor (variable, version, element size, region intervals)
+    and — when the object carries real values — the payload bytes, so any
+    single bit flip in either is detected. The hash is content-only: every
+    replica of the same primary shares its checksum regardless of which core
+    stores it.
+    """
+    crc = zlib.crc32(f"{var}\x00{version}\x00{element_size}".encode())
+    for s in region:
+        crc = zlib.crc32(repr(s.intervals).encode(), crc)
+    if payload is not None:
+        import numpy as np
+
+        crc = zlib.crc32(np.ascontiguousarray(payload).tobytes(), crc)
+    return crc
 
 #: A region as per-dimension interval sets (Cartesian product semantics).
 RegionProduct = tuple[IntervalSet, ...]
@@ -97,6 +124,10 @@ class DataObject:
     #: core holding the primary copy when this object is a replica;
     #: ``None`` means this object *is* the primary (the common case).
     primary_core: "int | None" = None
+    #: CRC-32 content checksum; computed at construction when left ``None``.
+    #: A stored checksum that disagrees with :func:`object_checksum` models a
+    #: copy whose bits were flipped in flight (see ``verify_checksum``).
+    checksum: "int | None" = None
 
     def __post_init__(self) -> None:
         if not self.var:
@@ -122,6 +153,21 @@ class DataObject:
                     f"{self.element_size}"
                 )
             object.__setattr__(self, "payload", arr)
+        if self.checksum is None:
+            object.__setattr__(
+                self,
+                "checksum",
+                object_checksum(
+                    self.var, self.version, self.region,
+                    self.element_size, self.payload,
+                ),
+            )
+
+    def verify_checksum(self) -> bool:
+        """Recompute the content hash and compare against the stored one."""
+        return self.checksum == object_checksum(
+            self.var, self.version, self.region, self.element_size, self.payload
+        )
 
     @property
     def is_replica(self) -> bool:

@@ -39,7 +39,12 @@ from repro.cods.schedule import (
 )
 from repro.domain.box import Box
 from repro.domain.intervals import IntervalSet
-from repro.errors import CheckpointError, DataLostError, SpaceError
+from repro.errors import (
+    CheckpointError,
+    DataIntegrityError,
+    DataLostError,
+    SpaceError,
+)
 from repro.hardware.cluster import Cluster
 from repro.obs.tracer import NULL_TRACER
 from repro.sfc.linearize import DomainLinearizer
@@ -62,6 +67,7 @@ class CoDS:
         enforce_memory: bool = False,
         replication: int = 1,
         placer: "object | None" = None,
+        hedge_factor: "float | None" = None,
     ) -> None:
         self.cluster = cluster
         self.dart = dart if dart is not None else HybridDART(cluster)
@@ -113,6 +119,26 @@ class CoDS:
         # (var, holding core) -> producing put span/instant (tracing only);
         # pulls link back to it so traces carry put -> transfer causality
         self._put_spans: dict[tuple[str, int], object] = {}
+        # -- gray-failure hardening (inert unless armed) --
+        if hedge_factor is not None and hedge_factor <= 1.0:
+            raise SpaceError(
+                f"hedge factor must be > 1 (deadline = expected x factor), "
+                f"got {hedge_factor}"
+            )
+        #: pulls slower than ``expected x hedge_factor`` race a backup pull
+        #: from another replica holder (None disables hedging)
+        self.hedge_factor = hedge_factor
+        self._cost_model = None  # built on first hedged pull
+        # Lazy gray counters: clean runs register no integrity/hedge metrics,
+        # keeping their snapshots and checkpoints byte-identical to the seed.
+        self._gray_counters: dict[str, object] = {}
+
+    def _gray_count(self, name: str, value: float = 1) -> None:
+        """Bump a lazily created integrity/hedge counter."""
+        c = self._gray_counters.get(name)
+        if c is None:
+            c = self._gray_counters[name] = self.dart.registry.counter(name)
+        c.inc(value)
 
     @property
     def placer(self):
@@ -166,7 +192,15 @@ class CoDS:
         When traced, each pull links back to the put that stored the data
         on its source core (the producer-put → transfer leg of the flow
         chain; the transfer → consumer-get leg is the span nesting).
+
+        Under gray faults the per-plan path grows teeth: hedged source
+        selection, checksum verification on delivery, and transparent
+        re-fetch from surviving replicas (see :meth:`_pull`). The plain
+        fast paths below stay byte-identical for clean runs.
         """
+        injector = self.dart.injector
+        if injector is not None and injector.plan.has_gray_faults:
+            return [self._pull(p, app_id) for p in schedule.plans]
         if not self.dart.tracer.enabled:
             return [
                 self.dart.transfer(
@@ -191,6 +225,186 @@ class CoDS:
             )
             for p in schedule.plans
         ]
+
+    # -- gray-failure pull path --------------------------------------------------
+
+    def _alternate_holders(self, var: str, src_core: int) -> "list[int]":
+        """Other live cores holding a copy of ``src_core``'s logical object.
+
+        Walks the replica bookkeeping for groups ``src_core`` belongs to
+        (as primary or as replica holder) and keeps holders whose node is
+        alive and whose store still carries the variable. Sorted for
+        deterministic re-fetch and hedge ordering.
+        """
+        out: set[int] = set()
+        for (v, _ver, primary), reps in self._replicas.items():
+            if v != var:
+                continue
+            holders = (primary, *reps)
+            if src_core in holders:
+                out.update(holders)
+        out.discard(src_core)
+        return sorted(
+            c for c in out
+            if self.cluster.node_of_core(c) not in self._dead_nodes
+            and self._stores[c].has_var(var)
+        )
+
+    def _source_poisoned(self, var: str, core: int) -> bool:
+        """Does ``core`` hold a checksum-failing copy of ``var`` at rest?
+
+        A pull served from such a copy delivers the flipped bits even when
+        the wire itself behaved, so the delivery-time verification treats
+        it exactly like transport corruption and re-fetches elsewhere.
+        """
+        store = self._stores.get(core)
+        if store is None:
+            return False
+        return any(
+            obj.var == var and not obj.verify_checksum()
+            for obj in store.objects()
+        )
+
+    @property
+    def cost_model(self):
+        """Contention-free transfer-time estimator (hedge deadlines)."""
+        if self._cost_model is None:
+            from repro.transport.costmodel import CostModel
+
+            self._cost_model = CostModel(self.cluster.machine)
+        return self._cost_model
+
+    def _maybe_hedge(self, plan, src: int) -> "tuple[int, object | None]":
+        """Hedged source selection for one pull.
+
+        The pull's deadline budget is the cost model's expected time times
+        ``hedge_factor``. When the chosen source sits on a slowed node and
+        its degraded service time blows the deadline, a backup pull is
+        issued to another replica holder and the first valid response wins:
+        the backup when even ``deadline + backup_time`` beats the slowed
+        primary, the primary otherwise. Either way the loser's bytes are
+        redundant work, accounted in ``hedge.redundant_bytes``.
+
+        Returns ``(winning source core, hedge instant for flow links)``.
+        """
+        injector = self.dart.injector
+        if injector is None or not injector.plan.slow_nodes:
+            return src, None
+        src_node = self.cluster.node_of_core(src)
+        slowdown = injector.slowdown_factor(src_node)
+        if slowdown <= 1.0:
+            return src, None
+        dst_node = self.cluster.node_of_core(plan.dst_core)
+        expected = self.cost_model.transfer_time(plan.nbytes, src_node, dst_node)
+        deadline = expected * self.hedge_factor
+        actual = expected * slowdown
+        if actual <= deadline:
+            return src, None
+        alts = self._alternate_holders(plan.var, src)
+        if not alts:
+            return src, None
+        # Prefer a backup on the least-slowed node; core id breaks ties.
+        backup = min(
+            alts,
+            key=lambda c: (
+                injector.slowdown_factor(self.cluster.node_of_core(c)), c
+            ),
+        )
+        backup_node = self.cluster.node_of_core(backup)
+        backup_time = (
+            self.cost_model.transfer_time(plan.nbytes, backup_node, dst_node)
+            * injector.slowdown_factor(backup_node)
+        )
+        win = deadline + backup_time < actual
+        self._gray_count("hedge.issued")
+        self._gray_count("hedge.redundant_bytes", plan.nbytes)
+        injector.record(
+            "hedge_issued",
+            f"{plan.var} {src}->{plan.dst_core} backup={backup} "
+            f"win={'backup' if win else 'primary'}",
+        )
+        inst = None
+        tracer = self.dart.tracer
+        if tracer.enabled:
+            inst = tracer.instant(
+                "hedge.issue",
+                var=plan.var, primary=src, backup=backup,
+                deadline=deadline, win="backup" if win else "primary",
+            )
+        if win:
+            self._gray_count("hedge.wins")
+            return backup, inst
+        return src, inst
+
+    def _pull(self, plan, app_id: int) -> TransferRecord:
+        """One gray-hardened pull: hedge, verify, re-fetch, deduplicate."""
+        tracer = self.dart.tracer
+        src = plan.src_core
+        hedge_inst = None
+        if self.hedge_factor is not None:
+            src, hedge_inst = self._maybe_hedge(plan, src)
+
+        def issue(from_core: int) -> TransferRecord:
+            link = (
+                self._put_spans.get((plan.var, from_core))
+                if tracer.enabled else None
+            )
+            if hedge_inst is not None and from_core != plan.src_core:
+                with tracer.span(
+                    "hedge.pull", var=plan.var, src=from_core,
+                    dst=plan.dst_core, nbytes=plan.nbytes,
+                ) as sp:
+                    tracer.link(hedge_inst, sp, "hedge")
+                    return self.dart.transfer(
+                        src_core=from_core, dst_core=plan.dst_core,
+                        nbytes=plan.nbytes, kind=TransferKind.COUPLING,
+                        app_id=app_id, var=plan.var, link_from=link,
+                    )
+            return self.dart.transfer(
+                src_core=from_core, dst_core=plan.dst_core,
+                nbytes=plan.nbytes, kind=TransferKind.COUPLING,
+                app_id=app_id, var=plan.var, link_from=link,
+            )
+
+        rec = issue(src)
+        hedge_inst = None  # only the winning first pull is the hedge leg
+        if rec.duplicated:
+            # The replayed copy is dropped on the floor by (var, version,
+            # owner) identity — it never reaches the consumer or the
+            # delivered-bytes metrics a second time.
+            self._gray_count("integrity.duplicates_dropped")
+        tried = {src}
+        # A delivery is bad when the wire flipped bits (rec.corrupted) OR
+        # the source copy was already poisoned at rest (a replica written
+        # over a corrupting link that the scrubber hasn't repaired yet) —
+        # the consumer-side checksum catches both the same way.
+        while rec.corrupted or self._source_poisoned(plan.var, src):
+            self._gray_count("integrity.corrupted_deliveries")
+            alts = [
+                c for c in self._alternate_holders(plan.var, src)
+                if c not in tried
+            ]
+            if not alts:
+                self._gray_count("integrity.unrecoverable")
+                raise DataIntegrityError(
+                    f"every reachable copy of {plan.var!r} for core "
+                    f"{plan.dst_core} failed checksum verification"
+                )
+            nxt = alts[0]
+            tried.add(nxt)
+            self._gray_count("integrity.refetches")
+            if tracer.enabled:
+                with tracer.span(
+                    "integrity.refetch", var=plan.var, src=nxt,
+                    dst=plan.dst_core, nbytes=plan.nbytes,
+                ):
+                    rec = issue(nxt)
+            else:
+                rec = issue(nxt)
+            if rec.duplicated:
+                self._gray_count("integrity.duplicates_dropped")
+            src = nxt
+        return rec
 
     # -- sequential coupling ---------------------------------------------------------
 
@@ -314,15 +528,29 @@ class CoDS:
             rep = _dc_replace(obj, owner_core=t, primary_core=obj.owner_core)
             self.store_of(t).insert(rep)
             self.dht.register(rep)
-            self.dart.transfer(
+            rec = self.dart.transfer(
                 src_core=obj.owner_core,
                 dst_core=t,
                 nbytes=rep.nbytes,
                 kind=TransferKind.REPLICATION,
                 var=obj.var,
             )
+            if rec.corrupted:
+                self._poison_copy(rep)
             placed.append(t)
         self._replicas[(obj.var, obj.version, obj.owner_core)] = tuple(placed)
+
+    def _poison_copy(self, rep: DataObject) -> None:
+        """Mark a freshly stored copy as corrupted-in-flight.
+
+        The copy's stored checksum is flipped so :meth:`DataObject.
+        verify_checksum` (and the scrubber) detect it, modelling a replica
+        whose bits were damaged by the REPLICATION transfer that wrote it.
+        """
+        store = self.store_of(rep.owner_core)
+        store.evict(rep.var, rep.version, of=rep.logical_owner)
+        store.insert(_dc_replace(rep, checksum=rep.checksum ^ 0x1))
+        self._gray_count("integrity.corrupted_replicas")
 
     def _drop_replicas(self, var: str, version: int, primary: int) -> None:
         """Evict and unregister every replica of one logical object."""
@@ -733,7 +961,7 @@ class CoDS:
             for t in targets:
                 rep = _dc_replace(src, owner_core=t, primary_core=owner)
                 self.store_of(t).insert(rep)
-                self.dart.transfer(
+                rec = self.dart.transfer(
                     src_core=src.owner_core,
                     dst_core=t,
                     nbytes=rep.nbytes,
@@ -741,6 +969,8 @@ class CoDS:
                     var=var,
                     link_from=self._put_spans.get((var, src.owner_core)),
                 )
+                if rec.corrupted:
+                    self._poison_copy(rep)
                 sp = self._put_spans.get((var, src.owner_core))
                 if sp is not None:  # new copy inherits its producer's span
                     self._put_spans[(var, t)] = sp
@@ -757,6 +987,69 @@ class CoDS:
             if self.schedule_cache is not None:
                 self.schedule_cache.clear()
         return created, nbytes
+
+    def scrub(self, repair: bool = True) -> tuple[int, int, int]:
+        """Re-verify every stored copy's checksum; repair from a clean copy.
+
+        The integrity scrubber (:class:`repro.resilience.integrity.
+        IntegrityScrubber`) calls this periodically on the sim clock so
+        latent corruption — a replica poisoned by a corrupted REPLICATION
+        write — is found *before* a consumer trips over it. A corrupt copy
+        is repaired in place from any clean copy of the same logical object
+        (one REPLICATION transfer); with no clean copy reachable it is left
+        for the recovery ladder's re-enactment rung.
+
+        Returns ``(copies_checked, corrupt_found, repaired)``.
+        """
+        checked = corrupt = repaired = 0
+        for core in sorted(self._stores):
+            store = self._stores[core]
+            for obj in sorted(store.objects(), key=lambda o: o.key()):
+                checked += 1
+                if obj.verify_checksum():
+                    continue
+                corrupt += 1
+                self._gray_count("integrity.scrub.corrupt_found")
+                if not repair:
+                    continue
+                owner = obj.logical_owner
+                clean = None
+                for c in (owner, *self._replicas.get(
+                        (obj.var, obj.version, owner), ())):
+                    if c == core:
+                        continue
+                    cstore = self._stores.get(c)
+                    cand = (
+                        cstore.get(obj.var, obj.version, of=owner)
+                        if cstore is not None else None
+                    )
+                    if cand is not None and cand.verify_checksum():
+                        clean = cand
+                        break
+                if clean is None:
+                    continue  # no clean source; lost_objects handles it
+                store.evict(obj.var, obj.version, of=owner)
+                rec = self.dart.transfer(
+                    src_core=clean.owner_core,
+                    dst_core=core,
+                    nbytes=clean.nbytes,
+                    kind=TransferKind.REPLICATION,
+                    var=obj.var,
+                )
+                fixed = _dc_replace(
+                    clean,
+                    owner_core=core,
+                    primary_core=None if core == owner else owner,
+                )
+                if rec.corrupted:
+                    # The repair write itself was damaged; the next scrub
+                    # pass sees it again.
+                    fixed = _dc_replace(fixed, checksum=fixed.checksum ^ 0x1)
+                else:
+                    repaired += 1
+                    self._gray_count("integrity.scrub.repaired")
+                store.insert(fixed)
+        return checked, corrupt, repaired
 
     def lost_objects(self) -> "list[tuple[str, int, int]]":
         """Logical objects with *zero* surviving copies.

@@ -25,6 +25,7 @@ __all__ = [
     "ScheduleError",
     "ResilienceError",
     "DataLostError",
+    "DataIntegrityError",
     "CheckpointError",
     "MappingError",
     "WorkflowError",
@@ -99,6 +100,13 @@ class ResilienceError(ReproError):
 
 class DataLostError(SpaceError):
     """Every replica of a requested object is gone (unrecoverable read)."""
+
+
+class DataIntegrityError(DataLostError):
+    """Every reachable copy of an object failed checksum verification.
+
+    Subclasses :class:`DataLostError` so the workflow's data-loss recovery
+    ladder (re-enact the producing bundle) applies unchanged."""
 
 
 class CheckpointError(ResilienceError):

@@ -5,13 +5,24 @@ See :mod:`repro.faults.plan` for the fault-schedule model and
 """
 
 from repro.faults.injector import FaultEvent, FaultInjector
-from repro.faults.plan import DHTCoreFailure, FaultPlan, LinkDegradation, NodeCrash
+from repro.faults.plan import (
+    DataCorruption,
+    DHTCoreFailure,
+    DuplicateDelivery,
+    FaultPlan,
+    LinkDegradation,
+    NodeCrash,
+    SlowNode,
+)
 
 __all__ = [
+    "DataCorruption",
     "DHTCoreFailure",
+    "DuplicateDelivery",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "LinkDegradation",
     "NodeCrash",
+    "SlowNode",
 ]

@@ -48,6 +48,11 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._rng = random.Random(plan.seed)
+        # Gray-failure decisions draw from their own seeded streams so that
+        # adding slow/corrupt/duplicate faults to a plan never perturbs the
+        # retry decision stream of an existing scenario (replay stability).
+        self._corrupt_rng = random.Random(f"{plan.seed}/corrupt")
+        self._dup_rng = random.Random(f"{plan.seed}/duplicate")
         self._events: list[FaultEvent] = []
         self._seq = 0
         self._crashed_nodes: set[int] = set()
@@ -203,3 +208,66 @@ class FaultInjector:
         """Expected sends per delivered transfer (geometric retransmission)."""
         p = self.plan.attempt_failure_probability(src_node, dst_node)
         return 1.0 / (1.0 - p)
+
+    # -- gray failures ----------------------------------------------------------
+
+    def slowdown_factor(self, node: int, time: "float | None" = None) -> float:
+        """Multiplicative slowdown of ``node`` at ``time`` (defaults to now)."""
+        if not self.plan.slow_nodes:
+            return 1.0
+        return self.plan.slowdown(node, self.now if time is None else time)
+
+    def slowed_finish(self, nodes, start: float, work: float) -> float:
+        """Finish time of ``work`` nominal seconds started at ``start``.
+
+        The work runs on every node in ``nodes`` (a bundle spans cores of
+        possibly several nodes); progress advances at the inverse of the
+        *worst* active slowdown, walking the piecewise-constant factor
+        profile window edge by window edge. With no matching windows the
+        result is exactly ``start + work``.
+        """
+        node_list = list(nodes)
+        windows = [w for n in set(node_list) for w in self.plan.slow_windows(n)]
+        if work <= 0.0 or not windows:
+            return start + work
+        edges = sorted(
+            {e for w in windows for e in (w.start, w.end) if e > start}
+        )
+        t = start
+        remaining = work
+        for edge in edges:
+            factor = max(
+                self.plan.slowdown(n, t) for n in set(node_list)
+            )
+            span = edge - t
+            if remaining <= span / factor:
+                return t + remaining * factor
+            remaining -= span / factor
+            t = edge
+        # Past the last window edge every factor is 1.0 again.
+        factor = max(self.plan.slowdown(n, t) for n in set(node_list))
+        return t + remaining * factor
+
+    def delivery_corrupted(self, src_node: int, dst_node: int) -> bool:
+        """Decide whether one delivered payload arrives bit-flipped.
+
+        Draws from the dedicated corruption stream only when the pair has a
+        declared probability, so clean links never consume decisions.
+        """
+        p = self.plan.corruption_probability(src_node, dst_node)
+        if p <= 0.0:
+            return False
+        hit = self._corrupt_rng.random() < p
+        if hit:
+            self.record("data_corruption", f"link={src_node}->{dst_node}")
+        return hit
+
+    def delivery_duplicated(self, src_node: int, dst_node: int) -> bool:
+        """Decide whether one delivered payload is replayed (arrives twice)."""
+        p = self.plan.duplication_probability(src_node, dst_node)
+        if p <= 0.0:
+            return False
+        hit = self._dup_rng.random() < p
+        if hit:
+            self.record("duplicate_delivery", f"link={src_node}->{dst_node}")
+        return hit

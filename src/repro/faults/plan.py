@@ -17,6 +17,18 @@ re-enacting bundles when nodes, links, or DHT cores misbehave. A
   failure probabilities for network transfers (dropped and corrupted
   attempts are both retransmitted).
 
+Gray failures — degradation instead of clean failure (SIM-SITU argues a
+faithful in-situ model must include degraded resources):
+
+* :class:`SlowNode` — a node computes and serves at a fraction of nominal
+  speed over a time window (work inside the window takes ``factor`` times
+  longer).
+* :class:`DataCorruption` — deliveries over a link (or any link, when the
+  endpoints are left as wildcards) arrive with flipped payload bits at some
+  probability; the transport's checksum verification catches them.
+* :class:`DuplicateDelivery` — a link replays messages: the same payload
+  arrives twice and the receiver must deduplicate idempotently.
+
 Everything is deterministic from ``seed``: replaying the same plan against
 the same scenario yields byte-identical metrics and identical event traces.
 Plans round-trip through JSON for the CLI's ``--fault-plan`` flag.
@@ -29,7 +41,15 @@ from dataclasses import dataclass, field
 
 from repro.errors import FaultPlanError
 
-__all__ = ["NodeCrash", "DHTCoreFailure", "LinkDegradation", "FaultPlan"]
+__all__ = [
+    "NodeCrash",
+    "DHTCoreFailure",
+    "LinkDegradation",
+    "SlowNode",
+    "DataCorruption",
+    "DuplicateDelivery",
+    "FaultPlan",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +109,86 @@ class LinkDegradation:
 
 
 @dataclass(frozen=True)
+class SlowNode:
+    """Node ``node`` runs ``factor`` times slower during a time window.
+
+    The slowdown is multiplicative on compute *and* service: work executed
+    inside ``[start, start + duration)`` consumes wall-clock time at
+    ``factor`` times its nominal rate, and pulls served by the node take
+    ``factor`` times their modelled transfer time (which is what arms the
+    hedging and speculation machinery).
+    """
+
+    node: int
+    start: float
+    duration: float
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultPlanError(f"node must be non-negative, got {self.node}")
+        if self.start < 0:
+            raise FaultPlanError(
+                f"slowdown start must be non-negative, got {self.start}"
+            )
+        if self.duration <= 0:
+            raise FaultPlanError(
+                f"slowdown duration must be positive, got {self.duration}"
+            )
+        if self.factor <= 1.0:
+            raise FaultPlanError(
+                f"slowdown factor must be > 1, got {self.factor}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class _LinkFault:
+    """Shared shape of per-link probabilistic gray faults.
+
+    ``src_node``/``dst_node`` may be ``None`` as wildcards ("any link"),
+    which is how the CLI's global ``--corruption``/``--duplication`` knobs
+    are encoded. Matching is symmetric, like :class:`LinkDegradation`.
+    """
+
+    src_node: "int | None" = None
+    dst_node: "int | None" = None
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("src_node", "dst_node"):
+            v = getattr(self, name)
+            if v is not None and v < 0:
+                raise FaultPlanError(f"{name} must be non-negative, got {v}")
+        if not 0.0 <= self.probability < 1.0:
+            raise FaultPlanError(
+                f"probability must be in [0, 1), got {self.probability}"
+            )
+
+    def matches(self, node_a: int, node_b: int) -> bool:
+        if self.src_node is None and self.dst_node is None:
+            return True
+        declared = {self.src_node, self.dst_node} - {None}
+        return declared <= {node_a, node_b}
+
+
+@dataclass(frozen=True)
+class DataCorruption(_LinkFault):
+    """Deliveries over a matching link arrive bit-flipped with ``probability``."""
+
+
+@dataclass(frozen=True)
+class DuplicateDelivery(_LinkFault):
+    """Deliveries over a matching link are replayed with ``probability``."""
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seed-deterministic failure scenario."""
 
@@ -96,6 +196,9 @@ class FaultPlan:
     node_crashes: tuple[NodeCrash, ...] = ()
     dht_failures: tuple[DHTCoreFailure, ...] = ()
     link_degradations: tuple[LinkDegradation, ...] = ()
+    slow_nodes: tuple[SlowNode, ...] = ()
+    corruptions: tuple[DataCorruption, ...] = ()
+    duplications: tuple[DuplicateDelivery, ...] = ()
     #: per-attempt probability any network transfer is dropped outright
     drop_probability: float = 0.0
     #: per-attempt probability a delivered transfer arrives corrupted
@@ -125,7 +228,8 @@ class FaultPlan:
                 f"retry_backoff must be >= 1, got {self.retry_backoff}"
             )
         # Normalize list inputs to tuples so plans stay hashable/immutable.
-        for name in ("node_crashes", "dht_failures", "link_degradations"):
+        for name in ("node_crashes", "dht_failures", "link_degradations",
+                     "slow_nodes", "corruptions", "duplications"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     @property
@@ -135,9 +239,17 @@ class FaultPlan:
             not self.node_crashes
             and not self.dht_failures
             and not self.link_degradations
+            and not self.slow_nodes
+            and not self.corruptions
+            and not self.duplications
             and self.drop_probability == 0.0
             and self.corrupt_probability == 0.0
         )
+
+    @property
+    def has_gray_faults(self) -> bool:
+        """True when any degraded-mode (non-crash-stop) fault is declared."""
+        return bool(self.slow_nodes or self.corruptions or self.duplications)
 
     def loss_factor(self, node_a: int, node_b: int) -> float:
         """Worst loss factor declared for a node pair (0.0 when clean)."""
@@ -157,6 +269,35 @@ class FaultPlan:
             default=1.0,
         )
 
+    def slowdown(self, node: int, time: float) -> float:
+        """Multiplicative slowdown active on ``node`` at ``time`` (1.0 clean)."""
+        return max(
+            (s.factor for s in self.slow_nodes
+             if s.node == node and s.active_at(time)),
+            default=1.0,
+        )
+
+    def slow_windows(self, node: int) -> "tuple[SlowNode, ...]":
+        """The declared slowdown windows of one node, in start order."""
+        return tuple(sorted(
+            (s for s in self.slow_nodes if s.node == node),
+            key=lambda s: (s.start, s.end, s.factor),
+        ))
+
+    def corruption_probability(self, node_a: int, node_b: int) -> float:
+        """Worst payload-corruption probability declared for a node pair."""
+        return max(
+            (c.probability for c in self.corruptions if c.matches(node_a, node_b)),
+            default=0.0,
+        )
+
+    def duplication_probability(self, node_a: int, node_b: int) -> float:
+        """Worst message-replay probability declared for a node pair."""
+        return max(
+            (d.probability for d in self.duplications if d.matches(node_a, node_b)),
+            default=0.0,
+        )
+
     def attempt_failure_probability(self, node_a: int, node_b: int) -> float:
         """Probability one network attempt between the pair must be re-sent.
 
@@ -172,7 +313,7 @@ class FaultPlan:
     # -- (de)serialization ------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "seed": self.seed,
             "node_crashes": [
                 {"node": c.node, "time": c.time} for c in self.node_crashes
@@ -195,6 +336,37 @@ class FaultPlan:
             "retry_timeout": self.retry_timeout,
             "retry_backoff": self.retry_backoff,
         }
+        # Gray-failure keys appear only when declared so pre-existing plan
+        # files keep serializing byte-identically.
+        if self.slow_nodes:
+            data["slow_nodes"] = [
+                {
+                    "node": s.node,
+                    "start": s.start,
+                    "duration": s.duration,
+                    "factor": s.factor,
+                }
+                for s in self.slow_nodes
+            ]
+        if self.corruptions:
+            data["corruptions"] = [
+                {
+                    "src_node": c.src_node,
+                    "dst_node": c.dst_node,
+                    "probability": c.probability,
+                }
+                for c in self.corruptions
+            ]
+        if self.duplications:
+            data["duplications"] = [
+                {
+                    "src_node": d.src_node,
+                    "dst_node": d.dst_node,
+                    "probability": d.probability,
+                }
+                for d in self.duplications
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
@@ -205,6 +377,9 @@ class FaultPlan:
             "node_crashes",
             "dht_failures",
             "link_degradations",
+            "slow_nodes",
+            "corruptions",
+            "duplications",
             "drop_probability",
             "corrupt_probability",
             "max_retries",
@@ -233,6 +408,31 @@ class FaultPlan:
                         bandwidth_factor=float(d.get("bandwidth_factor", 1.0)),
                     )
                     for d in data.get("link_degradations", ())
+                ),
+                slow_nodes=tuple(
+                    SlowNode(
+                        node=int(s["node"]),
+                        start=float(s["start"]),
+                        duration=float(s["duration"]),
+                        factor=float(s.get("factor", 2.0)),
+                    )
+                    for s in data.get("slow_nodes", ())
+                ),
+                corruptions=tuple(
+                    DataCorruption(
+                        src_node=None if c.get("src_node") is None else int(c["src_node"]),
+                        dst_node=None if c.get("dst_node") is None else int(c["dst_node"]),
+                        probability=float(c.get("probability", 0.0)),
+                    )
+                    for c in data.get("corruptions", ())
+                ),
+                duplications=tuple(
+                    DuplicateDelivery(
+                        src_node=None if d.get("src_node") is None else int(d["src_node"]),
+                        dst_node=None if d.get("dst_node") is None else int(d["dst_node"]),
+                        probability=float(d.get("probability", 0.0)),
+                    )
+                    for d in data.get("duplications", ())
                 ),
                 drop_probability=float(data.get("drop_probability", 0.0)),
                 corrupt_probability=float(data.get("corrupt_probability", 0.0)),

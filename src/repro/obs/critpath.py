@@ -33,6 +33,7 @@ from repro.errors import ReproError
 
 __all__ = [
     "CATEGORIES",
+    "GRAY_CATEGORIES",
     "PathSegment",
     "SpanNode",
     "SpanGraph",
@@ -47,12 +48,21 @@ __all__ = [
 #: attribution categories, in reporting order
 CATEGORIES = ("compute", "network", "dht", "wait", "recovery")
 
+#: gray-failure categories — reported only when their spans actually occur,
+#: so clean-run attributions keep exactly the five classic keys (and the
+#: committed BENCH snapshots stay byte-identical)
+GRAY_CATEGORIES = ("hedge", "speculation", "scrub")
+
 #: span-name prefix -> category. First match (longest prefix) wins.
 _PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
     ("dart.transfer", "network"),
     ("dart.rpc", "dht"),
     ("dht.", "dht"),
     ("lookup.", "dht"),
+    ("hedge.", "hedge"),
+    ("speculation.", "speculation"),
+    ("integrity.scrub", "scrub"),
+    ("integrity.", "recovery"),
     ("cods.", "dht"),
     ("schedule.compute", "compute"),
     ("resilience.", "recovery"),
@@ -80,7 +90,7 @@ def _gap_category(link_kind: "str | None") -> str:
     """
     if link_kind is not None and link_kind.startswith("sched."):
         cat = link_kind.split(".", 1)[1]
-        if cat in CATEGORIES:
+        if cat in CATEGORIES or cat in GRAY_CATEGORIES:
             return cat
     return "wait"
 
@@ -289,10 +299,16 @@ class CriticalPath:
         return self.makespan - self.t0
 
     def attribution(self) -> dict[str, float]:
-        """Seconds on the path per category (keys cover all CATEGORIES)."""
+        """Seconds on the path per category.
+
+        Keys always cover the five classic CATEGORIES; gray-failure
+        categories (hedge, speculation, scrub) appear only when segments of
+        that kind sit on the path — clean runs report exactly the classic
+        shape, so historical snapshots stay comparable byte for byte.
+        """
         out = {cat: 0.0 for cat in CATEGORIES}
         for seg in self.segments:
-            out[seg.category] += seg.duration
+            out[seg.category] = out.get(seg.category, 0.0) + seg.duration
         return out
 
     def attribution_fractions(self) -> dict[str, float]:

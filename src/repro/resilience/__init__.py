@@ -7,6 +7,7 @@ re-enactment.
 
 from repro.resilience.checkpoint import Checkpoint, CheckpointManager, capture
 from repro.resilience.detector import HeartbeatFailureDetector
+from repro.resilience.integrity import IntegrityScrubber
 from repro.resilience.manager import ResilienceConfig, ResilienceManager
 from repro.resilience.replication import ReplicaPlacer
 
@@ -14,6 +15,7 @@ __all__ = [
     "Checkpoint",
     "CheckpointManager",
     "HeartbeatFailureDetector",
+    "IntegrityScrubber",
     "ReplicaPlacer",
     "ResilienceConfig",
     "ResilienceManager",

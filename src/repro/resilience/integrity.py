@@ -1,0 +1,94 @@
+"""Periodic checksum scrubbing of the shared space.
+
+Gray failures leave *latent* damage: a replica written over a corrupting
+link carries flipped bits that no consumer has touched yet. Waiting for a
+``get_seq`` to trip over it turns a background repair into a foreground
+stall (or, with every copy damaged, a data loss). The
+:class:`IntegrityScrubber` runs on the sim clock as a daemon service —
+every ``period`` simulated seconds it calls :meth:`repro.cods.space.CoDS.
+scrub`, which re-verifies the stored checksum of every copy and repairs
+corrupt ones from a clean copy of the same logical object (one REPLICATION
+transfer each).
+
+Scrub passes appear as ``integrity.scrub`` spans in the tracer (their own
+``scrub`` critical-path category) and export ``integrity.scrub.*`` counters
+through the registry; like every gray-failure instrument they materialize
+lazily, so clean runs register nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ResilienceError
+from repro.obs.tracer import NULL_TRACER
+
+if TYPE_CHECKING:
+    from repro.cods.space import CoDS
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import SimEngine
+
+__all__ = ["IntegrityScrubber"]
+
+
+class IntegrityScrubber:
+    """Re-verifies replica checksums on the sim clock (daemon service)."""
+
+    def __init__(
+        self,
+        sim: "SimEngine",
+        space: "CoDS",
+        registry: "MetricsRegistry | None" = None,
+        period: float = 0.25,
+        tracer=None,
+    ) -> None:
+        if period <= 0:
+            raise ResilienceError(
+                f"scrub period must be positive, got {period}"
+            )
+        self.sim = sim
+        self.space = space
+        self.registry = registry
+        self.period = period
+        self.tracer = tracer if tracer is not None else space.tracer
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
+        self.passes = 0
+        self.copies_checked = 0
+        self.corrupt_found = 0
+        self.repaired = 0
+        self._started = False
+        self._m_passes = None
+
+    def start(self) -> None:
+        """Arm the first scrub tick (daemon: never keeps the run alive)."""
+        if self._started:
+            raise ResilienceError("integrity scrubber already started")
+        self._started = True
+        self.sim.schedule_daemon(self.period, self._tick, category="scrub")
+
+    def _tick(self) -> None:
+        if self.tracer.enabled:
+            with self.tracer.span("integrity.scrub", passno=self.passes):
+                checked, corrupt, repaired = self.space.scrub(repair=True)
+        else:
+            checked, corrupt, repaired = self.space.scrub(repair=True)
+        self.passes += 1
+        self.copies_checked += checked
+        self.corrupt_found += corrupt
+        self.repaired += repaired
+        if self.registry is not None:
+            # Lazy: the pass counter appears once the first tick ran, which
+            # only happens when a scrub period was configured at all.
+            if self._m_passes is None:
+                self._m_passes = self.registry.counter("integrity.scrub.passes")
+            self._m_passes.inc()
+        self.sim.schedule_daemon(self.period, self._tick, category="scrub")
+
+    def summary(self) -> dict:
+        return {
+            "passes": self.passes,
+            "copies_checked": self.copies_checked,
+            "corrupt_found": self.corrupt_found,
+            "repaired": self.repaired,
+        }

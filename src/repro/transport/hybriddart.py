@@ -29,10 +29,17 @@ if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import NullTracer, Tracer
 
-__all__ = ["HybridDART", "CONTROL_MSG_BYTES"]
+__all__ = ["HybridDART", "CONTROL_MSG_BYTES", "BACKOFF_BUCKETS"]
 
 #: nominal size of one control (RPC) message — a header plus a small payload.
 CONTROL_MSG_BYTES = 256
+
+#: per-link backoff-wait histogram bounds (seconds): the retry ladder starts
+#: around ``retry_timeout`` (1e-4 s default) and doubles, so decades from a
+#: microsecond to ten seconds cover every reachable wait.
+BACKOFF_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
 
 
 class HybridDART:
@@ -59,9 +66,33 @@ class HybridDART:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if injector is not None and injector.tracer is NULL_TRACER:
             injector.tracer = self.tracer
-        #: cumulative simulated seconds spent in retry backoff waits
-        self.backoff_seconds = 0.0
+        # Backoff waits live in a per-link histogram (created lazily on the
+        # first wait so clean runs register nothing); ``backoff_seconds``
+        # keeps the historical scalar view as a facade over its cells.
+        self._backoff_hist = None
+        # Gray-failure delivery counters (also lazy).
+        self._m_corrupted = None
+        self._m_duplicated = None
         self._handlers: dict[tuple[int, str], Callable[..., Any]] = {}
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Cumulative simulated seconds spent in retry backoff waits.
+
+        Facade over the ``transport.backoff_seconds`` per-link histogram so
+        pre-histogram summaries stay byte-identical."""
+        if self._backoff_hist is None:
+            return 0.0
+        return sum(cell[-2] for cell in self._backoff_hist.cells.values())
+
+    def _observe_backoff(self, src_node: int, dst_node: int, delay: float) -> None:
+        if self._backoff_hist is None:
+            self._backoff_hist = self.registry.histogram(
+                "transport.backoff_seconds",
+                buckets=BACKOFF_BUCKETS,
+                labelnames=("src_node", "dst_node"),
+            )
+        self._backoff_hist.observe(delay, src_node=src_node, dst_node=dst_node)
 
     @property
     def registry(self) -> "MetricsRegistry":
@@ -115,6 +146,10 @@ class HybridDART:
                                 app_id, var)
             if rec.retries:
                 span.set(retries=rec.retries)
+            if rec.corrupted:
+                span.set(corrupted=True)
+            if rec.duplicated:
+                span.set(duplicated=True)
             return rec
 
     def _deliver(
@@ -128,8 +163,22 @@ class HybridDART:
         var: str,
     ) -> TransferRecord:
         retries = 0
+        corrupted = False
+        duplicated = False
         if self.injector is not None and transport is Transport.NETWORK:
             retries = self._deliver_with_retries(src_core, dst_core, nbytes)
+            # Gray failures degrade the *data* path: the delivered payload
+            # may arrive bit-flipped or replayed. Control round-trips carry
+            # no checksummed payload, so they stay clean.
+            if kind is not TransferKind.CONTROL and self.injector.plan.has_gray_faults:
+                src_node = self.cluster.node_of_core(src_core)
+                dst_node = self.cluster.node_of_core(dst_core)
+                corrupted = self.injector.delivery_corrupted(src_node, dst_node)
+                duplicated = self.injector.delivery_duplicated(src_node, dst_node)
+                if corrupted:
+                    self._count_gray("corrupted")
+                if duplicated:
+                    self._count_gray("duplicated")
         rec = TransferRecord(
             src_core=src_core,
             dst_core=dst_core,
@@ -139,9 +188,29 @@ class HybridDART:
             app_id=app_id,
             var=var,
             retries=retries,
+            corrupted=corrupted,
+            duplicated=duplicated,
         )
+        # A replayed delivery moves the same bytes twice on the wire, but the
+        # metrics count *delivered* (deduplicated) traffic exactly once —
+        # the delivered-bytes totals are invariant under duplication.
         self.metrics.record(rec)
         return rec
+
+    def _count_gray(self, which: str) -> None:
+        """Lazily materialize and bump one gray-delivery counter."""
+        if which == "corrupted":
+            if self._m_corrupted is None:
+                self._m_corrupted = self.registry.counter(
+                    "transport.corrupted_deliveries"
+                )
+            self._m_corrupted.inc()
+        else:
+            if self._m_duplicated is None:
+                self._m_duplicated = self.registry.counter(
+                    "transport.duplicate_deliveries"
+                )
+            self._m_duplicated.inc()
 
     def _deliver_with_retries(
         self, src_core: int, dst_core: int, nbytes: int
@@ -165,7 +234,7 @@ class HybridDART:
                     f"after {max_retries} retries"
                 )
             delay = injector.backoff_delay(attempt)
-            self.backoff_seconds += delay
+            self._observe_backoff(src_node, dst_node, delay)
             injector.retries_issued += 1
             injector.record(
                 "transfer_retry",

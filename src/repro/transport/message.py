@@ -46,6 +46,12 @@ class TransferRecord:
     var: str = ""
     #: failed attempts re-issued before this transfer succeeded
     retries: int = 0
+    #: the delivered payload arrived bit-flipped (gray failure); the
+    #: receiver's checksum verification is expected to catch it
+    corrupted: bool = False
+    #: the link replayed this delivery (the same payload arrived twice);
+    #: the receiver must deduplicate idempotently
+    duplicated: bool = False
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:

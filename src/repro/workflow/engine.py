@@ -98,6 +98,8 @@ class WorkflowEngine:
         injector: "FaultInjector | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
         defer_crash_redispatch: bool = False,
+        speculation_threshold: "float | None" = None,
+        registry: "object | None" = None,
     ) -> None:
         self.dag = dag
         self.cluster = cluster
@@ -139,6 +141,27 @@ class WorkflowEngine:
         # Last *completed* span per bundle (tracing only): child bundle
         # launches link back to it, giving traces explicit DAG dep edges.
         self._done_bundle_spans: dict[int, Span] = {}
+        # -- straggler speculation (inert unless a threshold is set) --
+        if speculation_threshold is not None and speculation_threshold < 1.0:
+            raise WorkflowError(
+                f"speculation threshold must be >= 1, got {speculation_threshold}"
+            )
+        #: an app running beyond ``threshold x`` the median of its bundle
+        #: peers on a slowed node is speculatively re-enacted on a spare
+        #: core; the first finisher wins (None disables speculation)
+        self.speculation_threshold = speculation_threshold
+        self.registry = registry
+        self._spec_counters: dict[str, object] = {}
+        self._spec_spans: dict[tuple[int, int], Span] = {}
+
+    def _spec_count(self, name: str) -> None:
+        """Bump a lazily created ``workflow.speculation.*`` counter."""
+        if self.registry is None:
+            return
+        c = self._spec_counters.get(name)
+        if c is None:
+            c = self._spec_counters[name] = self.registry.counter(name)
+        c.inc()
 
     # -- configuration ----------------------------------------------------------------
 
@@ -249,6 +272,13 @@ class WorkflowEngine:
                                         app.app_id, rank)
         self._apps_pending[index] = len(apps)
         now = self.sim.now
+        # Gray-failure bookkeeping for this launch: nominal and effective
+        # (slow-node inflated) durations feed the straggler detector.
+        slow = (
+            self.injector is not None and bool(self.injector.plan.slow_nodes)
+        )
+        base_durs: dict[int, float] = {}
+        eff_durs: dict[int, float] = {}
         try:
             for app in apps:
                 self._completed.discard(app.app_id)
@@ -281,8 +311,27 @@ class WorkflowEngine:
                     raise WorkflowError(
                         f"routine of app {app.app_id} returned negative duration"
                     )
+                finish = now + duration
+                if slow and duration > 0:
+                    # Work on slowed nodes takes longer: walk the plan's
+                    # slowdown windows for the app's node set.
+                    app_nodes = {
+                        self.cluster.node_of_core(c)
+                        for c in mapping.cores_of_app(app.app_id).values()
+                    }
+                    finish = self.injector.slowed_finish(
+                        app_nodes, now, duration
+                    )
+                    if finish > now + duration:
+                        self.injector.record(
+                            "slow_node_hit",
+                            f"app={app.app_id} nominal={duration:.6g}s "
+                            f"effective={finish - now:.6g}s",
+                        )
+                base_durs[app.app_id] = duration
+                eff_durs[app.app_id] = finish - now
                 self.runs[app.app_id] = AppRun(
-                    app_id=app.app_id, start=now, finish=now + duration,
+                    app_id=app.app_id, start=now, finish=finish,
                     mapping=mapping,
                 )
                 self.trace.append(TraceEvent(
@@ -292,9 +341,11 @@ class WorkflowEngine:
                            f"{len(mapping.nodes_used())} nodes",
                 ))
                 self.sim.schedule(
-                    duration, self._complete_app, index, app.app_id, gen,
+                    finish - now, self._complete_app, index, app.app_id, gen,
                     category="compute",
                 )
+            if self.speculation_threshold is not None and slow and len(apps) > 1:
+                self._arm_speculation(index, gen, base_durs, eff_durs)
         except DataLostError as exc:
             self._retry_after_data_loss(index, gen, exc)
 
@@ -332,9 +383,115 @@ class WorkflowEngine:
             category="recovery",
         )
 
+    # -- straggler speculation -----------------------------------------------------
+
+    def _arm_speculation(
+        self,
+        index: int,
+        gen: int,
+        base_durs: dict[int, float],
+        eff_durs: dict[int, float],
+    ) -> None:
+        """Schedule straggler checks for a freshly launched bundle.
+
+        An app whose effective (slow-node inflated) duration exceeds
+        ``speculation_threshold x`` the median of its bundle peers is a
+        straggler candidate: at the moment the threshold passes — when a
+        healthy peer would long have finished — a speculative copy launches
+        on a spare core and races the original (first finisher wins).
+        """
+        from statistics import median
+
+        for app_id, eff in eff_durs.items():
+            peers = [d for a, d in eff_durs.items() if a != app_id]
+            med = median(peers)
+            if med <= 0.0 or eff <= base_durs[app_id]:
+                continue
+            detect = self.speculation_threshold * med
+            if eff <= detect:
+                continue
+            self.sim.schedule(
+                detect, self._launch_speculation,
+                index, app_id, gen, base_durs[app_id],
+                category="speculation",
+            )
+
+    def _launch_speculation(
+        self, index: int, app_id: int, gen: int, base_duration: float
+    ) -> None:
+        """Start the speculative copy of a straggling app, if still useful."""
+        if gen != self._gen.get(index, 0) or app_id in self._completed:
+            return
+        idle = self.server.idle_cores()
+        if not idle:
+            return  # no spare capacity to speculate on
+        # Prefer the least-slowed spare node; core id breaks ties.
+        core = min(
+            idle,
+            key=lambda c: (
+                self.injector.slowdown_factor(self.cluster.node_of_core(c)),
+                c,
+            ),
+        )
+        node = self.cluster.node_of_core(core)
+        now = self.sim.now
+        spec_finish = self.injector.slowed_finish([node], now, base_duration)
+        self._spec_count("workflow.speculation.launched")
+        self.injector.record(
+            "speculation_launched", f"app={app_id} core={core}"
+        )
+        self.trace.append(TraceEvent(
+            time=now, event="speculation_launched", bundle=index,
+            app_id=app_id, detail=f"core={core}",
+        ))
+        if self.tracer.enabled:
+            sspan = self.tracer.begin_async(
+                "speculation.run", app=app_id, bundle=index, gen=gen, core=core,
+            )
+            orig = self._app_spans.get((app_id, gen))
+            if orig is not None:
+                self.tracer.link(orig, sspan, "speculate")
+            self._spec_spans[(app_id, gen)] = sspan
+        self.sim.schedule(
+            spec_finish - now, self._complete_speculation, index, app_id, gen,
+            category="speculation",
+        )
+
+    def _complete_speculation(self, index: int, app_id: int, gen: int) -> None:
+        """The speculative copy finished; win the race unless the original
+        already did (the loser is simply cancelled)."""
+        if gen != self._gen.get(index, 0):
+            return
+        span = self._spec_spans.pop((app_id, gen), None)
+        if app_id in self._completed:
+            self._spec_count("workflow.speculation.cancelled")
+            self.trace.append(TraceEvent(
+                time=self.sim.now, event="speculation_cancelled", bundle=index,
+                app_id=app_id, detail="original finished first",
+            ))
+            if span is not None:
+                self.tracer.end_async(span, aborted=True)
+            return
+        self._spec_count("workflow.speculation.wins")
+        self.injector.record("speculation_won", f"app={app_id}")
+        run = self.runs.get(app_id)
+        if run is not None:
+            run.finish = self.sim.now
+        self.trace.append(TraceEvent(
+            time=self.sim.now, event="speculation_won", bundle=index,
+            app_id=app_id,
+        ))
+        if span is not None:
+            self.tracer.end_async(span)
+        self._complete_app(index, app_id, gen)
+
     def _complete_app(self, bundle_index: int, app_id: int, gen: int = 0) -> None:
         if gen != self._gen.get(bundle_index, 0):
             # Completion of an enactment superseded by a fault re-dispatch.
+            return
+        if app_id in self._completed:
+            # The speculation race's first finisher already completed this
+            # app; the straggling original is cancelled on arrival.
             return
         self._completed.add(app_id)
         self.trace.append(TraceEvent(

@@ -1,0 +1,210 @@
+"""Gray-fault model: slow nodes, delivery corruption, duplicate delivery.
+
+Covers the plan-side queries (windowed slowdown, wildcard link matching),
+JSON round-tripping, and the injector's gray decision streams — which must
+be deterministic per seed and fully independent of the crash/retry RNG so
+adding gray faults never perturbs the replay of an existing plan.
+"""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DataCorruption,
+    DuplicateDelivery,
+    FaultPlan,
+    NodeCrash,
+    SlowNode,
+)
+
+
+class TestSlowNode:
+    def test_rejects_non_slowing_factor(self):
+        with pytest.raises(FaultPlanError):
+            SlowNode(node=0, start=0.0, duration=1.0, factor=1.0)
+        with pytest.raises(FaultPlanError):
+            SlowNode(node=0, start=0.0, duration=1.0, factor=0.5)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(FaultPlanError):
+            SlowNode(node=0, start=0.0, duration=0.0)
+
+    def test_window_half_open(self):
+        s = SlowNode(node=0, start=1.0, duration=2.0, factor=3.0)
+        assert s.end == 3.0
+        assert not s.active_at(0.5)
+        assert s.active_at(1.0)
+        assert s.active_at(2.9)
+        assert not s.active_at(3.0)
+
+
+class TestPlanQueries:
+    def test_slowdown_picks_worst_overlapping_window(self):
+        plan = FaultPlan(slow_nodes=(
+            SlowNode(node=1, start=0.0, duration=10.0, factor=2.0),
+            SlowNode(node=1, start=2.0, duration=1.0, factor=5.0),
+            SlowNode(node=2, start=0.0, duration=10.0, factor=9.0),
+        ))
+        assert plan.slowdown(1, 1.0) == 2.0
+        assert plan.slowdown(1, 2.5) == 5.0
+        assert plan.slowdown(1, 3.0) == 2.0
+        assert plan.slowdown(0, 1.0) == 1.0
+
+    def test_slow_windows_sorted(self):
+        plan = FaultPlan(slow_nodes=(
+            SlowNode(node=1, start=5.0, duration=1.0, factor=2.0),
+            SlowNode(node=1, start=0.0, duration=1.0, factor=3.0),
+            SlowNode(node=2, start=1.0, duration=1.0, factor=4.0),
+        ))
+        wins = plan.slow_windows(1)
+        assert [w.start for w in wins] == [0.0, 5.0]
+
+    def test_link_fault_wildcards_and_direction(self):
+        plan = FaultPlan(corruptions=(
+            DataCorruption(src_node=0, dst_node=1, probability=0.5),
+            DataCorruption(probability=0.1),
+        ))
+        # Declared pair matches either direction; wildcard matches any.
+        assert plan.corruption_probability(0, 1) == 0.5
+        assert plan.corruption_probability(1, 0) == 0.5
+        assert plan.corruption_probability(2, 3) == 0.1
+
+    def test_duplication_probability(self):
+        plan = FaultPlan(duplications=(
+            DuplicateDelivery(src_node=2, probability=0.25),
+        ))
+        assert plan.duplication_probability(2, 0) == 0.25
+        assert plan.duplication_probability(0, 3) == 0.0
+
+    def test_gray_faults_make_plan_non_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(
+            slow_nodes=(SlowNode(node=0, start=0.0, duration=1.0),)
+        ).is_empty
+        assert not FaultPlan().has_gray_faults
+        assert FaultPlan(
+            corruptions=(DataCorruption(probability=0.1),)
+        ).has_gray_faults
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=9,
+            node_crashes=(NodeCrash(node=1, time=0.5),),
+            slow_nodes=(
+                SlowNode(node=2, start=0.25, duration=1.5, factor=4.0),
+            ),
+            corruptions=(
+                DataCorruption(src_node=0, dst_node=3, probability=0.2),
+                DataCorruption(probability=0.05),
+            ),
+            duplications=(DuplicateDelivery(probability=0.1),),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_clean_plan_serializes_without_gray_keys(self):
+        # Pre-gray plan files must keep serializing byte-identically.
+        d = FaultPlan(node_crashes=(NodeCrash(node=0, time=1.0),)).to_dict()
+        assert "slow_nodes" not in d
+        assert "corruptions" not in d
+        assert "duplications" not in d
+
+    def test_wildcard_round_trips_as_none(self):
+        plan = FaultPlan(corruptions=(DataCorruption(probability=0.3),))
+        back = FaultPlan.from_dict(plan.to_dict())
+        assert back.corruptions[0].src_node is None
+        assert back.corruptions[0].dst_node is None
+
+
+class TestInjectorGray:
+    def test_slowdown_factor_defaults_clean(self):
+        inj = FaultInjector(FaultPlan())
+        assert inj.slowdown_factor(0) == 1.0
+
+    def test_slowed_finish_piecewise(self):
+        plan = FaultPlan(slow_nodes=(
+            SlowNode(node=1, start=1.0, duration=2.0, factor=3.0),
+        ))
+        inj = FaultInjector(plan)
+        # Entirely before the window: unchanged.
+        assert inj.slowed_finish([1], 0.0, 0.5) == 0.5
+        # Entirely inside the window: work stretches by the factor.
+        assert inj.slowed_finish([1], 1.0, 0.5) == pytest.approx(2.5)
+        # Straddling the start: 0.5s clean, remaining 0.5s at 3x.
+        assert inj.slowed_finish([1], 0.5, 1.0) == pytest.approx(2.5)
+        # Out the far side: 2s of window absorbs 2/3s of work, rest clean.
+        assert inj.slowed_finish([1], 1.0, 1.0) == pytest.approx(
+            3.0 + (1.0 - 2.0 / 3.0)
+        )
+        # A node set not containing the slow node is unaffected.
+        assert inj.slowed_finish([0, 2], 1.0, 1.0) == 2.0
+
+    def test_slowed_finish_takes_worst_node(self):
+        plan = FaultPlan(slow_nodes=(
+            SlowNode(node=1, start=0.0, duration=10.0, factor=2.0),
+            SlowNode(node=2, start=0.0, duration=10.0, factor=4.0),
+        ))
+        inj = FaultInjector(plan)
+        assert inj.slowed_finish([1, 2], 0.0, 1.0) == pytest.approx(4.0)
+
+    def test_delivery_decisions_deterministic(self):
+        plan = FaultPlan(
+            seed=5,
+            corruptions=(DataCorruption(probability=0.4),),
+            duplications=(DuplicateDelivery(probability=0.4),),
+        )
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        seq_a = [(a.delivery_corrupted(0, 1), a.delivery_duplicated(0, 1))
+                 for _ in range(64)]
+        seq_b = [(b.delivery_corrupted(0, 1), b.delivery_duplicated(0, 1))
+                 for _ in range(64)]
+        assert seq_a == seq_b
+        assert any(c for c, _ in seq_a)
+        assert any(d for _, d in seq_a)
+
+    def test_clean_links_consume_no_randomness(self):
+        plan = FaultPlan(
+            seed=5, corruptions=(DataCorruption(src_node=0, probability=0.4),)
+        )
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        # A non-matching link must not advance the stream.
+        for _ in range(10):
+            assert not a.delivery_corrupted(2, 3)
+        seq_a = [a.delivery_corrupted(0, 1) for _ in range(32)]
+        seq_b = [b.delivery_corrupted(0, 1) for _ in range(32)]
+        assert seq_a == seq_b
+
+    def test_gray_stream_independent_of_retry_stream(self):
+        """Adding gray faults to a plan must not change the drop/retry
+        decisions replayed from the crash-era RNG."""
+        base = FaultPlan(seed=3, drop_probability=0.3)
+        gray = FaultPlan(
+            seed=3, drop_probability=0.3,
+            corruptions=(DataCorruption(probability=0.5),),
+            duplications=(DuplicateDelivery(probability=0.5),),
+        )
+        a, b = FaultInjector(base), FaultInjector(gray)
+        drops_a, drops_b = [], []
+        for _ in range(64):
+            drops_a.append(a.attempt_fails(0, 1))
+            # Interleave gray draws: they come from their own streams.
+            b.delivery_corrupted(0, 1)
+            b.delivery_duplicated(0, 1)
+            drops_b.append(b.attempt_fails(0, 1))
+        assert drops_a == drops_b
+
+    def test_gray_hits_recorded_in_trace(self):
+        plan = FaultPlan(corruptions=(DataCorruption(probability=0.99),))
+        inj = FaultInjector(plan)
+        assert any(inj.delivery_corrupted(0, 1) for _ in range(16))
+        assert any(ev.kind == "data_corruption" for ev in inj.trace())
+
+    def test_probability_must_stay_below_one(self):
+        with pytest.raises(FaultPlanError):
+            DataCorruption(probability=1.0)
+        with pytest.raises(FaultPlanError):
+            DuplicateDelivery(probability=-0.1)

@@ -4,9 +4,16 @@ import pytest
 
 from repro.analysis.experiments import run_scenario
 from repro.apps.scenarios import small_sequential
-from repro.faults.plan import FaultPlan, NodeCrash
+from repro.faults.plan import (
+    DataCorruption,
+    DuplicateDelivery,
+    FaultPlan,
+    NodeCrash,
+    SlowNode,
+)
 from repro.obs.critpath import (
     CATEGORIES,
+    GRAY_CATEGORIES,
     SpanGraph,
     analyze,
     categorize,
@@ -42,6 +49,15 @@ class TestCategorize:
         assert categorize("sim.event") == "compute"
         assert categorize("schedule.compute") == "compute"
         assert categorize("something.else") == "compute"
+
+    def test_gray_prefixes(self):
+        assert GRAY_CATEGORIES == ("hedge", "speculation", "scrub")
+        assert categorize("hedge.pull") == "hedge"
+        assert categorize("hedge.issue") == "hedge"
+        assert categorize("speculation.run") == "speculation"
+        assert categorize("integrity.scrub") == "scrub"
+        # Re-fetches after a checksum mismatch are recovery work, not scrub.
+        assert categorize("integrity.refetch") == "recovery"
 
 
 class TestSpanGraph:
@@ -167,6 +183,82 @@ class TestCriticalPath:
         cp = critical_path(SpanGraph.from_tracer(tracer))
         assert sum(s.duration for s in cp.segments) == pytest.approx(1.0)
         assert cp.segments[0].name == "early"
+
+
+class TestGrayAttribution:
+    def _gray_chain_tracer(self):
+        """A causal chain crossing every gray category with exact widths:
+        compute 1.0s -> hedge 0.5s -> speculation 1.0s -> scrub 0.2s."""
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("workflow.app") as app:
+            clock.t = 1.0
+        with tracer.span("hedge.pull") as hedge:
+            clock.t = 1.5
+        with tracer.span("speculation.run") as spec:
+            clock.t = 2.5
+        with tracer.span("integrity.scrub") as scrub:
+            clock.t = 2.7
+        tracer.link(app, hedge, "flow")
+        tracer.link(hedge, spec, "flow")
+        tracer.link(spec, scrub, "flow")
+        return tracer
+
+    def test_gray_segments_attributed_and_tile_exactly(self):
+        cp = critical_path(SpanGraph.from_tracer(self._gray_chain_tracer()))
+        att = cp.attribution()
+        # Classic keys are always present; gray keys join them here because
+        # gray spans sit on the path.
+        assert set(att) == set(CATEGORIES) | set(GRAY_CATEGORIES)
+        assert att["compute"] == pytest.approx(1.0)
+        assert att["hedge"] == pytest.approx(0.5)
+        assert att["speculation"] == pytest.approx(1.0)
+        assert att["scrub"] == pytest.approx(0.2)
+        # The acceptance criterion: gray categories *tile* the makespan
+        # together with the classic ones — no double counting, no holes.
+        assert sum(att.values()) == cp.length
+        for a, b in zip(cp.segments, cp.segments[1:]):
+            assert a.end == b.start
+
+    def test_clean_run_attribution_keeps_classic_shape(self):
+        # No gray spans -> exactly the five classic keys, so historical
+        # BENCH snapshots keyed on this dict stay byte-comparable.
+        tracer = _traced_run(producer_compute=0.01, consumer_compute=0.008)
+        att = critical_path(SpanGraph.from_tracer(tracer)).attribution()
+        assert set(att) == set(CATEGORIES)
+        assert not set(att) & set(GRAY_CATEGORIES)
+
+    def test_real_gray_run_tiles_makespan_exactly(self):
+        # All three gray fault types plus hedging, speculation, and a
+        # periodic scrubber: the walk must still tile [t0, makespan] with
+        # zero slack, whatever mix of categories ends up on the path.
+        tracer = _traced_run(
+            producer_compute=0.05, consumer_compute=0.04,
+            fault_plan=FaultPlan(
+                seed=5,
+                slow_nodes=(
+                    SlowNode(node=0, start=0.0, duration=10.0, factor=6.0),
+                ),
+                corruptions=(DataCorruption(probability=0.05),),
+                duplications=(DuplicateDelivery(probability=0.1),),
+            ),
+            resilience=ResilienceConfig(replication=2, scrub_period=0.01),
+            hedge_factor=2.0, speculation_threshold=1.5,
+        )
+        graph = SpanGraph.from_tracer(tracer)
+        # The gray machinery actually ran and left spans behind.
+        names = {n.name for n in graph.nodes.values()}
+        assert "hedge.pull" in names
+        assert "integrity.scrub" in names
+        cp = critical_path(graph)
+        assert cp.segments[0].start == cp.t0
+        assert cp.segments[-1].end == cp.makespan
+        for a, b in zip(cp.segments, cp.segments[1:]):
+            assert a.end == b.start
+        assert sum(cp.attribution().values()) == pytest.approx(
+            cp.length, rel=1e-9
+        )
+        assert set(cp.attribution()) >= set(CATEGORIES)
 
 
 class TestStragglers:

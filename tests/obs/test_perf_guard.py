@@ -88,3 +88,46 @@ class TestResilienceGuard:
                 plain.metrics.network_bytes(kind)
             assert replicated.metrics.shm_bytes(kind) == \
                 plain.metrics.shm_bytes(kind)
+
+
+class TestGrayGuard:
+    """Gray-failure hardening must be invisible until switched on.
+
+    With no gray faults in the plan and hedging/speculation left at their
+    ``None`` defaults, the integrity machinery must not register a single
+    extra metric, perturb a single event, or shift a single byte relative
+    to the seed behaviour — the golden BENCH snapshots depend on it.
+    """
+
+    GRAY_METRIC_PREFIXES = (
+        "integrity.", "hedge.", "workflow.speculation.",
+        "transport.corrupted", "transport.duplicate",
+        "transport.backoff_seconds",
+    )
+
+    def test_defaults_match_seed_run_exactly(self):
+        seed = run_scenario(small_concurrent(), DATA_CENTRIC)
+        guarded = run_scenario(
+            small_concurrent(), DATA_CENTRIC,
+            hedge_factor=None, speculation_threshold=None,
+        )
+        assert guarded.metrics.as_dict() == seed.metrics.as_dict()
+        assert guarded.sim_events == seed.sim_events
+
+    def test_clean_run_registers_no_gray_metrics(self):
+        # Lazy creation: the counters exist only once a gray event fires.
+        result = run_scenario(small_concurrent(), DATA_CENTRIC)
+        gray = [
+            name for name in result.registry.names()
+            if name.startswith(self.GRAY_METRIC_PREFIXES)
+        ]
+        assert gray == []
+
+    def test_clean_attribution_keys_are_exactly_the_classic_five(self):
+        from repro.obs.critpath import CATEGORIES, SpanGraph, critical_path
+        from repro.obs.tracer import Tracer as _Tracer
+
+        tracer = _Tracer()
+        run_scenario(small_concurrent(), DATA_CENTRIC, tracer=tracer)
+        att = critical_path(SpanGraph.from_tracer(tracer)).attribution()
+        assert tuple(att) == CATEGORIES

@@ -1,0 +1,158 @@
+"""Property tests for the gray-failure integrity layer.
+
+Two promises, checked over randomly drawn inputs:
+
+* **Detection** — the content checksum catches *any* single bit flip,
+  whether it lands in the payload bytes or in the object's metadata
+  (variable name, version, element size). This is the whole basis of the
+  delivery-verification / re-fetch path.
+* **Accounting invariance** — duplicated deliveries and hedged pulls are
+  bookkeeping on the side: whatever the duplication probability, slowdown
+  factor, or hedge budget, the transfer metrics a gray run reports are
+  byte-identical to a clean run of the same schedule. Redundant hedge
+  work lives only in ``hedge.redundant_bytes``.
+
+Run with ``pytest -m property --hypothesis-seed=0``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cods.objects import DataObject, object_checksum, region_from_box
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import DuplicateDelivery, FaultPlan, SlowNode
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.resilience.replication import ReplicaPlacer
+from repro.transport.hybriddart import HybridDART
+
+pytestmark = pytest.mark.property
+
+DOMAIN = (8, 8, 8)
+VAR = "u"
+
+
+@st.composite
+def payload_and_flip(draw):
+    data = draw(st.binary(min_size=1, max_size=256))
+    bit = draw(st.integers(0, len(data) * 8 - 1))
+    return data, bit
+
+
+class TestSingleBitFlipDetection:
+    @given(payload_and_flip())
+    @settings(max_examples=80, deadline=None)
+    def test_payload_flip_changes_checksum(self, case):
+        data, bit = case
+        region = region_from_box(Box.from_extents((len(data),)))
+        clean = np.frombuffer(data, dtype=np.uint8)
+        flipped = clean.copy()
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        assert object_checksum(VAR, 0, region, 1, clean) != \
+            object_checksum(VAR, 0, region, 1, flipped)
+
+    @given(payload_and_flip())
+    @settings(max_examples=80, deadline=None)
+    def test_payload_flip_fails_delivery_verification(self, case):
+        data, bit = case
+        region = region_from_box(Box.from_extents((len(data),)))
+        clean = np.frombuffer(data, dtype=np.uint8)
+        obj = DataObject(
+            var=VAR, version=0, region=region, owner_core=0,
+            element_size=1, payload=clean,
+        )
+        assert obj.verify_checksum()
+        flipped = clean.copy()
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        tampered = DataObject(
+            var=VAR, version=0, region=region, owner_core=0,
+            element_size=1, payload=flipped, checksum=obj.checksum,
+        )
+        assert not tampered.verify_checksum()
+
+    @given(
+        version=st.integers(0, 2**30 - 1),
+        bit=st.integers(0, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_version_flip_changes_checksum(self, version, bit):
+        region = region_from_box(Box.from_extents((4, 4)))
+        assert object_checksum(VAR, version, region, 8, None) != \
+            object_checksum(VAR, version ^ (1 << bit), region, 8, None)
+
+    @given(
+        name=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=16,
+        ),
+        pos=st.integers(0, 15),
+        bit=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_var_name_flip_changes_checksum(self, name, pos, bit):
+        pos %= len(name)
+        flipped_ch = chr(ord(name[pos]) ^ (1 << bit))
+        flipped = name[:pos] + flipped_ch + name[pos + 1:]
+        if flipped == name or "\x00" in flipped:
+            return  # flip landed outside the identity encoding
+        region = region_from_box(Box.from_extents((4,)))
+        assert object_checksum(name, 0, region, 8, None) != \
+            object_checksum(flipped, 0, region, 8, None)
+
+
+def _space(plan=None, hedge_factor=None):
+    cluster = Cluster(num_nodes=4, machine=generic_multicore(4))
+    injector = FaultInjector(plan) if plan is not None else None
+    return CoDS(
+        cluster, DOMAIN,
+        dart=HybridDART(cluster, injector=injector),
+        replication=2, placer=ReplicaPlacer(cluster, 0),
+        hedge_factor=hedge_factor,
+    )
+
+
+def _put_get(space):
+    space.put_seq(
+        0, VAR, Box.from_extents(DOMAIN), element_size=8,
+        version=0, app_id=1,
+    )
+    space.get_seq(8, VAR, Box.from_extents(DOMAIN), version=0, app_id=2)
+    return space.dart.metrics.as_dict()
+
+
+class TestDeliveredBytesInvariance:
+    @given(
+        seed=st.integers(0, 1000),
+        probability=st.floats(0.0, 0.95, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_duplicates_never_change_transfer_metrics(self, seed, probability):
+        plan = FaultPlan(
+            seed=seed,
+            duplications=(DuplicateDelivery(probability=probability),),
+        )
+        assert _put_get(_space(plan)) == _put_get(_space())
+
+    @given(
+        seed=st.integers(0, 1000),
+        factor=st.floats(1.1, 8.0, allow_nan=False),
+        hedge_factor=st.floats(1.1, 4.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hedged_pulls_never_change_transfer_metrics(
+        self, seed, factor, hedge_factor
+    ):
+        """Whether the hedge wins or loses, exactly one transfer per pull
+        reaches the metrics; the loser exists only in hedge.redundant_bytes."""
+        plan = FaultPlan(
+            seed=seed,
+            slow_nodes=(
+                SlowNode(node=0, start=0.0, duration=100.0, factor=factor),
+            ),
+        )
+        assert _put_get(_space(plan, hedge_factor=hedge_factor)) == \
+            _put_get(_space())

@@ -116,3 +116,74 @@ class TestObservability:
                      "--trace-out", str(tpath)]) == 0
         assert tpath.exists()
         assert f"trace written to {tpath}" in capsys.readouterr().out
+
+
+class TestGrayFlags:
+    """Audit of the gray-failure CLI surface: every flag documented in
+    --help, every invalid value rejected at parse time, and a seeded
+    end-to-end run completing with the gray summary printed."""
+
+    GRAY_FLAGS = (
+        "--slow-node", "--corruption", "--duplication",
+        "--hedge-factor", "--speculation-threshold", "--scrub-period",
+    )
+
+    def help_text(self, command="sequential"):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--help"])
+        return buf.getvalue()
+
+    def test_every_gray_flag_documented(self):
+        for command in ("sequential", "concurrent", "compare"):
+            text = self.help_text(command)
+            for flag in self.GRAY_FLAGS:
+                assert flag in text, f"{flag} missing from {command} --help"
+
+    @pytest.mark.parametrize("argv", [
+        ["sequential", "--hedge-factor", "-1.0"],
+        ["sequential", "--hedge-factor", "1.0"],  # must exceed 1x budget
+        ["sequential", "--speculation-threshold", "0.5"],
+        ["sequential", "--speculation-threshold", "-2"],
+        ["sequential", "--corruption", "1.0"],  # probability must be < 1
+        ["sequential", "--corruption", "-0.1"],
+        ["sequential", "--duplication", "2.0"],
+        ["sequential", "--scrub-period", "0"],
+        ["sequential", "--scrub-period", "-0.5"],
+        ["sequential", "--slow-node", "nonsense"],
+        ["sequential", "--slow-node", "1:0"],  # missing duration
+        ["sequential", "--slow-node", "1:0:5:0.5"],  # factor must be > 1
+    ])
+    def test_invalid_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "usage" in capsys.readouterr().err
+
+    def test_gray_run_end_to_end(self, capsys):
+        assert main([
+            "sequential",
+            "--slow-node", "0:0:10:4",
+            "--corruption", "0.02",
+            "--duplication", "0.05",
+            "--hedge-factor", "2.0",
+            "--speculation-threshold", "1.5",
+            "--scrub-period", "0.5",
+            "--replication", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gray failures:" in out
+        assert "unrecoverable" not in out  # zero corrupted gets leaked
+
+    def test_gray_flags_deterministic(self, capsys):
+        argv = [
+            "sequential", "--slow-node", "0:0:10:4",
+            "--corruption", "0.02", "--hedge-factor", "2.0",
+            "--replication", "2",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

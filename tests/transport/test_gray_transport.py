@@ -1,0 +1,162 @@
+"""Gray failures at the transport layer.
+
+Corrupted and duplicated deliveries are *marked*, never silently mutated:
+the TransferRecord carries the flags, the metrics record each logical
+transfer exactly once (delivered-bytes invariance), and the per-link
+backoff histogram replaces the old scalar while keeping its facade.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DataCorruption,
+    DuplicateDelivery,
+    FaultPlan,
+    LinkDegradation,
+)
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.obs.metrics import MetricsRegistry
+from repro.transport.hybriddart import BACKOFF_BUCKETS, HybridDART
+from repro.transport.message import TransferKind
+
+
+def make_cluster(nodes=2, cpn=4):
+    return Cluster(num_nodes=nodes, machine=generic_multicore(cpn))
+
+
+def gray_dart(plan):
+    return HybridDART(make_cluster(), injector=FaultInjector(plan))
+
+
+class TestBackoffHistogram:
+    def test_clean_dart_reports_zero_without_registering(self):
+        dart = HybridDART(make_cluster())
+        assert dart.backoff_seconds == 0.0
+        assert "transport.backoff_seconds" not in dart.registry
+
+    def test_retries_fill_per_link_cells(self):
+        from repro.errors import TransferDroppedError
+
+        plan = FaultPlan(
+            seed=1,
+            link_degradations=(
+                LinkDegradation(src_node=0, dst_node=1, loss_factor=0.4),
+            ),
+        )
+        dart = gray_dart(plan)
+        for _ in range(40):
+            try:
+                dart.transfer(
+                    src_core=0, dst_core=4, nbytes=1024,
+                    kind=TransferKind.COUPLING,
+                )
+            except TransferDroppedError:
+                pass  # retries (and their backoff waits) still happened
+        hist = dart.registry["transport.backoff_seconds"]
+        assert hist.count(src_node=0, dst_node=1) > 0
+        # The facade sums every labelled cell back to the old scalar.
+        assert dart.backoff_seconds == pytest.approx(
+            hist.sum(src_node=0, dst_node=1)
+        )
+        assert dart.backoff_seconds > 0.0
+
+    def test_buckets_cover_retry_backoff_range(self):
+        assert BACKOFF_BUCKETS == tuple(sorted(BACKOFF_BUCKETS))
+        assert BACKOFF_BUCKETS[0] <= 1e-6
+        assert BACKOFF_BUCKETS[-1] >= 10.0
+
+
+class TestGrayDelivery:
+    def test_corrupted_delivery_marked_and_counted(self):
+        plan = FaultPlan(
+            seed=2, corruptions=(DataCorruption(probability=0.5),)
+        )
+        dart = gray_dart(plan)
+        recs = [
+            dart.transfer(
+                src_core=0, dst_core=4, nbytes=256,
+                kind=TransferKind.COUPLING,
+            )
+            for _ in range(64)
+        ]
+        hit = [r for r in recs if r.corrupted]
+        assert hit
+        assert dart.registry["transport.corrupted_deliveries"].total() == \
+            len(hit)
+
+    def test_duplicate_delivery_marked_and_counted(self):
+        plan = FaultPlan(
+            seed=2, duplications=(DuplicateDelivery(probability=0.5),)
+        )
+        dart = gray_dart(plan)
+        recs = [
+            dart.transfer(
+                src_core=0, dst_core=4, nbytes=256,
+                kind=TransferKind.COUPLING,
+            )
+            for _ in range(64)
+        ]
+        dup = [r for r in recs if r.duplicated]
+        assert dup
+        assert dart.registry["transport.duplicate_deliveries"].total() == \
+            len(dup)
+
+    def test_shm_and_control_never_gray(self):
+        plan = FaultPlan(
+            seed=2,
+            corruptions=(DataCorruption(probability=0.9),),
+            duplications=(DuplicateDelivery(probability=0.9),),
+        )
+        dart = gray_dart(plan)
+        for _ in range(16):
+            # Same node -> SHM: no link to corrupt.
+            rec = dart.transfer(
+                src_core=0, dst_core=1, nbytes=64,
+                kind=TransferKind.COUPLING,
+            )
+            assert not rec.corrupted and not rec.duplicated
+            ctl = dart.transfer(
+                src_core=0, dst_core=4, nbytes=64,
+                kind=TransferKind.CONTROL,
+            )
+            assert not ctl.corrupted and not ctl.duplicated
+
+    def test_duplication_keeps_delivered_bytes_identical(self):
+        """A replayed delivery is dropped before accounting: the metrics
+        see each logical transfer exactly once, so byte totals match a
+        clean run of the same schedule."""
+        plan = FaultPlan(
+            seed=3, duplications=(DuplicateDelivery(probability=0.5),)
+        )
+        dirty = gray_dart(plan)
+        clean = HybridDART(make_cluster())
+        for dart in (dirty, clean):
+            for i in range(32):
+                dart.transfer(
+                    src_core=0, dst_core=4 + (i % 4), nbytes=512,
+                    kind=TransferKind.COUPLING, app_id=1,
+                )
+        assert dirty.metrics.as_dict() == clean.metrics.as_dict()
+
+    def test_decisions_reproducible_across_darts(self):
+        plan = FaultPlan(
+            seed=4,
+            corruptions=(DataCorruption(probability=0.3),),
+            duplications=(DuplicateDelivery(probability=0.3),),
+        )
+        flags = []
+        for _ in range(2):
+            dart = gray_dart(plan)
+            flags.append([
+                (r.corrupted, r.duplicated)
+                for r in (
+                    dart.transfer(
+                        src_core=0, dst_core=4, nbytes=128,
+                        kind=TransferKind.COUPLING,
+                    )
+                    for _ in range(64)
+                )
+            ])
+        assert flags[0] == flags[1]

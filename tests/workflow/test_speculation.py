@@ -1,0 +1,176 @@
+"""Straggler speculation: re-enact slow-node apps on spare cores.
+
+A bundle app whose effective duration blows past ``speculation_threshold x``
+the median of its peers (because its cores sit in a slow-node window) gets
+a speculative copy on the least-slowed idle core; the first finisher wins
+and the loser is cancelled. All timing is simulated, so outcomes are exact.
+"""
+
+import pytest
+
+from repro.core.mapping.base import MappingResult
+from repro.core.task import AppSpec
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.errors import WorkflowError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, SlowNode
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.obs.metrics import MetricsRegistry
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+
+def app(app_id):
+    return AppSpec(
+        app_id=app_id, name=f"app{app_id}",
+        descriptor=DecompositionDescriptor.uniform((8, 8), (2, 2)),
+    )
+
+
+class PinnedMapper:
+    """App i's four tasks all land on node i: one app per node."""
+
+    def map_bundle(self, apps, cluster, **_):
+        out = MappingResult(cluster=cluster)
+        for i, spec in enumerate(sorted(apps, key=lambda a: a.app_id)):
+            cores = cluster.cores_of_node(i)
+            for rank in range(spec.ntasks):
+                out.assign((spec.app_id, rank), cores[rank])
+        return out
+
+
+def make_engine(factor, threshold=1.5, nodes=4, registry=None, tracer=None):
+    """Three 1-second apps on nodes 0/1/2; node 0 slowed by ``factor``."""
+    cluster = Cluster(nodes, machine=generic_multicore(4))
+    plan = FaultPlan(slow_nodes=(
+        SlowNode(node=0, start=0.0, duration=100.0, factor=factor),
+    ))
+    dag = WorkflowDAG(
+        [app(1), app(2), app(3)], bundles=[Bundle((1, 2, 3))]
+    )
+    eng = WorkflowEngine(
+        dag, cluster, injector=FaultInjector(plan), tracer=tracer,
+        speculation_threshold=threshold,
+        registry=registry if registry is not None else MetricsRegistry(),
+    )
+    eng.set_bundle_mapper(0, PinnedMapper())
+    for a in (1, 2, 3):
+        eng.set_routine(a, lambda ctx: 1.0)
+    return eng
+
+
+def count(eng, name):
+    reg = eng.registry
+    return int(reg[name].total()) if reg is not None and name in reg else 0
+
+
+class TestSpeculation:
+    def test_threshold_validated(self):
+        cluster = Cluster(2, machine=generic_multicore(2))
+        dag = WorkflowDAG([app(1)])
+        with pytest.raises(WorkflowError):
+            WorkflowEngine(dag, cluster, speculation_threshold=0.5)
+
+    def test_speculation_wins_and_cuts_makespan(self):
+        # eff(app1) = 5.0 vs peers 1.0; detect at 1.5, spec copy runs the
+        # nominal 1.0s on clean node 3 -> finishes 2.5, beating 5.0.
+        eng = make_engine(factor=5.0, threshold=1.5)
+        runs = eng.run()
+        assert runs[1].finish == pytest.approx(2.5)
+        assert eng.makespan == pytest.approx(2.5)
+        assert count(eng, "workflow.speculation.launched") == 1
+        assert count(eng, "workflow.speculation.wins") == 1
+        assert count(eng, "workflow.speculation.cancelled") == 0
+        assert any(ev.event == "speculation_won" for ev in eng.trace)
+
+    def test_original_first_cancels_speculation(self):
+        # eff(app1) = 2.0; detect at 1.5 -> spec would finish 2.5: the
+        # original wins and the speculative copy is cancelled.
+        eng = make_engine(factor=2.0, threshold=1.5)
+        runs = eng.run()
+        assert runs[1].finish == pytest.approx(2.0)
+        assert eng.makespan == pytest.approx(2.0)
+        assert count(eng, "workflow.speculation.launched") == 1
+        assert count(eng, "workflow.speculation.wins") == 0
+        assert count(eng, "workflow.speculation.cancelled") == 1
+        assert any(ev.event == "speculation_cancelled" for ev in eng.trace)
+
+    def test_first_finisher_wins_exactly_once(self):
+        """The losing completion must not complete the app twice (double
+        bundle countdown would fire downstream bundles early)."""
+        eng = make_engine(factor=5.0, threshold=1.5)
+        eng.run()
+        done = [ev for ev in eng.trace if ev.event == "app_completed"
+                and ev.app_id == 1]
+        assert len(done) == 1
+
+    def test_no_spare_cores_no_speculation(self):
+        # With every core busy at detect time, speculation stands down.
+        eng = make_engine(factor=5.0, threshold=1.5)
+        eng.server.idle_cores = lambda: []
+        eng.run()
+        assert count(eng, "workflow.speculation.launched") == 0
+
+    def test_speculates_on_least_slowed_idle_core(self):
+        # Node 3 never ran tasks and is clean; freed peer cores on nodes
+        # 1/2 are equally clean, so the lowest core id among clean idle
+        # cores wins (deterministic tie-break).
+        eng = make_engine(factor=5.0, threshold=1.5)
+        eng.run()
+        launch = next(ev for ev in eng.trace
+                      if ev.event == "speculation_launched")
+        core = int(launch.detail.split("core=")[1])
+        assert eng.cluster.node_of_core(core) != 0
+
+    def test_no_straggler_no_speculation(self):
+        # Unslowed run: effective == nominal everywhere.
+        cluster = Cluster(4, machine=generic_multicore(4))
+        plan = FaultPlan(slow_nodes=(
+            SlowNode(node=0, start=50.0, duration=1.0, factor=5.0),
+        ))
+        dag = WorkflowDAG([app(1), app(2)], bundles=[Bundle((1, 2))])
+        eng = WorkflowEngine(
+            dag, cluster, injector=FaultInjector(plan),
+            speculation_threshold=1.5, registry=MetricsRegistry(),
+        )
+        for a in (1, 2):
+            eng.set_routine(a, lambda ctx: 1.0)
+        eng.run()
+        assert count(eng, "workflow.speculation.launched") == 0
+
+    def test_disabled_without_threshold(self):
+        cluster = Cluster(4, machine=generic_multicore(4))
+        plan = FaultPlan(slow_nodes=(
+            SlowNode(node=0, start=0.0, duration=100.0, factor=5.0),
+        ))
+        dag = WorkflowDAG(
+            [app(1), app(2), app(3)], bundles=[Bundle((1, 2, 3))]
+        )
+        eng = WorkflowEngine(dag, cluster, injector=FaultInjector(plan))
+        eng.set_bundle_mapper(0, PinnedMapper())
+        for a in (1, 2, 3):
+            eng.set_routine(a, lambda ctx: 1.0)
+        runs = eng.run()
+        # Slowed to 5s, nobody speculates.
+        assert runs[1].finish == pytest.approx(5.0)
+
+    def test_deterministic_across_runs(self):
+        def trace_of():
+            eng = make_engine(factor=5.0, threshold=1.5)
+            eng.run()
+            return [(ev.time, ev.event, ev.app_id) for ev in eng.trace]
+
+        assert trace_of() == trace_of()
+
+    def test_speculation_spans_traced(self):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        eng = make_engine(factor=5.0, threshold=1.5, tracer=tracer)
+        eng.run()
+        assert tracer.open_spans() == 0
+        spans = tracer.find("speculation.run")
+        assert len(spans) == 1
+        # Linked back to the app it doubles for.
+        assert any(fl.kind == "speculate" for fl in tracer.links)
