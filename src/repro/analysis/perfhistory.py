@@ -4,7 +4,10 @@ One :func:`run_history` call re-runs the canonical Fig-8 (concurrent
 coupling), Fig-9 (sequential coupling), and Fig-16 (weak scaling)
 workloads with tracing on, reduces each to a flat *profile* — makespan,
 critical-path length, per-category attribution (via
-:mod:`repro.obs.critpath`), straggler slack, and bytes moved — and
+:mod:`repro.obs.critpath`), straggler slack, and bytes moved — plus the
+``jaguar_scale`` throughput scenario (:mod:`repro.apps.jaguar`), whose
+profile is untraced (tracing a million-event run would measure the
+tracer) and instead reports host wall-clock and events/sec — and
 
 * writes the profiles as a schema-versioned ``BENCH_<n>.json`` snapshot,
 * diffs them against the previous snapshot's tolerance bands
@@ -132,10 +135,20 @@ def _run_fig16() -> dict[str, Any]:
     return profile
 
 
+def _run_jaguar() -> dict[str, Any]:
+    """Untraced throughput run: 10k nodes, ~1M events (see
+    :mod:`repro.apps.jaguar`). Only ``wall_clock``/``events_per_sec``
+    vary between hosts; every simulated number is deterministic."""
+    from repro.apps.jaguar import run_jaguar_scale
+
+    return run_jaguar_scale().profile()
+
+
 CANONICAL: tuple[PerfScenario, ...] = (
     PerfScenario("fig08_concurrent", "Fig 8 — concurrent coupling", _run_fig08),
     PerfScenario("fig09_sequential", "Fig 9 — sequential coupling", _run_fig09),
     PerfScenario("fig16_weak_scaling", "Fig 16 — weak scaling", _run_fig16),
+    PerfScenario("jaguar_scale", "Jaguar scale — 10k nodes, ~1M events", _run_jaguar),
 )
 
 
@@ -234,12 +247,24 @@ def dashboard(
     for name in sorted(profiles):
         p = profiles[name]
         lines.append(f"== {titles.get(name, name)} ==")
-        lines.append(
-            f"makespan {p['makespan'] * 1e3:.3f} ms, "
-            f"critical path {p['critical_path_length'] * 1e3:.3f} ms "
-            f"({p['path_segments']} segments), "
-            f"bytes net/shm {p['bytes_network']:.0f}/{p['bytes_shm']:.0f}"
-        )
+        if "critical_path_length" in p:
+            lines.append(
+                f"makespan {p['makespan'] * 1e3:.3f} ms, "
+                f"critical path {p['critical_path_length'] * 1e3:.3f} ms "
+                f"({p['path_segments']} segments), "
+                f"bytes net/shm {p['bytes_network']:.0f}/{p['bytes_shm']:.0f}"
+            )
+        else:
+            # Untraced (throughput) profiles carry no critical-path data.
+            lines.append(
+                f"makespan {p['makespan']:.3f} s, "
+                f"bytes net/shm {p['bytes_network']:.0f}/{p['bytes_shm']:.0f}"
+            )
+        if "events_per_sec" in p:
+            lines.append(
+                f"{p['sim_events']:.0f} events in {p['wall_clock']:.2f} s "
+                f"wall -> {p['events_per_sec']:.0f} events/sec"
+            )
         att = p.get("attribution", {})
         cats = [c for c in CATEGORIES if c in att]
         if cats:

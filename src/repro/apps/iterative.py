@@ -34,6 +34,8 @@ class IterationStats:
     shm_bytes: int
     control_msgs: int
     cache_hits: int
+    #: whole-bundle cache hits (0 unless the space enables the bundle cache)
+    bundle_hits: int = 0
 
 
 @dataclass
@@ -62,19 +64,28 @@ class IterativeCoupling:
                 f"{self.consumer.var!r}"
             )
 
-    def _snapshot(self) -> tuple[int, int, int, int]:
+    def _snapshot(self) -> tuple[int, int, int, int, int]:
         m = self.space.dart.metrics
         cache = self.space.schedule_cache
+        bundle = self.space.bundle_cache
         return (
             m.network_bytes(TransferKind.COUPLING),
             m.shm_bytes(TransferKind.COUPLING),
             m.count(kind=TransferKind.CONTROL),
             cache.hits if cache is not None else 0,
+            bundle.hits if bundle is not None else 0,
         )
 
     def run_iteration(self, version: int) -> IterationStats:
-        """One coupling step: put version, get version, evict stale."""
-        net0, shm0, ctl0, hits0 = self._snapshot()
+        """One coupling step: put version, get version, evict stale.
+
+        When the space carries a bundle cache, the consumer side issues one
+        :meth:`~repro.cods.space.CoDS.get_bundle` for all its ranks —
+        iteration 2 onward then recovers the whole schedule set in a single
+        probe. Otherwise each rank pulls individually (the seed behavior,
+        whose per-rank cache counters the ablation benches pin).
+        """
+        net0, shm0, ctl0, hits0, bhits0 = self._snapshot()
         pdec = self.producer.decomposition
         for rank in range(self.producer.ntasks):
             region = pdec.task_intervals(rank)
@@ -85,16 +96,27 @@ class IterativeCoupling:
                 self.producer.var, region,
                 element_size=self.producer.element_size, version=version,
             )
-        for task in self.consumer.tasks():
-            if task.requested_cells == 0:
-                continue
-            self.space.get_seq(
+        requests = [
+            (
                 self.consumer_mapping.core_of(self.consumer.app_id, task.rank),
-                self.consumer.var, task.requested_region,
-                app_id=self.consumer.app_id,
+                task.requested_region,
             )
+            for task in self.consumer.tasks()
+            if task.requested_cells > 0
+        ]
+        if self.space.bundle_cache is not None:
+            self.space.get_bundle(
+                self.consumer.var, requests, app_id=self.consumer.app_id,
+                mode="seq",
+            )
+        else:
+            for core, region in requests:
+                self.space.get_seq(
+                    core, self.consumer.var, region,
+                    app_id=self.consumer.app_id,
+                )
         self._evict_stale(version)
-        net1, shm1, ctl1, hits1 = self._snapshot()
+        net1, shm1, ctl1, hits1, bhits1 = self._snapshot()
         stats = IterationStats(
             iteration=version,
             coupled_bytes=(net1 - net0) + (shm1 - shm0),
@@ -102,6 +124,7 @@ class IterativeCoupling:
             shm_bytes=shm1 - shm0,
             control_msgs=ctl1 - ctl0,
             cache_hits=hits1 - hits0,
+            bundle_hits=bhits1 - bhits0,
         )
         self.history.append(stats)
         return stats

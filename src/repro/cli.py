@@ -251,8 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "perf",
-        help="perf history: run the canonical Fig 8/9/16 scenarios, print "
-             "critical-path attribution, diff against the last BENCH_<n>.json",
+        help="perf history: run the canonical Fig 8/9/16 and jaguar-scale "
+             "scenarios, print critical-path attribution and events/sec, "
+             "diff against the last BENCH_<n>.json",
     )
     p.add_argument(
         "--out", metavar="PATH", default=None,
@@ -265,7 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scenario", action="append", default=None, metavar="NAME",
         help="run only this canonical scenario (repeatable); "
-             "fig08_concurrent, fig09_sequential, fig16_weak_scaling",
+             "fig08_concurrent, fig09_sequential, fig16_weak_scaling, "
+             "jaguar_scale",
     )
     p.add_argument(
         "--label", default="", help="free-form label stored in the snapshot"

@@ -13,6 +13,7 @@ from repro.cods.objects import (
     region_restrict,
 )
 from repro.cods.schedule import (
+    BundleScheduleCache,
     CommSchedule,
     ScheduleCache,
     TransferPlan,
@@ -40,6 +41,7 @@ __all__ = [
     "compute_schedule",
     "producer_schedule",
     "ScheduleCache",
+    "BundleScheduleCache",
     "CoDS",
     "GlobalArray",
     "StagingArea",

@@ -32,6 +32,7 @@ from repro.cods.objects import (
     region_from_box,
 )
 from repro.cods.schedule import (
+    BundleScheduleCache,
     CommSchedule,
     ScheduleCache,
     compute_schedule,
@@ -64,6 +65,7 @@ class CoDS:
         dart: HybridDART | None = None,
         linearizer: DomainLinearizer | None = None,
         use_schedule_cache: bool = True,
+        use_bundle_cache: bool = False,
         enforce_memory: bool = False,
         replication: int = 1,
         placer: "object | None" = None,
@@ -88,6 +90,13 @@ class CoDS:
         self.schedule_cache: ScheduleCache | None = (
             ScheduleCache(registry=self.dart.registry)
             if use_schedule_cache
+            else None
+        )
+        # Opt-in (default off): enabling it changes which counters the run
+        # touches, and the seed's metric streams must stay byte-identical.
+        self.bundle_cache: BundleScheduleCache | None = (
+            BundleScheduleCache(registry=self.dart.registry)
+            if use_bundle_cache
             else None
         )
         per_core_capacity = (
@@ -829,6 +838,66 @@ class CoDS:
                 self.schedule_cache.put(schedule)
         return schedule, self._execute(schedule, app_id)
 
+    # -- bundle retrieval --------------------------------------------------------------
+
+    def get_bundle(
+        self,
+        var: str,
+        requests: "list[tuple[int, Box | RegionProduct]]",
+        app_id: int = -1,
+        mode: str = "cont",
+        version: "int | None" = None,
+    ) -> "list[tuple[CommSchedule, list[TransferRecord]]]":
+        """Retrieve one whole coupling bundle: every consumer rank's region
+        in one call, in request order.
+
+        With the bundle cache enabled (``use_bundle_cache=True``), the full
+        set of schedules is keyed by (bundle topology, placement) and a
+        repeat coupling skips the per-rank DHT-query/schedule path in a
+        single probe. Without it, this is exactly a loop over
+        :meth:`get_seq` / :meth:`get_cont`.
+        """
+        if mode not in ("seq", "cont"):
+            raise SpaceError(f"unknown bundle mode {mode!r}")
+        if self.bundle_cache is None:
+            if mode == "seq":
+                return [
+                    self.get_seq(core, var, region, version, app_id)
+                    for core, region in requests
+                ]
+            return [
+                self.get_cont(core, var, region, app_id)
+                for core, region in requests
+            ]
+        reqs = tuple((core, self._as_region(r)) for core, r in requests)
+        if mode == "cont":
+            # Placement signature: the producer declarations feeding this
+            # coupling. A producer landing elsewhere (re-enactment after a
+            # crash) changes the signature and misses cleanly.
+            sources_sig = tuple(self._producers.get(var, ()))
+        else:
+            sources_sig = version
+        key = BundleScheduleCache.key_for(var, mode, reqs, sources_sig)
+        scheds = self.bundle_cache.get(key)
+        if scheds is not None and mode == "seq" and not all(
+            self._schedule_alive(s) for s in scheds
+        ):
+            scheds = None  # sources evicted/crashed since; recompute
+        if scheds is None:
+            if mode == "seq":
+                out = [
+                    self.get_seq(core, var, region, version, app_id)
+                    for core, region in reqs
+                ]
+            else:
+                out = [
+                    self.get_cont(core, var, region, app_id)
+                    for core, region in reqs
+                ]
+            self.bundle_cache.put(key, tuple(s for s, _ in out))
+            return out
+        return [(s, self._execute(s, app_id)) for s in scheds]
+
     # -- fault recovery ----------------------------------------------------------------
 
     def fail_dht_core(self, core: int) -> int:
@@ -847,6 +916,8 @@ class CoDS:
         )
         if self.schedule_cache is not None:
             self.schedule_cache.clear()
+        if self.bundle_cache is not None:
+            self.bundle_cache.clear()
         return successor
 
     def mark_node_dead(self, node: int) -> int:
@@ -907,6 +978,8 @@ class CoDS:
                 self._replicas[key] = kept
         if self.schedule_cache is not None:
             self.schedule_cache.clear()
+        if self.bundle_cache is not None:
+            self.bundle_cache.clear()
 
     def on_node_crash(self, node: int) -> int:
         """Crash plus immediate recovery, in one call.
@@ -986,6 +1059,8 @@ class CoDS:
             )
             if self.schedule_cache is not None:
                 self.schedule_cache.clear()
+            if self.bundle_cache is not None:
+                self.bundle_cache.clear()
         return created, nbytes
 
     def scrub(self, repair: bool = True) -> tuple[int, int, int]:

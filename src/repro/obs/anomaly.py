@@ -110,16 +110,22 @@ class Verdict:
 def _status(
     tol, base: float, cand: float, lo: float, hi: float
 ) -> str:
-    # slack is symmetric around the baseline even for one-sided bands:
-    # a candidate that far *below* is a reportable improvement, not a
-    # failure.
-    slack = hi - base
-    if cand > hi:
-        return "regression"
-    if cand < base - slack:
+    # Escaping the band on a closed side is a regression. On the *open*
+    # side of a one-sided band, slack mirrored from the closed side marks
+    # where a move becomes a reportable improvement rather than noise.
+    if cand > hi or cand < lo:
         # Two-sided bands treat any escape as a profile shift (harmful in
-        # either direction); one-sided bands welcome it.
-        return "improvement" if tol.one_sided else "regression"
+        # either direction); for one-sided bands only the closed side is
+        # reachable here.
+        return "regression"
+    if tol.one_sided:
+        slack = hi - base
+        if cand < base - slack:
+            return "improvement"
+    elif tol.one_sided_low:
+        slack = base - lo
+        if cand > base + slack:
+            return "improvement"
     return "ok"
 
 

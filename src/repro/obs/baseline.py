@@ -38,27 +38,44 @@ class Tolerance:
     A candidate value ``v`` is within tolerance of a baseline value ``b``
     when ``|v - b| <= max(rel * |b|, abs)``. Metrics where only *growth*
     is a regression (time, bytes) set ``one_sided=True``: a candidate
-    *below* the band never fails.
+    *below* the band never fails. Metrics where only *shrinkage* is a
+    regression (throughput such as ``events_per_sec``) set
+    ``one_sided_low=True``: a candidate *above* the band never fails.
     """
 
     rel: float = 0.10
     abs: float = 0.0
     one_sided: bool = False
+    one_sided_low: bool = False
+
+    def __post_init__(self) -> None:
+        if self.one_sided and self.one_sided_low:
+            raise ReproError(
+                "a tolerance cannot be one-sided in both directions"
+            )
 
     def allows(self, baseline: float, candidate: float) -> bool:
         slack = max(self.rel * abs(baseline), self.abs)
         if self.one_sided:
             return candidate <= baseline + slack
+        if self.one_sided_low:
+            return candidate >= baseline - slack
         return abs(candidate - baseline) <= slack
 
     def band(self, baseline: float) -> tuple[float, float]:
         """The (lo, hi) interval a candidate must fall in."""
         slack = max(self.rel * abs(baseline), self.abs)
         lo = float("-inf") if self.one_sided else baseline - slack
-        return (lo, baseline + slack)
+        hi = float("inf") if self.one_sided_low else baseline + slack
+        return (lo, hi)
 
     def to_dict(self) -> dict[str, Any]:
-        return {"rel": self.rel, "abs": self.abs, "one_sided": self.one_sided}
+        return {
+            "rel": self.rel,
+            "abs": self.abs,
+            "one_sided": self.one_sided,
+            "one_sided_low": self.one_sided_low,
+        }
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "Tolerance":
@@ -66,6 +83,7 @@ class Tolerance:
             rel=float(d.get("rel", 0.10)),
             abs=float(d.get("abs", 0.0)),
             one_sided=bool(d.get("one_sided", False)),
+            one_sided_low=bool(d.get("one_sided_low", False)),
         )
 
 
@@ -76,6 +94,10 @@ class Tolerance:
 DEFAULT_TOLERANCES: dict[str, Tolerance] = {
     "makespan": Tolerance(rel=0.10, abs=1e-9, one_sided=True),
     "critical_path_length": Tolerance(rel=0.10, abs=1e-9, one_sided=True),
+    # Host-dependent throughput numbers: generous bands, shrink-is-bad for
+    # events/sec, growth-is-bad for wall-clock. CI hardware varies a lot.
+    "events_per_sec": Tolerance(rel=0.60, abs=0.0, one_sided_low=True),
+    "wall_clock": Tolerance(rel=1.50, abs=2.0, one_sided=True),
     "bytes_total": Tolerance(rel=0.05, abs=0.0, one_sided=True),
     "bytes_network": Tolerance(rel=0.05, abs=0.0, one_sided=True),
     "attribution.compute": Tolerance(rel=0.0, abs=0.10),

@@ -1,17 +1,25 @@
 """Simulation substrate: discrete events + fluid-flow network timing."""
 
 from repro.sim.engine import SimEngine
-from repro.sim.events import Event, EventQueue
-from repro.sim.flows import Flow, FlowNetwork
+from repro.sim.events import (
+    CalendarEventQueue,
+    Event,
+    EventQueue,
+    HeapEventQueue,
+)
+from repro.sim.flows import Flow, FlowNetwork, IncrementalMaxMin
 from repro.sim.fluid import FluidSimulation, TransferTiming
 from repro.sim.mpi import SimComm
 
 __all__ = [
     "Event",
     "EventQueue",
+    "CalendarEventQueue",
+    "HeapEventQueue",
     "SimEngine",
     "Flow",
     "FlowNetwork",
+    "IncrementalMaxMin",
     "FluidSimulation",
     "TransferTiming",
     "SimComm",

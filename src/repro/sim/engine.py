@@ -2,8 +2,9 @@
 
 The workflow engine runs DAG enactment on top of this: application launches,
 completions, and coupling phases are events on a simulated clock. The engine
-is deliberately minimal — a clock plus an event heap with deterministic
-FIFO tie-breaking.
+is deliberately minimal — a clock plus a calendar event queue with
+deterministic FIFO tie-breaking (see :mod:`repro.sim.events` for the
+queue implementations and the ordering contract).
 """
 
 from __future__ import annotations
@@ -40,12 +41,16 @@ class SimEngine:
         fault_injector: "FaultInjector | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
         start_time: float = 0.0,
+        queue: Any = None,
     ) -> None:
         if start_time < 0:
             raise SimulationError(
                 f"start time must be non-negative, got {start_time}"
             )
-        self._queue = EventQueue()
+        #: ``queue`` swaps the scheduler implementation (any object with the
+        #: EventQueue API) — the differential suite runs the same workload on
+        #: the calendar queue and the reference heap this way.
+        self._queue = EventQueue() if queue is None else queue
         self._now = float(start_time)
         self._running = False
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -130,15 +135,18 @@ class SimEngine:
             raise SimulationError("engine is already running (no re-entrancy)")
         self._running = True
         tracer = self.tracer
+        queue = self._queue
+        pop_if_before = queue.pop_if_before
+        fired = 0
         try:
-            while self._queue.live_events:
-                ev = self._queue.pop_if_before(until)
+            while queue.live_events:
+                ev = pop_if_before(until)
                 if ev is None:
                     # Head event lies strictly after the boundary: stop at it.
                     self._now = until  # type: ignore[assignment]
                     break
                 self._now = ev.time
-                self.events_fired += 1
+                fired += 1
                 if tracer.enabled:
                     with tracer.span(
                         "sim.event",
@@ -158,6 +166,7 @@ class SimEngine:
                     self._now = until
         finally:
             self._running = False
+            self.events_fired += fired
         return self._now
 
     def pending(self) -> int:

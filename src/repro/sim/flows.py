@@ -10,6 +10,20 @@ contention effects of the paper's Fig 16.
 
 The flow-link incidence is kept as a ``scipy.sparse`` CSR matrix so a fleet
 of thousands of flows allocates in a handful of vectorized passes.
+
+Two solver entry points:
+
+* :meth:`FlowNetwork.maxmin_rates` — one-shot *joint* progressive filling
+  over the whole flow set. Simple, and the reference the fluid model's
+  small-batch path still uses.
+* :class:`IncrementalMaxMin` — a stateful solver for workloads where flows
+  enter and leave one at a time (the fluid simulation's event loop). It
+  exploits that max-min allocations decompose exactly over connected
+  components of the flow–link sharing graph: a flow arriving or departing
+  can only change rates inside its own component, so only *dirty*
+  components are re-solved. Incremental and from-scratch solves are
+  bit-identical by construction, because both funnel through the same
+  canonical per-component progressive filling.
 """
 
 from __future__ import annotations
@@ -21,9 +35,13 @@ from scipy import sparse
 
 from repro.errors import SimulationError
 
-__all__ = ["Flow", "FlowNetwork"]
+__all__ = ["Flow", "FlowNetwork", "IncrementalMaxMin"]
 
 _EPS = 1e-9
+
+#: components smaller than this (flows x links) solve densely — below the
+#: size where scipy's sparse machinery pays for its setup cost
+_DENSE_CELLS = 1 << 14
 
 
 @dataclass(frozen=True)
@@ -122,6 +140,55 @@ class FlowNetwork:
             active &= ~frozen
         return rates
 
+    def component_rates(self, paths: "list[tuple[int, ...]]") -> np.ndarray:
+        """Canonical progressive filling for one connected component.
+
+        ``paths`` must be non-empty link paths that all belong to a single
+        component. This is *the* routine every solve — incremental or
+        from-scratch — funnels through, which is what makes the two
+        bit-identical. The arithmetic mirrors :meth:`maxmin_rates`
+        restricted to the component's links (identical values: every
+        intermediate count is a small exact integer and all other
+        operations are elementwise).
+        """
+        nflows = len(paths)
+        if nflows == 1:
+            # Scalar fast path for the dominant case at scale: a flow alone
+            # in its component rates min(cap/multiplicity) over its links.
+            # Bit-identical to one dense filling pass — the same float64
+            # divisions feed the same min, and the single flow freezes on
+            # the first saturation.
+            path = paths[0]
+            caps = self.capacities
+            if len(path) == len(set(path)):
+                rate = min(caps[l] for l in path)
+            else:
+                mult: dict[int, int] = {}
+                for l in path:
+                    mult[l] = mult.get(l, 0) + 1
+                rate = min(caps[l] / m for l, m in mult.items())
+            return np.array([rate], dtype=np.float64)
+        links = sorted({l for p in paths for l in p})
+        link_pos = {l: j for j, l in enumerate(links)}
+        caps = self.capacities[links]
+        if nflows * len(links) <= _DENSE_CELLS:
+            inc = np.zeros((nflows, len(links)), dtype=np.float64)
+            for i, p in enumerate(paths):
+                for l in p:
+                    # += so a link repeated in a path weighs double, exactly
+                    # as the CSR construction sums duplicate entries
+                    inc[i, link_pos[l]] += 1.0
+            return _fill_dense(caps, inc)
+        rows, cols = [], []
+        for i, p in enumerate(paths):
+            for l in p:
+                rows.append(i)
+                cols.append(link_pos[l])
+        inc_csr = sparse.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(nflows, len(links))
+        )
+        return _fill_sparse(caps, inc_csr)
+
     def validate_rates(
         self, incidence: sparse.csr_matrix, rates: np.ndarray
     ) -> None:
@@ -133,3 +200,166 @@ class FlowNetwork:
             raise SimulationError(
                 f"links oversubscribed: {np.flatnonzero(over).tolist()}"
             )
+
+
+def _fill_dense(caps: np.ndarray, inc: np.ndarray) -> np.ndarray:
+    """Progressive filling, dense incidence. Bit-identical to the sparse
+    variant: link-usage counts are small exact integers, everything else is
+    elementwise, so the representation cannot change a single ulp."""
+    nflows = inc.shape[0]
+    rates = np.zeros(nflows, dtype=np.float64)
+    active = np.ones(nflows, dtype=bool)
+    cap_rem = caps.astype(np.float64).copy()
+    while np.any(active):
+        counts = inc.T @ active.astype(np.float64)
+        used = counts > 0
+        if not np.any(used):
+            break
+        step = np.min(cap_rem[used] / counts[used])
+        rates[active] += step
+        cap_rem[used] -= counts[used] * step
+        saturated = used & (cap_rem <= _EPS * caps)
+        if not np.any(saturated):
+            # Numerical guard: saturate the tightest link explicitly.
+            tight = np.argmin(np.where(used, cap_rem, np.inf))
+            saturated = np.zeros_like(used)
+            saturated[tight] = True
+            cap_rem[tight] = 0.0
+        frozen = inc[:, saturated].sum(axis=1) > 0
+        active &= ~frozen
+    return rates
+
+
+def _fill_sparse(caps: np.ndarray, inc_csr: sparse.csr_matrix) -> np.ndarray:
+    """Progressive filling, sparse incidence (mirrors
+    :meth:`FlowNetwork.maxmin_rates` with every flow active)."""
+    nflows = inc_csr.shape[0]
+    rates = np.zeros(nflows, dtype=np.float64)
+    active = np.ones(nflows, dtype=bool)
+    cap_rem = caps.astype(np.float64).copy()
+    inc_csc = inc_csr.tocsc()
+    while np.any(active):
+        counts = np.asarray(inc_csr.T @ active.astype(np.float64)).ravel()
+        used = counts > 0
+        if not np.any(used):
+            break
+        step = np.min(cap_rem[used] / counts[used])
+        rates[active] += step
+        cap_rem[used] -= counts[used] * step
+        saturated = used & (cap_rem <= _EPS * caps)
+        if not np.any(saturated):
+            tight = np.argmin(np.where(used, cap_rem, np.inf))
+            saturated = np.zeros_like(used)
+            saturated[tight] = True
+            cap_rem[tight] = 0.0
+        frozen = np.asarray(
+            (inc_csc[:, np.flatnonzero(saturated)] @
+             np.ones(int(saturated.sum()))) > 0
+        ).ravel()
+        active &= ~frozen
+    return rates
+
+
+class IncrementalMaxMin:
+    """Stateful max-min solver re-solving only dirty components.
+
+    Flows are added/removed by id with their link paths; :meth:`rates`
+    returns the current allocation, re-solving only the connected
+    components (of the flow–link sharing graph) touched since the last
+    call. Empty-path flows rate ``inf`` and never dirty anything.
+
+    Equivalence contract: after any add/remove sequence, :meth:`rates`
+    equals — bitwise — what a fresh solver given the same surviving flows
+    would produce, because both decompose into the same components and
+    solve each through :meth:`FlowNetwork.component_rates`. The invariant
+    suite (``tests/sim/test_flows_incremental``) exercises exactly this.
+    """
+
+    def __init__(self, network: FlowNetwork) -> None:
+        self.network = network
+        self._paths: dict[int, tuple[int, ...]] = {}
+        self._rates: dict[int, float] = {}
+        self._on_link: dict[int, set[int]] = {}
+        self._dirty: set[int] = set()
+        #: component re-solves performed (perf diagnostics)
+        self.component_solves = 0
+        #: flow rates recomputed across those re-solves
+        self.flows_resolved = 0
+
+    def __len__(self) -> int:
+        return len(self._rates)
+
+    def add(self, flow_id: int, links: "tuple[int, ...] | list[int]") -> None:
+        """Admit a flow; marks its component dirty."""
+        if flow_id in self._rates:
+            raise SimulationError(f"flow {flow_id} already present")
+        path = tuple(links)
+        for l in path:
+            if not 0 <= l < self.network.num_links:
+                raise SimulationError(f"flow {flow_id} uses unknown link {l}")
+        if not path:
+            self._rates[flow_id] = np.inf
+            return
+        self._paths[flow_id] = path
+        self._rates[flow_id] = 0.0
+        for l in set(path):
+            self._on_link.setdefault(l, set()).add(flow_id)
+            self._dirty.add(l)
+
+    def remove(self, flow_id: int) -> None:
+        """Retire a flow; marks its (former) component dirty."""
+        if flow_id not in self._rates:
+            raise SimulationError(f"flow {flow_id} not present")
+        del self._rates[flow_id]
+        path = self._paths.pop(flow_id, ())
+        for l in set(path):
+            holders = self._on_link[l]
+            holders.discard(flow_id)
+            if not holders:
+                del self._on_link[l]
+            self._dirty.add(l)
+
+    def rates(self) -> dict[int, float]:
+        """Current allocation for every present flow (re-solving as needed)."""
+        self._refresh()
+        return dict(self._rates)
+
+    @property
+    def allocation(self) -> dict[int, float]:
+        """The live rate mapping, refreshed, without the defensive copy of
+        :meth:`rates` — for hot loops; treat as read-only."""
+        self._refresh()
+        return self._rates
+
+    def rate(self, flow_id: int) -> float:
+        self._refresh()
+        return self._rates[flow_id]
+
+    def _refresh(self) -> None:
+        while self._dirty:
+            seed = next(iter(self._dirty))
+            comp_links = {seed}
+            comp_flows: set[int] = set()
+            frontier = [seed]
+            while frontier:
+                link = frontier.pop()
+                for fid in self._on_link.get(link, ()):
+                    if fid not in comp_flows:
+                        comp_flows.add(fid)
+                        for l in self._paths[fid]:
+                            if l not in comp_links:
+                                comp_links.add(l)
+                                frontier.append(l)
+            self._dirty -= comp_links
+            if not comp_flows:
+                continue
+            # Canonical ordering: ascending flow id. Any solve of this
+            # component — incremental or fresh — builds the same matrix.
+            order = sorted(comp_flows)
+            solved = self.network.component_rates(
+                [self._paths[f] for f in order]
+            )
+            for fid, r in zip(order, solved):
+                self._rates[fid] = float(r)
+            self.component_solves += 1
+            self.flows_resolved += len(order)

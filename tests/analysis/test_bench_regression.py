@@ -1,0 +1,92 @@
+"""Golden-output pin: the canonical figure profiles vs the committed
+``BENCH_5.json``.
+
+The calendar queue, the incremental flow solver, and the schedule-cache
+work are performance changes; the paper's figure outputs must not move
+by a single bit. This suite re-runs Fig 8/9/16 and compares every
+profile value to the committed snapshot with exact equality (JSON
+floats round-trip exactly, so ``==`` is a bitwise pin) — once with the
+schedule cache on (the default) and once with it forced off, since a
+cache may change *when* work happens but never *what* comes out.
+
+The jaguar scenario is deliberately absent here: its wall-clock fields
+are host-dependent (its simulated outputs are pinned by the scale smoke
+test instead).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perfhistory import run_profile
+from repro.cods.space import CoDS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SNAPSHOT = REPO_ROOT / "BENCH_5.json"
+
+FIGS = ["fig08_concurrent", "fig09_sequential", "fig16_weak_scaling"]
+
+#: the simulated-outcome keys every figure profile carries; attribution
+#: and retrieval keys are pinned via the full-profile comparison
+HEADLINE = (
+    "makespan",
+    "critical_path_length",
+    "path_segments",
+    "bytes_network",
+    "bytes_shm",
+    "bytes_total",
+    "sim_events",
+)
+
+
+@pytest.fixture(scope="module")
+def committed():
+    with SNAPSHOT.open(encoding="utf-8") as fh:
+        return json.load(fh)["scenarios"]
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return run_profile(FIGS)
+
+
+class TestFigureOutputsPinned:
+    def test_snapshot_is_committed(self):
+        assert SNAPSHOT.exists(), "BENCH_5.json must be committed at the repo root"
+
+    @pytest.mark.parametrize("name", FIGS)
+    def test_profile_byte_identical(self, committed, fresh, name):
+        """Exact equality on the whole profile tree, value by value."""
+        assert name in committed
+        want, got = committed[name], fresh[name]
+        assert sorted(want) == sorted(got)
+        for key in want:
+            assert got[key] == want[key], f"{name}/{key} moved"
+
+
+class TestCacheOffIsPurePerf:
+    @pytest.fixture(scope="class")
+    def fresh_uncached(self):
+        """Figure profiles with every schedule cache disabled."""
+        original = CoDS.__init__
+
+        def no_cache_init(self, *args, **kwargs):
+            kwargs["use_schedule_cache"] = False
+            kwargs["use_bundle_cache"] = False
+            original(self, *args, **kwargs)
+
+        CoDS.__init__ = no_cache_init
+        try:
+            return run_profile(FIGS)
+        finally:
+            CoDS.__init__ = original
+
+    @pytest.mark.parametrize("name", FIGS)
+    def test_headline_outputs_unchanged(self, committed, fresh_uncached, name):
+        """Disabling schedule caching must not move any simulated result."""
+        want, got = committed[name], fresh_uncached[name]
+        for key in HEADLINE:
+            assert got[key] == want[key], f"{name}/{key} moved with cache off"
+        # The full attribution profile is also cache-independent.
+        assert got["attribution"] == want["attribution"]

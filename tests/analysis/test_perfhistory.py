@@ -28,6 +28,7 @@ class TestProfiles:
     def test_canonical_names(self):
         assert [s.name for s in CANONICAL] == [
             "fig08_concurrent", "fig09_sequential", "fig16_weak_scaling",
+            "jaguar_scale",
         ]
 
     def test_unknown_scenario_rejected(self):

@@ -1,0 +1,264 @@
+"""Invariant suite for the incremental max-min solver.
+
+Three pillars:
+
+* **Feasibility** — no allocation ever oversubscribes a link.
+* **Bottleneck saturation** — max-min means every flow with a finite
+  rate is stopped by some saturated link on its own path.
+* **Equivalence** — after *any* interleaving of adds and removes, the
+  incremental solver's allocation is exactly (bitwise) what a fresh
+  solver computes for the surviving flows, and matches the one-shot
+  joint ``maxmin_rates`` solve to float tolerance. The fluid simulation
+  inherits this: forcing the incremental path yields the same transfer
+  timings as the joint loop.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import MachineSpec, NetworkSpec, NodeSpec
+from repro.sim.flows import Flow, FlowNetwork, IncrementalMaxMin
+from repro.sim.fluid import FluidSimulation
+
+
+@st.composite
+def solver_scenarios(draw):
+    """A capacitated link set, flow paths (duplicates allowed, possibly
+    empty), and a subset of flows to remove again."""
+    nlinks = draw(st.integers(2, 8))
+    caps = draw(
+        st.lists(
+            st.floats(1.0, 100.0, allow_nan=False),
+            min_size=nlinks, max_size=nlinks,
+        )
+    )
+    nflows = draw(st.integers(1, 12))
+    paths = [
+        draw(st.lists(st.integers(0, nlinks - 1), max_size=4))
+        for _ in range(nflows)
+    ]
+    removals = draw(
+        st.lists(
+            st.integers(0, nflows - 1),
+            max_size=nflows, unique=True,
+        )
+    )
+    return caps, paths, removals
+
+
+def link_loads(caps, solver):
+    """Per-link load of the solver's current allocation (multiplicity-
+    aware: a link repeated in a path carries that flow's rate twice)."""
+    loads = np.zeros(len(caps))
+    rates = solver.rates()
+    for fid, path in solver._paths.items():
+        for l in path:
+            loads[l] += rates[fid]
+    return loads
+
+
+class TestInvariants:
+    @given(scenario=solver_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_feasibility_throughout(self, scenario):
+        """After every add and every remove, no link is oversubscribed."""
+        caps, paths, removals = scenario
+        net = FlowNetwork(caps)
+        solver = IncrementalMaxMin(net)
+        for fid, path in enumerate(paths):
+            solver.add(fid, path)
+            assert np.all(link_loads(caps, solver) <= np.asarray(caps) * (1 + 1e-6))
+        for fid in removals:
+            solver.remove(fid)
+            assert np.all(link_loads(caps, solver) <= np.asarray(caps) * (1 + 1e-6))
+
+    @given(scenario=solver_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_every_flow_hits_a_bottleneck(self, scenario):
+        """Max-min: each finite-rate flow crosses at least one saturated
+        link — otherwise its rate could still be raised."""
+        caps, paths, removals = scenario
+        net = FlowNetwork(caps)
+        solver = IncrementalMaxMin(net)
+        for fid, path in enumerate(paths):
+            solver.add(fid, path)
+        for fid in removals:
+            solver.remove(fid)
+        loads = link_loads(caps, solver)
+        for fid, rate in solver.rates().items():
+            if not np.isfinite(rate):
+                continue  # empty path: never network-limited
+            path = solver._paths[fid]
+            assert any(
+                loads[l] >= caps[l] * (1 - 1e-6) for l in set(path)
+            ), f"flow {fid} has no saturated link"
+
+    @given(scenario=solver_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_incremental_equals_fresh_solve_exactly(self, scenario):
+        """The equivalence contract, bitwise, after every single op."""
+        caps, paths, removals = scenario
+        net = FlowNetwork(caps)
+        solver = IncrementalMaxMin(net)
+        survivors: dict[int, list[int]] = {}
+
+        def fresh_rates():
+            fresh = IncrementalMaxMin(net)
+            for fid in sorted(survivors):
+                fresh.add(fid, survivors[fid])
+            return fresh.rates()
+
+        for fid, path in enumerate(paths):
+            solver.add(fid, path)
+            survivors[fid] = path
+            assert solver.rates() == fresh_rates()
+        for fid in removals:
+            solver.remove(fid)
+            del survivors[fid]
+            assert solver.rates() == fresh_rates()
+
+    @given(scenario=solver_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_matches_joint_solver(self, scenario):
+        """Against the one-shot joint solve: equal to float tolerance
+        (the joint loop saturates links in a different grouping, so
+        ulp-level drift across components is legitimate)."""
+        caps, paths, removals = scenario
+        net = FlowNetwork(caps)
+        solver = IncrementalMaxMin(net)
+        for fid, path in enumerate(paths):
+            solver.add(fid, path)
+        for fid in removals:
+            solver.remove(fid)
+        survivors = sorted(set(range(len(paths))) - set(removals))
+        if not survivors:
+            assert solver.rates() == {}
+            return
+        flows = [
+            Flow(flow_id=i, links=tuple(paths[fid]), nbytes=1)
+            for i, fid in enumerate(survivors)
+        ]
+        joint = net.maxmin_rates(net.incidence(flows))
+        incr = solver.rates()
+        got = np.asarray([incr[fid] for fid in survivors])
+        assert np.allclose(got, joint, rtol=1e-9, atol=0.0, equal_nan=False)
+
+
+class TestComponentRatesFastPath:
+    """The singleton scalar fast path must be bit-identical to the dense
+    filling it replaces (the jaguar workload is mostly singletons)."""
+
+    def _dense_reference(self, caps, path):
+        """One-flow progressive filling through the matrix machinery."""
+        net = FlowNetwork(caps)
+        links = sorted(set(path))
+        pos = {l: j for j, l in enumerate(links)}
+        inc = np.zeros((1, len(links)))
+        for l in path:
+            inc[0, pos[l]] += 1.0
+        from repro.sim.flows import _fill_dense
+
+        return _fill_dense(net.capacities[links], inc)
+
+    @given(
+        caps=st.lists(st.floats(0.5, 50.0), min_size=3, max_size=6),
+        path=st.lists(st.integers(0, 2), min_size=1, max_size=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_singleton_bitwise_identical(self, caps, path):
+        net = FlowNetwork(caps)
+        got = net.component_rates([tuple(path)])
+        ref = self._dense_reference(caps, tuple(path))
+        assert got.tolist() == ref.tolist()  # bitwise, not approx
+
+    def test_duplicate_links_halve_the_rate(self):
+        net = FlowNetwork([10.0, 40.0])
+        (rate,) = net.component_rates([(0, 0)])
+        assert rate == 5.0  # the repeated link is crossed twice
+
+
+class TestSolverBookkeeping:
+    def test_empty_path_is_infinitely_fast(self):
+        solver = IncrementalMaxMin(FlowNetwork([10.0]))
+        solver.add(0, ())
+        assert solver.rate(0) == np.inf
+        solver.remove(0)
+        assert solver.rates() == {}
+
+    def test_duplicate_add_rejected(self):
+        solver = IncrementalMaxMin(FlowNetwork([10.0]))
+        solver.add(0, (0,))
+        with pytest.raises(SimulationError):
+            solver.add(0, (0,))
+
+    def test_unknown_link_rejected(self):
+        solver = IncrementalMaxMin(FlowNetwork([10.0]))
+        with pytest.raises(SimulationError):
+            solver.add(0, (5,))
+
+    def test_remove_missing_rejected(self):
+        solver = IncrementalMaxMin(FlowNetwork([10.0]))
+        with pytest.raises(SimulationError):
+            solver.remove(3)
+
+    def test_departure_redistributes_capacity(self):
+        solver = IncrementalMaxMin(FlowNetwork([12.0]))
+        solver.add(0, (0,))
+        solver.add(1, (0,))
+        assert solver.rate(0) == solver.rate(1) == 6.0
+        solver.remove(1)
+        assert solver.rate(0) == 12.0
+
+    def test_counters_track_dirty_component_work(self):
+        solver = IncrementalMaxMin(FlowNetwork([10.0, 10.0]))
+        solver.add(0, (0,))
+        solver.add(1, (1,))
+        solver.rates()
+        # Two independent singleton components, one refresh each.
+        assert solver.component_solves == 2
+        assert solver.flows_resolved == 2
+        solver.rates()  # clean: no further work
+        assert solver.component_solves == 2
+
+
+def tiny_machine():
+    return MachineSpec(
+        name="tiny",
+        node=NodeSpec(cores=4, shm_bandwidth=100.0, shm_latency=0.0),
+        network=NetworkSpec(
+            link_bandwidth=10.0, nic_bandwidth=10.0,
+            base_latency=0.0, per_hop_latency=0.0,
+        ),
+    )
+
+
+class TestFluidEquivalence:
+    @given(
+        transfers=st.lists(
+            st.tuples(
+                st.integers(0, 31), st.integers(0, 31),
+                st.integers(0, 10 ** 4),
+                st.floats(0.0, 5.0, allow_nan=False),
+            ),
+            min_size=1, max_size=24,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_fluid_matches_joint(self, transfers):
+        """Same batch through both fluid paths: same finish times."""
+        cluster = Cluster(8, machine=tiny_machine())
+        net = NetworkModel(cluster)
+        results = []
+        for incremental in (False, True):
+            sim = FluidSimulation(net, incremental=incremental)
+            for i, (src, dst, nbytes, start) in enumerate(transfers):
+                sim.add_transfer(src, dst, nbytes, start=start, tag=i)
+            results.append(sim.run())
+        for a, b in zip(*results):
+            assert a.tag == b.tag and a.start == b.start
+            assert a.finish == pytest.approx(b.finish, rel=1e-9, abs=1e-12)

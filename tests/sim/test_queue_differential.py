@@ -1,0 +1,229 @@
+"""Differential suite: the calendar queue vs the reference heap.
+
+The calendar queue replaced the engine's binary heap as the default
+scheduler; its correctness claim is *bit-identical dispatch*: for any
+workload, both implementations fire the same events in the same
+``(time, seq)`` order with the same clock values, ties included. Every
+test here runs one workload through both and compares the full record —
+randomized via hypothesis (dynamic scheduling, daemons, equal-time
+ties, ``run(until=)`` boundaries) plus directed cases for the calendar
+queue's structural edges (year-scan fallback, resize, floor lowering).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+from repro.sim.events import CalendarEventQueue, HeapEventQueue
+
+# Times drawn from a coarse grid collide often (exact FIFO ties), floats
+# cover the general case.
+grid_times = st.integers(0, 40).map(lambda k: k * 0.25)
+float_times = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+event_times = st.one_of(grid_times, float_times)
+
+#: one root event: (time, daemon?, delays of the events it spawns)
+event_specs = st.lists(
+    st.tuples(
+        event_times,
+        st.booleans(),
+        st.lists(event_times, max_size=3),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def replay(queue, specs, until=None, drain=True):
+    """Run one workload on one queue implementation; return the record."""
+    engine = SimEngine(queue=queue)
+    log = []
+
+    def child(root_idx, child_idx):
+        log.append(("child", engine.now, root_idx, child_idx))
+
+    def root(idx, delays):
+        log.append(("root", engine.now, idx))
+        for j, d in enumerate(delays):
+            engine.schedule(d, child, idx, j)
+
+    for idx, (time, daemon, delays) in enumerate(specs):
+        if daemon:
+            # Daemon roots record but spawn nothing: they may legitimately
+            # never fire (the run stops when only daemons remain) — what
+            # matters is that both queues cut off identically.
+            engine.schedule_daemon(time, child, idx, -1)
+        else:
+            engine.schedule_at(time, root, idx, delays)
+    clocks = [engine.run(until=until)]
+    if until is not None and drain:
+        clocks.append(engine.run())
+    return log, clocks, engine.events_fired
+
+
+class TestEngineDifferential:
+    @given(specs=event_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_dispatch_order_identical(self, specs):
+        cal = replay(CalendarEventQueue(), specs)
+        heap = replay(HeapEventQueue(), specs)
+        assert cal == heap
+
+    @given(specs=event_specs, until=event_times)
+    @settings(max_examples=60, deadline=None)
+    def test_until_boundary_identical(self, specs, until):
+        """Bounded run then drain: same split, same clocks, same totals."""
+        cal = replay(CalendarEventQueue(), specs, until=until)
+        heap = replay(HeapEventQueue(), specs, until=until)
+        assert cal == heap
+
+    @given(specs=event_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_daemon_only_tail_stops_both(self, specs):
+        """Once only daemon events remain, both engines stop at the same
+        clock with the same events left un-fired."""
+        results = []
+        for queue in (CalendarEventQueue(), HeapEventQueue()):
+            engine = SimEngine(queue=queue)
+            fired = []
+            for idx, (time, daemon, _delays) in enumerate(specs):
+                if daemon:
+                    engine.schedule_daemon(time, fired.append, idx)
+                else:
+                    engine.schedule_at(time, fired.append, idx)
+            end = engine.run()
+            results.append((fired, end, engine.pending()))
+        assert results[0] == results[1]
+
+
+# -- queue-level differential ---------------------------------------------------------
+
+#: an op sequence: pushes with explicit times, pops, bounded pops, peeks
+queue_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), event_times, st.booleans()),
+        st.tuples(st.just("pop"), st.none(), st.none()),
+        st.tuples(st.just("pop_before"), event_times, st.none()),
+        st.tuples(st.just("pop_before_none"), st.none(), st.none()),
+        st.tuples(st.just("peek"), st.none(), st.none()),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def apply_ops(queue, ops):
+    """Apply an op sequence; return the observable trace."""
+    trace = []
+    for op, arg, daemon in ops:
+        if op == "push":
+            ev = queue.push(arg, lambda: None, daemon=daemon)
+            trace.append(("pushed", ev.time, ev.seq))
+        elif op == "pop":
+            try:
+                ev = queue.pop()
+                trace.append(("pop", ev.time, ev.seq, ev.daemon))
+            except SimulationError:
+                trace.append(("pop", "empty"))
+        elif op in ("pop_before", "pop_before_none"):
+            ev = queue.pop_if_before(arg)
+            trace.append(
+                ("bounded", None) if ev is None
+                else ("bounded", ev.time, ev.seq, ev.daemon)
+            )
+        else:
+            trace.append(("peek", queue.peek_time()))
+        trace.append((len(queue), queue.live_events, bool(queue)))
+    return trace
+
+
+class TestQueueDifferential:
+    @given(ops=queue_ops)
+    @settings(max_examples=80, deadline=None)
+    def test_op_sequences_identical(self, ops):
+        assert apply_ops(CalendarEventQueue(), ops) == apply_ops(
+            HeapEventQueue(), ops
+        )
+
+    @given(times=st.lists(event_times, min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_drain_identical(self, times):
+        """Pushing any multiset of times and draining yields the same
+        (time, seq) sequence from both queues."""
+        cal, heap = CalendarEventQueue(), HeapEventQueue()
+        for t in times:
+            cal.push(t, lambda: None)
+            heap.push(t, lambda: None)
+        out_c = [cal.pop() for _ in times]
+        out_h = [heap.pop() for _ in times]
+        assert [(e.time, e.seq) for e in out_c] == [
+            (e.time, e.seq) for e in out_h
+        ]
+        assert not cal and not heap
+
+
+class TestCalendarStructuralEdges:
+    """Directed cases for the calendar queue's own mechanisms, each
+    checked against the heap so the oracle stays the same."""
+
+    def test_equal_time_ties_are_fifo(self):
+        cal, heap = CalendarEventQueue(), HeapEventQueue()
+        for q in (cal, heap):
+            for i in range(10):
+                q.push(1.0, lambda: None)
+        assert [cal.pop().seq for _ in range(10)] == [
+            heap.pop().seq for _ in range(10)
+        ] == list(range(10))
+
+    def test_year_jump_falls_back_to_direct_search(self):
+        """Events farther than a whole year apart still pop in order."""
+        cal = CalendarEventQueue(nbuckets=8, width=1.0)  # year = 8 s
+        heap = HeapEventQueue()
+        for t in (1e7, 3.0, 5e6, 0.25):
+            cal.push(t, lambda: None)
+            heap.push(t, lambda: None)
+        for _ in range(4):
+            assert cal.pop().time == heap.pop().time
+
+    def test_floor_lowering_on_out_of_order_push(self):
+        """A push earlier than the last pop (allowed at queue level) must
+        surface before everything else."""
+        cal, heap = CalendarEventQueue(), HeapEventQueue()
+        for q in (cal, heap):
+            q.push(5.0, lambda: None)
+            q.push(9.0, lambda: None)
+            assert q.pop().time == 5.0
+            q.push(1.0, lambda: None)
+        assert cal.pop().time == heap.pop().time == 1.0
+        assert cal.pop().time == heap.pop().time == 9.0
+
+    def test_resize_grow_and_shrink_preserve_order(self):
+        import random
+
+        rng = random.Random(7)
+        times = [rng.uniform(0, 50.0) for _ in range(5000)]
+        cal, heap = CalendarEventQueue(), HeapEventQueue()
+        for t in times:
+            cal.push(t, lambda: None)
+            heap.push(t, lambda: None)
+        assert cal.num_buckets > CalendarEventQueue._MIN_BUCKETS  # grew
+        order_c = [(cal.pop().time, ) for _ in times]
+        order_h = [(heap.pop().time, ) for _ in times]
+        assert order_c == order_h
+        assert cal.num_buckets < 5000  # shrank back on the way down
+
+    def test_pop_empty_raises(self):
+        for q in (CalendarEventQueue(), HeapEventQueue()):
+            with pytest.raises(SimulationError):
+                q.pop()
+            assert q.pop_if_before(None) is None
+            assert q.peek_time() is None
+
+    def test_negative_time_rejected(self):
+        for q in (CalendarEventQueue(), HeapEventQueue()):
+            with pytest.raises(SimulationError):
+                q.push(-1.0, lambda: None)

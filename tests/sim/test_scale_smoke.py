@@ -1,0 +1,83 @@
+"""Jaguar-scale smoke test (slow): ~1M events on 10k nodes.
+
+Deselected by default (``-m "not slow"``); CI runs it in a separate
+non-blocking job. Three claims:
+
+* the canonical run finishes inside a generous wall budget and actually
+  dispatches ~1M events,
+* two back-to-back runs produce **byte-identical** simulated results
+  (makespan, byte counts, cache and solver counters) — host speed may
+  vary, simulation outcomes may not,
+* at a reduced scale, the calendar queue and the reference heap drive
+  the whole workload to the same makespan, bit for bit.
+"""
+
+import pytest
+
+from repro.apps.jaguar import JaguarScaleConfig, run_jaguar_scale
+from repro.sim.events import HeapEventQueue
+
+pytestmark = pytest.mark.slow
+
+#: generous ceiling: the scenario targets >= 100k events/sec on dev
+#: hardware, so ~1M events should take ~10 s; 120 s absorbs slow CI.
+WALL_BUDGET_SECONDS = 120.0
+
+
+class TestJaguarScaleSmoke:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return [run_jaguar_scale() for _ in range(2)]
+
+    def test_event_volume_and_wall_budget(self, runs):
+        r = runs[0]
+        cfg = r.config
+        assert cfg.num_nodes == 10_000
+        assert r.sim_events == cfg.ranks * cfg.iterations + cfg.iterations
+        assert r.sim_events >= 1_000_000
+        assert r.wall_clock < WALL_BUDGET_SECONDS
+
+    def test_repeat_runs_byte_identical(self, runs):
+        a, b = runs
+        assert a.makespan == b.makespan  # bitwise float equality
+        assert a.coupling_times == b.coupling_times
+        assert (a.bytes_shm, a.bytes_network) == (b.bytes_shm, b.bytes_network)
+        assert (a.bundle_hits, a.bundle_misses) == (
+            b.bundle_hits, b.bundle_misses,
+        )
+        assert (a.component_solves, a.flows_resolved, a.flows_timed) == (
+            b.component_solves, b.flows_resolved, b.flows_timed,
+        )
+
+    def test_profile_determinism_excludes_only_wall_fields(self, runs):
+        a = runs[0].profile()
+        b = runs[1].profile()
+        for key in a:
+            if key in ("wall_clock", "events_per_sec"):
+                continue
+            assert a[key] == b[key], key
+
+    def test_coupling_amortizes_through_bundle_cache(self, runs):
+        r = runs[0]
+        assert r.bundle_misses == 1
+        assert r.bundle_hits == r.config.iterations - 1
+        # In-situ placement: the bulk moves over shared memory.
+        assert r.bytes_shm > 10 * r.bytes_network
+
+
+class TestScaleDifferential:
+    def test_calendar_and_heap_agree_at_scale(self):
+        """Reduced-size jaguar run (still thousands of nodes and ~60k
+        events) on both queue implementations: identical simulation."""
+        cfg = JaguarScaleConfig(
+            num_nodes=2_000, ranks=20_000, iterations=3,
+            coupling_groups=200, cells_per_group=8_192, halo_cells=512,
+        )
+        cal = run_jaguar_scale(cfg)
+        heap = run_jaguar_scale(cfg, queue=HeapEventQueue())
+        assert cal.makespan == heap.makespan
+        assert cal.sim_events == heap.sim_events
+        assert cal.coupling_times == heap.coupling_times
+        assert (cal.bytes_shm, cal.bytes_network) == (
+            heap.bytes_shm, heap.bytes_network,
+        )
