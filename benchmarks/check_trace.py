@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Validate --trace-out / --metrics-out files against the expected shapes.
+"""Validate --trace-out / --metrics-out / --timeline-out files.
 
 CI runs the Fig 8 bench configuration with tracing on and feeds the emitted
-files through this script, so any drift in the trace_event or metrics
-snapshot format fails the build before it breaks Perfetto or trace-report.
+files through this script, so any drift in the trace_event, metrics
+snapshot, or timeline JSONL format fails the build before it breaks
+Perfetto, trace-report, or the timeline renderer.
 
 Usage:  python benchmarks/check_trace.py trace.json [metrics.json]
+                                         [--timeline timeline.jsonl]
 
 Exits 0 when every check passes, 1 with a diagnostic otherwise. The checks
 are hand-rolled (stdlib only — no jsonschema dependency).
@@ -16,8 +18,15 @@ from __future__ import annotations
 import json
 import sys
 
-#: trace_event phases the tracer is allowed to emit
-KNOWN_PHASES = {"B", "E", "i", "b", "e", "s", "f"}
+#: trace_event phases the tracer is allowed to emit ("C" = the timeline
+#: collector's counter tracks)
+KNOWN_PHASES = {"B", "E", "i", "b", "e", "s", "f", "C"}
+
+#: record kinds a --timeline-out file may contain
+TIMELINE_KINDS = {"header", "sample", "links"}
+
+#: float-comparison slack for [0, 1] bounds
+_EPS = 1e-9
 
 
 class CheckFailure(Exception):
@@ -71,6 +80,14 @@ def check_trace(path: str) -> int:
         elif ph == "i":
             if ev.get("s") not in ("t", "p", "g"):
                 fail(f"{where}: instant must carry a scope 's'")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"{where}: counter event needs a non-empty args object")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    fail(f"{where}: counter series {k!r} must be numeric, "
+                         f"got {v!r}")
         elif ph in ("b", "e"):
             if "id" not in ev or "cat" not in ev:
                 fail(f"{where}: async event needs 'id' and 'cat'")
@@ -145,7 +162,116 @@ def check_metrics(path: str) -> int:
     return cells
 
 
+def _number(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _nonneg_int(v: object) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_timeline(path: str) -> int:
+    """Validate a --timeline-out JSONL file; returns the record count.
+
+    Schema: one header record first (version, positive sample_period,
+    cluster shape), then ``sample``/``links`` records with per-kind
+    monotonically non-decreasing timestamps, non-negative counters, and
+    utilization fractions inside [0, 1].
+    """
+    header: "dict | None" = None
+    last_t: dict[str, float] = {}
+    last_events = -1
+    last_transfers = -1
+    count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for n, line in enumerate(fh):
+            where = f"{path}: line {n + 1}"
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"{where}: not JSON ({exc})")
+            if not isinstance(rec, dict):
+                fail(f"{where}: record must be an object")
+            kind = rec.get("kind")
+            if kind not in TIMELINE_KINDS:
+                fail(f"{where}: unknown record kind {kind!r}")
+            count += 1
+            if count == 1 and kind != "header":
+                fail(f"{where}: first record must be the header")
+            if kind == "header":
+                if header is not None:
+                    fail(f"{where}: duplicate header")
+                header = rec
+                version = rec.get("version")
+                if not isinstance(version, int) or version < 1:
+                    fail(f"{where}: header needs an integer version >= 1")
+                if not (_number(rec.get("sample_period"))
+                        and rec["sample_period"] > 0):
+                    fail(f"{where}: header needs a positive sample_period")
+                for field in ("num_nodes", "cores_per_node", "groups"):
+                    v = rec.get(field)
+                    if not isinstance(v, int) or v <= 0:
+                        fail(f"{where}: header needs a positive int {field!r}")
+                continue
+            t = rec.get("t")
+            if not _number(t):
+                fail(f"{where}: {kind} record needs a numeric 't'")
+            if kind in last_t and t < last_t[kind]:
+                fail(f"{where}: {kind} timestamps must be non-decreasing "
+                     f"({t} after {last_t[kind]})")
+            last_t[kind] = t
+            if kind == "sample":
+                if not _nonneg_int(rec.get("events")):
+                    fail(f"{where}: sample needs a non-negative int 'events'")
+                if rec["events"] < last_events:
+                    fail(f"{where}: events counter went backwards")
+                last_events = rec["events"]
+                for field in ("queue", "inflight", "resident", "transfers"):
+                    if not _nonneg_int(rec.get(field)):
+                        fail(f"{where}: sample needs a non-negative int "
+                             f"{field!r}")
+                if rec["transfers"] < last_transfers:
+                    fail(f"{where}: transfers counter went backwards")
+                last_transfers = rec["transfers"]
+                busy = rec.get("busy")
+                if (not isinstance(busy, list)
+                        or not all(_nonneg_int(b) for b in busy)):
+                    fail(f"{where}: sample 'busy' must be a list of "
+                         f"non-negative ints")
+                if len(busy) != header["groups"]:
+                    fail(f"{where}: 'busy' has {len(busy)} groups, header "
+                         f"says {header['groups']}")
+                frac = rec.get("busy_frac")
+                if not _number(frac) or not -_EPS <= frac <= 1 + _EPS:
+                    fail(f"{where}: busy_frac must be in [0, 1], "
+                         f"got {frac!r}")
+            else:  # links
+                for field in ("active", "net_busy", "mem_busy"):
+                    if not _nonneg_int(rec.get(field)):
+                        fail(f"{where}: links needs a non-negative int "
+                             f"{field!r}")
+                for field in ("net_util", "mem_util"):
+                    v = rec.get(field)
+                    if not _number(v) or not -_EPS <= v <= 1 + _EPS:
+                        fail(f"{where}: {field} must be in [0, 1], got {v!r}")
+    if header is None:
+        fail(f"{path}: missing header record")
+    return count
+
+
 def main(argv: list[str]) -> int:
+    timeline = None
+    if "--timeline" in argv:
+        i = argv.index("--timeline")
+        rest = argv[i + 1:i + 2]
+        if not rest:
+            print(__doc__, file=sys.stderr)
+            return 2
+        timeline = rest[0]
+        argv = argv[:i] + argv[i + 2:]
     if not 1 <= len(argv) <= 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -155,6 +281,9 @@ def main(argv: list[str]) -> int:
         if len(argv) == 2:
             cells = check_metrics(argv[1])
             print(f"{argv[1]}: OK ({cells} cells)")
+        if timeline is not None:
+            records = check_timeline(timeline)
+            print(f"{timeline}: OK ({records} records)")
     except CheckFailure as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1

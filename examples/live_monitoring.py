@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Live telemetry: watch a coupled-workflow run while it executes.
+
+Attaches the streaming timeline collector and a progress reporter to the
+concurrent scenario, entirely in memory (ring-buffer sink, progress
+callback — no files), then renders what the collector saw:
+
+* progress snapshots as they arrived (sim time, events/sec, ETA),
+* per-node-group busy-fraction heat strips on the sample grid,
+* the overhead self-account (what sampling itself cost).
+
+The same machinery streams to disk on the CLI:
+
+    repro-insitu concurrent --timeline-out tl.jsonl --sample-period 0.002 \\
+        --progress
+    repro-insitu timeline tl.jsonl
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro.analysis.ascii import heat_strip
+from repro.analysis.experiments import run_scenario
+from repro.apps.scenarios import small_concurrent
+from repro.obs.timeline import (
+    ProgressReporter,
+    RingBufferSink,
+    TimelineCollector,
+)
+
+
+def main() -> None:
+    scenario = small_concurrent()
+    print(scenario.describe())
+
+    # The collector samples on the *simulated* clock, as a daemon event —
+    # it can never keep the run alive or move its makespan. The ring sink
+    # bounds memory to the newest 4096 records whatever the run length.
+    ring = RingBufferSink(4096)
+    timeline = TimelineCollector(
+        scenario.cluster,
+        sample_period=2.5e-4,
+        node_groups=scenario.cluster.num_nodes,
+        sinks=(ring,),
+    )
+
+    # Progress callbacks fire on the same daemon-tick pattern; in a real
+    # monitor this would update a dashboard (the CLI's --progress flag
+    # renders a \r-rewritten stderr line instead).
+    snapshots = []
+    progress = ProgressReporter(period=1e-3, callback=snapshots.append)
+
+    # Give the apps actual execution windows so there is utilization to
+    # watch (pure redistribution finishes in simulated microseconds).
+    result = run_scenario(
+        scenario, time_transfers=True,
+        producer_compute=5e-3, consumer_compute=3e-3,
+        timeline=timeline, progress=progress,
+    )
+
+    print(f"\nlive progress ({len(snapshots)} snapshots)")
+    for snap in snapshots[:5]:
+        print(f"  {snap.format()}")
+    if len(snapshots) > 5:
+        print(f"  ... {len(snapshots) - 5} more")
+
+    samples = [r for r in ring.records if r["kind"] == "sample"]
+    print(f"\nutilization ({len(samples)} samples in the ring, "
+          f"{ring.evicted} evicted)")
+    groups = timeline.node_groups
+    for g in range(groups):
+        series = [
+            min(1.0, r["busy"][g] / timeline.cores.cores_per_node)
+            for r in samples
+        ]
+        print(f"  node {g:>2} |{heat_strip(series)}|")
+
+    print(f"\nqueue depth peaked at "
+          f"{max(r['queue'] for r in samples)} pending events; "
+          f"{samples[-1]['transfers']} transfers completed")
+
+    # The collector accounts for its own cost — the disabled path costs
+    # nothing (a run without a collector registers no obs.* metrics).
+    overhead = result.registry["obs.overhead.wall_seconds"].value()
+    print(f"sampling overhead: {overhead * 1e3:.2f} ms host wall clock "
+          f"({timeline.samples} samples, {timeline.link_samples} link "
+          f"samples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,10 +13,11 @@ from typing import Sequence
 
 from repro.errors import AnalysisError
 
-__all__ = ["bar_chart", "sparkline", "grouped_bars"]
+__all__ = ["bar_chart", "sparkline", "grouped_bars", "heat_strip"]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 _BAR = "█"
+_HEAT_LEVELS = " ░▒▓█"
 
 
 def bar_chart(
@@ -63,6 +64,27 @@ def grouped_bars(
             bar = _BAR * max(1 if v > 0 else 0, round(v / peak * width))
             lines.append(f"  {name:>{label_w}} | {bar} {v:g}{unit}")
     return "\n".join(lines)
+
+
+def heat_strip(values: Sequence[float], levels: str = _HEAT_LEVELS) -> str:
+    """One glyph per value, utilization in [0, 1] mapped to shade levels.
+
+    Unlike :func:`sparkline` this uses an *absolute* scale — 0.0 is always
+    blank and 1.0 always full — so strips from different runs (or rows of
+    a node x time heat map) compare directly.
+    """
+    if len(levels) < 2:
+        raise AnalysisError("heat strip needs at least two shade levels")
+    out = []
+    top = len(levels) - 1
+    for v in values:
+        v = float(v)
+        if math.isnan(v) or math.isinf(v) or not 0.0 <= v <= 1.0:
+            raise AnalysisError(
+                f"heat strip values must be finite and within [0, 1], got {v}"
+            )
+        out.append(levels[round(v * top)])
+    return "".join(out)
 
 
 def sparkline(values: Sequence[float]) -> str:

@@ -35,6 +35,7 @@ from repro.workflow.dag import Bundle, WorkflowDAG
 from repro.workflow.engine import WorkflowEngine
 
 if TYPE_CHECKING:
+    from repro.obs.timeline import ProgressReporter, TimelineCollector
     from repro.resilience.manager import ResilienceConfig
 
 __all__ = ["ScenarioResult", "run_scenario", "make_mapper"]
@@ -111,6 +112,8 @@ def run_scenario(
     consumer_compute: float = 0.0,
     hedge_factor: "float | None" = None,
     speculation_threshold: "float | None" = None,
+    timeline: "TimelineCollector | None" = None,
+    progress: "ProgressReporter | None" = None,
 ) -> ScenarioResult:
     """Execute one scenario under the named mapping strategy.
 
@@ -252,7 +255,20 @@ def run_scenario(
         consumer_bundle = engine.bundle_index_of(scenario.consumers[0].app_id)
         engine.set_bundle_mapper(consumer_bundle, chosen, **context)
 
+    if timeline is not None:
+        timeline.bind_registry(space.dart.registry)
+        timeline.resident_probe = space.stored_bytes
+        space.dart.timeline = timeline
+        engine.server.usage = timeline.cores
+        timeline.attach(engine.sim)
+    if progress is not None:
+        progress.attach(engine.sim)
+
     runs = engine.run(restore=ckpt.engine_state if ckpt is not None else None)
+
+    engine.sim.publish_metrics(space.dart.registry)
+    if progress is not None:
+        progress.close()
 
     result = ScenarioResult(
         scenario=scenario,
@@ -272,12 +288,14 @@ def run_scenario(
         result.schedules[routine.spec.app_id] = dict(routine.schedules)
 
     if time_transfers:
-        result.retrieval_times = _time_retrievals(scenario, result)
+        result.retrieval_times = _time_retrievals(scenario, result, timeline)
     return result
 
 
 def _time_retrievals(
-    scenario: CoupledScenario, result: ScenarioResult
+    scenario: CoupledScenario,
+    result: ScenarioResult,
+    timeline: "TimelineCollector | None" = None,
 ) -> dict[int, float]:
     """Fluid-simulate all consumers' pulls starting simultaneously.
 
@@ -287,7 +305,11 @@ def _time_retrievals(
     """
     network = NetworkModel(scenario.cluster)
     cluster = scenario.cluster
-    sim = FluidSimulation(network)
+    # The retrieval phase starts where the enactment clock stopped, so its
+    # link-occupancy records land after the engine's samples on the shared
+    # timeline axis.
+    t0 = result.engine.sim.now if result.engine is not None else 0.0
+    sim = FluidSimulation(network, timeline=timeline, t0=t0)
     group_of = {}
     for app_id, by_rank in result.schedules.items():
         for rank, sched in by_rank.items():

@@ -39,6 +39,7 @@ __all__ = [
     "CANONICAL",
     "run_profile",
     "run_history",
+    "sampled_utilization",
     "find_snapshots",
     "load_snapshot",
     "write_snapshot",
@@ -168,6 +169,105 @@ def run_profile(names: "list[str] | None" = None) -> dict[str, dict[str, Any]]:
     return out
 
 
+# -- sampled utilization (opt-in; never enters the regression profiles) ----------------
+
+#: fig-scale runs finish in tens of simulated milliseconds, so they need a
+#: sub-millisecond grid to catch more than a handful of samples
+_UTIL_SAMPLE_PERIOD = 5e-4
+#: the jaguar run spans ~12 simulated seconds; a 0.1 s grid gives ~10
+#: samples per iteration
+_JAGUAR_SAMPLE_PERIOD = 0.1
+#: far above any utilization run's sample count, so means are unbiased
+_UTIL_RING = 65_536
+
+
+def _summarize_timeline(tl, ring) -> dict[str, float]:
+    samples = [r for r in ring.records if r["kind"] == "sample"]
+    links = [r for r in ring.records if r["kind"] == "links"]
+    out: dict[str, float] = {
+        "samples": float(tl.samples),
+        "link_samples": float(tl.link_samples),
+        "overhead_wall_seconds": tl.overhead_wall,
+    }
+    if samples:
+        frac = [r["busy_frac"] for r in samples]
+        out["busy_frac_mean"] = sum(frac) / len(frac)
+        out["busy_frac_peak"] = max(frac)
+    if links:
+        net = [r["net_util"] for r in links]
+        mem = [r["mem_util"] for r in links]
+        out["net_util_mean"] = sum(net) / len(net)
+        out["net_util_peak"] = max(net)
+        out["mem_util_mean"] = sum(mem) / len(mem)
+        out["mem_util_peak"] = max(mem)
+    return out
+
+
+def _sampled_scenario(scenario) -> dict[str, float]:
+    from repro.analysis.experiments import run_scenario
+    from repro.obs.timeline import RingBufferSink, TimelineCollector
+
+    ring = RingBufferSink(_UTIL_RING)
+    tl = TimelineCollector(
+        scenario.cluster, sample_period=_UTIL_SAMPLE_PERIOD, sinks=(ring,)
+    )
+    run_scenario(
+        scenario,
+        time_transfers=True,
+        producer_compute=_PRODUCER_COMPUTE,
+        consumer_compute=_CONSUMER_COMPUTE,
+        timeline=tl,
+    )
+    return _summarize_timeline(tl, ring)
+
+
+def sampled_utilization(
+    names: "list[str] | None" = None,
+) -> dict[str, dict[str, float]]:
+    """Timeline-instrumented reruns -> per-scenario utilization summaries.
+
+    These are *separate* runs from the profiling ones, so the regression
+    profiles (and the committed ``BENCH_<n>.json`` bytes they are diffed
+    against) stay byte-identical whether or not utilization is requested.
+    """
+    wanted = set(names) if names else None
+
+    def want(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    out: dict[str, dict[str, float]] = {}
+    if want("fig08_concurrent"):
+        from repro.apps.scenarios import small_concurrent
+
+        out["fig08_concurrent"] = _sampled_scenario(small_concurrent())
+    if want("fig09_sequential"):
+        from repro.apps.scenarios import small_sequential
+
+        out["fig09_sequential"] = _sampled_scenario(small_sequential())
+    if want("fig16_weak_scaling"):
+        from repro.apps.scenarios import concurrent_scenario
+
+        largest = _FIG16_SCALES[-1]
+        out["fig16_weak_scaling"] = _sampled_scenario(concurrent_scenario(
+            producer_tasks=largest,
+            consumer_tasks=max(largest // 8, 1),
+            task_side=16,
+        ))
+    if want("jaguar_scale"):
+        from repro.apps.jaguar import JaguarScaleConfig, run_jaguar_scale
+        from repro.hardware.cluster import Cluster
+        from repro.obs.timeline import RingBufferSink, TimelineCollector
+
+        cluster = Cluster(JaguarScaleConfig().num_nodes)
+        ring = RingBufferSink(_UTIL_RING)
+        tl = TimelineCollector(
+            cluster, sample_period=_JAGUAR_SAMPLE_PERIOD, sinks=(ring,)
+        )
+        run_jaguar_scale(timeline=tl)
+        out["jaguar_scale"] = _summarize_timeline(tl, ring)
+    return out
+
+
 # -- snapshot files -------------------------------------------------------------------
 
 
@@ -238,6 +338,7 @@ def dashboard(
     profiles: dict[str, dict[str, Any]],
     history: "list[tuple[int, dict[str, Any]]] | None" = None,
     verdict: "Verdict | None" = None,
+    utilization: "dict[str, dict[str, float]] | None" = None,
 ) -> str:
     """ASCII dashboard: attribution bars, history sparklines, verdict."""
     from repro.obs.critpath import CATEGORIES
@@ -271,6 +372,29 @@ def dashboard(
             lines.append(bar_chart(
                 cats, [att[c] * 1e3 for c in cats], width=32, unit=" ms",
             ))
+        u = (utilization or {}).get(name)
+        if u:
+            parts = []
+            if "busy_frac_mean" in u:
+                parts.append(
+                    f"cores mean {u['busy_frac_mean']:.1%} "
+                    f"peak {u['busy_frac_peak']:.1%}"
+                )
+            if "net_util_mean" in u:
+                parts.append(
+                    f"net mean {u['net_util_mean']:.1%} "
+                    f"peak {u['net_util_peak']:.1%}"
+                )
+            if "mem_util_mean" in u:
+                parts.append(
+                    f"mem mean {u['mem_util_mean']:.1%} "
+                    f"peak {u['mem_util_peak']:.1%}"
+                )
+            lines.append(
+                "utilization (sampled): " + ", ".join(parts)
+                + f"  [{u['samples']:.0f}+{u['link_samples']:.0f} samples, "
+                f"overhead {u['overhead_wall_seconds'] * 1e3:.1f} ms wall]"
+            )
         lines.append("")
     if history:
         lines.append("== history (BENCH_* series) ==")
@@ -301,15 +425,20 @@ def run_history(
     directory: str = ".",
     scenarios: "list[str] | None" = None,
     label: str = "",
+    utilization: bool = False,
 ) -> tuple[dict[str, dict[str, Any]], "Verdict | None", str]:
     """Run the harness end to end.
 
     Returns ``(profiles, verdict, dashboard_text)``. The verdict is None
     when no previous snapshot exists to diff against. When ``out`` is
     given the fresh snapshot is written there (after the diff, so a
-    snapshot never serves as its own baseline).
+    snapshot never serves as its own baseline). ``utilization`` appends a
+    sampled-utilization line per scenario to the dashboard, measured in
+    separate timeline-instrumented runs — the profiles (and any written
+    snapshot) are byte-identical either way.
     """
     profiles = run_profile(scenarios)
+    util = sampled_utilization(scenarios) if utilization else None
     snapshots = find_snapshots(directory)
     if out is not None:
         out_abs = os.path.abspath(out)
@@ -322,7 +451,9 @@ def run_history(
         history = [(i, load_snapshot(p)) for i, p in snapshots]
         prev = history[-1][1]
         verdict = compare(snapshot_baseline(prev), profiles)
-    text = dashboard(profiles, history=history, verdict=verdict)
+    text = dashboard(
+        profiles, history=history, verdict=verdict, utilization=util
+    )
     if out is not None:
         write_snapshot(out, profiles, label=label)
     return profiles, verdict, text

@@ -133,7 +133,14 @@ class JaguarScaleResult:
 class _JaguarRun:
     """One in-flight run: iteration barriers + the coupling phase."""
 
-    def __init__(self, cfg: JaguarScaleConfig, queue: Any = None) -> None:
+    def __init__(
+        self,
+        cfg: JaguarScaleConfig,
+        queue: Any = None,
+        timeline: Any = None,
+        tracer: Any = None,
+        progress: Any = None,
+    ) -> None:
         self.cfg = cfg
         self.engine = SimEngine(queue=queue)
         self.cluster = Cluster(cfg.num_nodes)
@@ -159,6 +166,29 @@ class _JaguarRun:
         self.component_solves = 0
         self.flows_resolved = 0
         self.flows_timed = 0
+        # Observability is strictly additive: with all three hooks None the
+        # hot loop below is byte-identical to the uninstrumented run. The
+        # tracer is deliberately NOT handed to the SimEngine — wrapping a
+        # million rank events in spans would measure the tracer, not the
+        # scheduler; only the ~2x iterations phase spans are traced.
+        self.timeline = timeline
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.progress = progress
+        if self.tracer is not None and self.tracer.clock is None:
+            self.tracer.clock = lambda: self.engine.now
+        if timeline is not None:
+            #: synthetic placement: rank r computes on node r % num_nodes
+            self._node_of_rank = np.arange(cfg.ranks) % cfg.num_nodes
+            #: per-iteration completion offsets (numpy rows — the lazy
+            #: busy reconstruction below wants vector ops)
+            self._np_durations = [np.asarray(row) for row in self._durations]
+            #: completion offsets of the iteration in flight (None while
+            #: coupling) + its start time — everything the pre_sample hook
+            #: needs to reconstruct per-node busy counts at a tick
+            self._busy_times: "np.ndarray | None" = None
+            self._busy_start = 0.0
+            timeline.pre_sample = self._refresh_busy
+        self._iter_span: Any = None
 
     # -- static coupling layout --------------------------------------------------
 
@@ -198,9 +228,22 @@ class _JaguarRun:
     # -- per-iteration phases ------------------------------------------------------
 
     def _start_iteration(self, it: int) -> None:
+        if self.tracer is not None:
+            self._iter_span = self.tracer.begin_async(
+                "jaguar.iteration", it=it
+            )
         schedule = self.engine.schedule
         remaining = self.cfg.ranks
         durations = self._durations[it]
+
+        if self.timeline is not None:
+            # Zero-overhead instrumentation: the completion schedule is
+            # known up front, so busy counts are reconstructed lazily at
+            # each sample tick (_refresh_busy) instead of being tracked
+            # per event — the loop below stays byte-identical to the
+            # uninstrumented one.
+            self._busy_times = self._np_durations[it]
+            self._busy_start = self.engine.now
 
         def task_done() -> None:
             nonlocal remaining
@@ -211,7 +254,28 @@ class _JaguarRun:
         for d in durations:
             schedule(d, task_done)
 
+    def _refresh_busy(self, t: float) -> None:
+        """pre_sample hook: rebuild per-node busy counts for time ``t``.
+
+        A rank on its iteration is busy until its completion event fires;
+        sampling is read-only, so the counts come from the precomputed
+        completion offsets instead of per-event increments.
+        """
+        busy = self.timeline.cores.busy
+        times = self._busy_times
+        if times is None:  # coupling phase: no rank is computing
+            if any(busy):
+                busy[:] = [0] * len(busy)
+            return
+        alive = self._node_of_rank[times > (t - self._busy_start)]
+        busy[:] = np.bincount(alive, minlength=self.cfg.num_nodes).tolist()
+
     def _iteration_done(self, it: int) -> None:
+        if self.timeline is not None:
+            self._busy_times = None
+        if self.tracer is not None and self._iter_span is not None:
+            self.tracer.end_async(self._iter_span)
+            self._iter_span = None
         coupling = self._couple()
         self.coupling_times.append(coupling)
         if it + 1 < self.cfg.iterations:
@@ -220,6 +284,12 @@ class _JaguarRun:
             self.engine.schedule(coupling, _workflow_done)
 
     def _couple(self) -> float:
+        if self.tracer is None:
+            return self._couple_inner()
+        with self.tracer.span("jaguar.couple"):
+            return self._couple_inner()
+
+    def _couple_inner(self) -> float:
         """Bundle-scheduled, fluid-timed exchange; returns its duration."""
         scheds = self.cache.get(self._bundle_key)
         if scheds is None:
@@ -236,7 +306,10 @@ class _JaguarRun:
                 for g, (core, region) in enumerate(self._requests)
             )
             self.cache.put(self._bundle_key, scheds)
-        fluid = FluidSimulation(self.network, incremental=True)
+        fluid = FluidSimulation(
+            self.network, incremental=True,
+            timeline=self.timeline, t0=self.engine.now,
+        )
         node_of = self.cluster.node_of_core
         for sched in scheds:
             for plan in sched.plans:
@@ -260,6 +333,16 @@ class _JaguarRun:
         gc_was_enabled = gc.isenabled()
         gc.collect()
         gc.disable()
+        if self.timeline is not None:
+            self.timeline.attach(self.engine)
+        if self.progress is not None:
+            if self.progress.total_events is None:
+                # One completion event per rank per iteration, plus one
+                # barrier/terminal event per iteration.
+                self.progress.total_events = (
+                    self.cfg.ranks * self.cfg.iterations + self.cfg.iterations
+                )
+            self.progress.attach(self.engine)
         try:
             t0 = time.perf_counter()
             self._start_iteration(0)
@@ -268,6 +351,8 @@ class _JaguarRun:
         finally:
             if gc_was_enabled:
                 gc.enable()
+            if self.progress is not None:
+                self.progress.close()
         return JaguarScaleResult(
             config=self.cfg,
             makespan=makespan,
@@ -289,16 +374,35 @@ def _workflow_done() -> None:
 
 
 def run_jaguar_scale(
-    config: JaguarScaleConfig | None = None, queue: Any = None, **overrides
+    config: JaguarScaleConfig | None = None,
+    queue: Any = None,
+    *,
+    timeline: Any = None,
+    tracer: Any = None,
+    progress: Any = None,
+    **overrides,
 ) -> JaguarScaleResult:
     """Run the jaguar-scale scenario (canonical shape unless overridden).
 
     ``queue`` swaps the engine's scheduler implementation, mirroring
     :class:`~repro.sim.engine.SimEngine`; the differential and smoke
     tests use it to pit the calendar queue against the reference heap.
+
+    ``timeline`` (a :class:`~repro.obs.timeline.TimelineCollector`) samples
+    per-node busy cores, queue depth, and coupling link occupancy on the
+    simulated clock; ``progress`` (a
+    :class:`~repro.obs.timeline.ProgressReporter`) reports live events/sec
+    and ETA; ``tracer`` records the ~2x iterations phase spans (iteration
+    windows and coupling phases — never the per-rank events). All three
+    default to off and leave the run byte-identical; the instrumented run's
+    *simulated* outcome (makespan, byte counts, cache and solver stats) is
+    identical too — only ``sim_events`` grows by the daemon sampling ticks.
     """
     if config is None:
         config = JaguarScaleConfig(**overrides)
     elif overrides:
         raise SimulationError("pass either a config or overrides, not both")
-    return _JaguarRun(config, queue=queue).run()
+    return _JaguarRun(
+        config, queue=queue, timeline=timeline, tracer=tracer,
+        progress=progress,
+    ).run()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 
 from repro.analysis.experiments import DATA_CENTRIC, ROUND_ROBIN, run_scenario
@@ -86,6 +87,22 @@ def _positive_seconds(text: str) -> float:
     return s
 
 
+def _writable_path(text: str) -> str:
+    """An output path whose parent directory exists and is writable."""
+    parent = os.path.dirname(os.path.abspath(text))
+    if not os.path.isdir(parent):
+        raise argparse.ArgumentTypeError(
+            f"directory {parent!r} does not exist"
+        )
+    if not os.access(parent, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"directory {parent!r} is not writable"
+        )
+    if os.path.isdir(text):
+        raise argparse.ArgumentTypeError(f"{text!r} is a directory")
+    return text
+
+
 def _slow_node_spec(text: str) -> SlowNode:
     parts = text.split(":")
     if len(parts) not in (3, 4):
@@ -146,8 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
                  "(open in Perfetto / chrome://tracing, or feed to trace-report)",
         )
         p.add_argument(
+            "--trace-stream", action="store_true",
+            help="stream trace events to --trace-out as they happen "
+                 "(bounded memory: only open spans are retained)",
+        )
+        p.add_argument(
             "--metrics-out", metavar="PATH", default=None,
             help="write a JSON snapshot of the run's metrics registry",
+        )
+        p.add_argument(
+            "--timeline-out", metavar="PATH", default=None,
+            type=_writable_path,
+            help="stream a utilization timeline (JSONL) of the run: "
+                 "per-node-group busy cores, queue depth, resident bytes, "
+                 "coupling link occupancy; render with "
+                 "'repro-insitu timeline PATH'",
+        )
+        p.add_argument(
+            "--sample-period", type=_positive_seconds, default=0.25,
+            metavar="S",
+            help="simulated seconds between timeline samples (default 0.25)",
+        )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="report live progress (sim time, events/sec, ETA) on stderr",
         )
         p.add_argument(
             "--replication", type=int, default=1, metavar="K",
@@ -250,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "timeline",
+        help="render a --timeline-out file as per-node-group heat strips "
+             "plus a link-occupancy summary",
+    )
+    p.add_argument("path", help="path to a --timeline-out JSONL file")
+    p.add_argument(
+        "--width", type=int, default=60, metavar="COLS",
+        help="time-axis width of the heat strips (default 60)",
+    )
+
+    p = sub.add_parser(
         "perf",
         help="perf history: run the canonical Fig 8/9/16 and jaguar-scale "
              "scenarios, print critical-path attribution and events/sec, "
@@ -275,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fail-on-regression", action="store_true",
         help="exit non-zero when any metric regresses past its tolerance band",
+    )
+    p.add_argument(
+        "--utilization", action="store_true",
+        help="append a sampled utilization summary per scenario (separate "
+             "timeline-instrumented runs; the regression profiles stay "
+             "byte-identical)",
     )
 
     p = sub.add_parser("dag", help="validate and echo a workflow description file")
@@ -397,17 +453,53 @@ def _print_gray_summary(result) -> None:
 def _make_tracer(args: argparse.Namespace):
     if not getattr(args, "trace_out", None):
         return None
+    if getattr(args, "trace_stream", False):
+        from repro.obs.tracer import StreamingTracer
+
+        return StreamingTracer(args.trace_out)
     from repro.obs.tracer import Tracer
 
     return Tracer()
 
 
-def _write_obs(args: argparse.Namespace, result, tracer) -> None:
+def _make_timeline(args: argparse.Namespace, cluster):
+    if not getattr(args, "timeline_out", None):
+        return None
+    from repro.obs.timeline import JsonlStreamSink, TimelineCollector
+
+    return TimelineCollector(
+        cluster,
+        sample_period=args.sample_period,
+        sinks=(JsonlStreamSink(args.timeline_out),),
+    )
+
+
+def _make_progress(args: argparse.Namespace):
+    if not getattr(args, "progress", False):
+        return None
+    from repro.obs.timeline import ProgressReporter
+
+    return ProgressReporter()
+
+
+def _write_obs(args: argparse.Namespace, result, tracer, timeline=None) -> None:
     if tracer is not None:
-        tracer.write_chrome(args.trace_out)
+        if hasattr(tracer, "write_chrome"):
+            tracer.write_chrome(args.trace_out)
+            n = len(tracer.chrome_events())
+        else:
+            # Streaming tracer: events are already on disk, just close out.
+            tracer.close()
+            n = tracer.events_written
         print(f"\ntrace written to {args.trace_out} "
-              f"({len(tracer.chrome_events())} events); "
+              f"({n} events); "
               f"inspect with: repro-insitu trace-report {args.trace_out}")
+    if timeline is not None:
+        timeline.close()
+        print(f"timeline written to {args.timeline_out} "
+              f"({timeline.samples} samples, {timeline.link_samples} link "
+              f"samples); render with: repro-insitu timeline "
+              f"{args.timeline_out}")
     if getattr(args, "metrics_out", None) and result.registry is not None:
         result.registry.write_json(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
@@ -417,6 +509,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
     scenario = _build(scenario_name, args.scale, args.dist)
     print(scenario.describe())
     tracer = _make_tracer(args)
+    timeline = _make_timeline(args, scenario.cluster)
     result = run_scenario(
         scenario, args.mapper,
         stencil_iterations=args.stencil, time_transfers=args.time,
@@ -426,6 +519,8 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         consumer_compute=args.compute_seconds,
         hedge_factor=args.hedge_factor,
         speculation_threshold=args.speculation_threshold,
+        timeline=timeline,
+        progress=_make_progress(args),
     )
     m = result.metrics
     rows = []
@@ -450,7 +545,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
     _print_fault_summary(result)
     _print_gray_summary(result)
     _print_resilience_summary(result)
-    _write_obs(args, result, tracer)
+    _write_obs(args, result, tracer, timeline)
     return 0
 
 
@@ -458,11 +553,16 @@ def _run_compare(args: argparse.Namespace) -> int:
     rows = []
     last_result = None
     last_tracer = None
+    last_timeline = None
     for mapper in (ROUND_ROBIN, DATA_CENTRIC):
         scenario = _build(args.scenario, args.scale, args.dist)
-        # Each run gets its own tracer (clocks are per-engine); the
-        # data-centric run — the paper's contribution — is the one written.
-        tracer = _make_tracer(args)
+        # Trace and timeline stream to one file each, so only the
+        # data-centric run — the paper's contribution — is instrumented.
+        instrument = mapper == DATA_CENTRIC
+        tracer = _make_tracer(args) if instrument else None
+        timeline = (
+            _make_timeline(args, scenario.cluster) if instrument else None
+        )
         result = run_scenario(
             scenario, mapper,
             stencil_iterations=args.stencil, time_transfers=args.time,
@@ -472,9 +572,12 @@ def _run_compare(args: argparse.Namespace) -> int:
             consumer_compute=args.compute_seconds,
             hedge_factor=args.hedge_factor,
             speculation_threshold=args.speculation_threshold,
+            timeline=timeline,
+            progress=_make_progress(args),
         )
         last_result = result
         last_tracer = tracer
+        last_timeline = timeline
         m = result.metrics
         row = [
             mapper,
@@ -506,6 +609,77 @@ def _run_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii import heat_strip, sparkline
+    from repro.errors import ReproError
+    from repro.obs.timeline import read_timeline
+
+    try:
+        header, records = read_timeline(args.path)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        samples = [r for r in records if r.get("kind") == "sample"]
+        links = [r for r in records if r.get("kind") == "links"]
+        num_nodes = int(header["num_nodes"])
+        cpn = int(header["cores_per_node"])
+        groups = int(header["groups"])
+        print(f"timeline {args.path}: {len(samples)} samples, "
+              f"{len(links)} link samples")
+        print(f"cluster: {num_nodes} nodes x {cpn} cores, "
+              f"{groups} node groups, "
+              f"sample period {header['sample_period']}s")
+        if not samples:
+            print("no samples to render")
+            return 0
+        t_lo, t_hi = samples[0]["t"], samples[-1]["t"]
+        width = max(1, min(args.width, len(samples)))
+
+        def columns(series: list) -> list:
+            # Mean-pool the series into `width` time columns.
+            n = len(series)
+            out = []
+            for c in range(width):
+                lo = c * n // width
+                hi = max(lo + 1, (c + 1) * n // width)
+                chunk = series[lo:hi]
+                out.append(sum(chunk) / len(chunk))
+            return out
+
+        group_size = [0] * groups
+        for node in range(num_nodes):
+            group_size[node * groups // num_nodes] += 1
+        print()
+        print(f"per-node-group busy fraction, "
+              f"t = {t_lo:.3f}s .. {t_hi:.3f}s "
+              f"(shades: ' ' idle .. '█' full)")
+        for g in range(groups):
+            cap = group_size[g] * cpn
+            series = [
+                min(1.0, r["busy"][g] / cap) if cap else 0.0 for r in samples
+            ]
+            print(f"  group {g:>4} |{heat_strip(columns(series))}|")
+        print()
+        print("  queue depth  "
+              + sparkline(columns([r["queue"] for r in samples])))
+        print("  resident B   "
+              + sparkline(columns([r["resident"] for r in samples])))
+        if links:
+            net = [r["net_util"] for r in links]
+            mem = [r["mem_util"] for r in links]
+            print()
+            print(f"link occupancy over {len(links)} coupling samples:")
+            print(f"  net: mean {sum(net) / len(net):6.1%}  "
+                  f"peak {max(net):6.1%}")
+            print(f"  mem: mean {sum(mem) / len(mem):6.1%}  "
+                  f"peak {max(mem):6.1%}")
+    except (KeyError, IndexError, TypeError, ZeroDivisionError) as exc:
+        print(f"error: malformed timeline record ({exc!r})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_perf(args: argparse.Namespace) -> int:
     from repro.analysis.perfhistory import run_history
 
@@ -514,6 +688,7 @@ def _run_perf(args: argparse.Namespace) -> int:
         directory=args.directory,
         scenarios=args.scenario,
         label=args.label,
+        utilization=args.utilization,
     )
     print(text, end="")
     if args.out:
@@ -568,7 +743,10 @@ def _build_pair(scenario_name: str, scale: str, pd: str, cd: str):
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "trace_stream", False) and not args.trace_out:
+        parser.error("--trace-stream requires --trace-out")
     if args.command in ("concurrent", "sequential"):
         return _run_one(args, args.command)
     if args.command == "compare":
@@ -577,6 +755,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_sweep(args)
     if args.command == "trace-report":
         return _run_trace_report(args)
+    if args.command == "timeline":
+        return _run_timeline(args)
     if args.command == "perf":
         return _run_perf(args)
     return _run_dag(args)

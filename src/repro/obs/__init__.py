@@ -20,6 +20,11 @@ instrumentation:
 * :mod:`repro.obs.baseline` / :mod:`repro.obs.anomaly` — schema-versioned
   performance baselines with tolerance bands, and the pass/fail
   regression verdict of comparing a fresh run against one.
+* :mod:`repro.obs.timeline` — streaming utilization time series: a
+  sim-clock-driven collector samples per-node core occupancy, link-class
+  bandwidth occupancy, event-queue depth, and resident bytes into pluggable
+  bounded-memory sinks (ring buffer, JSONL stream, Chrome counter events),
+  with a live progress reporter and self-accounting of its own overhead.
 
 Tracing is off by default: every instrumented hot path holds a reference to
 the shared :data:`~repro.obs.tracer.NULL_TRACER`, whose ``enabled`` flag is
@@ -31,26 +36,52 @@ from repro.obs.baseline import Baseline, Tolerance
 from repro.obs.critpath import CriticalPath, SpanGraph, critical_path, stragglers
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import TraceReport
-from repro.obs.tracer import NULL_TRACER, FlowLink, NullTracer, Span, Tracer
+from repro.obs.timeline import (
+    ChromeCounterSink,
+    CoreUsage,
+    JsonlStreamSink,
+    ProgressReporter,
+    ProgressSnapshot,
+    RingBufferSink,
+    TimelineCollector,
+    read_timeline,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    FlowLink,
+    NullTracer,
+    Span,
+    StreamingTracer,
+    Tracer,
+)
 
 __all__ = [
     "Baseline",
+    "ChromeCounterSink",
+    "CoreUsage",
     "Counter",
     "CriticalPath",
     "Deviation",
     "FlowLink",
     "Gauge",
     "Histogram",
+    "JsonlStreamSink",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProgressReporter",
+    "ProgressSnapshot",
+    "RingBufferSink",
     "Span",
     "SpanGraph",
+    "StreamingTracer",
+    "TimelineCollector",
     "Tolerance",
     "TraceReport",
     "Tracer",
     "Verdict",
     "compare",
     "critical_path",
+    "read_timeline",
     "stragglers",
 ]

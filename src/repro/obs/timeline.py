@@ -1,0 +1,515 @@
+"""Streaming telemetry timeline: bounded-memory utilization time series.
+
+The span :class:`~repro.obs.tracer.Tracer` answers *what happened*; this
+module answers *how busy the machine was while it happened*. A
+:class:`TimelineCollector` rides the simulated clock as a daemon event and,
+every ``sample_period`` simulated seconds, snapshots
+
+* per-node busy-core counts (aggregated into at most ``node_groups``
+  contiguous node groups so a 10,000-node sample stays a short list),
+* event-queue depth and events dispatched so far,
+* data-space resident bytes and cumulative transfer counts,
+* the in-flight transfer count (always 0 for the instantaneous HybridDART
+  transport; the hook exists for future asynchronous transports).
+
+During a fluid-simulated coupling phase the collector additionally receives
+``links`` records from :class:`~repro.sim.fluid.FluidSimulation`: per-link
+bandwidth occupancy derived from the solver's current max-min rates,
+aggregated by link class (``net`` = NIC/torus links, ``mem`` = per-node
+memory channels).
+
+Records flow through pluggable *sinks* — a bounded ring buffer
+(:class:`RingBufferSink`), a streaming JSONL file (:class:`JsonlStreamSink`),
+and a streaming Chrome ``counter``-event file (:class:`ChromeCounterSink`) —
+so collector memory is O(ring size), never O(events): the million-event
+``jaguar_scale`` run can be observed end to end.
+
+The collector accounts for itself: when bound to a
+:class:`~repro.obs.metrics.MetricsRegistry` it registers
+``obs.overhead.samples`` (per record kind) and ``obs.overhead.wall_seconds``
+(host wall-clock spent sampling — the one deliberately nondeterministic
+metric). Nothing is registered, scheduled, or touched when no collector is
+attached; the disabled path stays byte-identical to the uninstrumented run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.hardware.cluster import Cluster
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import SimEngine
+
+__all__ = [
+    "TIMELINE_VERSION",
+    "CoreUsage",
+    "TimelineCollector",
+    "RingBufferSink",
+    "JsonlStreamSink",
+    "ChromeCounterSink",
+    "ProgressSnapshot",
+    "ProgressReporter",
+    "read_timeline",
+]
+
+#: schema version stamped into every timeline header record
+TIMELINE_VERSION = 1
+
+#: record kinds a collector emits (headers first, then the two series)
+RECORD_KINDS = ("header", "sample", "links")
+
+
+class CoreUsage:
+    """O(1)-per-update busy-core accounting, one counter per node.
+
+    Instrumented call sites (the workflow management server, the jaguar
+    hot loop) bump a node's counter when a core starts work and drop it on
+    release; the sampler reads the whole array once per period. Keeping the
+    counters per *node* (not per core) is what lets a 100,000-rank run pay
+    one integer add per event.
+    """
+
+    __slots__ = ("num_nodes", "cores_per_node", "busy")
+
+    def __init__(self, num_nodes: int, cores_per_node: int = 1) -> None:
+        if num_nodes <= 0 or cores_per_node <= 0:
+            raise ReproError("CoreUsage needs positive node and core counts")
+        self.num_nodes = int(num_nodes)
+        self.cores_per_node = int(cores_per_node)
+        self.busy = [0] * self.num_nodes
+
+    def acquire(self, node: int, n: int = 1) -> None:
+        self.busy[node] += n
+
+    def release(self, node: int, n: int = 1) -> None:
+        new = self.busy[node] - n
+        if new < 0:
+            raise ReproError(
+                f"node {node} released below zero busy cores"
+            )
+        self.busy[node] = new
+
+    def busy_cores(self) -> int:
+        return sum(self.busy)
+
+    def busy_fraction(self) -> float:
+        return self.busy_cores() / (self.num_nodes * self.cores_per_node)
+
+    def reset(self) -> None:
+        self.busy = [0] * self.num_nodes
+
+
+# -- sinks ----------------------------------------------------------------------------
+
+
+class RingBufferSink:
+    """Keeps the last ``maxlen`` records in memory (oldest evicted first)."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen <= 0:
+            raise ReproError("ring buffer needs a positive maxlen")
+        self.maxlen = int(maxlen)
+        self._ring: deque[dict[str, Any]] = deque(maxlen=self.maxlen)
+        #: total records ever written (so eviction volume is visible)
+        self.written = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._ring.append(record)
+        self.written += 1
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        return list(self._ring)
+
+    @property
+    def evicted(self) -> int:
+        return self.written - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def close(self) -> None:
+        return None
+
+
+class JsonlStreamSink:
+    """Streams each record as one compact JSON line (the ``--timeline-out``
+    format). Memory stays O(1); the file is the store."""
+
+    def __init__(self, path_or_file: Any) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+        self.written = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+
+class ChromeCounterSink:
+    """Streams ``ph: "C"`` counter events in Chrome ``trace_event`` form.
+
+    Loadable next to a span trace in Perfetto: busy cores, queue depth, and
+    resident bytes become stacked counter tracks under the same simulated
+    timebase (ts in µs). Events are written as they happen; only the
+    enclosing JSON array brackets are buffered, so memory stays O(1).
+    """
+
+    def __init__(self, path_or_file: Any) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+        self._fh.write('{"traceEvents": [\n')
+        self._first = True
+        self.written = 0
+
+    def _emit(self, name: str, ts: float, args: dict[str, Any]) -> None:
+        ev = {"name": name, "ph": "C", "ts": ts * 1e6, "pid": 0, "tid": 0,
+              "args": args}
+        if not self._first:
+            self._fh.write(",\n")
+        self._first = False
+        self._fh.write(json.dumps(ev, separators=(",", ":")))
+        self.written += 1
+
+    def write(self, record: dict[str, Any]) -> None:
+        kind = record.get("kind")
+        if kind == "sample":
+            t = record["t"]
+            self._emit("timeline.cores", t, {"busy": sum(record["busy"])})
+            self._emit("timeline.queue", t, {"pending": record["queue"]})
+            self._emit("timeline.resident", t, {"bytes": record["resident"]})
+        elif kind == "links":
+            self._emit("timeline.links", record["t"], {
+                "net_util": record["net_util"],
+                "mem_util": record["mem_util"],
+                "active": record["active"],
+            })
+        # header records carry no time series; they stay JSONL-only
+
+    def close(self) -> None:
+        self._fh.write("\n]}\n")
+        if self._owns:
+            self._fh.close()
+
+
+# -- the collector --------------------------------------------------------------------
+
+
+class TimelineCollector:
+    """Sim-clock-driven sampler writing through pluggable sinks.
+
+    Construct with either a :class:`~repro.hardware.cluster.Cluster` (the
+    usual case) or explicit ``num_nodes``/``cores_per_node``; attach to a
+    :class:`~repro.sim.engine.SimEngine` and the collector reschedules
+    itself as a *daemon* event every ``sample_period`` simulated seconds —
+    sampling can never keep a run alive or change its makespan.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster | None" = None,
+        *,
+        sample_period: float = 0.25,
+        sinks: Iterable[Any] = (),
+        num_nodes: "int | None" = None,
+        cores_per_node: "int | None" = None,
+        node_groups: int = 64,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        if not (isinstance(sample_period, (int, float))
+                and math.isfinite(sample_period) and sample_period > 0):
+            raise ReproError(
+                f"sample_period must be a positive number of simulated "
+                f"seconds, got {sample_period!r}"
+            )
+        if cluster is not None:
+            num_nodes = cluster.num_nodes
+            cores_per_node = cluster.cores_per_node
+        self.num_nodes = int(num_nodes) if num_nodes else 1
+        self.cores_per_node = int(cores_per_node) if cores_per_node else 1
+        if node_groups <= 0:
+            raise ReproError("node_groups must be positive")
+        self.node_groups = min(int(node_groups), self.num_nodes)
+        self.sample_period = float(sample_period)
+        self.cores = CoreUsage(self.num_nodes, self.cores_per_node)
+        self._sinks: list[Any] = list(sinks)
+        # node -> group index (contiguous, near-equal slices)
+        self._group_of = [
+            n * self.node_groups // self.num_nodes
+            for n in range(self.num_nodes)
+        ]
+        self._group_sizes = [0] * self.node_groups
+        for g in self._group_of:
+            self._group_sizes[g] += 1
+        #: optional zero-arg probe for data-space resident bytes
+        self.resident_probe: "Callable[[], int] | None" = None
+        #: optional hook called with the sample time right before each
+        #: tick reads the busy counters — lets a driver that precomputes
+        #: its completion schedule refresh ``cores.busy`` lazily instead
+        #: of paying per-event bookkeeping on its hot path
+        self.pre_sample: "Callable[[float], None] | None" = None
+        #: asynchronous transfers currently in flight (see module docstring)
+        self.inflight = 0
+        #: cumulative completed transfers / bytes (transport-fed)
+        self.transfers_completed = 0
+        self.transferred_bytes = 0
+        #: records emitted, per kind
+        self.samples = 0
+        self.link_samples = 0
+        #: host wall-clock seconds spent inside the sampler (overhead
+        #: self-accounting; deliberately nondeterministic)
+        self.overhead_wall = 0.0
+        self._engine: "SimEngine | None" = None
+        self._m_samples = None
+        self._m_wall = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def add_sink(self, sink: Any) -> None:
+        self._sinks.append(sink)
+
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
+        """Register the ``obs.overhead.*`` instruments on ``registry``.
+
+        Called only when a collector actually exists, so timeline-off runs
+        register no ``obs.`` metrics at all (the perf guard pins this).
+        """
+        self._m_samples = registry.counter(
+            "obs.overhead.samples", labelnames=("kind",)
+        )
+        self._m_wall = registry.gauge("obs.overhead.wall_seconds")
+
+    def attach(self, engine: "SimEngine") -> None:
+        """Bind to ``engine`` and start the periodic sampling daemon."""
+        if self._engine is not None:
+            raise ReproError("timeline collector is already attached")
+        self._engine = engine
+        self.emit({
+            "kind": "header",
+            "version": TIMELINE_VERSION,
+            "t": engine.now,
+            "sample_period": self.sample_period,
+            "num_nodes": self.num_nodes,
+            "cores_per_node": self.cores_per_node,
+            "groups": self.node_groups,
+        })
+        engine.schedule_daemon(0.0, self._tick)
+
+    # -- transport hooks -------------------------------------------------------
+
+    def transfer_started(self) -> None:
+        self.inflight += 1
+
+    def transfer_finished(self) -> None:
+        self.inflight -= 1
+
+    def note_transfer(self, nbytes: int = 0) -> None:
+        """Record one completed (instantaneous) transfer."""
+        self.transfers_completed += 1
+        self.transferred_bytes += nbytes
+
+    # -- sampling --------------------------------------------------------------
+
+    def group_counts(self) -> list[int]:
+        """Per-group busy-core counts (the ``busy`` field of a sample)."""
+        counts = [0] * self.node_groups
+        group_of = self._group_of
+        for node, busy in enumerate(self.cores.busy):
+            if busy:
+                counts[group_of[node]] += busy
+        return counts
+
+    def _tick(self) -> None:
+        wall0 = time.perf_counter()
+        engine = self._engine
+        if self.pre_sample is not None:
+            self.pre_sample(engine.now)
+        resident = self.resident_probe() if self.resident_probe is not None else 0
+        self.emit({
+            "kind": "sample",
+            "t": engine.now,
+            "events": engine.dispatched(),
+            "queue": engine.pending(),
+            "busy": self.group_counts(),
+            "busy_frac": self.cores.busy_fraction(),
+            "inflight": self.inflight,
+            "resident": int(resident),
+            "transfers": self.transfers_completed,
+        })
+        self.overhead_wall += time.perf_counter() - wall0
+        if self._m_wall is not None:
+            self._m_wall.set(self.overhead_wall)
+        engine.schedule_daemon(self.sample_period, self._tick)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Push one record through every sink (fluid phases call this too)."""
+        kind = record.get("kind")
+        if kind == "sample":
+            self.samples += 1
+        elif kind == "links":
+            self.link_samples += 1
+        if self._m_samples is not None and kind != "header":
+            self._m_samples.inc(kind=kind)
+        for sink in self._sinks:
+            sink.write(record)
+
+    def add_overhead(self, seconds: float) -> None:
+        """Fold externally measured sampling cost (fluid link sampling)
+        into the wall-clock overhead account."""
+        self.overhead_wall += seconds
+        if self._m_wall is not None:
+            self._m_wall.set(self.overhead_wall)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+# -- live progress ---------------------------------------------------------------------
+
+
+class ProgressSnapshot:
+    """One progress observation: simulated time vs host throughput."""
+
+    __slots__ = ("sim_time", "events", "wall_seconds", "events_per_sec", "eta")
+
+    def __init__(self, sim_time: float, events: int, wall_seconds: float,
+                 events_per_sec: float, eta: "float | None") -> None:
+        self.sim_time = sim_time
+        self.events = events
+        self.wall_seconds = wall_seconds
+        self.events_per_sec = events_per_sec
+        #: estimated host seconds to completion (None without a total hint)
+        self.eta = eta
+
+    def format(self) -> str:
+        line = (f"sim t={self.sim_time:.3f}s  events={self.events}  "
+                f"{self.events_per_sec:,.0f} ev/s")
+        if self.eta is not None:
+            line += f"  eta {self.eta:.1f}s"
+        return line
+
+
+class ProgressReporter:
+    """Live progress on the simulated clock: events/sec, sim-time, ETA.
+
+    Reports every ``period`` simulated seconds through ``callback`` (the
+    hook a streaming front-end would subscribe to) or, by default, as a
+    single self-overwriting stderr line. Rides a daemon event, so it never
+    extends the run.
+    """
+
+    def __init__(
+        self,
+        period: float = 1.0,
+        callback: "Callable[[ProgressSnapshot], None] | None" = None,
+        stream: Any = None,
+        total_events: "int | None" = None,
+    ) -> None:
+        if not (isinstance(period, (int, float))
+                and math.isfinite(period) and period > 0):
+            raise ReproError(
+                f"progress period must be positive, got {period!r}"
+            )
+        self.period = float(period)
+        self.callback = callback
+        self.stream = stream if stream is not None else (
+            None if callback is not None else sys.stderr
+        )
+        self.total_events = total_events
+        self.snapshots = 0
+        self._engine: "SimEngine | None" = None
+        self._wall0 = 0.0
+
+    def attach(self, engine: "SimEngine") -> None:
+        if self._engine is not None:
+            raise ReproError("progress reporter is already attached")
+        self._engine = engine
+        self._wall0 = time.perf_counter()
+        engine.schedule_daemon(0.0, self._tick)
+
+    def _tick(self) -> None:
+        engine = self._engine
+        wall = time.perf_counter() - self._wall0
+        events = engine.dispatched()
+        eps = events / wall if wall > 0 else 0.0
+        eta = None
+        if self.total_events is not None and eps > 0:
+            eta = max(0, self.total_events - events) / eps
+        snap = ProgressSnapshot(engine.now, events, wall, eps, eta)
+        self.snapshots += 1
+        if self.callback is not None:
+            self.callback(snap)
+        if self.stream is not None:
+            self.stream.write("\r" + snap.format())
+            self.stream.flush()
+        engine.schedule_daemon(self.period, self._tick)
+
+    def close(self) -> None:
+        if self.stream is not None and self.snapshots:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+# -- reading timelines back ------------------------------------------------------------
+
+
+def read_timeline(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Parse a ``--timeline-out`` JSONL file -> (header, records).
+
+    Raises :class:`~repro.errors.ReproError` on structural problems (the
+    CLI ``timeline`` subcommand maps that to exit code 1); full semantic
+    validation lives in ``benchmarks/check_trace.py``.
+    """
+    header: "dict[str, Any] | None" = None
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for n, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{n + 1}: not JSON: {exc}") from None
+            if not isinstance(rec, dict) or "kind" not in rec:
+                raise ReproError(f"{path}:{n + 1}: record needs a 'kind'")
+            if rec["kind"] == "header":
+                if header is not None:
+                    raise ReproError(f"{path}:{n + 1}: duplicate header")
+                if records:
+                    raise ReproError(f"{path}:{n + 1}: header must come first")
+                header = rec
+            else:
+                records.append(rec)
+    if header is None:
+        raise ReproError(f"{path}: missing header record")
+    if int(header.get("version", 0)) > TIMELINE_VERSION:
+        raise ReproError(
+            f"{path}: timeline version {header.get('version')} is newer "
+            f"than supported {TIMELINE_VERSION}"
+        )
+    return header, records

@@ -38,7 +38,14 @@ from typing import Any, Callable, Iterator
 
 from repro.errors import ReproError
 
-__all__ = ["FlowLink", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "FlowLink",
+    "Span",
+    "Tracer",
+    "StreamingTracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
 
 
 class Span:
@@ -281,6 +288,152 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_chrome(), fh, indent=1)
             fh.write("\n")
+
+
+class StreamingTracer:
+    """Bounded-memory tracer: spans stream to a file as they happen.
+
+    API-compatible with :class:`Tracer` for recording (``span`` /
+    ``instant`` / ``begin_async`` / ``end_async`` / ``link`` / ``current``
+    / ``open_spans``), but instead of buffering every event it writes each
+    Chrome ``trace_event`` record the moment it is emitted and retains only
+    the *open* synchronous span stack — memory is O(open spans), not
+    O(events), which is what lets a million-event jaguar-scale run keep a
+    trace on.
+
+    The trade-offs relative to the buffered tracer, both deliberate:
+
+    * no in-memory span tree — ``roots``/``all_spans``/``to_chrome`` do not
+      exist; read the written file back instead;
+    * flow links are emitted as their ``s``/``f`` event pair immediately,
+      which may precede the ``E`` event of either endpoint in the stream.
+      ``benchmarks/check_trace.py`` resolves flow references at end of
+      file, so the emitted files stay valid.
+
+    Call :meth:`close` when the run ends — it balances the JSON array and
+    raises if synchronous spans are still open (a malformed trace should
+    fail loudly, not parse accidentally).
+    """
+
+    enabled = True
+
+    def __init__(
+        self, path_or_file: Any, clock: "Callable[[], float] | None" = None
+    ) -> None:
+        self.clock = clock
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+        self._fh.write('{"traceEvents": [\n')
+        self._first = True
+        self._closed = False
+        self._stack: list[Span] = []
+        self._seq = itertools.count()
+        self._open_async = 0
+        #: events written so far (diagnostics; memory stays flat regardless)
+        self.events_written = 0
+
+    def now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _write(self, ev: dict[str, Any]) -> None:
+        if self._closed:
+            raise ReproError("streaming tracer is closed")
+        if not self._first:
+            self._fh.write(",\n")
+        self._first = False
+        self._fh.write(json.dumps(ev, separators=(",", ":")))
+        self.events_written += 1
+
+    def _event(self, ph: str, t: float, sp: Span) -> dict[str, Any]:
+        ev: dict[str, Any] = {
+            "name": sp.name, "ph": ph, "ts": t * 1e6, "pid": 0, "tid": 0,
+        }
+        if ph in ("b", "e"):
+            ev["cat"] = "workflow"
+            ev["id"] = sp.seq
+        else:
+            ev["cat"] = sp.name.split(".", 1)[0]
+        if ph == "i":
+            ev["s"] = "t"
+        if ph != "B":
+            ev["args"] = dict(sp.attrs, seq=sp.seq)
+        return ev
+
+    # -- recording (Tracer-compatible surface) ----------------------------------
+
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        sp = Span(name, self.now(), next(self._seq), attrs, "span", self)
+        self._stack.append(sp)
+        self._write(self._event("B", sp.start, sp))
+        return sp
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ReproError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        span.end = self.now()
+        self._write(self._event("E", span.end, span))
+
+    def instant(self, name: str, /, **attrs: Any) -> Span:
+        sp = Span(name, self.now(), next(self._seq), attrs, "instant", self)
+        sp.end = sp.start
+        self._write(self._event("i", sp.start, sp))
+        return sp
+
+    def begin_async(self, name: str, /, **attrs: Any) -> Span:
+        sp = Span(name, self.now(), next(self._seq), attrs, "async", self)
+        self._open_async += 1
+        self._write(self._event("b", sp.start, sp))
+        return sp
+
+    def end_async(self, span: Span, **attrs: Any) -> None:
+        if span.kind != "async":
+            raise ReproError(f"span {span.name!r} is not an async span")
+        if span.end is not None:
+            raise ReproError(f"async span {span.name!r} already finished")
+        span.attrs.update(attrs)
+        span.end = self.now()
+        self._open_async -= 1
+        self._write(self._event("e", span.end, span))
+
+    def link(self, source: Span, target: Span, kind: str = "flow") -> None:
+        """Emit the causal edge immediately as an ``s``/``f`` event pair."""
+        if source is target:
+            raise ReproError(f"span {source.name!r} cannot link to itself")
+        link_id = next(self._seq)
+        src_ts = (source.end if source.end is not None else source.start) * 1e6
+        args = {"source": source.seq, "target": target.seq}
+        common = {"name": kind, "cat": "flow", "pid": 0, "tid": 0}
+        self._write(dict(common, ph="s", id=link_id, ts=src_ts,
+                         args=dict(args)))
+        self._write(dict(common, ph="f", bp="e", id=link_id,
+                         ts=target.start * 1e6, args=dict(args)))
+
+    def current(self) -> "Span | None":
+        return self._stack[-1] if self._stack else None
+
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Balance the JSON document and release the file."""
+        if self._closed:
+            return
+        if self._stack:
+            raise ReproError(
+                f"streaming tracer closed with open spans: "
+                f"{[sp.name for sp in self._stack]}"
+            )
+        self._fh.write('\n], "displayTimeUnit": "ms"}\n')
+        self._closed = True
+        if self._owns:
+            self._fh.close()
 
 
 class _NullSpan(Span):

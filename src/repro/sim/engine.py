@@ -58,6 +58,9 @@ class SimEngine:
             self.tracer.clock = lambda: self._now
         #: events dispatched over this engine's lifetime (cheap diagnostics)
         self.events_fired = 0
+        #: live view of the in-flight dispatch counter (set inside run();
+        #: daemon probes — progress, timeline — read through dispatched())
+        self._live_fired: "Callable[[], int] | None" = None
         self.fault_injector = fault_injector
         if fault_injector is not None:
             fault_injector.arm(self)
@@ -137,7 +140,9 @@ class SimEngine:
         tracer = self.tracer
         queue = self._queue
         pop_if_before = queue.pop_if_before
+        base = self.events_fired
         fired = 0
+        self._live_fired = lambda: base + fired
         try:
             while queue.live_events:
                 ev = pop_if_before(until)
@@ -166,8 +171,43 @@ class SimEngine:
                     self._now = until
         finally:
             self._running = False
+            self._live_fired = None
             self.events_fired += fired
         return self._now
 
     def pending(self) -> int:
         return len(self._queue)
+
+    def dispatched(self) -> int:
+        """Events dispatched so far — correct even mid-run.
+
+        ``events_fired`` is folded in only when :meth:`run` returns (the
+        hot loop counts in a local); daemon-event probes (the timeline
+        collector, the progress reporter) fire *inside* the loop and need
+        the live count, which this reads through a closure over the loop's
+        counter.
+        """
+        return (self.events_fired if self._live_fired is None
+                else self._live_fired())
+
+    def publish_metrics(self, registry: Any) -> None:
+        """Export engine/queue health into a metrics registry.
+
+        Gauges (``sim.events_fired``, ``sim.queue.pending``, and — on the
+        calendar queue — ``sim.queue.buckets``/``sim.queue.bucket_width``)
+        are point-in-time and safe to publish repeatedly; the resize
+        counter (``sim.queue.resizes{direction=...}``) transfers the
+        queue's cumulative counts, so call this once per run (the scenario
+        driver does, right after the engine drains).
+        """
+        registry.gauge("sim.events_fired").set(self.events_fired)
+        registry.gauge("sim.queue.pending").set(len(self._queue))
+        queue = self._queue
+        if hasattr(queue, "num_buckets"):  # calendar-queue diagnostics
+            registry.gauge("sim.queue.buckets").set(queue.num_buckets)
+            registry.gauge("sim.queue.bucket_width").set(queue.bucket_width)
+            resizes = registry.counter(
+                "sim.queue.resizes", labelnames=("direction",)
+            )
+            resizes.inc(queue.resizes_grow, direction="grow")
+            resizes.inc(queue.resizes_shrink, direction="shrink")

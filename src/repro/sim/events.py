@@ -160,6 +160,10 @@ class CalendarEventQueue:
         #: cached current minimum and its bucket (invalidated on mutation)
         self._head: Event | None = None
         self._head_bucket: "list[Event] | None" = None
+        #: cumulative adaptation counts (queue-health diagnostics, exported
+        #: through ``SimEngine.publish_metrics``)
+        self.resizes_grow = 0
+        self.resizes_shrink = 0
 
     @property
     def live_events(self) -> int:
@@ -281,15 +285,23 @@ class CalendarEventQueue:
         buckets are concatenations of sorted runs and Timsort re-sorts
         each one near-linearly."""
         nbuckets = min(max(nbuckets, self._MIN_BUCKETS), self._MAX_BUCKETS)
+        if nbuckets > self._nbuckets:
+            self.resizes_grow += 1
+        elif nbuckets < self._nbuckets:
+            self.resizes_shrink += 1
         old = self._buckets
         # Width sample: walk buckets in year order from the floor so the
         # sample skews toward the earliest (soonest-relevant) events.
+        # Daemon heartbeats (progress/timeline ticks) are excluded — one
+        # sparse periodic tick sitting ahead of a dense burst would blow
+        # up the mean gap and collapse the burst into a handful of deep
+        # buckets.
         sample: list[float] = []
         day = int(self._floor / self._width)
         for i in range(day, day + self._nbuckets):
             bucket = old[i % self._nbuckets]
             if bucket:
-                sample.extend(ev.time for ev in bucket)
+                sample.extend(ev.time for ev in bucket if not ev.daemon)
                 if len(sample) >= self._WIDTH_SAMPLE:
                     break
         sample.sort()

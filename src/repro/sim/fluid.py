@@ -15,14 +15,19 @@ and Fig 16.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.hardware.network import NetworkModel
 from repro.sim.flows import Flow, FlowNetwork, IncrementalMaxMin
+
+if TYPE_CHECKING:
+    from repro.obs.timeline import TimelineCollector
 
 __all__ = ["FluidSimulation", "TransferTiming"]
 
@@ -50,7 +55,11 @@ class FluidSimulation:
     """Times a batch of transfers on a cluster with fair link sharing."""
 
     def __init__(
-        self, network: NetworkModel, incremental: "bool | None" = None
+        self,
+        network: NetworkModel,
+        incremental: "bool | None" = None,
+        timeline: "TimelineCollector | None" = None,
+        t0: float = 0.0,
     ) -> None:
         self.network = network
         cluster = network.cluster
@@ -68,6 +77,13 @@ class FluidSimulation:
         self.incremental = incremental
         #: dirty-component solver statistics of the last incremental run
         self.last_solver_stats: dict[str, int] = {}
+        #: optional telemetry collector: when set, the event loops emit
+        #: per-link-class occupancy ("links") records at every sample-period
+        #: boundary crossed by the fluid clock, with fluid-internal times
+        #: offset by ``t0`` (the engine time the coupling phase started at)
+        self.timeline = timeline
+        self.t0 = float(t0)
+        self._next_sample = math.inf
 
     # -- building the batch -----------------------------------------------------
 
@@ -128,6 +144,68 @@ class FluidSimulation:
             return self._run_incremental()
         return self._run_joint()
 
+    # -- telemetry sampling -------------------------------------------------------
+
+    def _arm_sampling(self, now: float) -> None:
+        """Place the next sample boundary at or after ``t0 + now``,
+        aligned to the collector's absolute sample grid."""
+        tl = self.timeline
+        if tl is None:
+            return
+        p = tl.sample_period
+        self._next_sample = math.ceil((self.t0 + now) / p - 1e-9) * p - self.t0
+
+    def _emit_link_samples(
+        self, now: float, step: float, pairs: "list[tuple[int, float]]"
+    ) -> None:
+        """Emit one ``links`` record per sample boundary inside
+        ``[now, now + step]`` from the current rate allocation.
+
+        ``pairs`` is the active ``(flow index, rate)`` set; per-link load is
+        rebuilt by walking only the active flows' paths, so a sample costs
+        O(active flows x path length), independent of the cluster size. The
+        allocation is constant across the step, so every boundary in the
+        window shares one load computation.
+        """
+        tl = self.timeline
+        wall0 = time.perf_counter()
+        caps = self.flow_network.capacities
+        mem_base = self._mem_base
+        net: dict[int, float] = {}
+        mem: dict[int, float] = {}
+        active = 0
+        for i, rate in pairs:
+            if not rate > 0.0:
+                continue
+            active += 1
+            if math.isinf(rate):
+                continue  # empty-path flows occupy nothing
+            for link in self._paths[i]:
+                loads = mem if link >= mem_base else net
+                loads[link] = loads.get(link, 0.0) + rate
+
+        def util(loads: "dict[int, float]") -> float:
+            # Mean utilization over the links that carry traffic; max-min
+            # never over-fills a link, so this lands in [0, 1].
+            if not loads:
+                return 0.0
+            frac = sum(float(r / caps[l]) for l, r in loads.items()) / len(loads)
+            return min(1.0, frac)
+
+        base = {
+            "kind": "links",
+            "active": active,
+            "net_busy": len(net),
+            "net_util": util(net),
+            "mem_busy": len(mem),
+            "mem_util": util(mem),
+        }
+        bound = now + step + 1e-15
+        while self._next_sample <= bound:
+            tl.emit(dict(base, t=self.t0 + self._next_sample))
+            self._next_sample += tl.sample_period
+        tl.add_overhead(time.perf_counter() - wall0)
+
     def _run_joint(self) -> list[TransferTiming]:
         n = len(self._paths)
         flows = [
@@ -152,6 +230,7 @@ class FluidSimulation:
         start_ptr = 0
         if pending_starts:
             now = pending_starts[0]
+        self._arm_sampling(now)
 
         while True:
             started = starts <= now + 1e-15
@@ -162,6 +241,8 @@ class FluidSimulation:
                 break
             if not np.any(active):
                 now = pending_starts[start_ptr]
+                # Idle gap: nothing flows, so skip the boundaries inside it.
+                self._arm_sampling(now)
                 continue
             rates = self.flow_network.maxmin_rates(incidence, active)
             with np.errstate(divide="ignore", invalid="ignore"):
@@ -177,6 +258,12 @@ class FluidSimulation:
             step = min(next_finish, next_start)
             if not np.isfinite(step):
                 raise SimulationError("fluid simulation stalled (no progress)")
+            if self.timeline is not None and self._next_sample <= now + step + 1e-15:
+                act_idx = np.flatnonzero(active)
+                self._emit_link_samples(
+                    now, step,
+                    [(int(i), float(rates[i])) for i in act_idx],
+                )
             # Progress the active flows.
             finite_rates = np.where(np.isfinite(rates), rates, 0.0)
             remaining[active] -= finite_rates[active] * step
@@ -216,6 +303,7 @@ class FluidSimulation:
         ptr = 0
         active: set[int] = set()
         now = starts[arrivals[0]] if arrivals else 0.0
+        self._arm_sampling(now)
 
         while True:
             while ptr < len(arrivals) and starts[arrivals[ptr]] <= now + 1e-15:
@@ -227,6 +315,8 @@ class FluidSimulation:
                 if ptr >= len(arrivals):
                     break
                 now = starts[arrivals[ptr]]
+                # Idle gap: nothing flows, so skip the boundaries inside it.
+                self._arm_sampling(now)
                 continue
             all_rates = solver.allocation
             act = np.fromiter(sorted(active), dtype=np.intp)
@@ -244,6 +334,11 @@ class FluidSimulation:
             step = min(next_finish, next_start)
             if not np.isfinite(step):
                 raise SimulationError("fluid simulation stalled (no progress)")
+            if self.timeline is not None and self._next_sample <= now + step + 1e-15:
+                self._emit_link_samples(
+                    now, step,
+                    [(int(i), float(r)) for i, r in zip(act, rates)],
+                )
             finite_rates = np.where(np.isfinite(rates), rates, 0.0)
             remaining[act] = rem - finite_rates * step
             remaining[act[np.isinf(rates)]] = 0.0

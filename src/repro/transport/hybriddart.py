@@ -73,6 +73,10 @@ class HybridDART:
         # Gray-failure delivery counters (also lazy).
         self._m_corrupted = None
         self._m_duplicated = None
+        #: optional :class:`~repro.obs.timeline.TimelineCollector`; when set,
+        #: every delivery is counted into the in-flight/throughput telemetry
+        #: (one attribute check on the disabled path, like the tracer).
+        self.timeline: Any = None
         self._handlers: dict[tuple[int, str], Callable[..., Any]] = {}
 
     @property
@@ -195,6 +199,8 @@ class HybridDART:
         # metrics count *delivered* (deduplicated) traffic exactly once —
         # the delivered-bytes totals are invariant under duplication.
         self.metrics.record(rec)
+        if self.timeline is not None:
+            self.timeline.note_transfer(nbytes)
         return rec
 
     def _count_gray(self, which: str) -> None:

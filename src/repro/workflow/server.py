@@ -21,6 +21,10 @@ class WorkflowManagementServer:
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self._clients: dict[int, ExecutionClient] = {}
+        #: optional :class:`~repro.obs.timeline.CoreUsage` — when set, task
+        #: assignment and release keep its per-node busy counters current so
+        #: the timeline collector can sample core occupancy in O(nodes)
+        self.usage = None
 
     # -- registration (Execution Client Management) ---------------------------------
 
@@ -43,6 +47,9 @@ class WorkflowManagementServer:
         client = self._clients.pop(core, None)
         if client is None:
             raise RegistrationError(f"core {core} is not registered")
+        if self.usage is not None and client.state is not ClientState.IDLE:
+            # A busy client leaving the registry (node crash) frees its core.
+            self.usage.release(self.cluster.node_of_core(core))
 
     def is_registered(self, core: int) -> bool:
         return core in self._clients
@@ -77,12 +84,17 @@ class WorkflowManagementServer:
 
     def assign_task(self, core: int, app_id: int, rank: int) -> None:
         self.client(core).assign(app_id, rank)
+        if self.usage is not None:
+            self.usage.acquire(self.cluster.node_of_core(core))
 
     def release_app(self, app_id: int) -> int:
         """Return every client colored ``app_id`` to the idle pool."""
         released = 0
-        for client in self._clients.values():
+        usage = self.usage
+        for core, client in self._clients.items():
             if client.color == app_id:
                 client.release()
                 released += 1
+                if usage is not None:
+                    usage.release(self.cluster.node_of_core(core))
         return released

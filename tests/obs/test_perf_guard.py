@@ -131,3 +131,49 @@ class TestGrayGuard:
         run_scenario(small_concurrent(), DATA_CENTRIC, tracer=tracer)
         att = critical_path(SpanGraph.from_tracer(tracer)).attribution()
         assert tuple(att) == CATEGORIES
+
+
+class TestTimelineGuard:
+    """The timeline collector must be invisible until switched on."""
+
+    def test_timeline_off_registers_no_obs_metrics(self):
+        # obs.overhead.* is created lazily by bind_registry, so a run
+        # without a collector must not carry a single obs.* cell.
+        result = run_scenario(small_concurrent(), DATA_CENTRIC)
+        obs = [
+            name for name in result.registry.names()
+            if name.startswith("obs.")
+        ]
+        assert obs == []
+
+    def test_sampled_run_leaves_figure_quantities_untouched(self):
+        from repro.obs.timeline import RingBufferSink, TimelineCollector
+
+        plain = run_scenario(small_concurrent(), DATA_CENTRIC)
+        scenario = small_concurrent()
+        ring = RingBufferSink(1024)
+        tl = TimelineCollector(
+            num_nodes=scenario.cluster.num_nodes,
+            cores_per_node=scenario.cluster.cores_per_node,
+            sample_period=1e-4,
+            sinks=(ring,),
+        )
+        sampled = run_scenario(scenario, DATA_CENTRIC, timeline=tl)
+        # Byte-identical transfer accounting and retrieval outcomes: the
+        # sampling daemon rides along without perturbing the simulated run
+        # (sim_events itself grows — it counts the daemon's own ticks).
+        assert sampled.metrics.as_dict() == plain.metrics.as_dict()
+        assert sampled.retrieval_times == plain.retrieval_times
+        assert sampled.sim_events >= plain.sim_events
+        assert ring.written > 0
+        assert tl.transferred_bytes > 0
+        # Self-accounting landed in the run's own registry.
+        assert "obs.overhead.samples" in sampled.registry
+        assert "obs.overhead.wall_seconds" in sampled.registry
+
+    def test_queue_health_metrics_always_exported(self):
+        result = run_scenario(small_concurrent(), DATA_CENTRIC)
+        reg = result.registry
+        assert reg["sim.events_fired"].value() == result.sim_events
+        assert reg["sim.queue.pending"].value() == 0
+        assert reg["sim.queue.buckets"].value() > 0

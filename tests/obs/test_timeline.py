@@ -1,0 +1,428 @@
+"""Streaming telemetry timeline: collector, sinks, progress, readback."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import (
+    TIMELINE_VERSION,
+    ChromeCounterSink,
+    CoreUsage,
+    JsonlStreamSink,
+    ProgressReporter,
+    RingBufferSink,
+    TimelineCollector,
+    read_timeline,
+)
+from repro.sim.engine import SimEngine
+
+
+def _noop() -> None:
+    pass
+
+
+class TestCoreUsage:
+    def test_acquire_release_roundtrip(self):
+        u = CoreUsage(4, cores_per_node=2)
+        u.acquire(1)
+        u.acquire(1)
+        u.acquire(3)
+        assert u.busy == [0, 2, 0, 1]
+        assert u.busy_cores() == 3
+        assert u.busy_fraction() == pytest.approx(3 / 8)
+        u.release(1)
+        u.release(1)
+        u.release(3)
+        assert u.busy_cores() == 0
+
+    def test_release_below_zero_raises(self):
+        u = CoreUsage(2)
+        with pytest.raises(ReproError):
+            u.release(0)
+
+    def test_invalid_shapes_raise(self):
+        with pytest.raises(ReproError):
+            CoreUsage(0)
+        with pytest.raises(ReproError):
+            CoreUsage(4, cores_per_node=0)
+
+    def test_reset(self):
+        u = CoreUsage(2)
+        u.acquire(0, 5)
+        u.reset()
+        assert u.busy == [0, 0]
+
+
+class TestRingBufferSink:
+    def test_evicts_oldest_first(self):
+        ring = RingBufferSink(3)
+        for i in range(7):
+            ring.write({"kind": "sample", "i": i})
+        assert [r["i"] for r in ring.records] == [4, 5, 6]
+        assert ring.written == 7
+        assert ring.evicted == 4
+        assert len(ring) == 3
+
+    def test_positive_maxlen_required(self):
+        with pytest.raises(ReproError):
+            RingBufferSink(0)
+
+
+class TestJsonlStreamSink:
+    def test_round_trip_through_read_timeline(self, tmp_path):
+        path = tmp_path / "tl.jsonl"
+        sink = JsonlStreamSink(str(path))
+        header = {
+            "kind": "header", "version": TIMELINE_VERSION, "t": 0.0,
+            "sample_period": 0.5, "num_nodes": 2, "cores_per_node": 1,
+            "groups": 2,
+        }
+        sample = {
+            "kind": "sample", "t": 0.5, "events": 3, "queue": 1,
+            "busy": [1, 0], "busy_frac": 0.5, "inflight": 0,
+            "resident": 64, "transfers": 2,
+        }
+        links = {
+            "kind": "links", "t": 0.7, "active": 2, "net_busy": 1,
+            "net_util": 0.25, "mem_busy": 1, "mem_util": 1.0,
+        }
+        for rec in (header, sample, links):
+            sink.write(rec)
+        sink.close()
+        got_header, got_records = read_timeline(str(path))
+        assert got_header == header
+        assert got_records == [sample, links]
+
+
+class TestChromeCounterSink:
+    def test_emits_valid_counter_events(self):
+        buf = io.StringIO()
+        sink = ChromeCounterSink(buf)
+        sink.write({"kind": "header", "version": 1})
+        sink.write({
+            "kind": "sample", "t": 0.25, "events": 5, "queue": 2,
+            "busy": [1, 2], "busy_frac": 0.5, "inflight": 0,
+            "resident": 100, "transfers": 0,
+        })
+        sink.write({
+            "kind": "links", "t": 0.3, "active": 4, "net_busy": 2,
+            "net_util": 0.5, "mem_busy": 1, "mem_util": 0.75,
+        })
+        sink.close()
+        doc = json.loads(buf.getvalue())
+        events = doc["traceEvents"]
+        # Header records carry no time series -> 3 sample + 1 links tracks.
+        assert [e["name"] for e in events] == [
+            "timeline.cores", "timeline.queue", "timeline.resident",
+            "timeline.links",
+        ]
+        assert all(e["ph"] == "C" for e in events)
+        assert events[0]["args"] == {"busy": 3}
+        assert events[0]["ts"] == pytest.approx(0.25e6)
+        assert events[3]["args"]["net_util"] == 0.5
+
+
+class TestTimelineCollector:
+    @pytest.mark.parametrize("period", [0, -1.0, float("nan"),
+                                        float("inf"), "fast"])
+    def test_sample_period_validation(self, period):
+        with pytest.raises(ReproError):
+            TimelineCollector(num_nodes=2, sample_period=period)
+
+    def test_node_groups_validation(self):
+        with pytest.raises(ReproError):
+            TimelineCollector(num_nodes=2, node_groups=0)
+
+    def test_header_then_periodic_samples(self):
+        ring = RingBufferSink(64)
+        tl = TimelineCollector(
+            num_nodes=2, cores_per_node=1, sample_period=0.25, sinks=(ring,)
+        )
+        eng = SimEngine()
+        tl.attach(eng)
+        eng.schedule(1.0, _noop)
+        makespan = eng.run()
+        # Sampling daemons never extend the run past the last live event.
+        assert makespan == 1.0
+        kinds = [r["kind"] for r in ring.records]
+        assert kinds[0] == "header"
+        assert set(kinds[1:]) == {"sample"}
+        # The tick due exactly at the final live event is a daemon, so the
+        # run ends without it: samples cover [0, makespan).
+        ts = [r["t"] for r in ring.records if r["kind"] == "sample"]
+        assert ts == pytest.approx([0.0, 0.25, 0.5, 0.75])
+        events = [r["events"] for r in ring.records if r["kind"] == "sample"]
+        assert events == sorted(events)
+
+    def test_attach_twice_raises(self):
+        tl = TimelineCollector(num_nodes=1)
+        eng = SimEngine()
+        tl.attach(eng)
+        with pytest.raises(ReproError):
+            tl.attach(eng)
+
+    def test_busy_groups_aggregate_nodes(self):
+        tl = TimelineCollector(num_nodes=8, cores_per_node=2, node_groups=4)
+        for node in (0, 1, 6, 7):
+            tl.cores.acquire(node)
+        # Nodes 0-1 -> group 0, nodes 6-7 -> group 3.
+        assert tl.group_counts() == [2, 0, 0, 2]
+        assert tl.cores.busy_fraction() == pytest.approx(4 / 16)
+
+    def test_group_count_is_bounded_by_node_groups(self):
+        tl = TimelineCollector(num_nodes=1000, node_groups=64)
+        assert tl.node_groups == 64
+        assert len(tl.group_counts()) == 64
+        small = TimelineCollector(num_nodes=3, node_groups=64)
+        assert small.node_groups == 3
+
+    def test_overhead_metrics_registered_only_when_bound(self):
+        reg = MetricsRegistry()
+        tl = TimelineCollector(num_nodes=1, sample_period=0.5, registry=reg)
+        eng = SimEngine()
+        tl.attach(eng)
+        eng.schedule(1.0, _noop)
+        eng.run()
+        assert reg["obs.overhead.samples"].total() == tl.samples
+        assert tl.samples == 2
+        assert reg["obs.overhead.wall_seconds"].value() == tl.overhead_wall
+        assert tl.overhead_wall > 0.0
+        # An unbound collector touches no registry at all.
+        reg2 = MetricsRegistry()
+        tl2 = TimelineCollector(num_nodes=1)
+        eng2 = SimEngine()
+        tl2.attach(eng2)
+        eng2.schedule(0.1, _noop)
+        eng2.run()
+        assert [n for n in reg2.names() if n.startswith("obs.")] == []
+
+    def test_resident_probe_and_transfer_hooks(self):
+        ring = RingBufferSink(16)
+        tl = TimelineCollector(num_nodes=1, sample_period=1.0, sinks=(ring,))
+        tl.resident_probe = lambda: 4096
+        tl.note_transfer(100)
+        tl.note_transfer(28)
+        tl.transfer_started()
+        eng = SimEngine()
+        tl.attach(eng)
+        eng.schedule(0.5, _noop)
+        eng.run()
+        sample = next(r for r in ring.records if r["kind"] == "sample")
+        assert sample["resident"] == 4096
+        assert sample["transfers"] == 2
+        assert sample["inflight"] == 1
+        assert tl.transferred_bytes == 128
+
+    def test_close_closes_every_sink(self, tmp_path):
+        path = tmp_path / "tl.jsonl"
+        tl = TimelineCollector(
+            num_nodes=1, sinks=(JsonlStreamSink(str(path)), RingBufferSink())
+        )
+        eng = SimEngine()
+        tl.attach(eng)
+        eng.run()
+        tl.close()
+        header, _records = read_timeline(str(path))
+        assert header["version"] == TIMELINE_VERSION
+
+
+class TestEngineLiveCounters:
+    def test_dispatched_is_live_inside_the_run(self):
+        eng = SimEngine()
+        seen = []
+
+        def probe() -> None:
+            seen.append(eng.dispatched())
+            if len(seen) < 3:
+                eng.schedule_daemon(0.1, probe)
+
+        eng.schedule_daemon(0.0, probe)
+        for i in range(4):
+            eng.schedule(0.05 + i * 0.1, _noop)
+        eng.run()
+        # Mid-run reads see the live count, not the stale events_fired.
+        assert seen[0] == 1
+        assert seen == sorted(seen)
+        assert eng.dispatched() == eng.events_fired
+
+    def test_publish_metrics_exports_queue_health(self):
+        eng = SimEngine()
+        for i in range(200):
+            eng.schedule(i * 0.01, _noop)
+        eng.run()
+        reg = MetricsRegistry()
+        eng.publish_metrics(reg)
+        assert reg["sim.events_fired"].value() == 200
+        assert reg["sim.queue.pending"].value() == 0
+        # The default calendar queue also exports adaptation diagnostics.
+        assert reg["sim.queue.buckets"].value() >= 8
+        assert reg["sim.queue.bucket_width"].value() > 0
+        assert reg["sim.queue.resizes"].total() > 0
+
+    def test_publish_metrics_on_heap_queue_skips_calendar_gauges(self):
+        from repro.sim.events import HeapEventQueue
+
+        eng = SimEngine(queue=HeapEventQueue())
+        eng.schedule(0.1, _noop)
+        eng.run()
+        reg = MetricsRegistry()
+        eng.publish_metrics(reg)
+        assert reg["sim.events_fired"].value() == 1
+        assert "sim.queue.buckets" not in reg
+
+
+class TestProgressReporter:
+    def test_callback_snapshots_and_eta(self):
+        snaps = []
+        pr = ProgressReporter(
+            period=0.5, callback=snaps.append, total_events=4
+        )
+        eng = SimEngine()
+        pr.attach(eng)
+        for i in range(4):
+            eng.schedule(0.4 * (i + 1), _noop)
+        eng.run()
+        assert len(snaps) == pr.snapshots > 0
+        # dispatched() counts the reporter's own daemon ticks too, so the
+        # live count can exceed total_events.
+        assert snaps[-1].events >= 4
+        assert all(s.eta is not None for s in snaps)
+        assert all(s.events_per_sec >= 0 for s in snaps)
+        # Callback mode never writes to a stream by default.
+        assert pr.stream is None
+
+    def test_stream_line_format(self):
+        buf = io.StringIO()
+        pr = ProgressReporter(period=1.0, stream=buf)
+        eng = SimEngine()
+        pr.attach(eng)
+        eng.schedule(0.5, _noop)
+        eng.run()
+        pr.close()
+        out = buf.getvalue()
+        assert "\r" in out and "ev/s" in out
+        assert out.endswith("\n")
+
+    @pytest.mark.parametrize("period", [0, -0.5, float("inf")])
+    def test_period_validation(self, period):
+        with pytest.raises(ReproError):
+            ProgressReporter(period=period)
+
+    def test_attach_twice_raises(self):
+        pr = ProgressReporter(callback=lambda s: None)
+        eng = SimEngine()
+        pr.attach(eng)
+        with pytest.raises(ReproError):
+            pr.attach(eng)
+
+    def test_never_extends_the_run(self):
+        pr = ProgressReporter(period=10.0, callback=lambda s: None)
+        eng = SimEngine()
+        pr.attach(eng)
+        eng.schedule(0.25, _noop)
+        assert eng.run() == 0.25
+
+
+class TestReadTimeline:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "tl.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    HEADER = json.dumps({
+        "kind": "header", "version": TIMELINE_VERSION, "t": 0.0,
+        "sample_period": 0.5, "num_nodes": 1, "cores_per_node": 1,
+        "groups": 1,
+    })
+
+    def test_missing_header(self, tmp_path):
+        path = self._write(tmp_path, ['{"kind":"sample","t":0.0}'])
+        with pytest.raises(ReproError, match="header"):
+            read_timeline(path)
+
+    def test_duplicate_header(self, tmp_path):
+        path = self._write(tmp_path, [self.HEADER, self.HEADER])
+        with pytest.raises(ReproError, match="duplicate"):
+            read_timeline(path)
+
+    def test_header_must_come_first(self, tmp_path):
+        path = self._write(
+            tmp_path, ['{"kind":"sample","t":0.0}', self.HEADER]
+        )
+        with pytest.raises(ReproError):
+            read_timeline(path)
+
+    def test_bad_json_line(self, tmp_path):
+        path = self._write(tmp_path, [self.HEADER, "{nope"])
+        with pytest.raises(ReproError, match="not JSON"):
+            read_timeline(path)
+
+    def test_newer_version_rejected(self, tmp_path):
+        newer = json.dumps({
+            "kind": "header", "version": TIMELINE_VERSION + 1,
+            "sample_period": 0.5, "num_nodes": 1, "cores_per_node": 1,
+            "groups": 1, "t": 0.0,
+        })
+        path = self._write(tmp_path, [newer])
+        with pytest.raises(ReproError, match="newer"):
+            read_timeline(path)
+
+    def test_missing_file_raises_cleanly(self, tmp_path):
+        with pytest.raises(OSError):
+            read_timeline(str(tmp_path / "nope.jsonl"))
+
+
+class TestFluidLinkSampling:
+    def _network(self, nodes=4):
+        from repro.hardware.cluster import Cluster
+        from repro.hardware.network import NetworkModel
+
+        cluster = Cluster(nodes)
+        return cluster, NetworkModel(cluster)
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_links_records_bounded_and_monotone(self, incremental):
+        from repro.sim.fluid import FluidSimulation
+
+        cluster, network = self._network()
+        ring = RingBufferSink(4096)
+        tl = TimelineCollector(
+            num_nodes=4, cores_per_node=12, sample_period=1e-5, sinks=(ring,)
+        )
+        sim = FluidSimulation(
+            network, incremental=incremental, timeline=tl, t0=2.0
+        )
+        other = cluster.cores_of_node(2)[0]
+        sim.add_transfer(0, other, 5_000_000)  # network path
+        sim.add_transfer(0, 1, 5_000_000)      # shm (memory channel)
+        sim.run()
+        links = ring.records
+        assert links, "expected link samples at a 10us grid"
+        assert {r["kind"] for r in links} == {"links"}
+        ts = [r["t"] for r in links]
+        assert ts == sorted(ts)
+        assert all(t >= 2.0 for t in ts)
+        for r in links:
+            assert 0.0 <= r["net_util"] <= 1.0
+            assert 0.0 <= r["mem_util"] <= 1.0
+            assert r["active"] >= 1
+            assert isinstance(r["net_util"], float)
+        # Early samples see both flows: a busy memory channel and a busy
+        # network path.
+        assert links[0]["mem_busy"] == 1
+        assert links[0]["net_busy"] >= 1
+        assert tl.link_samples == len(links)
+
+    def test_no_timeline_means_no_sampling_state(self):
+        from repro.sim.fluid import FluidSimulation
+
+        _cluster, network = self._network()
+        sim = FluidSimulation(network)
+        sim.add_transfer(0, 1, 1024)
+        sim.run()
+        assert sim.timeline is None
+        assert math.isinf(sim._next_sample)

@@ -65,6 +65,86 @@ class TestJaguarScaleSmoke:
         assert r.bytes_shm > 10 * r.bytes_network
 
 
+class TestInstrumentedScaleSmoke:
+    """The acceptance bar for the telemetry stack: a jaguar run carrying a
+    timeline collector on a fixed ring plus the streaming tracer stays
+    memory-bounded and keeps >= 90% of the uninstrumented events/sec,
+    without changing a single simulated outcome."""
+
+    CFG = dict(
+        num_nodes=2_000, ranks=20_000, iterations=3,
+        coupling_groups=200, cells_per_group=8_192, halo_cells=512,
+    )
+
+    #: throughput repeats — events/sec compares best-of-N so one noisy
+    #: run on a shared host cannot fail the bar
+    REPEATS = 3
+
+    @pytest.fixture(scope="class")
+    def plain(self):
+        return [
+            run_jaguar_scale(JaguarScaleConfig(**self.CFG))
+            for _ in range(self.REPEATS)
+        ]
+
+    @pytest.fixture(scope="class")
+    def instrumented(self, tmp_path_factory):
+        from repro.obs.timeline import RingBufferSink, TimelineCollector
+        from repro.obs.tracer import StreamingTracer
+
+        tmp = tmp_path_factory.mktemp("tl")
+        out = []
+        for i in range(self.REPEATS):
+            ring = RingBufferSink(8_192)
+            cfg = JaguarScaleConfig(**self.CFG)
+            tl = TimelineCollector(
+                num_nodes=cfg.num_nodes,
+                cores_per_node=cfg.ranks // cfg.num_nodes,
+                sample_period=0.1, node_groups=64, sinks=(ring,),
+            )
+            tracer = StreamingTracer(str(tmp / f"trace{i}.json"))
+            run = run_jaguar_scale(cfg, timeline=tl, tracer=tracer)
+            tracer.close()
+            out.append((run, tl, ring))
+        return out
+
+    def test_simulated_outcomes_byte_identical(self, plain, instrumented):
+        base = plain[0]
+        for run, _tl, _ring in instrumented:
+            assert run.makespan == base.makespan
+            assert run.coupling_times == base.coupling_times
+            assert (run.bytes_shm, run.bytes_network) == (
+                base.bytes_shm, base.bytes_network,
+            )
+            assert (run.bundle_hits, run.bundle_misses) == (
+                base.bundle_hits, base.bundle_misses,
+            )
+            # Only the dispatch count grows: the sampling daemon's ticks.
+            assert run.sim_events >= base.sim_events
+
+    def test_memory_stays_bounded_by_the_ring(self, instrumented):
+        for _run, tl, ring in instrumented:
+            assert len(ring) <= 8_192
+            assert ring.written == len(ring) + ring.evicted
+            assert tl.samples > 0
+            # The collector carries no per-event state: its footprint is
+            # the per-node busy table plus whatever the ring holds.
+            assert len(tl.cores.busy) == 2_000
+
+    def test_throughput_within_ten_percent(self, plain, instrumented):
+        best_plain = max(r.events_per_sec for r in plain)
+        best_instr = max(r.events_per_sec for r, _tl, _ring in instrumented)
+        assert best_instr >= 0.9 * best_plain, (
+            f"instrumented {best_instr:.0f} ev/s vs plain "
+            f"{best_plain:.0f} ev/s"
+        )
+
+    def test_overhead_is_accounted(self, instrumented):
+        for run, tl, _ring in instrumented:
+            assert tl.overhead_wall >= 0.0
+            assert tl.overhead_wall < run.wall_clock
+
+
 class TestScaleDifferential:
     def test_calendar_and_heap_agree_at_scale(self):
         """Reduced-size jaguar run (still thousands of nodes and ~60k

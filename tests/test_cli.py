@@ -187,3 +187,89 @@ class TestGrayFlags:
         first = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestTimelineFlags:
+    """Audit of the telemetry CLI surface: every flag documented in
+    --help, invalid values rejected at parse time, and the timeline
+    subcommand's exit codes."""
+
+    TIMELINE_FLAGS = (
+        "--trace-stream", "--timeline-out", "--sample-period", "--progress",
+    )
+
+    def help_text(self, command="sequential"):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--help"])
+        return buf.getvalue()
+
+    def test_every_timeline_flag_documented(self):
+        for command in ("sequential", "concurrent", "compare"):
+            text = self.help_text(command)
+            for flag in self.TIMELINE_FLAGS:
+                assert flag in text, f"{flag} missing from {command} --help"
+
+    def test_timeline_subcommand_documented(self):
+        text = self.help_text("timeline")
+        assert "--width" in text
+
+    @pytest.mark.parametrize("argv", [
+        ["sequential", "--sample-period", "0"],
+        ["sequential", "--sample-period", "-0.5"],
+        ["sequential", "--sample-period", "forever"],
+        ["sequential", "--timeline-out", "/nonexistent-dir/tl.jsonl"],
+        ["sequential", "--timeline-out", "/tmp"],  # a directory
+        ["timeline"],  # path is required
+    ])
+    def test_invalid_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "usage" in capsys.readouterr().err
+
+    def test_trace_stream_requires_trace_out(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sequential", "--trace-stream"])
+        assert exc.value.code == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_streamed_run_and_timeline_render(self, tmp_path, capsys):
+        tpath = tmp_path / "t.json"
+        tlpath = tmp_path / "tl.jsonl"
+        assert main([
+            "concurrent", "--time",
+            "--trace-out", str(tpath), "--trace-stream",
+            "--timeline-out", str(tlpath), "--sample-period", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {tpath}" in out
+        assert f"timeline written to {tlpath}" in out
+
+        from repro.obs.timeline import read_timeline
+        header, records = read_timeline(str(tlpath))
+        assert header["sample_period"] == 0.002
+        assert any(r["kind"] == "sample" for r in records)
+
+        assert main(["timeline", str(tlpath)]) == 0
+        render = capsys.readouterr().out
+        assert "per-node-group busy fraction" in render
+        assert "queue depth" in render
+
+    def test_timeline_subcommand_missing_file_exits_1(self, tmp_path, capsys):
+        assert main(["timeline", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_timeline_subcommand_malformed_file_exits_1(self, tmp_path,
+                                                        capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "sample", "t": 0.0}\n')
+        assert main(["timeline", str(bad)]) == 1
+        assert "header" in capsys.readouterr().err
+
+    def test_progress_reports_on_stderr(self, capsys):
+        assert main(["concurrent", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "ev/s" in err
