@@ -16,6 +16,20 @@ One seed additionally runs with tracing and a metrics registry attached;
 the emitted files are validated with benchmarks/check_trace.py, so the
 chaos path keeps producing balanced spans and well-formed snapshots.
 
+``--partition`` switches the soak to network partitions: each seed derives
+a deterministic two-island cut (sometimes flapping) and runs with quorum
+writes/reads armed (W=2, R=1 over k=2 replication); half the seeds also
+arm a partition deadline so the waited-out and escalated recovery paths
+both soak. The partition invariants:
+
+* zero split-brain commits: every acknowledged write survives — no logical
+  object loses every copy, and after the final heal every surviving copy
+  of an object carries the primary's checksum (divergent minority replicas
+  must have been reconciled),
+* every consumer assembled its full requested region, and
+* the whole run is deterministic: seed 0 runs twice and both runs must
+  produce identical partition counters.
+
 ``--gray`` switches the soak to gray failures: each seed derives a plan
 combining a slow-node window, wildcard delivery corruption, and wildcard
 duplicate delivery, and runs with hedged pulls, straggler speculation, and
@@ -54,6 +68,7 @@ from repro.faults.plan import (  # noqa: E402
     DHTCoreFailure,
     DuplicateDelivery,
     FaultPlan,
+    NetworkPartition,
     NodeCrash,
     SlowNode,
 )
@@ -160,6 +175,42 @@ def gray_plan_for_seed(seed: int, cluster) -> FaultPlan:
     )
 
 
+def partition_plan_for_seed(
+    seed: int, cluster
+) -> "tuple[FaultPlan, float | None]":
+    """Deterministic two-island cut plus the deadline knob for this seed.
+
+    The minority island holds one or two nodes and never the monitor
+    (node 0): with a fixed monitor there is no re-election, and losing at
+    most two nodes to a deadline escalation leaves enough spare cores for
+    any bundle re-dispatch to fit (the same capacity budget the crash soak
+    uses). Half the seeds run with a partition deadline so both recovery
+    paths — waiting the cut out and fencing the minority off — soak.
+    """
+    rng = random.Random(f"{seed}/partition")
+    minority_size = rng.choice((1, 2))
+    minority = tuple(sorted(rng.sample(
+        range(1, cluster.num_nodes), minority_size
+    )))
+    majority = tuple(
+        n for n in range(cluster.num_nodes) if n not in minority
+    )
+    flap = round(rng.uniform(0.2, 0.5), 4) if rng.random() < 0.3 else None
+    plan = FaultPlan(
+        seed=seed,
+        partitions=(
+            NetworkPartition(
+                start=round(rng.uniform(0.0, 0.9), 4),
+                duration=round(rng.uniform(0.3, 1.5), 4),
+                groups=(majority, minority),
+                flap_period=flap,
+            ),
+        ),
+    )
+    deadline = 0.4 if rng.random() < 0.5 else None
+    return plan, deadline
+
+
 #: gray-mode knobs (all armed so every subsystem soaks together)
 GRAY_HEDGE_FACTOR = 2.0
 GRAY_SPECULATION_THRESHOLD = 1.5
@@ -182,6 +233,96 @@ GRAY_COUNTERS = (
     "workflow.speculation.wins",
     "workflow.speculation.cancelled",
 )
+
+
+#: partition-mode quorum knobs (over the soak's k=2 replication)
+PARTITION_WRITE_QUORUM = 2
+PARTITION_READ_QUORUM = 1
+
+#: partition counters compared across the seed-0 determinism re-run
+PARTITION_COUNTERS = (
+    "transport.partitioned_transfers",
+    "partition.stalled_reads",
+    "partition.failover_reads",
+    "partition.fenced_writes",
+    "partition.stale_replicas",
+    "partition.reconciled",
+    "partition.deferred_registrations",
+    "quorum.degraded_writes",
+    "quorum.failed_writes",
+    "quorum.degraded_reads",
+    "quorum.failed_reads",
+    "quorum.replicas_skipped",
+    "workflow.partition.retries",
+    "workflow.quorum.retries",
+    "workflow.partition.escalations",
+    "workflow.partition.stale_abandons",
+    "resilience.partition.suspected",
+    "resilience.partition.waited_out",
+    "resilience.partition.deadline_exceeded",
+    "resilience.partition.heals",
+)
+
+
+def run_partition_seed(
+    seed: int, replication: int, tracer=None, registry=None
+):
+    scenario = soak_scenario()
+    plan, deadline = partition_plan_for_seed(seed, scenario.cluster)
+    result = run_scenario(
+        scenario,
+        fault_plan=plan,
+        tracer=tracer,
+        registry=registry,
+        resilience=ResilienceConfig(
+            replication=replication, partition_deadline=deadline
+        ),
+        producer_compute=PRODUCER_COMPUTE,
+        consumer_compute=CONSUMER_COMPUTE,
+        write_quorum=min(PARTITION_WRITE_QUORUM, replication),
+        read_quorum=min(PARTITION_READ_QUORUM, replication),
+    )
+    return plan, result
+
+
+def partition_counter_snapshot(result) -> dict[str, int]:
+    reg = result.registry
+    return {
+        name: int(reg[name].total())
+        for name in PARTITION_COUNTERS
+        if name in reg
+    }
+
+
+def verify_partition(seed: int, plan: FaultPlan, result) -> list[str]:
+    problems = []
+    for app_id in result.consumer_ids:
+        if not result.schedules.get(app_id):
+            problems.append(f"consumer {app_id} has no schedules")
+    space = result.space
+    # Acknowledged-write durability: an acked put (W reachable holders)
+    # must survive the cut — losing every copy is a split-brain commit.
+    lost = space.lost_objects()
+    if lost:
+        problems.append(f"acknowledged writes lost every copy: {lost}")
+    # Post-heal convergence: every surviving copy of a logical object must
+    # carry the primary's content checksum — a divergent replica means the
+    # heal-time reconciliation missed a stale minority copy.
+    primaries: dict[tuple, int] = {}
+    for store in space._stores.values():
+        for obj in store.objects():
+            if not obj.is_replica:
+                key = (obj.var, obj.version, obj.logical_owner)
+                primaries[key] = obj.checksum
+    for store in space._stores.values():
+        for obj in store.objects():
+            key = (obj.var, obj.version, obj.logical_owner)
+            want = primaries.get(key)
+            if want is not None and obj.checksum != want:
+                problems.append(
+                    f"replica of {key} diverges from primary after heal"
+                )
+    return problems
 
 
 def run_gray_seed(seed: int, replication: int, tracer=None, registry=None):
@@ -289,11 +430,18 @@ def main(argv: "list[str] | None" = None) -> int:
     ap.add_argument("--gray", action="store_true",
                     help="soak gray failures (slow node + corruption + "
                          "duplication) instead of crash-stop faults")
+    ap.add_argument("--partition", action="store_true",
+                    help="soak network partitions (two-island cuts with "
+                         "quorum writes/reads) instead of crash-stop faults")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args(argv)
 
+    if args.gray and args.partition:
+        ap.error("--gray and --partition are mutually exclusive")
     if args.gray:
         return _gray_main(args)
+    if args.partition:
+        return _partition_main(args)
 
     failures = 0
     totals = {"failover_reads": 0, "rereplication_copies": 0,
@@ -343,6 +491,78 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{totals['detections_dht']} DHT detections")
     if failures:
         print(f"chaos soak FAILED: {failures} seed(s) violated invariants")
+        return 1
+    return 0
+
+
+def _partition_main(args: argparse.Namespace) -> int:
+    failures = 0
+    totals: dict[str, int] = {}
+    for seed in range(args.seeds):
+        tracer = registry = None
+        if seed == 0:
+            tracer, registry = Tracer(), MetricsRegistry()
+        try:
+            plan, result = run_partition_seed(
+                seed, args.replication, tracer, registry
+            )
+        except Exception as exc:  # noqa: BLE001 — any failure fails the seed
+            print(f"seed {seed}: FAILED GET / run error: {exc}")
+            failures += 1
+            continue
+        problems = verify_partition(seed, plan, result)
+        snap = partition_counter_snapshot(result)
+        for key, val in snap.items():
+            totals[key] = totals.get(key, 0) + val
+        if problems:
+            failures += 1
+            part = plan.partitions[0]
+            print(f"seed {seed} (cut {part.groups[1]} @ {part.start} "
+                  f"for {part.duration}): " + "; ".join(problems))
+        elif args.verbose:
+            part = plan.partitions[0]
+            print(f"seed {seed}: ok (cut {part.groups[1]} @ {part.start}, "
+                  f"{snap})")
+        if seed == 0:
+            # Determinism: the same seed re-run must reproduce every
+            # partition counter exactly (stalls, retries, fences, heals...).
+            _, again = run_partition_seed(seed, args.replication)
+            snap2 = partition_counter_snapshot(again)
+            if snap != snap2:
+                failures += 1
+                print(f"seed 0: NON-DETERMINISTIC partition counters:\n"
+                      f"  first:  {snap}\n  second: {snap2}")
+            with tempfile.TemporaryDirectory() as tmp:
+                tpath = os.path.join(tmp, "trace.json")
+                mpath = os.path.join(tmp, "metrics.json")
+                tracer.write_chrome(tpath)
+                registry.write_json(mpath)
+                try:
+                    nevents = check_trace(tpath)
+                    ncells = check_metrics(mpath)
+                except Exception as exc:  # noqa: BLE001
+                    print(f"seed 0: trace/metrics validation failed: {exc}")
+                    failures += 1
+                else:
+                    print(f"seed 0: deterministic, trace balanced "
+                          f"({nevents} events), metrics well-formed "
+                          f"({ncells} cells)")
+
+    print(f"\npartition soak: {args.seeds - failures}/{args.seeds} seeds "
+          f"clean; "
+          f"{totals.get('transport.partitioned_transfers', 0)} stalled "
+          f"transfers, "
+          f"{totals.get('workflow.partition.retries', 0)}"
+          f"+{totals.get('workflow.quorum.retries', 0)} partition/quorum "
+          f"retries, "
+          f"{totals.get('resilience.partition.waited_out', 0)} waited out, "
+          f"{totals.get('resilience.partition.deadline_exceeded', 0)} "
+          f"deadline escalations, "
+          f"{totals.get('partition.fenced_writes', 0)} fenced writes, "
+          f"{totals.get('partition.reconciled', 0)} copies reconciled")
+    if failures:
+        print(f"partition soak FAILED: {failures} seed(s) violated "
+              f"invariants")
         return 1
     return 0
 

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Network partitions: survive an interconnect cut without losing a byte.
+
+Runs the sequential coupled scenario three times against the same
+two-island cut — nodes {0,1,2} severed from {3,4,5} while the producer's
+puts are in flight — and shows the three postures the stack supports:
+
+* **no tolerance** (replication=1): cross-island transfers stall
+  against the cut and the engine sits it out until the heal; every
+  stalled transfer is visible in the summary,
+* **quorum + wait-out** (k=2, W=2, R=1): every put is acknowledged only
+  once two copies land across reachable links — durable whatever the
+  next cut looks like — and suspected-partitioned nodes are waited out
+  rather than declared dead,
+* **quorum + deadline**: on a staged workflow with spare capacity, a
+  cut that outlives the deadline promotes the suspects to dead, fences
+  their work by generation, and re-enacts it on the majority — the
+  consumer is served from majority copies without waiting for the heal.
+  (Escalation needs the survivors to fit the re-enacted tasks: on the
+  fully packed sequential scenario above it would stop with a
+  `MappingError`, exactly like crash recovery.)
+
+The same knobs on the CLI:
+
+    repro-insitu sequential --compute-seconds 0.2 \\
+        --partition 0,1,2/3,4,5@0.05:0.4 \\
+        --replication 2 --write-quorum 2 --read-quorum 1 \\
+        --partition-deadline 5.0
+
+Run:  python examples/partition_demo.py
+"""
+
+from repro.analysis.experiments import DATA_CENTRIC, run_scenario
+from repro.apps.scenarios import layout_for, small_sequential
+from repro.cods.space import CoDS
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NetworkPartition
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.resilience.replication import ReplicaPlacer
+from repro.sim.engine import SimEngine
+from repro.transport.hybriddart import HybridDART
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+#: the 6-node interconnect splits into two 3-node islands over [0.05, 0.45)
+CUT = NetworkPartition(
+    start=0.05, duration=0.4, groups=((0, 1, 2), (3, 4, 5))
+)
+
+
+def partition_counters(result) -> dict:
+    reg = result.registry
+    return {
+        name: reg[name].total()
+        for name in sorted(reg.names())
+        if name.startswith((
+            "partition.", "quorum.", "resilience.partition.",
+            "transport.partitioned",
+        ))
+    }
+
+
+def show(title: str, result) -> None:
+    print(f"\n--- {title}")
+    print(f"    makespan: {result.engine.makespan * 1e3:.2f} ms")
+    for name, value in partition_counters(result).items():
+        print(f"    {name:45s} {value:g}")
+    if result.resilience is not None:
+        block = result.resilience.get("partition")
+        if block:
+            print(f"    summary: {block}")
+
+
+def main() -> None:
+    scenario = small_sequential()
+    print(scenario.describe())
+    print(f"\ncut: nodes {CUT.groups[0]} / {CUT.groups[1]} "
+          f"over [{CUT.start}, {CUT.end}) sim-seconds")
+
+    plan = FaultPlan(partitions=(CUT,))
+
+    # 1. Single copies: every cross-island read must wait for the heal.
+    waiting = run_scenario(
+        scenario, DATA_CENTRIC, fault_plan=plan,
+        producer_compute=0.2, consumer_compute=0.05,
+        resilience=ResilienceConfig(replication=1),
+    )
+    show("replication=1: stall and wait for the heal", waiting)
+
+    # 2. Quorum writes: a put is acknowledged only once W=2 of its k=2
+    #    copies landed across reachable links, so acknowledged data
+    #    survives any single later cut; suspects are waited out.
+    quorum = run_scenario(
+        scenario, DATA_CENTRIC, fault_plan=plan,
+        producer_compute=0.2, consumer_compute=0.05,
+        resilience=ResilienceConfig(replication=2),
+        write_quorum=2, read_quorum=1,
+    )
+    show("k=2, W=2, R=1: quorum-acked writes + wait-out", quorum)
+
+    # 3. A deadline turns waiting into escalation. The staged workflow
+    #    below keeps half the cluster free, so the minority's tasks can
+    #    be generation-fenced and re-enacted on the majority; the
+    #    consumer completes from majority copies while the cut is still
+    #    open, and a post-heal minority replay bounces off the fence.
+    escalation_demo()
+
+    print("\nall three runs completed; no acknowledged write was lost.")
+
+
+def escalation_demo() -> None:
+    """Producer -> filler -> consumer under a cut that outlives its
+    0.5 s deadline (the same shape `chaos_soak.py --partition` runs)."""
+    domain = (8, 8, 8)
+    cluster = Cluster(num_nodes=4, machine=generic_multicore(4))
+    injector = FaultInjector(FaultPlan(partitions=(NetworkPartition(
+        start=1.5, duration=60.0, groups=((0, 1), (2, 3)),
+    ),)))
+
+    def app(app_id, name, ntasks):
+        return AppSpec(
+            app_id=app_id, name=name,
+            descriptor=DecompositionDescriptor.uniform(
+                domain, layout_for(ntasks), "blocked", 4
+            ),
+            element_size=8, var="u",
+        )
+
+    producer = app(1, "P", 8)
+    dag = WorkflowDAG(
+        [producer, app(2, "F", 1), app(3, "C", 1)],
+        edges=[(1, 2), (2, 3)],
+        bundles=[Bundle((1,)), Bundle((2,)), Bundle((3,))],
+    )
+    config = ResilienceConfig(replication=2, partition_deadline=0.5)
+    space = CoDS(
+        cluster, domain,
+        dart=HybridDART(cluster, injector=injector),
+        replication=2, placer=ReplicaPlacer(cluster, 0),
+        write_quorum=2, read_quorum=1,
+    )
+    sim = SimEngine()
+    engine = WorkflowEngine(
+        dag, cluster, sim=sim, injector=injector,
+        defer_crash_redispatch=True, registry=space.dart.registry,
+    )
+    manager = ResilienceManager(
+        config, sim, space, engine, space.dart.registry, injector=injector,
+    )
+    manager.install()
+    reads = []
+
+    def produce(ctx):
+        for rank in range(producer.ntasks):
+            space.put_seq(
+                ctx.group.core(rank), "u",
+                producer.decomposition.task_intervals(rank),
+                element_size=8, version=0, app_id=1,
+                generation=ctx.generation,  # the fence token
+            )
+        return 1.0
+
+    def consume(ctx):
+        sched, records = space.get_seq(
+            ctx.group.core(0), "u", Box.from_extents(domain),
+            version=0, app_id=3,
+        )
+        reads.append(sched)
+        return 0.0
+
+    engine.set_routine(1, produce)
+    engine.set_routine(2, lambda ctx: 1.0)
+    engine.set_routine(3, consume)
+    engine.run()
+
+    print("\n--- staged run, 60 s cut vs 0.5 s deadline: fence + re-enact")
+    print(f"    consumer reads completed: {len(reads)}")
+    served = {cluster.node_of_core(p.src_core) for p in reads[0].plans}
+    print(f"    served from nodes {sorted(served)} (majority island)")
+    print(f"    summary: {manager.summary()['partition']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -112,6 +112,8 @@ def run_scenario(
     consumer_compute: float = 0.0,
     hedge_factor: "float | None" = None,
     speculation_threshold: "float | None" = None,
+    write_quorum: "int | None" = None,
+    read_quorum: "int | None" = None,
     timeline: "TimelineCollector | None" = None,
     progress: "ProgressReporter | None" = None,
 ) -> ScenarioResult:
@@ -147,11 +149,21 @@ def run_scenario(
     running beyond the threshold times the median of its bundle peers on a
     slowed node is speculatively re-enacted on a spare core). Both are inert
     without matching gray faults in the plan and default to off.
+
+    ``write_quorum``/``read_quorum`` arm quorum acknowledgement in the
+    space (puts ack only at ``write_quorum`` reachable replica holders;
+    reads fail over across any reachable quorum member). Both need
+    ``resilience`` with ``replication > 1`` to matter and default to
+    ``None``, which keeps the non-quorum paths byte-identical.
     """
     cluster = scenario.cluster
     injector: FaultInjector | None = None
     if fault_plan is not None and not fault_plan.is_empty:
         injector = FaultInjector(fault_plan)
+        if fault_plan.has_link_partitions:
+            # Link-group cuts sever dimension-ordered routes; the injector
+            # needs the same torus the fluid model would load.
+            injector.set_topology(NetworkModel(cluster).topology)
 
     ckpt = None
     sim = None
@@ -175,6 +187,8 @@ def run_scenario(
         dart=HybridDART(cluster, metrics=metrics, injector=injector, tracer=tracer),
         hedge_factor=hedge_factor,
         replication=resilience.replication if resilience is not None else 1,
+        write_quorum=write_quorum,
+        read_quorum=read_quorum,
         placer=(
             ReplicaPlacer(cluster, resilience.placer_seed)
             if resilience is not None and resilience.replication > 1

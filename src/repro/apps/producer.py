@@ -40,6 +40,7 @@ class ProducerApp(SyntheticApp):
                         core, spec.var, region,
                         element_size=spec.element_size, version=self.version,
                         app_id=spec.app_id,
+                        generation=ctx.generation,
                     )
                 else:
                     self.space.put_cont(

@@ -22,6 +22,7 @@ from repro.faults.plan import (
     DataCorruption,
     DuplicateDelivery,
     FaultPlan,
+    NetworkPartition,
     SlowNode,
 )
 from repro.apps.scenarios import (
@@ -123,6 +124,52 @@ def _slow_node_spec(text: str) -> SlowNode:
         return SlowNode(node=node, start=start, duration=duration, factor=factor)
     except FaultPlanError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _partition_spec(text: str) -> NetworkPartition:
+    """``GROUP/GROUP[/...]@START:DUR[:FLAP]`` with GROUP = ``n,n,...``.
+
+    Example: ``0,1/2,3@1.5:2.5`` cuts nodes {0,1} from {2,3} between
+    t=1.5 and t=4.0; an optional trailing ``:FLAP`` makes the cut flap
+    with that period inside the window.
+    """
+    head, sep, tail = text.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected GROUP/GROUP@START:DUR[:FLAP], got {text!r}"
+        )
+    try:
+        groups = tuple(
+            tuple(int(n) for n in grp.split(","))
+            for grp in head.split("/")
+        )
+        window = tail.split(":")
+        if len(window) not in (2, 3):
+            raise ValueError
+        start = float(window[0])
+        duration = float(window[1])
+        flap = float(window[2]) if len(window) == 3 else None
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected GROUP/GROUP@START:DUR[:FLAP] with numeric fields, "
+            f"got {text!r}"
+        )
+    try:
+        return NetworkPartition(
+            start=start, duration=duration, groups=groups, flap_period=flap
+        )
+    except FaultPlanError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _quorum(text: str) -> int:
+    try:
+        q = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if q < 1:
+        raise argparse.ArgumentTypeError(f"quorum must be >= 1, got {text}")
+    return q
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -253,6 +300,31 @@ def build_parser() -> argparse.ArgumentParser:
             help="re-verify replica checksums every S simulated seconds and "
                  "repair corrupt copies (enables the resilience subsystem)",
         )
+        p.add_argument(
+            "--partition", action="append", type=_partition_spec, default=None,
+            metavar="GROUPS@START:DUR[:FLAP]",
+            help="network partition: cut node GROUPS (comma-separated nodes, "
+                 "'/' between islands, e.g. 0,1/2,3) from START for DUR "
+                 "simulated seconds; optional FLAP period makes the cut "
+                 "oscillate (repeatable)",
+        )
+        p.add_argument(
+            "--write-quorum", type=_quorum, default=None, metavar="W",
+            help="acknowledge a put only once W of the K replica holders "
+                 "accepted it (needs --replication K >= W)",
+        )
+        p.add_argument(
+            "--read-quorum", type=_quorum, default=None, metavar="R",
+            help="require R reachable replica holders before serving a read "
+                 "(needs --replication K >= R)",
+        )
+        p.add_argument(
+            "--partition-deadline", type=_positive_seconds, default=None,
+            metavar="S",
+            help="wait out a suspected network partition for S simulated "
+                 "seconds before treating the unreachable side as dead "
+                 "(default: wait until it heals)",
+        )
 
     for name, help_ in (
         ("concurrent", "run the online-data-processing scenario (CAP1/CAP2)"),
@@ -354,11 +426,13 @@ def _load_fault_plan(args: argparse.Namespace) -> "FaultPlan | None":
     slow = tuple(getattr(args, "slow_node", None) or ())
     corruption = getattr(args, "corruption", None)
     duplication = getattr(args, "duplication", None)
-    if not slow and corruption is None and duplication is None:
+    partitions = tuple(getattr(args, "partition", None) or ())
+    if (not slow and corruption is None and duplication is None
+            and not partitions):
         return plan
     if plan is None:
         plan = FaultPlan()
-    # Flag-injected gray faults stack on top of whatever the JSON plan
+    # Flag-injected faults stack on top of whatever the JSON plan
     # declares; the probabilities become wildcard (any-link) faults.
     return dataclasses.replace(
         plan,
@@ -371,6 +445,7 @@ def _load_fault_plan(args: argparse.Namespace) -> "FaultPlan | None":
             (DuplicateDelivery(probability=duplication),)
             if duplication else ()
         ),
+        partitions=plan.partitions + partitions,
     )
 
 
@@ -392,7 +467,8 @@ def _make_resilience(args: argparse.Namespace):
     if (getattr(args, "replication", 1) <= 1
             and not getattr(args, "checkpoint_out", None)
             and not getattr(args, "restore_from", None)
-            and getattr(args, "scrub_period", None) is None):
+            and getattr(args, "scrub_period", None) is None
+            and getattr(args, "partition_deadline", None) is None):
         return None
     from repro.resilience.manager import ResilienceConfig
 
@@ -404,6 +480,7 @@ def _make_resilience(args: argparse.Namespace):
         checkpoint_interval=args.checkpoint_interval,
         restore_from=args.restore_from,
         scrub_period=getattr(args, "scrub_period", None),
+        partition_deadline=getattr(args, "partition_deadline", None),
     )
 
 
@@ -448,6 +525,35 @@ def _print_gray_summary(result) -> None:
     print(f"speculation: {count('workflow.speculation.launched')} launched, "
           f"{count('workflow.speculation.wins')} won, "
           f"{count('workflow.speculation.cancelled')} cancelled")
+
+
+def _print_partition_summary(result) -> None:
+    """Partition-tolerance counters for runs whose plan declared cuts."""
+    injector = result.injector
+    reg = result.registry
+    if injector is None or reg is None or not injector.plan.has_partitions:
+        return
+
+    def count(name: str) -> int:
+        # Read-only: never registers absent (lazy) partition instruments.
+        return int(reg[name].total()) if name in reg else 0
+
+    print()
+    print("network partitions: "
+          f"stalled transfers={count('transport.partitioned_transfers')}, "
+          f"suspected nodes={count('resilience.partition.suspected')}, "
+          f"waited out={count('resilience.partition.waited_out')}, "
+          f"deadline escalations="
+          f"{count('resilience.partition.deadline_exceeded')}")
+    print(f"quorum: degraded writes={count('quorum.degraded_writes')}, "
+          f"failed writes={count('quorum.failed_writes')}, "
+          f"degraded reads={count('quorum.degraded_reads')}, "
+          f"failed reads={count('quorum.failed_reads')}, "
+          f"fenced writes={count('partition.fenced_writes')}")
+    print(f"heal: {count('resilience.partition.heals')} heals, "
+          f"{count('partition.reconciled')} stale copies reconciled, "
+          f"{count('partition.deferred_registrations')} deferred "
+          f"registrations replayed")
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -519,6 +625,8 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         consumer_compute=args.compute_seconds,
         hedge_factor=args.hedge_factor,
         speculation_threshold=args.speculation_threshold,
+        write_quorum=args.write_quorum,
+        read_quorum=args.read_quorum,
         timeline=timeline,
         progress=_make_progress(args),
     )
@@ -544,6 +652,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         print(format_table(["consumer", "retrieval ms"], rows))
     _print_fault_summary(result)
     _print_gray_summary(result)
+    _print_partition_summary(result)
     _print_resilience_summary(result)
     _write_obs(args, result, tracer, timeline)
     return 0
@@ -572,6 +681,8 @@ def _run_compare(args: argparse.Namespace) -> int:
             consumer_compute=args.compute_seconds,
             hedge_factor=args.hedge_factor,
             speculation_threshold=args.speculation_threshold,
+            write_quorum=args.write_quorum,
+            read_quorum=args.read_quorum,
             timeline=timeline,
             progress=_make_progress(args),
         )
@@ -596,6 +707,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     if last_result is not None:
         _print_fault_summary(last_result)
         _print_gray_summary(last_result)
+        _print_partition_summary(last_result)
         _print_resilience_summary(last_result)
         _write_obs(args, last_result, last_tracer)
     return 0
@@ -747,6 +859,15 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "trace_stream", False) and not args.trace_out:
         parser.error("--trace-stream requires --trace-out")
+    for flag, name in (("write_quorum", "--write-quorum"),
+                       ("read_quorum", "--read-quorum")):
+        q = getattr(args, flag, None)
+        if q is not None and q > getattr(args, "replication", 1):
+            parser.error(
+                f"{name} {q} exceeds --replication "
+                f"{getattr(args, 'replication', 1)}: a quorum cannot "
+                f"outnumber the copies"
+            )
     if args.command in ("concurrent", "sequential"):
         return _run_one(args, args.command)
     if args.command == "compare":

@@ -21,7 +21,7 @@ from typing import Iterable
 
 from repro.cods.objects import DataObject, RegionProduct, region_from_box
 from repro.domain.box import Box
-from repro.errors import LookupError_, SpaceError
+from repro.errors import LookupError_, NetworkPartitionError, SpaceError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.sfc.linearize import DomainLinearizer
@@ -91,6 +91,14 @@ class SpatialDHT:
         # several spaces (DHTs) can share one DART.
         self._rpc_suffix = f"#{next(_DHT_IDS)}"
         self.failed_cores: list[int] = []
+        #: interval-assignment epoch, bumped on every :meth:`fail_core`.
+        #: Callers that cached routing decisions can compare epochs instead
+        #: of diffing the interval table.
+        self.epoch = 0
+        #: registrations skipped because the DHT core sat across an active
+        #: network cut; heal-time reconciliation rebuilds the tables when
+        #: non-zero (see CoDS.reconcile_partition).
+        self.deferred_registrations = 0
         self._last_hops = 0
         # Lookup/registration instruments live in the transport's registry
         # when one is attached (a private registry otherwise, so the code
@@ -177,7 +185,13 @@ class SpatialDHT:
             self._m_registrations.inc()
         for i in owners:
             if account:
-                self._rpc(obj.owner_core, i, "dht_register")
+                try:
+                    self._rpc(obj.owner_core, i, "dht_register")
+                except NetworkPartitionError:
+                    # The DHT core sits across an active cut: its location
+                    # table misses this entry until heal-time rebuild.
+                    self.deferred_registrations += 1
+                    continue
             self._tables[i].setdefault(obj.var, []).append(loc)
         return len(owners)
 
@@ -250,8 +264,15 @@ class SpatialDHT:
         qregion = region_from_box(box)
         seen: set[tuple[str, int, int]] = set()
         out: list[ObjectLocation] = []
+        unreachable = 0
         for i in owners:
-            self._rpc(src_core, i, "dht_query")
+            try:
+                self._rpc(src_core, i, "dht_query")
+            except NetworkPartitionError:
+                # Degraded metadata view: entries on cut-off DHT cores are
+                # invisible; the query still serves from reachable ones.
+                unreachable += 1
+                continue
             for loc in self._tables[i].get(var, ()):
                 if version is not None and loc.version != version:
                     continue
@@ -266,10 +287,19 @@ class SpatialDHT:
                         break
                 if overlap > 0:
                     out.append(loc)
+        if unreachable == len(owners):
+            raise NetworkPartitionError(
+                f"every DHT core covering the query for {var!r} from core "
+                f"{src_core} is across an active network cut"
+            )
         out.sort(key=lambda l: (l.version, l.owner_core, l.logical_owner))
         return out
 
     # -- failover -----------------------------------------------------------------------
+
+    def core_active(self, core: int) -> bool:
+        """Whether ``core`` still owns a Hilbert interval (never failed)."""
+        return core in self.dht_cores
 
     def fail_core(self, core: int) -> int:
         """Remove a failed DHT core; its Hilbert interval moves to a successor.
@@ -280,6 +310,14 @@ class SpatialDHT:
         core's location table is *lost* — call :meth:`rebuild` with the
         surviving objects to restore full coverage. Returns the successor's
         global core id.
+
+        Ownership policy under network partitions: interval ownership (like
+        a data object's logical owner) is an *identity*, reassigned exactly
+        once, on confirmed death. Callers must never invoke this for a node
+        that is merely suspected-partitioned — the failure detector's
+        cross-witness check (:mod:`repro.resilience.detector`) makes that
+        distinction — so the same interval is never owned by two live cores
+        on opposite sides of a cut (no split-brain ownership).
         """
         try:
             i = self.dht_cores.index(core)
@@ -300,6 +338,7 @@ class SpatialDHT:
         del self._tables[i]
         self._starts = [s for s, _ in self.intervals]
         self.failed_cores.append(core)
+        self.epoch += 1
         if self.dart is not None:
             self.dart.unregister_handler(core, "dht_register" + self._rpc_suffix)
             self.dart.unregister_handler(core, "dht_query" + self._rpc_suffix)

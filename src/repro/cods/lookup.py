@@ -35,16 +35,21 @@ class DataLookupService:
     ``liveness`` (set by the resilience manager when replication is on)
     filters the *byte-count* queries to nodes still alive — between a crash
     and its detection the DHT still lists copies on the dead node, and
-    mapping decisions must not count unreachable bytes. :meth:`locate` is
-    deliberately unfiltered: the space's copy selection needs to see dead
-    copies to tell replica failover apart from true data loss. ``None``
-    (the default) keeps every query byte-identical to the unfiltered path.
+    mapping decisions must not count unreachable bytes. ``reachability``
+    (set by the resilience manager when a fault plan declares network
+    partitions) additionally drops nodes across an active cut: their bytes
+    exist but cannot be pulled, so counting them would map tasks onto data
+    they cannot reach. :meth:`locate` is deliberately unfiltered: the
+    space's copy selection needs to see dead and cut-off copies to tell
+    replica failover apart from true data loss. ``None`` (the default)
+    keeps every query byte-identical to the unfiltered path.
     """
 
     def __init__(self, dht: SpatialDHT, cluster: Cluster) -> None:
         self.dht = dht
         self.cluster = cluster
         self.liveness: "Callable[[int], bool] | None" = None
+        self.reachability: "Callable[[int], bool] | None" = None
 
     def locate(
         self,
@@ -57,9 +62,10 @@ class DataLookupService:
         return self.dht.query(src_core, var, box, version)
 
     def _node_live(self, core: int) -> bool:
-        return self.liveness is None or self.liveness(
-            self.cluster.node_of_core(core)
-        )
+        node = self.cluster.node_of_core(core)
+        if self.liveness is not None and not self.liveness(node):
+            return False
+        return self.reachability is None or self.reachability(node)
 
     def bytes_by_node(
         self,

@@ -44,7 +44,10 @@ from repro.errors import (
     CheckpointError,
     DataIntegrityError,
     DataLostError,
+    NetworkPartitionError,
+    QuorumError,
     SpaceError,
+    StaleWriteError,
 )
 from repro.hardware.cluster import Cluster
 from repro.obs.tracer import NULL_TRACER
@@ -70,6 +73,8 @@ class CoDS:
         replication: int = 1,
         placer: "object | None" = None,
         hedge_factor: "float | None" = None,
+        write_quorum: "int | None" = None,
+        read_quorum: "int | None" = None,
     ) -> None:
         self.cluster = cluster
         self.dart = dart if dart is not None else HybridDART(cluster)
@@ -141,6 +146,25 @@ class CoDS:
         # Lazy gray counters: clean runs register no integrity/hedge metrics,
         # keeping their snapshots and checkpoints byte-identical to the seed.
         self._gray_counters: dict[str, object] = {}
+        # -- partition tolerance (inert unless quorums/partitions armed) --
+        for qname, q in (("write_quorum", write_quorum),
+                         ("read_quorum", read_quorum)):
+            if q is not None and not 1 <= q <= replication:
+                raise SpaceError(
+                    f"{qname} must be in [1, replication={replication}], "
+                    f"got {q}"
+                )
+        #: a put acknowledges only once this many of its k copies (primary
+        #: included) landed on nodes reachable from the writer (None = no
+        #: quorum enforcement, the seed behaviour)
+        self.write_quorum = write_quorum
+        #: a read needs this many reachable copies of each logical object
+        #: before it picks a source (None = any reachable copy serves)
+        self.read_quorum = read_quorum
+        # logical (var, version, primary core) -> highest accepted write
+        # generation; writes carrying an older generation are fenced off so
+        # a healed minority cannot commit stale work
+        self._object_gen: dict[tuple[str, int, int], int] = {}
 
     def _gray_count(self, name: str, value: float = 1) -> None:
         """Bump a lazily created integrity/hedge counter."""
@@ -148,6 +172,14 @@ class CoDS:
         if c is None:
             c = self._gray_counters[name] = self.dart.registry.counter(name)
         c.inc(value)
+
+    # Partition/quorum counters share the lazy-creation discipline: a run
+    # with no declared partitions registers no partition.* or quorum.* cell.
+    _partition_count = _gray_count
+
+    def _partitions_armed(self) -> bool:
+        injector = self.dart.injector
+        return injector is not None and injector.plan.has_partitions
 
     @property
     def placer(self):
@@ -426,6 +458,7 @@ class CoDS:
         version: int = 0,
         data: "object | None" = None,
         app_id: int = -1,
+        generation: int = 0,
     ) -> DataObject:
         """Store a region of ``var`` in the space (owner = ``core``).
 
@@ -441,15 +474,25 @@ class CoDS:
         live nodes (SFC-successor placement) and registered alongside the
         primary. ``app_id`` records the producing application so the
         recovery ladder can re-enact the right bundle if every copy is lost.
+
+        ``generation`` is the writer's dispatch generation (the workflow
+        engine bumps it on every re-dispatch). A write older than the
+        object's fence is rejected with :class:`StaleWriteError` — a healed
+        minority cannot overwrite majority-side work. With a
+        ``write_quorum`` configured, the put raises :class:`QuorumError`
+        unless at least that many of its k copies landed on nodes reachable
+        from the writer.
         """
         tracer = self.dart.tracer
         if not tracer.enabled:
             return self._put_seq(
-                core, var, region, element_size, version, data, app_id
+                core, var, region, element_size, version, data, app_id,
+                generation,
             )
         with tracer.span("cods.put_seq", var=var, core=core, version=version) as sp:
             obj = self._put_seq(
-                core, var, region, element_size, version, data, app_id
+                core, var, region, element_size, version, data, app_id,
+                generation,
             )
             # The put span covers every core now holding a copy (primary +
             # replicas), so failover pulls still link to their producer.
@@ -467,7 +510,25 @@ class CoDS:
         version: int,
         data: "object | None",
         app_id: int = -1,
+        generation: int = 0,
     ) -> DataObject:
+        if generation or self._object_gen:
+            fence = self._object_gen.get((var, version, core), 0)
+            if generation < fence:
+                self._partition_count("partition.fenced_writes")
+                injector = self.dart.injector
+                if injector is not None:
+                    injector.record(
+                        "stale_write_fenced",
+                        f"{var} v{version} core={core} "
+                        f"generation={generation} fence={fence}",
+                    )
+                raise StaleWriteError(
+                    f"write of {var!r} v{version} from core {core} carries "
+                    f"generation {generation}, fenced at {fence}"
+                )
+            if generation > fence:
+                self._object_gen[(var, version, core)] = generation
         if data is not None:
             import numpy as np
 
@@ -524,30 +585,79 @@ class CoDS:
                 del self._produced_by[key]
                 self._replicas.pop(key, None)
         if self.replication > 1:
-            self._replicate(obj)
+            skipped = self._replicate(obj)
+        else:
+            skipped = 0
+        if self.write_quorum is not None:
+            acks = 1 + len(
+                self._replicas.get((var, version, core), ())
+            )
+            if acks < self.write_quorum:
+                self._partition_count("quorum.failed_writes")
+                raise QuorumError(
+                    f"write of {var!r} v{version} from core {core} reached "
+                    f"{acks}/{self.replication} copies; write quorum is "
+                    f"{self.write_quorum}"
+                )
+            if skipped:
+                # Acknowledged, but short of full replication: the heal-time
+                # reconciliation tops the missing copies back up.
+                self._partition_count("quorum.degraded_writes")
         return obj
 
-    def _replicate(self, obj: DataObject) -> None:
-        """Write k-1 replicas of a freshly put primary to distinct nodes."""
+    def _replicate(self, obj: DataObject) -> int:
+        """Write k-1 replicas of a freshly put primary to distinct nodes.
+
+        With partitions declared, a replica whose holder is unreachable
+        from the writer is *skipped* (never half-written): the copy simply
+        does not exist until reconciliation re-replicates it. Returns the
+        number of skipped targets (0 on the partition-free path).
+        """
         targets = self.placer.replica_cores(
             obj.owner_core, self.replication - 1, alive=self._node_alive
         )
+        partitions = self._partitions_armed()
         placed: list[int] = []
+        skipped = 0
         for t in targets:
             rep = _dc_replace(obj, owner_core=t, primary_core=obj.owner_core)
-            self.store_of(t).insert(rep)
-            self.dht.register(rep)
-            rec = self.dart.transfer(
-                src_core=obj.owner_core,
-                dst_core=t,
-                nbytes=rep.nbytes,
-                kind=TransferKind.REPLICATION,
-                var=obj.var,
-            )
+            if partitions:
+                # Transfer first: an unreachable target must not leave a
+                # ghost copy in its store or the DHT tables.
+                try:
+                    rec = self.dart.transfer(
+                        src_core=obj.owner_core,
+                        dst_core=t,
+                        nbytes=rep.nbytes,
+                        kind=TransferKind.REPLICATION,
+                        var=obj.var,
+                    )
+                except NetworkPartitionError:
+                    skipped += 1
+                    self._partition_count("quorum.replicas_skipped")
+                    continue
+                self.store_of(t).insert(rep)
+                self.dht.register(rep)
+            else:
+                self.store_of(t).insert(rep)
+                self.dht.register(rep)
+                rec = self.dart.transfer(
+                    src_core=obj.owner_core,
+                    dst_core=t,
+                    nbytes=rep.nbytes,
+                    kind=TransferKind.REPLICATION,
+                    var=obj.var,
+                )
             if rec.corrupted:
                 self._poison_copy(rep)
             placed.append(t)
-        self._replicas[(obj.var, obj.version, obj.owner_core)] = tuple(placed)
+        key = (obj.var, obj.version, obj.owner_core)
+        if partitions:
+            # Stale holders kept across the cut (see _drop_replicas) stay
+            # in the bookkeeping so heal-time reconciliation finds them.
+            placed = sorted(set(placed) | set(self._replicas.get(key, ())))
+        self._replicas[key] = tuple(placed)
+        return skipped
 
     def _poison_copy(self, rep: DataObject) -> None:
         """Mark a freshly stored copy as corrupted-in-flight.
@@ -562,12 +672,31 @@ class CoDS:
         self._gray_count("integrity.corrupted_replicas")
 
     def _drop_replicas(self, var: str, version: int, primary: int) -> None:
-        """Evict and unregister every replica of one logical object."""
+        """Evict and unregister every replica of one logical object.
+
+        Under an active partition a holder unreachable from the primary
+        cannot process the eviction: its stale copy survives — still
+        registered, so minority-side reads may serve it — until heal-time
+        :meth:`reconcile_partition` repairs it by checksum against the
+        primary.
+        """
+        partitions = self._partitions_armed()
+        injector = self.dart.injector
+        pnode = self.cluster.node_of_core(primary)
+        kept: list[int] = []
         for rc in self._replicas.pop((var, version, primary), ()):
+            if partitions and not injector.reachable(
+                pnode, self.cluster.node_of_core(rc)
+            ):
+                kept.append(rc)
+                self._partition_count("partition.stale_replicas")
+                continue
             rstore = self._stores.get(rc)
             if rstore is not None and rstore.get(var, version, of=primary) is not None:
                 rstore.evict(var, version, of=primary)
             self.dht.unregister(var, version, rc, of=primary)
+        if kept:
+            self._replicas[(var, version, primary)] = tuple(kept)
 
     def get_seq(
         self,
@@ -662,11 +791,21 @@ class CoDS:
         one on the destination's node (shared-memory pull), then the lowest
         core id for determinism. No live copy left ⇒ :class:`DataLostError`.
 
+        Under an active partition the pool additionally shrinks to copies
+        *reachable* from the destination: unreachable-but-alive holders are
+        never failed over to a dead-node path (the data still exists), the
+        read instead stalls with :class:`NetworkPartitionError` when no copy
+        is reachable, or fails the configured ``read_quorum``. A reachable
+        replica standing in for an alive-but-cut-off primary counts as a
+        ``partition.failover_reads``, distinct from crash failover.
+
         Identity transform when ``replication == 1`` and no node has died —
         and skipped entirely on the default path (see the caller's gate).
         """
-        if not self._dead_nodes and self.replication == 1:
+        partitions = self._partitions_armed()
+        if not self._dead_nodes and self.replication == 1 and not partitions:
             return list(locations)
+        injector = self.dart.injector
         groups: dict[tuple[int, int], list] = {}
         for loc in locations:
             groups.setdefault((loc.version, loc.logical_owner), []).append(loc)
@@ -682,18 +821,48 @@ class CoDS:
                     f"every copy of {var!r} v{version} (owner core {owner}) "
                     "is on a crashed node"
                 )
-            primary = next((c for c in live if not c.is_replica), None)
+            had_primary = any(not c.is_replica for c in live)
+            pool = live
+            if partitions:
+                pool = [
+                    c for c in live
+                    if injector.reachable(
+                        dst_node, self.cluster.node_of_core(c.owner_core)
+                    )
+                ]
+                if not pool:
+                    self._partition_count("partition.stalled_reads")
+                    raise NetworkPartitionError(
+                        f"every live copy of {var!r} v{version} (owner core "
+                        f"{owner}) is across an active network cut from core "
+                        f"{dst_core}"
+                    )
+                if (self.read_quorum is not None
+                        and len(pool) < self.read_quorum):
+                    self._partition_count("quorum.failed_reads")
+                    raise QuorumError(
+                        f"read of {var!r} v{version} from core {dst_core} "
+                        f"reaches {len(pool)}/{len(live)} live copies; read "
+                        f"quorum is {self.read_quorum}"
+                    )
+                if len(pool) < len(live):
+                    self._partition_count("quorum.degraded_reads")
+            primary = next((c for c in pool if not c.is_replica), None)
             if primary is not None:
                 chosen.append(primary)
                 continue
             pick = min(
-                live,
+                pool,
                 key=lambda c: (
                     self.cluster.node_of_core(c.owner_core) != dst_node,
                     c.owner_core,
                 ),
             )
-            if self._m_failover is not None:
+            if partitions and had_primary:
+                # The primary is alive but cut off — partition failover,
+                # not the crash-failover the resilience counter tracks.
+                self._partition_count("partition.failover_reads")
+            elif self._m_failover is not None:
                 self._m_failover.inc()
             chosen.append(pick)
         chosen.sort(key=lambda c: (c.version, c.owner_core))
@@ -1010,6 +1179,7 @@ class CoDS:
         """
         if self.replication <= 1:
             return (0, 0)
+        partitions = self._partitions_armed()
         # Survey the surviving copies of every logical object.
         groups: dict[tuple[str, int, int], list[DataObject]] = {}
         for store in self._stores.values():
@@ -1033,15 +1203,32 @@ class CoDS:
             )
             for t in targets:
                 rep = _dc_replace(src, owner_core=t, primary_core=owner)
-                self.store_of(t).insert(rep)
-                rec = self.dart.transfer(
-                    src_core=src.owner_core,
-                    dst_core=t,
-                    nbytes=rep.nbytes,
-                    kind=TransferKind.REPLICATION,
-                    var=var,
-                    link_from=self._put_spans.get((var, src.owner_core)),
-                )
+                if partitions:
+                    # Transfer first (cf. _replicate): a target across a
+                    # still-open cut is skipped, never half-written.
+                    try:
+                        rec = self.dart.transfer(
+                            src_core=src.owner_core,
+                            dst_core=t,
+                            nbytes=rep.nbytes,
+                            kind=TransferKind.REPLICATION,
+                            var=var,
+                            link_from=self._put_spans.get((var, src.owner_core)),
+                        )
+                    except NetworkPartitionError:
+                        self._partition_count("quorum.replicas_skipped")
+                        continue
+                    self.store_of(t).insert(rep)
+                else:
+                    self.store_of(t).insert(rep)
+                    rec = self.dart.transfer(
+                        src_core=src.owner_core,
+                        dst_core=t,
+                        nbytes=rep.nbytes,
+                        kind=TransferKind.REPLICATION,
+                        var=var,
+                        link_from=self._put_spans.get((var, src.owner_core)),
+                    )
                 if rec.corrupted:
                     self._poison_copy(rep)
                 sp = self._put_spans.get((var, src.owner_core))
@@ -1062,6 +1249,75 @@ class CoDS:
             if self.bundle_cache is not None:
                 self.bundle_cache.clear()
         return created, nbytes
+
+    def reconcile_partition(self) -> tuple[int, int]:
+        """Heal-time reconciliation of replica sets divergent across a cut.
+
+        While a partition is open, replica holders unreachable from their
+        primary keep stale copies (see :meth:`_drop_replicas`) and quorum
+        writes may land short of full replication (see :meth:`_replicate`).
+        Once the cut heals, the resilience manager calls this to walk the
+        replica bookkeeping and (1) rewrite every copy whose content
+        checksum disagrees with its primary's — one REPLICATION transfer
+        each, (2) top missing copies back up via
+        :meth:`restore_replication`.
+
+        Returns ``(divergent_copies_repaired, missing_copies_created)``.
+        """
+        repaired = 0
+        for (var, version, owner), reps in sorted(self._replicas.items()):
+            pstore = self._stores.get(owner)
+            prim = pstore.get(var, version) if pstore is not None else None
+            if prim is None:
+                continue  # dead primary: restore_replication's concern
+            for rc in reps:
+                rstore = self._stores.get(rc)
+                rep = (
+                    rstore.get(var, version, of=owner)
+                    if rstore is not None else None
+                )
+                if rep is None or rep.checksum == prim.checksum:
+                    continue
+                try:
+                    self.dart.transfer(
+                        src_core=owner,
+                        dst_core=rc,
+                        nbytes=prim.nbytes,
+                        kind=TransferKind.REPLICATION,
+                        var=var,
+                        link_from=self._put_spans.get((var, owner)),
+                    )
+                except NetworkPartitionError:
+                    continue  # still cut off; the next heal pass retries
+                rstore.evict(var, version, of=owner)
+                self.dht.unregister(var, version, rc, of=owner)
+                fresh = _dc_replace(prim, owner_core=rc, primary_core=owner)
+                rstore.insert(fresh)
+                self.dht.register(fresh)
+                repaired += 1
+                self._partition_count("partition.reconciled")
+        if self.dht.deferred_registrations:
+            # Registrations that could not cross the cut left holes in the
+            # location tables; the heal-time rebuild closes them (accounted
+            # as real anti-entropy control traffic).
+            self._partition_count(
+                "partition.deferred_registrations",
+                self.dht.deferred_registrations,
+            )
+            self.dht.deferred_registrations = 0
+            self.dht.rebuild(
+                obj for store in self._stores.values() for obj in store.objects()
+            )
+            if self.schedule_cache is not None:
+                self.schedule_cache.clear()
+            if self.bundle_cache is not None:
+                self.bundle_cache.clear()
+        created, _nbytes = self.restore_replication()
+        if repaired and self.schedule_cache is not None:
+            self.schedule_cache.clear()
+        if repaired and self.bundle_cache is not None:
+            self.bundle_cache.clear()
+        return repaired, created
 
     def scrub(self, repair: bool = True) -> tuple[int, int, int]:
         """Re-verify every stored copy's checksum; repair from a clean copy.

@@ -23,7 +23,7 @@ from repro.cods.objects import (
 )
 from repro.cods.schedule import CommSchedule, compute_schedule
 from repro.domain.box import Box
-from repro.errors import SpaceError
+from repro.errors import NetworkPartitionError, SpaceError
 from repro.hardware.cluster import Cluster
 from repro.sfc.linearize import DomainLinearizer
 from repro.transport.hybriddart import HybridDART
@@ -113,10 +113,17 @@ class StagingArea:
             owner_core=target, element_size=element_size,
         )
         self._stores[target].append(obj)
-        rec = self.dart.transfer(
-            src_core=core, dst_core=target, nbytes=obj.nbytes,
-            kind=TransferKind.COUPLING, app_id=app_id, var=var,
-        )
+        try:
+            rec = self.dart.transfer(
+                src_core=core, dst_core=target, nbytes=obj.nbytes,
+                kind=TransferKind.COUPLING, app_id=app_id, var=var,
+            )
+        except NetworkPartitionError:
+            # Staging has no partition tolerance (baseline exposure), but a
+            # push that never crossed the cut must not leave a ghost object
+            # on the staging core.
+            self._stores[target].remove(obj)
+            raise
         return obj, rec
 
     def get(

@@ -7,6 +7,8 @@ swallowing programming errors (``TypeError`` etc. propagate untouched).
 
 from __future__ import annotations
 
+import dataclasses
+
 __all__ = [
     "ReproError",
     "DomainError",
@@ -16,6 +18,7 @@ __all__ = [
     "HardwareError",
     "TransportError",
     "TransferDroppedError",
+    "NetworkPartitionError",
     "SimulationError",
     "FaultError",
     "FaultPlanError",
@@ -26,11 +29,16 @@ __all__ = [
     "ResilienceError",
     "DataLostError",
     "DataIntegrityError",
+    "QuorumError",
+    "StaleWriteError",
     "CheckpointError",
     "MappingError",
     "WorkflowError",
     "DagParseError",
     "RegistrationError",
+    # RetryPolicy lives here too (the one dependency-free home shared by
+    # faults, transport, and resilience) but is deliberately not in
+    # __all__: this module's star-export surface is exceptions only.
 ]
 
 
@@ -64,6 +72,16 @@ class TransportError(ReproError):
 
 class TransferDroppedError(TransportError):
     """A transfer was dropped and exhausted its retry budget."""
+
+
+class NetworkPartitionError(TransportError):
+    """A transfer or RPC crossed an active network cut.
+
+    Named ``NetworkPartitionError`` (not ``PartitionError``, which this
+    package already uses for graph-partitioning failures). Deliberately NOT
+    a :class:`DataLostError`: the data still exists on the far side of the
+    cut, so recovery should wait out the partition under a deadline instead
+    of re-enacting the producing bundle."""
 
 
 class SimulationError(ReproError):
@@ -109,6 +127,23 @@ class DataIntegrityError(DataLostError):
     ladder (re-enact the producing bundle) applies unchanged."""
 
 
+class QuorumError(SpaceError):
+    """A read or write could not reach its configured replica quorum.
+
+    Like :class:`NetworkPartitionError` this is NOT a data-loss error: the
+    missing acknowledgements sit on unreachable-but-alive nodes, so the
+    operation is retried after a partition wait rather than recovered by
+    re-enactment."""
+
+
+class StaleWriteError(SpaceError):
+    """A write carried a generation older than the object's fence.
+
+    Raised when a healed minority tries to commit work that was already
+    re-dispatched on the majority side under a higher generation number —
+    the stale commit is rejected, never stored."""
+
+
 class CheckpointError(ResilienceError):
     """Checkpoint capture, serialization, or restore failure."""
 
@@ -127,3 +162,48 @@ class DagParseError(WorkflowError):
 
 class RegistrationError(WorkflowError):
     """Execution-client registration/unregistration failure."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """One policy surface for every retry/timeout/backoff knob.
+
+    The transport's transfer retries, the failure detector's heartbeat
+    deadline, and the partition wait-out all parameterize the same shape:
+    up to ``max_retries`` attempts, the first retry waiting ``timeout``
+    seconds and each further retry multiplying the wait by ``backoff``,
+    with an optional overall ``deadline`` after which the caller escalates.
+    Defaults are byte-identical to the historical :class:`FaultPlan` knobs
+    (``max_retries=3, retry_timeout=1e-4, retry_backoff=2.0``).
+    """
+
+    max_retries: int = 3
+    timeout: float = 1e-4
+    backoff: float = 2.0
+    deadline: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.timeout < 0:
+            raise ReproError(
+                f"timeout must be non-negative, got {self.timeout}"
+            )
+        if self.backoff < 1.0:
+            raise ReproError(f"backoff must be >= 1, got {self.backoff}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ReproError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Exponential-backoff wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ReproError(f"retry attempt must be >= 1, got {attempt}")
+        return self.timeout * self.backoff ** (attempt - 1)
+
+    def exhausted(self, elapsed: float) -> bool:
+        """True once ``elapsed`` seconds exceed the policy deadline."""
+        return self.deadline is not None and elapsed >= self.deadline

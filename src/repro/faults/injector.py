@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import FaultError
-from repro.faults.plan import DHTCoreFailure, FaultPlan, NodeCrash
+from repro.faults.plan import (
+    DHTCoreFailure,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+)
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["FaultEvent", "FaultInjector"]
@@ -47,6 +52,10 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
+        #: the plan's retry knobs as one policy surface (satellite of the
+        #: partition work: transport retries, heartbeat deadlines, and
+        #: partition wait-outs all read the same dataclass shape)
+        self.retry_policy = plan.retry_policy
         self._rng = random.Random(plan.seed)
         # Gray-failure decisions draw from their own seeded streams so that
         # adding slow/corrupt/duplicate faults to a plan never perturbs the
@@ -61,6 +70,16 @@ class FaultInjector:
         self._armed = False
         self._node_crash_listeners: list[Callable[[int], None]] = []
         self._dht_failure_listeners: list[Callable[[int], None]] = []
+        self._partition_start_listeners: list[
+            Callable[[NetworkPartition], None]
+        ] = []
+        self._partition_heal_listeners: list[
+            Callable[[NetworkPartition], None]
+        ] = []
+        #: torus topology for resolving link-group cuts (set lazily by the
+        #: experiment driver; group cuts never need it)
+        self._topology = None
+        self._route_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
         #: total retries issued by the transport (diagnostics)
         self.retries_issued = 0
         #: span tracer mirrored by :meth:`record` (set by the transport or
@@ -103,6 +122,18 @@ class FaultInjector:
     def add_dht_failure_listener(self, fn: Callable[[int], None]) -> None:
         """``fn(core)`` runs at each DHT failure's simulated time."""
         self._dht_failure_listeners.append(fn)
+
+    def add_partition_start_listener(
+        self, fn: Callable[[NetworkPartition], None]
+    ) -> None:
+        """``fn(partition)`` runs when a cut window opens (each flap)."""
+        self._partition_start_listeners.append(fn)
+
+    def add_partition_heal_listener(
+        self, fn: Callable[[NetworkPartition], None]
+    ) -> None:
+        """``fn(partition)`` runs when a cut window heals (each flap)."""
+        self._partition_heal_listeners.append(fn)
 
     # -- arming on the event clock ---------------------------------------------
 
@@ -152,6 +183,42 @@ class FaultInjector:
                 sim.schedule_at(time, self._fire_node_crash, fault)
             else:
                 sim.schedule_at(time, self._fire_dht_failure, fault)
+        # Partition edges ride the same event clock: one start/heal pair per
+        # cut window (flapping partitions fire once per flap). Reachability
+        # itself is computed from the plan's time windows, so edges that
+        # already passed (checkpoint restore) need no silent state.
+        for part in self.plan.partitions:
+            for down, up in part.cut_windows():
+                if down >= sim.now:
+                    sim.schedule_at(
+                        down, self._fire_partition_start, part, down, up
+                    )
+                if up >= sim.now:
+                    sim.schedule_at(
+                        up, self._fire_partition_heal, part, down, up
+                    )
+
+    def _fire_partition_start(self, part: NetworkPartition,
+                              down: float, up: float) -> None:
+        self.record("partition_start", self._partition_detail(part, down, up))
+        for fn in self._partition_start_listeners:
+            fn(part)
+
+    def _fire_partition_heal(self, part: NetworkPartition,
+                             down: float, up: float) -> None:
+        self.record("partition_heal", self._partition_detail(part, down, up))
+        for fn in self._partition_heal_listeners:
+            fn(part)
+
+    @staticmethod
+    def _partition_detail(part: NetworkPartition,
+                          down: float, up: float) -> str:
+        shape = (
+            f"groups={'|'.join(','.join(map(str, g)) for g in part.groups)}"
+            if part.groups else f"links={len(part.links)}"
+        )
+        sym = "" if part.symmetric else " asymmetric"
+        return f"{shape} window=[{down:g},{up:g}){sym}"
 
     def _fire_node_crash(self, crash: NodeCrash) -> None:
         if crash.node in self._crashed_nodes:
@@ -183,6 +250,50 @@ class FaultInjector:
     def failed_dht_cores(self) -> frozenset[int]:
         return frozenset(self._failed_dht_cores)
 
+    # -- network partitions -----------------------------------------------------
+
+    def set_topology(self, topology) -> None:
+        """Bind the torus used to resolve link-group cuts (route-based)."""
+        self._topology = topology
+        self._route_cache.clear()
+
+    def reachable(self, src_node: int, dst_node: int,
+                  time: "float | None" = None) -> bool:
+        """Can ``src_node`` send to ``dst_node`` at ``time`` (default now)?
+
+        Always true with no declared partitions, so partition-free runs
+        never pay for (or observe) this check. Group cuts resolve from the
+        plan alone; link-group cuts test every link of the deterministic
+        dimension-ordered route.
+        """
+        plan = self.plan
+        if not plan.partitions or src_node == dst_node:
+            return True
+        t = self.now if time is None else time
+        if plan.node_pair_severed(src_node, dst_node, t):
+            return False
+        if plan.has_link_partitions:
+            if self._topology is None:
+                raise FaultError(
+                    "link-group partitions need a torus topology: "
+                    "call set_topology() before querying reachability"
+                )
+            route = self._route_cache.get((src_node, dst_node))
+            if route is None:
+                route = self._topology.route(src_node, dst_node)
+                self._route_cache[(src_node, dst_node)] = route
+            for a, b in route:
+                if plan.link_cut(a, b, t):
+                    return False
+        return True
+
+    def partition_active(self, time: "float | None" = None) -> bool:
+        """True while any declared cut window is down at ``time``."""
+        if not self.plan.partitions:
+            return False
+        t = self.now if time is None else time
+        return any(p.active_at(t) for p in self.plan.partitions)
+
     def attempt_fails(self, src_node: int, dst_node: int) -> bool:
         """Decide (deterministically) whether one network attempt fails.
 
@@ -199,7 +310,7 @@ class FaultInjector:
         """Exponential-backoff wait before retry ``attempt`` (1-based)."""
         if attempt < 1:
             raise FaultError(f"retry attempt must be >= 1, got {attempt}")
-        return self.plan.retry_timeout * self.plan.retry_backoff ** (attempt - 1)
+        return self.retry_policy.delay(attempt)
 
     def bandwidth_factor(self, src_node: int, dst_node: int) -> float:
         return self.plan.bandwidth_factor(src_node, dst_node)

@@ -28,6 +28,10 @@ faithful in-situ model must include degraded resources):
   probability; the transport's checksum verification catches them.
 * :class:`DuplicateDelivery` — a link replays messages: the same payload
   arrives twice and the receiver must deduplicate idempotently.
+* :class:`NetworkPartition` — the interconnect splits into mutually
+  unreachable islands (node groups or torus link groups) over a start/heal
+  window, optionally flapping; every node stays alive, only reachability
+  is cut.
 
 Everything is deterministic from ``seed``: replaying the same plan against
 the same scenario yields byte-identical metrics and identical event traces.
@@ -39,7 +43,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.errors import FaultPlanError
+from repro.errors import FaultPlanError, RetryPolicy
 
 __all__ = [
     "NodeCrash",
@@ -48,6 +52,7 @@ __all__ = [
     "SlowNode",
     "DataCorruption",
     "DuplicateDelivery",
+    "NetworkPartition",
     "FaultPlan",
 ]
 
@@ -189,6 +194,146 @@ class DuplicateDelivery(_LinkFault):
 
 
 @dataclass(frozen=True)
+class NetworkPartition:
+    """The interconnect is cut into islands over ``[start, start+duration)``.
+
+    Exactly one of two cut shapes must be declared:
+
+    * ``groups`` — node-set cut: each group is an island. While the cut is
+      active, nodes in different declared groups cannot reach each other,
+      and (symmetric cuts only) declared groups cannot reach undeclared
+      nodes either. Nodes sharing a group — or both undeclared — stay
+      connected.
+    * ``links`` — torus link-group cut: the listed directed torus links
+      ``(node_a, node_b)`` go down; a node pair is unreachable while its
+      dimension-ordered route crosses a cut link (routes are deterministic,
+      so this is a fixed set of severed pairs per topology).
+
+    ``symmetric=False`` makes the cut one-way: with groups it requires
+    exactly two groups and severs only ``groups[0] -> groups[1]``; with
+    links only the listed directions go down (a symmetric link cut severs
+    both directions of each listed link).
+
+    ``flap_period`` makes the partition flap: within the window the cut
+    alternates ``flap_period`` seconds down, ``flap_period`` seconds up,
+    starting down at ``start``.
+    """
+
+    start: float
+    duration: float
+    groups: tuple[tuple[int, ...], ...] = ()
+    links: tuple[tuple[int, int], ...] = ()
+    symmetric: bool = True
+    flap_period: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultPlanError(
+                f"partition start must be non-negative, got {self.start}"
+            )
+        if self.duration <= 0:
+            raise FaultPlanError(
+                f"partition duration must be positive, got {self.duration}"
+            )
+        groups = tuple(tuple(int(n) for n in g) for g in self.groups)
+        links = tuple((int(a), int(b)) for a, b in self.links)
+        object.__setattr__(self, "groups", groups)
+        object.__setattr__(self, "links", links)
+        if bool(groups) == bool(links):
+            raise FaultPlanError(
+                "a partition must declare exactly one of groups or links"
+            )
+        seen: set[int] = set()
+        for g in groups:
+            if not g:
+                raise FaultPlanError("partition groups must be non-empty")
+            for n in g:
+                if n < 0:
+                    raise FaultPlanError(
+                        f"group node must be non-negative, got {n}"
+                    )
+                if n in seen:
+                    raise FaultPlanError(
+                        f"node {n} appears in more than one partition group"
+                    )
+                seen.add(n)
+        for a, b in links:
+            if a < 0 or b < 0:
+                raise FaultPlanError(
+                    f"link endpoints must be non-negative, got ({a}, {b})"
+                )
+            if a == b:
+                raise FaultPlanError(f"link ({a}, {b}) is a self-loop")
+        if not self.symmetric and groups and len(groups) != 2:
+            raise FaultPlanError(
+                "an asymmetric group cut requires exactly two groups, "
+                f"got {len(groups)}"
+            )
+        if self.flap_period is not None and self.flap_period <= 0:
+            raise FaultPlanError(
+                f"flap_period must be positive, got {self.flap_period}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, time: float) -> bool:
+        """True while the cut is down at ``time`` (flap-aware)."""
+        if not self.start <= time < self.end:
+            return False
+        if self.flap_period is None:
+            return True
+        # Flapping alternates down/up sub-windows, starting down.
+        return int((time - self.start) // self.flap_period) % 2 == 0
+
+    def cut_windows(self) -> tuple[tuple[float, float], ...]:
+        """The ``[down, up)`` sub-windows in which the cut is active."""
+        if self.flap_period is None:
+            return ((self.start, self.end),)
+        windows = []
+        t = self.start
+        while t < self.end:
+            windows.append((t, min(t + self.flap_period, self.end)))
+            t += 2 * self.flap_period
+        return tuple(windows)
+
+    def _group_of(self, node: int) -> "int | None":
+        for i, g in enumerate(self.groups):
+            if node in g:
+                return i
+        return None
+
+    def severs(self, src_node: int, dst_node: int, time: float) -> bool:
+        """True when this cut severs ``src -> dst`` at ``time``.
+
+        Group cuts are fully resolved here; link cuts report only whether
+        the *direct* link is down — callers holding a topology must test
+        every link of the route (see ``FaultInjector.reachable``).
+        """
+        if src_node == dst_node or not self.active_at(time):
+            return False
+        if self.groups:
+            gs, gd = self._group_of(src_node), self._group_of(dst_node)
+            if gs == gd:
+                return False
+            if not self.symmetric:
+                return gs == 0 and gd == 1
+            # Symmetric: any crossing between distinct islands (one side
+            # being the undeclared remainder counts as its own island).
+            return True
+        return self.link_down(src_node, dst_node, time)
+
+    def link_down(self, node_a: int, node_b: int, time: float) -> bool:
+        """True when the directed torus link ``a -> b`` is cut at ``time``."""
+        if not self.links or not self.active_at(time):
+            return False
+        if (node_a, node_b) in self.links:
+            return True
+        return self.symmetric and (node_b, node_a) in self.links
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seed-deterministic failure scenario."""
 
@@ -199,6 +344,7 @@ class FaultPlan:
     slow_nodes: tuple[SlowNode, ...] = ()
     corruptions: tuple[DataCorruption, ...] = ()
     duplications: tuple[DuplicateDelivery, ...] = ()
+    partitions: tuple[NetworkPartition, ...] = ()
     #: per-attempt probability any network transfer is dropped outright
     drop_probability: float = 0.0
     #: per-attempt probability a delivered transfer arrives corrupted
@@ -229,7 +375,8 @@ class FaultPlan:
             )
         # Normalize list inputs to tuples so plans stay hashable/immutable.
         for name in ("node_crashes", "dht_failures", "link_degradations",
-                     "slow_nodes", "corruptions", "duplications"):
+                     "slow_nodes", "corruptions", "duplications",
+                     "partitions"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     @property
@@ -242,6 +389,7 @@ class FaultPlan:
             and not self.slow_nodes
             and not self.corruptions
             and not self.duplications
+            and not self.partitions
             and self.drop_probability == 0.0
             and self.corrupt_probability == 0.0
         )
@@ -250,6 +398,45 @@ class FaultPlan:
     def has_gray_faults(self) -> bool:
         """True when any degraded-mode (non-crash-stop) fault is declared."""
         return bool(self.slow_nodes or self.corruptions or self.duplications)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The plan's transfer-retry knobs as one :class:`RetryPolicy`."""
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            timeout=self.retry_timeout,
+            backoff=self.retry_backoff,
+        )
+
+    @property
+    def has_partitions(self) -> bool:
+        """True when any network partition is declared (gates every
+        partition code path, keeping partition-free runs byte-identical)."""
+        return bool(self.partitions)
+
+    def node_pair_severed(self, src_node: int, dst_node: int,
+                          time: float) -> bool:
+        """True when any declared *group* cut severs ``src -> dst``.
+
+        Link-group cuts need the torus routes and are resolved by
+        ``FaultInjector.reachable``; this plan-level check covers the
+        topology-free part.
+        """
+        return any(
+            p.severs(src_node, dst_node, time)
+            for p in self.partitions if p.groups
+        )
+
+    def link_cut(self, node_a: int, node_b: int, time: float) -> bool:
+        """True when any declared link cut downs torus link ``a -> b``."""
+        return any(
+            p.link_down(node_a, node_b, time)
+            for p in self.partitions if p.links
+        )
+
+    @property
+    def has_link_partitions(self) -> bool:
+        return any(p.links for p in self.partitions)
 
     def loss_factor(self, node_a: int, node_b: int) -> float:
         """Worst loss factor declared for a node pair (0.0 when clean)."""
@@ -366,6 +553,18 @@ class FaultPlan:
                 }
                 for d in self.duplications
             ]
+        if self.partitions:
+            data["partitions"] = [
+                {
+                    "start": p.start,
+                    "duration": p.duration,
+                    "groups": [list(g) for g in p.groups],
+                    "links": [list(link) for link in p.links],
+                    "symmetric": p.symmetric,
+                    "flap_period": p.flap_period,
+                }
+                for p in self.partitions
+            ]
         return data
 
     @classmethod
@@ -380,6 +579,7 @@ class FaultPlan:
             "slow_nodes",
             "corruptions",
             "duplications",
+            "partitions",
             "drop_probability",
             "corrupt_probability",
             "max_retries",
@@ -433,6 +633,26 @@ class FaultPlan:
                         probability=float(d.get("probability", 0.0)),
                     )
                     for d in data.get("duplications", ())
+                ),
+                partitions=tuple(
+                    NetworkPartition(
+                        start=float(p["start"]),
+                        duration=float(p["duration"]),
+                        groups=tuple(
+                            tuple(int(n) for n in g)
+                            for g in p.get("groups", ())
+                        ),
+                        links=tuple(
+                            (int(a), int(b))
+                            for a, b in p.get("links", ())
+                        ),
+                        symmetric=bool(p.get("symmetric", True)),
+                        flap_period=(
+                            None if p.get("flap_period") is None
+                            else float(p["flap_period"])
+                        ),
+                    )
+                    for p in data.get("partitions", ())
                 ),
                 drop_probability=float(data.get("drop_probability", 0.0)),
                 corrupt_probability=float(data.get("corrupt_probability", 0.0)),

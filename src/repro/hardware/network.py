@@ -65,6 +65,16 @@ class NetworkModel:
                 f"({src_node}, {dst_node}) is not a torus link"
             ) from None
 
+    # -- fault wiring ----------------------------------------------------------------
+
+    def bind_injector(self, injector) -> None:
+        """Share this model's torus with a fault injector.
+
+        Link-group partition cuts are resolved over dimension-ordered
+        routes; binding here guarantees the injector severs exactly the
+        routes whose links the fluid-flow model loads."""
+        injector.set_topology(self.topology)
+
     # -- paths ----------------------------------------------------------------------
 
     def node_path(self, src_node: int, dst_node: int) -> tuple[int, ...]:

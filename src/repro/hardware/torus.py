@@ -116,6 +116,18 @@ class TorusTopology:
             dist += min(delta, extent - delta)
         return dist
 
+    def route_crosses(self, src: int, dst: int, cut_links) -> bool:
+        """True when the dimension-ordered route ``src -> dst`` uses any of
+        ``cut_links`` (directed ``(a, b)`` pairs).
+
+        Routing is deterministic, so a set of cut links induces a fixed set
+        of severed node pairs — which is what makes torus link-group
+        partitions replayable."""
+        cut = set(cut_links)
+        if not cut:
+            return False
+        return any(hop in cut for hop in self.route(src, dst))
+
     def route(self, src: int, dst: int) -> list[tuple[int, int]]:
         """Dimension-ordered route as a list of directed links.
 

@@ -34,6 +34,7 @@ from repro.errors import ReproError
 __all__ = [
     "CATEGORIES",
     "GRAY_CATEGORIES",
+    "PARTITION_CATEGORIES",
     "PathSegment",
     "SpanNode",
     "SpanGraph",
@@ -53,6 +54,11 @@ CATEGORIES = ("compute", "network", "dht", "wait", "recovery")
 #: committed BENCH snapshots stay byte-identical)
 GRAY_CATEGORIES = ("hedge", "speculation", "scrub")
 
+#: network-partition categories — opt-in like the gray ones: they appear in
+#: an attribution only when partition spans/gaps actually sat on the path,
+#: so partitions-off runs keep exactly the five classic keys
+PARTITION_CATEGORIES = ("partition.wait", "partition.heal", "quorum.degraded")
+
 #: span-name prefix -> category. First match (longest prefix) wins.
 _PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
     ("dart.transfer", "network"),
@@ -63,6 +69,9 @@ _PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
     ("speculation.", "speculation"),
     ("integrity.scrub", "scrub"),
     ("integrity.", "recovery"),
+    ("partition.heal", "partition.heal"),
+    ("partition.", "partition.wait"),
+    ("quorum.", "quorum.degraded"),
     ("cods.", "dht"),
     ("schedule.compute", "compute"),
     ("resilience.", "recovery"),
@@ -90,7 +99,11 @@ def _gap_category(link_kind: "str | None") -> str:
     """
     if link_kind is not None and link_kind.startswith("sched."):
         cat = link_kind.split(".", 1)[1]
-        if cat in CATEGORIES or cat in GRAY_CATEGORIES:
+        if (
+            cat in CATEGORIES
+            or cat in GRAY_CATEGORIES
+            or cat in PARTITION_CATEGORIES
+        ):
             return cat
     return "wait"
 
@@ -302,9 +315,11 @@ class CriticalPath:
         """Seconds on the path per category.
 
         Keys always cover the five classic CATEGORIES; gray-failure
-        categories (hedge, speculation, scrub) appear only when segments of
-        that kind sit on the path — clean runs report exactly the classic
-        shape, so historical snapshots stay comparable byte for byte.
+        categories (hedge, speculation, scrub) and partition categories
+        (partition.wait, partition.heal, quorum.degraded) appear only when
+        segments of that kind sit on the path — clean runs report exactly
+        the classic shape, so historical snapshots stay comparable byte
+        for byte.
         """
         out = {cat: 0.0 for cat in CATEGORIES}
         for seg in self.segments:

@@ -19,6 +19,15 @@ Two kinds of sweep keep the model honest without stalling the simulator:
 Optionally (``account_heartbeats=True``) each sweep issues real monitor →
 node RPCs through HybridDART, so heartbeat traffic shows up in the
 transfer accounting like any other control message.
+
+With network partitions in the fault plan, silence is no longer proof of
+death: a node across a cut stops heartbeating to the monitor while running
+fine. The sweep therefore classifies a silent-but-alive node by
+*cross-witness reachability* — if any other live node can still reach it,
+it is **suspected partitioned** (listeners fire; the resilience manager
+waits the cut out under a deadline) rather than declared dead. Only a node
+that is actually down, or alive but unreachable from every witness, is
+declared dead.
 """
 
 from __future__ import annotations
@@ -76,6 +85,9 @@ class HeartbeatFailureDetector:
         self._declared_dht: set[int] = set()
         self._node_listeners: list[Callable[[int], None]] = []
         self._dht_listeners: list[Callable[[int], None]] = []
+        self._suspected_partitioned: set[int] = set()
+        self._suspect_listeners: list[Callable[[int], None]] = []
+        self._clear_listeners: list[Callable[[int], None]] = []
         self._started = False
         self._m_latency = None
         if registry is not None:
@@ -92,6 +104,16 @@ class HeartbeatFailureDetector:
     def add_dht_death_listener(self, fn: Callable[[int], None]) -> None:
         """``fn(core)`` runs when a DHT-core failure is detected."""
         self._dht_listeners.append(fn)
+
+    def add_partition_suspect_listener(self, fn: Callable[[int], None]) -> None:
+        """``fn(node)`` runs when a silent node is classified as suspected
+        partitioned (alive per a cross-witness) instead of dead."""
+        self._suspect_listeners.append(fn)
+
+    def add_partition_clear_listener(self, fn: Callable[[int], None]) -> None:
+        """``fn(node)`` runs when a suspected-partitioned node heartbeats
+        again (the cut healed before any deadline escalated it)."""
+        self._clear_listeners.append(fn)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -133,6 +155,16 @@ class HeartbeatFailureDetector:
                 self.sim.schedule_at(
                     max(deadline, now), self._sweep, category="recovery"
                 )
+        # Partition edges need deadline sweeps like crash faults: one when
+        # the cut has been open long enough to trip the timeout (suspicion),
+        # one just after each heal (clearing the suspicion).
+        for part in self.injector.plan.partitions:
+            for down, up in part.cut_windows():
+                for t in (down + self.timeout + self.period, up + self.period):
+                    if t >= now:
+                        self.sim.schedule_at(
+                            t, self._sweep, category="recovery"
+                        )
 
     def _register_ping_handlers(self) -> None:
         for node in self.cluster.nodes():
@@ -149,15 +181,19 @@ class HeartbeatFailureDetector:
 
     def _sweep(self) -> None:
         now = self.sim.now
+        partitions = self.injector.plan.has_partitions
+        mon_node = self.cluster.node_of_core(self.monitor_core)
         for node in self.cluster.nodes():
             if node in self._declared_nodes:
                 continue
-            if self.injector.node_alive(node):
+            reachable = not partitions or self.injector.reachable(
+                mon_node, node, now
+            )
+            if self.injector.node_alive(node) and reachable:
+                if node in self._suspected_partitioned:
+                    self._clear_suspicion(node)
                 # Heartbeat arrives; optionally account the monitor's ping.
-                if (
-                    self.account_heartbeats
-                    and self.cluster.node_of_core(self.monitor_core) != node
-                ):
+                if self.account_heartbeats and mon_node != node:
                     self.dart.rpc(
                         self.monitor_core,
                         self.cluster.cores_of_node(node)[0],
@@ -165,7 +201,17 @@ class HeartbeatFailureDetector:
                     )
                 self._last_hb[node] = now
             elif now - self._last_hb[node] >= self.timeout:
-                self._declare_node(node, now)
+                if (
+                    partitions
+                    and self.injector.node_alive(node)
+                    and self._witnessed(node, now)
+                ):
+                    # Silent here, alive elsewhere: a network cut, not a
+                    # crash. Never declared dead on the monitor's say-so.
+                    if node not in self._suspected_partitioned:
+                        self._suspect_node(node)
+                else:
+                    self._declare_node(node, now)
         for core in sorted(self.injector.failed_dht_cores()):
             node = self.cluster.node_of_core(core)
             if core in self._declared_dht or node in self._declared_nodes:
@@ -174,6 +220,51 @@ class HeartbeatFailureDetector:
             failed_at = self._dht_failure_time(core)
             if failed_at is not None and now - failed_at >= self.timeout:
                 self._declare_dht(core, now, failed_at)
+
+    def _witnessed(self, node: int, now: float) -> bool:
+        """Can any *other* live, undeclared node still reach ``node``?
+
+        The cross-witness check: the monitor asks its peers whether they
+        see the silent node. Any single yes proves the node is partitioned
+        from the monitor, not dead.
+        """
+        mon_node = self.cluster.node_of_core(self.monitor_core)
+        for w in self.cluster.nodes():
+            if w == node or w == mon_node:
+                continue
+            if w in self._declared_nodes or not self.injector.node_alive(w):
+                continue
+            if self.injector.reachable(w, node, now):
+                return True
+        return False
+
+    def _suspect_node(self, node: int) -> None:
+        self._suspected_partitioned.add(node)
+        self.injector.record("node_partition_suspected", f"node={node}")
+        for fn in self._suspect_listeners:
+            fn(node)
+
+    def _clear_suspicion(self, node: int) -> None:
+        self._suspected_partitioned.discard(node)
+        self.injector.record("node_partition_cleared", f"node={node}")
+        for fn in self._clear_listeners:
+            fn(node)
+
+    def declare_partition_dead(self, node: int) -> None:
+        """Deadline escalation: stop waiting out a suspected partition.
+
+        The resilience manager calls this when a suspected-partitioned
+        node stays unreachable past the configured partition deadline —
+        from here on the node is treated exactly like a crashed one
+        (fencing keeps a later heal from committing its stale work).
+        """
+        if node in self._declared_nodes:
+            return
+        self._suspected_partitioned.discard(node)
+        self._declare_node(node, self.sim.now)
+
+    def suspected_partitioned(self) -> frozenset[int]:
+        return frozenset(self._suspected_partitioned)
 
     def _declare_node(self, node: int, now: float) -> None:
         self._declared_nodes.add(node)

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import TransferDroppedError, TransportError
+from repro.errors import (
+    NetworkPartitionError,
+    TransferDroppedError,
+    TransportError,
+)
 from repro.hardware.cluster import Cluster
 from repro.obs.tracer import NULL_TRACER
 from repro.transport.message import TransferKind, TransferRecord, Transport
@@ -73,6 +77,8 @@ class HybridDART:
         # Gray-failure delivery counters (also lazy).
         self._m_corrupted = None
         self._m_duplicated = None
+        # Partition-aborted transfer counter (lazy for the same reason).
+        self._m_partitioned = None
         #: optional :class:`~repro.obs.timeline.TimelineCollector`; when set,
         #: every delivery is counted into the in-flight/throughput telemetry
         #: (one attribute check on the disabled path, like the tracer).
@@ -170,6 +176,8 @@ class HybridDART:
         corrupted = False
         duplicated = False
         if self.injector is not None and transport is Transport.NETWORK:
+            if self.injector.plan.has_partitions:
+                self._check_partition(src_core, dst_core, nbytes)
             retries = self._deliver_with_retries(src_core, dst_core, nbytes)
             # Gray failures degrade the *data* path: the delivered payload
             # may arrive bit-flipped or replayed. Control round-trips carry
@@ -203,6 +211,37 @@ class HybridDART:
             self.timeline.note_transfer(nbytes)
         return rec
 
+    def _check_partition(
+        self, src_core: int, dst_core: int, nbytes: int
+    ) -> None:
+        """Abort a network movement that would cross an active cut.
+
+        Only reached when the plan declares partitions, so partition-free
+        runs never consult reachability. The raised
+        :class:`NetworkPartitionError` is *not* a data-loss error — the
+        engine waits the cut out under its deadline instead of re-enacting.
+        """
+        injector = self.injector
+        src_node = self.cluster.node_of_core(src_core)
+        dst_node = self.cluster.node_of_core(dst_core)
+        if injector.reachable(src_node, dst_node):
+            return
+        if self._m_partitioned is None:
+            self._m_partitioned = self.registry.counter(
+                "transport.partitioned_transfers"
+            )
+        self._m_partitioned.inc()
+        injector.record(
+            "transfer_partitioned",
+            f"{src_core}->{dst_core} {nbytes}B "
+            f"(node {src_node} cannot reach node {dst_node})",
+        )
+        raise NetworkPartitionError(
+            f"transfer {src_core}->{dst_core} ({nbytes} bytes) crosses an "
+            f"active network cut: node {src_node} cannot reach node "
+            f"{dst_node}"
+        )
+
     def _count_gray(self, which: str) -> None:
         """Lazily materialize and bump one gray-delivery counter."""
         if which == "corrupted":
@@ -226,7 +265,7 @@ class HybridDART:
         assert injector is not None
         src_node = self.cluster.node_of_core(src_core)
         dst_node = self.cluster.node_of_core(dst_core)
-        max_retries = injector.plan.max_retries
+        max_retries = injector.retry_policy.max_retries
         attempt = 0
         while injector.attempt_fails(src_node, dst_node):
             attempt += 1

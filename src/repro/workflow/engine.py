@@ -27,7 +27,16 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.core.mapping.base import MappingResult, TaskMapper
 from repro.core.mapping.roundrobin import RoundRobinMapper
 from repro.core.task import AppSpec
-from repro.errors import CheckpointError, DataLostError, WorkflowError
+from repro.errors import (
+    CheckpointError,
+    DataLostError,
+    LookupError_,
+    NetworkPartitionError,
+    QuorumError,
+    ScheduleError,
+    StaleWriteError,
+    WorkflowError,
+)
 from repro.hardware.cluster import Cluster
 from repro.obs.tracer import Span
 from repro.sim.engine import SimEngine
@@ -51,6 +60,11 @@ class AppContext:
     mapping: MappingResult
     start_time: float
     engine: "WorkflowEngine"
+    #: the bundle's dispatch generation at launch. Producers thread it into
+    #: ``put_seq`` so stale-write fencing can reject a superseded (e.g.
+    #: healed-minority) enactment's commits. 0 on the never-redispatched
+    #: path, keeping clean runs byte-identical.
+    generation: int = 0
 
     def core_of_rank(self, rank: int) -> int:
         return self.group.core(rank)
@@ -128,12 +142,27 @@ class WorkflowEngine:
         #: bundle index -> number of post-fault re-enactments (degraded mode)
         self.reenactments: dict[int, int] = {}
         self._gen: dict[int, int] = {}
+        #: (bundle, generation) pairs already enacted — two recovery paths
+        #: scheduling a re-dispatch at the same instant (e.g. both nodes of
+        #: a fenced minority declared dead together) must launch it once
+        self._launched: set[tuple[int, int]] = set()
         self._completed: set[int] = set()
         #: simulated delay before retrying a bundle whose get hit lost data
         self.data_loss_retry: float = 0.05
         #: retry budget per bundle for the data-loss rung of the ladder
         self.max_data_loss_retries: int = 8
         self._data_loss_attempts: dict[int, int] = {}
+        #: simulated delay before retrying a bundle blocked by a network cut
+        self.partition_retry: float = 0.05
+        #: per-bundle wall budget for waiting a cut out before escalating to
+        #: the data-loss rung (None = only the retry-count budget applies;
+        #: the resilience manager mirrors its configured deadline here)
+        self.partition_deadline: "float | None" = None
+        #: retry budget per bundle for partition wait-outs
+        self.max_partition_retries: int = 64
+        self._partition_attempts: dict[int, int] = {}
+        self._partition_wait_since: dict[int, float] = {}
+        self._partition_counters: dict[str, object] = {}
         self._executed = False
         # Open async spans per enactment generation (tracing only).
         self._bundle_spans: dict[tuple[int, int], Span] = {}
@@ -161,6 +190,15 @@ class WorkflowEngine:
         c = self._spec_counters.get(name)
         if c is None:
             c = self._spec_counters[name] = self.registry.counter(name)
+        c.inc()
+
+    def _partition_count(self, name: str) -> None:
+        """Bump a lazily created ``workflow.partition.*`` counter."""
+        if self.registry is None:
+            return
+        c = self._partition_counters.get(name)
+        if c is None:
+            c = self._partition_counters[name] = self.registry.counter(name)
         c.inc()
 
     # -- configuration ----------------------------------------------------------------
@@ -239,6 +277,9 @@ class WorkflowEngine:
         bundle = self.dag.bundles[index]
         apps = [self.dag.apps[a] for a in bundle.app_ids]
         gen = self._gen.setdefault(index, 0)
+        if (index, gen) in self._launched:
+            return  # a concurrent recovery path already enacted this gen
+        self._launched.add((index, gen))
         tracer = self.tracer
         if tracer.enabled:
             bspan = tracer.begin_async(
@@ -258,13 +299,28 @@ class WorkflowEngine:
         resolved = self._resolve_context(context)
         # Concurrent bundles must not collide: restrict to idle clients.
         resolved.setdefault("available_cores", self.server.idle_cores())
-        if tracer.enabled:
-            with tracer.span(
-                "workflow.map", bundle=index, mapper=type(mapper).__name__
-            ):
+        try:
+            if tracer.enabled:
+                with tracer.span(
+                    "workflow.map", bundle=index, mapper=type(mapper).__name__
+                ):
+                    mapping = mapper.map_bundle(apps, self.cluster, **resolved)
+            else:
                 mapping = mapper.map_bundle(apps, self.cluster, **resolved)
-        else:
-            mapping = mapper.map_bundle(apps, self.cluster, **resolved)
+        except (NetworkPartitionError, QuorumError) as exc:
+            # Data-locality lookups cross the DHT; an active cut stalls the
+            # mapping decision the same way it stalls the bundle body.
+            self._retry_after_partition(index, gen, exc)
+            return
+        except (ScheduleError, LookupError_) as exc:
+            if (
+                self.injector is not None
+                and self.injector.plan.has_partitions
+                and self.injector.partition_active()
+            ):
+                self._retry_after_partition(index, gen, exc)
+                return
+            raise
         groups = form_groups(apps, mapping)
         for app in apps:
             for rank in range(app.ntasks):
@@ -288,6 +344,7 @@ class WorkflowEngine:
                     mapping=mapping,
                     start_time=now,
                     engine=self,
+                    generation=gen,
                 )
                 if tracer.enabled:
                     aspan = tracer.begin_async(
@@ -348,6 +405,22 @@ class WorkflowEngine:
                 self._arm_speculation(index, gen, base_durs, eff_durs)
         except DataLostError as exc:
             self._retry_after_data_loss(index, gen, exc)
+        except (NetworkPartitionError, QuorumError) as exc:
+            self._retry_after_partition(index, gen, exc)
+        except StaleWriteError as exc:
+            self._abandon_stale_bundle(index, gen, exc)
+        except (ScheduleError, LookupError_) as exc:
+            # Degraded metadata during an active cut looks like missing
+            # coverage (registrations deferred on cut-off DHT cores); wait
+            # the partition out instead of failing the run.
+            if (
+                self.injector is not None
+                and self.injector.plan.has_partitions
+                and self.injector.partition_active()
+            ):
+                self._retry_after_partition(index, gen, exc)
+            else:
+                raise
 
     def _retry_after_data_loss(self, index: int, gen: int, exc: Exception) -> None:
         """A bundle's get hit an object with zero surviving copies.
@@ -382,6 +455,95 @@ class WorkflowEngine:
             self.data_loss_retry, self._launch_bundle, index,
             category="recovery",
         )
+
+    def _retry_after_partition(self, index: int, gen: int, exc: Exception) -> None:
+        """A bundle's puts or gets were blocked by an active network cut.
+
+        Unlike data loss, the data (or its missing quorum acks) still
+        exists on the far side, so the cheap move is to *wait the cut out*:
+        back off and re-launch under a bumped generation (stale-write
+        fencing relies on the bump). Retry events carry the
+        ``partition.wait`` category — ``quorum.degraded`` for quorum
+        shortfalls — so critical-path attribution bills the stall to the
+        partition, not to compute. Past ``partition_deadline`` (or the
+        retry-count budget) the bundle escalates to the data-loss rung: by
+        then the resilience manager has fenced the unreachable side off and
+        re-replicated, so that path repopulates from the majority.
+        """
+        now = self.sim.now
+        since = self._partition_wait_since.setdefault(index, now)
+        attempts = self._partition_attempts.get(index, 0) + 1
+        self._partition_attempts[index] = attempts
+        quorum = isinstance(exc, QuorumError)
+        self._partition_count(
+            "workflow.quorum.retries" if quorum
+            else "workflow.partition.retries"
+        )
+        deadline_passed = (
+            self.partition_deadline is not None
+            and now - since >= self.partition_deadline
+        )
+        if deadline_passed or attempts > self.max_partition_retries:
+            self._partition_count("workflow.partition.escalations")
+            if self.injector is not None:
+                self.injector.record(
+                    "partition_wait_escalated",
+                    f"bundle={index} waited={now - since:.6g}s "
+                    f"attempts={attempts}",
+                )
+            self._retry_after_data_loss(index, gen, exc)
+            return
+        bundle = self.dag.bundles[index]
+        self._gen[index] = gen + 1
+        span = self._bundle_spans.pop((index, gen), None)
+        if span is not None:
+            self.tracer.end_async(span, aborted=True)
+        for app_id in bundle.app_ids:
+            span = self._app_spans.pop((app_id, gen), None)
+            if span is not None:
+                self.tracer.end_async(span, aborted=True)
+            self.server.release_app(app_id)
+        self.trace.append(TraceEvent(
+            time=now, event="bundle_partition_wait", bundle=index,
+            detail=f"attempt={attempts} ({exc})",
+        ))
+        self.sim.schedule(
+            self.partition_retry, self._launch_bundle, index,
+            category="quorum.degraded" if quorum else "partition.wait",
+        )
+
+    def _abandon_stale_bundle(self, index: int, gen: int, exc: Exception) -> None:
+        """This enactment's writes were fenced off as stale.
+
+        A higher write generation already owns the logical objects — the
+        healed-minority case: majority-side re-dispatch committed first.
+        A superseded instance simply stands down; an instance that is
+        still the bundle's latest generation re-launches under a bumped
+        one so its retry clears the fence.
+        """
+        self._partition_count("workflow.partition.stale_abandons")
+        if self.injector is not None:
+            self.injector.record(
+                "stale_bundle_abandoned", f"bundle={index} gen={gen} ({exc})"
+            )
+        span = self._bundle_spans.pop((index, gen), None)
+        if span is not None:
+            self.tracer.end_async(span, aborted=True)
+        for app_id in self.dag.bundles[index].app_ids:
+            span = self._app_spans.pop((app_id, gen), None)
+            if span is not None:
+                self.tracer.end_async(span, aborted=True)
+            self.server.release_app(app_id)
+        self.trace.append(TraceEvent(
+            time=self.sim.now, event="bundle_stale_abandoned", bundle=index,
+            detail=f"gen={gen} ({exc})",
+        ))
+        if gen == self._gen.get(index, 0):
+            self._gen[index] = gen + 1
+            self.sim.schedule(
+                self.partition_retry, self._launch_bundle, index,
+                category="partition.wait",
+            )
 
     # -- straggler speculation -----------------------------------------------------
 
@@ -504,6 +666,10 @@ class WorkflowEngine:
         self.server.release_app(app_id)
         self._apps_pending[bundle_index] -= 1
         if self._apps_pending[bundle_index] == 0:
+            # A later cut blocking this bundle again starts a fresh wait
+            # window; the old one must not pre-expire its deadline.
+            self._partition_wait_since.pop(bundle_index, None)
+            self._partition_attempts.pop(bundle_index, None)
             span = self._bundle_spans.pop((bundle_index, gen), None)
             if span is not None:
                 self.tracer.end_async(span)

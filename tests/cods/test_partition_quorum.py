@@ -1,0 +1,263 @@
+"""Quorum data plane under network partitions: writes, reads, fencing,
+and heal-time reconciliation on the CoDS space.
+
+Each scenario arms the injector on a sim clock and schedules the puts and
+gets inside/outside the declared cut windows, so reachability is evaluated
+at the instants the paper's protocol cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.errors import NetworkPartitionError, QuorumError, StaleWriteError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NetworkPartition
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.resilience.replication import ReplicaPlacer
+from repro.sim.engine import SimEngine
+from repro.transport.hybriddart import HybridDART
+
+DOMAIN = (8, 8, 8)
+VAR = "u"
+BOX = Box.from_extents(DOMAIN)
+
+#: node 0 cut off from nodes {1, 2, 3} over [1.0, 3.0)
+LONELY_ZERO = NetworkPartition(start=1.0, duration=2.0, groups=((0,), (1, 2, 3)))
+
+
+def make_space(partition=LONELY_ZERO, replication=2, write_quorum=None,
+               read_quorum=None, placer_seed=0):
+    cluster = Cluster(num_nodes=4, machine=generic_multicore(4))
+    plan = (
+        FaultPlan(partitions=(partition,)) if partition is not None
+        else FaultPlan()
+    )
+    injector = FaultInjector(plan)
+    sim = SimEngine()
+    injector.arm(sim)
+    space = CoDS(
+        cluster, DOMAIN,
+        dart=HybridDART(cluster, injector=injector),
+        replication=replication,
+        placer=(
+            ReplicaPlacer(cluster, placer_seed) if replication > 1 else None
+        ),
+        write_quorum=write_quorum,
+        read_quorum=read_quorum,
+    )
+    return space, sim, injector
+
+
+def run_staged(sim, *timed_calls):
+    """Schedule ``(time, fn)`` pairs and drain the sim; exceptions from a
+    step are captured (the sim loop must not unwind) and returned in order."""
+    outcomes = []
+
+    def wrap(fn):
+        def step():
+            try:
+                outcomes.append(("ok", fn()))
+            except Exception as exc:  # noqa: BLE001 - recorded for asserts
+                outcomes.append(("err", exc))
+        return step
+
+    for t, fn in timed_calls:
+        sim.schedule_at(t, wrap(fn))
+    sim.run()
+    return outcomes
+
+
+def partition_counters(space):
+    reg = space.dart.registry
+    return {
+        n: reg[n].total()
+        for n in reg.names()
+        if n.startswith(("partition.", "quorum.", "transport.partitioned"))
+    }
+
+
+class TestQuorumWrites:
+    def test_isolated_writer_fails_write_quorum(self):
+        """W=2 with every replica target across the cut: acks stop at the
+        primary, the put raises, and no half-written copy is left behind."""
+        space, sim, _ = make_space(write_quorum=2)
+        outcomes = run_staged(sim, (1.5, lambda: space.put_seq(
+            0, VAR, BOX, element_size=8, version=0, app_id=1,
+        )))
+        status, err = outcomes[0]
+        assert status == "err" and isinstance(err, QuorumError)
+        counters = partition_counters(space)
+        assert counters["quorum.failed_writes"] == 1
+        assert counters["quorum.replicas_skipped"] >= 1
+
+    def test_isolated_writer_with_w1_degrades_instead(self):
+        """W=1 is satisfiable by the primary alone: the put succeeds but is
+        accounted as degraded (it landed short of full replication)."""
+        space, sim, _ = make_space(write_quorum=1)
+        outcomes = run_staged(sim, (1.5, lambda: space.put_seq(
+            0, VAR, BOX, element_size=8, version=0, app_id=1,
+        )))
+        assert outcomes[0][0] == "ok"
+        counters = partition_counters(space)
+        assert counters["quorum.degraded_writes"] == 1
+        assert counters["quorum.replicas_skipped"] >= 1
+
+    def test_connected_writer_meets_quorum_cleanly(self):
+        space, sim, _ = make_space(write_quorum=2)
+        outcomes = run_staged(sim, (0.5, lambda: space.put_seq(
+            0, VAR, BOX, element_size=8, version=0, app_id=1,
+        )))
+        assert outcomes[0][0] == "ok"
+        counters = partition_counters(space)
+        assert counters.get("quorum.failed_writes", 0) == 0
+        assert counters.get("quorum.degraded_writes", 0) == 0
+
+
+class TestQuorumReads:
+    def put_then_read(self, reader_core, read_quorum=1, replication=2,
+                      writer_core=0):
+        space, sim, _ = make_space(
+            replication=replication, read_quorum=read_quorum,
+        )
+        outcomes = run_staged(
+            sim,
+            (0.5, lambda: space.put_seq(
+                writer_core, VAR, BOX, element_size=8, version=0, app_id=1,
+            )),
+            (1.5, lambda: space.get_seq(
+                reader_core, VAR, BOX, version=0, app_id=2,
+            )),
+        )
+        assert outcomes[0][0] == "ok", "pre-cut put must succeed"
+        return space, outcomes[1]
+
+    def test_reader_cut_from_every_copy_stalls(self):
+        """Node 0's reader vs copies all on {1,2,3}: not a data-loss error —
+        the copies exist, the reader just cannot reach any of them."""
+        space, (status, err) = self.put_then_read(
+            reader_core=0, writer_core=4,  # writer on node 1
+        )
+        assert status == "err" and isinstance(err, NetworkPartitionError)
+        assert partition_counters(space)["partition.stalled_reads"] == 1
+
+    def test_read_fails_over_to_reachable_replica(self):
+        """Primary on the isolated node, replica in the majority: a
+        majority-side reader is served by the replica and the failover is
+        accounted as partition (not crash) failover."""
+        space, (status, result) = self.put_then_read(
+            reader_core=4, writer_core=0,  # primary on node 0, reader node 1
+        )
+        assert status == "ok"
+        sched, _records = result
+        counters = partition_counters(space)
+        assert counters["partition.failover_reads"] >= 1
+        # Every serving copy lives in the majority island.
+        for plan in sched.plans:
+            assert space.cluster.node_of_core(plan.src_core) != 0
+
+    def test_read_quorum_unmet_raises(self):
+        """R=2 but only one copy reachable from the majority side."""
+        space, (status, err) = self.put_then_read(
+            reader_core=4, writer_core=0, read_quorum=2,
+        )
+        assert status == "err" and isinstance(err, QuorumError)
+        assert partition_counters(space)["quorum.failed_reads"] == 1
+
+    def test_read_quorum_met_but_degraded_is_counted(self):
+        space, (status, _) = self.put_then_read(
+            reader_core=4, writer_core=0, read_quorum=1,
+        )
+        assert status == "ok"
+        assert partition_counters(space)["quorum.degraded_reads"] >= 1
+
+
+class TestGenerationFencing:
+    def test_stale_generation_is_fenced(self):
+        """A healed minority writer replaying generation g after the
+        majority committed g+1 must bounce off the fence."""
+        space, sim, _ = make_space(partition=None)
+        space.put_seq(0, VAR, BOX, element_size=8, version=0, app_id=1,
+                      generation=2)
+        with pytest.raises(StaleWriteError):
+            space.put_seq(0, VAR, BOX, element_size=8, version=0, app_id=1,
+                          generation=1)
+        assert partition_counters(space)["partition.fenced_writes"] == 1
+
+    def test_equal_and_newer_generations_pass(self):
+        space, sim, _ = make_space(partition=None)
+        space.put_seq(0, VAR, BOX, element_size=8, version=0, app_id=1,
+                      generation=1)
+        space.put_seq(0, VAR, BOX, element_size=8, version=0, app_id=1,
+                      generation=1)  # idempotent re-put, same generation
+        space.put_seq(0, VAR, BOX, element_size=8, version=0, app_id=1,
+                      generation=3)
+        assert "partition.fenced_writes" not in partition_counters(space)
+
+    def test_generation_zero_everywhere_never_fences(self):
+        """The partitions-off path: no caller passes generations, so the
+        fence bookkeeping must stay completely empty."""
+        space, sim, _ = make_space(partition=None)
+        space.put_seq(0, VAR, BOX, element_size=8, version=0, app_id=1)
+        space.put_seq(0, VAR, BOX, element_size=8, version=0, app_id=1)
+        assert space._object_gen == {}
+
+
+class TestHealReconciliation:
+    def test_divergent_replica_repaired_at_heal(self):
+        """Primary re-puts fresh payload during the cut; the unreachable
+        replica keeps the stale bytes until reconcile rewrites it."""
+        space, sim, _ = make_space(replication=2)
+        a = np.zeros(DOMAIN)
+        b = np.ones(DOMAIN)
+
+        def reput():
+            space.put_seq(0, VAR, BOX, version=0, app_id=1, data=b)
+
+        outcomes = run_staged(
+            sim,
+            (0.5, lambda: space.put_seq(
+                0, VAR, BOX, version=0, app_id=1, data=a,
+            )),
+            (1.5, reput),
+        )
+        assert [s for s, _ in outcomes] == ["ok", "ok"]
+        counters = partition_counters(space)
+        assert counters["partition.stale_replicas"] >= 1
+
+        (var, version, owner), reps = next(iter(space._replicas.items()))
+        prim = space.store_of(owner).get(var, version)
+        stale = space.store_of(reps[0]).get(var, version, of=owner)
+        assert stale.checksum != prim.checksum
+
+        repaired, created = space.reconcile_partition()
+        assert repaired == 1
+        fresh = space.store_of(reps[0]).get(var, version, of=owner)
+        assert fresh.checksum == prim.checksum
+        assert partition_counters(space)["partition.reconciled"] == 1
+
+    def test_reconcile_is_idempotent(self):
+        space, sim, _ = make_space(replication=2)
+        run_staged(sim, (0.5, lambda: space.put_seq(
+            0, VAR, BOX, element_size=8, version=0, app_id=1,
+        )))
+        assert space.reconcile_partition() == (0, 0)
+        assert space.reconcile_partition() == (0, 0)
+
+    def test_acknowledged_write_survives_the_cut(self):
+        """The no-split-brain core: a W=2-acknowledged write stays readable
+        from the majority while the primary's island is dark, and nothing
+        is reported lost."""
+        space, sim, _ = make_space(write_quorum=2, read_quorum=1)
+        outcomes = run_staged(
+            sim,
+            (0.5, lambda: space.put_seq(
+                0, VAR, BOX, element_size=8, version=0, app_id=1,
+            )),
+            (1.5, lambda: space.get_seq(4, VAR, BOX, version=0, app_id=2)),
+            (3.5, lambda: space.get_seq(0, VAR, BOX, version=0, app_id=2)),
+        )
+        assert [s for s, _ in outcomes] == ["ok", "ok", "ok"]
+        assert not space.lost_objects()

@@ -1,0 +1,185 @@
+"""Network-partition fault model: validation, cut semantics, reachability.
+
+(Named ``test_partition_fault`` to stay clear of ``tests/partition/``,
+which tests the *graph* partitioner — an unrelated subsystem that merely
+shares the word.)
+"""
+
+import pytest
+
+from repro.errors import FaultError, FaultPlanError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NetworkPartition
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkModel
+from repro.hardware.spec import generic_multicore
+from repro.sim.engine import SimEngine
+
+TWO_ISLANDS = ((0, 1), (2, 3))
+
+
+class TestValidation:
+    def test_minimal_group_cut(self):
+        p = NetworkPartition(start=1.0, duration=2.0, groups=TWO_ISLANDS)
+        assert p.end == 3.0
+        assert FaultPlan(partitions=(p,)).has_partitions
+
+    def test_no_partitions_means_flag_off(self):
+        assert not FaultPlan().has_partitions
+        assert FaultPlan().is_empty
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(start=-1.0, duration=1.0, groups=TWO_ISLANDS),
+        dict(start=0.0, duration=0.0, groups=TWO_ISLANDS),
+        dict(start=0.0, duration=-2.0, groups=TWO_ISLANDS),
+        dict(start=0.0, duration=1.0),  # neither groups nor links
+        dict(start=0.0, duration=1.0, groups=TWO_ISLANDS,
+             links=((0, 1),)),  # both shapes at once
+        dict(start=0.0, duration=1.0, groups=((0, 1), ())),  # empty group
+        dict(start=0.0, duration=1.0, groups=((0, 1), (1, 2))),  # overlap
+        dict(start=0.0, duration=1.0, groups=((0, -1), (2,))),
+        dict(start=0.0, duration=1.0, links=((3, 3),)),  # self-loop
+        dict(start=0.0, duration=1.0, groups=TWO_ISLANDS, flap_period=0.0),
+        dict(start=0.0, duration=1.0, symmetric=False,
+             groups=((0,), (1,), (2,))),  # one-way needs exactly 2 groups
+    ])
+    def test_bad_partitions_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            NetworkPartition(**kwargs)
+
+
+class TestCutSemantics:
+    def test_group_cut_severs_only_across_islands(self):
+        p = NetworkPartition(start=1.0, duration=2.0, groups=TWO_ISLANDS)
+        assert p.severs(0, 2, 1.5) and p.severs(2, 0, 1.5)
+        assert not p.severs(0, 1, 1.5)  # same island
+        assert not p.severs(2, 3, 1.5)
+        assert not p.severs(0, 0, 1.5)
+
+    def test_cut_respects_its_window(self):
+        p = NetworkPartition(start=1.0, duration=2.0, groups=TWO_ISLANDS)
+        assert not p.severs(0, 2, 0.999)
+        assert p.severs(0, 2, 1.0)  # closed at start ...
+        assert not p.severs(0, 2, 3.0)  # ... open at end
+
+    def test_undeclared_remainder_is_its_own_island(self):
+        p = NetworkPartition(start=0.0, duration=1.0, groups=((0, 1), (2,)))
+        # Node 3 is undeclared: severed from both declared islands.
+        assert p.severs(0, 3, 0.5) and p.severs(3, 2, 0.5)
+
+    def test_asymmetric_cut_is_one_way(self):
+        p = NetworkPartition(
+            start=0.0, duration=1.0, groups=TWO_ISLANDS, symmetric=False
+        )
+        assert p.severs(0, 2, 0.5)
+        assert not p.severs(2, 0, 0.5)
+
+    def test_flapping_alternates_down_and_up(self):
+        p = NetworkPartition(
+            start=1.0, duration=1.0, groups=TWO_ISLANDS, flap_period=0.25
+        )
+        assert p.active_at(1.1)       # [1.0, 1.25) down
+        assert not p.active_at(1.3)   # [1.25, 1.5) up
+        assert p.active_at(1.6)       # [1.5, 1.75) down
+        assert not p.active_at(1.9)
+        assert p.cut_windows() == ((1.0, 1.25), (1.5, 1.75))
+
+    def test_unflapped_cut_is_one_window(self):
+        p = NetworkPartition(start=1.0, duration=2.0, groups=TWO_ISLANDS)
+        assert p.cut_windows() == ((1.0, 3.0),)
+
+
+class TestInjectorReachability:
+    def plan(self, **kw):
+        return FaultPlan(partitions=(NetworkPartition(
+            start=1.0, duration=2.0, groups=TWO_ISLANDS, **kw
+        ),))
+
+    def test_reachability_tracks_the_cut(self):
+        injector = FaultInjector(self.plan())
+        assert injector.reachable(0, 2, 0.5)
+        assert not injector.reachable(0, 2, 1.5)
+        assert not injector.reachable(2, 0, 1.5)
+        assert injector.reachable(0, 1, 1.5)
+        assert injector.reachable(0, 2, 3.5)
+
+    def test_partition_active_tracks_the_window(self):
+        injector = FaultInjector(self.plan())
+        assert not injector.partition_active(0.5)
+        assert injector.partition_active(1.5)
+        assert not injector.partition_active(3.5)
+
+    def test_no_partitions_everything_reachable(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.reachable(0, 2, 1.5)
+        assert not injector.partition_active(1.5)
+
+    def test_armed_plan_records_start_and_heal_events(self):
+        injector = FaultInjector(self.plan())
+        sim = SimEngine()
+        starts, heals = [], []
+        injector.add_partition_start_listener(lambda p: starts.append(sim.now))
+        injector.add_partition_heal_listener(lambda p: heals.append(sim.now))
+        injector.arm(sim)
+        sim.run()
+        assert starts == [1.0]
+        assert heals == [3.0]
+        kinds = [e.kind for e in injector.trace()]
+        assert "partition_start" in kinds and "partition_heal" in kinds
+
+    def test_flapping_cut_fires_per_subwindow(self):
+        injector = FaultInjector(self.plan(flap_period=0.5))
+        sim = SimEngine()
+        starts, heals = [], []
+        injector.add_partition_start_listener(lambda p: starts.append(sim.now))
+        injector.add_partition_heal_listener(lambda p: heals.append(sim.now))
+        injector.arm(sim)
+        sim.run()
+        assert starts == [1.0, 2.0]
+        assert heals == [1.5, 2.5]
+
+
+class TestLinkCuts:
+    def test_link_cut_needs_topology(self):
+        plan = FaultPlan(partitions=(NetworkPartition(
+            start=0.0, duration=1.0, links=((0, 1),)
+        ),))
+        injector = FaultInjector(plan)
+        with pytest.raises(FaultError):
+            injector.reachable(0, 1, 0.5)
+
+    def test_link_cut_severs_routes_crossing_it(self):
+        cluster = Cluster(num_nodes=4, machine=generic_multicore(4))
+        plan = FaultPlan(partitions=(NetworkPartition(
+            start=0.0, duration=1.0, links=((0, 1),)
+        ),))
+        injector = FaultInjector(plan)
+        injector.set_topology(NetworkModel(cluster).topology)
+        assert not injector.reachable(0, 1, 0.5)
+        assert injector.reachable(0, 1, 1.5)  # healed
+        # Some pair whose route avoids the cut link stays connected.
+        assert injector.reachable(2, 3, 0.5)
+
+
+class TestSerialization:
+    def plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=7,
+            partitions=(
+                NetworkPartition(start=1.0, duration=2.0, groups=TWO_ISLANDS),
+                NetworkPartition(
+                    start=4.0, duration=1.0, groups=((0,), (1, 2, 3)),
+                    symmetric=False, flap_period=0.25,
+                ),
+                NetworkPartition(start=6.0, duration=0.5, links=((0, 1),)),
+            ),
+        )
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_partitions_survive_dict_round_trip(self):
+        back = FaultPlan.from_dict(self.plan().to_dict())
+        assert back.partitions == self.plan().partitions
+        assert back.has_partitions

@@ -261,6 +261,83 @@ class TestGrayAttribution:
         assert set(cp.attribution()) >= set(CATEGORIES)
 
 
+class TestPartitionAttribution:
+    def test_partition_prefixes(self):
+        from repro.obs.critpath import PARTITION_CATEGORIES
+
+        assert PARTITION_CATEGORIES == (
+            "partition.wait", "partition.heal", "quorum.degraded"
+        )
+        assert categorize("partition.retry") == "partition.wait"
+        assert categorize("partition.wait") == "partition.wait"
+        assert categorize("partition.heal") == "partition.heal"
+        assert categorize("quorum.degraded_write") == "quorum.degraded"
+
+    def _partition_chain_tracer(self):
+        """A causal chain crossing every partition category with exact
+        widths: compute 1.0s -> wait 0.5s -> degraded 0.3s -> heal 0.2s."""
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("workflow.app") as app:
+            clock.t = 1.0
+        with tracer.span("partition.retry") as wait:
+            clock.t = 1.5
+        with tracer.span("quorum.degraded_write") as deg:
+            clock.t = 1.8
+        with tracer.span("partition.heal") as heal:
+            clock.t = 2.0
+        tracer.link(app, wait, "flow")
+        tracer.link(wait, deg, "flow")
+        tracer.link(deg, heal, "flow")
+        return tracer
+
+    def test_partition_segments_attributed_and_tile_exactly(self):
+        from repro.obs.critpath import PARTITION_CATEGORIES
+
+        cp = critical_path(
+            SpanGraph.from_tracer(self._partition_chain_tracer())
+        )
+        att = cp.attribution()
+        assert set(att) == set(CATEGORIES) | set(PARTITION_CATEGORIES)
+        assert att["compute"] == pytest.approx(1.0)
+        assert att["partition.wait"] == pytest.approx(0.5)
+        assert att["quorum.degraded"] == pytest.approx(0.3)
+        assert att["partition.heal"] == pytest.approx(0.2)
+        # The acceptance criterion: partition categories *tile* the
+        # makespan together with the classic ones — no holes, no overlap.
+        assert sum(att.values()) == cp.length
+        for a, b in zip(cp.segments, cp.segments[1:]):
+            assert a.end == b.start
+
+    def test_real_partition_run_tiles_makespan_exactly(self):
+        # A mid-run two-island cut under the quorum data plane: the stall
+        # the engine sits out shows up as partition.wait on the critical
+        # path, and the walk still tiles [t0, makespan] with zero slack.
+        from repro.faults.plan import NetworkPartition
+        from repro.obs.critpath import PARTITION_CATEGORIES
+
+        tracer = _traced_run(
+            producer_compute=0.2, consumer_compute=0.05,
+            fault_plan=FaultPlan(partitions=(NetworkPartition(
+                start=0.05, duration=0.4,
+                groups=((0, 1, 2, 3), (4, 5, 6, 7)),
+            ),)),
+            resilience=ResilienceConfig(replication=2),
+            write_quorum=2, read_quorum=1,
+        )
+        cp = critical_path(SpanGraph.from_tracer(tracer))
+        assert cp.segments[0].start == cp.t0
+        assert cp.segments[-1].end == cp.makespan
+        for a, b in zip(cp.segments, cp.segments[1:]):
+            assert a.end == b.start
+        att = cp.attribution()
+        assert sum(att.values()) == pytest.approx(cp.length, rel=1e-9)
+        assert set(att) >= set(CATEGORIES)
+        on_path = set(att) & set(PARTITION_CATEGORIES)
+        assert on_path, "the cut must leave partition time on the path"
+        assert att["partition.wait"] > 0
+
+
 class TestStragglers:
     def test_slack_per_bundle(self):
         tracer = _traced_run(producer_compute=0.01, consumer_compute=0.008)

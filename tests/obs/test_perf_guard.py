@@ -133,6 +133,70 @@ class TestGrayGuard:
         assert tuple(att) == CATEGORIES
 
 
+class TestPartitionGuard:
+    """Partition tolerance must be invisible until switched on.
+
+    With no partitions in the plan and the quorums left at their ``None``
+    defaults, the quorum data plane, generation fencing, and heal-time
+    reconciliation must not register a single extra metric, perturb a
+    single event, or shift a single byte relative to the seed behaviour.
+    """
+
+    PARTITION_METRIC_PREFIXES = (
+        "partition.", "quorum.", "transport.partitioned",
+        "resilience.partition.",
+    )
+
+    def test_defaults_match_seed_run_exactly(self):
+        seed = run_scenario(small_concurrent(), DATA_CENTRIC)
+        guarded = run_scenario(
+            small_concurrent(), DATA_CENTRIC,
+            write_quorum=None, read_quorum=None,
+        )
+        assert guarded.metrics.as_dict() == seed.metrics.as_dict()
+        assert guarded.sim_events == seed.sim_events
+
+    def test_clean_run_registers_no_partition_metrics(self):
+        # Lazy creation: the counters exist only once a cut actually fires.
+        result = run_scenario(small_concurrent(), DATA_CENTRIC)
+        partition = [
+            name for name in result.registry.names()
+            if name.startswith(self.PARTITION_METRIC_PREFIXES)
+        ]
+        assert partition == []
+
+    def test_clean_attribution_has_no_partition_categories(self):
+        from repro.obs.critpath import (
+            CATEGORIES,
+            PARTITION_CATEGORIES,
+            SpanGraph,
+            critical_path,
+        )
+        from repro.obs.tracer import Tracer as _Tracer
+
+        tracer = _Tracer()
+        run_scenario(small_concurrent(), DATA_CENTRIC, tracer=tracer)
+        att = critical_path(SpanGraph.from_tracer(tracer)).attribution()
+        assert tuple(att) == CATEGORIES
+        assert not set(att) & set(PARTITION_CATEGORIES)
+
+    def test_resilient_partition_free_run_stays_clean(self):
+        """Even with the full resilience stack installed (replication,
+        detector, manager), a plan without partitions must leave zero
+        partition bookkeeping behind."""
+        from repro.resilience.manager import ResilienceConfig
+
+        result = run_scenario(
+            small_concurrent(), DATA_CENTRIC,
+            resilience=ResilienceConfig(replication=2),
+        )
+        partition = [
+            name for name in result.registry.names()
+            if name.startswith(self.PARTITION_METRIC_PREFIXES)
+        ]
+        assert partition == []
+
+
 class TestTimelineGuard:
     """The timeline collector must be invisible until switched on."""
 

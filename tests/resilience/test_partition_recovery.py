@@ -1,0 +1,256 @@
+"""Partition-aware recovery: cross-witness classification, wait-out,
+deadline escalation, and zombie-store fencing.
+
+The regression at the heart of this file: a heartbeat detector that only
+listens from one monitor node used to declare *partitioned* nodes dead —
+a false positive that triggered full crash recovery (re-replication,
+re-enactment) for nodes that were alive the whole time. The cross-witness
+check classifies them as suspected-partitioned instead, and the manager
+waits the cut out (or escalates after an explicit deadline).
+"""
+
+import pytest
+
+from repro.apps.scenarios import layout_for
+from repro.cods.space import CoDS
+from repro.core.task import AppSpec
+from repro.domain.box import Box
+from repro.domain.descriptor import DecompositionDescriptor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NetworkPartition
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+from repro.resilience.detector import HeartbeatFailureDetector
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.resilience.replication import ReplicaPlacer
+from repro.sim.engine import SimEngine
+from repro.transport.hybriddart import HybridDART
+from repro.workflow.dag import Bundle, WorkflowDAG
+from repro.workflow.engine import WorkflowEngine
+
+DOMAIN = (8, 8, 8)
+VAR = "u"
+
+#: nodes {2, 3} cut off from {0, 1} while the filler stage runs
+MID_RUN_CUT = NetworkPartition(start=1.5, duration=2.5, groups=((0, 1), (2, 3)))
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=4, machine=generic_multicore(4))
+
+
+def make_app(app_id: int, name: str, ntasks: int) -> AppSpec:
+    return AppSpec(
+        app_id=app_id,
+        name=name,
+        descriptor=DecompositionDescriptor.uniform(
+            DOMAIN, layout_for(ntasks), "blocked", 4
+        ),
+        element_size=8,
+        var=VAR,
+    )
+
+
+class TestCrossWitnessClassification:
+    """Detector-level: silence + a living witness = partition, not death."""
+
+    def drive(self, cluster, partition, run_until=6.0, timeout=0.15):
+        injector = FaultInjector(FaultPlan(partitions=(partition,)))
+        sim = SimEngine()
+        det = HeartbeatFailureDetector(
+            sim, cluster, injector, period=0.05, timeout=timeout
+        )
+        declared, suspected, cleared = [], [], []
+        det.add_node_death_listener(lambda n: declared.append((n, sim.now)))
+        det.add_partition_suspect_listener(
+            lambda n: suspected.append((n, sim.now))
+        )
+        det.add_partition_clear_listener(
+            lambda n: cleared.append((n, sim.now))
+        )
+        det.start()
+        injector.arm(sim)
+        sim.schedule_at(run_until, lambda: None)
+        sim.run()
+        return det, declared, suspected, cleared
+
+    def test_two_island_cut_never_declares_dead(self, cluster):
+        """Regression: both minority nodes fall silent to the monitor, but
+        each witnesses the other — no false crash declaration."""
+        det, declared, suspected, cleared = self.drive(cluster, MID_RUN_CUT)
+        assert declared == []
+        assert {n for n, _ in suspected} == {2, 3}
+        # Suspicion starts only after the timeout's worth of silence
+        # (measured from the last heartbeat *before* the cut, so it can
+        # lead the cut+timeout mark by up to one period) ...
+        assert all(t >= 1.5 + 0.15 - 0.05 for _, t in suspected)
+        # ... and clears once the cut heals and heartbeats resume.
+        assert {n for n, _ in cleared} == {2, 3}
+        assert all(t >= 4.0 for _, t in cleared)
+        assert det.suspected_partitioned() == frozenset()
+        assert det.declared_dead() == frozenset()
+
+    def test_singleton_minority_has_no_witness(self, cluster):
+        """A 1-node island is indistinguishable from a crash (no peer can
+        vouch for it), so it is declared dead; generation fencing makes
+        that declaration safe to act on."""
+        lonely = NetworkPartition(
+            start=1.5, duration=2.5, groups=((0, 1, 2), (3,))
+        )
+        det, declared, suspected, _ = self.drive(cluster, lonely)
+        assert [n for n, _ in declared] == [3]
+        assert suspected == []
+
+    def test_flapping_cut_clears_and_resuspects(self, cluster):
+        flappy = NetworkPartition(
+            start=1.0, duration=4.0, groups=((0, 1), (2, 3)), flap_period=1.0
+        )
+        det, declared, suspected, cleared = self.drive(
+            cluster, flappy, run_until=8.0
+        )
+        assert declared == []
+        # Two down-windows, each long enough to trip the timeout.
+        assert len([n for n, _ in suspected if n == 2]) == 2
+        assert len([n for n, _ in cleared if n == 2]) == 2
+
+
+class PartitionRun:
+    """Producer -> filler -> consumer under a partition-armed stack.
+
+    Mirrors the staged run in ``conftest`` but wires the injector into the
+    transport and the quorum parameters into the space, which the
+    crash-oriented scaffolding deliberately leaves out.
+    """
+
+    def __init__(self, cluster, plan, config, producer_tasks=16,
+                 write_quorum=2, read_quorum=1, filler_seconds=1.0):
+        self.cluster = cluster
+        self.injector = FaultInjector(plan)
+        producer = make_app(1, "P", producer_tasks)
+        filler = make_app(2, "F", 1)
+        consumer = make_app(3, "C", 1)
+        dag = WorkflowDAG(
+            [producer, filler, consumer], edges=[(1, 2), (2, 3)],
+            bundles=[Bundle((1,)), Bundle((2,)), Bundle((3,))],
+        )
+        self.sim = SimEngine()
+        self.space = CoDS(
+            cluster, DOMAIN,
+            dart=HybridDART(cluster, injector=self.injector),
+            replication=config.replication,
+            placer=ReplicaPlacer(cluster, config.placer_seed),
+            write_quorum=write_quorum,
+            read_quorum=read_quorum,
+        )
+        self.engine = WorkflowEngine(
+            dag, cluster, sim=self.sim, injector=self.injector,
+            defer_crash_redispatch=True, registry=self.space.dart.registry,
+        )
+        self.manager = ResilienceManager(
+            config, self.sim, self.space, self.engine,
+            self.space.dart.registry, injector=self.injector,
+        )
+        self.manager.install()
+        self.reads = []
+
+        def produce(ctx):
+            for rank in range(producer.ntasks):
+                region = producer.decomposition.task_intervals(rank)
+                self.space.put_seq(
+                    ctx.group.core(rank), VAR, region, element_size=8,
+                    version=0, app_id=1, generation=ctx.generation,
+                )
+            return 1.0
+
+        def consume(ctx):
+            sched, records = self.space.get_seq(
+                ctx.group.core(0), VAR, Box.from_extents(DOMAIN),
+                version=0, app_id=3,
+            )
+            self.reads.append((sched, records))
+            return 0.0
+
+        self.engine.set_routine(1, produce)
+        self.engine.set_routine(2, lambda ctx: filler_seconds)
+        self.engine.set_routine(3, consume)
+
+    def run(self):
+        self.engine.run()
+        return self.manager.summary()
+
+
+class TestWaitOut:
+    def test_consumer_completes_after_heal(self, cluster):
+        """No deadline configured: the manager waits the cut out; nothing
+        is declared dead and no crash recovery runs."""
+        plan = FaultPlan(partitions=(MID_RUN_CUT,))
+        run = PartitionRun(cluster, plan, ResilienceConfig(replication=2))
+        summary = run.run()
+        assert len(run.reads) == 1
+        p = summary["partition"]
+        assert p["suspected"] >= 1
+        assert p["waited_out"] >= 1
+        assert p["deadline_exceeded"] == 0
+        assert p["heals"] >= 1
+        # Waiting out means *no* node ever went through crash recovery.
+        assert run.space.dead_nodes() == frozenset()
+        assert not run.space.lost_objects()
+
+    def test_healed_run_restores_full_replication(self, cluster):
+        plan = FaultPlan(partitions=(MID_RUN_CUT,))
+        run = PartitionRun(cluster, plan, ResilienceConfig(replication=2))
+        run.run()
+        # After heal + reconciliation every logical object is back at k
+        # copies with agreeing checksums.
+        for (var, version, owner), reps in run.space._replicas.items():
+            prim = run.space.store_of(owner).get(var, version)
+            assert prim is not None
+            assert len(reps) + 1 >= 2
+            for rc in reps:
+                rep = run.space.store_of(rc).get(var, version, of=owner)
+                assert rep is not None and rep.checksum == prim.checksum
+
+
+class TestDeadlineEscalation:
+    def test_deadline_promotes_suspects_to_dead(self, cluster):
+        """A cut outliving the deadline: minority work is fenced off and
+        re-dispatched on the majority; the consumer is served from
+        majority copies long before the heal."""
+        plan = FaultPlan(partitions=(NetworkPartition(
+            start=1.5, duration=60.0, groups=((0, 1), (2, 3)),
+        ),))
+        run = PartitionRun(
+            cluster, plan,
+            ResilienceConfig(replication=2, partition_deadline=0.5),
+            producer_tasks=8,
+        )
+        summary = run.run()
+        assert len(run.reads) == 1
+        p = summary["partition"]
+        assert p["suspected"] >= 1
+        assert p["deadline_exceeded"] >= 1
+        sched, _ = run.reads[0]
+        served_nodes = {
+            run.cluster.node_of_core(pl.src_core) for pl in sched.plans
+        }
+        assert served_nodes <= {0, 1}, "read must be served by the majority"
+
+    def test_escalated_zombie_stores_are_fenced(self, cluster):
+        """A partition-declared-dead node is physically alive; its stores
+        must be cleared (not merely bypassed) before crash recovery, or
+        leftover copies collide with heal-time re-replication."""
+        plan = FaultPlan(partitions=(NetworkPartition(
+            start=1.5, duration=60.0, groups=((0, 1), (2, 3)),
+        ),))
+        run = PartitionRun(
+            cluster, plan,
+            ResilienceConfig(replication=2, partition_deadline=0.5),
+            producer_tasks=8,
+        )
+        run.run()
+        assert run.space.dead_nodes() == frozenset({2, 3})
+        for node in (2, 3):
+            assert run.injector.node_alive(node), "partition, not crash"
+            for core in run.cluster.cores_of_node(node):
+                assert not list(run.space.store_of(core).objects())

@@ -189,6 +189,90 @@ class TestGrayFlags:
         assert capsys.readouterr().out == first
 
 
+class TestPartitionFlags:
+    """Audit of the partition CLI surface: every flag documented in
+    --help, invalid values rejected at parse time, quorum/replication
+    cross-checks enforced, and a seeded end-to-end run completing with
+    the partition summary printed."""
+
+    PARTITION_FLAGS = (
+        "--partition", "--write-quorum", "--read-quorum",
+        "--partition-deadline",
+    )
+
+    E2E_ARGV = [
+        "sequential", "--compute-seconds", "0.2",
+        "--partition", "0,1,2,3/4,5,6,7@0.05:0.4",
+        "--replication", "2",
+        "--write-quorum", "2", "--read-quorum", "1",
+        "--partition-deadline", "5.0",
+    ]
+
+    def help_text(self, command="sequential"):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--help"])
+        return buf.getvalue()
+
+    def test_every_partition_flag_documented(self):
+        for command in ("sequential", "concurrent", "compare"):
+            text = self.help_text(command)
+            for flag in self.PARTITION_FLAGS:
+                assert flag in text, f"{flag} missing from {command} --help"
+
+    @pytest.mark.parametrize("argv", [
+        ["sequential", "--partition", "nonsense"],
+        ["sequential", "--partition", "0,1/2,3"],  # no @window
+        ["sequential", "--partition", "0,1/2,3@1.5"],  # missing duration
+        ["sequential", "--partition", "0,1/2,3@x:y"],
+        ["sequential", "--partition", "0,1/1,2@0:1"],  # overlapping groups
+        ["sequential", "--partition", "0,1/2,3@-1:2"],
+        ["sequential", "--partition", "0,1/2,3@0:0"],  # zero duration
+        ["sequential", "--partition", "0,1/2,3@0:1:0"],  # zero flap
+        ["sequential", "--write-quorum", "0"],
+        ["sequential", "--write-quorum", "lots"],
+        ["sequential", "--read-quorum", "-1"],
+        ["sequential", "--partition-deadline", "0"],
+        ["sequential", "--partition-deadline", "-2.5"],
+    ])
+    def test_invalid_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "usage" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["sequential", "--write-quorum", "2"],  # default replication is 1
+        ["sequential", "--replication", "2", "--write-quorum", "3"],
+        ["sequential", "--replication", "2", "--read-quorum", "3"],
+    ])
+    def test_quorum_cannot_outnumber_copies(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "quorum" in capsys.readouterr().err
+
+    def test_partition_run_end_to_end(self, capsys):
+        assert main(self.E2E_ARGV) == 0
+        out = capsys.readouterr().out
+        assert "network partitions:" in out
+        assert "quorum:" in out
+        assert "heal:" in out
+
+    def test_partition_summary_absent_on_clean_runs(self, capsys):
+        assert main(["sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "network partitions:" not in out
+
+    def test_partition_flags_deterministic(self, capsys):
+        assert main(self.E2E_ARGV) == 0
+        first = capsys.readouterr().out
+        assert main(self.E2E_ARGV) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestTimelineFlags:
     """Audit of the telemetry CLI surface: every flag documented in
     --help, invalid values rejected at parse time, and the timeline
