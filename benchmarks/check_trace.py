@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""Validate --trace-out / --metrics-out / --timeline-out files.
+"""Validate --trace-out / --metrics-out / --timeline-out / --provenance-out files.
 
 CI runs the Fig 8 bench configuration with tracing on and feeds the emitted
 files through this script, so any drift in the trace_event, metrics
-snapshot, or timeline JSONL format fails the build before it breaks
-Perfetto, trace-report, or the timeline renderer.
+snapshot, timeline JSONL, or provenance-ledger format fails the build
+before it breaks Perfetto, trace-report, the timeline renderer, or
+``repro-insitu explain``.
 
-Usage:  python benchmarks/check_trace.py trace.json [metrics.json]
+Usage:  python benchmarks/check_trace.py [trace.json [metrics.json]]
                                          [--timeline timeline.jsonl]
+                                         [--provenance ledger.jsonl]
 
 Exits 0 when every check passes, 1 with a diagnostic otherwise. The checks
 are hand-rolled (stdlib only — no jsonschema dependency).
@@ -262,28 +264,114 @@ def check_timeline(path: str) -> int:
     return count
 
 
+def check_provenance(path: str) -> int:
+    """Validate a --provenance-out JSONL ledger; returns the record count.
+
+    Schema: one header record first (integer version >= 1), then decision
+    records with strictly increasing positive integer ids, per-kind
+    monotonically non-decreasing sim-time, every ``cause`` either null or
+    the id of an earlier record, and exactly one terminal
+    ``bundle.complete`` record per completed bundle.
+    """
+    header: "dict | None" = None
+    last_id = 0
+    last_t: dict[str, float] = {}
+    seen_ids: set[int] = set()
+    completed: dict[object, int] = {}
+    count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for n, line in enumerate(fh):
+            where = f"{path}: line {n + 1}"
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"{where}: not JSON ({exc})")
+            if not isinstance(rec, dict):
+                fail(f"{where}: record must be an object")
+            count += 1
+            if count == 1:
+                if rec.get("kind") != "header":
+                    fail(f"{where}: first record must be the header")
+                header = rec
+                version = rec.get("version")
+                if not isinstance(version, int) or version < 1:
+                    fail(f"{where}: header needs an integer version >= 1")
+                continue
+            if rec.get("kind") == "header":
+                fail(f"{where}: duplicate header")
+            rid = rec.get("id")
+            if not isinstance(rid, int) or isinstance(rid, bool) or rid < 1:
+                fail(f"{where}: record needs a positive integer 'id'")
+            if rid <= last_id:
+                fail(f"{where}: ids must be strictly increasing "
+                     f"({rid} after {last_id})")
+            last_id = rid
+            seen_ids.add(rid)
+            kind = rec.get("kind")
+            if not isinstance(kind, str) or not kind:
+                fail(f"{where}: record needs a non-empty 'kind'")
+            t = rec.get("t")
+            if not _number(t):
+                fail(f"{where}: record needs a numeric 't'")
+            if kind in last_t and t < last_t[kind]:
+                fail(f"{where}: {kind} sim-times must be non-decreasing "
+                     f"({t} after {last_t[kind]})")
+            last_t[kind] = t
+            cause = rec.get("cause")
+            if cause is not None and cause not in seen_ids:
+                fail(f"{where}: cause {cause!r} does not resolve to an "
+                     f"earlier record")
+            if cause == rid:
+                fail(f"{where}: record {rid} cannot cause itself")
+            if kind == "bundle.complete":
+                bundle = rec.get("bundle")
+                if bundle in completed:
+                    fail(f"{where}: second terminal bundle.complete for "
+                         f"bundle {bundle} (first at id "
+                         f"{completed[bundle]}); re-runs must use "
+                         f"bundle.regenerated")
+                completed[bundle] = rid
+    if header is None:
+        fail(f"{path}: missing header record")
+    return count
+
+
 def main(argv: list[str]) -> int:
-    timeline = None
-    if "--timeline" in argv:
-        i = argv.index("--timeline")
+    def extract(flag: str) -> "str | None":
+        if flag not in argv:
+            return None
+        i = argv.index(flag)
         rest = argv[i + 1:i + 2]
         if not rest:
             print(__doc__, file=sys.stderr)
-            return 2
-        timeline = rest[0]
-        argv = argv[:i] + argv[i + 2:]
-    if not 1 <= len(argv) <= 2:
+            raise SystemExit(2)
+        del argv[i:i + 2]
+        return rest[0]
+
+    timeline = extract("--timeline")
+    provenance = extract("--provenance")
+    # Positional trace/metrics paths are optional once a flag mode is
+    # given, so a ledger can be checked on its own.
+    flags_only = timeline is not None or provenance is not None
+    if not (0 if flags_only else 1) <= len(argv) <= 2:
         print(__doc__, file=sys.stderr)
         return 2
     try:
-        events = check_trace(argv[0])
-        print(f"{argv[0]}: OK ({events} events)")
+        if argv:
+            events = check_trace(argv[0])
+            print(f"{argv[0]}: OK ({events} events)")
         if len(argv) == 2:
             cells = check_metrics(argv[1])
             print(f"{argv[1]}: OK ({cells} cells)")
         if timeline is not None:
             records = check_timeline(timeline)
             print(f"{timeline}: OK ({records} records)")
+        if provenance is not None:
+            records = check_provenance(provenance)
+            print(f"{provenance}: OK ({records} records)")
     except CheckFailure as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1

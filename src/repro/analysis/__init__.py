@@ -9,6 +9,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.ascii import bar_chart, grouped_bars, sparkline
 from repro.analysis.report import format_table, mib, ms, reduction, series
+from repro.analysis.runs import RunRegistry, config_hash
 from repro.analysis.sweeps import SweepRecord, SweepResult, run_sweep
 
 __all__ = [
@@ -28,4 +29,6 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "run_sweep",
+    "RunRegistry",
+    "config_hash",
 ]

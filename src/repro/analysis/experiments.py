@@ -35,6 +35,7 @@ from repro.workflow.dag import Bundle, WorkflowDAG
 from repro.workflow.engine import WorkflowEngine
 
 if TYPE_CHECKING:
+    from repro.obs.provenance import ProvenanceLedger
     from repro.obs.timeline import ProgressReporter, TimelineCollector
     from repro.resilience.manager import ResilienceConfig
 
@@ -69,6 +70,8 @@ class ScenarioResult:
     engine: "WorkflowEngine | None" = None
     #: the CoDS space the run shared data through (invariant checks)
     space: "CoDS | None" = None
+    #: causal provenance ledger the run appended to (None when disabled)
+    provenance: "ProvenanceLedger | None" = None
 
     @property
     def consumer_ids(self) -> list[int]:
@@ -116,6 +119,7 @@ def run_scenario(
     read_quorum: "int | None" = None,
     timeline: "TimelineCollector | None" = None,
     progress: "ProgressReporter | None" = None,
+    provenance: "ProvenanceLedger | None" = None,
 ) -> ScenarioResult:
     """Execute one scenario under the named mapping strategy.
 
@@ -155,6 +159,13 @@ def run_scenario(
     reads fail over across any reachable quorum member). Both need
     ``resilience`` with ``replication > 1`` to matter and default to
     ``None``, which keeps the non-quorum paths byte-identical.
+
+    ``provenance`` (a :class:`repro.obs.provenance.ProvenanceLedger`)
+    records every decision the stack makes — dispatch, placement, replica
+    selection, quorum degrades, detector verdicts, recovery rungs — as
+    cause-linked records on the sim clock, queryable with ``repro-insitu
+    explain``. ``None`` (the default) leaves the shared no-op ledger in
+    place and the run byte-identical.
     """
     cluster = scenario.cluster
     injector: FaultInjector | None = None
@@ -275,6 +286,21 @@ def run_scenario(
         space.dart.timeline = timeline
         engine.server.usage = timeline.cores
         timeline.attach(engine.sim)
+    if provenance is not None:
+        if provenance.clock is None:
+            provenance.clock = lambda: engine.sim.now
+        provenance.bind_registry(space.dart.registry)
+        provenance.start(
+            scenario=mode, mapper=mapper,
+            bundles=len(dag.bundles),
+            seed=fault_plan.seed if fault_plan is not None else None,
+        )
+        engine.provenance = provenance
+        space.provenance = provenance
+        if injector is not None:
+            injector.provenance = provenance
+        if manager is not None:
+            manager.provenance = provenance
     if progress is not None:
         progress.attach(engine.sim)
 
@@ -294,6 +320,7 @@ def run_scenario(
         resilience=manager.summary() if manager is not None else None,
         engine=engine,
         space=space,
+        provenance=provenance,
     )
     for app_id, run in runs.items():
         if run.mapping is not None:

@@ -272,7 +272,14 @@ def sampled_utilization(
 
 
 def find_snapshots(directory: str = ".") -> list[tuple[int, str]]:
-    """All ``BENCH_<n>.json`` files in ``directory``, sorted by index."""
+    """All ``BENCH_<n>.json`` files in ``directory``, sorted by index.
+
+    A missing directory means no history yet — an empty list, not an
+    ``OSError`` — so a first ``repro-insitu perf`` run in a fresh
+    checkout reports "no baseline" instead of crashing.
+    """
+    if not os.path.isdir(directory):
+        return []
     out = []
     for entry in os.listdir(directory):
         m = _SNAPSHOT_RE.match(entry)

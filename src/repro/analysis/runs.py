@@ -1,0 +1,210 @@
+"""SQLite-backed run registry: durable cross-run history.
+
+Every CLI run that passes ``--runs-db PATH`` records itself here: the
+config hash (sha256 over the run's JSON-safe arguments, sorted keys),
+the fault seed, headline metrics (makespan, byte volumes, retrieval
+times), the critical-path attribution when a trace was captured, and the
+paths of any ledger/trace artifacts. ``repro-insitu runs list/show/diff``
+reads it back — the diff between a faulty and a clean run shows exactly
+where the lost time was attributed.
+
+The registry is plain stdlib :mod:`sqlite3`, one file, two tables
+(``runs`` and ``metrics``) plus a schema-version cell; a newer on-disk
+schema than this module understands is refused instead of guessed at.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from typing import Any
+
+from repro.errors import AnalysisError
+
+__all__ = ["RunRegistry", "SCHEMA_VERSION", "config_hash"]
+
+#: bump when the table layout changes; older files are still readable,
+#: newer files are refused.
+SCHEMA_VERSION = 1
+
+
+def config_hash(config: dict[str, Any]) -> str:
+    """sha256 over the sorted-keys JSON form of a run's configuration."""
+    payload = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class RunRegistry:
+    """One SQLite file of recorded runs; safe to share across sessions."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._db = sqlite3.connect(path)
+        self._init_schema()
+
+    def _init_schema(self) -> None:
+        db = self._db
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS meta "
+            "(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        row = db.execute(
+            "SELECT value FROM meta WHERE key = 'schema'"
+        ).fetchone()
+        if row is None:
+            db.execute(
+                "INSERT INTO meta VALUES ('schema', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif int(row[0]) > SCHEMA_VERSION:
+            raise AnalysisError(
+                f"{self.path}: registry schema v{row[0]} is newer than "
+                f"supported v{SCHEMA_VERSION}"
+            )
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS runs ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " created REAL NOT NULL,"
+            " command TEXT NOT NULL,"
+            " scenario TEXT NOT NULL,"
+            " mapper TEXT NOT NULL,"
+            " seed INTEGER NOT NULL DEFAULT 0,"
+            " config_hash TEXT NOT NULL,"
+            " config TEXT NOT NULL,"
+            " makespan REAL,"
+            " label TEXT NOT NULL DEFAULT '',"
+            " ledger_path TEXT,"
+            " trace_path TEXT)"
+        )
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS metrics ("
+            " run_id INTEGER NOT NULL REFERENCES runs(id),"
+            " name TEXT NOT NULL,"
+            " value REAL NOT NULL,"
+            " PRIMARY KEY (run_id, name))"
+        )
+        db.commit()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def record_run(
+        self,
+        *,
+        command: str,
+        scenario: str,
+        mapper: str,
+        config: dict[str, Any],
+        seed: int = 0,
+        makespan: "float | None" = None,
+        metrics: "dict[str, float] | None" = None,
+        attribution: "dict[str, float] | None" = None,
+        ledger_path: "str | None" = None,
+        trace_path: "str | None" = None,
+        label: str = "",
+    ) -> int:
+        """Insert one run; returns its registry id.
+
+        ``attribution`` (critical-path seconds per category) lands in the
+        metrics table under ``attribution.<category>`` keys, so ``diff``
+        surfaces where two runs spent their makespans differently.
+        """
+        merged = dict(metrics or {})
+        for cat, seconds in (attribution or {}).items():
+            merged[f"attribution.{cat}"] = seconds
+        cur = self._db.execute(
+            "INSERT INTO runs (created, command, scenario, mapper, seed,"
+            " config_hash, config, makespan, label, ledger_path, trace_path)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                time.time(), command, scenario, mapper, seed,
+                config_hash(config),
+                json.dumps(config, sort_keys=True, default=str),
+                makespan, label, ledger_path, trace_path,
+            ),
+        )
+        run_id = cur.lastrowid
+        self._db.executemany(
+            "INSERT INTO metrics (run_id, name, value) VALUES (?, ?, ?)",
+            [
+                (run_id, name, float(value))
+                for name, value in sorted(merged.items())
+            ],
+        )
+        self._db.commit()
+        return run_id
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    _RUN_COLS = (
+        "id", "created", "command", "scenario", "mapper", "seed",
+        "config_hash", "config", "makespan", "label", "ledger_path",
+        "trace_path",
+    )
+
+    def list_runs(self) -> list[dict[str, Any]]:
+        """All runs, oldest first, without their metric rows."""
+        rows = self._db.execute(
+            f"SELECT {', '.join(self._RUN_COLS)} FROM runs ORDER BY id"
+        ).fetchall()
+        return [dict(zip(self._RUN_COLS, row)) for row in rows]
+
+    def get_run(self, run_id: int) -> dict[str, Any]:
+        """One run with its ``metrics`` dict; raises on an unknown id."""
+        row = self._db.execute(
+            f"SELECT {', '.join(self._RUN_COLS)} FROM runs WHERE id = ?",
+            (run_id,),
+        ).fetchone()
+        if row is None:
+            raise AnalysisError(
+                f"{self.path}: no run #{run_id} in the registry"
+            )
+        run = dict(zip(self._RUN_COLS, row))
+        run["metrics"] = {
+            name: value
+            for name, value in self._db.execute(
+                "SELECT name, value FROM metrics WHERE run_id = ?"
+                " ORDER BY name",
+                (run_id,),
+            )
+        }
+        return run
+
+    def diff(
+        self, a: int, b: int
+    ) -> list[tuple[str, "float | None", "float | None"]]:
+        """Metric-by-metric comparison ``(name, value_a, value_b)``.
+
+        Covers the union of both runs' metric names (``None`` marks a
+        metric one run never produced, e.g. ``attribution.recovery`` on
+        a clean run), makespan included, sorted by name.
+        """
+        ra, rb = self.get_run(a), self.get_run(b)
+        ma = dict(ra["metrics"])
+        mb = dict(rb["metrics"])
+        if ra["makespan"] is not None:
+            ma["makespan"] = ra["makespan"]
+        if rb["makespan"] is not None:
+            mb["makespan"] = rb["makespan"]
+        return [
+            (name, ma.get(name), mb.get(name))
+            for name in sorted(set(ma) | set(mb))
+        ]
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "RunRegistry":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self._db.execute("SELECT COUNT(*) FROM runs").fetchone()[0]

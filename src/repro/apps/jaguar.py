@@ -140,6 +140,7 @@ class _JaguarRun:
         timeline: Any = None,
         tracer: Any = None,
         progress: Any = None,
+        provenance: Any = None,
     ) -> None:
         self.cfg = cfg
         self.engine = SimEngine(queue=queue)
@@ -174,8 +175,17 @@ class _JaguarRun:
         self.timeline = timeline
         self.tracer = tracer if tracer is not None and tracer.enabled else None
         self.progress = progress
+        self.provenance = (
+            provenance if provenance is not None and provenance.enabled
+            else None
+        )
         if self.tracer is not None and self.tracer.clock is None:
             self.tracer.clock = lambda: self.engine.now
+        if self.provenance is not None and self.provenance.clock is None:
+            self.provenance.clock = lambda: self.engine.now
+        #: last provenance record id, so each iteration/coupling record
+        #: chains causally to the phase before it
+        self._prov_last_id: "int | None" = None
         if timeline is not None:
             #: synthetic placement: rank r computes on node r % num_nodes
             self._node_of_rank = np.arange(cfg.ranks) % cfg.num_nodes
@@ -231,6 +241,11 @@ class _JaguarRun:
         if self.tracer is not None:
             self._iter_span = self.tracer.begin_async(
                 "jaguar.iteration", it=it
+            )
+        if self.provenance is not None:
+            self._prov_last_id = self.provenance.record(
+                "jaguar.iteration", cause=self._prov_last_id,
+                it=it, ranks=self.cfg.ranks,
             )
         schedule = self.engine.schedule
         remaining = self.cfg.ranks
@@ -292,6 +307,7 @@ class _JaguarRun:
     def _couple_inner(self) -> float:
         """Bundle-scheduled, fluid-timed exchange; returns its duration."""
         scheds = self.cache.get(self._bundle_key)
+        cache_hit = scheds is not None
         if scheds is None:
             # Consumer g's slab only ever intersects producer slabs g-1 and
             # g (the layout is a 1-D halo exchange), so the schedule build
@@ -322,7 +338,13 @@ class _JaguarRun:
         self.flows_timed += len(timings)
         self.component_solves += fluid.last_solver_stats.get("component_solves", 0)
         self.flows_resolved += fluid.last_solver_stats.get("flows_resolved", 0)
-        return max(t.finish for t in timings)
+        duration = max(t.finish for t in timings)
+        if self.provenance is not None:
+            self._prov_last_id = self.provenance.record(
+                "jaguar.couple", cause=self._prov_last_id,
+                cache_hit=cache_hit, duration=duration, flows=len(timings),
+            )
+        return duration
 
     # -- driving ------------------------------------------------------------------
 
@@ -335,6 +357,13 @@ class _JaguarRun:
         gc.disable()
         if self.timeline is not None:
             self.timeline.attach(self.engine)
+        if self.provenance is not None:
+            self.provenance.start(
+                scenario="jaguar_scale",
+                ranks=self.cfg.ranks,
+                iterations=self.cfg.iterations,
+                seed=self.cfg.seed,
+            )
         if self.progress is not None:
             if self.progress.total_events is None:
                 # One completion event per rank per iteration, plus one
@@ -380,6 +409,7 @@ def run_jaguar_scale(
     timeline: Any = None,
     tracer: Any = None,
     progress: Any = None,
+    provenance: Any = None,
     **overrides,
 ) -> JaguarScaleResult:
     """Run the jaguar-scale scenario (canonical shape unless overridden).
@@ -393,10 +423,13 @@ def run_jaguar_scale(
     simulated clock; ``progress`` (a
     :class:`~repro.obs.timeline.ProgressReporter`) reports live events/sec
     and ETA; ``tracer`` records the ~2x iterations phase spans (iteration
-    windows and coupling phases — never the per-rank events). All three
-    default to off and leave the run byte-identical; the instrumented run's
-    *simulated* outcome (makespan, byte counts, cache and solver stats) is
-    identical too — only ``sim_events`` grows by the daemon sampling ticks.
+    windows and coupling phases — never the per-rank events); ``provenance``
+    (a :class:`~repro.obs.provenance.ProvenanceLedger`) chains one record
+    per iteration and coupling phase — like the tracer it never touches
+    the per-rank hot loop. All four default to off and leave the run
+    byte-identical; the instrumented run's *simulated* outcome (makespan,
+    byte counts, cache and solver stats) is identical too — only
+    ``sim_events`` grows by the daemon sampling ticks.
     """
     if config is None:
         config = JaguarScaleConfig(**overrides)
@@ -404,5 +437,5 @@ def run_jaguar_scale(
         raise SimulationError("pass either a config or overrides, not both")
     return _JaguarRun(
         config, queue=queue, timeline=timeline, tracer=tracer,
-        progress=progress,
+        progress=progress, provenance=provenance,
     ).run()

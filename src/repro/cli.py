@@ -325,6 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "seconds before treating the unreachable side as dead "
                  "(default: wait until it heals)",
         )
+        p.add_argument(
+            "--provenance-out", metavar="PATH", default=None,
+            type=_writable_path,
+            help="record every scheduling and recovery decision as a "
+                 "cause-linked provenance ledger (JSONL); query with "
+                 "'repro-insitu explain bundle <id> --ledger PATH'",
+        )
+        p.add_argument(
+            "--runs-db", metavar="PATH", default=None,
+            type=_writable_path,
+            help="append this run (config hash, seed, headline metrics, "
+                 "critical-path attribution) to a SQLite run registry; "
+                 "inspect with 'repro-insitu runs list --db PATH'",
+        )
 
     for name, help_ in (
         ("concurrent", "run the online-data-processing scenario (CAP1/CAP2)"),
@@ -403,6 +417,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a sampled utilization summary per scenario (separate "
              "timeline-instrumented runs; the regression profiles stay "
              "byte-identical)",
+    )
+
+    p = sub.add_parser(
+        "explain",
+        help="answer why-questions over a --provenance-out ledger "
+             "(bundle why-chains, object history, slowest bundles)",
+    )
+    p.add_argument(
+        "what", choices=["bundle", "object", "slowest"],
+        help="query kind: a bundle's causal why-chain, an object's "
+             "placement history, or the slowest completed bundles",
+    )
+    p.add_argument(
+        "target", nargs="?", default=None,
+        help="bundle id ('explain bundle') or object name "
+             "('explain object')",
+    )
+    p.add_argument(
+        "--ledger", metavar="PATH", required=True,
+        help="path to a --provenance-out JSONL ledger",
+    )
+    p.add_argument(
+        "-n", "--top", type=int, default=3, metavar="N",
+        help="rows in the 'slowest' ranking (default 3)",
+    )
+
+    p = sub.add_parser(
+        "runs",
+        help="query a --runs-db run registry (list / show / diff)",
+    )
+    p.add_argument(
+        "action", choices=["list", "show", "diff"],
+        help="list all runs, show one run's metrics, or diff two runs "
+             "metric by metric",
+    )
+    p.add_argument(
+        "ids", nargs="*", type=int,
+        help="one run id for 'show', two for 'diff'",
+    )
+    p.add_argument(
+        "--db", metavar="PATH", required=True,
+        help="path to a --runs-db SQLite registry",
     )
 
     p = sub.add_parser("dag", help="validate and echo a workflow description file")
@@ -588,7 +644,77 @@ def _make_progress(args: argparse.Namespace):
     return ProgressReporter()
 
 
-def _write_obs(args: argparse.Namespace, result, tracer, timeline=None) -> None:
+def _make_provenance(args: argparse.Namespace):
+    if not getattr(args, "provenance_out", None):
+        return None
+    from repro.obs.provenance import ProvenanceLedger
+    from repro.obs.timeline import JsonlStreamSink
+
+    return ProvenanceLedger(sinks=(JsonlStreamSink(args.provenance_out),))
+
+
+def _print_provenance_summary(result) -> None:
+    """Counts-by-kind block for runs that carried a provenance ledger."""
+    ledger = result.provenance
+    if ledger is None or not ledger.enabled:
+        return
+    summary = ledger.summary()
+    print()
+    print(f"provenance: {sum(summary.values())} decision records "
+          f"across {len(summary)} kinds")
+    for kind, count in sorted(summary.items()):
+        print(f"  {kind:<26} {count}")
+
+
+def _record_run(args: argparse.Namespace, result, tracer) -> None:
+    """Append the run to the --runs-db registry, if one was requested."""
+    db_path = getattr(args, "runs_db", None)
+    if not db_path:
+        return
+    from repro.analysis.runs import RunRegistry
+
+    config = {
+        k: v for k, v in sorted(vars(args).items())
+        if isinstance(v, (str, int, float, bool, type(None)))
+    }
+    m = result.metrics
+    metrics = {
+        "sim.events": float(result.sim_events),
+        "net.coupling_bytes": float(m.network_bytes(TransferKind.COUPLING)),
+        "shm.coupling_bytes": float(m.shm_bytes(TransferKind.COUPLING)),
+    }
+    for app_id, t in sorted((result.retrieval_times or {}).items()):
+        metrics[f"retrieval.app{app_id}"] = float(t)
+    attribution = None
+    # Critical-path attribution needs the full in-memory span graph; a
+    # streaming tracer has already shipped its spans to disk.
+    if tracer is not None and hasattr(tracer, "all_spans"):
+        from repro.obs.critpath import SpanGraph, critical_path
+
+        attribution = critical_path(
+            SpanGraph.from_tracer(tracer)
+        ).attribution()
+    with RunRegistry(db_path) as registry:
+        run_id = registry.record_run(
+            command=args.command,
+            scenario=getattr(args, "scenario", None) or args.command,
+            mapper=result.mapper_name,
+            config=config,
+            seed=(result.injector.plan.seed
+                  if result.injector is not None else 0),
+            makespan=(result.engine.sim.now
+                      if result.engine is not None else None),
+            metrics=metrics,
+            attribution=attribution,
+            ledger_path=getattr(args, "provenance_out", None),
+            trace_path=getattr(args, "trace_out", None),
+        )
+    print(f"run #{run_id} recorded in {db_path}; inspect with: "
+          f"repro-insitu runs show {run_id} --db {db_path}")
+
+
+def _write_obs(args: argparse.Namespace, result, tracer, timeline=None,
+               ledger=None) -> None:
     if tracer is not None:
         if hasattr(tracer, "write_chrome"):
             tracer.write_chrome(args.trace_out)
@@ -606,6 +732,11 @@ def _write_obs(args: argparse.Namespace, result, tracer, timeline=None) -> None:
               f"({timeline.samples} samples, {timeline.link_samples} link "
               f"samples); render with: repro-insitu timeline "
               f"{args.timeline_out}")
+    if ledger is not None:
+        ledger.close()
+        print(f"provenance ledger written to {args.provenance_out} "
+              f"({ledger.records_written} records); query with: "
+              f"repro-insitu explain slowest --ledger {args.provenance_out}")
     if getattr(args, "metrics_out", None) and result.registry is not None:
         result.registry.write_json(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
@@ -616,6 +747,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
     print(scenario.describe())
     tracer = _make_tracer(args)
     timeline = _make_timeline(args, scenario.cluster)
+    ledger = _make_provenance(args)
     result = run_scenario(
         scenario, args.mapper,
         stencil_iterations=args.stencil, time_transfers=args.time,
@@ -629,6 +761,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         read_quorum=args.read_quorum,
         timeline=timeline,
         progress=_make_progress(args),
+        provenance=ledger,
     )
     m = result.metrics
     rows = []
@@ -654,7 +787,9 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
     _print_gray_summary(result)
     _print_partition_summary(result)
     _print_resilience_summary(result)
-    _write_obs(args, result, tracer, timeline)
+    _print_provenance_summary(result)
+    _write_obs(args, result, tracer, timeline, ledger)
+    _record_run(args, result, tracer)
     return 0
 
 
@@ -663,15 +798,18 @@ def _run_compare(args: argparse.Namespace) -> int:
     last_result = None
     last_tracer = None
     last_timeline = None
+    last_ledger = None
     for mapper in (ROUND_ROBIN, DATA_CENTRIC):
         scenario = _build(args.scenario, args.scale, args.dist)
-        # Trace and timeline stream to one file each, so only the
-        # data-centric run — the paper's contribution — is instrumented.
+        # Trace, timeline, and ledger stream to one file each, so only
+        # the data-centric run — the paper's contribution — is
+        # instrumented.
         instrument = mapper == DATA_CENTRIC
         tracer = _make_tracer(args) if instrument else None
         timeline = (
             _make_timeline(args, scenario.cluster) if instrument else None
         )
+        ledger = _make_provenance(args) if instrument else None
         result = run_scenario(
             scenario, mapper,
             stencil_iterations=args.stencil, time_transfers=args.time,
@@ -685,10 +823,12 @@ def _run_compare(args: argparse.Namespace) -> int:
             read_quorum=args.read_quorum,
             timeline=timeline,
             progress=_make_progress(args),
+            provenance=ledger,
         )
         last_result = result
         last_tracer = tracer
         last_timeline = timeline
+        last_ledger = ledger
         m = result.metrics
         row = [
             mapper,
@@ -709,7 +849,9 @@ def _run_compare(args: argparse.Namespace) -> int:
         _print_gray_summary(last_result)
         _print_partition_summary(last_result)
         _print_resilience_summary(last_result)
-        _write_obs(args, last_result, last_tracer)
+        _print_provenance_summary(last_result)
+        _write_obs(args, last_result, last_tracer, last_timeline, last_ledger)
+        _record_run(args, last_result, last_tracer)
     return 0
 
 
@@ -806,8 +948,105 @@ def _run_perf(args: argparse.Namespace) -> int:
     if args.out:
         print(f"\nsnapshot written to {args.out}")
     if verdict is None:
-        print("\nno previous BENCH_*.json snapshot; nothing to diff against")
+        if args.out:
+            print("\nno baseline: no previous BENCH_*.json snapshot in "
+                  f"{args.directory!r}; recorded this run as the first one")
+        else:
+            print("\nno baseline: no previous BENCH_*.json snapshot in "
+                  f"{args.directory!r}; pass --out BENCH_1.json to record "
+                  "the first one")
     if args.fail_on_regression and verdict is not None and not verdict.passed:
+        return 1
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.explain import (
+        Ledger,
+        explain_bundle,
+        explain_object,
+        explain_slowest,
+    )
+
+    if args.what == "bundle" and args.target is None:
+        print("error: 'explain bundle' needs a bundle id", file=sys.stderr)
+        return 2
+    if args.what == "object" and args.target is None:
+        print("error: 'explain object' needs an object name", file=sys.stderr)
+        return 2
+    try:
+        ledger = Ledger.load(args.ledger)
+        if args.what == "bundle":
+            print(explain_bundle(ledger, int(args.target)))
+        elif args.what == "object":
+            print(explain_object(ledger, args.target))
+        else:
+            print(explain_slowest(ledger, n=args.top))
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_runs(args: argparse.Namespace) -> int:
+    from repro.analysis.runs import RunRegistry
+    from repro.errors import AnalysisError
+
+    if args.action == "show" and len(args.ids) != 1:
+        print("error: 'runs show' needs exactly one run id", file=sys.stderr)
+        return 2
+    if args.action == "diff" and len(args.ids) != 2:
+        print("error: 'runs diff' needs exactly two run ids", file=sys.stderr)
+        return 2
+    if not os.path.isfile(args.db):
+        print(f"error: no run registry at {args.db}", file=sys.stderr)
+        return 1
+
+    def fmt(value) -> str:
+        return "-" if value is None else f"{value:.6g}"
+
+    try:
+        with RunRegistry(args.db) as registry:
+            if args.action == "list":
+                rows = [
+                    [str(r["id"]), r["command"], r["mapper"], str(r["seed"]),
+                     fmt(r["makespan"]), r["config_hash"][:10], r["label"]]
+                    for r in registry.list_runs()
+                ]
+                print(format_table(
+                    ["id", "command", "mapper", "seed", "makespan",
+                     "config", "label"],
+                    rows,
+                    title=f"{len(rows)} recorded run(s) in {args.db}",
+                ))
+            elif args.action == "show":
+                run = registry.get_run(args.ids[0])
+                print(f"run #{run['id']}: {run['command']} "
+                      f"({run['mapper']}, seed={run['seed']})")
+                print(f"  config hash: {run['config_hash']}")
+                print(f"  makespan:    {fmt(run['makespan'])}s")
+                for key in ("label", "ledger_path", "trace_path"):
+                    if run[key]:
+                        print(f"  {key.replace('_', ' ')}: {run[key]}")
+                print(format_table(
+                    ["metric", "value"],
+                    [[name, fmt(value)]
+                     for name, value in sorted(run["metrics"].items())],
+                ))
+            else:
+                a, b = args.ids
+                rows = [
+                    [name, fmt(va), fmt(vb),
+                     "-" if va is None or vb is None else f"{vb - va:+.6g}"]
+                    for name, va, vb in registry.diff(a, b)
+                ]
+                print(format_table(
+                    ["metric", f"run {a}", f"run {b}", "delta"], rows,
+                    title=f"run {a} vs run {b}",
+                ))
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
 
@@ -880,6 +1119,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_timeline(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "explain":
+        return _run_explain(args)
+    if args.command == "runs":
+        return _run_runs(args)
     return _run_dag(args)
 
 

@@ -50,6 +50,7 @@ from repro.errors import (
     StaleWriteError,
 )
 from repro.hardware.cluster import Cluster
+from repro.obs.provenance import NULL_LEDGER
 from repro.obs.tracer import NULL_TRACER
 from repro.sfc.linearize import DomainLinearizer
 from repro.transport.hybriddart import HybridDART
@@ -75,6 +76,7 @@ class CoDS:
         hedge_factor: "float | None" = None,
         write_quorum: "int | None" = None,
         read_quorum: "int | None" = None,
+        provenance: "object | None" = None,
     ) -> None:
         self.cluster = cluster
         self.dart = dart if dart is not None else HybridDART(cluster)
@@ -165,6 +167,12 @@ class CoDS:
         # generation; writes carrying an older generation are fenced off so
         # a healed minority cannot commit stale work
         self._object_gen: dict[tuple[str, int, int], int] = {}
+        # -- causal provenance (inert behind one `enabled` check) --
+        #: decision ledger; NULL_LEDGER keeps unledgered runs byte-identical
+        self.provenance = provenance if provenance is not None else NULL_LEDGER
+        # (var, version) -> producing object.put record id, so replica
+        # selections and fences cause-link back to the write they concern
+        self._prov_puts: dict[tuple[str, int], int] = {}
 
     def _gray_count(self, name: str, value: float = 1) -> None:
         """Bump a lazily created integrity/hedge counter."""
@@ -523,6 +531,13 @@ class CoDS:
                         f"{var} v{version} core={core} "
                         f"generation={generation} fence={fence}",
                     )
+                if self.provenance.enabled:
+                    self.provenance.record(
+                        "object.fence",
+                        cause=self._prov_puts.get((var, version)),
+                        var=var, version=version, core=core,
+                        generation=generation, fence=fence,
+                    )
                 raise StaleWriteError(
                     f"write of {var!r} v{version} from core {core} carries "
                     f"generation {generation}, fenced at {fence}"
@@ -594,6 +609,13 @@ class CoDS:
             )
             if acks < self.write_quorum:
                 self._partition_count("quorum.failed_writes")
+                if self.provenance.enabled:
+                    self.provenance.record(
+                        "object.quorum_fail",
+                        cause=self._prov_puts.get((var, version)),
+                        var=var, version=version, core=core,
+                        acks=acks, quorum=self.write_quorum,
+                    )
                 raise QuorumError(
                     f"write of {var!r} v{version} from core {core} reached "
                     f"{acks}/{self.replication} copies; write quorum is "
@@ -603,6 +625,12 @@ class CoDS:
                 # Acknowledged, but short of full replication: the heal-time
                 # reconciliation tops the missing copies back up.
                 self._partition_count("quorum.degraded_writes")
+        if self.provenance.enabled:
+            self._prov_puts[(var, version)] = self.provenance.record(
+                "object.put", var=var, version=version, core=core,
+                copies=1 + len(self._replicas.get((var, version, core), ())),
+                degraded=bool(skipped), app=app_id,
+            )
         return obj
 
     def _replicate(self, obj: DataObject) -> int:
@@ -864,6 +892,17 @@ class CoDS:
                 self._partition_count("partition.failover_reads")
             elif self._m_failover is not None:
                 self._m_failover.inc()
+            if self.provenance.enabled:
+                self.provenance.record(
+                    "object.replica_select",
+                    cause=self._prov_puts.get((var, version)),
+                    var=var, version=version, core=pick.owner_core,
+                    reader=dst_core, pool=len(pool),
+                    failover=(
+                        "partition" if partitions and had_primary
+                        else "crash"
+                    ),
+                )
             chosen.append(pick)
         chosen.sort(key=lambda c: (c.version, c.owner_core))
         return chosen
@@ -954,7 +993,13 @@ class CoDS:
         sources = self._producers.setdefault(var, [])
         # Latest wins: a re-enacted producer re-declares its region from a
         # fresh core; keeping the old declaration would double the coverage.
-        sources[:] = [s for s in sources if s[1] != entry[1]] + [entry]
+        kept = [s for s in sources if s[1] != entry[1]]
+        if self.provenance.enabled:
+            self.provenance.record(
+                "object.expose", var=var, core=core,
+                replaced=len(kept) != len(sources),
+            )
+        sources[:] = kept + [entry]
 
     def get_cont(
         self,

@@ -26,6 +26,7 @@ from repro.faults.plan import (
     NetworkPartition,
     NodeCrash,
 )
+from repro.obs.provenance import NULL_LEDGER
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["FaultEvent", "FaultInjector"]
@@ -86,6 +87,10 @@ class FaultInjector:
         #: the experiment driver); faults become ``fault.*`` instant events,
         #: so transfer retries appear as sub-spans of their transfer.
         self.tracer = NULL_TRACER
+        #: provenance ledger mirrored by :meth:`record` (set by the
+        #: experiment driver); every injected fault and recovery action
+        #: becomes a ``fault.*`` decision record.
+        self.provenance = NULL_LEDGER
 
     # -- event trace ------------------------------------------------------------
 
@@ -99,6 +104,8 @@ class FaultInjector:
         self._events.append(ev)
         if self.tracer.enabled:
             self.tracer.instant("fault." + kind, detail=detail)
+        if self.provenance.enabled:
+            self.provenance.record("fault." + kind, detail=detail)
         return ev
 
     def trace(self) -> tuple[FaultEvent, ...]:

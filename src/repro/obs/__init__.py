@@ -25,16 +25,38 @@ instrumentation:
   bandwidth occupancy, event-queue depth, and resident bytes into pluggable
   bounded-memory sinks (ring buffer, JSONL stream, Chrome counter events),
   with a live progress reporter and self-accounting of its own overhead.
+* :mod:`repro.obs.provenance` — a causal decision ledger: every dispatch,
+  placement, replica selection, quorum degrade, retry, speculation,
+  detector verdict, and recovery rung as a schema-versioned, cause-linked
+  record stamped with simulated time (JSONL + bounded ring).
+* :mod:`repro.obs.explain` — the query engine over a ledger behind
+  ``repro-insitu explain``: bundle why-chains with per-hop sim-time
+  deltas, object placement history, slowest-bundle ranking.
 
 Tracing is off by default: every instrumented hot path holds a reference to
 the shared :data:`~repro.obs.tracer.NULL_TRACER`, whose ``enabled`` flag is
-``False``, so the disabled cost is one attribute check per site.
+``False``, so the disabled cost is one attribute check per site. The
+provenance ledger follows the same discipline via
+:data:`~repro.obs.provenance.NULL_LEDGER`.
 """
 
 from repro.obs.anomaly import Deviation, Verdict, compare
 from repro.obs.baseline import Baseline, Tolerance
 from repro.obs.critpath import CriticalPath, SpanGraph, critical_path, stragglers
+from repro.obs.explain import (
+    Ledger,
+    explain_bundle,
+    explain_object,
+    explain_slowest,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.provenance import (
+    NULL_LEDGER,
+    NullLedger,
+    PROVENANCE_VERSION,
+    ProvenanceLedger,
+    read_ledger,
+)
 from repro.obs.report import TraceReport
 from repro.obs.timeline import (
     ChromeCounterSink,
@@ -66,11 +88,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlStreamSink",
+    "Ledger",
     "MetricsRegistry",
+    "NULL_LEDGER",
     "NULL_TRACER",
+    "NullLedger",
     "NullTracer",
+    "PROVENANCE_VERSION",
     "ProgressReporter",
     "ProgressSnapshot",
+    "ProvenanceLedger",
     "RingBufferSink",
     "Span",
     "SpanGraph",
@@ -82,6 +109,10 @@ __all__ = [
     "Verdict",
     "compare",
     "critical_path",
+    "explain_bundle",
+    "explain_object",
+    "explain_slowest",
+    "read_ledger",
     "read_timeline",
     "stragglers",
 ]

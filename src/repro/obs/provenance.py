@@ -1,0 +1,289 @@
+"""Causal provenance ledger: *why* a run did what it did.
+
+The tracer (``repro.obs.tracer``) records *what happened* as timed spans
+and the timeline (``repro.obs.timeline``) records *how loaded* the
+platform was; neither records *decisions*.  The :class:`ProvenanceLedger`
+fills that gap: every choice the stack makes — which cores a bundle was
+placed on and what the alternatives were, which replica served a get and
+why the primary did not, why a write was fenced or a quorum degraded,
+which recovery-ladder rung fired — is appended as a structured,
+schema-versioned record stamped with the *simulated* clock.
+
+Each record carries a ``cause`` field holding the id of the record that
+caused it, so a completed bundle has a walkable why-chain from its
+terminal ``bundle.complete`` record back through every retry, wait, and
+re-dispatch to the ``workflow.submit`` root.  ``repro.obs.explain``
+renders those chains; ``benchmarks/check_trace.py --provenance``
+validates the invariants (header first, strictly increasing ids,
+per-kind monotone sim-time, causes resolve to earlier records, exactly
+one terminal record per completed bundle).
+
+Ledger schema (version |PROVENANCE_VERSION|, JSONL, one object per
+line)::
+
+    {"kind": "header", "version": 1, "t": 0.0, ...metadata}
+    {"id": 1, "t": 0.0, "kind": "workflow.submit", "cause": null, ...}
+    {"id": 2, "t": 0.0, "kind": "bundle.dispatch", "cause": 1,
+     "bundle": 0, "gen": 0, ...}
+
+Like the tracer and the timeline, the ledger is **off by default** and
+byte-identical to an unledgered run when disabled: layers hold the
+shared :data:`NULL_LEDGER` whose class-level ``enabled = False`` makes
+every hook a single attribute check, and the ``prov.records`` counter is
+created lazily only when a registry is bound.  The ledger schedules no
+simulation events of its own — attaching it never changes
+``sim_events``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+from repro.obs.timeline import JsonlStreamSink, RingBufferSink
+
+__all__ = [
+    "NULL_LEDGER",
+    "NullLedger",
+    "PROVENANCE_VERSION",
+    "ProvenanceLedger",
+    "read_ledger",
+]
+
+#: Ledger schema version, written into the header record.  Readers must
+#: reject files from a *newer* schema than they understand.
+PROVENANCE_VERSION = 1
+
+#: Record kinds with a terminal meaning: exactly one per completed
+#: bundle.  A bundle re-enacted *after* completing (crash of a node that
+#: held its output) completes again as ``bundle.regenerated`` so the
+#: one-terminal invariant survives recovery.
+TERMINAL_KIND = "bundle.complete"
+
+
+class ProvenanceLedger:
+    """Append-only decision log on the simulated clock.
+
+    Parameters
+    ----------
+    sinks:
+        Extra sinks (e.g. a :class:`~repro.obs.timeline.JsonlStreamSink`)
+        that receive every record including the header.  A bounded
+        in-memory :class:`~repro.obs.timeline.RingBufferSink` of
+        ``ring`` records is always kept so ``records`` / ``summary()``
+        work without a file.
+    ring:
+        Capacity of the built-in ring buffer (most recent records win).
+    clock:
+        Zero-argument callable returning the current *simulated* time.
+        Usually bound by the scenario driver once the engine exists;
+        records stamped before binding carry ``t=0.0``.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when bound
+        (see :meth:`bind_registry`) a lazy ``prov.records{kind=...}``
+        counter tracks ledger volume.  Never bound on off runs, so a
+        disabled ledger registers nothing.
+    """
+
+    #: Class-level fast-path flag; hook sites check ``ledger.enabled``
+    #: exactly once before building a record (mirrors ``Tracer``).
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Iterable[Any] = (),
+        ring: int = 4096,
+        clock: "Callable[[], float] | None" = None,
+        registry: Any = None,
+    ) -> None:
+        self.ring = RingBufferSink(ring)
+        self._sinks: tuple[Any, ...] = (self.ring, *sinks)
+        self.clock = clock
+        self._next_id = 1
+        self._started = False
+        self._counts: dict[str, int] = {}
+        #: total non-header records appended (never evicted).
+        self.records_written = 0
+        self._m_records: Any = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind_registry(self, registry: Any) -> None:
+        """Create the lazy ``prov.records`` counter in ``registry``.
+
+        Called only when a ledger is actually attached to a run, so
+        ledger-off runs register zero ``prov.*`` metrics.
+        """
+        self._m_records = registry.counter(
+            "prov.records", labelnames=("kind",)
+        )
+
+    def start(self, **meta: Any) -> None:
+        """Emit the schema header (idempotent; auto-called on first record)."""
+        if self._started:
+            return
+        self._started = True
+        header = {
+            "kind": "header",
+            "version": PROVENANCE_VERSION,
+            "t": self._now(),
+        }
+        header.update(meta)
+        self._emit(header)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, cause: "int | None" = None,
+               **fields: Any) -> int:
+        """Append one decision record; returns its id for cause-linking."""
+        if not self._started:
+            self.start()
+        rid = self._next_id
+        self._next_id += 1
+        rec: dict[str, Any] = {
+            "id": rid,
+            "t": self._now(),
+            "kind": kind,
+            "cause": cause,
+        }
+        rec.update(fields)
+        self._emit(rec)
+        self.records_written += 1
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self._m_records is not None:
+            self._m_records.inc(kind=kind)
+        return rid
+
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _emit(self, rec: dict[str, Any]) -> None:
+        for sink in self._sinks:
+            sink.write(rec)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        """Records still held by the built-in ring (header excluded)."""
+        return [r for r in self.ring.records if r.get("kind") != "header"]
+
+    def summary(self) -> dict[str, int]:
+        """Record counts by kind over the whole run (not just the ring)."""
+        return dict(sorted(self._counts.items()))
+
+    def close(self) -> None:
+        """Flush and close every sink that owns a file."""
+        for sink in self._sinks:
+            sink.close()
+
+
+class NullLedger:
+    """Shared no-op ledger carried by every layer when provenance is off.
+
+    ``enabled`` is a class attribute, so the disabled cost at a hook
+    site is a single attribute check — the same guard pattern as
+    ``NULL_TRACER``.
+    """
+
+    enabled = False
+    clock = None
+
+    def record(self, kind: str, cause: "int | None" = None,
+               **fields: Any) -> int:
+        return 0
+
+    def start(self, **meta: Any) -> None:
+        pass
+
+    def bind_registry(self, registry: Any) -> None:
+        pass
+
+    def summary(self) -> dict[str, int]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared no-op instance (identity-comparable, like ``NULL_TRACER``).
+NULL_LEDGER = NullLedger()
+
+
+def read_ledger(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Load and validate a ``--provenance-out`` JSONL ledger.
+
+    Returns ``(header, records)``.  Raises :class:`ReproError` with a
+    ``path:line`` prefix on the first malformed line: missing or
+    duplicated header, unsupported schema version, non-object lines,
+    missing ``id``/``kind``/``t`` fields, non-increasing ids, or a
+    ``cause`` that does not resolve to an earlier record.
+    """
+    header: "dict[str, Any] | None" = None
+    records: list[dict[str, Any]] = []
+    seen: set[int] = set()
+    last_id = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for n, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{n + 1}"
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{where}: invalid JSON: {exc}") from exc
+            if not isinstance(rec, dict):
+                raise ReproError(f"{where}: expected an object, got "
+                                 f"{type(rec).__name__}")
+            kind = rec.get("kind")
+            if not isinstance(kind, str):
+                raise ReproError(f"{where}: missing or non-string 'kind'")
+            if kind == "header":
+                if header is not None:
+                    raise ReproError(f"{where}: duplicate header record")
+                if records:
+                    raise ReproError(f"{where}: header must come first")
+                version = rec.get("version")
+                if not isinstance(version, int) or version < 1:
+                    raise ReproError(
+                        f"{where}: header version must be a positive "
+                        f"integer, got {version!r}"
+                    )
+                if version > PROVENANCE_VERSION:
+                    raise ReproError(
+                        f"{where}: ledger schema v{version} is newer than "
+                        f"supported v{PROVENANCE_VERSION}"
+                    )
+                header = rec
+                continue
+            if header is None:
+                raise ReproError(f"{where}: first record must be the header")
+            rid = rec.get("id")
+            if not isinstance(rid, int) or rid <= last_id:
+                raise ReproError(
+                    f"{where}: record ids must be strictly increasing "
+                    f"positive integers, got {rid!r} after {last_id}"
+                )
+            if not isinstance(rec.get("t"), (int, float)):
+                raise ReproError(f"{where}: missing or non-numeric 't'")
+            cause = rec.get("cause")
+            if cause is not None and (
+                not isinstance(cause, int) or cause not in seen
+            ):
+                raise ReproError(
+                    f"{where}: cause {cause!r} does not resolve to an "
+                    f"earlier record"
+                )
+            seen.add(rid)
+            last_id = rid
+            records.append(rec)
+    if header is None:
+        raise ReproError(f"{path}: missing header record")
+    return header, records

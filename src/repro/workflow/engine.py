@@ -38,6 +38,7 @@ from repro.errors import (
     WorkflowError,
 )
 from repro.hardware.cluster import Cluster
+from repro.obs.provenance import NULL_LEDGER
 from repro.obs.tracer import Span
 from repro.sim.engine import SimEngine
 from repro.workflow.clients import CommGroup, form_groups
@@ -114,6 +115,7 @@ class WorkflowEngine:
         defer_crash_redispatch: bool = False,
         speculation_threshold: "float | None" = None,
         registry: "object | None" = None,
+        provenance: "object | None" = None,
     ) -> None:
         self.dag = dag
         self.cluster = cluster
@@ -182,6 +184,24 @@ class WorkflowEngine:
         self.registry = registry
         self._spec_counters: dict[str, object] = {}
         self._spec_spans: dict[tuple[int, int], Span] = {}
+        # -- causal provenance (inert behind one `enabled` check) --
+        #: decision ledger; NULL_LEDGER keeps unledgered runs byte-identical
+        self.provenance = provenance if provenance is not None else NULL_LEDGER
+        #: bundle -> id of its latest ledger record (linear why-chain tail)
+        self._prov_last: dict[int, int] = {}
+        #: the workflow.submit record id (root cause of first dispatches)
+        self._prov_root: "int | None" = None
+        #: bundles that already emitted their terminal bundle.complete
+        self._prov_completed: set[int] = set()
+
+    def _prov_chain(self, kind: str, bundle: int, **fields: Any) -> int:
+        """Append a provenance record to ``bundle``'s linear why-chain."""
+        rid = self.provenance.record(
+            kind, cause=self._prov_last.get(bundle, self._prov_root),
+            bundle=bundle, **fields,
+        )
+        self._prov_last[bundle] = rid
+        return rid
 
     def _spec_count(self, name: str) -> None:
         """Bump a lazily created ``workflow.speculation.*`` counter."""
@@ -246,6 +266,10 @@ class WorkflowEngine:
             for p in self.dag.bundle_parents(i):
                 self._bundle_children[p].add(i)
         self._apps_pending: dict[int, int] = {}
+        if self.provenance.enabled:
+            self._prov_root = self.provenance.record(
+                "workflow.submit", bundles=n, apps=len(self.dag.apps),
+            )
         if restore is not None:
             self._restore(restore)
         else:
@@ -280,6 +304,13 @@ class WorkflowEngine:
         if (index, gen) in self._launched:
             return  # a concurrent recovery path already enacted this gen
         self._launched.add((index, gen))
+        # Dispatch is recorded before mapping, so a mapping-time partition
+        # retry still has a dispatch ancestor in the why-chain.
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.dispatch", index, gen=gen,
+                apps=list(bundle.app_ids),
+            )
         tracer = self.tracer
         if tracer.enabled:
             bspan = tracer.begin_async(
@@ -321,6 +352,13 @@ class WorkflowEngine:
                 self._retry_after_partition(index, gen, exc)
                 return
             raise
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.place", index, gen=gen,
+                mapper=type(mapper).__name__,
+                nodes=sorted(mapping.nodes_used()),
+                alternatives=len(resolved.get("available_cores") or ()),
+            )
         groups = form_groups(apps, mapping)
         for app in apps:
             for rank in range(app.ntasks):
@@ -451,6 +489,11 @@ class WorkflowEngine:
             time=self.sim.now, event="bundle_data_loss_retry", bundle=index,
             detail=f"attempt={attempts} ({exc})",
         ))
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.data_loss_retry", index, gen=gen + 1,
+                attempt=attempts, error=type(exc).__name__,
+            )
         self.sim.schedule(
             self.data_loss_retry, self._launch_bundle, index,
             category="recovery",
@@ -491,6 +534,11 @@ class WorkflowEngine:
                     f"bundle={index} waited={now - since:.6g}s "
                     f"attempts={attempts}",
                 )
+            if self.provenance.enabled:
+                self._prov_chain(
+                    "bundle.partition_escalate", index,
+                    waited=now - since, attempts=attempts,
+                )
             self._retry_after_data_loss(index, gen, exc)
             return
         bundle = self.dag.bundles[index]
@@ -507,6 +555,12 @@ class WorkflowEngine:
             time=now, event="bundle_partition_wait", bundle=index,
             detail=f"attempt={attempts} ({exc})",
         ))
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.partition_wait", index, gen=gen + 1,
+                attempt=attempts, quorum=quorum,
+                error=type(exc).__name__,
+            )
         self.sim.schedule(
             self.partition_retry, self._launch_bundle, index,
             category="quorum.degraded" if quorum else "partition.wait",
@@ -538,6 +592,11 @@ class WorkflowEngine:
             time=self.sim.now, event="bundle_stale_abandoned", bundle=index,
             detail=f"gen={gen} ({exc})",
         ))
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.stale_abandon", index, gen=gen,
+                error=type(exc).__name__,
+            )
         if gen == self._gen.get(index, 0):
             self._gen[index] = gen + 1
             self.sim.schedule(
@@ -606,6 +665,10 @@ class WorkflowEngine:
             time=now, event="speculation_launched", bundle=index,
             app_id=app_id, detail=f"core={core}",
         ))
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.speculate", index, app=app_id, core=core, node=node,
+            )
         if self.tracer.enabled:
             sspan = self.tracer.begin_async(
                 "speculation.run", app=app_id, bundle=index, gen=gen, core=core,
@@ -643,6 +706,8 @@ class WorkflowEngine:
             time=self.sim.now, event="speculation_won", bundle=index,
             app_id=app_id,
         ))
+        if self.provenance.enabled:
+            self._prov_chain("bundle.speculation_won", index, app=app_id)
         if span is not None:
             self.tracer.end_async(span)
         self._complete_app(index, app_id, gen)
@@ -674,9 +739,25 @@ class WorkflowEngine:
             if span is not None:
                 self.tracer.end_async(span)
                 self._done_bundle_spans[bundle_index] = span
+            done_rid: "int | None" = None
+            if self.provenance.enabled:
+                # Exactly one terminal record per bundle: a bundle that
+                # completes again after a post-completion re-enactment
+                # (crash regenerated its output) is "regenerated".
+                kind = (
+                    "bundle.regenerated"
+                    if bundle_index in self._prov_completed
+                    else "bundle.complete"
+                )
+                self._prov_completed.add(bundle_index)
+                done_rid = self._prov_chain(kind, bundle_index, gen=gen)
             for child in sorted(self._bundle_children[bundle_index]):
                 self._indeg[child] -= 1
                 if self._indeg[child] == 0:
+                    # A child's first dispatch is caused by the parent
+                    # completion that unblocked it.
+                    if done_rid is not None and child not in self._prov_last:
+                        self._prov_last[child] = done_rid
                     self.sim.schedule(0.0, self._launch_bundle, child)
 
     # -- checkpoint / restart --------------------------------------------------------
@@ -808,6 +889,11 @@ class WorkflowEngine:
             time=self.sim.now, event="bundle_reenacted", bundle=index,
             detail=reason,
         ))
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.reenact", index, gen=old_gen + 1,
+                rung="reenactment", reason=reason,
+            )
         self.sim.schedule(0.0, self._launch_bundle, index)
 
     def _on_node_crash(self, node: int) -> None:
@@ -859,4 +945,9 @@ class WorkflowEngine:
                 time=now, event="bundle_reenacted", bundle=index,
                 detail=f"after crash of node {node}",
             ))
+            if self.provenance.enabled:
+                self._prov_chain(
+                    "bundle.reenact", index, gen=old_gen + 1,
+                    rung="redispatch", reason=f"crash of node {node}",
+                )
             self.sim.schedule(0.0, self._launch_bundle, index)

@@ -76,6 +76,14 @@ class TestSnapshots:
         found = find_snapshots(str(tmp_path))
         assert [i for i, _ in found] == [0, 2, 10]
 
+    def test_find_snapshots_missing_directory_is_empty_history(
+        self, tmp_path
+    ):
+        # Regression: this used to raise FileNotFoundError from
+        # os.listdir, crashing a first `repro-insitu perf` run pointed at
+        # a directory that does not exist yet.
+        assert find_snapshots(str(tmp_path / "never-made")) == []
+
     def test_newer_schema_rejected(self, tmp_path):
         path = tmp_path / "BENCH_1.json"
         path.write_text(json.dumps({"schema": 999}))

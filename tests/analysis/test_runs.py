@@ -1,0 +1,151 @@
+"""Tests for the SQLite run registry and the ``runs`` CLI subcommand."""
+
+import sqlite3
+
+import pytest
+
+from repro.analysis.runs import SCHEMA_VERSION, RunRegistry, config_hash
+from repro.cli import main
+from repro.errors import AnalysisError
+
+
+def _record(reg, **overrides):
+    kwargs = dict(
+        command="sequential", scenario="sequential", mapper="data-centric",
+        config={"dist": "blocked", "scale": "small"},
+    )
+    kwargs.update(overrides)
+    return reg.record_run(**kwargs)
+
+
+class TestRegistry:
+    def test_record_and_get_round_trip(self, tmp_path):
+        with RunRegistry(str(tmp_path / "runs.db")) as reg:
+            rid = _record(
+                reg, seed=7, makespan=0.45, label="faulty",
+                metrics={"sim.events": 20.0},
+                attribution={"partition.wait": 0.05},
+                ledger_path="lg.jsonl", trace_path="tr.json",
+            )
+            run = reg.get_run(rid)
+        assert run["seed"] == 7
+        assert run["makespan"] == pytest.approx(0.45)
+        assert run["label"] == "faulty"
+        assert run["ledger_path"] == "lg.jsonl"
+        assert run["metrics"] == {
+            "sim.events": 20.0, "attribution.partition.wait": 0.05,
+        }
+
+    def test_list_runs_is_oldest_first(self, tmp_path):
+        with RunRegistry(str(tmp_path / "runs.db")) as reg:
+            ids = [_record(reg) for _ in range(3)]
+            assert [r["id"] for r in reg.list_runs()] == ids
+            assert len(reg) == 3
+
+    def test_registry_persists_across_opens(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with RunRegistry(path) as reg:
+            rid = _record(reg, makespan=1.0)
+        with RunRegistry(path) as reg:
+            assert reg.get_run(rid)["makespan"] == 1.0
+
+    def test_unknown_run_rejected(self, tmp_path):
+        with RunRegistry(str(tmp_path / "runs.db")) as reg:
+            with pytest.raises(AnalysisError, match="no run #42"):
+                reg.get_run(42)
+
+    def test_diff_covers_metric_union(self, tmp_path):
+        with RunRegistry(str(tmp_path / "runs.db")) as reg:
+            a = _record(
+                reg, makespan=0.45,
+                metrics={"sim.events": 20.0},
+                attribution={"partition.wait": 0.05},
+            )
+            b = _record(reg, makespan=0.40, metrics={"sim.events": 5.0})
+            diff = dict(
+                (name, (va, vb)) for name, va, vb in reg.diff(a, b)
+            )
+        # The faulty run's attribution shows up as (value, None) — the
+        # clean run never produced that category.
+        assert diff["attribution.partition.wait"] == (0.05, None)
+        assert diff["makespan"] == (0.45, 0.40)
+        assert diff["sim.events"] == (20.0, 5.0)
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunRegistry(path).close()
+        db = sqlite3.connect(path)
+        db.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        db.commit()
+        db.close()
+        with pytest.raises(AnalysisError, match="newer than supported"):
+            RunRegistry(path)
+
+
+class TestConfigHash:
+    def test_stable_and_order_insensitive(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+class TestRunsCLI:
+    def _run_twice(self, tmp_path, capsys):
+        """One partitioned and one clean sequential run into the same db."""
+        db = str(tmp_path / "runs.db")
+        base = [
+            "sequential", "--replication", "2", "--write-quorum", "2",
+            "--compute-seconds", "0.2",
+            "--trace-out", str(tmp_path / "tr.json"),
+            "--runs-db", db,
+        ]
+        faulty = base + [
+            "--partition", "0,1,2/3,4,5@0.15:0.1",
+            "--partition-deadline", "5",
+        ]
+        assert main(faulty) == 0
+        assert main(base) == 0
+        capsys.readouterr()
+        return db
+
+    def test_end_to_end_record_list_show_diff(self, tmp_path, capsys):
+        db = self._run_twice(tmp_path, capsys)
+        assert main(["runs", "list", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "2 recorded run(s)" in out
+
+        assert main(["runs", "show", "1", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "run #1: sequential" in out
+        assert "attribution.partition.wait" in out
+
+        assert main(["runs", "diff", "1", "2", "--db", db]) == 0
+        out = capsys.readouterr().out
+        # Attribution delta between faulty and clean: the partition wait
+        # exists only on the faulty side, and the makespan shrank.
+        assert "attribution.partition.wait" in out
+        assert "makespan" in out
+
+    def test_show_needs_exactly_one_id(self, tmp_path, capsys):
+        db = str(tmp_path / "runs.db")
+        RunRegistry(db).close()
+        assert main(["runs", "show", "--db", db]) == 2
+        assert "exactly one run id" in capsys.readouterr().err
+        assert main(["runs", "diff", "1", "--db", db]) == 2
+        assert "exactly two run ids" in capsys.readouterr().err
+
+    def test_missing_db_reports_error(self, tmp_path, capsys):
+        assert main(
+            ["runs", "list", "--db", str(tmp_path / "nope.db")]
+        ) == 1
+        assert "no run registry" in capsys.readouterr().err
+
+    def test_unknown_id_reports_error(self, tmp_path, capsys):
+        db = str(tmp_path / "runs.db")
+        RunRegistry(db).close()
+        assert main(["runs", "show", "9", "--db", db]) == 1
+        assert "no run #9" in capsys.readouterr().err

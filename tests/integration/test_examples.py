@@ -82,6 +82,14 @@ class TestExamples:
         assert "PGAS global array" in out
         assert "expected 256" in out
 
+    def test_explain_demo(self, capsys):
+        out = run_example("explain_demo", capsys)
+        assert "why bundle 1 completed" in out
+        assert "bundle.partition_wait" in out
+        assert "rung=redispatch" in out
+        assert "end-to-end latency" in out
+        assert "slowest" in out
+
     def test_observability(self, capsys):
         out = run_example("observability", capsys)
         assert "traced" in out and "spans" in out

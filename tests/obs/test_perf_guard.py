@@ -197,6 +197,59 @@ class TestPartitionGuard:
         assert partition == []
 
 
+class TestProvenanceGuard:
+    """The provenance ledger must be invisible until switched on.
+
+    A run without a ledger must register zero ``prov.*`` metrics and stay
+    byte-identical to the seed; a ledgered run must change *nothing* in
+    the simulated outcome — the ledger schedules no events of its own, so
+    even ``sim_events`` stays equal (unlike the timeline's sampling
+    daemon).
+    """
+
+    PROVENANCE_METRIC_PREFIXES = ("prov.",)
+
+    def test_defaults_match_seed_run_exactly(self):
+        seed = run_scenario(small_concurrent(), DATA_CENTRIC)
+        guarded = run_scenario(
+            small_concurrent(), DATA_CENTRIC, provenance=None,
+        )
+        assert guarded.metrics.as_dict() == seed.metrics.as_dict()
+        assert guarded.sim_events == seed.sim_events
+        assert guarded.provenance is None
+
+    def test_unledgered_run_registers_no_prov_metrics(self):
+        result = run_scenario(small_concurrent(), DATA_CENTRIC)
+        prov = [
+            name for name in result.registry.names()
+            if name.startswith(self.PROVENANCE_METRIC_PREFIXES)
+        ]
+        assert prov == []
+
+    def test_unledgered_run_carries_null_ledger_throughout(self):
+        from repro.obs.provenance import NULL_LEDGER
+
+        result = run_scenario(small_concurrent(), DATA_CENTRIC)
+        assert result.engine.provenance is NULL_LEDGER
+        assert result.space.provenance is NULL_LEDGER
+
+    def test_ledgered_run_changes_nothing_simulated(self):
+        from repro.obs.provenance import ProvenanceLedger
+
+        plain = run_scenario(small_concurrent(), DATA_CENTRIC)
+        ledger = ProvenanceLedger()
+        recorded = run_scenario(
+            small_concurrent(), DATA_CENTRIC, provenance=ledger,
+        )
+        assert recorded.metrics.as_dict() == plain.metrics.as_dict()
+        assert recorded.retrieval_times == plain.retrieval_times
+        # Stronger than the timeline guarantee: the ledger piggybacks on
+        # existing events, so the event schedule is EQUAL, not just >=.
+        assert recorded.sim_events == plain.sim_events
+        assert ledger.records_written > 0
+        assert "prov.records" in recorded.registry
+
+
 class TestTimelineGuard:
     """The timeline collector must be invisible until switched on."""
 

@@ -1,0 +1,220 @@
+"""Unit + integration tests for the causal provenance ledger."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import DATA_CENTRIC, run_scenario
+from repro.apps.scenarios import small_concurrent, small_sequential
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import (
+    NULL_LEDGER,
+    PROVENANCE_VERSION,
+    NullLedger,
+    ProvenanceLedger,
+    read_ledger,
+)
+from repro.obs.timeline import JsonlStreamSink
+
+
+class TestLedgerCore:
+    def test_ids_strictly_increase_from_one(self):
+        ledger = ProvenanceLedger()
+        ids = [ledger.record("a"), ledger.record("b"), ledger.record("c")]
+        assert ids == [1, 2, 3]
+
+    def test_first_record_auto_emits_header(self):
+        ledger = ProvenanceLedger()
+        ledger.record("bundle.dispatch", bundle=0)
+        raw = ledger.ring.records
+        assert raw[0]["kind"] == "header"
+        assert raw[0]["version"] == PROVENANCE_VERSION
+        assert raw[1]["kind"] == "bundle.dispatch"
+
+    def test_start_is_idempotent(self):
+        ledger = ProvenanceLedger()
+        ledger.start(scenario="x")
+        ledger.start(scenario="y")
+        headers = [r for r in ledger.ring.records if r["kind"] == "header"]
+        assert len(headers) == 1
+        assert headers[0]["scenario"] == "x"
+
+    def test_clock_stamps_simulated_time(self):
+        now = [0.0]
+        ledger = ProvenanceLedger(clock=lambda: now[0])
+        ledger.record("a")
+        now[0] = 2.5
+        rid = ledger.record("b")
+        assert ledger.ring.records[-1]["id"] == rid
+        assert ledger.ring.records[-1]["t"] == 2.5
+
+    def test_cause_links_and_fields_pass_through(self):
+        ledger = ProvenanceLedger()
+        root = ledger.record("workflow.submit", bundles=2)
+        child = ledger.record("bundle.dispatch", cause=root, bundle=0, gen=0)
+        rec = ledger.ring.records[-1]
+        assert rec["cause"] == root
+        assert rec["bundle"] == 0 and rec["gen"] == 0
+        assert child == root + 1
+
+    def test_ring_is_bounded_but_counts_are_not(self):
+        ledger = ProvenanceLedger(ring=4)
+        for _ in range(10):
+            ledger.record("spam")
+        assert ledger.records_written == 10
+        assert ledger.summary() == {"spam": 10}
+        assert len(ledger.records) <= 4
+
+    def test_records_property_excludes_header(self):
+        ledger = ProvenanceLedger()
+        ledger.record("a")
+        assert all(r["kind"] != "header" for r in ledger.records)
+
+    def test_registry_counter_is_lazy_and_labelled(self):
+        reg = MetricsRegistry()
+        ledger = ProvenanceLedger()
+        ledger.record("a")  # no registry bound yet: nothing registered
+        assert "prov.records" not in reg
+        ledger.bind_registry(reg)
+        ledger.record("a")
+        ledger.record("b")
+        assert "prov.records" in reg
+        assert reg["prov.records"].total() == 2
+
+
+class TestNullLedger:
+    def test_disabled_flag_is_class_level(self):
+        assert NullLedger.enabled is False
+        assert NULL_LEDGER.enabled is False
+        assert ProvenanceLedger.enabled is True
+
+    def test_noop_surface(self):
+        NULL_LEDGER.start(scenario="x")
+        assert NULL_LEDGER.record("anything", cause=3, field=1) == 0
+        NULL_LEDGER.bind_registry(MetricsRegistry())
+        assert NULL_LEDGER.summary() == {}
+        NULL_LEDGER.close()
+
+
+class TestReadLedger:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("\n".join(json.dumps(rec) for rec in lines) + "\n")
+        return str(path)
+
+    def test_round_trip_through_jsonl_sink(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = ProvenanceLedger(sinks=(JsonlStreamSink(path),))
+        ledger.start(scenario="unit")
+        a = ledger.record("workflow.submit")
+        ledger.record("bundle.dispatch", cause=a, bundle=0)
+        ledger.close()
+        header, records = read_ledger(path)
+        assert header["version"] == PROVENANCE_VERSION
+        assert header["scenario"] == "unit"
+        assert [r["kind"] for r in records] == [
+            "workflow.submit", "bundle.dispatch",
+        ]
+        assert records[1]["cause"] == records[0]["id"]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"id": 1, "t": 0.0, "kind": "a", "cause": None},
+        ])
+        with pytest.raises(ReproError, match="header"):
+            read_ledger(path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"kind": "header", "version": PROVENANCE_VERSION + 1, "t": 0.0},
+        ])
+        with pytest.raises(ReproError, match="newer than supported"):
+            read_ledger(path)
+
+    def test_non_increasing_ids_rejected(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"kind": "header", "version": 1, "t": 0.0},
+            {"id": 2, "t": 0.0, "kind": "a", "cause": None},
+            {"id": 2, "t": 0.0, "kind": "b", "cause": None},
+        ])
+        with pytest.raises(ReproError, match="strictly increasing"):
+            read_ledger(path)
+
+    def test_dangling_cause_rejected(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"kind": "header", "version": 1, "t": 0.0},
+            {"id": 1, "t": 0.0, "kind": "a", "cause": 99},
+        ])
+        with pytest.raises(ReproError, match="does not resolve"):
+            read_ledger(path)
+
+    def test_forward_cause_rejected(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"kind": "header", "version": 1, "t": 0.0},
+            {"id": 1, "t": 0.0, "kind": "a", "cause": 2},
+            {"id": 2, "t": 0.0, "kind": "b", "cause": None},
+        ])
+        with pytest.raises(ReproError, match="does not resolve"):
+            read_ledger(path)
+
+    def test_invalid_json_carries_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header", "version": 1, "t": 0.0}\nnope\n')
+        with pytest.raises(ReproError, match=r"bad\.jsonl:2"):
+            read_ledger(str(path))
+
+
+class TestScenarioIntegration:
+    def test_clean_run_produces_valid_causal_ledger(self):
+        ledger = ProvenanceLedger()
+        result = run_scenario(
+            small_concurrent(), DATA_CENTRIC, provenance=ledger,
+        )
+        assert result.provenance is ledger
+        summary = ledger.summary()
+        assert summary["workflow.submit"] == 1
+        assert summary["bundle.dispatch"] >= 1
+        assert summary["bundle.place"] >= 1
+        assert summary["bundle.complete"] >= 1
+        # Every cause resolves to an earlier record.
+        seen = set()
+        for rec in ledger.records:
+            if rec["cause"] is not None:
+                assert rec["cause"] in seen
+            seen.add(rec["id"])
+
+    def test_every_bundle_completes_exactly_once(self):
+        ledger = ProvenanceLedger()
+        run_scenario(small_sequential(), DATA_CENTRIC, provenance=ledger)
+        completed = [
+            r["bundle"] for r in ledger.records
+            if r["kind"] == "bundle.complete"
+        ]
+        assert sorted(completed) == sorted(set(completed))
+
+    def test_ledger_clock_bound_to_sim_time(self):
+        ledger = ProvenanceLedger()
+        result = run_scenario(
+            small_sequential(), DATA_CENTRIC, provenance=ledger,
+            producer_compute=0.2, consumer_compute=0.3,
+        )
+        assert ledger.clock is not None
+        final = max(r["t"] for r in ledger.records)
+        assert final == pytest.approx(result.engine.sim.now)
+
+    def test_sequential_object_puts_recorded_with_copies(self):
+        ledger = ProvenanceLedger()
+        run_scenario(small_sequential(), DATA_CENTRIC, provenance=ledger)
+        puts = [r for r in ledger.records if r["kind"] == "object.put"]
+        assert puts
+        assert all(r["copies"] >= 1 and r["var"] for r in puts)
+
+    def test_concurrent_object_exposure_recorded(self):
+        ledger = ProvenanceLedger()
+        run_scenario(small_concurrent(), DATA_CENTRIC, provenance=ledger)
+        exposes = [
+            r for r in ledger.records if r["kind"] == "object.expose"
+        ]
+        assert exposes
+        assert all(not r["replaced"] for r in exposes)

@@ -145,6 +145,78 @@ class TestInstrumentedScaleSmoke:
             assert tl.overhead_wall < run.wall_clock
 
 
+class TestLedgeredScaleSmoke:
+    """The acceptance bar for the provenance ledger at scale: a jaguar
+    run recording every iteration and coupling decision keeps >= 90% of
+    the unledgered events/sec and changes no simulated outcome."""
+
+    CFG = dict(
+        num_nodes=2_000, ranks=20_000, iterations=3,
+        coupling_groups=200, cells_per_group=8_192, halo_cells=512,
+    )
+
+    #: same best-of-N discipline as TestInstrumentedScaleSmoke: one noisy
+    #: run on a shared host cannot fail the bar
+    REPEATS = 3
+
+    @pytest.fixture(scope="class")
+    def plain(self):
+        return [
+            run_jaguar_scale(JaguarScaleConfig(**self.CFG))
+            for _ in range(self.REPEATS)
+        ]
+
+    @pytest.fixture(scope="class")
+    def ledgered(self):
+        from repro.obs.provenance import ProvenanceLedger
+
+        out = []
+        for _ in range(self.REPEATS):
+            ledger = ProvenanceLedger()
+            run = run_jaguar_scale(
+                JaguarScaleConfig(**self.CFG), provenance=ledger,
+            )
+            out.append((run, ledger))
+        return out
+
+    def test_simulated_outcomes_byte_identical(self, plain, ledgered):
+        base = plain[0]
+        for run, _ledger in ledgered:
+            assert run.makespan == base.makespan
+            assert run.coupling_times == base.coupling_times
+            assert (run.bytes_shm, run.bytes_network) == (
+                base.bytes_shm, base.bytes_network,
+            )
+            # The ledger schedules no events of its own: EQUAL, not >=.
+            assert run.sim_events == base.sim_events
+
+    def test_decisions_are_recorded_and_chained(self, ledgered):
+        run, ledger = ledgered[0]
+        kinds = [r["kind"] for r in ledger.records]
+        assert kinds.count("jaguar.iteration") == run.config.iterations
+        assert kinds.count("jaguar.couple") == run.config.iterations
+        # First iteration misses the bundle cache, the rest hit it.
+        hits = [
+            r["cache_hit"] for r in ledger.records
+            if r["kind"] == "jaguar.couple"
+        ]
+        assert hits == [False] + [True] * (run.config.iterations - 1)
+        # Iterations chain causally onto the previous coupling.
+        seen = set()
+        for rec in ledger.records:
+            if rec["cause"] is not None:
+                assert rec["cause"] in seen
+            seen.add(rec["id"])
+
+    def test_throughput_within_ten_percent(self, plain, ledgered):
+        best_plain = max(r.events_per_sec for r in plain)
+        best_led = max(r.events_per_sec for r, _ledger in ledgered)
+        assert best_led >= 0.9 * best_plain, (
+            f"ledgered {best_led:.0f} ev/s vs plain "
+            f"{best_plain:.0f} ev/s"
+        )
+
+
 class TestScaleDifferential:
     def test_calendar_and_heap_agree_at_scale(self):
         """Reduced-size jaguar run (still thousands of nodes and ~60k

@@ -357,3 +357,108 @@ class TestTimelineFlags:
         assert main(["concurrent", "--progress"]) == 0
         err = capsys.readouterr().err
         assert "ev/s" in err
+
+
+class TestProvenanceFlags:
+    """Audit of the provenance CLI surface: flags documented in --help,
+    invalid paths rejected at parse time, a ledgered end-to-end run
+    printing the provenance summary and ledger-written message, and the
+    explain subcommand answering queries over the emitted file."""
+
+    PROVENANCE_FLAGS = ("--provenance-out", "--runs-db")
+
+    def help_text(self, command="sequential"):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--help"])
+        return buf.getvalue()
+
+    def test_flags_documented_everywhere(self):
+        for command in ("sequential", "concurrent", "compare"):
+            text = self.help_text(command)
+            for flag in self.PROVENANCE_FLAGS:
+                assert flag in text, f"{flag} missing from {command} --help"
+
+    def test_explain_and_runs_listed_as_subcommands(self):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        text = buf.getvalue()
+        assert "explain" in text
+        assert "runs" in text
+
+    @pytest.mark.parametrize("flag", ["--provenance-out", "--runs-db"])
+    def test_unwritable_path_rejected_at_parse_time(self, flag, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sequential", flag, "/no/such/dir/out.bin"])
+        assert exc.value.code == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_ledgered_run_end_to_end(self, tmp_path, capsys):
+        lpath = tmp_path / "ledger.jsonl"
+        assert main(["sequential", "--provenance-out", str(lpath)]) == 0
+        out = capsys.readouterr().out
+        assert "provenance:" in out
+        assert "workflow.submit" in out
+        assert f"provenance ledger written to {lpath}" in out
+
+        from repro.obs.provenance import read_ledger
+        header, records = read_ledger(str(lpath))
+        assert header["scenario"] == "seq"
+        assert any(r["kind"] == "bundle.complete" for r in records)
+
+        assert main(["explain", "slowest", "--ledger", str(lpath)]) == 0
+        assert "dominant stall" in capsys.readouterr().out
+        assert main(["explain", "bundle", "0", "--ledger", str(lpath)]) == 0
+        assert "why bundle 0 completed" in capsys.readouterr().out
+
+    def test_compare_ledgers_only_data_centric_run(self, tmp_path, capsys):
+        lpath = tmp_path / "ledger.jsonl"
+        assert main(["compare", "--scenario", "sequential",
+                     "--provenance-out", str(lpath)]) == 0
+        assert f"provenance ledger written to {lpath}" in \
+            capsys.readouterr().out
+        from repro.obs.provenance import read_ledger
+        header, records = read_ledger(str(lpath))
+        # One run's worth of records — the round-robin leg is untracked.
+        assert sum(1 for r in records if r["kind"] == "workflow.submit") == 1
+
+    def test_ledger_is_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for p in paths:
+            assert main(["sequential", "--provenance-out", str(p)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_explain_missing_target_exits_2(self, tmp_path, capsys):
+        lpath = tmp_path / "ledger.jsonl"
+        main(["sequential", "--provenance-out", str(lpath)])
+        capsys.readouterr()
+        assert main(["explain", "bundle", "--ledger", str(lpath)]) == 2
+        assert "needs a bundle id" in capsys.readouterr().err
+        assert main(["explain", "object", "--ledger", str(lpath)]) == 2
+        assert "needs an object name" in capsys.readouterr().err
+
+    def test_explain_missing_ledger_file_exits_1(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["explain", "slowest", "--ledger", missing]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPerfNoBaseline:
+    def test_missing_snapshot_dir_reports_no_baseline(self, tmp_path,
+                                                      capsys):
+        # Regression: a --dir that does not exist used to crash with
+        # FileNotFoundError from os.listdir before any output.
+        missing = str(tmp_path / "never-made")
+        assert main(["perf", "--dir", missing,
+                     "--scenario", "fig09_sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "no baseline" in out
+        assert "BENCH_1.json" in out
