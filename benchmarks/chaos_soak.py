@@ -30,6 +30,21 @@ both soak. The partition invariants:
 * the whole run is deterministic: seed 0 runs twice and both runs must
   produce identical partition counters.
 
+``--oom`` switches the soak to memory pressure: each seed derives one or
+two deterministic capacity-shrink windows and runs with a node memory
+budget of about two coupled objects per core, so the admission-controlled
+put path, the reclaim ladder (GC, replica eviction, spill), backpressure
+waits, and on-demand restores all engage. The OOM invariants:
+
+* the run completes — a put that cannot be admitted defers on
+  backpressure, it never deadlocks or raises SpaceError,
+* zero acknowledged objects lost (spilled copies included) and zero
+  escalations out of the backpressure retry budget,
+* every resident primary still verifies its checksum (spill/restore
+  round-trips the bytes intact), and
+* the whole run is deterministic: seed 0 runs twice and both runs must
+  produce identical memory counters.
+
 ``--gray`` switches the soak to gray failures: each seed derives a plan
 combining a slow-node window, wildcard delivery corruption, and wildcard
 duplicate delivery, and runs with hedged pulls, straggler speculation, and
@@ -68,6 +83,7 @@ from repro.faults.plan import (  # noqa: E402
     DHTCoreFailure,
     DuplicateDelivery,
     FaultPlan,
+    MemoryPressure,
     NetworkPartition,
     NodeCrash,
     SlowNode,
@@ -209,6 +225,107 @@ def partition_plan_for_seed(
     )
     deadline = 0.4 if rng.random() < 0.5 else None
     return plan, deadline
+
+
+def oom_plan_for_seed(seed: int, cluster) -> FaultPlan:
+    """Deterministic memory-pressure plan: 1-2 capacity-shrink windows.
+
+    Factors below 0.5 shrink a core's store under one coupled object, so
+    puts on that node must wait the window out on backpressure; factors
+    above it leave room for the reclaim ladder to spill/evict its way
+    through. Window starts straddle the producer put phase (t=1.0).
+    """
+    rng = random.Random(f"{seed}/oom")
+    nodes = rng.sample(range(cluster.num_nodes), rng.choice((1, 2)))
+    return FaultPlan(
+        seed=seed,
+        memory_pressure=tuple(
+            MemoryPressure(
+                node=node,
+                start=round(rng.uniform(0.0, 0.9), 4),
+                duration=round(rng.uniform(0.3, 1.5), 4),
+                factor=rng.choice((0.4, 0.5, 0.6, 0.75)),
+            )
+            for node in sorted(nodes)
+        ),
+    )
+
+
+#: OOM-mode node budget: 4 cores x 2 coupled objects (4096 B each), so a
+#: primary plus one replica fill a core's store to the brim and every put
+#: runs the reclaim ladder
+OOM_MEMORY_PER_NODE = 4 * 2 * 4096
+
+#: memory counters compared across the seed-0 determinism re-run
+OOM_COUNTERS = (
+    "mem.watermark",
+    "mem.stalls",
+    "mem.gc",
+    "mem.evicted_replicas",
+    "mem.replicas_skipped",
+    "mem.spills",
+    "mem.restores",
+    "spill.bytes",
+    "workflow.memory.retries",
+    "workflow.memory.escalations",
+)
+
+
+def run_oom_seed(seed: int, replication: int, tracer=None, registry=None):
+    scenario = soak_scenario()
+    plan = oom_plan_for_seed(seed, scenario.cluster)
+    result = run_scenario(
+        scenario,
+        fault_plan=plan,
+        tracer=tracer,
+        registry=registry,
+        resilience=ResilienceConfig(replication=replication),
+        producer_compute=PRODUCER_COMPUTE,
+        consumer_compute=CONSUMER_COMPUTE,
+        enforce_memory=True,
+        memory_per_node=OOM_MEMORY_PER_NODE,
+    )
+    return plan, result
+
+
+def oom_counter_snapshot(result) -> dict[str, int]:
+    reg = result.registry
+    return {
+        name: int(reg[name].total())
+        for name in OOM_COUNTERS
+        if name in reg
+    }
+
+
+def verify_oom(seed: int, plan: FaultPlan, result) -> list[str]:
+    problems = []
+    for app_id in result.consumer_ids:
+        if not result.schedules.get(app_id):
+            problems.append(f"consumer {app_id} has no schedules")
+    space = result.space
+    # Durability under pressure: eviction and spill must never drop the
+    # last copy of an acknowledged object (spilled copies count as alive).
+    lost = space.lost_objects()
+    if lost:
+        problems.append(f"acknowledged objects lost every copy: {lost}")
+    # Backpressure must always resolve within its retry budget in this
+    # configuration — an escalation here means the ladder wedged.
+    reg = result.registry
+    if "workflow.memory.escalations" in reg:
+        n = int(reg["workflow.memory.escalations"].total())
+        if n:
+            problems.append(f"{n} backpressure escalation(s) to data loss")
+    # Spill/restore round-trips the bytes intact: every resident primary
+    # still verifies its content checksum.
+    for var, version, owner in space._produced_by:
+        store = space._stores.get(owner)
+        obj = store.get(var, version, of=owner) if store is not None else None
+        if obj is not None and not obj.verify_checksum():
+            problems.append(
+                f"primary copy of {(var, version, owner)} corrupt after "
+                f"spill/restore"
+            )
+    return problems
 
 
 #: gray-mode knobs (all armed so every subsystem soaks together)
@@ -433,15 +550,21 @@ def main(argv: "list[str] | None" = None) -> int:
     ap.add_argument("--partition", action="store_true",
                     help="soak network partitions (two-island cuts with "
                          "quorum writes/reads) instead of crash-stop faults")
+    ap.add_argument("--oom", action="store_true",
+                    help="soak memory pressure (capacity-shrink windows "
+                         "over a ~2-objects-per-core budget) instead of "
+                         "crash-stop faults")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args(argv)
 
-    if args.gray and args.partition:
-        ap.error("--gray and --partition are mutually exclusive")
+    if sum((args.gray, args.partition, args.oom)) > 1:
+        ap.error("--gray, --partition, and --oom are mutually exclusive")
     if args.gray:
         return _gray_main(args)
     if args.partition:
         return _partition_main(args)
+    if args.oom:
+        return _oom_main(args)
 
     failures = 0
     totals = {"failover_reads": 0, "rereplication_copies": 0,
@@ -563,6 +686,74 @@ def _partition_main(args: argparse.Namespace) -> int:
     if failures:
         print(f"partition soak FAILED: {failures} seed(s) violated "
               f"invariants")
+        return 1
+    return 0
+
+
+def _oom_main(args: argparse.Namespace) -> int:
+    failures = 0
+    totals: dict[str, int] = {}
+    for seed in range(args.seeds):
+        tracer = registry = None
+        if seed == 0:
+            tracer, registry = Tracer(), MetricsRegistry()
+        try:
+            plan, result = run_oom_seed(
+                seed, args.replication, tracer, registry
+            )
+        except Exception as exc:  # noqa: BLE001 — any failure fails the seed
+            print(f"seed {seed}: FAILED PUT/GET / run error: {exc}")
+            failures += 1
+            continue
+        problems = verify_oom(seed, plan, result)
+        snap = oom_counter_snapshot(result)
+        for key, val in snap.items():
+            totals[key] = totals.get(key, 0) + val
+        if problems:
+            failures += 1
+            windows = ", ".join(
+                f"node {w.node} x{w.factor} @ {w.start}"
+                for w in plan.memory_pressure
+            )
+            print(f"seed {seed} ({windows}): " + "; ".join(problems))
+        elif args.verbose:
+            print(f"seed {seed}: ok ({snap})")
+        if seed == 0:
+            # Determinism: the same seed re-run must reproduce every memory
+            # counter exactly (stalls, evictions, spills, restores, ...).
+            _, again = run_oom_seed(seed, args.replication)
+            snap2 = oom_counter_snapshot(again)
+            if snap != snap2:
+                failures += 1
+                print(f"seed 0: NON-DETERMINISTIC memory counters:\n"
+                      f"  first:  {snap}\n  second: {snap2}")
+            with tempfile.TemporaryDirectory() as tmp:
+                tpath = os.path.join(tmp, "trace.json")
+                mpath = os.path.join(tmp, "metrics.json")
+                tracer.write_chrome(tpath)
+                registry.write_json(mpath)
+                try:
+                    nevents = check_trace(tpath)
+                    ncells = check_metrics(mpath)
+                except Exception as exc:  # noqa: BLE001
+                    print(f"seed 0: trace/metrics validation failed: {exc}")
+                    failures += 1
+                else:
+                    print(f"seed 0: deterministic, trace balanced "
+                          f"({nevents} events), metrics well-formed "
+                          f"({ncells} cells)")
+
+    print(f"\noom soak: {args.seeds - failures}/{args.seeds} seeds clean; "
+          f"{totals.get('mem.watermark', 0)} watermark hits, "
+          f"{totals.get('mem.stalls', 0)} stalls, "
+          f"{totals.get('workflow.memory.retries', 0)} backpressure "
+          f"retries, "
+          f"{totals.get('mem.gc', 0)} GCs, "
+          f"{totals.get('mem.evicted_replicas', 0)} replicas evicted, "
+          f"{totals.get('mem.spills', 0)}/{totals.get('mem.restores', 0)} "
+          f"spills/restores")
+    if failures:
+        print(f"oom soak FAILED: {failures} seed(s) violated invariants")
         return 1
     return 0
 

@@ -27,6 +27,13 @@ KNOWN_PHASES = {"B", "E", "i", "b", "e", "s", "f", "C"}
 #: record kinds a --timeline-out file may contain
 TIMELINE_KINDS = {"header", "sample", "links"}
 
+#: kind prefixes a --provenance-out ledger may contain ("mem." covers the
+#: memory-pressure ladder: mem.stall/gc/evict_replica/spill/restore)
+PROVENANCE_KIND_PREFIXES = (
+    "workflow.", "bundle.", "object.", "fault.", "detector.",
+    "recovery.", "jaguar.", "mem.",
+)
+
 #: float-comparison slack for [0, 1] bounds
 _EPS = 1e-9
 
@@ -313,6 +320,9 @@ def check_provenance(path: str) -> int:
             kind = rec.get("kind")
             if not isinstance(kind, str) or not kind:
                 fail(f"{where}: record needs a non-empty 'kind'")
+            if not kind.startswith(PROVENANCE_KIND_PREFIXES):
+                fail(f"{where}: unknown provenance kind {kind!r} (expected "
+                     f"a {'/'.join(PROVENANCE_KIND_PREFIXES)} prefix)")
             t = rec.get("t")
             if not _number(t):
                 fail(f"{where}: record needs a numeric 't'")

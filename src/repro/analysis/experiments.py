@@ -120,6 +120,10 @@ def run_scenario(
     timeline: "TimelineCollector | None" = None,
     progress: "ProgressReporter | None" = None,
     provenance: "ProvenanceLedger | None" = None,
+    enforce_memory: bool = False,
+    memory_per_node: "int | None" = None,
+    high_watermark: "float | None" = None,
+    spill_capacity: "int | None" = None,
 ) -> ScenarioResult:
     """Execute one scenario under the named mapping strategy.
 
@@ -166,6 +170,14 @@ def run_scenario(
     cause-linked records on the sim clock, queryable with ``repro-insitu
     explain``. ``None`` (the default) leaves the shared no-op ledger in
     place and the run byte-identical.
+
+    ``enforce_memory`` makes per-core store capacity a real constraint:
+    puts admit against a ``high_watermark`` fraction (default 0.8) of the
+    node's memory (override with ``memory_per_node``), a reclaim ladder
+    (GC, replica eviction, spill to a per-node deep-memory tier of
+    ``spill_capacity`` bytes) runs before any put blocks, and producers
+    that still cannot be admitted back off on the sim clock. Off by
+    default, which keeps every path byte-identical to the unenforced run.
     """
     cluster = scenario.cluster
     injector: FaultInjector | None = None
@@ -196,6 +208,10 @@ def run_scenario(
         cluster,
         scenario.domain,
         dart=HybridDART(cluster, metrics=metrics, injector=injector, tracer=tracer),
+        enforce_memory=enforce_memory,
+        memory_per_node=memory_per_node,
+        high_watermark=high_watermark,
+        spill_capacity=spill_capacity,
         hedge_factor=hedge_factor,
         replication=resilience.replication if resilience is not None else 1,
         write_quorum=write_quorum,
@@ -269,6 +285,14 @@ def run_scenario(
             # stores and fails the node's DHT core over to its successor.
             injector.add_node_crash_listener(lambda node: space.on_node_crash(node))
             injector.add_dht_failure_listener(lambda core: space.fail_dht_core(core))
+    if enforce_memory:
+        # The scenario DAG's reader count feeds the GC rung, the spill
+        # probe stretches apps over their deep-memory traffic, and any
+        # MemoryPressure windows in the plan shrink node capacity live.
+        space.consumer_counts[scenario.producer.var] = len(scenario.consumers)
+        engine.spill_probe = space.drain_spill_seconds
+        if injector is not None:
+            space.arm_memory_pressure(injector)
     engine.set_routine(scenario.producer.app_id, producer_routine)
     for routine in consumer_routines:
         engine.set_routine(routine.spec.app_id, routine)

@@ -22,6 +22,7 @@ from repro.faults.plan import (
     DataCorruption,
     DuplicateDelivery,
     FaultPlan,
+    MemoryPressure,
     NetworkPartition,
     SlowNode,
 )
@@ -160,6 +161,59 @@ def _partition_spec(text: str) -> NetworkPartition:
         )
     except FaultPlanError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _memory_pressure_spec(text: str) -> MemoryPressure:
+    """``NODE@START:DUR[:FACTOR]`` — shrink NODE's memory to FACTOR
+    (default 0.5) of capacity between START and START+DUR."""
+    head, sep, tail = text.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE@START:DUR[:FACTOR], got {text!r}"
+        )
+    try:
+        node = int(head)
+        window = tail.split(":")
+        if len(window) not in (2, 3):
+            raise ValueError
+        start = float(window[0])
+        duration = float(window[1])
+        factor = float(window[2]) if len(window) == 3 else 0.5
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE@START:DUR[:FACTOR] with numeric fields, "
+            f"got {text!r}"
+        )
+    try:
+        return MemoryPressure(
+            node=node, start=start, duration=duration, factor=factor
+        )
+    except FaultPlanError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _positive_bytes(text: str) -> int:
+    try:
+        n = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected bytes, got {text!r}")
+    if n <= 0:
+        raise argparse.ArgumentTypeError(
+            f"byte count must be positive, got {text}"
+        )
+    return n
+
+
+def _watermark(text: str) -> float:
+    try:
+        w = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a fraction, got {text!r}")
+    if not 0.0 < w <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"high watermark must be in (0, 1], got {text}"
+        )
+    return w
 
 
 def _quorum(text: str) -> int:
@@ -326,6 +380,39 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default: wait until it heals)",
         )
         p.add_argument(
+            "--enforce-memory", action="store_true",
+            help="treat per-core store capacity as a hard budget: puts over "
+                 "the high watermark run the reclaim ladder (GC, replica "
+                 "eviction, spill to deep memory) and block on backpressure "
+                 "instead of crashing",
+        )
+        p.add_argument(
+            "--memory-per-node", type=_positive_bytes, default=None,
+            metavar="BYTES",
+            help="override each node's memory budget in bytes (default: "
+                 "the machine spec's per-node memory; needs "
+                 "--enforce-memory)",
+        )
+        p.add_argument(
+            "--high-watermark", type=_watermark, default=None, metavar="F",
+            help="store fill fraction that triggers reclamation "
+                 "(0 < F <= 1, default 0.8; needs --enforce-memory)",
+        )
+        p.add_argument(
+            "--spill-capacity", type=_positive_bytes, default=None,
+            metavar="BYTES",
+            help="per-node deep-memory spill tier size in bytes "
+                 "(default: unbounded; needs --enforce-memory)",
+        )
+        p.add_argument(
+            "--memory-pressure", action="append",
+            type=_memory_pressure_spec, default=None,
+            metavar="NODE@START:DUR[:FACTOR]",
+            help="fault: shrink node NODE's usable memory to FACTOR "
+                 "(default 0.5) of capacity from START for DUR simulated "
+                 "seconds (repeatable; needs --enforce-memory)",
+        )
+        p.add_argument(
             "--provenance-out", metavar="PATH", default=None,
             type=_writable_path,
             help="record every scheduling and recovery decision as a "
@@ -483,8 +570,9 @@ def _load_fault_plan(args: argparse.Namespace) -> "FaultPlan | None":
     corruption = getattr(args, "corruption", None)
     duplication = getattr(args, "duplication", None)
     partitions = tuple(getattr(args, "partition", None) or ())
+    pressure = tuple(getattr(args, "memory_pressure", None) or ())
     if (not slow and corruption is None and duplication is None
-            and not partitions):
+            and not partitions and not pressure):
         return plan
     if plan is None:
         plan = FaultPlan()
@@ -502,6 +590,7 @@ def _load_fault_plan(args: argparse.Namespace) -> "FaultPlan | None":
             if duplication else ()
         ),
         partitions=plan.partitions + partitions,
+        memory_pressure=plan.memory_pressure + pressure,
     )
 
 
@@ -610,6 +699,35 @@ def _print_partition_summary(result) -> None:
           f"{count('partition.reconciled')} stale copies reconciled, "
           f"{count('partition.deferred_registrations')} deferred "
           f"registrations replayed")
+
+
+def _print_memory_summary(result) -> None:
+    """Memory-pressure counters for runs with --enforce-memory."""
+    reg = result.registry
+    space = result.space
+    if reg is None or space is None:
+        return
+    if not getattr(space, "enforce_memory", False):
+        return
+
+    def count(name: str) -> int:
+        # Read-only: never registers absent (lazy) memory instruments.
+        return int(reg[name].total()) if name in reg else 0
+
+    print()
+    print("memory pressure: "
+          f"watermark hits={count('mem.watermark')}, "
+          f"stalls={count('mem.stalls')}, "
+          f"backpressure retries={count('workflow.memory.retries')}, "
+          f"escalations={count('workflow.memory.escalations')}")
+    print(f"reclaim ladder: gc={count('mem.gc')}, "
+          f"replicas evicted={count('mem.evicted_replicas')}, "
+          f"replicas skipped={count('mem.replicas_skipped')}, "
+          f"spills={count('mem.spills')}, "
+          f"restores={count('mem.restores')}")
+    spill_bytes = count("spill.bytes")
+    print(f"spill tier: {spill_bytes} bytes moved, "
+          f"{space.spilled_bytes()} bytes resident at exit")
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -762,6 +880,10 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
         timeline=timeline,
         progress=_make_progress(args),
         provenance=ledger,
+        enforce_memory=args.enforce_memory,
+        memory_per_node=args.memory_per_node,
+        high_watermark=args.high_watermark,
+        spill_capacity=args.spill_capacity,
     )
     m = result.metrics
     rows = []
@@ -786,6 +908,7 @@ def _run_one(args: argparse.Namespace, scenario_name: str) -> int:
     _print_fault_summary(result)
     _print_gray_summary(result)
     _print_partition_summary(result)
+    _print_memory_summary(result)
     _print_resilience_summary(result)
     _print_provenance_summary(result)
     _write_obs(args, result, tracer, timeline, ledger)
@@ -824,6 +947,10 @@ def _run_compare(args: argparse.Namespace) -> int:
             timeline=timeline,
             progress=_make_progress(args),
             provenance=ledger,
+            enforce_memory=args.enforce_memory,
+            memory_per_node=args.memory_per_node,
+            high_watermark=args.high_watermark,
+            spill_capacity=args.spill_capacity,
         )
         last_result = result
         last_tracer = tracer
@@ -848,6 +975,7 @@ def _run_compare(args: argparse.Namespace) -> int:
         _print_fault_summary(last_result)
         _print_gray_summary(last_result)
         _print_partition_summary(last_result)
+        _print_memory_summary(last_result)
         _print_resilience_summary(last_result)
         _print_provenance_summary(last_result)
         _write_obs(args, last_result, last_tracer, last_timeline, last_ledger)
@@ -1107,6 +1235,15 @@ def main(argv: "list[str] | None" = None) -> int:
                 f"{getattr(args, 'replication', 1)}: a quorum cannot "
                 f"outnumber the copies"
             )
+    if not getattr(args, "enforce_memory", False):
+        for flag, name in (("memory_per_node", "--memory-per-node"),
+                           ("high_watermark", "--high-watermark"),
+                           ("spill_capacity", "--spill-capacity"),
+                           ("memory_pressure", "--memory-pressure")):
+            if getattr(args, flag, None) is not None:
+                parser.error(
+                    f"{name} has no effect without --enforce-memory"
+                )
     if args.command in ("concurrent", "sequential"):
         return _run_one(args, args.command)
     if args.command == "compare":

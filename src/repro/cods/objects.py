@@ -237,8 +237,11 @@ class ObjectStore:
             and self._bytes + obj.nbytes > self.capacity_bytes
         ):
             raise SpaceError(
-                f"core {self.core} store over capacity: "
-                f"{self._bytes + obj.nbytes} > {self.capacity_bytes} bytes"
+                f"core {self.core} store over hard capacity storing "
+                f"{obj.var!r} v{obj.version}: the admission-controlled put "
+                "path (high-watermark check plus the GC/evict/spill reclaim "
+                "ladder) should have made space or raised "
+                "MemoryPressureError before this backstop"
             )
         self._objects[key] = obj
         self._bytes += obj.nbytes

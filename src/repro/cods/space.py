@@ -38,12 +38,14 @@ from repro.cods.schedule import (
     compute_schedule,
     producer_schedule,
 )
+from repro.cods.spill import SpillTier
 from repro.domain.box import Box
 from repro.domain.intervals import IntervalSet
 from repro.errors import (
     CheckpointError,
     DataIntegrityError,
     DataLostError,
+    MemoryPressureError,
     NetworkPartitionError,
     QuorumError,
     SpaceError,
@@ -71,6 +73,9 @@ class CoDS:
         use_schedule_cache: bool = True,
         use_bundle_cache: bool = False,
         enforce_memory: bool = False,
+        memory_per_node: "int | None" = None,
+        high_watermark: "float | None" = None,
+        spill_capacity: "int | None" = None,
         replication: int = 1,
         placer: "object | None" = None,
         hedge_factor: "float | None" = None,
@@ -106,11 +111,57 @@ class CoDS:
             if use_bundle_cache
             else None
         )
-        per_core_capacity = (
-            cluster.machine.node.memory_bytes // cluster.cores_per_node
-            if enforce_memory
-            else None
+        # -- memory enforcement (inert when off: no watermark, no tiers) --
+        self.enforce_memory = enforce_memory
+        if memory_per_node is not None and memory_per_node <= 0:
+            raise SpaceError(
+                f"memory per node must be positive, got {memory_per_node}"
+            )
+        if high_watermark is not None and not 0.0 < high_watermark <= 1.0:
+            raise SpaceError(
+                f"high watermark must be in (0, 1], got {high_watermark}"
+            )
+        if spill_capacity is not None and spill_capacity < 0:
+            raise SpaceError(
+                f"spill capacity must be non-negative, got {spill_capacity}"
+            )
+        node_memory = (
+            memory_per_node
+            if memory_per_node is not None
+            else cluster.machine.node.memory_bytes
         )
+        per_core_capacity = (
+            node_memory // cluster.cores_per_node if enforce_memory else None
+        )
+        #: puts admit against this fraction of (pressure-adjusted) capacity;
+        #: crossing it runs the reclaim ladder before the put lands
+        self.high_watermark = 0.8 if high_watermark is None else high_watermark
+        #: per-node deep-memory spill tiers (empty dict when enforcement off)
+        self._spill: dict[int, SpillTier] = (
+            {n: SpillTier(n, spill_capacity) for n in cluster.nodes()}
+            if enforce_memory
+            else {}
+        )
+        #: node -> usable-capacity fraction under active MemoryPressure
+        #: windows (absent = 1.0, the clean default)
+        self._capacity_factor: dict[int, float] = {}
+        #: (var, primary core) -> app ids that read the core's share; feeds
+        #: the GC rung once every expected consumer has read
+        self._consumed: dict[tuple[str, int], set[int]] = {}
+        #: var -> expected reader count (set by the experiment driver from
+        #: the scenario DAG; unknown vars never GC — the safe default)
+        self.consumer_counts: dict[str, int] = {}
+        # spill.bytes{direction} labeled counter, created on first spill
+        self._m_spill_bytes = None
+        #: logical (var, version, primary core) currently parked in a spill
+        #: tier — the restore path's bookkeeping (a key whose tier copy is
+        #: gone surfaces as SpillError at restore time)
+        self._spilled: set[tuple[str, int, int]] = set()
+        # deep-memory seconds accrued since the last drain (the engine
+        # drains per app routine and stretches the app over them, so spill
+        # traffic shows up in the makespan under its own categories)
+        self._pending_spill_write = 0.0
+        self._pending_spill_read = 0.0
         self._stores: dict[int, ObjectStore] = {
             core: ObjectStore(core, per_core_capacity) for core in cluster.cores()
         }
@@ -184,6 +235,18 @@ class CoDS:
     # Partition/quorum counters share the lazy-creation discipline: a run
     # with no declared partitions registers no partition.* or quorum.* cell.
     _partition_count = _gray_count
+    # So do the memory-pressure counters: enforcement-off runs register not
+    # a single mem.* or spill.* cell (the perf guard pins it).
+    _mem_count = _gray_count
+
+    def _spill_bytes_count(self, direction: str, nbytes: int) -> None:
+        """Bump the lazily created ``spill.bytes{direction}`` counter."""
+        c = self._m_spill_bytes
+        if c is None:
+            c = self._m_spill_bytes = self.dart.registry.counter(
+                "spill.bytes", labelnames=("direction",)
+            )
+        c.inc(nbytes, direction=direction)
 
     def _partitions_armed(self) -> bool:
         injector = self.dart.injector
@@ -247,6 +310,13 @@ class CoDS:
         re-fetch from surviving replicas (see :meth:`_pull`). The plain
         fast paths below stay byte-identical for clean runs.
         """
+        if self.enforce_memory:
+            self._restore_for_schedule(schedule)
+            if app_id >= 0 and schedule.var in self.consumer_counts:
+                for p in schedule.plans:
+                    self._consumed.setdefault(
+                        (schedule.var, p.src_core), set()
+                    ).add(app_id)
         injector = self.dart.injector
         if injector is not None and injector.plan.has_gray_faults:
             return [self._pull(p, app_id) for p in schedule.plans]
@@ -455,6 +525,327 @@ class CoDS:
             src = nxt
         return rec
 
+    # -- memory pressure: admission, reclaim ladder, spill tier ----------------------
+
+    def _effective_capacity(self, core: int) -> int:
+        """Usable bytes of ``core``'s store under active pressure windows."""
+        cap = self._stores[core].capacity_bytes
+        factor = self._capacity_factor.get(
+            self.cluster.node_of_core(core), 1.0
+        )
+        return int(cap * factor)
+
+    def _admit(self, store: ObjectStore, obj: DataObject) -> None:
+        """Admission-controlled insert: the high-watermark check plus the
+        reclaim ladder, raising :class:`MemoryPressureError` (a deferral,
+        not a loss) when the ladder cannot make enough room."""
+        core = store.core
+        cap = self._effective_capacity(core)
+        limit = int(cap * self.high_watermark)
+        if store.used_bytes + obj.nbytes > limit:
+            self._mem_count("mem.watermark")
+            self._reclaim(
+                core,
+                store.used_bytes + obj.nbytes - limit,
+                exclude={(obj.var, obj.version, core)},
+            )
+            if store.used_bytes + obj.nbytes > cap:
+                self._mem_count("mem.stalls")
+                injector = self.dart.injector
+                if injector is not None:
+                    injector.record(
+                        "memory_stall",
+                        f"{obj.var} v{obj.version} core={core} "
+                        f"used={store.used_bytes} need={obj.nbytes} "
+                        f"usable={cap}",
+                    )
+                if self.provenance.enabled:
+                    self.provenance.record(
+                        "mem.stall", var=obj.var, version=obj.version,
+                        core=core, need=obj.nbytes,
+                        used=store.used_bytes, usable=cap,
+                    )
+                raise MemoryPressureError(
+                    f"put of {obj.var!r} v{obj.version} on core {core} not "
+                    f"admitted: {store.used_bytes}+{obj.nbytes} bytes exceeds "
+                    f"the {cap}-byte usable capacity (high watermark "
+                    f"{self.high_watermark:g}) and the reclaim ladder "
+                    f"(GC, replica eviction, spill) could not make room; "
+                    f"the put is deferred until consumers free space"
+                )
+        store.insert(obj)
+
+    def _admit_replica(self, core: int, rep: DataObject) -> bool:
+        """Best-effort admission for a replica copy.
+
+        Replicas are the first thing the reclaim ladder throws away, so
+        writing one never spills a primary and never blocks the workflow:
+        if GC and replica eviction cannot make room on the target core the
+        copy is simply *skipped* (heal-time reconciliation tops it back up
+        once consumers free space). Returns whether the copy fits.
+        """
+        store = self._stores[core]
+        cap = self._effective_capacity(core)
+        if store.used_bytes + rep.nbytes > cap:
+            self._reclaim(
+                core,
+                store.used_bytes + rep.nbytes - cap,
+                exclude={(rep.var, rep.version, rep.logical_owner)},
+                spill=False,
+            )
+        if store.used_bytes + rep.nbytes > cap:
+            self._mem_count("mem.replicas_skipped")
+            return False
+        return True
+
+    def _reclaim(
+        self,
+        core: int,
+        need: int,
+        exclude: "set | frozenset" = frozenset(),
+        spill: bool = True,
+    ) -> int:
+        """Run the reclamation ladder on ``core``'s store.
+
+        Rungs, cheapest first: (1) garbage-collect primaries every expected
+        consumer has read, (2) evict replica copies whose logical object
+        keeps at least ``write_quorum`` (or one) other copies, (3) spill
+        cold primaries — lowest version first — to the node's deep-memory
+        tier. Stops as soon as ``need`` bytes are freed; ``exclude`` names
+        logical keys the ladder must not touch (the object being admitted
+        or restored); ``spill=False`` stops after rung 2 (replica writes
+        never displace a primary). Returns the bytes actually freed.
+        """
+        store = self._stores[core]
+        freed = 0
+        # Rung 1: GC fully-consumed primaries.
+        if self.consumer_counts:
+            for obj in sorted(
+                (o for o in store.objects() if not o.is_replica),
+                key=lambda o: o.key(),
+            ):
+                if freed >= need:
+                    break
+                if (obj.var, obj.version, core) in exclude:
+                    continue
+                want = self.consumer_counts.get(obj.var)
+                readers = self._consumed.get((obj.var, core))
+                if want is None or readers is None or len(readers) < want:
+                    continue
+                store.evict(obj.var, obj.version)
+                self.dht.unregister(obj.var, obj.version, core)
+                self._drop_replicas(obj.var, obj.version, core)
+                self._produced_by.pop((obj.var, obj.version, core), None)
+                self._consumed.pop((obj.var, core), None)
+                freed += obj.nbytes
+                self._mem_count("mem.gc")
+                if self.provenance.enabled:
+                    self.provenance.record(
+                        "mem.gc",
+                        cause=self._prov_puts.get((obj.var, obj.version)),
+                        var=obj.var, version=obj.version, core=core,
+                        nbytes=obj.nbytes, readers=len(readers),
+                    )
+        if freed >= need:
+            return freed
+        # Rung 2: evict replica copies that keep their quorum intact.
+        min_copies = 1 if self.write_quorum is None else self.write_quorum
+        for obj in sorted(
+            (o for o in store.objects() if o.is_replica),
+            key=lambda o: o.key(),
+        ):
+            if freed >= need:
+                break
+            owner = obj.logical_owner
+            key = (obj.var, obj.version, owner)
+            if key in exclude:
+                continue
+            pstore = self._stores.get(owner)
+            copies = len(self._replicas.get(key, ()))
+            if pstore is not None and pstore.get(obj.var, obj.version) is not None:
+                copies += 1
+            if copies - 1 < min_copies:
+                continue
+            store.evict(obj.var, obj.version, of=owner)
+            self.dht.unregister(obj.var, obj.version, core, of=owner)
+            self._replicas[key] = tuple(
+                c for c in self._replicas.get(key, ()) if c != core
+            )
+            freed += obj.nbytes
+            self._mem_count("mem.evicted_replicas")
+            if self.provenance.enabled:
+                self.provenance.record(
+                    "mem.evict_replica",
+                    cause=self._prov_puts.get((obj.var, obj.version)),
+                    var=obj.var, version=obj.version, core=core,
+                    owner=owner, nbytes=obj.nbytes, copies_left=copies - 1,
+                )
+        if freed >= need or not spill:
+            return freed
+        # Rung 3: spill cold primaries to the node's deep-memory tier.
+        tier = self._spill[self.cluster.node_of_core(core)]
+        for obj in sorted(
+            (o for o in store.objects() if not o.is_replica),
+            key=lambda o: (o.version, o.var),
+        ):
+            if freed >= need:
+                break
+            if (obj.var, obj.version, core) in exclude:
+                continue
+            if not tier.has_room(obj.nbytes):
+                continue
+            self._spill_out(core, obj, tier)
+            freed += obj.nbytes
+        return freed
+
+    def _spill_out(self, core: int, obj: DataObject, tier: SpillTier) -> None:
+        """Park one cold primary in the deep-memory tier.
+
+        The store frees the bytes but the DHT registration and producer
+        bookkeeping stay — the object still logically exists and restores
+        on demand when a schedule routes a pull through this core.
+        """
+        tracer = self.dart.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "spill.write", var=obj.var, core=core, nbytes=obj.nbytes
+            ):
+                self.dart.transfer(
+                    src_core=core, dst_core=core, nbytes=obj.nbytes,
+                    kind=TransferKind.SPILL, var=obj.var,
+                )
+        else:
+            self.dart.transfer(
+                src_core=core, dst_core=core, nbytes=obj.nbytes,
+                kind=TransferKind.SPILL, var=obj.var,
+            )
+        self._stores[core].evict(obj.var, obj.version)
+        tier.store(obj)
+        self._spilled.add((obj.var, obj.version, core))
+        self._pending_spill_write += self.cost_model.spill_time(obj.nbytes)
+        self._mem_count("mem.spills")
+        self._spill_bytes_count("write", obj.nbytes)
+        if self.provenance.enabled:
+            self.provenance.record(
+                "mem.spill",
+                cause=self._prov_puts.get((obj.var, obj.version)),
+                var=obj.var, version=obj.version, core=core,
+                nbytes=obj.nbytes,
+            )
+
+    def _restore_for_schedule(self, schedule: CommSchedule) -> None:
+        """Read spilled sources of a schedule back before its pulls issue."""
+        if not self._spilled:
+            return
+        srcs = {p.src_core for p in schedule.plans}
+        keys = sorted(
+            k for k in self._spilled
+            if k[0] == schedule.var and k[2] in srcs
+        )
+        for var, version, owner in keys:
+            self._restore_spilled(var, version, owner)
+
+    def _restore_spilled(self, var: str, version: int, owner: int) -> None:
+        """Restore one spilled primary into its store (restore-on-demand).
+
+        Raises :class:`~repro.errors.SpillError` — riding the data-loss
+        re-enactment ladder — when the tier copy is gone, and
+        :class:`MemoryPressureError` when the store cannot take the object
+        back even after reclaiming around it.
+        """
+        tier = self._spill[self.cluster.node_of_core(owner)]
+        store = self.store_of(owner)
+        probe = tier.peek(var, version, owner)
+        if probe is not None:
+            cap = self._effective_capacity(owner)
+            if store.used_bytes + probe.nbytes > cap:
+                self._reclaim(
+                    owner,
+                    store.used_bytes + probe.nbytes - cap,
+                    exclude={(var, version, owner)},
+                )
+            if store.used_bytes + probe.nbytes > cap:
+                self._mem_count("mem.stalls")
+                raise MemoryPressureError(
+                    f"cannot restore spilled {var!r} v{version} to core "
+                    f"{owner}: its store is still over the usable capacity "
+                    f"after the reclaim ladder; the read is deferred"
+                )
+        obj = tier.take(var, version, owner)  # SpillError when the copy is gone
+        self._spilled.discard((var, version, owner))
+        tracer = self.dart.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "spill.read", var=var, core=owner, nbytes=obj.nbytes
+            ):
+                self.dart.transfer(
+                    src_core=owner, dst_core=owner, nbytes=obj.nbytes,
+                    kind=TransferKind.SPILL, var=var,
+                )
+        else:
+            self.dart.transfer(
+                src_core=owner, dst_core=owner, nbytes=obj.nbytes,
+                kind=TransferKind.SPILL, var=var,
+            )
+        store.insert(obj)
+        self._pending_spill_read += self.cost_model.spill_time(obj.nbytes)
+        self._mem_count("mem.restores")
+        self._spill_bytes_count("read", obj.nbytes)
+        if self.provenance.enabled:
+            self.provenance.record(
+                "mem.restore",
+                cause=self._prov_puts.get((var, version)),
+                var=var, version=version, core=owner, nbytes=obj.nbytes,
+            )
+
+    def arm_memory_pressure(self, injector) -> None:
+        """Subscribe this space to the plan's MemoryPressure windows.
+
+        A window opening shrinks the node's usable capacity (and proactively
+        runs the reclaim ladder on stores the shrink stranded over the
+        watermark); a window closing restores it. No-op unless enforcement
+        is on and the plan declares windows.
+        """
+        if not self.enforce_memory or not injector.plan.has_memory_pressure:
+            return
+
+        def update(window) -> None:
+            factor = injector.memory_capacity_factor(window.node)
+            if factor < 1.0:
+                self._capacity_factor[window.node] = factor
+            else:
+                self._capacity_factor.pop(window.node, None)
+
+        def shrink(window) -> None:
+            update(window)
+            for core in self.cluster.cores_of_node(window.node):
+                store = self._stores[core]
+                limit = int(
+                    self._effective_capacity(core) * self.high_watermark
+                )
+                if store.used_bytes > limit:
+                    self._mem_count("mem.watermark")
+                    self._reclaim(core, store.used_bytes - limit)
+
+        injector.add_memory_pressure_start_listener(shrink)
+        injector.add_memory_pressure_end_listener(update)
+
+    def drain_spill_seconds(self) -> tuple[float, float]:
+        """Deep-memory (write, read) seconds accrued since the last drain.
+
+        The workflow engine drains after each app routine and stretches the
+        app over the result, so spill traffic occupies real simulated time
+        under the ``spill.write``/``spill.read`` critical-path categories.
+        """
+        out = (self._pending_spill_write, self._pending_spill_read)
+        self._pending_spill_write = 0.0
+        self._pending_spill_read = 0.0
+        return out
+
+    def spilled_bytes(self) -> int:
+        """Bytes currently parked across every node's spill tier."""
+        return sum(t.used_bytes for t in self._spill.values())
+
     # -- sequential coupling ---------------------------------------------------------
 
     def put_seq(
@@ -562,7 +953,20 @@ class CoDS:
             store.evict(var, version)
             self.dht.unregister(var, version, core)
             self._drop_replicas(var, version, core)
-        store.insert(obj)
+        elif self._spilled and (var, version, core) in self._spilled:
+            # Re-put of a spilled object (re-enactment after its deep-memory
+            # copy was lost): retire the tier copy and its still-standing
+            # registration before the fresh primary takes over.
+            self._spill[self.cluster.node_of_core(core)].drop(
+                var, version, core
+            )
+            self.dht.unregister(var, version, core)
+            self._drop_replicas(var, version, core)
+            self._spilled.discard((var, version, core))
+        if self.enforce_memory:
+            self._admit(store, obj)
+        else:
+            store.insert(obj)
         self.dht.register(obj)
         self._produced_by[(var, version, core)] = app_id
         if self._dead_nodes:
@@ -649,6 +1053,9 @@ class CoDS:
         skipped = 0
         for t in targets:
             rep = _dc_replace(obj, owner_core=t, primary_core=obj.owner_core)
+            if self.enforce_memory and not self._admit_replica(t, rep):
+                skipped += 1
+                continue
             if partitions:
                 # Transfer first: an unreachable target must not leave a
                 # ghost copy in its store or the DHT tables.
@@ -1155,6 +1562,11 @@ class CoDS:
             if store is not None:
                 lost += len(store)
                 store.clear()
+        tier = self._spill.get(node)
+        if tier is not None:
+            # The deep-memory tier is node-local; it dies with the node.
+            # The _spilled keys stay so restore attempts surface the loss.
+            lost += tier.clear()
         self._withdraw_producers(crashed_cores)
         return lost
 
@@ -1248,6 +1660,8 @@ class CoDS:
             )
             for t in targets:
                 rep = _dc_replace(src, owner_core=t, primary_core=owner)
+                if self.enforce_memory and not self._admit_replica(t, rep):
+                    continue
                 if partitions:
                     # Transfer first (cf. _replicate): a target across a
                     # still-open cut is skipped, never half-written.
@@ -1438,6 +1852,11 @@ class CoDS:
         for store in self._stores.values():
             for obj in store.objects():
                 alive.add((obj.var, obj.version, obj.logical_owner))
+        for tier in self._spill.values():
+            # A spilled primary still logically exists: it restores on
+            # demand, so it is not lost.
+            for obj in tier.objects():
+                alive.add((obj.var, obj.version, obj.logical_owner))
         lost = []
         for (var, version, core), app_id in sorted(self._produced_by.items()):
             if (var, version, core) not in alive:
@@ -1454,6 +1873,12 @@ class CoDS:
         bookkeeping, and failure state. :meth:`restore_manifest` rebuilds an
         equivalent space from it without re-accounting any transfers.
         """
+        if any(len(t) for t in self._spill.values()):
+            raise CheckpointError(
+                "objects are parked in the deep-memory spill tier; "
+                "checkpointing a space mid-spill is not supported — restore "
+                "or drain the tier first"
+            )
         objects = []
         for store in self._stores.values():
             for obj in store.objects():

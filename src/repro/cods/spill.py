@@ -1,0 +1,111 @@
+"""Per-node deep-memory spill tier (the burst-buffer / NVRAM stage).
+
+Wilkins and the SENSEI heterogeneous extensions both answer in-situ memory
+limits with a staging tier below DRAM; ROADMAP item 4(c) names it for this
+framework. A :class:`SpillTier` is that tier for one node: cold primary
+objects evicted by the space's reclaim ladder park here (descriptor plus
+checksum — the full identity a restore needs) and are read back on demand
+by ``get_seq``. Spill writes and read-backs move through HybridDART as
+``SPILL`` transfers, cost-modelled at a fraction of shared-memory bandwidth
+(:data:`repro.transport.costmodel.SPILL_BANDWIDTH_FACTOR`).
+
+The tier is *node-local*: a node crash takes its spill copies down with its
+stores, and a spilled object whose deep-memory copy is lost surfaces as
+:class:`~repro.errors.SpillError` (a data-loss error) so the workflow's
+re-enactment ladder regenerates it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cods.objects import DataObject
+from repro.errors import SpaceError, SpillError
+
+__all__ = ["SpillTier"]
+
+
+class SpillTier:
+    """Deep-memory staging store of one node.
+
+    Holds spilled primary objects keyed by their logical identity
+    ``(var, version, owner core)``. Capacity is optional; the reclaim
+    ladder probes :meth:`has_room` before spilling, so an over-full tier
+    simply stops absorbing spills (backpressure handles the rest).
+    """
+
+    def __init__(self, node: int, capacity_bytes: "int | None" = None) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise SpaceError(
+                f"spill capacity must be non-negative, got {capacity_bytes}"
+            )
+        self.node = node
+        self.capacity_bytes = capacity_bytes
+        self._objects: dict[tuple[str, int, int], DataObject] = {}
+        self._bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def has_room(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` more fit (always true without a capacity)."""
+        if self.capacity_bytes is None:
+            return True
+        return self._bytes + nbytes <= self.capacity_bytes
+
+    def store(self, obj: DataObject) -> None:
+        """Park one spilled primary (checksum travels with the object)."""
+        key = (obj.var, obj.version, obj.logical_owner)
+        if key in self._objects:
+            raise SpaceError(
+                f"duplicate spill of {key} on node {self.node}"
+            )
+        if not self.has_room(obj.nbytes):
+            raise SpaceError(
+                f"spill tier of node {self.node} cannot absorb "
+                f"{obj.nbytes} more bytes"
+            )
+        self._objects[key] = obj
+        self._bytes += obj.nbytes
+
+    def holds(self, var: str, version: int, owner: int) -> bool:
+        return (var, version, owner) in self._objects
+
+    def peek(self, var: str, version: int, owner: int) -> "DataObject | None":
+        return self._objects.get((var, version, owner))
+
+    def take(self, var: str, version: int, owner: int) -> DataObject:
+        """Remove and return one spilled object (restore read-back).
+
+        Raises :class:`SpillError` — a data-loss error riding the
+        re-enactment ladder — when the copy is gone.
+        """
+        obj = self._objects.pop((var, version, owner), None)
+        if obj is None:
+            raise SpillError(
+                f"spill copy of {var!r} v{version} (owner core {owner}) is "
+                f"gone from node {self.node}'s deep-memory tier"
+            )
+        self._bytes -= obj.nbytes
+        return obj
+
+    def drop(self, var: str, version: int, owner: int) -> "DataObject | None":
+        """Silently discard one spill copy (fault injection, retirement)."""
+        obj = self._objects.pop((var, version, owner), None)
+        if obj is not None:
+            self._bytes -= obj.nbytes
+        return obj
+
+    def objects(self) -> Iterator[DataObject]:
+        return iter(self._objects.values())
+
+    def clear(self) -> int:
+        """Drop everything (node crash); returns the object count lost."""
+        lost = len(self._objects)
+        self._objects.clear()
+        self._bytes = 0
+        return lost

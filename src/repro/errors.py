@@ -29,6 +29,8 @@ __all__ = [
     "ResilienceError",
     "DataLostError",
     "DataIntegrityError",
+    "MemoryPressureError",
+    "SpillError",
     "QuorumError",
     "StaleWriteError",
     "CheckpointError",
@@ -125,6 +127,27 @@ class DataIntegrityError(DataLostError):
 
     Subclasses :class:`DataLostError` so the workflow's data-loss recovery
     ladder (re-enact the producing bundle) applies unchanged."""
+
+
+class MemoryPressureError(SpaceError):
+    """A put could not be admitted: the target store is over its high
+    watermark and the reclaim ladder (GC, replica eviction, spill) could
+    not make enough space.
+
+    Like :class:`QuorumError` this is NOT a data-loss error: the producer
+    still holds the data and the put is simply *deferred* — the workflow
+    engine backs the bundle off on the sim clock (a ``mem.wait`` stall)
+    and retries once consumers free space, escalating through the
+    data-loss rung only after its retry budget runs out."""
+
+
+class SpillError(DataLostError):
+    """A spilled object's deep-memory copy is gone (unrecoverable read-back).
+
+    Raised when restore-on-demand finds the spill tier no longer holds a
+    primary that was spilled out of its store. Subclasses
+    :class:`DataLostError` so the workflow's data-loss recovery ladder
+    (re-enact the producing bundle) applies unchanged."""
 
 
 class QuorumError(SpaceError):

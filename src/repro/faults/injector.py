@@ -23,6 +23,7 @@ from repro.errors import FaultError
 from repro.faults.plan import (
     DHTCoreFailure,
     FaultPlan,
+    MemoryPressure,
     NetworkPartition,
     NodeCrash,
 )
@@ -76,6 +77,12 @@ class FaultInjector:
         ] = []
         self._partition_heal_listeners: list[
             Callable[[NetworkPartition], None]
+        ] = []
+        self._memory_pressure_start_listeners: list[
+            Callable[[MemoryPressure], None]
+        ] = []
+        self._memory_pressure_end_listeners: list[
+            Callable[[MemoryPressure], None]
         ] = []
         #: torus topology for resolving link-group cuts (set lazily by the
         #: experiment driver; group cuts never need it)
@@ -142,6 +149,18 @@ class FaultInjector:
         """``fn(partition)`` runs when a cut window heals (each flap)."""
         self._partition_heal_listeners.append(fn)
 
+    def add_memory_pressure_start_listener(
+        self, fn: Callable[[MemoryPressure], None]
+    ) -> None:
+        """``fn(window)`` runs when a capacity-shrink window opens."""
+        self._memory_pressure_start_listeners.append(fn)
+
+    def add_memory_pressure_end_listener(
+        self, fn: Callable[[MemoryPressure], None]
+    ) -> None:
+        """``fn(window)`` runs when a capacity-shrink window releases."""
+        self._memory_pressure_end_listeners.append(fn)
+
     # -- arming on the event clock ---------------------------------------------
 
     @property
@@ -204,6 +223,36 @@ class FaultInjector:
                     sim.schedule_at(
                         up, self._fire_partition_heal, part, down, up
                     )
+        # Memory-pressure windows follow the same edge discipline: one
+        # start/end pair per window, fired as real sim events so the space's
+        # capacity shrink (and proactive reclaim) lands in causal order.
+        for window in self.plan.memory_pressure:
+            if window.start >= sim.now:
+                sim.schedule_at(
+                    window.start, self._fire_memory_pressure_start, window
+                )
+            if window.end >= sim.now:
+                sim.schedule_at(
+                    window.end, self._fire_memory_pressure_end, window
+                )
+
+    def _fire_memory_pressure_start(self, window: MemoryPressure) -> None:
+        self.record(
+            "memory_pressure_start",
+            f"node={window.node} factor={window.factor:g} "
+            f"window=[{window.start:g},{window.end:g})",
+        )
+        for fn in self._memory_pressure_start_listeners:
+            fn(window)
+
+    def _fire_memory_pressure_end(self, window: MemoryPressure) -> None:
+        self.record(
+            "memory_pressure_end",
+            f"node={window.node} factor={window.factor:g} "
+            f"window=[{window.start:g},{window.end:g})",
+        )
+        for fn in self._memory_pressure_end_listeners:
+            fn(window)
 
     def _fire_partition_start(self, part: NetworkPartition,
                               down: float, up: float) -> None:
@@ -334,6 +383,16 @@ class FaultInjector:
         if not self.plan.slow_nodes:
             return 1.0
         return self.plan.slowdown(node, self.now if time is None else time)
+
+    def memory_capacity_factor(
+        self, node: int, time: "float | None" = None
+    ) -> float:
+        """Usable store-capacity fraction of ``node`` at ``time`` (1.0 clean)."""
+        if not self.plan.memory_pressure:
+            return 1.0
+        return self.plan.capacity_factor(
+            node, self.now if time is None else time
+        )
 
     def slowed_finish(self, nodes, start: float, work: float) -> float:
         """Finish time of ``work`` nominal seconds started at ``start``.

@@ -32,6 +32,10 @@ faithful in-situ model must include degraded resources):
   unreachable islands (node groups or torus link groups) over a start/heal
   window, optionally flapping; every node stays alive, only reachability
   is cut.
+* :class:`MemoryPressure` — a node's usable object-store memory shrinks to
+  ``factor`` of nominal over a time window (a co-located tenant or OS
+  balloon grabbing pages), forcing the space's reclaim ladder (GC, replica
+  eviction, spill to the deep-memory tier) and ``mem.wait`` backpressure.
 
 Everything is deterministic from ``seed``: replaying the same plan against
 the same scenario yields byte-identical metrics and identical event traces.
@@ -53,6 +57,7 @@ __all__ = [
     "DataCorruption",
     "DuplicateDelivery",
     "NetworkPartition",
+    "MemoryPressure",
     "FaultPlan",
 ]
 
@@ -334,6 +339,48 @@ class NetworkPartition:
 
 
 @dataclass(frozen=True)
+class MemoryPressure:
+    """Node ``node``'s usable store memory shrinks during a time window.
+
+    While ``[start, start + duration)`` is active, the per-core object
+    stores of the node admit puts against ``factor`` times their nominal
+    capacity (a co-located tenant, OS balloon, or burst of kernel pages
+    eating into the in-situ budget). Shrinking below current residency
+    triggers the space's reclaim ladder proactively; producers that still
+    cannot fit block on the sim clock (``mem.wait`` backpressure) instead
+    of crashing.
+    """
+
+    node: int
+    start: float
+    duration: float
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultPlanError(f"node must be non-negative, got {self.node}")
+        if self.start < 0:
+            raise FaultPlanError(
+                f"pressure start must be non-negative, got {self.start}"
+            )
+        if self.duration <= 0:
+            raise FaultPlanError(
+                f"pressure duration must be positive, got {self.duration}"
+            )
+        if not 0.0 < self.factor < 1.0:
+            raise FaultPlanError(
+                f"pressure factor must be in (0, 1), got {self.factor}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seed-deterministic failure scenario."""
 
@@ -345,6 +392,7 @@ class FaultPlan:
     corruptions: tuple[DataCorruption, ...] = ()
     duplications: tuple[DuplicateDelivery, ...] = ()
     partitions: tuple[NetworkPartition, ...] = ()
+    memory_pressure: tuple[MemoryPressure, ...] = ()
     #: per-attempt probability any network transfer is dropped outright
     drop_probability: float = 0.0
     #: per-attempt probability a delivered transfer arrives corrupted
@@ -376,7 +424,7 @@ class FaultPlan:
         # Normalize list inputs to tuples so plans stay hashable/immutable.
         for name in ("node_crashes", "dht_failures", "link_degradations",
                      "slow_nodes", "corruptions", "duplications",
-                     "partitions"):
+                     "partitions", "memory_pressure"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     @property
@@ -390,6 +438,7 @@ class FaultPlan:
             and not self.corruptions
             and not self.duplications
             and not self.partitions
+            and not self.memory_pressure
             and self.drop_probability == 0.0
             and self.corrupt_probability == 0.0
         )
@@ -413,6 +462,27 @@ class FaultPlan:
         """True when any network partition is declared (gates every
         partition code path, keeping partition-free runs byte-identical)."""
         return bool(self.partitions)
+
+    @property
+    def has_memory_pressure(self) -> bool:
+        """True when any memory-pressure window is declared (gates every
+        capacity-shrink code path, keeping pressure-free runs untouched)."""
+        return bool(self.memory_pressure)
+
+    def capacity_factor(self, node: int, time: float) -> float:
+        """Usable-capacity fraction of ``node`` at ``time`` (1.0 clean)."""
+        return min(
+            (m.factor for m in self.memory_pressure
+             if m.node == node and m.active_at(time)),
+            default=1.0,
+        )
+
+    def memory_windows(self, node: int) -> "tuple[MemoryPressure, ...]":
+        """The declared pressure windows of one node, in start order."""
+        return tuple(sorted(
+            (m for m in self.memory_pressure if m.node == node),
+            key=lambda m: (m.start, m.end, m.factor),
+        ))
 
     def node_pair_severed(self, src_node: int, dst_node: int,
                           time: float) -> bool:
@@ -565,6 +635,16 @@ class FaultPlan:
                 }
                 for p in self.partitions
             ]
+        if self.memory_pressure:
+            data["memory_pressure"] = [
+                {
+                    "node": m.node,
+                    "start": m.start,
+                    "duration": m.duration,
+                    "factor": m.factor,
+                }
+                for m in self.memory_pressure
+            ]
         return data
 
     @classmethod
@@ -580,6 +660,7 @@ class FaultPlan:
             "corruptions",
             "duplications",
             "partitions",
+            "memory_pressure",
             "drop_probability",
             "corrupt_probability",
             "max_retries",
@@ -653,6 +734,15 @@ class FaultPlan:
                         ),
                     )
                     for p in data.get("partitions", ())
+                ),
+                memory_pressure=tuple(
+                    MemoryPressure(
+                        node=int(m["node"]),
+                        start=float(m["start"]),
+                        duration=float(m["duration"]),
+                        factor=float(m.get("factor", 0.5)),
+                    )
+                    for m in data.get("memory_pressure", ())
                 ),
                 drop_probability=float(data.get("drop_probability", 0.0)),
                 corrupt_probability=float(data.get("corrupt_probability", 0.0)),

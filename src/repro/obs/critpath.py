@@ -35,6 +35,7 @@ __all__ = [
     "CATEGORIES",
     "GRAY_CATEGORIES",
     "PARTITION_CATEGORIES",
+    "MEMORY_CATEGORIES",
     "PathSegment",
     "SpanNode",
     "SpanGraph",
@@ -59,6 +60,11 @@ GRAY_CATEGORIES = ("hedge", "speculation", "scrub")
 #: so partitions-off runs keep exactly the five classic keys
 PARTITION_CATEGORIES = ("partition.wait", "partition.heal", "quorum.degraded")
 
+#: memory-pressure categories — opt-in like the others: they appear only
+#: when backpressure stalls or spill traffic actually sat on the path, so
+#: enforcement-off runs keep exactly the five classic keys
+MEMORY_CATEGORIES = ("mem.wait", "spill.write", "spill.read")
+
 #: span-name prefix -> category. First match (longest prefix) wins.
 _PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
     ("dart.transfer", "network"),
@@ -72,6 +78,9 @@ _PREFIX_CATEGORIES: tuple[tuple[str, str], ...] = (
     ("partition.heal", "partition.heal"),
     ("partition.", "partition.wait"),
     ("quorum.", "quorum.degraded"),
+    ("spill.write", "spill.write"),
+    ("spill.read", "spill.read"),
+    ("mem.", "mem.wait"),
     ("cods.", "dht"),
     ("schedule.compute", "compute"),
     ("resilience.", "recovery"),
@@ -103,6 +112,7 @@ def _gap_category(link_kind: "str | None") -> str:
             cat in CATEGORIES
             or cat in GRAY_CATEGORIES
             or cat in PARTITION_CATEGORIES
+            or cat in MEMORY_CATEGORIES
         ):
             return cat
     return "wait"

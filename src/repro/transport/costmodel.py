@@ -11,7 +11,13 @@ from __future__ import annotations
 from repro.hardware.network import NetworkModel
 from repro.hardware.spec import MachineSpec
 
-__all__ = ["CostModel"]
+__all__ = ["CostModel", "SPILL_BANDWIDTH_FACTOR"]
+
+#: deep-memory (burst-buffer / NVRAM) bandwidth as a fraction of the node's
+#: shared-memory bandwidth — spill writes and read-backs are cost-modelled
+#: as slowed-down intra-node transfers (Wilkins/SENSEI staging tiers sit
+#: roughly an order of magnitude below DRAM)
+SPILL_BANDWIDTH_FACTOR = 0.1
 
 
 class CostModel:
@@ -42,6 +48,13 @@ class CostModel:
         else:
             hops = 1
         return self.network_time(nbytes, hops=hops)
+
+    def spill_time(self, nbytes: int) -> float:
+        """One spill write or read-back through the node's deep-memory tier."""
+        node = self.machine.node
+        return node.shm_latency + nbytes / (
+            node.shm_bandwidth * SPILL_BANDWIDTH_FACTOR
+        )
 
     def speedup_shm_over_network(self, nbytes: int) -> float:
         """How much faster shared memory moves ``nbytes`` than the network —

@@ -29,6 +29,7 @@ class TransferKind(enum.Enum):
     INTRA_APP = "intra_app"      # intra-application exchange (e.g. stencil halos)
     CONTROL = "control"          # DHT queries, registrations, RPCs
     REPLICATION = "replication"  # resilience copies (replica writes, re-replication)
+    SPILL = "spill"              # deep-memory tier traffic (spill writes, restores)
 
 
 @dataclass(frozen=True, slots=True)

@@ -31,6 +31,7 @@ from repro.errors import (
     CheckpointError,
     DataLostError,
     LookupError_,
+    MemoryPressureError,
     NetworkPartitionError,
     QuorumError,
     ScheduleError,
@@ -165,6 +166,18 @@ class WorkflowEngine:
         self._partition_attempts: dict[int, int] = {}
         self._partition_wait_since: dict[int, float] = {}
         self._partition_counters: dict[str, object] = {}
+        #: simulated delay before retrying a bundle whose put hit memory
+        #: pressure (the ``mem.wait`` backpressure stall)
+        self.memory_retry: float = 0.05
+        #: retry budget per bundle for memory-pressure backoffs before the
+        #: bundle escalates to the data-loss rung
+        self.max_memory_retries: int = 64
+        self._memory_attempts: dict[int, int] = {}
+        #: zero-arg callable returning accrued deep-memory (write, read)
+        #: seconds since the last call; the experiment driver binds it to
+        #: ``CoDS.drain_spill_seconds`` so spill traffic stretches the app
+        #: over real simulated time (None keeps launches byte-identical)
+        self.spill_probe: "Callable[[], tuple[float, float]] | None" = None
         self._executed = False
         # Open async spans per enactment generation (tracing only).
         self._bundle_spans: dict[tuple[int, int], Span] = {}
@@ -406,6 +419,9 @@ class WorkflowEngine:
                     raise WorkflowError(
                         f"routine of app {app.app_id} returned negative duration"
                     )
+                spill_w = spill_r = 0.0
+                if self.spill_probe is not None:
+                    spill_w, spill_r = self.spill_probe()
                 finish = now + duration
                 if slow and duration > 0:
                     # Work on slowed nodes takes longer: walk the plan's
@@ -426,7 +442,8 @@ class WorkflowEngine:
                 base_durs[app.app_id] = duration
                 eff_durs[app.app_id] = finish - now
                 self.runs[app.app_id] = AppRun(
-                    app_id=app.app_id, start=now, finish=finish,
+                    app_id=app.app_id, start=now,
+                    finish=finish + spill_w + spill_r,
                     mapping=mapping,
                 )
                 self.trace.append(TraceEvent(
@@ -435,10 +452,21 @@ class WorkflowEngine:
                     detail=f"{app.ntasks} tasks on "
                            f"{len(mapping.nodes_used())} nodes",
                 ))
-                self.sim.schedule(
-                    finish - now, self._complete_app, index, app.app_id, gen,
-                    category="compute",
-                )
+                if spill_w or spill_r:
+                    # Deep-memory traffic extends the app past its compute
+                    # window: compute hop, then spill-write and read-back
+                    # hops, each billed to its own critical-path category.
+                    self.sim.schedule(
+                        finish - now, self._advance_spill,
+                        index, app.app_id, gen, spill_w, spill_r,
+                        category="compute",
+                    )
+                else:
+                    self.sim.schedule(
+                        finish - now, self._complete_app,
+                        index, app.app_id, gen,
+                        category="compute",
+                    )
             if self.speculation_threshold is not None and slow and len(apps) > 1:
                 self._arm_speculation(index, gen, base_durs, eff_durs)
         except DataLostError as exc:
@@ -447,6 +475,8 @@ class WorkflowEngine:
             self._retry_after_partition(index, gen, exc)
         except StaleWriteError as exc:
             self._abandon_stale_bundle(index, gen, exc)
+        except MemoryPressureError as exc:
+            self._retry_after_memory_pressure(index, gen, exc)
         except (ScheduleError, LookupError_) as exc:
             # Degraded metadata during an active cut looks like missing
             # coverage (registrations deferred on cut-off DHT cores); wait
@@ -565,6 +595,83 @@ class WorkflowEngine:
             self.partition_retry, self._launch_bundle, index,
             category="quorum.degraded" if quorum else "partition.wait",
         )
+
+    def _retry_after_memory_pressure(
+        self, index: int, gen: int, exc: Exception
+    ) -> None:
+        """A bundle's put (or spill restore) could not be admitted.
+
+        Nothing is lost — the producer still holds its data; the target
+        store is simply over its high watermark and the reclaim ladder came
+        up short. The cheap move is to *wait space out*: back off on the
+        sim clock and re-launch under a bumped generation, giving consumers
+        time to drain the space (retry events carry the ``mem.wait``
+        category so critical-path attribution bills the stall to memory
+        pressure, not compute). Past the retry budget the bundle escalates
+        to the data-loss rung.
+        """
+        attempts = self._memory_attempts.get(index, 0) + 1
+        self._memory_attempts[index] = attempts
+        self._partition_count("workflow.memory.retries")
+        if attempts > self.max_memory_retries:
+            self._partition_count("workflow.memory.escalations")
+            if self.injector is not None:
+                self.injector.record(
+                    "memory_wait_escalated",
+                    f"bundle={index} attempts={attempts}",
+                )
+            if self.provenance.enabled:
+                self._prov_chain(
+                    "bundle.memory_escalate", index, attempts=attempts,
+                )
+            self._retry_after_data_loss(index, gen, exc)
+            return
+        bundle = self.dag.bundles[index]
+        self._gen[index] = gen + 1
+        span = self._bundle_spans.pop((index, gen), None)
+        if span is not None:
+            self.tracer.end_async(span, aborted=True)
+        for app_id in bundle.app_ids:
+            span = self._app_spans.pop((app_id, gen), None)
+            if span is not None:
+                self.tracer.end_async(span, aborted=True)
+            self.server.release_app(app_id)
+        self.trace.append(TraceEvent(
+            time=self.sim.now, event="bundle_memory_wait", bundle=index,
+            detail=f"attempt={attempts} ({exc})",
+        ))
+        if self.provenance.enabled:
+            self._prov_chain(
+                "bundle.memory_wait", index, gen=gen + 1,
+                attempt=attempts, error=type(exc).__name__,
+            )
+        self.sim.schedule(
+            self.memory_retry, self._launch_bundle, index,
+            category="mem.wait",
+        )
+
+    def _advance_spill(
+        self, index: int, app_id: int, gen: int,
+        spill_w: float, spill_r: float,
+    ) -> None:
+        """Walk an app's deep-memory tail: spill writes, then read-backs.
+
+        Each hop is its own simulated event so the ``spill.write`` and
+        ``spill.read`` intervals tile the app's extension exactly.
+        """
+        if spill_w:
+            self.sim.schedule(
+                spill_w, self._advance_spill, index, app_id, gen,
+                0.0, spill_r, category="spill.write",
+            )
+            return
+        if spill_r:
+            self.sim.schedule(
+                spill_r, self._complete_app, index, app_id, gen,
+                category="spill.read",
+            )
+            return
+        self._complete_app(index, app_id, gen)
 
     def _abandon_stale_bundle(self, index: int, gen: int, exc: Exception) -> None:
         """This enactment's writes were fenced off as stale.
@@ -735,6 +842,7 @@ class WorkflowEngine:
             # window; the old one must not pre-expire its deadline.
             self._partition_wait_since.pop(bundle_index, None)
             self._partition_attempts.pop(bundle_index, None)
+            self._memory_attempts.pop(bundle_index, None)
             span = self._bundle_spans.pop((bundle_index, gen), None)
             if span is not None:
                 self.tracer.end_async(span)

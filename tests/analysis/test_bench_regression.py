@@ -90,3 +90,33 @@ class TestCacheOffIsPurePerf:
             assert got[key] == want[key], f"{name}/{key} moved with cache off"
         # The full attribution profile is also cache-independent.
         assert got["attribution"] == want["attribution"]
+
+
+class TestEnforceMemoryIsPurePolicy:
+    """Memory enforcement at the benches' (roomy) default budget is pure
+    policy: the admission gate passes every put untouched, the reclaim
+    ladder never fires, and every figure quantity stays pinned to the
+    committed snapshot bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def fresh_enforced(self):
+        """Figure profiles with memory enforcement switched on."""
+        original = CoDS.__init__
+
+        def enforced_init(self, *args, **kwargs):
+            kwargs["enforce_memory"] = True
+            original(self, *args, **kwargs)
+
+        CoDS.__init__ = enforced_init
+        try:
+            return run_profile(FIGS)
+        finally:
+            CoDS.__init__ = original
+
+    @pytest.mark.parametrize("name", FIGS)
+    def test_headline_outputs_unchanged(self, committed, fresh_enforced, name):
+        want, got = committed[name], fresh_enforced[name]
+        for key in HEADLINE:
+            assert got[key] == want[key], \
+                f"{name}/{key} moved with memory enforcement on"
+        assert got["attribution"] == want["attribution"]

@@ -197,6 +197,66 @@ class TestPartitionGuard:
         assert partition == []
 
 
+class TestMemoryGuard:
+    """Memory-pressure handling must be invisible until switched on.
+
+    With ``enforce_memory`` left at its default (off), the admission
+    gate, reclaim ladder, spill tier, and backpressure retry rung must
+    not register a single extra metric, perturb a single event, or shift
+    a single byte relative to the seed behaviour — the golden BENCH
+    snapshots depend on it.
+    """
+
+    MEMORY_METRIC_PREFIXES = ("mem.", "spill.", "workflow.memory.")
+
+    def test_defaults_match_seed_run_exactly(self):
+        seed = run_scenario(small_concurrent(), DATA_CENTRIC)
+        guarded = run_scenario(
+            small_concurrent(), DATA_CENTRIC, enforce_memory=False,
+        )
+        assert guarded.metrics.as_dict() == seed.metrics.as_dict()
+        assert guarded.sim_events == seed.sim_events
+
+    def test_clean_run_registers_no_memory_metrics(self):
+        # Lazy creation: the counters exist only once the ladder runs.
+        result = run_scenario(small_concurrent(), DATA_CENTRIC)
+        memory = [
+            name for name in result.registry.names()
+            if name.startswith(self.MEMORY_METRIC_PREFIXES)
+        ]
+        assert memory == []
+        assert result.engine.spill_probe is None
+
+    def test_roomy_enforced_run_moves_no_figure_bytes(self):
+        """Enforcement with the default (roomy) node budget is pure
+        policy: no reclaim fires and the coupling volumes stay put."""
+        plain = run_scenario(small_concurrent(), DATA_CENTRIC)
+        enforced = run_scenario(
+            small_concurrent(), DATA_CENTRIC, enforce_memory=True,
+        )
+        assert enforced.metrics.as_dict() == plain.metrics.as_dict()
+        memory = [
+            name for name in enforced.registry.names()
+            if name.startswith(("mem.", "spill."))
+        ]
+        assert memory == []
+
+    def test_clean_attribution_has_no_memory_categories(self):
+        from repro.obs.critpath import (
+            CATEGORIES,
+            MEMORY_CATEGORIES,
+            SpanGraph,
+            critical_path,
+        )
+        from repro.obs.tracer import Tracer as _Tracer
+
+        tracer = _Tracer()
+        run_scenario(small_concurrent(), DATA_CENTRIC, tracer=tracer)
+        att = critical_path(SpanGraph.from_tracer(tracer)).attribution()
+        assert tuple(att) == CATEGORIES
+        assert not set(att) & set(MEMORY_CATEGORIES)
+
+
 class TestProvenanceGuard:
     """The provenance ledger must be invisible until switched on.
 

@@ -1,0 +1,202 @@
+"""Property tests for graceful memory-pressure handling.
+
+Four promises, checked over randomly drawn workloads:
+
+* **Round-trip** — any valid set of memory-pressure windows survives JSON
+  serialization unchanged (replay files must reproduce the exact shrink
+  geometry), and the capacity-factor oracle honours the tightest active
+  window.
+* **Accounting** — whatever sequence of admitted, deferred, and reclaimed
+  puts runs, every store's ``used_bytes`` equals the sum of its resident
+  objects' sizes, byte for byte.
+* **Capacity** — no store ever holds more than its usable capacity; the
+  high watermark may be crossed (it is a trigger, not a limit) but the
+  hard cap may not.
+* **Durability of the ladder** — reclamation never loses data: every
+  acknowledged put stays readable (restoring from the spill tier on
+  demand), and every resident or parked object still passes its checksum.
+
+Run with ``pytest -m property --hypothesis-seed=0``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cods.space import CoDS
+from repro.domain.box import Box
+from repro.errors import MemoryPressureError, ScheduleError, SpaceError
+from repro.faults.plan import FaultPlan, MemoryPressure
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import generic_multicore
+
+pytestmark = pytest.mark.property
+
+NUM_NODES = 2
+CORES_PER_NODE = 2
+NUM_CORES = NUM_NODES * CORES_PER_NODE
+DOMAIN = (16, 16)
+
+#: candidate put regions, 512-2048 bytes each at element size 8
+BOXES = (
+    Box(lo=(0, 0), hi=(16, 16)),
+    Box(lo=(0, 0), hi=(8, 16)),
+    Box(lo=(8, 0), hi=(16, 16)),
+    Box(lo=(0, 0), hi=(8, 8)),
+    Box(lo=(8, 8), hi=(16, 16)),
+)
+VARS = ("u", "v", "w")
+
+
+@st.composite
+def pressure_window(draw):
+    return MemoryPressure(
+        node=draw(st.integers(0, NUM_NODES - 1)),
+        start=draw(st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False)),
+        duration=draw(st.floats(0.1, 5.0, allow_nan=False,
+                                allow_infinity=False)),
+        factor=draw(st.floats(0.1, 0.9, allow_nan=False)),
+    )
+
+
+@st.composite
+def put_op(draw):
+    return (
+        draw(st.integers(0, NUM_CORES - 1)),
+        draw(st.sampled_from(VARS)),
+        draw(st.sampled_from(range(len(BOXES)))),
+        draw(st.integers(0, 3)),
+    )
+
+
+def _fresh_space(**kw):
+    cluster = Cluster(NUM_NODES, machine=generic_multicore(CORES_PER_NODE))
+    kw.setdefault("memory_per_node", 2 * 4096)  # two full-domain objects/core
+    return CoDS(cluster, DOMAIN, enforce_memory=True, **kw)
+
+
+def _check_accounting(space):
+    """used_bytes is exact and the hard cap is never exceeded."""
+    for core, store in space._stores.items():
+        resident = sum(o.nbytes for o in store.objects())
+        assert store.used_bytes == resident
+        assert store.used_bytes <= space._effective_capacity(core)
+
+
+def _check_integrity(space):
+    """Every resident and every parked object still checksums clean."""
+    for store in space._stores.values():
+        for obj in store.objects():
+            assert obj.verify_checksum()
+    for tier in space._spill.values():
+        for obj in tier.objects():
+            assert obj.verify_checksum()
+
+
+class TestPlanRoundTrip:
+    @given(windows=st.lists(pressure_window(), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip_preserves_windows(self, windows):
+        plan = FaultPlan(seed=7, memory_pressure=tuple(windows))
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+        assert back.memory_pressure == plan.memory_pressure
+        assert back.has_memory_pressure
+
+    @given(
+        windows=st.lists(pressure_window(), min_size=1, max_size=4),
+        times=st.lists(
+            st.floats(0.0, 12.0, allow_nan=False), min_size=3, max_size=10
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_oracle_takes_the_tightest_active_window(
+        self, windows, times
+    ):
+        plan = FaultPlan(memory_pressure=tuple(windows))
+        for t in times:
+            for node in range(NUM_NODES):
+                active = [
+                    w.factor for w in windows
+                    if w.node == node and w.active_at(t)
+                ]
+                want = min(active) if active else 1.0
+                assert plan.capacity_factor(node, t) == want
+
+
+class TestAccountingInvariants:
+    @given(puts=st.lists(put_op(), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_used_bytes_exact_and_capacity_never_exceeded(self, puts):
+        space = _fresh_space()
+        for core, var, box_idx, version in puts:
+            try:
+                space.put_seq(
+                    core, var, BOXES[box_idx], element_size=8,
+                    version=version, app_id=1,
+                )
+            except MemoryPressureError:
+                pass  # a deferral, not a failure: the invariants must hold
+            except SpaceError:
+                pass  # e.g. re-put of an identical key
+            _check_accounting(space)
+        _check_integrity(space)
+
+    @given(
+        puts=st.lists(put_op(), min_size=1, max_size=20),
+        spill_capacity=st.sampled_from([0, 2048, None]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tight_stores_hold_the_line(self, puts, spill_capacity):
+        """A store one object deep defers or reclaims, never overfills."""
+        space = _fresh_space(
+            memory_per_node=CORES_PER_NODE * 2048,
+            spill_capacity=spill_capacity,
+        )
+        for core, var, box_idx, version in puts:
+            try:
+                space.put_seq(
+                    core, var, BOXES[box_idx], element_size=8,
+                    version=version, app_id=1,
+                )
+            except SpaceError:
+                pass
+            _check_accounting(space)
+        if spill_capacity is not None:
+            assert space.spilled_bytes() <= NUM_NODES * spill_capacity
+
+
+class TestLadderDurability:
+    @given(puts=st.lists(put_op(), min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_acked_puts_survive_reclamation_and_restore(self, puts):
+        space = _fresh_space(memory_per_node=CORES_PER_NODE * 2048)
+        acked = {}
+        for core, var, box_idx, version in puts:
+            try:
+                space.put_seq(
+                    core, var, BOXES[box_idx], element_size=8,
+                    version=version, app_id=1,
+                )
+            except SpaceError:
+                continue
+            acked[(var, version, core)] = BOXES[box_idx]
+        # The ladder may have parked some primaries, but nothing is lost.
+        assert not space.lost_objects()
+        # Every acknowledged put reads back (restore-on-demand included),
+        # and the restored bytes checksum clean.
+        for (var, version, core), box in acked.items():
+            reader = (core + CORES_PER_NODE) % NUM_CORES
+            try:
+                _, recs = space.get_seq(
+                    reader, var, box, version=version, app_id=9,
+                )
+            except MemoryPressureError:
+                continue  # restore deferred for room, data still parked
+            except ScheduleError:
+                # A version-free cached schedule can shadow this key;
+                # durability is already pinned by lost_objects() above.
+                continue
+            assert sum(r.nbytes for r in recs) > 0
+        _check_integrity(space)
+        assert not space.lost_objects()

@@ -273,6 +273,95 @@ class TestPartitionFlags:
         assert capsys.readouterr().out == first
 
 
+class TestMemoryFlags:
+    """Audit of the memory-pressure CLI surface: every flag documented in
+    --help, invalid values rejected at parse time, memory knobs refused
+    without --enforce-memory, and a seeded end-to-end run completing with
+    the memory summary printed."""
+
+    MEMORY_FLAGS = (
+        "--enforce-memory", "--memory-per-node", "--high-watermark",
+        "--spill-capacity", "--memory-pressure",
+    )
+
+    E2E_ARGV = [
+        "sequential", "--compute-seconds", "0.05",
+        "--enforce-memory", "--replication", "2",
+        "--memory-per-node", str(12 * 512 * 1024),
+        "--memory-pressure", "0@0.0:0.3:0.5",
+        "--memory-pressure", "1@0.2:0.3",
+    ]
+
+    def help_text(self, command="sequential"):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--help"])
+        return buf.getvalue()
+
+    def test_every_memory_flag_documented(self):
+        for command in ("sequential", "concurrent", "compare"):
+            text = self.help_text(command)
+            for flag in self.MEMORY_FLAGS:
+                assert flag in text, f"{flag} missing from {command} --help"
+
+    @pytest.mark.parametrize("argv", [
+        ["sequential", "--memory-pressure", "nonsense"],
+        ["sequential", "--memory-pressure", "0"],  # no @window
+        ["sequential", "--memory-pressure", "0@1.5"],  # missing duration
+        ["sequential", "--memory-pressure", "0@x:y"],
+        ["sequential", "--memory-pressure", "0@0:1:2:3"],  # extra field
+        ["sequential", "--memory-pressure", "-1@0:1"],  # bad node
+        ["sequential", "--memory-pressure", "0@-1:1"],
+        ["sequential", "--memory-pressure", "0@0:0"],  # zero duration
+        ["sequential", "--memory-pressure", "0@0:1:0"],  # zero factor
+        ["sequential", "--memory-pressure", "0@0:1:1.5"],  # factor > 1
+        ["sequential", "--memory-per-node", "0"],
+        ["sequential", "--memory-per-node", "-4096"],
+        ["sequential", "--memory-per-node", "lots"],
+        ["sequential", "--high-watermark", "0"],
+        ["sequential", "--high-watermark", "1.5"],
+        ["sequential", "--high-watermark", "-0.1"],
+        ["sequential", "--spill-capacity", "-1"],
+    ])
+    def test_invalid_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "usage" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["sequential", "--memory-per-node", "4096"],
+        ["sequential", "--high-watermark", "0.5"],
+        ["sequential", "--spill-capacity", "4096"],
+        ["sequential", "--memory-pressure", "0@0:1"],
+    ])
+    def test_memory_knobs_need_enforce_memory(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "--enforce-memory" in capsys.readouterr().err
+
+    def test_memory_run_end_to_end(self, capsys):
+        assert main(self.E2E_ARGV) == 0
+        out = capsys.readouterr().out
+        assert "memory pressure:" in out
+        assert "reclaim ladder:" in out
+        assert "spill tier:" in out
+
+    def test_memory_summary_absent_on_clean_runs(self, capsys):
+        assert main(["sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "memory pressure:" not in out
+
+    def test_memory_flags_deterministic(self, capsys):
+        assert main(self.E2E_ARGV) == 0
+        first = capsys.readouterr().out
+        assert main(self.E2E_ARGV) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestTimelineFlags:
     """Audit of the telemetry CLI surface: every flag documented in
     --help, invalid values rejected at parse time, and the timeline
